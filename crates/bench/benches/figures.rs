@@ -1,0 +1,207 @@
+//! One Criterion bench per table and figure of the paper.
+//!
+//! Analytic tables (1, 2, Figure 6) are benchmarked at full fidelity; the
+//! simulation-backed figures (2, 7, 8, 9, 10, and the RCA statistics) run
+//! a scaled-down single-seed plan per iteration so `cargo bench` stays
+//! tractable — the full-scale numbers come from the `experiments` binary
+//! (see `EXPERIMENTS.md`).
+
+use cgct::StorageModel;
+use cgct_interconnect::{DistanceClass, LatencyModel};
+use cgct_system::{run_once, CoherenceMode, RunPlan, SystemConfig};
+use cgct_workloads::by_name;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A per-iteration plan small enough for Criterion.
+fn bench_plan() -> RunPlan {
+    RunPlan {
+        warmup_per_core: 4_000,
+        instructions_per_core: 4_000,
+        max_cycles: 4_000_000,
+        runs: 1,
+        base_seed: 1,
+    }
+}
+
+fn run(mode: CoherenceMode, bench: &str, seed: u64) -> f64 {
+    let cfg = SystemConfig::paper_default(mode);
+    let spec = by_name(bench).expect("benchmark");
+    let plan = bench_plan();
+    let r = run_once(&cfg, &spec, seed, &plan);
+    r.runtime_cycles as f64
+}
+
+fn table1_region_states(c: &mut Criterion) {
+    c.bench_function("table1_region_state_rules", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in cgct::RegionState::ALL {
+                for req in [
+                    cgct_cache::ReqKind::Read,
+                    cgct_cache::ReqKind::ReadShared,
+                    cgct_cache::ReqKind::ReadExclusive,
+                    cgct_cache::ReqKind::Upgrade,
+                    cgct_cache::ReqKind::Writeback,
+                    cgct_cache::ReqKind::Dcbz,
+                ] {
+                    acc += s.permission(req) as usize;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn table2_storage_overhead(c: &mut Criterion) {
+    c.bench_function("table2_storage_overhead", |b| {
+        let m = StorageModel::paper_default();
+        b.iter(|| black_box(m.table2()))
+    });
+}
+
+fn fig6_latency_scenarios(c: &mut Criterion) {
+    c.bench_function("fig6_latency_scenarios", |b| {
+        let lat = LatencyModel::paper_default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for d in DistanceClass::ALL {
+                acc += lat.snoop_memory_access(d) + lat.direct_memory_access(d);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn fig2_oracle_classification(c: &mut Criterion) {
+    // Figure 2 is measured on a baseline run with the oracle classifier.
+    c.bench_function("fig2_baseline_oracle_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(CoherenceMode::Baseline, "tpc-w", seed))
+        })
+    });
+}
+
+fn fig7_broadcast_avoidance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_avoidance_by_region_size");
+    g.sample_size(10);
+    for region in [256u64, 512, 1024] {
+        g.bench_function(format!("cgct_{region}B_specjbb"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                black_box(run(
+                    CoherenceMode::Cgct {
+                        region_bytes: region,
+                        sets: 8192,
+                    },
+                    "specjbb2000",
+                    seed,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig8_runtime_reduction(c: &mut Criterion) {
+    // Figure 8's quantity is the runtime ratio between these two runs.
+    let mut g = c.benchmark_group("fig8_runtime");
+    g.sample_size(10);
+    g.bench_function("baseline_tpcw", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(CoherenceMode::Baseline, "tpc-w", seed))
+        })
+    });
+    g.bench_function("cgct512_tpcw", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(
+                CoherenceMode::Cgct {
+                    region_bytes: 512,
+                    sets: 8192,
+                },
+                "tpc-w",
+                seed,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig9_half_size_rca(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_half_size_rca");
+    g.sample_size(10);
+    g.bench_function("cgct512_4096sets_ocean", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(
+                CoherenceMode::Cgct {
+                    region_bytes: 512,
+                    sets: 4096,
+                },
+                "ocean",
+                seed,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn fig10_traffic(c: &mut Criterion) {
+    // Figure 10 measures broadcasts per interval; the run itself is the
+    // cost being benchmarked here.
+    let mut g = c.benchmark_group("fig10_traffic");
+    g.sample_size(10);
+    g.bench_function("baseline_barnes_traffic", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(run(CoherenceMode::Baseline, "barnes", seed))
+        })
+    });
+    g.finish();
+}
+
+fn table34_workload_generation(c: &mut Criterion) {
+    // Tables 3 and 4 are configuration/benchmarks; this measures the
+    // workload generators' throughput across all nine specs.
+    use cgct_cpu::UopSource;
+    use cgct_workloads::{all_benchmarks, WorkloadThread};
+    c.bench_function("table4_workload_generation", |b| {
+        let mut threads: Vec<WorkloadThread> = all_benchmarks()
+            .into_iter()
+            .map(|s| WorkloadThread::new(s, 0, 4, 7))
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for t in &mut threads {
+                for _ in 0..100 {
+                    acc ^= t.next_uop().pc;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        table1_region_states,
+        table2_storage_overhead,
+        fig6_latency_scenarios,
+        fig2_oracle_classification,
+        fig7_broadcast_avoidance,
+        fig8_runtime_reduction,
+        fig9_half_size_rca,
+        fig10_traffic,
+        table34_workload_generation
+}
+criterion_main!(figures);

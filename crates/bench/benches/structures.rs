@@ -1,0 +1,120 @@
+//! Microbenchmarks of the core data structures: the RCA and line-protocol
+//! operations that sit on the simulated critical path, plus the generic
+//! set-associative array.
+
+use cgct::{FillKind, RcaConfig, RegionCoherenceArray, RegionSnoopResponse};
+use cgct_cache::{
+    requester_next_state, snoop_line, LineSnoopResponse, MoesiState, RegionAddr, ReqKind,
+    SetAssocArray,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_set_assoc_array(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_assoc_array");
+    g.bench_function("insert_lru_hit_stream", |b| {
+        let mut a: SetAssocArray<u64> = SetAssocArray::new(8192, 2);
+        for k in 0..16384u64 {
+            a.insert_lru(k, k);
+        }
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 16384;
+            black_box(a.access(k));
+        });
+    });
+    g.bench_function("insert_lru_evicting", |b| {
+        let mut a: SetAssocArray<u64> = SetAssocArray::new(8192, 2);
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            black_box(a.insert_lru(k, k));
+        });
+    });
+    g.finish();
+}
+
+fn bench_rca(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rca");
+    g.bench_function("permission_hit", |b| {
+        let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
+        for r in 0..16384u64 {
+            rca.local_fill(
+                RegionAddr(r),
+                FillKind::Exclusive,
+                Some(RegionSnoopResponse::NONE),
+                0,
+            );
+        }
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 1) % 16384;
+            black_box(rca.permission(RegionAddr(r), ReqKind::Read));
+        });
+    });
+    g.bench_function("local_fill_allocating", |b| {
+        let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            black_box(rca.local_fill(
+                RegionAddr(r),
+                FillKind::Exclusive,
+                Some(RegionSnoopResponse::NONE),
+                0,
+            ));
+        });
+    });
+    g.bench_function("external_request", |b| {
+        let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
+        for r in 0..16384u64 {
+            rca.local_fill(
+                RegionAddr(r),
+                FillKind::Exclusive,
+                Some(RegionSnoopResponse::NONE),
+                0,
+            );
+            rca.line_cached(RegionAddr(r));
+        }
+        let mut r = 0u64;
+        b.iter(|| {
+            r = (r + 1) % 16384;
+            black_box(rca.external_request(RegionAddr(r), ReqKind::Read, false));
+        });
+    });
+    g.finish();
+}
+
+fn bench_line_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("line_protocol");
+    g.bench_function("snoop_line", |b| {
+        let states = [
+            MoesiState::Modified,
+            MoesiState::Owned,
+            MoesiState::Exclusive,
+            MoesiState::Shared,
+            MoesiState::Invalid,
+        ];
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % states.len();
+            black_box(snoop_line(states[i], ReqKind::ReadExclusive));
+        });
+    });
+    g.bench_function("requester_next_state", |b| {
+        let resp = LineSnoopResponse {
+            shared: true,
+            dirty: false,
+            exclusive: false,
+        };
+        b.iter(|| black_box(requester_next_state(ReqKind::Read, resp)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_set_assoc_array,
+    bench_rca,
+    bench_line_protocol
+);
+criterion_main!(benches);

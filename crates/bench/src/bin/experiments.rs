@@ -1,0 +1,781 @@
+//! Regenerates every table and figure of the CGCT paper.
+//!
+//! ```text
+//! experiments <command> [--quick] [--json <dir>]
+//!
+//! commands:
+//!   table1 table2 table3 table4    analytic tables
+//!   fig2 fig6 fig7 fig8 fig9 fig10 the paper's figures
+//!   rca-stats                      §3.2/§5.2 statistics (quarter scale)
+//!   ablations                      design choices + §3.1/§6 extensions
+//!   scalability                    16-core two-board study
+//!   energy                         §6 energy estimate (incl. Jetty)
+//!   region-sweep                   64B-4KB region sizes
+//!   directory                      snoop vs CGCT vs full-map directory
+//!   sectoring                      sectored-cache miss ratios (§2)
+//!   diag                           calibration diagnostics
+//!   all                            everything, in paper order
+//! ```
+//!
+//! `--quick` uses the scaled-down plan (CI-friendly); the default plan is
+//! the full evaluation scale used for `EXPERIMENTS.md`.
+
+use cgct::StorageModel;
+use cgct_bench::{full_plan, quick_plan};
+use cgct_interconnect::LatencyModel;
+use cgct_system::experiments::{
+    fig10, fig2, fig7, half_size_mode, rca_stats, speedups, standard_modes, summary_reductions,
+    Suite,
+};
+use cgct_system::report::{
+    markdown_table, render_fig10, render_fig2, render_fig6, render_fig7, render_rca_stats,
+    render_speedups, render_table1, render_table2,
+};
+use cgct_system::{CoherenceMode, RunPlan, SystemConfig};
+use cgct_workloads::table4;
+use std::time::Instant;
+
+struct Args {
+    command: String,
+    quick: bool,
+    json_dir: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut command = "all".to_string();
+    let mut quick = false;
+    let mut json_dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments <command> [--quick] [--json <dir>]\n\n\
+                     commands:\n\
+                       table1 table2 table3 table4    analytic tables\n\
+                       fig2 fig6 fig7 fig8 fig9 fig10 the paper's figures\n\
+                       rca-stats                      §3.2/§5.2 statistics\n\
+                       ablations                      design-choice ablations\n\
+                       scalability                    16-core two-board study\n\
+                       energy                         §6 energy estimate\n\
+                       region-sweep                   64B-4KB region sizes\n\
+                       directory                      snoop vs CGCT vs directory\n\
+                       sectoring                      sectored-cache miss ratios\n\
+                       diag                           calibration diagnostics\n\
+                       all                            everything, paper order\n\n\
+                     --quick  scaled-down plan (CI-friendly)\n\
+                     --json   also dump machine-readable results to <dir>"
+                );
+                std::process::exit(0);
+            }
+            "--quick" => quick = true,
+            "--json" => json_dir = it.next(),
+            c if !c.starts_with('-') => command = c.to_string(),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args {
+        command,
+        quick,
+        json_dir,
+    }
+}
+
+fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{name}.json");
+        let body = serde_json::to_string_pretty(value).expect("serialize");
+        std::fs::write(&path, body).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}
+
+fn print_table3() {
+    // Table 3 is the configuration itself: print the defaults in use.
+    let cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    });
+    let rows = vec![
+        vec![
+            "cores per chip".into(),
+            cfg.topology.cores_per_chip.to_string(),
+        ],
+        vec![
+            "chips per data switch".into(),
+            cfg.topology.chips_per_switch.to_string(),
+        ],
+        vec![
+            "total processors".into(),
+            cfg.topology.total_cores().to_string(),
+        ],
+        vec!["L1 I-cache".into(), "32KB 4-way, 64B lines, 1 cycle".into()],
+        vec![
+            "L1 D-cache".into(),
+            "64KB 4-way, 64B lines, 1 cycle (writeback)".into(),
+        ],
+        vec![
+            "L2 cache".into(),
+            "1MB 2-way, 64B lines, 12 cycles (writeback)".into(),
+        ],
+        vec![
+            "pipeline".into(),
+            format!(
+                "{}-wide, ROB {}, window {}, LSQ {}",
+                cfg.core.issue_width, cfg.core.rob, cfg.core.issue_window, cfg.core.lsq
+            ),
+        ],
+        vec![
+            "branch prediction".into(),
+            "16K gshare, 4Kx4 BTB, 8-entry RAS".into(),
+        ],
+        vec!["snoop latency".into(), "16 system cycles (106ns)".into()],
+        vec!["DRAM latency".into(), "16 system cycles (106ns)".into()],
+        vec![
+            "DRAM overlapped with snoop".into(),
+            "7 system cycles (47ns)".into(),
+        ],
+        vec![
+            "RCA".into(),
+            "8192 sets, 2-way (16K entries); regions 256B/512B/1KB".into(),
+        ],
+        vec![
+            "direct request latency".into(),
+            "1 cpu cycle / 2 / 4 / 6 system cycles by distance".into(),
+        ],
+        vec![
+            "prefetching".into(),
+            "Power4-style 8 streams x 5-line runahead + exclusive prefetch".into(),
+        ],
+    ];
+    println!("## Table 3 — simulation parameters\n");
+    println!("{}", markdown_table(&["parameter", "value"], &rows));
+}
+
+fn print_table4() {
+    println!("## Table 4 — benchmarks\n");
+    let rows: Vec<Vec<String>> = table4()
+        .into_iter()
+        .map(|b| {
+            vec![
+                b.category.to_string(),
+                b.name.to_string(),
+                b.comments.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["category", "benchmark", "comments"], &rows)
+    );
+}
+
+fn diag(plan: RunPlan) {
+    use cgct_system::run_once;
+    println!("benchmark | mode | ipc | l2 MPKI | reqs/kinstr (d/w/i/z) | pf/kinstr | bcast/kinstr | demand lat | avoided | runtime");
+    for spec in cgct_workloads::all_benchmarks() {
+        for mode in [
+            CoherenceMode::Baseline,
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+        ] {
+            let cfg = SystemConfig::paper_default(mode);
+            let r = run_once(&cfg, &spec, 1, &plan);
+            let ki = r.committed as f64 / 1000.0;
+            println!(
+                "{} | {} | {:.3} | {:.1} | {:.1} ({:.1}/{:.1}/{:.1}/{:.1}) | {:.1} | {:.1} | {:.0} | {:.1}% | {}",
+                r.benchmark,
+                r.mode,
+                r.ipc,
+                r.metrics.l2_misses as f64 / ki,
+                r.metrics.requests.total() as f64 / ki,
+                r.metrics.requests.data as f64 / ki,
+                r.metrics.requests.writeback as f64 / ki,
+                r.metrics.requests.ifetch as f64 / ki,
+                r.metrics.requests.dcb as f64 / ki,
+                r.metrics.prefetches as f64 / ki,
+                r.metrics.broadcasts as f64 / ki,
+                r.metrics.demand_latency.mean(),
+                r.metrics.avoided_fraction() * 100.0,
+                r.runtime_cycles,
+            );
+            if r.metrics.avoided_fraction() > 0.0 {
+                let ki2 = ki;
+                println!(
+                    "    avoided/kinstr: data {:.1} wb {:.1} ifetch {:.1} dcb {:.1} (direct {:.1} local {:.1})",
+                    (r.metrics.direct.data + r.metrics.local.data) as f64 / ki2,
+                    (r.metrics.direct.writeback + r.metrics.local.writeback) as f64 / ki2,
+                    (r.metrics.direct.ifetch + r.metrics.local.ifetch) as f64 / ki2,
+                    (r.metrics.direct.dcb + r.metrics.local.dcb) as f64 / ki2,
+                    r.metrics.direct.total() as f64 / ki2,
+                    r.metrics.local.total() as f64 / ki2,
+                );
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let plan: RunPlan = if args.quick {
+        quick_plan()
+    } else {
+        full_plan()
+    };
+    let t0 = Instant::now();
+    let cmd = args.command.as_str();
+    if cmd == "diag" {
+        diag(plan);
+        return;
+    }
+    let needs_suite = matches!(
+        cmd,
+        "all" | "fig2" | "fig7" | "fig8" | "fig9" | "fig10" | "rca-stats"
+    );
+
+    if matches!(cmd, "all" | "table1") {
+        println!("## Table 1 — region protocol states\n");
+        println!("{}", render_table1());
+    }
+    if matches!(cmd, "all" | "table2") {
+        println!("## Table 2 — storage overhead (analytic; matches paper exactly)\n");
+        println!("{}", render_table2(&StorageModel::paper_default()));
+    }
+    if matches!(cmd, "all" | "table3") {
+        print_table3();
+    }
+    if matches!(cmd, "all" | "table4") {
+        print_table4();
+    }
+    if matches!(cmd, "all" | "fig6") {
+        println!("## Figure 6 — memory request latency (analytic)\n");
+        println!("{}", render_fig6(&LatencyModel::paper_default()));
+    }
+
+    if needs_suite {
+        eprintln!(
+            "running suite: {} instructions/core x {} seeds ({} mode)...",
+            plan.instructions_per_core,
+            plan.runs,
+            if args.quick { "quick" } else { "full" }
+        );
+        let mut modes = standard_modes();
+        modes.push(half_size_mode());
+        let suite = Suite::run(plan, &modes);
+        eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
+
+        if matches!(cmd, "all" | "fig2") {
+            let rows = fig2(&suite);
+            println!("## Figure 2 — unnecessary broadcasts (baseline, oracle)\n");
+            println!("{}", render_fig2(&rows));
+            dump_json(&args.json_dir, "fig2", &rows);
+        }
+        if matches!(cmd, "all" | "fig7") {
+            let sizes = [256, 512, 1024];
+            let rows = fig7(&suite, &sizes);
+            println!("## Figure 7 — broadcasts avoided by CGCT\n");
+            println!("{}", render_fig7(&rows, &sizes));
+            dump_json(&args.json_dir, "fig7", &rows);
+        }
+        if matches!(cmd, "all" | "fig8") {
+            let labels: Vec<String> = [256u64, 512, 1024]
+                .iter()
+                .map(|&rs| {
+                    CoherenceMode::Cgct {
+                        region_bytes: rs,
+                        sets: 8192,
+                    }
+                    .label()
+                })
+                .collect();
+            let rows = speedups(&suite, &labels);
+            println!("## Figure 8 — run-time reduction by region size\n");
+            println!("{}", render_speedups(&rows, &labels));
+            for l in &labels {
+                let (all, comm) = summary_reductions(&rows, l);
+                println!("**{l}**: mean reduction all = {all:.1}%, commercial = {comm:.1}%\n");
+            }
+            println!("(paper, 512B: 8.8% all, 10.4% commercial, max 21.7% on TPC-W)\n");
+            dump_json(&args.json_dir, "fig8", &rows);
+        }
+        if matches!(cmd, "all" | "fig9") {
+            let labels = vec![
+                CoherenceMode::Cgct {
+                    region_bytes: 512,
+                    sets: 8192,
+                }
+                .label(),
+                half_size_mode().label(),
+            ];
+            let rows = speedups(&suite, &labels);
+            println!("## Figure 9 — full vs half-size RCA (512B regions)\n");
+            println!("{}", render_speedups(&rows, &labels));
+            for l in &labels {
+                let (all, comm) = summary_reductions(&rows, l);
+                println!("**{l}**: mean reduction all = {all:.1}%, commercial = {comm:.1}%\n");
+            }
+            println!("(paper: 8.8% -> 7.8% all, 10.4% -> 9.1% commercial)\n");
+            dump_json(&args.json_dir, "fig9", &rows);
+        }
+        if matches!(cmd, "all" | "fig10") {
+            let rows = fig10(&suite);
+            println!("## Figure 10 — broadcast traffic\n");
+            println!("{}", render_fig10(&rows, 100_000));
+            dump_json(&args.json_dir, "fig10", &rows);
+        }
+        if matches!(cmd, "all" | "rca-stats") {
+            let rows = rca_stats(&suite);
+            println!("## RCA statistics (§3.2, §5.2)\n");
+            println!("{}", render_rca_stats(&rows));
+            println!("(paper: 65.1% empty / 17.2% one line / 5.1% two; ~1.2% miss-ratio increase; 2.8-5 lines/region)\n");
+            dump_json(&args.json_dir, "rca_stats", &rows);
+        }
+    }
+
+    if matches!(cmd, "all" | "ablations") {
+        run_ablations(plan, &args);
+    }
+    if matches!(cmd, "all" | "scalability") {
+        run_scalability(plan, &args);
+    }
+    if matches!(cmd, "all" | "energy") {
+        run_energy(plan, &args);
+    }
+    if matches!(cmd, "all" | "region-sweep") {
+        run_region_sweep(plan, &args);
+    }
+    if matches!(cmd, "all" | "directory") {
+        run_directory_comparison(plan, &args);
+    }
+    if matches!(cmd, "all" | "sectoring") {
+        run_sectoring_comparison(plan, &args);
+    }
+
+    eprintln!("total {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// Sectored-cache comparison (related work, §2): sectoring shares one
+/// tag per 512 B and pays internal fragmentation in miss ratio; CGCT
+/// tracks regions *beyond* the cache and leaves the miss ratio alone.
+fn run_sectoring_comparison(plan: RunPlan, args: &Args) {
+    use cgct_cache::{Addr, ConventionalCache, Geometry, SectoredCache};
+    use cgct_cpu::UopSource;
+    use cgct_workloads::WorkloadThread;
+    println!("## Sectored vs conventional cache (related work §2)\n");
+    let geom = Geometry::new(64, 512);
+    let accesses = (plan.instructions_per_core as usize).max(50_000);
+    let mut rows = Vec::new();
+    for spec in cgct_workloads::all_benchmarks() {
+        let mut conventional = ConventionalCache::new(1024 * 1024, 2, geom);
+        let mut sectored = SectoredCache::new(1024 * 1024, 2, geom);
+        let mut thread = WorkloadThread::new(spec.clone(), 0, 4, plan.base_seed);
+        let mut seen = 0usize;
+        while seen < accesses {
+            if let Some(a) = thread.next_uop().kind.mem_addr() {
+                let line = geom.line_of(Addr(a.0));
+                conventional.access(line);
+                sectored.access(line);
+                seen += 1;
+            }
+        }
+        let delta = if conventional.miss_ratio() > 0.0 {
+            (sectored.miss_ratio() - conventional.miss_ratio()) / conventional.miss_ratio()
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.2}%", conventional.miss_ratio() * 100.0),
+            format!("{:.2}%", sectored.miss_ratio() * 100.0),
+            format!("{:+.0}%", delta * 100.0),
+            format!("{:.2}", sectored.mean_sector_occupancy()),
+        ]);
+        eprintln!("sectoring '{}' done", spec.name);
+    }
+    // A sparse pointer-chase (one line per sector over 2x the cache):
+    // the workload class where sectoring's fragmentation bites hardest.
+    {
+        let mut conventional = ConventionalCache::new(1024 * 1024, 2, geom);
+        let mut sectored = SectoredCache::new(1024 * 1024, 2, geom);
+        let sectors = 2 * 1024 * 1024 / 512; // 2 MB footprint
+        let mut x = 1u64;
+        for _ in 0..accesses {
+            // LCG walk over sectors; slot varies with the sector id so
+            // conventional sets spread uniformly.
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let sector = (x >> 33) % sectors;
+            let slot = (x >> 13) % 8; // independent of the sector bits
+            let line = cgct_cache::LineAddr(sector * 8 + slot);
+            conventional.access(line);
+            sectored.access(line);
+        }
+        let delta = (sectored.miss_ratio() - conventional.miss_ratio()) / conventional.miss_ratio();
+        rows.push(vec![
+            "sparse pointer-chase".into(),
+            format!("{:.2}%", conventional.miss_ratio() * 100.0),
+            format!("{:.2}%", sectored.miss_ratio() * 100.0),
+            format!("{:+.0}%", delta * 100.0),
+            format!("{:.2}", sectored.mean_sector_occupancy()),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "conventional miss ratio",
+                "sectored miss ratio",
+                "relative increase",
+                "lines/sector resident",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(The Table 4 workloads are spatially dense, so sectoring costs them\nlittle; the sparse pointer-chase shows the fragmentation failure mode\nthe paper cites. CGCT's own inclusion cost on the same 1MB cache is\n~0-1% — see the RCA statistics table.)\n"
+    );
+    dump_json(&args.json_dir, "sectoring", &rows);
+}
+
+/// Snooping vs CGCT vs full-map directory (§1.2): the directory gets the
+/// same low-latency unshared access as CGCT but pays three hops for
+/// cache-to-cache data, which is exactly the trade-off the paper claims
+/// CGCT sidesteps.
+fn run_directory_comparison(plan: RunPlan, args: &Args) {
+    use cgct_system::run_once;
+    println!("## Snooping vs CGCT vs directory (§1.2 comparison)\n");
+    let mut rows = Vec::new();
+    for spec in cgct_workloads::all_benchmarks() {
+        let mut cells = vec![spec.name.to_string()];
+        let mut base_runtime = 0.0;
+        for mode in [
+            CoherenceMode::Baseline,
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            CoherenceMode::Directory,
+        ] {
+            let cfg = SystemConfig::paper_default(mode);
+            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
+            if base_runtime == 0.0 {
+                base_runtime = r.runtime_cycles as f64;
+                cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
+            } else {
+                cells.push(format!(
+                    "{:.1}%",
+                    100.0 * (1.0 - r.runtime_cycles as f64 / base_runtime)
+                ));
+                cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
+            }
+        }
+        rows.push(cells);
+        eprintln!("directory-comparison '{}' done", spec.name);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "snoop latency",
+                "cgct reduction",
+                "cgct latency",
+                "directory reduction",
+                "directory latency",
+            ],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "directory", &rows);
+}
+
+/// Region-size sweep beyond the paper's three points (64 B = line-grain
+/// tracking, up to 4 KB = page-grain): exposes the trade-off between
+/// spatial coverage and false region-sharing that makes mid-size regions
+/// the sweet spot.
+fn run_region_sweep(plan: RunPlan, args: &Args) {
+    use cgct_system::run_once;
+    println!("## Region-size sweep (64B - 4KB, mean across benchmarks)\n");
+    let benchmarks = cgct_workloads::all_benchmarks();
+    let base_runtime: Vec<f64> = benchmarks
+        .iter()
+        .map(|spec| {
+            let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+            run_once(&cfg, spec, plan.base_seed, &plan).runtime_cycles as f64
+        })
+        .collect();
+    eprintln!("region-sweep baselines done");
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    for region_bytes in [64u64, 128, 256, 512, 1024, 2048, 4096] {
+        let mut reduction_sum = 0.0;
+        let mut avoided_sum = 0.0;
+        for (spec, base) in benchmarks.iter().zip(&base_runtime) {
+            let cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+                region_bytes,
+                sets: 8192,
+            });
+            let r = run_once(&cfg, spec, plan.base_seed, &plan);
+            reduction_sum += 100.0 * (1.0 - r.runtime_cycles as f64 / base);
+            avoided_sum += r.metrics.avoided_fraction() * 100.0;
+        }
+        let n = benchmarks.len() as f64;
+        rows.push(vec![
+            format!("{region_bytes} B"),
+            format!("{:.1}%", reduction_sum / n),
+            format!("{:.1}%", avoided_sum / n),
+        ]);
+        chart.push((format!("{region_bytes}B"), reduction_sum / n));
+        eprintln!("region-sweep {region_bytes}B done");
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "region size",
+                "mean runtime reduction",
+                "mean requests avoided"
+            ],
+            &rows
+        )
+    );
+    println!("```");
+    println!("{}", cgct_system::report::ascii_bars(&chart, 40));
+    println!("```");
+    dump_json(&args.json_dir, "region_sweep", &rows);
+}
+
+/// Energy estimate (§6 future work): relative interconnect/memory energy
+/// for baseline vs CGCT, including the RCA's own lookup overhead.
+fn run_energy(plan: RunPlan, args: &Args) {
+    use cgct_system::energy::{energy_of, EnergyModel};
+    use cgct_system::run_once;
+    println!("## Energy (§6 extension) — relative units, default weights\n");
+    let weights = EnergyModel::default_weights();
+    let mut rows = Vec::new();
+    for spec in cgct_workloads::all_benchmarks() {
+        let base_cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        let cgct_cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        let mut jetty_cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        jetty_cfg.jetty_filter = true;
+        let base = run_once(&base_cfg, &spec, plan.base_seed, &plan);
+        let jetty = run_once(&jetty_cfg, &spec, plan.base_seed, &plan);
+        let cgct = run_once(&cgct_cfg, &spec, plan.base_seed, &plan);
+        let eb = energy_of(&base.metrics, 3, false, &weights);
+        let ej = energy_of(&jetty.metrics, 3, false, &weights);
+        let ec = energy_of(&cgct.metrics, 3, true, &weights);
+        let saving = 100.0 * (1.0 - ec.total() / eb.total().max(1.0));
+        let jetty_saving = 100.0 * (1.0 - ej.total() / eb.total().max(1.0));
+        rows.push(vec![
+            spec.name.to_string(),
+            format!("{:.0}", eb.total() / 1000.0),
+            format!("{:.0} ({jetty_saving:+.1}%)", ej.total() / 1000.0),
+            format!("{:.0}", ec.total() / 1000.0),
+            format!("{:.0}", ec.rca_overhead / 1000.0),
+            format!("{saving:.1}%"),
+        ]);
+        eprintln!("energy '{}' done", spec.name);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "baseline (ku)",
+                "+jetty (ku)",
+                "cgct-512B (ku)",
+                "of which RCA (ku)",
+                "cgct saving",
+            ],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "energy", &rows);
+}
+
+/// Scalability (§5.3 extended): the paper argues lower broadcast rates
+/// improve scalability; here the same workloads run on a 16-core
+/// two-board machine where remote snoops are costlier and the single
+/// address network is shared by four times the processors.
+fn run_scalability(plan: RunPlan, args: &Args) {
+    use cgct_interconnect::Topology;
+    use cgct_system::run_once;
+    println!("## Scalability — 16-core, two-board machine\n");
+    let mut rows = Vec::new();
+    for bench in ["specjbb2000", "tpc-w", "barnes"] {
+        let spec = cgct_workloads::by_name(bench).expect("benchmark");
+        let mut results = Vec::new();
+        for mode in [
+            CoherenceMode::Baseline,
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+        ] {
+            let mut cfg = SystemConfig::paper_default(mode);
+            cfg.topology = Topology::two_boards();
+            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
+            results.push(r);
+        }
+        let (base, cgct) = (&results[0], &results[1]);
+        let reduction = 100.0 * (1.0 - cgct.runtime_cycles as f64 / base.runtime_cycles as f64);
+        rows.push(vec![
+            bench.to_string(),
+            format!("{:.0}", base.metrics.avg_traffic()),
+            format!("{:.0}", cgct.metrics.avg_traffic()),
+            format!("{:.1}%", reduction),
+            format!("{:.1}%", cgct.metrics.avoided_fraction() * 100.0),
+        ]);
+        eprintln!("scalability '{bench}' done");
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "base bcast/100K",
+                "cgct bcast/100K",
+                "runtime reduction",
+                "avoided"
+            ],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "scalability", &rows);
+}
+
+/// Ablations: the design choices §3 calls out, plus the cheaper variants.
+fn run_ablations(plan: RunPlan, args: &Args) {
+    let cgct512 = CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    };
+    println!("## Ablations (512B regions, mean run-time reduction vs baseline)\n");
+    type Adjust = Box<dyn Fn(SystemConfig) -> SystemConfig + Sync>;
+    let variants: Vec<(&str, Vec<CoherenceMode>, Adjust)> = vec![
+        (
+            "full CGCT",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|c| c),
+        ),
+        (
+            "no self-invalidation",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.self_invalidation = false;
+                c
+            }),
+        ),
+        (
+            "pure-LRU RCA replacement",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.favor_empty_replacement = false;
+                c
+            }),
+        ),
+        (
+            "broadcast write-backs",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.direct_writebacks = false;
+                c
+            }),
+        ),
+        (
+            "scaled 3-state protocol",
+            vec![
+                CoherenceMode::Baseline,
+                CoherenceMode::Scaled {
+                    region_bytes: 512,
+                    sets: 8192,
+                },
+            ],
+            Box::new(|c| c),
+        ),
+        (
+            "RegionScout filter",
+            vec![
+                CoherenceMode::Baseline,
+                CoherenceMode::RegionScout { region_bytes: 512 },
+            ],
+            Box::new(|c| c),
+        ),
+        (
+            "+ shared-read bypass (§3.1)",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.shared_read_bypass = true;
+                c
+            }),
+        ),
+        (
+            "+ owner prediction (§6)",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.owner_prediction = true;
+                c
+            }),
+        ),
+        (
+            "+ region prefetch filter (§6)",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.region_prefetch_filter = true;
+                c
+            }),
+        ),
+        (
+            "+ DRAM speculation filter (§6)",
+            vec![CoherenceMode::Baseline, cgct512],
+            Box::new(|mut c: SystemConfig| {
+                c.dram_speculation_filter = true;
+                c
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, modes, adjust) in &variants {
+        let suite = Suite::run_with(plan, modes, adjust);
+        let label = modes[1].label();
+        let sp = speedups(&suite, std::slice::from_ref(&label));
+        let (all, comm) = summary_reductions(&sp, &label);
+        let avoided: f64 = suite
+            .benchmarks()
+            .iter()
+            .map(|b| suite.get(b, &label).avoided_fraction.mean())
+            .sum::<f64>()
+            / 9.0;
+        rows.push(vec![
+            name.to_string(),
+            format!("{all:.1}%"),
+            format!("{comm:.1}%"),
+            format!("{:.1}%", avoided * 100.0),
+        ]);
+        eprintln!("ablation '{name}' done");
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "variant",
+                "mean reduction (all)",
+                "mean reduction (commercial)",
+                "requests avoided"
+            ],
+            &rows
+        )
+    );
+    dump_json(&args.json_dir, "ablations", &rows);
+}

@@ -1,0 +1,46 @@
+//! Benchmark harness for the CGCT reproduction.
+//!
+//! * `src/bin/experiments.rs` — regenerates every table and figure of the
+//!   paper (run `cargo run --release -p cgct-bench --bin experiments -- all`).
+//! * `benches/` — Criterion benches: one scaled-down bench per
+//!   table/figure plus microbenchmarks of the core structures.
+//!
+//! This library exposes the shared experiment scales so the binary and
+//! the Criterion benches agree on what "quick" and "full" mean.
+
+use cgct_system::RunPlan;
+
+/// The scaled-down plan used by Criterion benches and `--quick` runs:
+/// small but large enough that every figure's qualitative shape (who
+/// wins, roughly by how much) is already visible.
+pub fn quick_plan() -> RunPlan {
+    RunPlan {
+        warmup_per_core: 60_000,
+        instructions_per_core: 20_000,
+        max_cycles: 40_000_000,
+        runs: 2,
+        base_seed: 1,
+    }
+}
+
+/// The full evaluation plan used for `EXPERIMENTS.md` numbers.
+pub fn full_plan() -> RunPlan {
+    RunPlan {
+        warmup_per_core: 250_000,
+        instructions_per_core: 150_000,
+        max_cycles: 200_000_000,
+        runs: 4,
+        base_seed: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_ordered() {
+        assert!(quick_plan().instructions_per_core < full_plan().instructions_per_core);
+        assert!(quick_plan().runs <= full_plan().runs);
+    }
+}

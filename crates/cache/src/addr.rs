@@ -1,0 +1,261 @@
+//! Physical addresses, cache lines, and coherence regions.
+//!
+//! The paper's system uses 64-byte cache lines and power-of-two *regions*
+//! of 256 B, 512 B, or 1 KB — each region is an aligned group of 4, 8, or
+//! 16 lines. [`Geometry`] captures one (line size, region size) choice and
+//! performs all address arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A physical byte address.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::Addr;
+/// let a = Addr(0x1000);
+/// assert_eq!(a.offset(0x40), Addr(0x1040));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Returns the address `bytes` past this one.
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-line number (`address >> line_bits`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The line `n` lines after this one.
+    pub fn offset(self, n: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add_signed(n))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A region number (`address >> region_bits`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct RegionAddr(pub u64);
+
+impl fmt::Display for RegionAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// Line/region address arithmetic for one (line size, region size) choice.
+///
+/// Both sizes must be powers of two, and the region must be at least one
+/// line (the paper uses 4–16 lines per region).
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::{Addr, Geometry};
+/// let g = Geometry::new(64, 512);
+/// assert_eq!(g.lines_per_region(), 8);
+/// let line = g.line_of(Addr(0x1fc0));
+/// let region = g.region_of_line(line);
+/// assert!(g.lines_in_region(region).any(|l| l == line));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    line_bits: u32,
+    region_bits: u32,
+}
+
+impl Geometry {
+    /// Creates a geometry with `line_bytes`-byte lines grouped into
+    /// `region_bytes`-byte regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is not a power of two, or if the region is
+    /// smaller than a line.
+    pub fn new(line_bytes: u64, region_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two, got {line_bytes}"
+        );
+        assert!(
+            region_bytes.is_power_of_two(),
+            "region size must be a power of two, got {region_bytes}"
+        );
+        assert!(
+            region_bytes >= line_bytes,
+            "region ({region_bytes} B) must be at least one line ({line_bytes} B)"
+        );
+        Geometry {
+            line_bits: line_bytes.trailing_zeros(),
+            region_bits: region_bytes.trailing_zeros(),
+        }
+    }
+
+    /// The paper's default: 64-byte lines, 512-byte regions.
+    pub fn paper_default() -> Self {
+        Geometry::new(64, 512)
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_bits
+    }
+
+    /// Region size in bytes.
+    pub fn region_bytes(&self) -> u64 {
+        1 << self.region_bits
+    }
+
+    /// Number of cache lines per region.
+    pub fn lines_per_region(&self) -> u64 {
+        1 << (self.region_bits - self.line_bits)
+    }
+
+    /// The line containing byte address `addr`.
+    pub fn line_of(&self, addr: Addr) -> LineAddr {
+        LineAddr(addr.0 >> self.line_bits)
+    }
+
+    /// The region containing byte address `addr`.
+    pub fn region_of(&self, addr: Addr) -> RegionAddr {
+        RegionAddr(addr.0 >> self.region_bits)
+    }
+
+    /// The region containing line `line`.
+    pub fn region_of_line(&self, line: LineAddr) -> RegionAddr {
+        RegionAddr(line.0 >> (self.region_bits - self.line_bits))
+    }
+
+    /// The first byte address of line `line`.
+    pub fn line_base(&self, line: LineAddr) -> Addr {
+        Addr(line.0 << self.line_bits)
+    }
+
+    /// The first byte address of region `region`.
+    pub fn region_base(&self, region: RegionAddr) -> Addr {
+        Addr(region.0 << self.region_bits)
+    }
+
+    /// Iterates over every line of `region`, lowest first.
+    pub fn lines_in_region(&self, region: RegionAddr) -> impl Iterator<Item = LineAddr> {
+        let first = region.0 << (self.region_bits - self.line_bits);
+        let n = self.lines_per_region();
+        (first..first + n).map(LineAddr)
+    }
+
+    /// Index of `line` within its region, in `0..lines_per_region()`.
+    pub fn line_index_in_region(&self, line: LineAddr) -> u64 {
+        line.0 & (self.lines_per_region() - 1)
+    }
+}
+
+impl Default for Geometry {
+    fn default() -> Self {
+        Geometry::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometries() {
+        for (region, lines) in [(256, 4), (512, 8), (1024, 16)] {
+            let g = Geometry::new(64, region);
+            assert_eq!(g.lines_per_region(), lines);
+            assert_eq!(g.line_bytes(), 64);
+            assert_eq!(g.region_bytes(), region);
+        }
+    }
+
+    #[test]
+    fn line_and_region_mapping() {
+        let g = Geometry::new(64, 512);
+        assert_eq!(g.line_of(Addr(0)), LineAddr(0));
+        assert_eq!(g.line_of(Addr(63)), LineAddr(0));
+        assert_eq!(g.line_of(Addr(64)), LineAddr(1));
+        assert_eq!(g.region_of(Addr(511)), RegionAddr(0));
+        assert_eq!(g.region_of(Addr(512)), RegionAddr(1));
+        assert_eq!(g.region_of_line(LineAddr(7)), RegionAddr(0));
+        assert_eq!(g.region_of_line(LineAddr(8)), RegionAddr(1));
+    }
+
+    #[test]
+    fn bases_invert_mappings() {
+        let g = Geometry::new(64, 1024);
+        let line = LineAddr(12345);
+        assert_eq!(g.line_of(g.line_base(line)), line);
+        let region = RegionAddr(777);
+        assert_eq!(g.region_of(g.region_base(region)), region);
+    }
+
+    #[test]
+    fn lines_in_region_enumerates_all() {
+        let g = Geometry::new(64, 256);
+        let lines: Vec<LineAddr> = g.lines_in_region(RegionAddr(3)).collect();
+        assert_eq!(
+            lines,
+            vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]
+        );
+        for l in &lines {
+            assert_eq!(g.region_of_line(*l), RegionAddr(3));
+        }
+    }
+
+    #[test]
+    fn line_index_in_region() {
+        let g = Geometry::new(64, 512);
+        assert_eq!(g.line_index_in_region(LineAddr(8)), 0);
+        assert_eq!(g.line_index_in_region(LineAddr(15)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_region() {
+        let _ = Geometry::new(64, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn rejects_region_smaller_than_line() {
+        let _ = Geometry::new(64, 32);
+    }
+
+    #[test]
+    fn line_offset_moves_both_ways() {
+        let l = LineAddr(10);
+        assert_eq!(l.offset(3), LineAddr(13));
+        assert_eq!(l.offset(-3), LineAddr(7));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(Addr(0xff).to_string(), "0xff");
+        assert_eq!(LineAddr(0x10).to_string(), "0x10");
+        assert_eq!(RegionAddr(0x2).to_string(), "0x2");
+    }
+}

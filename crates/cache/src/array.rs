@@ -1,0 +1,447 @@
+//! A generic set-associative array with true-LRU stamps and pluggable
+//! victim selection.
+//!
+//! Both the caches and the Region Coherence Array are instances of this
+//! structure: the RCA is "organized like the L2 cache tags" (§4), differing
+//! only in its entry payload and in its replacement policy (which favors
+//! regions with no cached lines, §3.2).
+
+use serde::{Deserialize, Serialize};
+
+/// A candidate line for eviction, handed to victim-selection callbacks.
+#[derive(Debug)]
+pub struct VictimCandidate<'a, E> {
+    /// The key (line or region number) stored in this way.
+    pub key: u64,
+    /// LRU stamp: smaller means less recently used.
+    pub last_use: u64,
+    /// The stored entry.
+    pub entry: &'a E,
+}
+
+/// Result of [`SetAssocArray::lookup`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// The key is present.
+    Hit,
+    /// The key is absent but its set has a free way.
+    MissFree,
+    /// The key is absent and its set is full (insertion must evict).
+    MissFull,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Way<E> {
+    tag: u64,
+    last_use: u64,
+    entry: Option<E>,
+}
+
+/// A set-associative array mapping `u64` keys (line or region numbers) to
+/// entries of type `E`.
+///
+/// The key is split into a set index (low bits) and a tag (high bits);
+/// the number of sets must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::SetAssocArray;
+///
+/// let mut a: SetAssocArray<&str> = SetAssocArray::new(4, 2);
+/// assert!(a.insert_lru(0, "zero").is_none());
+/// assert!(a.insert_lru(4, "four").is_none()); // same set as key 0
+/// // Set is now full; inserting a third conflicting key evicts the LRU (0).
+/// let evicted = a.insert_lru(8, "eight");
+/// assert_eq!(evicted, Some((0, "zero")));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetAssocArray<E> {
+    sets: usize,
+    ways: usize,
+    storage: Vec<Way<E>>,
+    clock: u64,
+    len: usize,
+}
+
+impl<E> SetAssocArray<E> {
+    /// Creates an empty array with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "associativity must be at least 1");
+        let mut storage = Vec::with_capacity(sets * ways);
+        for _ in 0..sets * ways {
+            storage.push(Way {
+                tag: 0,
+                last_use: 0,
+                entry: None,
+            });
+        }
+        SetAssocArray {
+            sets,
+            ways,
+            storage,
+            clock: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the array holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn set_index(&self, key: u64) -> usize {
+        (key as usize) & (self.sets - 1)
+    }
+
+    fn tag(&self, key: u64) -> u64 {
+        key >> self.sets.trailing_zeros()
+    }
+
+    fn key_from(&self, tag: u64, set: usize) -> u64 {
+        (tag << self.sets.trailing_zeros()) | set as u64
+    }
+
+    fn set_range(&self, key: u64) -> std::ops::Range<usize> {
+        let s = self.set_index(key);
+        s * self.ways..(s + 1) * self.ways
+    }
+
+    fn find(&self, key: u64) -> Option<usize> {
+        let tag = self.tag(key);
+        self.set_range(key)
+            .find(|&i| self.storage[i].entry.is_some() && self.storage[i].tag == tag)
+    }
+
+    /// Classifies what an insertion of `key` would encounter.
+    pub fn lookup(&self, key: u64) -> LookupOutcome {
+        if self.find(key).is_some() {
+            LookupOutcome::Hit
+        } else if self.set_range(key).any(|i| self.storage[i].entry.is_none()) {
+            LookupOutcome::MissFree
+        } else {
+            LookupOutcome::MissFull
+        }
+    }
+
+    /// Returns the entry for `key` without updating recency.
+    pub fn get(&self, key: u64) -> Option<&E> {
+        self.find(key).and_then(|i| self.storage[i].entry.as_ref())
+    }
+
+    /// Returns the entry for `key` mutably without updating recency.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut E> {
+        self.find(key).and_then(|i| self.storage[i].entry.as_mut())
+    }
+
+    /// Returns the entry for `key`, marking it most recently used.
+    pub fn access(&mut self, key: u64) -> Option<&mut E> {
+        let i = self.find(key)?;
+        self.clock += 1;
+        self.storage[i].last_use = self.clock;
+        self.storage[i].entry.as_mut()
+    }
+
+    /// Marks `key` most recently used, if present.
+    pub fn touch(&mut self, key: u64) {
+        let _ = self.access(key);
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts `entry` under `key`, evicting the least recently used entry
+    /// of the set if it is full. Returns the evicted `(key, entry)` pair.
+    ///
+    /// If `key` is already present, its entry is replaced and returned as
+    /// the "evicted" pair.
+    pub fn insert_lru(&mut self, key: u64, entry: E) -> Option<(u64, E)> {
+        self.insert_with_victim(key, entry, |cands| {
+            cands
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.last_use)
+                .map(|(i, _)| i)
+                .expect("victim set is never empty")
+        })
+    }
+
+    /// Inserts `entry` under `key`; when the set is full, `choose` picks the
+    /// victim from the set's current occupants. Returns the displaced
+    /// `(key, entry)` pair, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choose` returns an out-of-range index.
+    pub fn insert_with_victim(
+        &mut self,
+        key: u64,
+        entry: E,
+        choose: impl FnOnce(&[VictimCandidate<'_, E>]) -> usize,
+    ) -> Option<(u64, E)> {
+        self.clock += 1;
+        let clock = self.clock;
+        let tag = self.tag(key);
+        // Replace in place on hit.
+        if let Some(i) = self.find(key) {
+            let old = self.storage[i].entry.replace(entry);
+            self.storage[i].last_use = clock;
+            return old.map(|e| (key, e));
+        }
+        // Free way?
+        if let Some(i) = self
+            .set_range(key)
+            .find(|&i| self.storage[i].entry.is_none())
+        {
+            self.storage[i] = Way {
+                tag,
+                last_use: clock,
+                entry: Some(entry),
+            };
+            self.len += 1;
+            return None;
+        }
+        // Full set: ask the policy for a victim.
+        let set = self.set_index(key);
+        let range = self.set_range(key);
+        let candidates: Vec<VictimCandidate<'_, E>> = range
+            .clone()
+            .map(|i| VictimCandidate {
+                key: self.key_from(self.storage[i].tag, set),
+                last_use: self.storage[i].last_use,
+                entry: self.storage[i].entry.as_ref().expect("set is full"),
+            })
+            .collect();
+        let victim_way = choose(&candidates);
+        assert!(victim_way < self.ways, "victim index out of range");
+        drop(candidates);
+        let i = range.start + victim_way;
+        let old_key = self.key_from(self.storage[i].tag, set);
+        let old = self.storage[i].entry.take();
+        self.storage[i] = Way {
+            tag,
+            last_use: clock,
+            entry: Some(entry),
+        };
+        old.map(|e| (old_key, e))
+    }
+
+    /// Removes and returns the entry for `key`.
+    pub fn remove(&mut self, key: u64) -> Option<E> {
+        let i = self.find(key)?;
+        self.len -= 1;
+        self.storage[i].entry.take()
+    }
+
+    /// Iterates over all `(key, &entry)` pairs in storage order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> + '_ {
+        let sets = self.sets;
+        let ways = self.ways;
+        (0..sets * ways).filter_map(move |i| {
+            let way = &self.storage[i];
+            way.entry
+                .as_ref()
+                .map(|e| (self.key_from(way.tag, i / ways), e))
+        })
+    }
+
+    /// Iterates mutably over all `(key, &mut entry)` pairs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut E)> + '_ {
+        let sets_bits = self.sets.trailing_zeros();
+        let ways = self.ways;
+        self.storage
+            .iter_mut()
+            .enumerate()
+            .filter_map(move |(i, way)| {
+                let set = i / ways;
+                way.entry
+                    .as_mut()
+                    .map(|e| (((way.tag) << sets_bits) | set as u64, e))
+            })
+    }
+
+    /// Removes all entries.
+    pub fn clear(&mut self) {
+        for way in &mut self.storage {
+            way.entry = None;
+        }
+        self.len = 0;
+    }
+
+    /// Number of valid entries in the set that `key` maps to.
+    pub fn set_occupancy(&self, key: u64) -> usize {
+        self.set_range(key)
+            .filter(|&i| self.storage[i].entry.is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(8, 2);
+        assert!(a.insert_lru(100, 1).is_none());
+        assert_eq!(a.get(100), Some(&1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.remove(100), Some(1));
+        assert!(a.is_empty());
+        assert_eq!(a.remove(100), None);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut a: SetAssocArray<char> = SetAssocArray::new(1, 3);
+        a.insert_lru(0, 'a');
+        a.insert_lru(1, 'b');
+        a.insert_lru(2, 'c');
+        a.touch(0); // make 'a' MRU; LRU is now 'b'
+        assert_eq!(a.insert_lru(3, 'd'), Some((1, 'b')));
+        assert!(a.contains(0) && a.contains(2) && a.contains(3));
+    }
+
+    #[test]
+    fn replace_on_hit_returns_old() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(2, 2);
+        a.insert_lru(5, 10);
+        assert_eq!(a.insert_lru(5, 20), Some((5, 10)));
+        assert_eq!(a.get(5), Some(&20));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn keys_reconstructed_correctly() {
+        let mut a: SetAssocArray<()> = SetAssocArray::new(16, 4);
+        let keys = [0u64, 15, 16, 31, 1 << 20, (1 << 20) + 5];
+        for &k in &keys {
+            a.insert_lru(k, ());
+        }
+        let mut seen: Vec<u64> = a.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        let mut expect = keys.to_vec();
+        expect.sort_unstable();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn lookup_classifies() {
+        let mut a: SetAssocArray<u8> = SetAssocArray::new(1, 2);
+        assert_eq!(a.lookup(7), LookupOutcome::MissFree);
+        a.insert_lru(7, 0);
+        assert_eq!(a.lookup(7), LookupOutcome::Hit);
+        a.insert_lru(9, 0);
+        assert_eq!(a.lookup(11), LookupOutcome::MissFull);
+    }
+
+    #[test]
+    fn custom_victim_policy_sees_all_candidates() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(1, 4);
+        for k in 0..4u64 {
+            a.insert_lru(k, k as u32 * 10);
+        }
+        // Evict the entry whose payload is largest.
+        let evicted = a.insert_with_victim(99, 0, |cands| {
+            assert_eq!(cands.len(), 4);
+            cands
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| *c.entry)
+                .map(|(i, _)| i)
+                .unwrap()
+        });
+        assert_eq!(evicted, Some((3, 30)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut a: SetAssocArray<u8> = SetAssocArray::new(4, 1);
+        for k in 0..4u64 {
+            assert!(a.insert_lru(k, k as u8).is_none());
+        }
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn access_updates_recency_but_get_does_not() {
+        let mut a: SetAssocArray<u8> = SetAssocArray::new(1, 2);
+        a.insert_lru(0, 0);
+        a.insert_lru(1, 1);
+        let _ = a.get(0); // must NOT refresh key 0
+        assert_eq!(a.insert_lru(2, 2), Some((0, 0)));
+
+        let mut b: SetAssocArray<u8> = SetAssocArray::new(1, 2);
+        b.insert_lru(0, 0);
+        b.insert_lru(1, 1);
+        let _ = b.access(0); // refreshes key 0
+        assert_eq!(b.insert_lru(2, 2), Some((1, 1)));
+    }
+
+    #[test]
+    fn set_occupancy_counts() {
+        let mut a: SetAssocArray<u8> = SetAssocArray::new(2, 3);
+        a.insert_lru(0, 0);
+        a.insert_lru(2, 0);
+        a.insert_lru(1, 0);
+        assert_eq!(a.set_occupancy(0), 2);
+        assert_eq!(a.set_occupancy(1), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a: SetAssocArray<u8> = SetAssocArray::new(2, 2);
+        a.insert_lru(0, 0);
+        a.insert_lru(1, 1);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.get(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _: SetAssocArray<u8> = SetAssocArray::new(3, 2);
+    }
+
+    #[test]
+    fn iter_mut_allows_in_place_updates() {
+        let mut a: SetAssocArray<u32> = SetAssocArray::new(4, 2);
+        for k in 0..8u64 {
+            a.insert_lru(k, 0);
+        }
+        for (k, v) in a.iter_mut() {
+            *v = k as u32 + 1;
+        }
+        for k in 0..8u64 {
+            assert_eq!(a.get(k), Some(&(k as u32 + 1)));
+        }
+    }
+}

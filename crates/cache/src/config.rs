@@ -1,0 +1,154 @@
+//! Cache configuration, with Table 3 defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Size/organization of one cache (Table 3).
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::CacheConfig;
+/// let l2 = CacheConfig::paper_l2();
+/// assert_eq!(l2.sets(), 8192); // 1 MB, 2-way, 64 B lines
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in CPU cycles.
+    pub latency: u64,
+    /// Number of MSHRs.
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Paper L1 instruction cache: 32 KB, 4-way, 64 B lines, 1 cycle.
+    pub fn paper_l1i() -> Self {
+        CacheConfig {
+            capacity_bytes: 32 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 4,
+        }
+    }
+
+    /// Paper L1 data cache: 64 KB, 4-way, 64 B lines, 1 cycle, write-back.
+    pub fn paper_l1d() -> Self {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 8,
+        }
+    }
+
+    /// Paper L2 cache: 1 MB, 2-way, 64 B lines, 12 cycles, write-back.
+    pub fn paper_l2() -> Self {
+        CacheConfig {
+            capacity_bytes: 1024 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            latency: 12,
+            mshrs: 16,
+        }
+    }
+
+    /// Number of sets implied by capacity, ways, and line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not divide evenly or the set count
+    /// is not a power of two.
+    pub fn sets(&self) -> usize {
+        let lines = self.capacity_bytes / self.line_bytes;
+        let sets = (lines as usize) / self.ways;
+        assert_eq!(
+            sets * self.ways,
+            lines as usize,
+            "capacity must divide evenly into sets"
+        );
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Total number of lines this cache can hold.
+    pub fn total_lines(&self) -> u64 {
+        self.capacity_bytes / self.line_bytes
+    }
+}
+
+/// Per-processor cache hierarchy configuration (L1I + L1D + unified L2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 (the coherence point).
+    pub l2: CacheConfig,
+}
+
+impl HierarchyConfig {
+    /// The paper's per-processor hierarchy (Table 3).
+    pub fn paper_default() -> Self {
+        HierarchyConfig {
+            l1i: CacheConfig::paper_l1i(),
+            l1d: CacheConfig::paper_l1d(),
+            l2: CacheConfig::paper_l2(),
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_l2_matches_rca_organization() {
+        // §4: "the RCA has the same organization as the L2-cache tags,
+        // with 8K sets and 2-way associative (16K entries)".
+        let l2 = CacheConfig::paper_l2();
+        assert_eq!(l2.sets(), 8192);
+        assert_eq!(l2.total_lines(), 16384);
+    }
+
+    #[test]
+    fn paper_l1_geometries() {
+        assert_eq!(CacheConfig::paper_l1i().sets(), 128);
+        assert_eq!(CacheConfig::paper_l1d().sets(), 256);
+        assert_eq!(CacheConfig::paper_l1i().latency, 1);
+        assert_eq!(CacheConfig::paper_l1d().latency, 1);
+        assert_eq!(CacheConfig::paper_l2().latency, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn sets_rejects_non_power_of_two() {
+        let cfg = CacheConfig {
+            capacity_bytes: 3 * 64 * 2,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+            mshrs: 1,
+        };
+        let _ = cfg.sets();
+    }
+
+    #[test]
+    fn hierarchy_default_is_paper() {
+        let h = HierarchyConfig::default();
+        assert_eq!(h.l2, CacheConfig::paper_l2());
+    }
+}

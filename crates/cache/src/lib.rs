@@ -1,0 +1,38 @@
+//! Caches and line-grain coherence for the CGCT reproduction.
+//!
+//! This crate provides the physical-address model, set-associative cache
+//! arrays with pluggable victim selection, the MOESI (L2) and MSI (L1)
+//! line-state machines of the paper's baseline system, and MSHRs.
+//!
+//! The *region*-grain protocol — the paper's contribution — lives in the
+//! `cgct` core crate and is layered on top of these structures.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_cache::{Addr, Geometry, MoesiState};
+//!
+//! let geom = Geometry::new(64, 512);
+//! let line = geom.line_of(Addr(0x1234));
+//! assert_eq!(geom.region_of_line(line), geom.region_of(Addr(0x1234)));
+//! assert!(MoesiState::Modified.is_dirty());
+//! ```
+
+pub mod addr;
+pub mod array;
+pub mod config;
+pub mod mshr;
+pub mod protocol;
+pub mod sectored;
+pub mod state;
+
+pub use addr::{Addr, Geometry, LineAddr, RegionAddr};
+pub use array::{LookupOutcome, SetAssocArray};
+pub use config::{CacheConfig, HierarchyConfig};
+pub use mshr::{MshrFile, MshrId};
+pub use protocol::{
+    broadcast_unnecessary, requester_next_state, snoop_line, LineSnoopResponse, ReqKind,
+    SnoopAction, SnoopOutcome,
+};
+pub use sectored::{ConventionalCache, SectoredCache};
+pub use state::{MoesiState, MsiState};

@@ -1,0 +1,205 @@
+//! Miss Status Holding Registers.
+//!
+//! MSHRs bound the number of outstanding misses per cache and merge
+//! secondary misses to a line already being fetched, which is what lets the
+//! out-of-order cores overlap multiple memory requests (MLP).
+
+use crate::addr::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an allocated MSHR slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MshrId(pub usize);
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Slot<T> {
+    line: LineAddr,
+    waiters: Vec<T>,
+}
+
+/// A file of MSHRs tracking outstanding line misses, each carrying a list
+/// of waiter tokens (e.g. load-queue indices) to wake on fill.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::{LineAddr, MshrFile};
+///
+/// let mut m: MshrFile<u32> = MshrFile::new(2);
+/// let id = m.allocate(LineAddr(5), 100).expect("free slot");
+/// assert!(m.find(LineAddr(5)).is_some());
+/// m.add_waiter(id, 101);
+/// let (line, waiters) = m.complete(id);
+/// assert_eq!(line, LineAddr(5));
+/// assert_eq!(waiters, vec![100, 101]);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MshrFile<T> {
+    slots: Vec<Option<Slot<T>>>,
+}
+
+impl<T> MshrFile<T> {
+    /// Creates a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one register");
+        MshrFile {
+            slots: (0..capacity).map(|_| None).collect(),
+        }
+    }
+
+    /// Total number of registers.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of registers in use.
+    pub fn in_use(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether every register is occupied.
+    pub fn is_full(&self) -> bool {
+        self.slots.iter().all(|s| s.is_some())
+    }
+
+    /// Returns the MSHR already tracking `line`, if any (a secondary miss
+    /// should merge into it rather than allocate).
+    pub fn find(&self, line: LineAddr) -> Option<MshrId> {
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|slot| slot.line == line))
+            .map(MshrId)
+    }
+
+    /// Allocates a register for a primary miss to `line` with an initial
+    /// waiter. Returns `None` when the file is full (the miss must stall).
+    pub fn allocate(&mut self, line: LineAddr, waiter: T) -> Option<MshrId> {
+        debug_assert!(self.find(line).is_none(), "line {line} already has an MSHR");
+        let idx = self.slots.iter().position(|s| s.is_none())?;
+        self.slots[idx] = Some(Slot {
+            line,
+            waiters: vec![waiter],
+        });
+        Some(MshrId(idx))
+    }
+
+    /// Adds a waiter to an allocated register (secondary miss merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn add_waiter(&mut self, id: MshrId, waiter: T) {
+        self.slots[id.0]
+            .as_mut()
+            .expect("MSHR not allocated")
+            .waiters
+            .push(waiter);
+    }
+
+    /// The line a register is tracking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn line(&self, id: MshrId) -> LineAddr {
+        self.slots[id.0].as_ref().expect("MSHR not allocated").line
+    }
+
+    /// The primary (first) waiter of a register — e.g. the completion time
+    /// recorded when the miss was issued, which secondary misses share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn primary(&self, id: MshrId) -> &T {
+        self.slots[id.0]
+            .as_ref()
+            .expect("MSHR not allocated")
+            .waiters
+            .first()
+            .expect("allocate always records a primary waiter")
+    }
+
+    /// The primary waiter of register `id`, or `None` if the slot is
+    /// free. Unlike [`MshrFile::primary`], this does not panic.
+    pub fn get_primary(&self, id: MshrId) -> Option<&T> {
+        self.slots
+            .get(id.0)
+            .and_then(|s| s.as_ref())
+            .and_then(|slot| slot.waiters.first())
+    }
+
+    /// Completes the miss: frees the register and returns the line and all
+    /// merged waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not allocated.
+    pub fn complete(&mut self, id: MshrId) -> (LineAddr, Vec<T>) {
+        let slot = self.slots[id.0].take().expect("MSHR not allocated");
+        (slot.line, slot.waiters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_until_full() {
+        let mut m: MshrFile<()> = MshrFile::new(3);
+        for i in 0..3 {
+            assert!(m.allocate(LineAddr(i), ()).is_some());
+        }
+        assert!(m.is_full());
+        assert_eq!(m.allocate(LineAddr(99), ()), None);
+        assert_eq!(m.in_use(), 3);
+    }
+
+    #[test]
+    fn merge_secondary_misses() {
+        let mut m: MshrFile<u8> = MshrFile::new(2);
+        let id = m.allocate(LineAddr(7), 1).unwrap();
+        assert_eq!(m.find(LineAddr(7)), Some(id));
+        m.add_waiter(id, 2);
+        m.add_waiter(id, 3);
+        let (line, waiters) = m.complete(id);
+        assert_eq!(line, LineAddr(7));
+        assert_eq!(waiters, vec![1, 2, 3]);
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.find(LineAddr(7)), None);
+    }
+
+    #[test]
+    fn slots_are_reusable_after_completion() {
+        let mut m: MshrFile<()> = MshrFile::new(1);
+        let id = m.allocate(LineAddr(1), ()).unwrap();
+        m.complete(id);
+        assert!(m.allocate(LineAddr(2), ()).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn rejects_zero_capacity() {
+        let _: MshrFile<()> = MshrFile::new(0);
+    }
+
+    #[test]
+    fn line_accessor() {
+        let mut m: MshrFile<()> = MshrFile::new(2);
+        let id = m.allocate(LineAddr(42), ()).unwrap();
+        assert_eq!(m.line(id), LineAddr(42));
+    }
+
+    #[test]
+    fn primary_waiter_is_the_allocation_token() {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        let id = m.allocate(LineAddr(1), 77).unwrap();
+        m.add_waiter(id, 88);
+        assert_eq!(*m.primary(id), 77);
+    }
+}

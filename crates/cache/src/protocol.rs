@@ -1,0 +1,380 @@
+//! Line-grain write-invalidate MOESI snooping protocol.
+//!
+//! These are pure transition functions: given a request kind and the state
+//! of a line in a snooped cache, they return the snooper's next state and
+//! required action, and given the aggregated snoop response they return the
+//! requester's fill state. The system crate sequences them over the
+//! simulated interconnect.
+
+use crate::state::MoesiState;
+use serde::{Deserialize, Serialize};
+
+/// The kinds of memory request that reach the coherence point (L2 miss
+/// stream plus permission upgrades, write-backs and DCB operations).
+///
+/// Loads issue [`ReqKind::Read`] and obtain an exclusive copy when no other
+/// cache holds the line (the paper's §3.1: "loads are not prevented from
+/// obtaining exclusive copies"). Instruction fetches issue
+/// [`ReqKind::ReadShared`] and always fill shared/clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReqKind {
+    /// Data read (load or data prefetch); fills E when unshared, S otherwise.
+    Read,
+    /// Instruction fetch; always fills S.
+    ReadShared,
+    /// Read-for-ownership (store miss or exclusive prefetch); fills M.
+    ReadExclusive,
+    /// Permission upgrade of an S/O copy to M; carries no data.
+    Upgrade,
+    /// Write-back of a dirty (M/O) line to memory.
+    Writeback,
+    /// Data Cache Block Zero: allocate the line zeroed in M without
+    /// reading memory; invalidates all other copies (PowerPC `dcbz`,
+    /// used heavily by AIX for page zeroing).
+    Dcbz,
+}
+
+impl ReqKind {
+    /// Whether this request transfers a data line to the requester.
+    pub fn needs_data(self) -> bool {
+        matches!(
+            self,
+            ReqKind::Read | ReqKind::ReadShared | ReqKind::ReadExclusive
+        )
+    }
+
+    /// Whether this request invalidates all other cached copies.
+    pub fn invalidates_others(self) -> bool {
+        matches!(
+            self,
+            ReqKind::ReadExclusive | ReqKind::Upgrade | ReqKind::Dcbz
+        )
+    }
+
+    /// Whether the requester ends up with a modifiable (M) copy.
+    pub fn wants_modifiable(self) -> bool {
+        self.invalidates_others()
+    }
+}
+
+/// What a snooped cache must do in response to an external request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SnoopAction {
+    /// Nothing: the line was not cached or needs no action.
+    None,
+    /// Supply the line to the requester (cache-to-cache transfer).
+    SupplyData,
+}
+
+/// One snooped cache's contribution to the line snoop response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LineSnoopResponse {
+    /// Some other cache holds a valid copy (any of M/O/E/S).
+    pub shared: bool,
+    /// Some other cache holds the line dirty (M/O) and supplies the data.
+    pub dirty: bool,
+    /// Some other cache holds the line exclusively-clean (E). E copies can
+    /// be modified silently, so memory data may go stale without a
+    /// broadcast; region-grain tracking must treat E like dirty.
+    pub exclusive: bool,
+}
+
+impl LineSnoopResponse {
+    /// Merges another snooper's contribution (wired-OR on the bus).
+    pub fn merge(&mut self, other: LineSnoopResponse) {
+        self.shared |= other.shared;
+        self.dirty |= other.dirty;
+        self.exclusive |= other.exclusive;
+    }
+
+    /// Whether memory can safely supply current data for a *shared* read
+    /// without informing other caches: true when no cache holds M/O/E.
+    pub fn memory_is_safe_source(&self) -> bool {
+        !self.dirty && !self.exclusive
+    }
+}
+
+/// The outcome of snooping one cache: next state for the line plus the
+/// action and response contribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopOutcome {
+    /// Snooper's next state for the line.
+    pub next: MoesiState,
+    /// Required data action.
+    pub action: SnoopAction,
+    /// Contribution to the aggregated snoop response (describes the state
+    /// *before* the transition).
+    pub response: LineSnoopResponse,
+}
+
+/// Applies an external request `req` to a snooped cache whose current state
+/// for the line is `state`.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::{snoop_line, MoesiState, ReqKind, SnoopAction};
+/// let out = snoop_line(MoesiState::Modified, ReqKind::Read);
+/// assert_eq!(out.next, MoesiState::Owned);
+/// assert_eq!(out.action, SnoopAction::SupplyData);
+/// assert!(out.response.dirty);
+/// ```
+pub fn snoop_line(state: MoesiState, req: ReqKind) -> SnoopOutcome {
+    use MoesiState::*;
+    let response = LineSnoopResponse {
+        shared: state.is_valid(),
+        dirty: state.is_dirty(),
+        exclusive: state == Exclusive,
+    };
+    let (next, action) = match req {
+        // External data read: owner supplies and retains ownership (O);
+        // clean copies downgrade to S.
+        ReqKind::Read | ReqKind::ReadShared => match state {
+            Modified => (Owned, SnoopAction::SupplyData),
+            Owned => (Owned, SnoopAction::SupplyData),
+            Exclusive => (Shared, SnoopAction::None),
+            Shared => (Shared, SnoopAction::None),
+            Invalid => (Invalid, SnoopAction::None),
+        },
+        // External RFO: everyone invalidates; the owner supplies data.
+        ReqKind::ReadExclusive => match state {
+            Modified | Owned => (Invalid, SnoopAction::SupplyData),
+            Exclusive | Shared => (Invalid, SnoopAction::None),
+            Invalid => (Invalid, SnoopAction::None),
+        },
+        // Upgrade: requester already holds current data; others invalidate.
+        // DCBZ: requester will zero the line; no data transfer at all.
+        ReqKind::Upgrade | ReqKind::Dcbz => (Invalid, SnoopAction::None),
+        // Write-backs need no action from other caches (§5.1): they are
+        // broadcast in the baseline only to locate the memory controller.
+        ReqKind::Writeback => (state, SnoopAction::None),
+    };
+    SnoopOutcome {
+        next,
+        action,
+        response,
+    }
+}
+
+/// The requester's fill state after its broadcast completes with the
+/// aggregated `response`.
+///
+/// Returns `None` for [`ReqKind::Writeback`], which leaves no line behind.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::{requester_next_state, LineSnoopResponse, MoesiState, ReqKind};
+/// let nobody = LineSnoopResponse::default();
+/// assert_eq!(requester_next_state(ReqKind::Read, nobody), Some(MoesiState::Exclusive));
+/// let shared = LineSnoopResponse { shared: true, ..nobody };
+/// assert_eq!(requester_next_state(ReqKind::Read, shared), Some(MoesiState::Shared));
+/// ```
+pub fn requester_next_state(req: ReqKind, response: LineSnoopResponse) -> Option<MoesiState> {
+    use MoesiState::*;
+    match req {
+        ReqKind::Read => Some(if response.shared { Shared } else { Exclusive }),
+        ReqKind::ReadShared => Some(Shared),
+        ReqKind::ReadExclusive | ReqKind::Upgrade | ReqKind::Dcbz => Some(Modified),
+        ReqKind::Writeback => None,
+    }
+}
+
+/// Oracle rule (Figure 2): would this broadcast have been unnecessary given
+/// perfect knowledge of the other caches' states?
+///
+/// * Write-backs never need to be seen by other processors.
+/// * A shared read (ifetch) can go straight to memory when no other cache
+///   holds the line in M, O, or E (memory data is current and cannot go
+///   stale silently).
+/// * All other requests can skip the broadcast only when no other cache
+///   holds any copy at all.
+pub fn broadcast_unnecessary(req: ReqKind, response: LineSnoopResponse) -> bool {
+    match req {
+        ReqKind::Writeback => true,
+        ReqKind::ReadShared => response.memory_is_safe_source(),
+        ReqKind::Read | ReqKind::ReadExclusive | ReqKind::Upgrade | ReqKind::Dcbz => {
+            !response.shared
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MoesiState::*;
+
+    const ALL_STATES: [MoesiState; 5] = [Modified, Owned, Exclusive, Shared, Invalid];
+    const ALL_REQS: [ReqKind; 6] = [
+        ReqKind::Read,
+        ReqKind::ReadShared,
+        ReqKind::ReadExclusive,
+        ReqKind::Upgrade,
+        ReqKind::Writeback,
+        ReqKind::Dcbz,
+    ];
+
+    #[test]
+    fn external_read_downgrades_owner_to_owned() {
+        let out = snoop_line(Modified, ReqKind::Read);
+        assert_eq!(out.next, Owned);
+        assert_eq!(out.action, SnoopAction::SupplyData);
+        let out = snoop_line(Owned, ReqKind::ReadShared);
+        assert_eq!(out.next, Owned);
+        assert_eq!(out.action, SnoopAction::SupplyData);
+    }
+
+    #[test]
+    fn external_read_downgrades_exclusive_to_shared() {
+        let out = snoop_line(Exclusive, ReqKind::Read);
+        assert_eq!(out.next, Shared);
+        assert_eq!(out.action, SnoopAction::None);
+        assert!(out.response.exclusive);
+    }
+
+    #[test]
+    fn rfo_invalidates_everyone() {
+        for s in ALL_STATES {
+            let out = snoop_line(s, ReqKind::ReadExclusive);
+            assert_eq!(out.next, Invalid, "from {s}");
+            assert_eq!(out.action == SnoopAction::SupplyData, s.is_dirty());
+        }
+    }
+
+    #[test]
+    fn upgrade_and_dcbz_invalidate_without_supply() {
+        for req in [ReqKind::Upgrade, ReqKind::Dcbz] {
+            for s in ALL_STATES {
+                let out = snoop_line(s, req);
+                assert_eq!(out.next, Invalid);
+                assert_eq!(out.action, SnoopAction::None);
+            }
+        }
+    }
+
+    #[test]
+    fn writeback_is_a_no_op_for_snoopers() {
+        for s in ALL_STATES {
+            let out = snoop_line(s, ReqKind::Writeback);
+            assert_eq!(out.next, s);
+            assert_eq!(out.action, SnoopAction::None);
+        }
+    }
+
+    #[test]
+    fn response_reflects_pre_transition_state() {
+        let out = snoop_line(Modified, ReqKind::ReadExclusive);
+        assert!(out.response.dirty && out.response.shared);
+        let out = snoop_line(Invalid, ReqKind::Read);
+        assert_eq!(out.response, LineSnoopResponse::default());
+    }
+
+    #[test]
+    fn requester_read_fill_state_depends_on_sharers() {
+        let nobody = LineSnoopResponse::default();
+        assert_eq!(requester_next_state(ReqKind::Read, nobody), Some(Exclusive));
+        let shared = LineSnoopResponse {
+            shared: true,
+            ..Default::default()
+        };
+        assert_eq!(requester_next_state(ReqKind::Read, shared), Some(Shared));
+        assert_eq!(
+            requester_next_state(ReqKind::ReadShared, nobody),
+            Some(Shared)
+        );
+    }
+
+    #[test]
+    fn requester_modifiable_requests_fill_modified() {
+        let resp = LineSnoopResponse {
+            shared: true,
+            dirty: true,
+            exclusive: false,
+        };
+        for req in [ReqKind::ReadExclusive, ReqKind::Upgrade, ReqKind::Dcbz] {
+            assert_eq!(requester_next_state(req, resp), Some(Modified));
+        }
+        assert_eq!(requester_next_state(ReqKind::Writeback, resp), None);
+    }
+
+    #[test]
+    fn merge_is_wired_or() {
+        let mut r = LineSnoopResponse::default();
+        r.merge(LineSnoopResponse {
+            shared: true,
+            dirty: false,
+            exclusive: false,
+        });
+        r.merge(LineSnoopResponse {
+            shared: true,
+            dirty: true,
+            exclusive: false,
+        });
+        assert!(r.shared && r.dirty && !r.exclusive);
+    }
+
+    #[test]
+    fn oracle_rules() {
+        let nobody = LineSnoopResponse::default();
+        let s_only = LineSnoopResponse {
+            shared: true,
+            ..Default::default()
+        };
+        let e_elsewhere = LineSnoopResponse {
+            shared: true,
+            exclusive: true,
+            ..Default::default()
+        };
+        let dirty = LineSnoopResponse {
+            shared: true,
+            dirty: true,
+            ..Default::default()
+        };
+        // Writebacks: always unnecessary.
+        assert!(broadcast_unnecessary(ReqKind::Writeback, dirty));
+        // Ifetch: unnecessary when clean-shared or uncached.
+        assert!(broadcast_unnecessary(ReqKind::ReadShared, nobody));
+        assert!(broadcast_unnecessary(ReqKind::ReadShared, s_only));
+        assert!(!broadcast_unnecessary(ReqKind::ReadShared, e_elsewhere));
+        assert!(!broadcast_unnecessary(ReqKind::ReadShared, dirty));
+        // Data reads/writes: unnecessary only when nobody caches the line.
+        for req in [
+            ReqKind::Read,
+            ReqKind::ReadExclusive,
+            ReqKind::Upgrade,
+            ReqKind::Dcbz,
+        ] {
+            assert!(broadcast_unnecessary(req, nobody), "{req:?}");
+            assert!(!broadcast_unnecessary(req, s_only), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn req_kind_classifiers_are_consistent() {
+        for req in ALL_REQS {
+            assert_eq!(req.wants_modifiable(), req.invalidates_others());
+        }
+        assert!(ReqKind::Read.needs_data());
+        assert!(!ReqKind::Upgrade.needs_data());
+        assert!(!ReqKind::Writeback.needs_data());
+        assert!(!ReqKind::Dcbz.needs_data());
+    }
+
+    #[test]
+    fn single_writer_preserved_by_transitions() {
+        // If a snooper ends up with a valid copy after an invalidating
+        // request, the protocol is broken.
+        for s in ALL_STATES {
+            for req in ALL_REQS {
+                let out = snoop_line(s, req);
+                if req.invalidates_others() {
+                    assert_eq!(out.next, Invalid);
+                }
+                // A requester filling M requires every snooper to invalidate.
+                if requester_next_state(req, out.response) == Some(Modified) {
+                    assert!(!out.next.is_valid() || req == ReqKind::Writeback);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Line coherence states.
+//!
+//! The baseline system of the paper runs write-invalidate **MOESI** at the
+//! L2 (the coherence point) and **MSI** at the L1s (Table 3). These enums
+//! capture the stable states; the event-driven transition logic lives in
+//! [`crate::protocol`] and in the system crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// MOESI line state, as used by the L2 caches.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cache::MoesiState;
+/// assert!(MoesiState::Owned.is_dirty());
+/// assert!(MoesiState::Exclusive.can_silently_modify());
+/// assert!(!MoesiState::Shared.can_write());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum MoesiState {
+    /// Only valid copy, modified; memory is stale.
+    Modified,
+    /// Modified and shared: this cache supplies data, memory is stale.
+    Owned,
+    /// Only cached copy, clean; may transition to `Modified` silently.
+    Exclusive,
+    /// Clean copy, possibly shared with other caches.
+    Shared,
+    /// Not present.
+    #[default]
+    Invalid,
+}
+
+impl MoesiState {
+    /// Whether the line is present in the cache.
+    pub fn is_valid(self) -> bool {
+        self != MoesiState::Invalid
+    }
+
+    /// Whether this cache holds data newer than memory (M or O).
+    pub fn is_dirty(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Owned)
+    }
+
+    /// Whether a store can proceed without any external request.
+    pub fn can_write(self) -> bool {
+        self == MoesiState::Modified
+    }
+
+    /// Whether the state permits a silent upgrade to `Modified`
+    /// (no other cache can hold a copy).
+    pub fn can_silently_modify(self) -> bool {
+        matches!(self, MoesiState::Modified | MoesiState::Exclusive)
+    }
+
+    /// Whether this cache must supply data for an external request
+    /// (it is the owner: M or O).
+    pub fn must_supply(self) -> bool {
+        self.is_dirty()
+    }
+
+    /// Whether another cache may also hold this line.
+    pub fn maybe_shared(self) -> bool {
+        matches!(self, MoesiState::Shared | MoesiState::Owned)
+    }
+
+    /// One-letter mnemonic (`M`, `O`, `E`, `S`, `I`).
+    pub fn letter(self) -> char {
+        match self {
+            MoesiState::Modified => 'M',
+            MoesiState::Owned => 'O',
+            MoesiState::Exclusive => 'E',
+            MoesiState::Shared => 'S',
+            MoesiState::Invalid => 'I',
+        }
+    }
+}
+
+impl fmt::Display for MoesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// MSI line state, as used by the L1 caches.
+///
+/// The L1s sit below the inclusive L2: an L1 line in `Modified` implies the
+/// L2 copy is (or will become) dirty, and L2 evictions/invalidations recall
+/// L1 copies.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum MsiState {
+    /// Writable, dirty with respect to the L2.
+    Modified,
+    /// Readable, clean with respect to the L2.
+    Shared,
+    /// Not present.
+    #[default]
+    Invalid,
+}
+
+impl MsiState {
+    /// Whether the line is present.
+    pub fn is_valid(self) -> bool {
+        self != MsiState::Invalid
+    }
+
+    /// Whether a store hits without needing L2 involvement.
+    pub fn can_write(self) -> bool {
+        self == MsiState::Modified
+    }
+
+    /// One-letter mnemonic.
+    pub fn letter(self) -> char {
+        match self {
+            MsiState::Modified => 'M',
+            MsiState::Shared => 'S',
+            MsiState::Invalid => 'I',
+        }
+    }
+}
+
+impl fmt::Display for MsiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moesi_classification() {
+        use MoesiState::*;
+        assert!(Modified.is_valid() && Modified.is_dirty() && Modified.can_write());
+        assert!(Owned.is_dirty() && !Owned.can_write() && Owned.maybe_shared());
+        assert!(Exclusive.is_valid() && !Exclusive.is_dirty());
+        assert!(Exclusive.can_silently_modify() && !Shared.can_silently_modify());
+        assert!(Shared.is_valid() && !Shared.is_dirty());
+        assert!(!Invalid.is_valid() && !Invalid.is_dirty() && !Invalid.can_write());
+    }
+
+    #[test]
+    fn moesi_supply_rule() {
+        // Only M and O must supply data on an external request; memory is
+        // current for E and S lines.
+        assert!(MoesiState::Modified.must_supply());
+        assert!(MoesiState::Owned.must_supply());
+        assert!(!MoesiState::Exclusive.must_supply());
+        assert!(!MoesiState::Shared.must_supply());
+        assert!(!MoesiState::Invalid.must_supply());
+    }
+
+    #[test]
+    fn msi_classification() {
+        use MsiState::*;
+        assert!(Modified.is_valid() && Modified.can_write());
+        assert!(Shared.is_valid() && !Shared.can_write());
+        assert!(!Invalid.is_valid());
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(MoesiState::default(), MoesiState::Invalid);
+        assert_eq!(MsiState::default(), MsiState::Invalid);
+    }
+
+    #[test]
+    fn letters_roundtrip_display() {
+        for s in [
+            MoesiState::Modified,
+            MoesiState::Owned,
+            MoesiState::Exclusive,
+            MoesiState::Shared,
+            MoesiState::Invalid,
+        ] {
+            assert_eq!(s.to_string(), s.letter().to_string());
+        }
+        for s in [MsiState::Modified, MsiState::Shared, MsiState::Invalid] {
+            assert_eq!(s.to_string(), s.letter().to_string());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Model-based property tests: `SetAssocArray` against a reference
+//! implementation with explicit per-set LRU lists.
+
+use cgct_cache::SetAssocArray;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per-set vector of keys in LRU order (front = LRU).
+struct Model {
+    sets: usize,
+    ways: usize,
+    lru: HashMap<usize, Vec<u64>>,
+    values: HashMap<u64, u32>,
+}
+
+impl Model {
+    fn new(sets: usize, ways: usize) -> Self {
+        Model {
+            sets,
+            ways,
+            lru: HashMap::new(),
+            values: HashMap::new(),
+        }
+    }
+
+    fn set_of(&self, key: u64) -> usize {
+        (key as usize) % self.sets
+    }
+
+    fn touch(&mut self, key: u64) {
+        let set = self.set_of(key);
+        let order = self.lru.entry(set).or_default();
+        if let Some(pos) = order.iter().position(|&k| k == key) {
+            let k = order.remove(pos);
+            order.push(k);
+        }
+    }
+
+    fn insert(&mut self, key: u64, value: u32) -> Option<(u64, u32)> {
+        let set = self.set_of(key);
+        let order = self.lru.entry(set).or_default();
+        if let Some(pos) = order.iter().position(|&k| k == key) {
+            let k = order.remove(pos);
+            order.push(k);
+            return self.values.insert(key, value).map(|old| (key, old));
+        }
+        let evicted = if order.len() == self.ways {
+            let victim = order.remove(0);
+            let old = self.values.remove(&victim).expect("victim has value");
+            Some((victim, old))
+        } else {
+            None
+        };
+        order.push(key);
+        self.values.insert(key, value);
+        evicted
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u32> {
+        let set = self.set_of(key);
+        if let Some(order) = self.lru.get_mut(&set) {
+            if let Some(pos) = order.iter().position(|&k| k == key) {
+                order.remove(pos);
+            }
+        }
+        self.values.remove(&key)
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        self.values.get(&key).copied()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(u64, u32),
+    Access(u64),
+    Get(u64),
+    Remove(u64),
+}
+
+fn ops(max_key: u64) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..max_key, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            (0..max_key).prop_map(Op::Access),
+            (0..max_key).prop_map(Op::Get),
+            (0..max_key).prop_map(Op::Remove),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #[test]
+    fn matches_reference_lru_model(
+        sets_log in 0usize..4,
+        ways in 1usize..5,
+        ops in ops(64),
+    ) {
+        let sets = 1usize << sets_log;
+        let mut real: SetAssocArray<u32> = SetAssocArray::new(sets, ways);
+        let mut model = Model::new(sets, ways);
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let a = real.insert_lru(k, v);
+                    let b = model.insert(k, v);
+                    prop_assert_eq!(a, b, "insert({}, {})", k, v);
+                }
+                Op::Access(k) => {
+                    let a = real.access(k).copied();
+                    model.touch(k);
+                    let b = model.get(k);
+                    prop_assert_eq!(a, b, "access({})", k);
+                }
+                Op::Get(k) => {
+                    prop_assert_eq!(real.get(k).copied(), model.get(k), "get({})", k);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(real.remove(k), model.get(k), "remove({})", k);
+                    model.remove(k);
+                }
+            }
+            prop_assert_eq!(real.len(), model.values.len());
+        }
+        // Final contents agree.
+        let mut real_pairs: Vec<(u64, u32)> = real.iter().map(|(k, v)| (k, *v)).collect();
+        real_pairs.sort_unstable();
+        let mut model_pairs: Vec<(u64, u32)> = model.values.iter().map(|(&k, &v)| (k, v)).collect();
+        model_pairs.sort_unstable();
+        prop_assert_eq!(real_pairs, model_pairs);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_ways(
+        ways in 1usize..4,
+        keys in prop::collection::vec(0u64..256, 1..200),
+    ) {
+        let mut a: SetAssocArray<()> = SetAssocArray::new(8, ways);
+        for k in keys {
+            a.insert_lru(k, ());
+            for set_key in 0..8u64 {
+                prop_assert!(a.set_occupancy(set_key) <= ways);
+            }
+        }
+        prop_assert!(a.len() <= a.capacity());
+    }
+}

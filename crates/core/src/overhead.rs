@@ -1,0 +1,257 @@
+//! Storage-overhead model (Table 2).
+//!
+//! The paper sizes the RCA for a system like the UltraSPARC-IV: at least a
+//! 40-bit physical address, a 1 MB 2-way set-associative cache with 64-byte
+//! lines (8K sets), per-line 21-bit tags + 3-bit state + 8 bytes of data
+//! ECC, and per-set LRU and tag ECC — 23 bytes of tag space per set. Each
+//! 2-way RCA set stores two entries of {address tag, 3-bit region state,
+//! line count, 6-bit memory-controller ID} plus an LRU bit and ECC.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 2: entry/region sizing and the resulting overheads.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadRow {
+    /// Total RCA entries (2-way, so sets = entries / 2).
+    pub entries: u64,
+    /// Region size in bytes.
+    pub region_bytes: u64,
+    /// Address tag bits per entry.
+    pub tag_bits: u32,
+    /// Region state bits per entry (3: seven stable states).
+    pub state_bits: u32,
+    /// Line count bits per entry.
+    pub line_count_bits: u32,
+    /// Memory controller ID bits per entry.
+    pub mc_id_bits: u32,
+    /// LRU bits per set.
+    pub lru_bits: u32,
+    /// ECC bits per set.
+    pub ecc_bits: u32,
+    /// Total bits per RCA set.
+    pub total_bits: u32,
+    /// RCA bits as a fraction of the cache's tag space.
+    pub tag_space_overhead: f64,
+    /// RCA bits as a fraction of the whole cache (tags + data).
+    pub cache_space_overhead: f64,
+}
+
+/// The storage model behind Table 2.
+///
+/// # Examples
+///
+/// ```
+/// use cgct::StorageModel;
+/// let m = StorageModel::paper_default();
+/// let row = m.row(16 * 1024, 512);
+/// assert_eq!(row.total_bits, 71);
+/// assert!((row.cache_space_overhead - 0.059).abs() < 0.001);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StorageModel {
+    /// Physical address bits (paper: 40 — up to 16 GB DRAM per chip and
+    /// 72 processors).
+    pub phys_addr_bits: u32,
+    /// Cache sets (paper: 8192 — 1 MB, 2-way, 64 B lines).
+    pub cache_sets: u64,
+    /// Cache associativity.
+    pub cache_ways: u32,
+    /// Cache line bytes.
+    pub cache_line_bytes: u64,
+    /// RCA associativity.
+    pub rca_ways: u32,
+}
+
+impl StorageModel {
+    /// The design point of §3.2.
+    pub fn paper_default() -> Self {
+        StorageModel {
+            phys_addr_bits: 40,
+            cache_sets: 8192,
+            cache_ways: 2,
+            cache_line_bytes: 64,
+            rca_ways: 2,
+        }
+    }
+
+    /// Cache line tag bits: address bits minus line offset and set index.
+    pub fn cache_tag_bits(&self) -> u32 {
+        self.phys_addr_bits
+            - self.cache_line_bytes.trailing_zeros()
+            - self.cache_sets.trailing_zeros()
+    }
+
+    /// Tag-space bits per cache set: per the paper, each line carries a
+    /// 21-bit tag, 3 bits of coherence state, and 8 bytes of ECC; each set
+    /// adds an LRU bit and 9 bits of ECC over tags and state — 23¼ bytes.
+    pub fn cache_tag_space_bits_per_set(&self) -> u32 {
+        let per_line = self.cache_tag_bits() + 3 + 64; // tag + state + data ECC
+        per_line * self.cache_ways + 1 + 9 // + LRU + tag/state ECC
+    }
+
+    /// Total cache bits per set, tags plus data.
+    pub fn cache_total_bits_per_set(&self) -> u32 {
+        self.cache_tag_space_bits_per_set() + self.cache_ways * (self.cache_line_bytes as u32) * 8
+    }
+
+    /// RCA address tag bits for a given array size and region size.
+    pub fn rca_tag_bits(&self, entries: u64, region_bytes: u64) -> u32 {
+        let sets = entries / self.rca_ways as u64;
+        self.phys_addr_bits - region_bytes.trailing_zeros() - sets.trailing_zeros()
+    }
+
+    /// Line-count bits: enough to count `0..=lines_per_region`.
+    pub fn line_count_bits(&self, region_bytes: u64) -> u32 {
+        let lines = region_bytes / self.cache_line_bytes;
+        lines.trailing_zeros() + 1
+    }
+
+    /// ECC bits per RCA set. The paper allocates 9 bits for the 4K-entry
+    /// arrays and 8 bits for the 8K- and 16K-entry arrays (Table 2).
+    pub fn rca_ecc_bits(&self, entries: u64) -> u32 {
+        if entries <= 4096 {
+            9
+        } else {
+            8
+        }
+    }
+
+    /// Computes one Table 2 row.
+    pub fn row(&self, entries: u64, region_bytes: u64) -> OverheadRow {
+        let tag_bits = self.rca_tag_bits(entries, region_bytes);
+        let state_bits = 3;
+        let line_count_bits = self.line_count_bits(region_bytes);
+        let mc_id_bits = 6;
+        let lru_bits = 1;
+        let ecc_bits = self.rca_ecc_bits(entries);
+        let per_entry = tag_bits + state_bits + line_count_bits + mc_id_bits;
+        let total_bits = per_entry * self.rca_ways + lru_bits + ecc_bits;
+        // Overheads compare RCA bits against cache bits for the *whole*
+        // cache: scale by the ratio of RCA sets to cache sets.
+        let rca_sets = entries / self.rca_ways as u64;
+        let scale = rca_sets as f64 / self.cache_sets as f64;
+        let rca_bits_per_cache_set = total_bits as f64 * scale;
+        OverheadRow {
+            entries,
+            region_bytes,
+            tag_bits,
+            state_bits,
+            line_count_bits,
+            mc_id_bits,
+            lru_bits,
+            ecc_bits,
+            total_bits,
+            tag_space_overhead: rca_bits_per_cache_set / self.cache_tag_space_bits_per_set() as f64,
+            cache_space_overhead: rca_bits_per_cache_set / self.cache_total_bits_per_set() as f64,
+        }
+    }
+
+    /// All nine rows of Table 2 (4K/8K/16K entries × 256/512/1024-byte
+    /// regions).
+    pub fn table2(&self) -> Vec<OverheadRow> {
+        let mut rows = Vec::new();
+        for entries in [4 * 1024, 8 * 1024, 16 * 1024] {
+            for region in [256, 512, 1024] {
+                rows.push(self.row(entries, region));
+            }
+        }
+        rows
+    }
+}
+
+impl Default for StorageModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_design_point() {
+        let m = StorageModel::paper_default();
+        // "each line needs 21 bits for the physical address tag"
+        assert_eq!(m.cache_tag_bits(), 21);
+        // "a total of 23 bytes per set" (tag space, rounded down)
+        assert_eq!(m.cache_tag_space_bits_per_set() / 8, 23);
+    }
+
+    #[test]
+    fn table2_tag_bits_match_paper() {
+        let m = StorageModel::paper_default();
+        let expect = [
+            (4096, 256, 21),
+            (4096, 512, 20),
+            (4096, 1024, 19),
+            (8192, 256, 20),
+            (8192, 512, 19),
+            (8192, 1024, 18),
+            (16384, 256, 19),
+            (16384, 512, 18),
+            (16384, 1024, 17),
+        ];
+        for (entries, region, tag) in expect {
+            assert_eq!(
+                m.rca_tag_bits(entries, region),
+                tag,
+                "{entries} entries, {region} B"
+            );
+        }
+    }
+
+    #[test]
+    fn table2_line_count_bits_match_paper() {
+        let m = StorageModel::paper_default();
+        assert_eq!(m.line_count_bits(256), 3);
+        assert_eq!(m.line_count_bits(512), 4);
+        assert_eq!(m.line_count_bits(1024), 5);
+    }
+
+    #[test]
+    fn table2_total_bits_match_paper() {
+        let m = StorageModel::paper_default();
+        assert_eq!(m.row(4096, 256).total_bits, 76);
+        assert_eq!(m.row(4096, 512).total_bits, 76);
+        assert_eq!(m.row(4096, 1024).total_bits, 76);
+        assert_eq!(m.row(8192, 256).total_bits, 73);
+        assert_eq!(m.row(8192, 512).total_bits, 73);
+        assert_eq!(m.row(8192, 1024).total_bits, 73);
+        assert_eq!(m.row(16384, 256).total_bits, 71);
+        assert_eq!(m.row(16384, 512).total_bits, 71);
+        assert_eq!(m.row(16384, 1024).total_bits, 71);
+    }
+
+    #[test]
+    fn table2_overheads_match_paper() {
+        let m = StorageModel::paper_default();
+        // 16K entries: 38.2% of tag space, 5.9% of the cache.
+        let r = m.row(16384, 512);
+        assert!((r.tag_space_overhead - 0.382).abs() < 0.005, "{r:?}");
+        assert!((r.cache_space_overhead - 0.059).abs() < 0.001, "{r:?}");
+        // 8K entries: 19.6% / 3.0%.
+        let r = m.row(8192, 512);
+        assert!((r.tag_space_overhead - 0.196).abs() < 0.005, "{r:?}");
+        assert!((r.cache_space_overhead - 0.030).abs() < 0.001, "{r:?}");
+        // 4K entries: 10.2% / 1.6%.
+        let r = m.row(4096, 512);
+        assert!((r.tag_space_overhead - 0.102).abs() < 0.005, "{r:?}");
+        assert!((r.cache_space_overhead - 0.016).abs() < 0.001, "{r:?}");
+    }
+
+    #[test]
+    fn table2_has_nine_rows() {
+        assert_eq!(StorageModel::paper_default().table2().len(), 9);
+    }
+
+    #[test]
+    fn halving_entries_roughly_halves_overhead() {
+        // §3.2: "If the number of entries is halved, the overhead is
+        // nearly halved, to 3%."
+        let m = StorageModel::paper_default();
+        let full = m.row(16384, 512).cache_space_overhead;
+        let half = m.row(8192, 512).cache_space_overhead;
+        assert!(half < full * 0.55 && half > full * 0.45);
+    }
+}

@@ -1,0 +1,327 @@
+//! Region protocol transition functions (Figures 3–5).
+//!
+//! These are pure functions over [`RegionState`]; the [`crate::rca`] module
+//! applies them to stored entries, and the system simulator sequences them
+//! with the line-grain protocol.
+
+use crate::response::RegionSnoopResponse;
+use crate::state::{ExternalPart, LocalPart, RegionState};
+use cgct_cache::ReqKind;
+use serde::{Deserialize, Serialize};
+
+/// How a line fills into the local cache, from the region protocol's point
+/// of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FillKind {
+    /// The line fills as an unmodified shared (S) copy — instruction
+    /// fetches and loads that found other sharers.
+    Shared,
+    /// The line fills in an exclusive or modified state (E/M) — RFOs,
+    /// upgrades, `dcbz`, and loads that found no other sharers. Such lines
+    /// may be modified (or silently become modified), so the region's
+    /// local part becomes Dirty.
+    Exclusive,
+}
+
+impl FillKind {
+    /// Classifies a MOESI fill state.
+    pub fn from_moesi(state: cgct_cache::MoesiState) -> FillKind {
+        if state.can_silently_modify() {
+            FillKind::Exclusive
+        } else {
+            FillKind::Shared
+        }
+    }
+}
+
+/// Next region state after the *local* processor's request completes
+/// (Figures 3 and 4).
+///
+/// `response` is `Some` when the request was broadcast — the piggybacked
+/// region snoop response then refreshes the external part, implementing
+/// the upgrades of Figure 4 (e.g. `CC + RFO` whose response shows no
+/// remaining sharers upgrades to `DI`). It is `None` for requests that
+/// went directly to memory or completed locally; those are only legal in
+/// states whose external part is already known, which is then preserved
+/// (including the silent `CI → DI` edge of Figure 3).
+///
+/// # Panics
+///
+/// Panics if called with `response == None` while the region is Invalid:
+/// a processor with no region entry must broadcast (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use cgct::{local_fill_next_state, FillKind, RegionSnoopResponse, RegionState};
+///
+/// // First touch: broadcast found nobody caching the region.
+/// let s = local_fill_next_state(
+///     RegionState::Invalid,
+///     FillKind::Exclusive,
+///     Some(RegionSnoopResponse::NONE),
+/// );
+/// assert_eq!(s, RegionState::DirtyInvalid);
+///
+/// // Silent CI -> DI on a modifiable fill without any external request.
+/// let s = local_fill_next_state(RegionState::CleanInvalid, FillKind::Exclusive, None);
+/// assert_eq!(s, RegionState::DirtyInvalid);
+/// ```
+pub fn local_fill_next_state(
+    current: RegionState,
+    fill: FillKind,
+    response: Option<RegionSnoopResponse>,
+) -> RegionState {
+    let local = match (current.local(), fill) {
+        (Some(LocalPart::Dirty), _) | (_, FillKind::Exclusive) => LocalPart::Dirty,
+        _ => LocalPart::Clean,
+    };
+    let external = match response {
+        Some(r) => r.external_part(),
+        None => current
+            .external()
+            .expect("direct request issued with no valid region entry"),
+    };
+    RegionState::compose(local, external)
+}
+
+/// Next region state for a *snooper* observing an external request to a
+/// region it holds (Figure 5, top), assuming its line count is non-zero
+/// (the zero-count case self-invalidates instead — see
+/// [`crate::rca::RegionCoherenceArray::external_request`]).
+///
+/// `requester_fill_exclusive` says whether the requester will obtain a
+/// modifiable (E/M) copy; the paper notes this is known whenever the line
+/// snoop response is visible to the region protocol or the line is cached
+/// locally (§3.1). External reads that fill shared only downgrade the
+/// external part to Clean; modifiable fills downgrade it to Dirty.
+///
+/// # Examples
+///
+/// ```
+/// use cgct::{external_next_state, RegionState};
+/// use cgct_cache::ReqKind;
+///
+/// // Another processor RFOs a line in our exclusive region.
+/// let s = external_next_state(RegionState::DirtyInvalid, ReqKind::ReadExclusive, true);
+/// assert_eq!(s, RegionState::DirtyDirty);
+///
+/// // Another processor ifetches (fills shared): externally clean.
+/// let s = external_next_state(RegionState::DirtyInvalid, ReqKind::ReadShared, false);
+/// assert_eq!(s, RegionState::DirtyClean);
+/// ```
+pub fn external_next_state(
+    current: RegionState,
+    req: ReqKind,
+    requester_fill_exclusive: bool,
+) -> RegionState {
+    let Some(local) = current.local() else {
+        return RegionState::Invalid;
+    };
+    // Write-backs carry no sharing information: the requester is shedding
+    // a line, not acquiring one.
+    if req == ReqKind::Writeback {
+        return current;
+    }
+    let old_ext = current.external().unwrap_or(ExternalPart::Invalid);
+    let implied = if requester_fill_exclusive || req.wants_modifiable() {
+        ExternalPart::Dirty
+    } else {
+        ExternalPart::Clean
+    };
+    // The external part can only get worse from observed requests; a
+    // Dirty region does not become Clean because one more reader arrived.
+    let external = old_ext.max(implied);
+    RegionState::compose(local, external)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgct_cache::MoesiState;
+    use RegionState::*;
+
+    fn resp(clean: bool, dirty: bool) -> Option<RegionSnoopResponse> {
+        Some(RegionSnoopResponse { clean, dirty })
+    }
+
+    #[test]
+    fn figure3_fills_from_invalid() {
+        // Ifetches and reads of shared lines: I -> CI / CC / CD.
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Shared, resp(false, false)),
+            CleanInvalid
+        );
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Shared, resp(true, false)),
+            CleanClean
+        );
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Shared, resp(false, true)),
+            CleanDirty
+        );
+        // RFOs and exclusive-filling reads: I -> DI / DC / DD.
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Exclusive, resp(false, false)),
+            DirtyInvalid
+        );
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Exclusive, resp(true, false)),
+            DirtyClean
+        );
+        assert_eq!(
+            local_fill_next_state(Invalid, FillKind::Exclusive, resp(true, true)),
+            DirtyDirty
+        );
+    }
+
+    #[test]
+    fn figure3_silent_ci_to_di() {
+        assert_eq!(
+            local_fill_next_state(CleanInvalid, FillKind::Exclusive, None),
+            DirtyInvalid
+        );
+        // Shared fills keep CI clean.
+        assert_eq!(
+            local_fill_next_state(CleanInvalid, FillKind::Shared, None),
+            CleanInvalid
+        );
+        assert_eq!(
+            local_fill_next_state(DirtyInvalid, FillKind::Shared, None),
+            DirtyInvalid
+        );
+    }
+
+    #[test]
+    fn figure4_upgrades_from_broadcast_response() {
+        // CC + RFO broadcast, response shows nobody left: upgrade to DI.
+        assert_eq!(
+            local_fill_next_state(CleanClean, FillKind::Exclusive, resp(false, false)),
+            DirtyInvalid
+        );
+        // CD + read broadcast, response now clean: upgrade to CC.
+        assert_eq!(
+            local_fill_next_state(CleanDirty, FillKind::Shared, resp(true, false)),
+            CleanClean
+        );
+        // DD + broadcast, nobody left: DI (migratory-data recovery).
+        assert_eq!(
+            local_fill_next_state(DirtyDirty, FillKind::Exclusive, resp(false, false)),
+            DirtyInvalid
+        );
+    }
+
+    #[test]
+    fn local_dirty_is_sticky() {
+        // Once the local part is Dirty it stays Dirty across shared fills.
+        for ext in [resp(false, false), resp(true, false), resp(false, true)] {
+            let s = local_fill_next_state(DirtyClean, FillKind::Shared, ext);
+            assert_eq!(s.local(), Some(LocalPart::Dirty));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no valid region entry")]
+    fn direct_request_from_invalid_region_is_a_bug() {
+        let _ = local_fill_next_state(Invalid, FillKind::Shared, None);
+    }
+
+    #[test]
+    fn figure5_external_downgrades() {
+        // External shared read: exclusive region becomes externally clean.
+        assert_eq!(
+            external_next_state(CleanInvalid, ReqKind::Read, false),
+            CleanClean
+        );
+        assert_eq!(
+            external_next_state(DirtyInvalid, ReqKind::Read, false),
+            DirtyClean
+        );
+        // External exclusive-filling read / RFO: externally dirty.
+        assert_eq!(
+            external_next_state(CleanInvalid, ReqKind::Read, true),
+            CleanDirty
+        );
+        assert_eq!(
+            external_next_state(DirtyClean, ReqKind::ReadExclusive, true),
+            DirtyDirty
+        );
+        assert_eq!(
+            external_next_state(CleanClean, ReqKind::Upgrade, true),
+            CleanDirty
+        );
+        assert_eq!(
+            external_next_state(DirtyInvalid, ReqKind::Dcbz, true),
+            DirtyDirty
+        );
+    }
+
+    #[test]
+    fn external_part_never_improves_from_snoops() {
+        // A region already externally dirty stays dirty even if a new
+        // requester only fills shared.
+        assert_eq!(
+            external_next_state(CleanDirty, ReqKind::ReadShared, false),
+            CleanDirty
+        );
+        assert_eq!(
+            external_next_state(DirtyDirty, ReqKind::Read, false),
+            DirtyDirty
+        );
+    }
+
+    #[test]
+    fn external_writeback_changes_nothing() {
+        for s in RegionState::ALL {
+            assert_eq!(external_next_state(s, ReqKind::Writeback, false), s);
+        }
+    }
+
+    #[test]
+    fn external_on_invalid_region_stays_invalid() {
+        assert_eq!(
+            external_next_state(Invalid, ReqKind::ReadExclusive, true),
+            Invalid
+        );
+    }
+
+    #[test]
+    fn fill_kind_from_moesi() {
+        assert_eq!(
+            FillKind::from_moesi(MoesiState::Modified),
+            FillKind::Exclusive
+        );
+        assert_eq!(
+            FillKind::from_moesi(MoesiState::Exclusive),
+            FillKind::Exclusive
+        );
+        assert_eq!(FillKind::from_moesi(MoesiState::Shared), FillKind::Shared);
+        assert_eq!(FillKind::from_moesi(MoesiState::Owned), FillKind::Shared);
+    }
+
+    #[test]
+    fn exclusivity_safety_under_external_requests() {
+        // After ANY non-writeback external request, a region is no longer
+        // exclusive: the requester now caches (or owns) lines in it.
+        for s in RegionState::ALL {
+            if !s.is_valid() {
+                continue;
+            }
+            for req in [
+                ReqKind::Read,
+                ReqKind::ReadShared,
+                ReqKind::ReadExclusive,
+                ReqKind::Upgrade,
+                ReqKind::Dcbz,
+            ] {
+                for fill_ex in [false, true] {
+                    let next = external_next_state(s, req, fill_ex);
+                    assert!(
+                        !next.is_exclusive(),
+                        "{s} + external {req:?} (fill_ex={fill_ex}) left exclusive {next}"
+                    );
+                }
+            }
+        }
+    }
+}

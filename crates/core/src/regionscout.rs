@@ -1,0 +1,211 @@
+//! A RegionScout-style imprecise region filter (related work, §2).
+//!
+//! Moshovos's concurrent RegionScout proposal (ISCA 2005) achieves part of
+//! CGCT's benefit with far less storage: each node keeps
+//!
+//! * a **Cached Region Hash (CRH)** — a small, *untagged* table of counters
+//!   indexed by a hash of the region number, incremented when a line of a
+//!   region is cached. An external snoop answers "region may be cached"
+//!   whenever the hashed counter is non-zero, so aliasing yields false
+//!   positives (lost opportunity, never incorrectness);
+//! * a **Not-Shared Region Table (NSRT)** — a small tagged cache of regions
+//!   that a previous miss proved globally uncached, enabling subsequent
+//!   requests to skip the broadcast.
+//!
+//! The paper cites this design as cheaper but less effective than the RCA;
+//! this module exists so the benchmark harness can quantify that gap.
+
+use cgct_cache::{RegionAddr, ReqKind, SetAssocArray};
+use cgct_sim::Counter;
+
+/// One node's RegionScout structures.
+///
+/// # Examples
+///
+/// ```
+/// use cgct::RegionScout;
+/// use cgct_cache::RegionAddr;
+///
+/// let mut rs = RegionScout::new(256, 16, 4);
+/// let r = RegionAddr(42);
+/// assert!(!rs.knows_not_shared(r));
+/// rs.record_global_response(r, false); // broadcast found nobody caching it
+/// assert!(rs.knows_not_shared(r));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegionScout {
+    crh: Vec<u32>,
+    nsrt: SetAssocArray<()>,
+    false_positive_candidates: Counter,
+    nsrt_hits: Counter,
+}
+
+impl RegionScout {
+    /// Creates a filter with a `crh_entries`-counter CRH (power of two)
+    /// and an NSRT of `nsrt_sets` × `nsrt_ways` regions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crh_entries` is not a power of two.
+    pub fn new(crh_entries: usize, nsrt_sets: usize, nsrt_ways: usize) -> Self {
+        assert!(
+            crh_entries.is_power_of_two(),
+            "CRH size must be a power of two"
+        );
+        RegionScout {
+            crh: vec![0; crh_entries],
+            nsrt: SetAssocArray::new(nsrt_sets, nsrt_ways),
+            false_positive_candidates: Counter::new(),
+            nsrt_hits: Counter::new(),
+        }
+    }
+
+    /// A RegionScout sized as in Moshovos's evaluation: 2K-counter CRH and
+    /// a 64-entry NSRT.
+    pub fn paper_default() -> Self {
+        RegionScout::new(2048, 16, 4)
+    }
+
+    fn crh_index(&self, region: RegionAddr) -> usize {
+        // Fibonacci multiplicative hash, folded to the table size.
+        let h = region.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) & (self.crh.len() - 1)
+    }
+
+    /// Records that a line of `region` entered this node's cache.
+    pub fn line_cached(&mut self, region: RegionAddr) {
+        let i = self.crh_index(region);
+        self.crh[i] += 1;
+    }
+
+    /// Records that a line of `region` left this node's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hashed counter is already zero (bookkeeping bug).
+    pub fn line_uncached(&mut self, region: RegionAddr) {
+        let i = self.crh_index(region);
+        assert!(self.crh[i] > 0, "CRH underflow for {region}");
+        self.crh[i] -= 1;
+    }
+
+    /// Whether a previous global response proved `region` unshared, so the
+    /// next request may skip the broadcast. Write-backs are not covered:
+    /// RegionScout keeps no memory-controller routing state.
+    pub fn permits_direct(&mut self, region: RegionAddr, req: ReqKind) -> bool {
+        req != ReqKind::Writeback && self.knows_not_shared(region)
+    }
+
+    /// NSRT lookup.
+    pub fn knows_not_shared(&mut self, region: RegionAddr) -> bool {
+        let hit = self.nsrt.contains(region.0);
+        if hit {
+            self.nsrt.touch(region.0);
+            self.nsrt_hits.inc();
+        }
+        hit
+    }
+
+    /// Feeds back a broadcast's global response: when no node reported the
+    /// region cached, it is entered into the NSRT.
+    pub fn record_global_response(&mut self, region: RegionAddr, externally_cached: bool) {
+        if externally_cached {
+            self.nsrt.remove(region.0);
+        } else {
+            self.nsrt.insert_lru(region.0, ());
+        }
+    }
+
+    /// Answers an external snoop: `true` when the region *may* be cached
+    /// here (CRH counter non-zero — possibly a false positive). Also
+    /// invalidates any NSRT entry for the region, since the requester is
+    /// about to cache lines in it.
+    pub fn external_request(&mut self, region: RegionAddr, my_region_line_count: u32) -> bool {
+        self.nsrt.remove(region.0);
+        let may_be_cached = self.crh[self.crh_index(region)] > 0;
+        if may_be_cached && my_region_line_count == 0 {
+            // The counter is non-zero only because of aliasing.
+            self.false_positive_candidates.inc();
+        }
+        may_be_cached
+    }
+
+    /// Number of external snoops answered "cached" purely due to hash
+    /// aliasing (requires the caller to pass the true per-region count).
+    pub fn false_positives(&self) -> u64 {
+        self.false_positive_candidates.value()
+    }
+
+    /// Number of NSRT hits (broadcasts avoided).
+    pub fn nsrt_hits(&self) -> u64 {
+        self.nsrt_hits.value()
+    }
+
+    /// Clears collected statistics (filter contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.false_positive_candidates = Counter::new();
+        self.nsrt_hits = Counter::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nsrt_learns_from_global_responses() {
+        let mut rs = RegionScout::new(64, 2, 2);
+        let r = RegionAddr(5);
+        assert!(!rs.permits_direct(r, ReqKind::Read));
+        rs.record_global_response(r, false);
+        assert!(rs.permits_direct(r, ReqKind::Read));
+        assert_eq!(rs.nsrt_hits(), 1);
+        // A positive response clears the entry.
+        rs.record_global_response(r, true);
+        assert!(!rs.permits_direct(r, ReqKind::Read));
+    }
+
+    #[test]
+    fn writebacks_never_go_direct() {
+        let mut rs = RegionScout::new(64, 2, 2);
+        let r = RegionAddr(5);
+        rs.record_global_response(r, false);
+        assert!(!rs.permits_direct(r, ReqKind::Writeback));
+    }
+
+    #[test]
+    fn crh_counts_cached_lines() {
+        let mut rs = RegionScout::new(64, 2, 2);
+        let r = RegionAddr(7);
+        assert!(!rs.external_request(r, 0));
+        rs.line_cached(r);
+        assert!(rs.external_request(r, 1));
+        rs.line_uncached(r);
+        assert!(!rs.external_request(r, 0));
+    }
+
+    #[test]
+    fn external_request_invalidates_nsrt() {
+        let mut rs = RegionScout::new(64, 2, 2);
+        let r = RegionAddr(9);
+        rs.record_global_response(r, false);
+        let _ = rs.external_request(r, 0);
+        assert!(!rs.knows_not_shared(r));
+    }
+
+    #[test]
+    fn aliasing_counts_as_false_positive() {
+        // With a single-counter CRH every region aliases together.
+        let mut rs = RegionScout::new(1, 2, 2);
+        rs.line_cached(RegionAddr(1));
+        assert!(rs.external_request(RegionAddr(2), 0));
+        assert_eq!(rs.false_positives(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "CRH underflow")]
+    fn crh_underflow_panics() {
+        let mut rs = RegionScout::new(64, 2, 2);
+        rs.line_uncached(RegionAddr(3));
+    }
+}

@@ -1,0 +1,143 @@
+//! The region snoop response (§3.4).
+//!
+//! Two additional bits ride on the conventional snoop response: **Region
+//! Clean** (some other processor holds unmodified lines of the region) and
+//! **Region Dirty** (some other processor may hold modified lines). They
+//! are the logical OR of the region status of every processor except the
+//! requester.
+
+use crate::state::{ExternalPart, LocalPart, RegionState};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated region snoop response: the two bits of §3.4.
+///
+/// # Examples
+///
+/// ```
+/// use cgct::{RegionSnoopResponse, RegionState};
+/// use cgct::state::ExternalPart;
+///
+/// let mut agg = RegionSnoopResponse::NONE;
+/// agg.merge(RegionSnoopResponse::from_local_state(RegionState::CleanClean));
+/// agg.merge(RegionSnoopResponse::from_local_state(RegionState::DirtyInvalid));
+/// assert!(agg.clean && agg.dirty);
+/// assert_eq!(agg.external_part(), ExternalPart::Dirty);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+pub struct RegionSnoopResponse {
+    /// Some other processor holds the region with clean lines only.
+    pub clean: bool,
+    /// Some other processor may hold modified lines of the region.
+    pub dirty: bool,
+}
+
+impl RegionSnoopResponse {
+    /// No other processor caches lines of the region.
+    pub const NONE: RegionSnoopResponse = RegionSnoopResponse {
+        clean: false,
+        dirty: false,
+    };
+
+    /// One snooped processor's contribution, derived from the *local* half
+    /// of its region state: a processor whose cached lines of the region
+    /// are all unmodified asserts Region Clean; one that may hold modified
+    /// or silently-modifiable lines asserts Region Dirty.
+    ///
+    /// A processor with no valid entry (or one that just self-invalidated)
+    /// contributes nothing.
+    pub fn from_local_state(state: RegionState) -> RegionSnoopResponse {
+        match state.local() {
+            None => RegionSnoopResponse::NONE,
+            Some(LocalPart::Clean) => RegionSnoopResponse {
+                clean: true,
+                dirty: false,
+            },
+            Some(LocalPart::Dirty) => RegionSnoopResponse {
+                clean: false,
+                dirty: true,
+            },
+        }
+    }
+
+    /// Wired-OR aggregation across snoopers.
+    pub fn merge(&mut self, other: RegionSnoopResponse) {
+        self.clean |= other.clean;
+        self.dirty |= other.dirty;
+    }
+
+    /// The external part the *requester* should record for the region.
+    pub fn external_part(self) -> ExternalPart {
+        if self.dirty {
+            ExternalPart::Dirty
+        } else if self.clean {
+            ExternalPart::Clean
+        } else {
+            ExternalPart::Invalid
+        }
+    }
+
+    /// Whether any other processor caches lines of the region.
+    pub fn any(self) -> bool {
+        self.clean || self.dirty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RegionState::*;
+
+    #[test]
+    fn contribution_uses_local_half() {
+        // A snooper in CD holds clean local lines — it answers Region
+        // Clean even though *its* view of others is dirty.
+        let r = RegionSnoopResponse::from_local_state(CleanDirty);
+        assert!(r.clean && !r.dirty);
+        let r = RegionSnoopResponse::from_local_state(DirtyClean);
+        assert!(!r.clean && r.dirty);
+        assert_eq!(
+            RegionSnoopResponse::from_local_state(Invalid),
+            RegionSnoopResponse::NONE
+        );
+    }
+
+    #[test]
+    fn external_part_priority_is_dirty_over_clean() {
+        let r = RegionSnoopResponse {
+            clean: true,
+            dirty: true,
+        };
+        assert_eq!(r.external_part(), ExternalPart::Dirty);
+        let r = RegionSnoopResponse {
+            clean: true,
+            dirty: false,
+        };
+        assert_eq!(r.external_part(), ExternalPart::Clean);
+        assert_eq!(
+            RegionSnoopResponse::NONE.external_part(),
+            ExternalPart::Invalid
+        );
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut agg = RegionSnoopResponse::NONE;
+        assert!(!agg.any());
+        agg.merge(RegionSnoopResponse::from_local_state(CleanInvalid));
+        assert!(agg.clean && !agg.dirty && agg.any());
+        agg.merge(RegionSnoopResponse::from_local_state(DirtyDirty));
+        assert!(agg.clean && agg.dirty);
+    }
+
+    #[test]
+    fn all_seven_states_contribute_correctly() {
+        for s in RegionState::ALL {
+            let r = RegionSnoopResponse::from_local_state(s);
+            match s {
+                Invalid => assert!(!r.any()),
+                CleanInvalid | CleanClean | CleanDirty => assert!(r.clean && !r.dirty),
+                DirtyInvalid | DirtyClean | DirtyDirty => assert!(r.dirty && !r.clean),
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The scaled-back implementation of §3.4.
+//!
+//! Instead of the two Region-Clean/Region-Dirty response bits and seven
+//! states, this variant uses **one** additional snoop-response bit ("region
+//! cached externally") and three region states: exclusive, not-exclusive,
+//! and invalid. It is cheaper but cannot let instruction fetches bypass
+//! the broadcast in externally-clean regions.
+
+use crate::state::RegionPermission;
+use cgct_cache::{Geometry, RegionAddr, ReqKind, SetAssocArray};
+use cgct_sim::Counter;
+use serde::{Deserialize, Serialize};
+
+/// Region state of the scaled-back protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ScaledRegionState {
+    /// No region entry.
+    #[default]
+    Invalid,
+    /// No other processor caches lines of the region.
+    Exclusive,
+    /// Some other processor may cache lines of the region.
+    NotExclusive,
+}
+
+impl ScaledRegionState {
+    /// Broadcast rule for the three-state protocol: exclusive regions can
+    /// skip every broadcast; valid regions route write-backs directly; all
+    /// else broadcasts.
+    pub fn permission(self, req: ReqKind) -> RegionPermission {
+        use RegionPermission::*;
+        match (self, req) {
+            (ScaledRegionState::Exclusive, ReqKind::Upgrade | ReqKind::Dcbz) => CompleteLocally,
+            (ScaledRegionState::Exclusive, _) => DirectToMemory,
+            (ScaledRegionState::NotExclusive, ReqKind::Writeback) => DirectToMemory,
+            _ => Broadcast,
+        }
+    }
+}
+
+/// One entry of the scaled-back array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct ScaledEntry {
+    state: ScaledRegionState,
+    line_count: u32,
+    mc: u8,
+}
+
+/// A Region Coherence Array for the scaled-back protocol.
+///
+/// # Examples
+///
+/// ```
+/// use cgct::{ScaledRca, RegionPermission};
+/// use cgct_cache::{Geometry, RegionAddr, ReqKind};
+///
+/// let mut rca = ScaledRca::new(8192, 2, Geometry::new(64, 512));
+/// let r = RegionAddr(9);
+/// assert_eq!(rca.permission(r, ReqKind::Read), RegionPermission::Broadcast);
+/// rca.local_fill(r, Some(false), 0); // broadcast response: not cached anywhere
+/// assert_eq!(rca.permission(r, ReqKind::Read), RegionPermission::DirectToMemory);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScaledRca {
+    array: SetAssocArray<ScaledEntry>,
+    geometry: Geometry,
+    self_invalidations: Counter,
+}
+
+impl ScaledRca {
+    /// Creates an empty array with `sets` × `ways` entries.
+    pub fn new(sets: usize, ways: usize, geometry: Geometry) -> Self {
+        ScaledRca {
+            array: SetAssocArray::new(sets, ways),
+            geometry,
+            self_invalidations: Counter::new(),
+        }
+    }
+
+    /// The region/line geometry in use.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Current state of `region`.
+    pub fn state(&self, region: RegionAddr) -> ScaledRegionState {
+        self.array
+            .get(region.0)
+            .map_or(ScaledRegionState::Invalid, |e| e.state)
+    }
+
+    /// Broadcast decision for `req` on `region`.
+    pub fn permission(&self, region: RegionAddr, req: ReqKind) -> RegionPermission {
+        self.state(region).permission(req)
+    }
+
+    /// Applies a local completion. `externally_cached` is the single
+    /// response bit when the request was broadcast, or `None` for direct
+    /// requests (state preserved).
+    ///
+    /// Returns a displaced `(region, line_count)` pair whose lines must be
+    /// flushed for inclusion.
+    pub fn local_fill(
+        &mut self,
+        region: RegionAddr,
+        externally_cached: Option<bool>,
+        mc: u8,
+    ) -> Option<(RegionAddr, u32)> {
+        if let Some(e) = self.array.access(region.0) {
+            if let Some(cached) = externally_cached {
+                e.state = if cached {
+                    ScaledRegionState::NotExclusive
+                } else {
+                    ScaledRegionState::Exclusive
+                };
+            }
+            return None;
+        }
+        let cached =
+            externally_cached.expect("direct request issued with no valid scaled region entry");
+        let entry = ScaledEntry {
+            state: if cached {
+                ScaledRegionState::NotExclusive
+            } else {
+                ScaledRegionState::Exclusive
+            },
+            line_count: 0,
+            mc,
+        };
+        self.array
+            .insert_with_victim(region.0, entry, |cands| {
+                // Same empty-region preference as the full RCA.
+                cands
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.entry.line_count == 0)
+                    .min_by_key(|(_, c)| c.last_use)
+                    .or_else(|| cands.iter().enumerate().min_by_key(|(_, c)| c.last_use))
+                    .map(|(i, _)| i)
+                    .expect("full set has candidates")
+            })
+            .map(|(k, e)| (RegionAddr(k), e.line_count))
+    }
+
+    /// Handles an external request: returns this processor's contribution
+    /// to the single "region cached externally" response bit, applying
+    /// self-invalidation when no lines are cached.
+    pub fn external_request(&mut self, region: RegionAddr, req: ReqKind) -> bool {
+        let Some(e) = self.array.get_mut(region.0) else {
+            return false;
+        };
+        if req == ReqKind::Writeback {
+            return false;
+        }
+        if e.line_count == 0 {
+            self.array.remove(region.0);
+            self.self_invalidations.inc();
+            return false;
+        }
+        e.state = ScaledRegionState::NotExclusive;
+        true
+    }
+
+    /// Inclusion bookkeeping: a line of `region` entered the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has no entry or the count would overflow the
+    /// region's line capacity.
+    pub fn line_cached(&mut self, region: RegionAddr) {
+        let cap = self.geometry.lines_per_region() as u32;
+        let e = self
+            .array
+            .get_mut(region.0)
+            .expect("inclusion violated: cached line with no scaled region entry");
+        e.line_count += 1;
+        assert!(e.line_count <= cap, "scaled line count exceeds capacity");
+    }
+
+    /// Inclusion bookkeeping: a line of `region` left the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region has no entry or its count is already zero.
+    pub fn line_uncached(&mut self, region: RegionAddr) {
+        let e = self
+            .array
+            .get_mut(region.0)
+            .expect("inclusion violated: evicted line with no scaled region entry");
+        assert!(e.line_count > 0, "scaled line count underflow");
+        e.line_count -= 1;
+    }
+
+    /// The memory controller recorded for `region`, if present.
+    pub fn mc(&self, region: RegionAddr) -> Option<u8> {
+        self.array.get(region.0).map(|e| e.mc)
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.array.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.array.is_empty()
+    }
+
+    /// Self-invalidation count.
+    pub fn self_invalidations(&self) -> u64 {
+        self.self_invalidations.value()
+    }
+
+    /// Clears collected statistics (array contents are untouched).
+    pub fn reset_stats(&mut self) {
+        self.self_invalidations = Counter::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rca() -> ScaledRca {
+        ScaledRca::new(2, 2, Geometry::new(64, 512))
+    }
+
+    #[test]
+    fn three_state_permissions() {
+        use RegionPermission::*;
+        use ScaledRegionState::*;
+        for req in [ReqKind::Read, ReqKind::ReadShared, ReqKind::ReadExclusive] {
+            assert_eq!(Invalid.permission(req), Broadcast);
+            assert_eq!(Exclusive.permission(req), DirectToMemory);
+            assert_eq!(NotExclusive.permission(req), Broadcast);
+        }
+        assert_eq!(Exclusive.permission(ReqKind::Upgrade), CompleteLocally);
+        assert_eq!(Exclusive.permission(ReqKind::Dcbz), CompleteLocally);
+        assert_eq!(NotExclusive.permission(ReqKind::Writeback), DirectToMemory);
+        assert_eq!(Invalid.permission(ReqKind::Writeback), Broadcast);
+    }
+
+    #[test]
+    fn ifetch_cannot_bypass_in_not_exclusive() {
+        // The one-bit response cannot distinguish externally-clean from
+        // externally-dirty, so shared reads lose their bypass (unlike the
+        // seven-state protocol's CC/DC states).
+        assert_eq!(
+            ScaledRegionState::NotExclusive.permission(ReqKind::ReadShared),
+            RegionPermission::Broadcast
+        );
+    }
+
+    #[test]
+    fn fill_and_external_downgrade() {
+        let mut r = rca();
+        let region = RegionAddr(4);
+        r.local_fill(region, Some(false), 1);
+        assert_eq!(r.state(region), ScaledRegionState::Exclusive);
+        assert_eq!(r.mc(region), Some(1));
+        r.line_cached(region);
+        assert!(r.external_request(region, ReqKind::Read));
+        assert_eq!(r.state(region), ScaledRegionState::NotExclusive);
+    }
+
+    #[test]
+    fn self_invalidation_on_empty() {
+        let mut r = rca();
+        let region = RegionAddr(4);
+        r.local_fill(region, Some(false), 0);
+        assert!(!r.external_request(region, ReqKind::ReadExclusive));
+        assert_eq!(r.state(region), ScaledRegionState::Invalid);
+        assert_eq!(r.self_invalidations(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_line_count() {
+        let mut r = rca();
+        let a = RegionAddr(0);
+        let b = RegionAddr(2);
+        r.local_fill(a, Some(false), 0);
+        r.line_cached(a);
+        r.local_fill(b, Some(false), 0);
+        r.line_cached(b);
+        let ev = r.local_fill(RegionAddr(4), Some(true), 0).expect("evicts");
+        assert_eq!(ev, (a, 1));
+    }
+
+    #[test]
+    fn broadcast_response_refreshes_state() {
+        let mut r = rca();
+        let region = RegionAddr(4);
+        r.local_fill(region, Some(true), 0);
+        assert_eq!(r.state(region), ScaledRegionState::NotExclusive);
+        // A later broadcast finds the region free again.
+        r.local_fill(region, Some(false), 0);
+        assert_eq!(r.state(region), ScaledRegionState::Exclusive);
+    }
+}

@@ -1,0 +1,313 @@
+//! The seven stable region states of Table 1.
+//!
+//! A region state summarizes, for one large aligned region of memory:
+//!
+//! * the **local part** — whether this processor's cached lines of the
+//!   region are all unmodified (`Clean`) or may include modified/modifiable
+//!   copies (`Dirty`);
+//! * the **external part** — whether *other* processors cache no lines
+//!   (`Invalid`), only unmodified lines (`Clean`), or possibly modified
+//!   lines (`Dirty`).
+//!
+//! | State | Processor | Other processors | Broadcast needed? |
+//! |---|---|---|---|
+//! | I  | no cached copies | unknown | yes |
+//! | CI | unmodified only | none | no |
+//! | CC | unmodified only | unmodified only | for modifiable copy |
+//! | CD | unmodified only | may have modified | yes |
+//! | DI | may have modified | none | no |
+//! | DC | may have modified | unmodified only | for modifiable copy |
+//! | DD | may have modified | may have modified | yes |
+
+use cgct_cache::ReqKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Local half of a region state: the status of *this* processor's cached
+/// lines within the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LocalPart {
+    /// All cached lines of the region are unmodified shared (S) copies.
+    Clean,
+    /// Some cached line may be modified or silently modifiable (M/O/E).
+    Dirty,
+}
+
+/// External half of a region state: the status of the region in *other*
+/// processors' caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ExternalPart {
+    /// No other processor caches lines of the region.
+    Invalid,
+    /// Other processors hold only unmodified (S) copies.
+    Clean,
+    /// Other processors may hold modified or modifiable (M/O/E) copies.
+    Dirty,
+}
+
+/// What the region state allows for a given request (Table 1's
+/// "Broadcast Needed?" column, refined by request kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegionPermission {
+    /// The request must be broadcast to all coherence agents.
+    Broadcast,
+    /// The request can be sent directly to the owning memory controller.
+    DirectToMemory,
+    /// The request completes with no external request at all
+    /// (upgrades and `dcbz` in an exclusive region, §1.2).
+    CompleteLocally,
+}
+
+/// A stable region coherence state (Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use cgct::{ExternalPart, LocalPart, RegionState};
+///
+/// let s = RegionState::compose(LocalPart::Clean, ExternalPart::Dirty);
+/// assert_eq!(s, RegionState::CleanDirty);
+/// assert_eq!(s.local(), Some(LocalPart::Clean));
+/// assert!(!s.is_exclusive());
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub enum RegionState {
+    /// No lines cached by this processor; other processors unknown.
+    #[default]
+    Invalid,
+    /// Clean-Invalid: local unmodified copies only; no external copies.
+    CleanInvalid,
+    /// Clean-Clean: local and external unmodified copies only.
+    CleanClean,
+    /// Clean-Dirty: local unmodified; external may have modified copies.
+    CleanDirty,
+    /// Dirty-Invalid: local may have modified copies; no external copies.
+    DirtyInvalid,
+    /// Dirty-Clean: local may have modified; external unmodified only.
+    DirtyClean,
+    /// Dirty-Dirty: both sides may have modified copies.
+    DirtyDirty,
+}
+
+impl RegionState {
+    /// All seven stable states, Invalid first.
+    pub const ALL: [RegionState; 7] = [
+        RegionState::Invalid,
+        RegionState::CleanInvalid,
+        RegionState::CleanClean,
+        RegionState::CleanDirty,
+        RegionState::DirtyInvalid,
+        RegionState::DirtyClean,
+        RegionState::DirtyDirty,
+    ];
+
+    /// Builds a valid state from its two halves.
+    pub fn compose(local: LocalPart, external: ExternalPart) -> RegionState {
+        use ExternalPart as E;
+        use LocalPart as L;
+        match (local, external) {
+            (L::Clean, E::Invalid) => RegionState::CleanInvalid,
+            (L::Clean, E::Clean) => RegionState::CleanClean,
+            (L::Clean, E::Dirty) => RegionState::CleanDirty,
+            (L::Dirty, E::Invalid) => RegionState::DirtyInvalid,
+            (L::Dirty, E::Clean) => RegionState::DirtyClean,
+            (L::Dirty, E::Dirty) => RegionState::DirtyDirty,
+        }
+    }
+
+    /// The local half, or `None` for [`RegionState::Invalid`].
+    pub fn local(self) -> Option<LocalPart> {
+        match self {
+            RegionState::Invalid => None,
+            RegionState::CleanInvalid | RegionState::CleanClean | RegionState::CleanDirty => {
+                Some(LocalPart::Clean)
+            }
+            RegionState::DirtyInvalid | RegionState::DirtyClean | RegionState::DirtyDirty => {
+                Some(LocalPart::Dirty)
+            }
+        }
+    }
+
+    /// The external half, or `None` for [`RegionState::Invalid`].
+    pub fn external(self) -> Option<ExternalPart> {
+        match self {
+            RegionState::Invalid => None,
+            RegionState::CleanInvalid | RegionState::DirtyInvalid => Some(ExternalPart::Invalid),
+            RegionState::CleanClean | RegionState::DirtyClean => Some(ExternalPart::Clean),
+            RegionState::CleanDirty | RegionState::DirtyDirty => Some(ExternalPart::Dirty),
+        }
+    }
+
+    /// Whether the region is present (any state but Invalid).
+    pub fn is_valid(self) -> bool {
+        self != RegionState::Invalid
+    }
+
+    /// *Exclusive* states (CI, DI): no other processor caches lines of the
+    /// region, so no request for it needs a broadcast.
+    pub fn is_exclusive(self) -> bool {
+        self.external() == Some(ExternalPart::Invalid)
+    }
+
+    /// *Externally clean* states (CC, DC): reads of shared copies (such as
+    /// instruction fetches) may skip the broadcast.
+    pub fn is_externally_clean(self) -> bool {
+        self.external() == Some(ExternalPart::Clean)
+    }
+
+    /// *Externally dirty* states (CD, DD): every request except write-backs
+    /// must broadcast.
+    pub fn is_externally_dirty(self) -> bool {
+        self.external() == Some(ExternalPart::Dirty)
+    }
+
+    /// What this state allows for request `req` (Table 1).
+    ///
+    /// * Exclusive states allow everything without broadcast; upgrades and
+    ///   `dcbz` complete locally (no external request), data fetches go
+    ///   directly to memory.
+    /// * Externally clean states additionally allow shared reads
+    ///   (instruction fetches) to go directly to memory.
+    /// * Any valid state allows write-backs to go directly to the memory
+    ///   controller recorded in the region entry (§5.1).
+    pub fn permission(self, req: ReqKind) -> RegionPermission {
+        use RegionPermission::*;
+        match req {
+            ReqKind::Writeback => {
+                if self.is_valid() {
+                    DirectToMemory
+                } else {
+                    Broadcast
+                }
+            }
+            ReqKind::ReadShared => {
+                if self.is_exclusive() || self.is_externally_clean() {
+                    DirectToMemory
+                } else {
+                    Broadcast
+                }
+            }
+            ReqKind::Read | ReqKind::ReadExclusive => {
+                if self.is_exclusive() {
+                    DirectToMemory
+                } else {
+                    Broadcast
+                }
+            }
+            ReqKind::Upgrade | ReqKind::Dcbz => {
+                if self.is_exclusive() {
+                    CompleteLocally
+                } else {
+                    Broadcast
+                }
+            }
+        }
+    }
+
+    /// Two-letter mnemonic from the paper (`I`, `CI`, `CC`, `CD`, `DI`,
+    /// `DC`, `DD`).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            RegionState::Invalid => "I",
+            RegionState::CleanInvalid => "CI",
+            RegionState::CleanClean => "CC",
+            RegionState::CleanDirty => "CD",
+            RegionState::DirtyInvalid => "DI",
+            RegionState::DirtyClean => "DC",
+            RegionState::DirtyDirty => "DD",
+        }
+    }
+}
+
+impl fmt::Display for RegionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use RegionState::*;
+
+    #[test]
+    fn compose_and_decompose_roundtrip() {
+        for s in RegionState::ALL {
+            if let (Some(l), Some(e)) = (s.local(), s.external()) {
+                assert_eq!(RegionState::compose(l, e), s);
+            } else {
+                assert_eq!(s, Invalid);
+            }
+        }
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        // §3.1: "The states CI and DI are the exclusive states ... CC and
+        // DC are externally clean ... CD and DD are the externally dirty".
+        assert!(CleanInvalid.is_exclusive() && DirtyInvalid.is_exclusive());
+        assert!(CleanClean.is_externally_clean() && DirtyClean.is_externally_clean());
+        assert!(CleanDirty.is_externally_dirty() && DirtyDirty.is_externally_dirty());
+        assert!(!Invalid.is_exclusive() && !Invalid.is_externally_clean());
+    }
+
+    #[test]
+    fn table1_broadcast_rules() {
+        use cgct_cache::ReqKind::*;
+        use RegionPermission::*;
+        // Invalid: broadcast needed — yes (for everything).
+        for req in [Read, ReadShared, ReadExclusive, Upgrade, Writeback, Dcbz] {
+            assert_eq!(Invalid.permission(req), Broadcast);
+        }
+        // CI/DI: broadcast needed — no.
+        for s in [CleanInvalid, DirtyInvalid] {
+            assert_eq!(s.permission(Read), DirectToMemory);
+            assert_eq!(s.permission(ReadShared), DirectToMemory);
+            assert_eq!(s.permission(ReadExclusive), DirectToMemory);
+            assert_eq!(s.permission(Upgrade), CompleteLocally);
+            assert_eq!(s.permission(Dcbz), CompleteLocally);
+            assert_eq!(s.permission(Writeback), DirectToMemory);
+        }
+        // CC/DC: broadcast needed — only for a modifiable copy.
+        for s in [CleanClean, DirtyClean] {
+            assert_eq!(s.permission(ReadShared), DirectToMemory);
+            assert_eq!(s.permission(Read), Broadcast);
+            assert_eq!(s.permission(ReadExclusive), Broadcast);
+            assert_eq!(s.permission(Upgrade), Broadcast);
+            assert_eq!(s.permission(Writeback), DirectToMemory);
+        }
+        // CD/DD: broadcast needed — yes (except write-backs, which only
+        // need the memory-controller index kept in the region entry).
+        for s in [CleanDirty, DirtyDirty] {
+            for req in [Read, ReadShared, ReadExclusive, Upgrade, Dcbz] {
+                assert_eq!(s.permission(req), Broadcast, "{s} {req:?}");
+            }
+            assert_eq!(s.permission(Writeback), DirectToMemory);
+        }
+    }
+
+    #[test]
+    fn loads_are_not_treated_as_shared_reads() {
+        // §3.1: "memory read-requests originating from loads are broadcast
+        // unless the region state is CI or DI" — loads may obtain exclusive
+        // copies, so CC/DC are not sufficient.
+        assert_eq!(
+            CleanClean.permission(cgct_cache::ReqKind::Read),
+            RegionPermission::Broadcast
+        );
+    }
+
+    #[test]
+    fn mnemonics() {
+        let names: Vec<&str> = RegionState::ALL.iter().map(|s| s.mnemonic()).collect();
+        assert_eq!(names, ["I", "CI", "CC", "CD", "DI", "DC", "DD"]);
+        assert_eq!(DirtyClean.to_string(), "DC");
+    }
+
+    #[test]
+    fn default_is_invalid() {
+        assert_eq!(RegionState::default(), Invalid);
+    }
+}

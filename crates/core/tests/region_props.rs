@@ -1,0 +1,173 @@
+//! Property tests of the region protocol's algebra and the RCA's
+//! bookkeeping under arbitrary operation sequences.
+
+use cgct::{
+    external_next_state, local_fill_next_state, FillKind, RcaConfig, RegionCoherenceArray,
+    RegionSnoopResponse, RegionState,
+};
+use cgct_cache::{Geometry, RegionAddr, ReqKind};
+use proptest::prelude::*;
+
+fn any_region_state() -> impl Strategy<Value = RegionState> {
+    prop::sample::select(RegionState::ALL.to_vec())
+}
+
+fn any_fill() -> impl Strategy<Value = FillKind> {
+    prop_oneof![Just(FillKind::Shared), Just(FillKind::Exclusive)]
+}
+
+fn any_resp() -> impl Strategy<Value = RegionSnoopResponse> {
+    (any::<bool>(), any::<bool>()).prop_map(|(clean, dirty)| RegionSnoopResponse { clean, dirty })
+}
+
+fn any_req() -> impl Strategy<Value = ReqKind> {
+    prop_oneof![
+        Just(ReqKind::Read),
+        Just(ReqKind::ReadShared),
+        Just(ReqKind::ReadExclusive),
+        Just(ReqKind::Upgrade),
+        Just(ReqKind::Writeback),
+        Just(ReqKind::Dcbz),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn local_fill_always_yields_valid_state(
+        s in any_region_state(),
+        fill in any_fill(),
+        resp in any_resp(),
+    ) {
+        let next = local_fill_next_state(s, fill, Some(resp));
+        prop_assert!(next.is_valid());
+        // The external part mirrors the response exactly.
+        prop_assert_eq!(next.external(), Some(resp.external_part()));
+        // Exclusive fills always leave the local part dirty.
+        if fill == FillKind::Exclusive {
+            prop_assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
+        }
+    }
+
+    #[test]
+    fn local_part_is_monotonic_toward_dirty(
+        s in any_region_state(),
+        fill in any_fill(),
+        resp in any_resp(),
+    ) {
+        let next = local_fill_next_state(s, fill, Some(resp));
+        if s.local() == Some(cgct::LocalPart::Dirty) {
+            prop_assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
+        }
+    }
+
+    #[test]
+    fn external_requests_never_grant_exclusivity(
+        s in any_region_state(),
+        req in any_req(),
+        fill_ex in any::<bool>(),
+    ) {
+        let next = external_next_state(s, req, fill_ex);
+        if s.is_valid() && req != ReqKind::Writeback {
+            prop_assert!(next.is_valid());
+            prop_assert!(!next.is_exclusive(),
+                "{s} + external {req:?} left exclusive {next}");
+            // Local part is untouched by external requests.
+            prop_assert_eq!(next.local(), s.local());
+        }
+        if req == ReqKind::Writeback {
+            prop_assert_eq!(next, s);
+        }
+    }
+
+    #[test]
+    fn external_part_monotonically_degrades(
+        s in any_region_state(),
+        reqs in prop::collection::vec((any_req(), any::<bool>()), 1..8),
+    ) {
+        // Across any sequence of external requests, the external part only
+        // moves Invalid -> Clean -> Dirty, never back.
+        let mut cur = s;
+        let mut prev_ext = cur.external();
+        for (req, fill_ex) in reqs {
+            cur = external_next_state(cur, req, fill_ex);
+            if let (Some(a), Some(b)) = (prev_ext, cur.external()) {
+                prop_assert!(b >= a, "external part improved: {a:?} -> {b:?}");
+            }
+            prev_ext = cur.external();
+        }
+    }
+
+    /// RCA line counts track an explicit multiset of cached lines across
+    /// arbitrary interleavings of fills, line movement, and snoops.
+    #[test]
+    fn rca_line_counts_match_reference(
+        ops in prop::collection::vec((0u8..4, 0u64..16, any::<bool>()), 1..300)
+    ) {
+        let geometry = Geometry::new(64, 512);
+        let mut rca = RegionCoherenceArray::new(RcaConfig {
+            sets: 16,
+            ways: 2,
+            geometry,
+            self_invalidation: true,
+            favor_empty_replacement: true,
+        });
+        let mut counts: std::collections::HashMap<u64, u32> =
+            std::collections::HashMap::new();
+        for (op, region_id, flag) in ops {
+            let region = RegionAddr(region_id);
+            match op {
+                // Local fill (broadcast): allocate/refresh the entry.
+                0 => {
+                    let resp = RegionSnoopResponse { clean: flag, dirty: !flag };
+                    if let Some(ev) = rca.local_fill(
+                        region,
+                        if flag { FillKind::Shared } else { FillKind::Exclusive },
+                        Some(resp),
+                        0,
+                    ) {
+                        // Displaced region: the caller flushes its lines.
+                        counts.remove(&ev.region.0);
+                    }
+                }
+                // Cache a line (only legal with a valid entry and room).
+                1 => {
+                    if rca.entry(region).is_some()
+                        && *counts.get(&region_id).unwrap_or(&0)
+                            < geometry.lines_per_region() as u32
+                    {
+                        rca.line_cached(region);
+                        *counts.entry(region_id).or_insert(0) += 1;
+                    }
+                }
+                // Evict a line.
+                2 => {
+                    if rca.entry(region).is_some()
+                        && *counts.get(&region_id).unwrap_or(&0) > 0
+                    {
+                        rca.line_uncached(region);
+                        *counts.entry(region_id).or_insert(1) -= 1;
+                    }
+                }
+                // External request (may self-invalidate empty regions).
+                _ => {
+                    let had_entry = rca.entry(region).is_some();
+                    let was_empty = *counts.get(&region_id).unwrap_or(&0) == 0;
+                    let _ = rca.external_request(region, ReqKind::Read, flag);
+                    if had_entry && was_empty {
+                        prop_assert!(rca.entry(region).is_none(),
+                            "empty region must self-invalidate");
+                        counts.remove(&region_id);
+                    }
+                }
+            }
+            // Every tracked count matches the model.
+            for (region, entry) in rca.iter() {
+                prop_assert_eq!(
+                    entry.line_count,
+                    *counts.get(&region.0).unwrap_or(&0),
+                    "region {} count mismatch", region
+                );
+            }
+        }
+    }
+}

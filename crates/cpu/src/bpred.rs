@@ -1,0 +1,222 @@
+//! Branch prediction: 16K-entry gshare, 4K-set 4-way BTB, 8-entry
+//! return-address stack (Table 3).
+
+use crate::uop::BranchKind;
+use serde::{Deserialize, Serialize};
+
+/// Combined branch prediction unit.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cpu::{BranchPredictor, BranchKind};
+///
+/// let mut bp = BranchPredictor::paper_default();
+/// // Train a strongly taken branch until the global history settles.
+/// for _ in 0..50 {
+///     let _ = bp.predict_and_update(0x4000, BranchKind::Conditional, true);
+/// }
+/// assert!(bp.predict_and_update(0x4000, BranchKind::Conditional, true));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BranchPredictor {
+    /// 2-bit saturating counters.
+    pht: Vec<u8>,
+    /// Global history register.
+    history: u64,
+    history_mask: u64,
+    /// BTB: tag per entry (valid targets assumed once tagged).
+    btb: Vec<u64>,
+    btb_sets: usize,
+    btb_ways: usize,
+    /// Return-address stack of call-site PCs.
+    ras: Vec<u64>,
+    ras_cap: usize,
+    /// Statistics.
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// Creates a predictor with `pht_entries` gshare counters (power of
+    /// two), a `btb_sets`×`btb_ways` BTB, and a `ras_cap`-entry RAS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pht_entries` or `btb_sets` is not a power of two.
+    pub fn new(pht_entries: usize, btb_sets: usize, btb_ways: usize, ras_cap: usize) -> Self {
+        assert!(pht_entries.is_power_of_two(), "PHT must be a power of two");
+        assert!(
+            btb_sets.is_power_of_two(),
+            "BTB sets must be a power of two"
+        );
+        BranchPredictor {
+            pht: vec![1; pht_entries], // weakly not-taken
+            history: 0,
+            history_mask: (pht_entries - 1) as u64,
+            btb: vec![u64::MAX; btb_sets * btb_ways],
+            btb_sets,
+            btb_ways,
+            ras: Vec::with_capacity(ras_cap),
+            ras_cap,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    /// Table 3 parameters: 16K-entry gshare, 4K-set 4-way BTB, 8-entry RAS.
+    pub fn paper_default() -> Self {
+        BranchPredictor::new(16 * 1024, 4 * 1024, 4, 8)
+    }
+
+    fn pht_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.history) & self.history_mask) as usize
+    }
+
+    fn btb_lookup_insert(&mut self, pc: u64) -> bool {
+        let set = ((pc >> 2) as usize) & (self.btb_sets - 1);
+        let ways = &mut self.btb[set * self.btb_ways..(set + 1) * self.btb_ways];
+        if let Some(pos) = ways.iter().position(|&t| t == pc) {
+            // Move to MRU.
+            ways[..=pos].rotate_right(1);
+            return true;
+        }
+        // Miss: install at MRU, shifting others toward LRU.
+        ways.rotate_right(1);
+        ways[0] = pc;
+        false
+    }
+
+    /// Predicts the branch at `pc`, updates all structures with the actual
+    /// outcome, and returns whether the prediction (direction *and*
+    /// target availability) was correct.
+    pub fn predict_and_update(&mut self, pc: u64, kind: BranchKind, taken: bool) -> bool {
+        self.predictions += 1;
+        let correct = match kind {
+            BranchKind::Conditional => {
+                let idx = self.pht_index(pc);
+                let predicted_taken = self.pht[idx] >= 2;
+                // Update the counter and history.
+                if taken {
+                    self.pht[idx] = (self.pht[idx] + 1).min(3);
+                } else {
+                    self.pht[idx] = self.pht[idx].saturating_sub(1);
+                }
+                self.history = ((self.history << 1) | u64::from(taken)) & self.history_mask;
+                let target_known = if taken {
+                    self.btb_lookup_insert(pc)
+                } else {
+                    true
+                };
+                predicted_taken == taken && target_known
+            }
+            BranchKind::Call => {
+                if self.ras.len() == self.ras_cap {
+                    self.ras.remove(0);
+                }
+                self.ras.push(pc + 4);
+                // Calls are direct: correct when the BTB knows the target.
+                self.btb_lookup_insert(pc)
+            }
+            BranchKind::Return => {
+                // Correct when the RAS top matches the call site's return.
+                self.ras.pop().is_some()
+            }
+        };
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// Total predictions made.
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Total mispredictions.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Misprediction rate in [0, 1].
+    pub fn misprediction_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut bp = BranchPredictor::new(1024, 64, 2, 4);
+        let mut correct = 0;
+        for _ in 0..100 {
+            if bp.predict_and_update(0x100, BranchKind::Conditional, true) {
+                correct += 1;
+            }
+        }
+        // The global history register shifts on every outcome, so the
+        // first ~log2(PHT) visits each train a fresh counter; after that
+        // the branch predicts perfectly.
+        assert!(correct >= 85, "only {correct}/100 correct");
+    }
+
+    #[test]
+    fn learns_an_alternating_branch_via_history() {
+        let mut bp = BranchPredictor::new(1024, 64, 2, 4);
+        let mut correct_late = 0;
+        for i in 0..200 {
+            let taken = i % 2 == 0;
+            let ok = bp.predict_and_update(0x200, BranchKind::Conditional, taken);
+            if i >= 100 && ok {
+                correct_late += 1;
+            }
+        }
+        assert!(correct_late >= 90, "only {correct_late}/100 correct late");
+    }
+
+    #[test]
+    fn returns_match_calls() {
+        let mut bp = BranchPredictor::new(256, 16, 2, 8);
+        bp.predict_and_update(0x500, BranchKind::Call, true);
+        assert!(bp.predict_and_update(0x700, BranchKind::Return, true));
+        // Underflowed RAS mispredicts.
+        assert!(!bp.predict_and_update(0x704, BranchKind::Return, true));
+    }
+
+    #[test]
+    fn ras_overflow_drops_oldest() {
+        let mut bp = BranchPredictor::new(256, 16, 2, 2);
+        for i in 0..3 {
+            bp.predict_and_update(0x100 * (i + 1), BranchKind::Call, true);
+        }
+        // Two returns pop the two newest frames; the third underflows.
+        assert!(bp.predict_and_update(0x900, BranchKind::Return, true));
+        assert!(bp.predict_and_update(0x904, BranchKind::Return, true));
+        assert!(!bp.predict_and_update(0x908, BranchKind::Return, true));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bp = BranchPredictor::new(256, 16, 2, 2);
+        for _ in 0..100 {
+            bp.predict_and_update(0x40, BranchKind::Conditional, true);
+        }
+        assert_eq!(bp.predictions(), 100);
+        assert!(bp.misprediction_rate() < 0.3);
+    }
+
+    #[test]
+    fn first_taken_encounter_misses_btb() {
+        let mut bp = BranchPredictor::new(256, 16, 2, 2);
+        // Even if direction luck is right, the unknown target mispredicts.
+        assert!(!bp.predict_and_update(0x44, BranchKind::Conditional, true));
+    }
+}

@@ -1,0 +1,102 @@
+//! Core configuration (Table 3 defaults).
+
+use serde::{Deserialize, Serialize};
+
+/// Out-of-order core parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Fetch queue capacity.
+    pub fetch_queue: usize,
+    /// Decode/dispatch width.
+    pub dispatch_width: usize,
+    /// Issue width.
+    pub issue_width: usize,
+    /// Commit width.
+    pub commit_width: usize,
+    /// Issue window: how many un-issued ROB entries are candidates.
+    pub issue_window: usize,
+    /// Reorder buffer capacity.
+    pub rob: usize,
+    /// Load/store queue capacity (memory ops in flight in the ROB).
+    pub lsq: usize,
+    /// Post-commit store buffer capacity.
+    pub store_buffer: usize,
+    /// Committed stores allowed in flight to memory simultaneously
+    /// (write MSHRs). Stores still *issue* in order.
+    pub store_mshrs: usize,
+    /// Outstanding load-miss lines (load MSHRs): loads to a line already
+    /// in flight merge; loads needing a new line stall when the file is
+    /// full.
+    pub load_mshrs: usize,
+    /// Pipeline refill penalty after a branch misprediction, in cycles
+    /// (15-stage pipeline).
+    pub mispredict_penalty: u64,
+    /// Integer ALUs.
+    pub int_alu: usize,
+    /// Integer multipliers.
+    pub int_mult: usize,
+    /// FP ALUs.
+    pub fp_alu: usize,
+    /// FP multipliers.
+    pub fp_mult: usize,
+    /// Memory ports (loads issued per cycle).
+    pub mem_ports: usize,
+    /// Integer multiply latency.
+    pub int_mult_latency: u64,
+    /// FP operation latency.
+    pub fp_latency: u64,
+}
+
+impl CoreConfig {
+    /// Table 3: 4/4/4-wide, 16-entry fetch queue, 32-entry window,
+    /// 64-entry ROB, 32-entry LSQ, 2 int ALU / 1 int mult / 1 FP ALU /
+    /// 1 FP mult, 1 memory port, 15-stage pipeline.
+    pub fn paper_default() -> Self {
+        CoreConfig {
+            fetch_width: 4,
+            fetch_queue: 16,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            issue_window: 32,
+            rob: 64,
+            lsq: 32,
+            store_buffer: 16,
+            store_mshrs: 4,
+            load_mshrs: 16,
+            mispredict_penalty: 13,
+            int_alu: 2,
+            int_mult: 1,
+            fp_alu: 1,
+            fp_mult: 1,
+            mem_ports: 1,
+            int_mult_latency: 7,
+            fp_latency: 4,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_table3() {
+        let c = CoreConfig::paper_default();
+        assert_eq!((c.fetch_width, c.issue_width, c.commit_width), (4, 4, 4));
+        assert_eq!(c.fetch_queue, 16);
+        assert_eq!(c.issue_window, 32);
+        assert_eq!(c.rob, 64);
+        assert_eq!(c.lsq, 32);
+        assert_eq!((c.int_alu, c.int_mult, c.fp_alu, c.fp_mult), (2, 1, 1, 1));
+        assert_eq!(c.mem_ports, 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Power4-style hardware stream prefetcher (Table 3: 8 streams, 5-line
+//! runahead).
+//!
+//! The prefetcher watches the L2 access stream. A miss to line `n`
+//! followed by an access to `n ± 1` confirms an ascending/descending
+//! stream; a confirmed stream keeps a prefetch frontier up to five lines
+//! ahead of the demand pointer.
+
+use cgct_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+
+/// A prefetch the engine wants issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefetchRequest {
+    /// Line to prefetch.
+    pub line: LineAddr,
+    /// Fetch exclusive (stream established by store-intent accesses).
+    pub exclusive: bool,
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct Stream {
+    /// Next expected demand line.
+    expect: LineAddr,
+    /// +1 or -1.
+    direction: i64,
+    /// How far ahead of the demand pointer we have prefetched.
+    runahead: u64,
+    /// Confirmed (second sequential access seen).
+    confirmed: bool,
+    /// Whether the stream's accesses carry store intent.
+    exclusive: bool,
+    /// LRU stamp.
+    last_use: u64,
+}
+
+/// The stream prefetch engine for one processor.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_cpu::StreamPrefetcher;
+/// use cgct_cache::LineAddr;
+///
+/// let mut pf = StreamPrefetcher::paper_default();
+/// assert!(pf.on_miss(LineAddr(100), false).is_empty()); // allocates a stream
+/// let reqs = pf.on_miss(LineAddr(101), false);          // confirms it
+/// assert_eq!(reqs.len(), 5);                            // 5-line runahead
+/// assert_eq!(reqs[0].line, LineAddr(102));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    max_streams: usize,
+    runahead: u64,
+    clock: u64,
+    issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates an engine with `max_streams` stream registers and a
+    /// `runahead`-line frontier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(max_streams: usize, runahead: u64) -> Self {
+        assert!(
+            max_streams > 0 && runahead > 0,
+            "prefetcher needs streams and runahead"
+        );
+        StreamPrefetcher {
+            streams: Vec::with_capacity(max_streams),
+            max_streams,
+            runahead,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Table 3: 8 streams, 5-line runahead.
+    pub fn paper_default() -> Self {
+        StreamPrefetcher::new(8, 5)
+    }
+
+    /// Reports a demand L2 access that missed; returns prefetches to issue.
+    ///
+    /// `store_intent` marks accesses that will be written, making any
+    /// stream they confirm prefetch exclusive copies.
+    pub fn on_miss(&mut self, line: LineAddr, store_intent: bool) -> Vec<PrefetchRequest> {
+        self.clock += 1;
+        let clock = self.clock;
+        // Does this access continue an existing stream?
+        if let Some(s) = self.streams.iter_mut().find(|s| s.expect == line) {
+            s.confirmed = true;
+            s.exclusive |= store_intent;
+            s.last_use = clock;
+            // Streams stop at the edge of the address space (real
+            // prefetchers stop at physical-memory boundaries).
+            let Some(next) = line.0.checked_add_signed(s.direction) else {
+                s.expect = line; // dead stream: re-confirming is harmless
+                return Vec::new();
+            };
+            s.expect = LineAddr(next);
+            // The demand pointer advanced: top the frontier back up.
+            let deficit = self.runahead - (self.runahead.min(s.runahead.saturating_sub(1)));
+            s.runahead = self.runahead;
+            let direction = s.direction;
+            let exclusive = s.exclusive;
+            let mut out = Vec::with_capacity(deficit as usize);
+            for k in 0..deficit {
+                let ahead = (self.runahead - deficit + k + 1) as i64;
+                let Some(target) = line.0.checked_add_signed(direction * ahead) else {
+                    continue; // never prefetch past the address space
+                };
+                out.push(PrefetchRequest {
+                    line: LineAddr(target),
+                    exclusive,
+                });
+            }
+            self.issued += out.len() as u64;
+            return out;
+        }
+        // New candidate streams in both directions (where they fit).
+        self.allocate(line, 1, store_intent, clock);
+        self.allocate(line, -1, store_intent, clock);
+        Vec::new()
+    }
+
+    fn allocate(&mut self, line: LineAddr, direction: i64, exclusive: bool, clock: u64) {
+        let Some(expect) = line.0.checked_add_signed(direction) else {
+            return; // a stream cannot run off the address space
+        };
+        let stream = Stream {
+            expect: LineAddr(expect),
+            direction,
+            runahead: 0,
+            confirmed: false,
+            exclusive,
+            last_use: clock,
+        };
+        if self.streams.len() < self.max_streams {
+            self.streams.push(stream);
+            return;
+        }
+        // Replace the LRU unconfirmed stream; confirmed streams are
+        // protected unless everything is confirmed.
+        let victim = self
+            .streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.confirmed)
+            .min_by_key(|(_, s)| s.last_use)
+            .or_else(|| {
+                self.streams
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.last_use)
+            })
+            .map(|(i, _)| i)
+            .expect("streams is non-empty");
+        self.streams[victim] = stream;
+    }
+
+    /// Number of active stream registers.
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Total prefetches issued.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirms_ascending_stream_and_runs_ahead() {
+        let mut pf = StreamPrefetcher::new(4, 5);
+        assert!(pf.on_miss(LineAddr(10), false).is_empty());
+        let reqs = pf.on_miss(LineAddr(11), false);
+        let lines: Vec<u64> = reqs.iter().map(|r| r.line.0).collect();
+        assert_eq!(lines, vec![12, 13, 14, 15, 16]);
+        // Continued demand keeps the frontier one batch ahead.
+        let reqs = pf.on_miss(LineAddr(12), false);
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].line, LineAddr(17));
+    }
+
+    #[test]
+    fn confirms_descending_stream() {
+        let mut pf = StreamPrefetcher::new(4, 3);
+        pf.on_miss(LineAddr(100), false);
+        let reqs = pf.on_miss(LineAddr(99), false);
+        let lines: Vec<u64> = reqs.iter().map(|r| r.line.0).collect();
+        assert_eq!(lines, vec![98, 97, 96]);
+    }
+
+    #[test]
+    fn store_intent_makes_stream_exclusive() {
+        let mut pf = StreamPrefetcher::new(4, 2);
+        pf.on_miss(LineAddr(50), true);
+        let reqs = pf.on_miss(LineAddr(51), false);
+        assert!(reqs.iter().all(|r| r.exclusive));
+    }
+
+    #[test]
+    fn random_misses_prefetch_nothing() {
+        let mut pf = StreamPrefetcher::new(8, 5);
+        for line in [3u64, 907, 12, 555, 78, 2001] {
+            assert!(pf.on_miss(LineAddr(line), false).is_empty());
+        }
+    }
+
+    #[test]
+    fn stream_capacity_bounded_with_confirmed_protected() {
+        let mut pf = StreamPrefetcher::new(4, 2);
+        // Confirm one stream.
+        pf.on_miss(LineAddr(10), false);
+        pf.on_miss(LineAddr(11), false);
+        // Flood with unrelated misses.
+        for l in 0..20 {
+            pf.on_miss(LineAddr(1000 + l * 100), false);
+        }
+        assert_eq!(pf.active_streams(), 4);
+        // The confirmed stream survived the flood.
+        let reqs = pf.on_miss(LineAddr(12), false);
+        assert!(!reqs.is_empty());
+    }
+
+    #[test]
+    fn descending_stream_stops_at_line_zero() {
+        let mut pf = StreamPrefetcher::new(4, 5);
+        // Descending toward zero: candidates allocate, but no prefetch
+        // may ever wrap below line 0.
+        pf.on_miss(LineAddr(2), false);
+        let reqs = pf.on_miss(LineAddr(1), false);
+        assert!(
+            reqs.iter().all(|r| r.line.0 < 3),
+            "wrapped prefetches: {reqs:?}"
+        );
+        let reqs = pf.on_miss(LineAddr(0), false);
+        assert!(
+            reqs.iter().all(|r| r.line.0 < 3),
+            "wrapped prefetches at zero: {reqs:?}"
+        );
+        // Nothing past this point can wrap either.
+        for r in pf.on_miss(LineAddr(0), false) {
+            assert!(r.line.0 < (1 << 40));
+        }
+    }
+
+    #[test]
+    fn ascending_stream_stops_at_address_top() {
+        let mut pf = StreamPrefetcher::new(4, 5);
+        let top = LineAddr(u64::MAX - 1);
+        pf.on_miss(top, false);
+        let reqs = pf.on_miss(LineAddr(u64::MAX), false);
+        // Only the single in-range line may be prefetched; no wraps.
+        assert!(reqs.iter().all(|r| r.line.0 > top.0), "{reqs:?}");
+    }
+
+    #[test]
+    fn issued_counter() {
+        let mut pf = StreamPrefetcher::new(4, 5);
+        pf.on_miss(LineAddr(10), false);
+        pf.on_miss(LineAddr(11), false);
+        assert_eq!(pf.issued(), 5);
+    }
+}

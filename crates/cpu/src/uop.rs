@@ -1,0 +1,159 @@
+//! Dynamic micro-operations: the interface between workload generators and
+//! the core model.
+
+use cgct_cache::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Control-flow classification of a branch, for predictor bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional branch (predicted by gshare).
+    Conditional,
+    /// Call (pushes the return-address stack).
+    Call,
+    /// Return (predicted by the return-address stack).
+    Return,
+}
+
+/// The operation performed by one dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UopKind {
+    /// Integer ALU operation (1-cycle).
+    IntAlu,
+    /// Integer multiply/divide (long latency).
+    IntMult,
+    /// Floating-point add/compare.
+    FpAlu,
+    /// Floating-point multiply/divide.
+    FpMult,
+    /// Data load. `store_intent` marks loads whose line will soon be
+    /// stored to; the memory system fetches those exclusive (MIPS
+    /// R10000-style exclusive prefetching, Table 3).
+    Load {
+        /// Accessed byte address.
+        addr: Addr,
+        /// Fetch the line in a modifiable state.
+        store_intent: bool,
+    },
+    /// Data store (performed at commit via the store buffer).
+    Store {
+        /// Accessed byte address.
+        addr: Addr,
+    },
+    /// PowerPC Data-Cache-Block-Zero: allocate and zero a whole line
+    /// without reading memory.
+    Dcbz {
+        /// Any address within the zeroed line.
+        addr: Addr,
+    },
+    /// Branch with its resolved outcome.
+    Branch {
+        /// What kind of control transfer this is.
+        kind: BranchKind,
+        /// Whether the branch is taken.
+        taken: bool,
+    },
+}
+
+impl UopKind {
+    /// Whether this op accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            UopKind::Load { .. } | UopKind::Store { .. } | UopKind::Dcbz { .. }
+        )
+    }
+
+    /// The data address, if this is a memory op.
+    pub fn mem_addr(self) -> Option<Addr> {
+        match self {
+            UopKind::Load { addr, .. } | UopKind::Store { addr } | UopKind::Dcbz { addr } => {
+                Some(addr)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Uop {
+    /// Instruction address (drives instruction fetch and prediction).
+    pub pc: u64,
+    /// Operation.
+    pub kind: UopKind,
+    /// Register dependence distance: this op reads the result of the
+    /// `dep_dist`-th previous instruction (0 = no in-window dependence).
+    pub dep_dist: u8,
+}
+
+impl Uop {
+    /// Convenience constructor for a non-memory op with no dependence.
+    pub fn simple(pc: u64, kind: UopKind) -> Uop {
+        Uop {
+            pc,
+            kind,
+            dep_dist: 0,
+        }
+    }
+}
+
+/// An infinite dynamic instruction stream.
+///
+/// Implementations are the synthetic workload generators; the core pulls
+/// one `Uop` per fetch slot. Implementors must be deterministic given
+/// their construction seed.
+pub trait UopSource {
+    /// Produces the next dynamic instruction.
+    fn next_uop(&mut self) -> Uop;
+}
+
+impl<F: FnMut() -> Uop> UopSource for F {
+    fn next_uop(&mut self) -> Uop {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_classification() {
+        assert!(UopKind::Load {
+            addr: Addr(0),
+            store_intent: false
+        }
+        .is_mem());
+        assert!(UopKind::Store { addr: Addr(4) }.is_mem());
+        assert!(UopKind::Dcbz { addr: Addr(64) }.is_mem());
+        assert!(!UopKind::IntAlu.is_mem());
+        assert!(!UopKind::Branch {
+            kind: BranchKind::Conditional,
+            taken: true
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn mem_addr_extraction() {
+        assert_eq!(
+            UopKind::Store { addr: Addr(128) }.mem_addr(),
+            Some(Addr(128))
+        );
+        assert_eq!(UopKind::FpAlu.mem_addr(), None);
+    }
+
+    #[test]
+    fn closure_is_a_source() {
+        let mut n = 0u64;
+        let mut src = move || {
+            n += 4;
+            Uop::simple(n, UopKind::IntAlu)
+        };
+        let a = UopSource::next_uop(&mut src);
+        let b = UopSource::next_uop(&mut src);
+        assert_eq!(a.pc, 4);
+        assert_eq!(b.pc, 8);
+    }
+}

@@ -1,0 +1,30 @@
+//! Fireplane-like interconnect model for the CGCT reproduction.
+//!
+//! The baseline machine (Table 3, Figure 6) couples a broadcast *address*
+//! network — every coherent request is snooped by all processors, 16 system
+//! cycles — with point-to-point *data* switches whose critical-word latency
+//! depends on physical distance (same chip / same data switch / same board /
+//! remote). CGCT adds a *direct request* path from a processor to a memory
+//! controller that skips the broadcast.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_interconnect::{LatencyModel, DistanceClass};
+//!
+//! let lat = LatencyModel::paper_default();
+//! // Figure 6: snooping your own memory costs 25 system cycles...
+//! assert_eq!(lat.snoop_memory_access(DistanceClass::SameChip), 250);
+//! // ...but a direct request costs about 18.
+//! assert_eq!(lat.direct_memory_access(DistanceClass::SameChip), 181);
+//! ```
+
+pub mod bus;
+pub mod latency;
+pub mod memctrl;
+pub mod topology;
+
+pub use bus::AddressNetwork;
+pub use latency::{DistanceClass, LatencyModel};
+pub use memctrl::MemoryController;
+pub use topology::{CoreId, McId, Topology};

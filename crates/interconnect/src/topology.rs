@@ -1,0 +1,234 @@
+//! Physical topology: cores, chips, data switches, boards, and the
+//! address-to-memory-controller map.
+//!
+//! The paper's system (Table 3) has 2 cores per processor chip and 2 chips
+//! per data switch; the evaluated machine is four processors on one board.
+//! Each chip integrates one memory controller (like the UltraSPARC-IV and
+//! Power5 systems cited), and physical memory is interleaved across the
+//! controllers at region granularity — which is what lets a region entry
+//! carry a single memory-controller index (§5.1).
+
+use crate::latency::DistanceClass;
+use cgct_cache::{Geometry, RegionAddr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A processor core index.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// A memory controller index (one per chip).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct McId(pub usize);
+
+impl fmt::Display for McId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mc{}", self.0)
+    }
+}
+
+/// System topology: how cores group into chips, data switches, and boards.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_interconnect::{DistanceClass, Topology, CoreId, McId};
+///
+/// let t = Topology::paper_default();
+/// assert_eq!(t.total_cores(), 4);
+/// assert_eq!(t.distance(CoreId(0), McId(0)), DistanceClass::SameChip);
+/// assert_eq!(t.distance(CoreId(0), McId(1)), DistanceClass::SameSwitch);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Cores per processor chip (paper: 2).
+    pub cores_per_chip: usize,
+    /// Chips per data switch (paper: 2).
+    pub chips_per_switch: usize,
+    /// Data switches per board.
+    pub switches_per_board: usize,
+    /// Boards in the system.
+    pub boards: usize,
+}
+
+impl Topology {
+    /// The paper's four-processor machine: 2 cores/chip × 2 chips on one
+    /// data switch, one board.
+    pub fn paper_default() -> Self {
+        Topology {
+            cores_per_chip: 2,
+            chips_per_switch: 2,
+            switches_per_board: 1,
+            boards: 1,
+        }
+    }
+
+    /// A larger machine for scalability studies: two boards of two
+    /// switches each (16 cores).
+    pub fn two_boards() -> Self {
+        Topology {
+            cores_per_chip: 2,
+            chips_per_switch: 2,
+            switches_per_board: 2,
+            boards: 2,
+        }
+    }
+
+    /// Total number of cores.
+    pub fn total_cores(&self) -> usize {
+        self.cores_per_chip * self.total_chips()
+    }
+
+    /// Total number of chips (= memory controllers).
+    pub fn total_chips(&self) -> usize {
+        self.chips_per_switch * self.switches_per_board * self.boards
+    }
+
+    /// The chip containing `core`.
+    pub fn chip_of(&self, core: CoreId) -> usize {
+        core.0 / self.cores_per_chip
+    }
+
+    /// The data switch containing `chip`.
+    pub fn switch_of_chip(&self, chip: usize) -> usize {
+        chip / self.chips_per_switch
+    }
+
+    /// The board containing `switch`.
+    pub fn board_of_switch(&self, switch: usize) -> usize {
+        switch / self.switches_per_board
+    }
+
+    /// The memory controller on `core`'s own chip.
+    pub fn home_mc(&self, core: CoreId) -> McId {
+        McId(self.chip_of(core))
+    }
+
+    /// Physical distance class between a core and a memory controller.
+    pub fn distance(&self, core: CoreId, mc: McId) -> DistanceClass {
+        let chip = self.chip_of(core);
+        if chip == mc.0 {
+            return DistanceClass::SameChip;
+        }
+        let (s1, s2) = (self.switch_of_chip(chip), self.switch_of_chip(mc.0));
+        if s1 == s2 {
+            return DistanceClass::SameSwitch;
+        }
+        if self.board_of_switch(s1) == self.board_of_switch(s2) {
+            return DistanceClass::SameBoard;
+        }
+        DistanceClass::Remote
+    }
+
+    /// Distance class between two cores (for cache-to-cache transfers).
+    pub fn core_distance(&self, a: CoreId, b: CoreId) -> DistanceClass {
+        self.distance(a, McId(self.chip_of(b)))
+    }
+
+    /// The memory controller owning `region`: physical memory is
+    /// interleaved across chips at region granularity.
+    pub fn mc_of_region(&self, region: RegionAddr) -> McId {
+        McId((region.0 as usize) % self.total_chips())
+    }
+
+    /// The memory controller owning the region that contains `line`,
+    /// under geometry `geom`.
+    pub fn mc_of_line(&self, line: cgct_cache::LineAddr, geom: Geometry) -> McId {
+        self.mc_of_region(geom.region_of_line(line))
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_shape() {
+        let t = Topology::paper_default();
+        assert_eq!(t.total_cores(), 4);
+        assert_eq!(t.total_chips(), 2);
+        assert_eq!(t.chip_of(CoreId(0)), 0);
+        assert_eq!(t.chip_of(CoreId(1)), 0);
+        assert_eq!(t.chip_of(CoreId(2)), 1);
+        assert_eq!(t.chip_of(CoreId(3)), 1);
+    }
+
+    #[test]
+    fn distances_in_paper_machine() {
+        let t = Topology::paper_default();
+        assert_eq!(t.distance(CoreId(0), McId(0)), DistanceClass::SameChip);
+        assert_eq!(t.distance(CoreId(1), McId(0)), DistanceClass::SameChip);
+        assert_eq!(t.distance(CoreId(2), McId(0)), DistanceClass::SameSwitch);
+        assert_eq!(t.distance(CoreId(0), McId(1)), DistanceClass::SameSwitch);
+    }
+
+    #[test]
+    fn distances_in_two_board_machine() {
+        let t = Topology::two_boards();
+        assert_eq!(t.total_cores(), 16);
+        assert_eq!(t.total_chips(), 8);
+        // Core 0 (chip 0, switch 0, board 0) vs MCs across the machine.
+        assert_eq!(t.distance(CoreId(0), McId(0)), DistanceClass::SameChip);
+        assert_eq!(t.distance(CoreId(0), McId(1)), DistanceClass::SameSwitch);
+        assert_eq!(t.distance(CoreId(0), McId(2)), DistanceClass::SameBoard);
+        assert_eq!(t.distance(CoreId(0), McId(4)), DistanceClass::Remote);
+    }
+
+    #[test]
+    fn core_distance_symmetry() {
+        let t = Topology::two_boards();
+        for a in 0..t.total_cores() {
+            for b in 0..t.total_cores() {
+                assert_eq!(
+                    t.core_distance(CoreId(a), CoreId(b)),
+                    t.core_distance(CoreId(b), CoreId(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn region_interleaving_covers_all_mcs() {
+        let t = Topology::paper_default();
+        let geom = Geometry::new(64, 512);
+        let mut seen = [false; 2];
+        for r in 0..8 {
+            seen[t.mc_of_region(RegionAddr(r)).0] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Every line of a region maps to the same controller.
+        let region = RegionAddr(5);
+        let mc = t.mc_of_region(region);
+        for line in geom.lines_in_region(region) {
+            assert_eq!(t.mc_of_line(line, geom), mc);
+        }
+    }
+
+    #[test]
+    fn home_mc_is_own_chip() {
+        let t = Topology::paper_default();
+        assert_eq!(t.home_mc(CoreId(3)), McId(1));
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(CoreId(2).to_string(), "cpu2");
+        assert_eq!(McId(1).to_string(), "mc1");
+    }
+}

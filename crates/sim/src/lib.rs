@@ -1,0 +1,28 @@
+//! Discrete-event simulation kernel for the CGCT reproduction.
+//!
+//! This crate provides the time base, event queue, deterministic random
+//! number utilities, and statistics machinery shared by every other crate in
+//! the workspace. It is deliberately free of any coherence-specific logic so
+//! that the cache, interconnect, and CPU models can be tested in isolation.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_sim::{Cycle, EventQueue};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(Cycle(10), "snoop response");
+//! q.schedule(Cycle(5), "dram ready");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Cycle(5), "dram ready"));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::SeedSequence;
+pub use stats::{ConfidenceInterval, Counter, Histogram, IntervalTracker, RunningStats};
+pub use time::{Cycle, SystemCycle, CPU_CYCLES_PER_SYSTEM_CYCLE};

@@ -1,0 +1,196 @@
+//! Simulation time base.
+//!
+//! The simulated machine has two clock domains, as in the paper's Table 3:
+//! a 1.5 GHz processor clock and a 150 MHz system (interconnect) clock. All
+//! simulation time is kept in **CPU cycles**; [`SystemCycle`] converts to and
+//! from the coarser interconnect clock.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Number of CPU cycles per system (interconnect) cycle: 1.5 GHz / 150 MHz.
+pub const CPU_CYCLES_PER_SYSTEM_CYCLE: u64 = 10;
+
+/// A point in simulated time, measured in CPU clock cycles.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64`s added to it.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_sim::Cycle;
+/// let t = Cycle(100) + 25;
+/// assert_eq!(t, Cycle(125));
+/// assert_eq!(t - Cycle(100), 25);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Converts this timestamp to nanoseconds assuming the paper's 1.5 GHz
+    /// processor clock.
+    ///
+    /// ```
+    /// use cgct_sim::Cycle;
+    /// assert_eq!(Cycle(1500).as_nanos(), 1000.0);
+    /// ```
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 / 1.5
+    }
+
+    /// Rounds this timestamp *up* to the next system-clock edge.
+    ///
+    /// Requests entering the 150 MHz interconnect domain must wait for a
+    /// system clock edge; this models that synchronization delay.
+    ///
+    /// ```
+    /// use cgct_sim::Cycle;
+    /// assert_eq!(Cycle(11).align_to_system_clock(), Cycle(20));
+    /// assert_eq!(Cycle(20).align_to_system_clock(), Cycle(20));
+    /// ```
+    pub fn align_to_system_clock(self) -> Cycle {
+        let rem = self.0 % CPU_CYCLES_PER_SYSTEM_CYCLE;
+        if rem == 0 {
+            self
+        } else {
+            Cycle(self.0 + CPU_CYCLES_PER_SYSTEM_CYCLE - rem)
+        }
+    }
+
+    /// Saturating subtraction of a duration in cycles.
+    pub fn saturating_sub(self, dur: u64) -> Cycle {
+        Cycle(self.0.saturating_sub(dur))
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Distance between two timestamps, in CPU cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self >= rhs, "time went backwards: {self} - {rhs}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}c", self.0)
+    }
+}
+
+/// A duration expressed in system (interconnect) clock cycles.
+///
+/// The paper quotes interconnect latencies in 150 MHz system cycles
+/// (e.g. a 16-system-cycle snoop). This newtype keeps those durations
+/// distinct from CPU-cycle durations until the conversion point.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_sim::SystemCycle;
+/// assert_eq!(SystemCycle(16).as_cpu_cycles(), 160);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SystemCycle(pub u64);
+
+impl SystemCycle {
+    /// Converts a system-cycle duration to CPU cycles.
+    pub fn as_cpu_cycles(self) -> u64 {
+        self.0 * CPU_CYCLES_PER_SYSTEM_CYCLE
+    }
+
+    /// Converts to nanoseconds at the 150 MHz system clock.
+    ///
+    /// ```
+    /// use cgct_sim::SystemCycle;
+    /// // The paper's 16-system-cycle snoop is quoted as 106 ns.
+    /// assert!((SystemCycle(16).as_nanos() - 106.0).abs() < 1.0);
+    /// ```
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 / 0.15
+    }
+}
+
+impl fmt::Display for SystemCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}sc", self.0)
+    }
+}
+
+impl Add for SystemCycle {
+    type Output = SystemCycle;
+    fn add(self, rhs: SystemCycle) -> SystemCycle {
+        SystemCycle(self.0 + rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_arithmetic() {
+        let t = Cycle(5) + 7;
+        assert_eq!(t, Cycle(12));
+        let mut u = Cycle(1);
+        u += 3;
+        assert_eq!(u, Cycle(4));
+        assert_eq!(Cycle(10) - Cycle(4), 6);
+    }
+
+    #[test]
+    fn align_rounds_up_to_system_edge() {
+        assert_eq!(Cycle(0).align_to_system_clock(), Cycle(0));
+        assert_eq!(Cycle(1).align_to_system_clock(), Cycle(10));
+        assert_eq!(Cycle(9).align_to_system_clock(), Cycle(10));
+        assert_eq!(Cycle(10).align_to_system_clock(), Cycle(10));
+        assert_eq!(Cycle(19).align_to_system_clock(), Cycle(20));
+    }
+
+    #[test]
+    fn system_cycle_conversion_matches_paper_latencies() {
+        // Table 3: snoop latency 106ns = 16 system cycles = 160 CPU cycles.
+        assert_eq!(SystemCycle(16).as_cpu_cycles(), 160);
+        // DRAM overlapped with snoop: 47ns = 7 system cycles.
+        assert!((SystemCycle(7).as_nanos() - 47.0).abs() < 1.0);
+        // Remote critical-word transfer: 80ns = 12 system cycles.
+        assert!((SystemCycle(12).as_nanos() - 80.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cycle(42).to_string(), "42c");
+        assert_eq!(SystemCycle(7).to_string(), "7sc");
+    }
+
+    #[test]
+    fn saturating_sub_stops_at_zero() {
+        assert_eq!(Cycle(5).saturating_sub(10), Cycle(0));
+        assert_eq!(Cycle(15).saturating_sub(10), Cycle(5));
+    }
+}

@@ -1,0 +1,264 @@
+//! Whole-system configuration (Table 3 defaults).
+
+use cgct::RcaConfig;
+use cgct_cache::{Geometry, HierarchyConfig};
+use cgct_cpu::CoreConfig;
+use cgct_interconnect::{LatencyModel, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which coherence-tracking scheme supplements the line-grain MOESI
+/// protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoherenceMode {
+    /// Conventional broadcast snooping only.
+    Baseline,
+    /// Coarse-Grain Coherence Tracking with a full 7-state RCA.
+    Cgct {
+        /// Region size in bytes (256/512/1024 in the paper).
+        region_bytes: u64,
+        /// RCA sets (8192 main configuration, 4096 in Figure 9).
+        sets: usize,
+    },
+    /// The scaled-back 3-state / one-response-bit variant (§3.4).
+    Scaled {
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// Array sets.
+        sets: usize,
+    },
+    /// RegionScout-style imprecise filter (related work, §2).
+    RegionScout {
+        /// Region size in bytes.
+        region_bytes: u64,
+    },
+    /// A full-map directory protocol (no broadcasts at all): the
+    /// alternative system organization the paper compares against, with
+    /// its three-hop cache-to-cache transfers.
+    Directory,
+}
+
+impl CoherenceMode {
+    /// The region size this mode tracks (line size for the baseline,
+    /// which tracks nothing).
+    pub fn region_bytes(&self) -> u64 {
+        match *self {
+            CoherenceMode::Baseline | CoherenceMode::Directory => 64,
+            CoherenceMode::Cgct { region_bytes, .. }
+            | CoherenceMode::Scaled { region_bytes, .. }
+            | CoherenceMode::RegionScout { region_bytes } => region_bytes,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match *self {
+            CoherenceMode::Baseline => "baseline".into(),
+            CoherenceMode::Cgct { region_bytes, sets } => {
+                if sets == 8192 {
+                    format!("cgct-{region_bytes}B")
+                } else {
+                    format!("cgct-{region_bytes}B-{}sets", sets)
+                }
+            }
+            CoherenceMode::Scaled { region_bytes, .. } => format!("scaled-{region_bytes}B"),
+            CoherenceMode::RegionScout { region_bytes } => {
+                format!("regionscout-{region_bytes}B")
+            }
+            CoherenceMode::Directory => "directory".into(),
+        }
+    }
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Core/chip/switch/board arrangement.
+    pub topology: Topology,
+    /// Per-core cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Interconnect latencies.
+    pub latency: LatencyModel,
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Coherence tracking scheme.
+    pub mode: CoherenceMode,
+    /// Enable the Power4-style stream prefetcher.
+    pub stream_prefetch: bool,
+    /// Enable R10000-style exclusive prefetching (store-intent loads
+    /// fetch modifiable copies).
+    pub exclusive_prefetch: bool,
+    /// Region self-invalidation (ablation; CGCT modes only).
+    pub self_invalidation: bool,
+    /// Empty-region-favoring RCA replacement (ablation).
+    pub favor_empty_replacement: bool,
+    /// Route write-backs directly using the region's MC index (§5.1).
+    pub direct_writebacks: bool,
+    /// §6 future work: drop hardware prefetches into externally-dirty
+    /// regions ("the region coherence state can indicate when lines may
+    /// be externally dirty and hence may not be good candidates for
+    /// prefetching").
+    pub region_prefetch_filter: bool,
+    /// Fit each node with a Jetty snoop filter (related work §2): skips
+    /// snoop-induced tag lookups for lines provably absent. Affects
+    /// energy accounting only — Jetty never avoids the broadcast itself.
+    pub jetty_filter: bool,
+    /// §3.1 future work: let data loads in externally-clean regions
+    /// (CC/DC) fetch a *shared* copy directly from memory instead of
+    /// broadcasting for an exclusive one. Avoids those broadcasts at the
+    /// cost of later upgrade requests when the data is written ("an
+    /// alternative approach can avoid broadcasts by accessing the data
+    /// directly and putting the line into a shared state, however this
+    /// can cause a large number of upgrades").
+    pub shared_read_bypass: bool,
+    /// §6 future work: predict the supplier of externally-dirty regions
+    /// and send data reads point-to-point to it, skipping the broadcast
+    /// when the prediction hits ("the region state can also indicate
+    /// where cached copies of data may exist, creating opportunities for
+    /// improved cache-to-cache transfers").
+    pub owner_prediction: bool,
+    /// §6 future work: skip the speculative DRAM access that the baseline
+    /// starts in parallel with every snoop when the region state predicts
+    /// a cache-to-cache supply ("knowledge of whether data is likely to
+    /// be cached in the system can be used to avoid unnecessary DRAM
+    /// accesses").
+    pub dram_speculation_filter: bool,
+    /// Per-processor data-network port occupancy per 64-byte line
+    /// transfer, in CPU cycles. Table 3: 2.4 GB/s per processor =
+    /// 16 B per system cycle, so a line occupies the port for 4 system
+    /// cycles (40 CPU cycles). Zero disables bandwidth modeling.
+    pub data_port_occupancy: u64,
+    /// Maximum random perturbation added to memory-request completion
+    /// times, in CPU cycles (the paper's run-perturbation methodology).
+    pub perturbation: u64,
+    /// Traffic measurement window in CPU cycles (Figure 10: 100,000).
+    pub traffic_window: u64,
+}
+
+impl SystemConfig {
+    /// Table 3 configuration with the chosen coherence mode.
+    pub fn paper_default(mode: CoherenceMode) -> Self {
+        SystemConfig {
+            topology: Topology::paper_default(),
+            hierarchy: HierarchyConfig::paper_default(),
+            latency: LatencyModel::paper_default(),
+            core: CoreConfig::paper_default(),
+            mode,
+            stream_prefetch: true,
+            exclusive_prefetch: true,
+            self_invalidation: true,
+            favor_empty_replacement: true,
+            direct_writebacks: true,
+            data_port_occupancy: 40,
+            region_prefetch_filter: false,
+            jetty_filter: false,
+            shared_read_bypass: false,
+            owner_prediction: false,
+            dram_speculation_filter: false,
+            perturbation: 3,
+            traffic_window: 100_000,
+        }
+    }
+
+    /// The line/region geometry implied by the mode.
+    pub fn geometry(&self) -> Geometry {
+        Geometry::new(self.hierarchy.l2.line_bytes, self.mode.region_bytes())
+    }
+
+    /// A quarter-scale memory system: 256 KB L2 with a 2K-set RCA. The
+    /// RCA-reach-to-cache ratio (8:1 at 512 B regions) matches the paper's
+    /// full-size configuration, so RCA eviction statistics (§3.2) reach
+    /// steady state within simulatable run lengths.
+    pub fn quarter_scale(mode: CoherenceMode) -> Self {
+        let mode = match mode {
+            CoherenceMode::Cgct { region_bytes, .. } => CoherenceMode::Cgct {
+                region_bytes,
+                sets: 2048,
+            },
+            CoherenceMode::Scaled { region_bytes, .. } => CoherenceMode::Scaled {
+                region_bytes,
+                sets: 2048,
+            },
+            other => other,
+        };
+        let mut cfg = Self::paper_default(mode);
+        cfg.hierarchy.l2.capacity_bytes = 256 * 1024;
+        cfg
+    }
+
+    /// The RCA configuration for CGCT modes.
+    pub fn rca_config(&self) -> Option<RcaConfig> {
+        match self.mode {
+            CoherenceMode::Cgct { region_bytes, sets } => Some(RcaConfig {
+                sets,
+                ways: 2,
+                geometry: Geometry::new(self.hierarchy.l2.line_bytes, region_bytes),
+                self_invalidation: self.self_invalidation,
+                favor_empty_replacement: self.favor_empty_replacement,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        assert_eq!(cfg.topology.total_cores(), 4);
+        assert_eq!(cfg.geometry().region_bytes(), 64);
+        assert!(cfg.rca_config().is_none());
+    }
+
+    #[test]
+    fn cgct_mode_builds_rca_config() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        let rca = cfg.rca_config().unwrap();
+        assert_eq!(rca.entries(), 16384);
+        assert_eq!(rca.geometry.lines_per_region(), 8);
+        assert_eq!(cfg.geometry().region_bytes(), 512);
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(CoherenceMode::Baseline.label(), "baseline");
+        assert_eq!(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192
+            }
+            .label(),
+            "cgct-512B"
+        );
+        assert_eq!(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 4096
+            }
+            .label(),
+            "cgct-512B-4096sets"
+        );
+        assert_eq!(
+            CoherenceMode::RegionScout { region_bytes: 512 }.label(),
+            "regionscout-512B"
+        );
+    }
+
+    #[test]
+    fn region_bytes_by_mode() {
+        assert_eq!(CoherenceMode::Baseline.region_bytes(), 64);
+        assert_eq!(
+            CoherenceMode::Scaled {
+                region_bytes: 1024,
+                sets: 8192
+            }
+            .region_bytes(),
+            1024
+        );
+    }
+}

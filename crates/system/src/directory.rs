@@ -1,0 +1,325 @@
+//! A full-map directory coherence protocol — the comparison point the
+//! paper positions CGCT against (§1.2):
+//!
+//! > "In effect, it enables a broadcast-based system to achieve much of
+//! > the benefit of a directory-based system (low latency access to
+//! > non-shared data, lower interconnect traffic, and improved
+//! > scalability) without the disadvantage of three-hop cache-to-cache
+//! > transfers."
+//!
+//! Each memory controller keeps a full-map entry per line it owns:
+//! the current owner (a cache holding the line in E/M/O, which may have
+//! modified it silently) and a sharer bit-vector. Requests travel
+//! point-to-point to the home controller; reads of owned lines are
+//! *forwarded* to the owner — the three-hop path CGCT avoids. Sharer
+//! information may be stale after silent clean evictions, which only
+//! causes harmless extra invalidations (the standard full-map behaviour).
+
+use cgct_cache::LineAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One line's directory state at its home controller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirEntry {
+    /// Cache holding the line in an ownership state (E/M/O): data must be
+    /// fetched from (or invalidated at) this cache, not memory.
+    pub owner: Option<u8>,
+    /// Bit-vector of caches that may hold shared copies (may
+    /// over-approximate after silent evictions).
+    pub sharers: u64,
+}
+
+impl DirEntry {
+    /// Whether any cache may hold the line.
+    pub fn is_cached(&self) -> bool {
+        self.owner.is_some() || self.sharers != 0
+    }
+
+    /// Iterates the sharer ids set in the bit-vector.
+    pub fn sharer_ids(&self) -> impl Iterator<Item = u8> + '_ {
+        (0..64u8).filter(|i| self.sharers & (1 << i) != 0)
+    }
+}
+
+/// The home controller's decision for a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirAction {
+    /// Memory supplies the data (two hops: requester -> home -> requester).
+    FromMemory {
+        /// Caches whose (possibly stale) shared copies must be invalidated
+        /// first (empty for reads).
+        invalidate: Vec<u8>,
+    },
+    /// The owner cache supplies the data (three hops: requester -> home ->
+    /// owner -> requester).
+    ForwardToOwner {
+        /// The owning cache.
+        owner: u8,
+        /// Additional sharers to invalidate (exclusive requests only).
+        invalidate: Vec<u8>,
+    },
+    /// No data movement needed (upgrades): just invalidations.
+    InvalidateOnly {
+        /// Caches to invalidate.
+        invalidate: Vec<u8>,
+    },
+}
+
+/// What the requester asked the directory for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirRequest {
+    /// Read for a shared or exclusive copy.
+    Read,
+    /// Read for ownership (store miss / dcbz).
+    ReadExclusive,
+    /// Upgrade an existing shared copy to modifiable.
+    Upgrade,
+    /// Write a dirty line back to memory.
+    Writeback,
+}
+
+/// The directory state for one memory controller's lines.
+#[derive(Debug, Clone, Default)]
+pub struct DirectoryController {
+    entries: HashMap<u64, DirEntry>,
+    /// Three-hop (owner-forwarded) transfers served.
+    pub three_hop_transfers: u64,
+    /// Invalidation messages sent.
+    pub invalidations_sent: u64,
+}
+
+impl DirectoryController {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current entry for `line` (all-invalid if untracked).
+    pub fn entry(&self, line: LineAddr) -> DirEntry {
+        self.entries.get(&line.0).copied().unwrap_or_default()
+    }
+
+    /// Number of tracked lines.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Handles `req` from `requester`, updating the directory and
+    /// returning the required action. `fills_exclusive` reports back
+    /// whether a `Read` was granted an E copy (no other sharers).
+    pub fn handle(&mut self, line: LineAddr, requester: u8, req: DirRequest) -> (DirAction, bool) {
+        let entry = self.entries.entry(line.0).or_default();
+        match req {
+            DirRequest::Read => {
+                if let Some(owner) = entry.owner {
+                    if owner == requester {
+                        // Re-request from the owner itself (e.g. after a
+                        // partial local downgrade): memory path, keep state.
+                        return (DirAction::FromMemory { invalidate: vec![] }, false);
+                    }
+                    // Owner keeps the line (downgrades E/M -> O at the
+                    // cache); requester becomes a sharer. The owner stays
+                    // recorded: O still means "memory is stale".
+                    entry.sharers |= 1 << requester;
+                    entry.sharers |= 1 << owner;
+                    self.three_hop_transfers += 1;
+                    (
+                        DirAction::ForwardToOwner {
+                            owner,
+                            invalidate: vec![],
+                        },
+                        false,
+                    )
+                } else if entry.sharers & !(1 << requester) != 0 {
+                    entry.sharers |= 1 << requester;
+                    (DirAction::FromMemory { invalidate: vec![] }, false)
+                } else {
+                    // Nobody else: grant exclusive, requester becomes owner.
+                    entry.owner = Some(requester);
+                    entry.sharers = 0;
+                    (DirAction::FromMemory { invalidate: vec![] }, true)
+                }
+            }
+            DirRequest::ReadExclusive | DirRequest::Upgrade => {
+                // The owner is handled via the forward (or appended for
+                // upgrades below), never via the plain sharer list.
+                let owner = entry.owner;
+                let invalidate: Vec<u8> = entry
+                    .sharer_ids()
+                    .filter(|&s| s != requester && Some(s) != owner)
+                    .collect();
+                self.invalidations_sent += invalidate.len() as u64;
+                let action = match entry.owner {
+                    Some(owner) if owner != requester => {
+                        self.invalidations_sent += 1;
+                        if req == DirRequest::ReadExclusive {
+                            self.three_hop_transfers += 1;
+                            DirAction::ForwardToOwner { owner, invalidate }
+                        } else {
+                            let mut inv = invalidate;
+                            inv.push(owner);
+                            DirAction::InvalidateOnly { invalidate: inv }
+                        }
+                    }
+                    _ => {
+                        if req == DirRequest::ReadExclusive {
+                            DirAction::FromMemory { invalidate }
+                        } else {
+                            DirAction::InvalidateOnly { invalidate }
+                        }
+                    }
+                };
+                entry.owner = Some(requester);
+                entry.sharers = 0;
+                (action, true)
+            }
+            DirRequest::Writeback => {
+                if entry.owner == Some(requester) {
+                    entry.owner = None;
+                }
+                // A silent-sharer writeback cannot happen (only dirty
+                // lines write back); keep sharers as-is.
+                if !entry.is_cached() {
+                    self.entries.remove(&line.0);
+                }
+                (DirAction::FromMemory { invalidate: vec![] }, false)
+            }
+        }
+    }
+
+    /// Removes `cache` from `line`'s sharer set (explicit clean-eviction
+    /// notification; our system evicts clean lines silently, so this is
+    /// exercised only by tests and future protocols).
+    pub fn drop_sharer(&mut self, line: LineAddr, cache: u8) {
+        if let Some(e) = self.entries.get_mut(&line.0) {
+            e.sharers &= !(1 << cache);
+            if e.owner == Some(cache) {
+                e.owner = None;
+            }
+            if !e.is_cached() {
+                self.entries.remove(&line.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const L: LineAddr = LineAddr(42);
+
+    #[test]
+    fn first_read_grants_exclusive() {
+        let mut d = DirectoryController::new();
+        let (action, exclusive) = d.handle(L, 0, DirRequest::Read);
+        assert_eq!(action, DirAction::FromMemory { invalidate: vec![] });
+        assert!(exclusive);
+        assert_eq!(d.entry(L).owner, Some(0));
+    }
+
+    #[test]
+    fn read_of_owned_line_is_three_hop() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read); // 0 owns E
+        let (action, exclusive) = d.handle(L, 1, DirRequest::Read);
+        assert_eq!(
+            action,
+            DirAction::ForwardToOwner {
+                owner: 0,
+                invalidate: vec![]
+            }
+        );
+        assert!(!exclusive);
+        assert_eq!(d.three_hop_transfers, 1);
+        // Both are now sharers; 0 remains the (O) owner.
+        let e = d.entry(L);
+        assert_eq!(e.owner, Some(0));
+        assert_eq!(e.sharers & 0b11, 0b11);
+    }
+
+    #[test]
+    fn read_of_shared_line_comes_from_memory() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read);
+        d.handle(L, 1, DirRequest::Read); // forwarded; 0 -> O
+                                          // Owner 0 writes the line back (evicting its O copy).
+        d.handle(L, 0, DirRequest::Writeback);
+        let (action, _) = d.handle(L, 2, DirRequest::Read);
+        assert_eq!(action, DirAction::FromMemory { invalidate: vec![] });
+        assert_eq!(d.three_hop_transfers, 1, "no new forward needed");
+    }
+
+    #[test]
+    fn rfo_invalidates_sharers_and_takes_ownership() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read);
+        d.handle(L, 1, DirRequest::Read);
+        let (action, exclusive) = d.handle(L, 2, DirRequest::ReadExclusive);
+        assert!(exclusive);
+        match action {
+            DirAction::ForwardToOwner { owner, invalidate } => {
+                assert_eq!(owner, 0);
+                assert_eq!(invalidate, vec![1]);
+            }
+            other => panic!("expected forward, got {other:?}"),
+        }
+        let e = d.entry(L);
+        assert_eq!(e.owner, Some(2));
+        assert_eq!(e.sharers, 0);
+        assert!(d.invalidations_sent >= 2);
+    }
+
+    #[test]
+    fn upgrade_only_invalidates() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read);
+        d.handle(L, 1, DirRequest::Read);
+        d.handle(L, 0, DirRequest::Writeback); // owner gone, sharers remain
+        let (action, _) = d.handle(L, 1, DirRequest::Upgrade);
+        match action {
+            DirAction::InvalidateOnly { invalidate } => {
+                // Sharer 0 may be stale but is invalidated anyway.
+                assert!(invalidate.contains(&0));
+                assert!(!invalidate.contains(&1));
+            }
+            other => panic!("expected invalidate-only, got {other:?}"),
+        }
+        assert_eq!(d.entry(L).owner, Some(1));
+    }
+
+    #[test]
+    fn writeback_clears_ownership_and_garbage_collects() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 3, DirRequest::Read);
+        assert_eq!(d.tracked_lines(), 1);
+        d.handle(L, 3, DirRequest::Writeback);
+        assert_eq!(d.entry(L).owner, None);
+        assert_eq!(d.tracked_lines(), 0, "empty entries are collected");
+    }
+
+    #[test]
+    fn drop_sharer_prunes_entries() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read);
+        d.handle(L, 1, DirRequest::Read);
+        d.drop_sharer(L, 1);
+        d.drop_sharer(L, 0);
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn upgrade_with_remote_owner_invalidates_the_owner() {
+        let mut d = DirectoryController::new();
+        d.handle(L, 0, DirRequest::Read); // 0 owns E
+                                          // 1 somehow holds a stale S and upgrades (can happen after an O
+                                          // owner supplied it data and the directory recorded both).
+        let (action, _) = d.handle(L, 1, DirRequest::Upgrade);
+        match action {
+            DirAction::InvalidateOnly { invalidate } => assert!(invalidate.contains(&0)),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.entry(L).owner, Some(1));
+    }
+}

@@ -1,0 +1,369 @@
+//! A whole simulated machine: cores + workload threads + memory system.
+
+use crate::config::SystemConfig;
+use crate::memsys::MemorySystem;
+use crate::metrics::MemMetrics;
+use cgct_cache::Addr;
+use cgct_cpu::{Core, CoreConfig, MemoryInterface, UopSource};
+use cgct_interconnect::CoreId;
+use cgct_sim::{Cycle, SeedSequence};
+use cgct_workloads::{BenchmarkSpec, WorkloadThread};
+use serde::{Deserialize, Serialize};
+
+/// Adapter giving one core a view of the shared memory system.
+struct Port<'a> {
+    mem: &'a mut MemorySystem,
+    core: CoreId,
+}
+
+impl MemoryInterface for Port<'_> {
+    fn ifetch(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        self.mem.ifetch(self.core, now, addr)
+    }
+    fn load(&mut self, now: Cycle, addr: Addr, store_intent: bool) -> Cycle {
+        self.mem.load(self.core, now, addr, store_intent)
+    }
+    fn store(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        self.mem.store(self.core, now, addr)
+    }
+    fn dcbz(&mut self, now: Cycle, addr: Addr) -> Cycle {
+        self.mem.dcbz(self.core, now, addr)
+    }
+}
+
+/// Aggregated Region-Coherence-Array statistics across all nodes.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RcaRunStats {
+    /// Total region evictions.
+    pub evictions: u64,
+    /// Fraction of evicted regions with zero cached lines (§3.2: 65.1%).
+    pub evicted_empty_fraction: f64,
+    /// Fraction with exactly one cached line (§3.2: 17.2%).
+    pub evicted_one_line_fraction: f64,
+    /// Fraction with exactly two cached lines (§3.2: 5.1%).
+    pub evicted_two_lines_fraction: f64,
+    /// Region self-invalidations.
+    pub self_invalidations: u64,
+    /// Mean cached lines per valid region, sampled over the run (§5.2:
+    /// 2.8–5).
+    pub mean_lines_per_region: f64,
+}
+
+/// The outcome of one simulated run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Coherence mode label.
+    pub mode: String,
+    /// Cycles until every core committed its instruction quota.
+    pub runtime_cycles: u64,
+    /// Total instructions committed across cores.
+    pub committed: u64,
+    /// Aggregate IPC across cores.
+    pub ipc: f64,
+    /// Branch misprediction rate across cores.
+    pub mispredict_rate: f64,
+    /// Memory-system metrics.
+    pub metrics: MemMetrics,
+    /// RCA statistics (zeroed for non-CGCT modes).
+    pub rca: RcaRunStats,
+    /// Whether the run hit the cycle cap before finishing.
+    pub truncated: bool,
+}
+
+/// One simulated machine instance.
+pub struct Machine {
+    cores: Vec<Core>,
+    threads: Vec<Box<dyn UopSource>>,
+    mem: MemorySystem,
+    now: Cycle,
+    benchmark: String,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("benchmark", &self.benchmark)
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Builds a machine for `spec` under `cfg`; `seed` controls both the
+    /// workload streams and the perturbation RNG.
+    pub fn new(cfg: SystemConfig, spec: &BenchmarkSpec, seed: u64) -> Self {
+        let seq = SeedSequence::new(seed);
+        let n = cfg.topology.total_cores();
+        let core_cfg: CoreConfig = cfg.core;
+        let cores = (0..n).map(|_| Core::new(core_cfg)).collect();
+        let threads = (0..n)
+            .map(|c| {
+                Box::new(WorkloadThread::new(
+                    spec.clone(),
+                    c,
+                    n,
+                    seq.stream(c as u64),
+                )) as Box<dyn UopSource>
+            })
+            .collect();
+        let mem = MemorySystem::new(cfg, seq.stream(1000));
+        Machine {
+            cores,
+            threads,
+            mem,
+            now: Cycle::ZERO,
+            benchmark: spec.name.to_string(),
+        }
+    }
+
+    /// Builds a machine driven by caller-provided instruction sources —
+    /// one per core — e.g. recorded traces
+    /// ([`cgct_workloads::trace::TraceThread`]) instead of the synthetic
+    /// generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sources does not match the topology's core
+    /// count.
+    pub fn from_sources(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn UopSource>>,
+        label: &str,
+        seed: u64,
+    ) -> Self {
+        let n = cfg.topology.total_cores();
+        assert_eq!(sources.len(), n, "need one source per core ({n})");
+        let core_cfg: CoreConfig = cfg.core;
+        let cores = (0..n).map(|_| Core::new(core_cfg)).collect();
+        let mem = MemorySystem::new(cfg, SeedSequence::new(seed).stream(1000));
+        Machine {
+            cores,
+            threads: sources,
+            mem,
+            now: Cycle::ZERO,
+            benchmark: label.to_string(),
+        }
+    }
+
+    /// Read access to the memory system (tests, inspection).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Runs until every core has committed `instructions_per_core`, or
+    /// `max_cycles` elapse.
+    pub fn run(&mut self, instructions_per_core: u64, max_cycles: u64) -> RunResult {
+        self.run_warmed(0, instructions_per_core, max_cycles)
+    }
+
+    /// Runs `warmup_per_core` instructions to warm the caches, resets all
+    /// metrics, then measures a further `instructions_per_core` per core —
+    /// mirroring the paper's warmed-checkpoint methodology (§4).
+    pub fn run_warmed(
+        &mut self,
+        warmup_per_core: u64,
+        instructions_per_core: u64,
+        max_cycles: u64,
+    ) -> RunResult {
+        let mut truncated = false;
+        if warmup_per_core > 0 {
+            truncated |= self.run_until(warmup_per_core, max_cycles);
+            let epoch = self.now;
+            self.mem.reset_metrics(epoch);
+        }
+        truncated |= self.run_until(warmup_per_core + instructions_per_core, max_cycles);
+        let end = Cycle(self.now.0.saturating_sub(self.mem.metrics_epoch().0));
+        self.mem.metrics.finish(end);
+        self.result(truncated, instructions_per_core)
+    }
+
+    fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
+        let n = self.cores.len();
+        loop {
+            let mut all_done = true;
+            for i in 0..n {
+                if self.cores[i].committed() >= committed_target {
+                    continue;
+                }
+                all_done = false;
+                let mut port = Port {
+                    mem: &mut self.mem,
+                    core: CoreId(i),
+                };
+                self.cores[i].tick(self.now, &mut port, &mut *self.threads[i]);
+            }
+            if all_done {
+                return false;
+            }
+            self.now += 1;
+            if self.now.0 >= max_cycles {
+                return true;
+            }
+        }
+    }
+
+    fn result(&self, truncated: bool, measured_per_core: u64) -> RunResult {
+        let committed: u64 = measured_per_core * self.cores.len() as u64;
+        let (mut preds, mut mispreds) = (0u64, 0u64);
+        for c in &self.cores {
+            preds += c.branch_predictor().predictions();
+            mispreds += c.branch_predictor().mispredictions();
+        }
+        let mut rca = RcaRunStats::default();
+        let mut evicted = [0u64; 3];
+        let mut evictions_total = 0u64;
+        let mut nodes_with_rca = 0u64;
+        for i in 0..self.cores.len() {
+            if let Some(r) = self.mem.rca(CoreId(i)) {
+                nodes_with_rca += 1;
+                let s = r.stats();
+                evictions_total += s.evictions.value();
+                for (b, slot) in evicted.iter_mut().enumerate() {
+                    *slot += s.evicted_line_counts.count(b);
+                }
+                rca.self_invalidations += s.self_invalidations.value();
+                rca.mean_lines_per_region += r.mean_lines_per_region();
+            }
+        }
+        if nodes_with_rca > 0 {
+            rca.mean_lines_per_region /= nodes_with_rca as f64;
+        }
+        rca.evictions = evictions_total;
+        if evictions_total > 0 {
+            rca.evicted_empty_fraction = evicted[0] as f64 / evictions_total as f64;
+            rca.evicted_one_line_fraction = evicted[1] as f64 / evictions_total as f64;
+            rca.evicted_two_lines_fraction = evicted[2] as f64 / evictions_total as f64;
+        }
+        let runtime = self.now.0.saturating_sub(self.mem.metrics_epoch().0);
+        RunResult {
+            benchmark: self.benchmark.clone(),
+            mode: self.mem.config().mode.label(),
+            runtime_cycles: runtime,
+            committed,
+            ipc: if runtime == 0 {
+                0.0
+            } else {
+                committed as f64 / (runtime as f64 * self.cores.len() as f64)
+            },
+            mispredict_rate: if preds == 0 {
+                0.0
+            } else {
+                mispreds as f64 / preds as f64
+            },
+            metrics: self.mem.metrics.clone(),
+            rca,
+            truncated,
+        }
+    }
+
+    /// Checks global invariants (delegates to the memory system).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.mem.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoherenceMode;
+    use cgct_workloads::by_name;
+
+    fn tiny_run(mode: CoherenceMode, seed: u64) -> (RunResult, Machine) {
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        let spec = by_name("ocean").unwrap();
+        let mut m = Machine::new(cfg, &spec, seed);
+        let r = m.run(3000, 2_000_000);
+        (r, m)
+    }
+
+    #[test]
+    fn baseline_run_completes_and_holds_invariants() {
+        let (r, m) = tiny_run(CoherenceMode::Baseline, 1);
+        assert!(!r.truncated, "run truncated at {} cycles", r.runtime_cycles);
+        assert!(r.committed >= 4 * 3000);
+        assert!(r.ipc > 0.01, "ipc {}", r.ipc);
+        assert!(r.metrics.broadcasts > 0);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cgct_run_avoids_broadcasts() {
+        let (base, _) = tiny_run(CoherenceMode::Baseline, 1);
+        let (cgct, m) = tiny_run(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            1,
+        );
+        assert!(!cgct.truncated);
+        assert!(
+            cgct.metrics.broadcasts < base.metrics.broadcasts,
+            "cgct {} vs base {}",
+            cgct.metrics.broadcasts,
+            base.metrics.broadcasts
+        );
+        assert!(cgct.metrics.avoided_fraction() > 0.1);
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn cgct_is_not_slower() {
+        let (base, _) = tiny_run(CoherenceMode::Baseline, 2);
+        let (cgct, _) = tiny_run(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            2,
+        );
+        // Tiny runs are noisy; allow a small tolerance but catch gross
+        // regressions (CGCT must not be meaningfully slower).
+        assert!(
+            (cgct.runtime_cycles as f64) < base.runtime_cycles as f64 * 1.05,
+            "cgct {} vs base {}",
+            cgct.runtime_cycles,
+            base.runtime_cycles
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = tiny_run(CoherenceMode::Baseline, 7);
+        let (b, _) = tiny_run(CoherenceMode::Baseline, 7);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.metrics.broadcasts, b.metrics.broadcasts);
+    }
+
+    #[test]
+    fn different_seeds_perturb_runtime() {
+        let (a, _) = tiny_run(CoherenceMode::Baseline, 1);
+        let (b, _) = tiny_run(CoherenceMode::Baseline, 99);
+        assert_ne!(
+            (a.runtime_cycles, a.metrics.broadcasts),
+            (b.runtime_cycles, b.metrics.broadcasts)
+        );
+    }
+
+    #[test]
+    fn truncation_reported() {
+        let mut cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        cfg.perturbation = 0;
+        let spec = by_name("barnes").unwrap();
+        let mut m = Machine::new(cfg, &spec, 1);
+        let r = m.run(1_000_000, 500);
+        assert!(r.truncated);
+    }
+}

@@ -1,0 +1,282 @@
+//! Metrics behind the paper's figures: request/broadcast accounting by
+//! category (Figure 2/7), traffic-per-interval (Figure 10), latency and
+//! RCA behaviour (§3.2, §5.2).
+
+use cgct_cache::ReqKind;
+use cgct_sim::{Cycle, IntervalTracker, RunningStats};
+use serde::{Deserialize, Serialize};
+
+/// Figure 2's request categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RequestCategory {
+    /// Ordinary reads and writes (including prefetches) of data.
+    DataReadWrite,
+    /// Write-backs of dirty lines.
+    Writeback,
+    /// Instruction fetches.
+    Ifetch,
+    /// Data-cache-block operations (DCBZ etc.).
+    DcbOp,
+}
+
+impl RequestCategory {
+    /// The category a request kind reports under. Instruction fetches are
+    /// the only `ReadShared` issuers in this system.
+    pub fn of(req: ReqKind) -> RequestCategory {
+        match req {
+            ReqKind::ReadShared => RequestCategory::Ifetch,
+            ReqKind::Writeback => RequestCategory::Writeback,
+            ReqKind::Dcbz => RequestCategory::DcbOp,
+            ReqKind::Read | ReqKind::ReadExclusive | ReqKind::Upgrade => {
+                RequestCategory::DataReadWrite
+            }
+        }
+    }
+
+    /// All categories in Figure 2's stacking order.
+    pub const ALL: [RequestCategory; 4] = [
+        RequestCategory::DataReadWrite,
+        RequestCategory::Writeback,
+        RequestCategory::Ifetch,
+        RequestCategory::DcbOp,
+    ];
+}
+
+/// Per-category request counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestBreakdown {
+    /// Reads/writes/upgrades/prefetches.
+    pub data: u64,
+    /// Write-backs.
+    pub writeback: u64,
+    /// Instruction fetches.
+    pub ifetch: u64,
+    /// DCB operations.
+    pub dcb: u64,
+}
+
+impl RequestBreakdown {
+    /// Adds one event in `category`.
+    pub fn record(&mut self, category: RequestCategory) {
+        match category {
+            RequestCategory::DataReadWrite => self.data += 1,
+            RequestCategory::Writeback => self.writeback += 1,
+            RequestCategory::Ifetch => self.ifetch += 1,
+            RequestCategory::DcbOp => self.dcb += 1,
+        }
+    }
+
+    /// Count for `category`.
+    pub fn get(&self, category: RequestCategory) -> u64 {
+        match category {
+            RequestCategory::DataReadWrite => self.data,
+            RequestCategory::Writeback => self.writeback,
+            RequestCategory::Ifetch => self.ifetch,
+            RequestCategory::DcbOp => self.dcb,
+        }
+    }
+
+    /// Sum over categories.
+    pub fn total(&self) -> u64 {
+        self.data + self.writeback + self.ifetch + self.dcb
+    }
+}
+
+/// Memory-system metrics for one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MemMetrics {
+    /// All coherence-point requests (what the baseline would broadcast).
+    pub requests: RequestBreakdown,
+    /// Requests actually broadcast.
+    pub broadcasts: u64,
+    /// Requests sent directly to a memory controller.
+    pub direct: RequestBreakdown,
+    /// Requests completed with no external request at all.
+    pub local: RequestBreakdown,
+    /// Oracle-unnecessary broadcasts by category (Figure 2; measured on
+    /// what was actually broadcast).
+    pub unnecessary: RequestBreakdown,
+    /// Broadcast traffic over time (Figure 10).
+    pub traffic: IntervalTracker,
+    /// Cache-to-cache transfers served by owners.
+    pub cache_to_cache: u64,
+    /// Demand fills served from memory.
+    pub memory_fills: u64,
+    /// Demand (non-prefetch) data request latency in CPU cycles.
+    pub demand_latency: RunningStats,
+    /// L2 demand accesses and misses (for miss-ratio impact, §3.2).
+    pub l2_accesses: u64,
+    /// L2 demand misses.
+    pub l2_misses: u64,
+    /// Lines flushed from the cache to keep RCA inclusion (§3.2).
+    pub inclusion_flushes: u64,
+    /// Prefetches issued into the memory system.
+    pub prefetches: u64,
+    /// Prefetches suppressed by the region-state filter (§6 extension).
+    pub prefetches_filtered: u64,
+    /// Speculative DRAM accesses started alongside a snoop that turned
+    /// out to be wasted (the owner cache supplied the data).
+    pub dram_speculation_wasted: u64,
+    /// Speculative DRAM accesses avoided by the region-state predictor
+    /// (§6 extension).
+    pub dram_speculation_saved: u64,
+    /// Tag-array lookups performed at snooped processors.
+    pub snooped_tag_lookups: u64,
+    /// Snoop-induced tag lookups skipped by the Jetty filter.
+    pub jetty_filtered_lookups: u64,
+    /// Reads satisfied point-to-point by a predicted owner without a
+    /// broadcast (§6 extension).
+    pub owner_prediction_hits: u64,
+    /// Owner-prediction probes that missed and fell back to a broadcast.
+    pub owner_prediction_misses: u64,
+    /// Sampled mean lines per valid region (§5.2's 2.8–5 range).
+    pub lines_per_region_samples: RunningStats,
+}
+
+impl MemMetrics {
+    /// Creates empty metrics with the given traffic window.
+    pub fn new(traffic_window: u64) -> Self {
+        MemMetrics {
+            requests: RequestBreakdown::default(),
+            broadcasts: 0,
+            direct: RequestBreakdown::default(),
+            local: RequestBreakdown::default(),
+            unnecessary: RequestBreakdown::default(),
+            traffic: IntervalTracker::new(traffic_window),
+            cache_to_cache: 0,
+            memory_fills: 0,
+            demand_latency: RunningStats::new(),
+            l2_accesses: 0,
+            l2_misses: 0,
+            inclusion_flushes: 0,
+            prefetches: 0,
+            prefetches_filtered: 0,
+            dram_speculation_wasted: 0,
+            dram_speculation_saved: 0,
+            snooped_tag_lookups: 0,
+            jetty_filtered_lookups: 0,
+            owner_prediction_hits: 0,
+            owner_prediction_misses: 0,
+            lines_per_region_samples: RunningStats::new(),
+        }
+    }
+
+    /// Fraction of all requests that avoided a broadcast (direct + local).
+    pub fn avoided_fraction(&self) -> f64 {
+        let avoided = self.direct.total() + self.local.total();
+        if self.requests.total() == 0 {
+            0.0
+        } else {
+            avoided as f64 / self.requests.total() as f64
+        }
+    }
+
+    /// Fraction of all requests whose broadcast the oracle deems
+    /// unnecessary (Figure 2's bars, when measured on a baseline run).
+    pub fn unnecessary_fraction(&self) -> f64 {
+        if self.requests.total() == 0 {
+            0.0
+        } else {
+            self.unnecessary.total() as f64 / self.requests.total() as f64
+        }
+    }
+
+    /// L2 demand miss ratio.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        if self.l2_accesses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l2_accesses as f64
+        }
+    }
+
+    /// Broadcasts per `window` cycles, averaged over the run.
+    pub fn avg_traffic(&self) -> f64 {
+        self.traffic.average_per_window()
+    }
+
+    /// Peak broadcasts in any window.
+    pub fn peak_traffic(&self) -> u64 {
+        self.traffic.peak()
+    }
+
+    /// Closes interval tracking at the end of a run.
+    pub fn finish(&mut self, end: Cycle) {
+        self.traffic.finish(end);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_of_request_kinds() {
+        assert_eq!(
+            RequestCategory::of(ReqKind::Read),
+            RequestCategory::DataReadWrite
+        );
+        assert_eq!(
+            RequestCategory::of(ReqKind::ReadExclusive),
+            RequestCategory::DataReadWrite
+        );
+        assert_eq!(
+            RequestCategory::of(ReqKind::Upgrade),
+            RequestCategory::DataReadWrite
+        );
+        assert_eq!(
+            RequestCategory::of(ReqKind::ReadShared),
+            RequestCategory::Ifetch
+        );
+        assert_eq!(
+            RequestCategory::of(ReqKind::Writeback),
+            RequestCategory::Writeback
+        );
+        assert_eq!(RequestCategory::of(ReqKind::Dcbz), RequestCategory::DcbOp);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = RequestBreakdown::default();
+        for c in RequestCategory::ALL {
+            b.record(c);
+            b.record(c);
+        }
+        assert_eq!(b.total(), 8);
+        for c in RequestCategory::ALL {
+            assert_eq!(b.get(c), 2);
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let mut m = MemMetrics::new(1000);
+        for _ in 0..10 {
+            m.requests.record(RequestCategory::DataReadWrite);
+        }
+        m.direct.record(RequestCategory::DataReadWrite);
+        m.local.record(RequestCategory::DataReadWrite);
+        m.unnecessary.record(RequestCategory::DataReadWrite);
+        assert!((m.avoided_fraction() - 0.2).abs() < 1e-12);
+        assert!((m.unnecessary_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = MemMetrics::new(100);
+        assert_eq!(m.avoided_fraction(), 0.0);
+        assert_eq!(m.unnecessary_fraction(), 0.0);
+        assert_eq!(m.l2_miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn traffic_roundtrip() {
+        let mut m = MemMetrics::new(100);
+        for t in [0u64, 1, 2, 150] {
+            m.traffic.record(Cycle(t));
+        }
+        m.finish(Cycle(200));
+        assert_eq!(m.peak_traffic(), 3);
+        assert!((m.avg_traffic() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,490 @@
+//! Markdown rendering for experiment results.
+//!
+//! These renderers produce the tables written into `EXPERIMENTS.md` by
+//! the `experiments` binary in `cgct-bench`.
+
+use crate::experiments::{Fig10Row, Fig2Row, Fig7Row, RcaStatsRow, SpeedupRow};
+use cgct::StorageModel;
+use cgct_interconnect::{DistanceClass, LatencyModel};
+use std::fmt::Write;
+
+/// Renders a markdown table.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_system::report::markdown_table;
+/// let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+/// assert!(t.contains("| a | b |"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Figure 2 table: unnecessary broadcasts by category.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                pct(r.data),
+                pct(r.writeback),
+                pct(r.ifetch),
+                pct(r.dcb),
+                pct(r.total()),
+            ]
+        })
+        .collect();
+    let avg: f64 = rows.iter().map(|r| r.total()).sum::<f64>() / rows.len().max(1) as f64;
+    format!(
+        "{}\nAverage unnecessary: **{}** (paper: 67% average, 15-94% range)\n",
+        markdown_table(
+            &[
+                "benchmark",
+                "data r/w",
+                "write-backs",
+                "ifetches",
+                "DCB ops",
+                "total"
+            ],
+            &body
+        ),
+        pct(avg)
+    )
+}
+
+/// Figure 7 table: oracle opportunity vs broadcasts avoided by CGCT.
+pub fn render_fig7(rows: &[Fig7Row], region_sizes: &[u64]) -> String {
+    let mut headers: Vec<String> = vec!["benchmark".into(), "oracle".into()];
+    for rs in region_sizes {
+        headers.push(format!("avoided {rs}B"));
+        headers.push(format!("captured {rs}B"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.benchmark.clone(), pct(r.oracle)];
+            for rs in region_sizes {
+                let avoided = r.avoided[rs];
+                row.push(pct(avoided));
+                let captured = if r.oracle > 0.0 {
+                    avoided / r.oracle
+                } else {
+                    0.0
+                };
+                row.push(pct(captured));
+            }
+            row
+        })
+        .collect();
+    markdown_table(&headers_ref, &body)
+}
+
+/// Figure 8 / Figure 9 table: runtime reduction per configuration.
+pub fn render_speedups(rows: &[SpeedupRow], labels: &[String]) -> String {
+    let mut headers: Vec<String> = vec!["benchmark".into()];
+    for l in labels {
+        headers.push(format!("{l} reduction"));
+        headers.push(format!("{l} 95% CI"));
+    }
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.benchmark.clone()];
+            for l in labels {
+                let (mean, ci) = &r.reduction_pct[l];
+                row.push(format!("{mean:.1}%"));
+                row.push(format!("[{:.1}%, {:.1}%]", ci.low, ci.high));
+            }
+            row
+        })
+        .collect();
+    markdown_table(&headers_ref, &body)
+}
+
+/// Figure 10 table: average/peak broadcast traffic per window.
+pub fn render_fig10(rows: &[Fig10Row], window: u64) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                format!("{:.0}", r.base_avg),
+                format!("{:.0}", r.base_peak),
+                format!("{:.0}", r.cgct_avg),
+                format!("{:.0}", r.cgct_peak),
+            ]
+        })
+        .collect();
+    format!(
+        "Broadcasts per {window} cycles:\n\n{}",
+        markdown_table(
+            &[
+                "benchmark",
+                "base avg",
+                "base peak",
+                "cgct-512B avg",
+                "cgct-512B peak"
+            ],
+            &body
+        )
+    )
+}
+
+/// §3.2 / §5.2 RCA statistics table.
+pub fn render_rca_stats(rows: &[RcaStatsRow]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.benchmark.clone(),
+                pct(r.evicted_empty),
+                pct(r.evicted_one),
+                pct(r.evicted_two),
+                format!("{:.2}", r.mean_lines_per_region),
+                format!("{:+.1}%", r.miss_ratio_increase * 100.0),
+                format!("{:.0}", r.self_invalidations_per_mreq),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "benchmark",
+            "evicted empty",
+            "evicted 1 line",
+            "evicted 2 lines",
+            "mean lines/region",
+            "L2 miss-ratio delta",
+            "self-inval / Mreq",
+        ],
+        &body,
+    )
+}
+
+/// Table 2 (storage overhead) — analytic, matches the paper exactly.
+pub fn render_table2(model: &StorageModel) -> String {
+    let body: Vec<Vec<String>> = model
+        .table2()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}K entries, {}B regions", r.entries / 1024, r.region_bytes),
+                r.tag_bits.to_string(),
+                r.state_bits.to_string(),
+                r.line_count_bits.to_string(),
+                r.mc_id_bits.to_string(),
+                r.lru_bits.to_string(),
+                r.ecc_bits.to_string(),
+                r.total_bits.to_string(),
+                format!("{:.1}%", r.tag_space_overhead * 100.0),
+                format!("{:.1}%", r.cache_space_overhead * 100.0),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "configuration",
+            "tag (x2)",
+            "state (x2)",
+            "line count (x2)",
+            "MC id (x2)",
+            "LRU",
+            "ECC",
+            "total bits",
+            "tag-space overhead",
+            "cache-space overhead",
+        ],
+        &body,
+    )
+}
+
+/// Figure 6 (memory request latency scenarios) — analytic.
+pub fn render_fig6(lat: &LatencyModel) -> String {
+    let name = |d: DistanceClass| match d {
+        DistanceClass::SameChip => "own memory",
+        DistanceClass::SameSwitch => "same data switch",
+        DistanceClass::SameBoard => "same board",
+        DistanceClass::Remote => "remote",
+    };
+    let body: Vec<Vec<String>> = DistanceClass::ALL
+        .iter()
+        .map(|&d| {
+            vec![
+                name(d).to_string(),
+                format!(
+                    "{} cpu ({} sys)",
+                    lat.snoop_memory_access(d),
+                    lat.snoop_memory_access(d) / 10
+                ),
+                format!(
+                    "{} cpu (~{} sys)",
+                    lat.direct_memory_access(d),
+                    (lat.direct_memory_access(d) + 5) / 10
+                ),
+                format!("{} cpu", lat.cache_to_cache(d)),
+                format!("{}", lat.direct_advantage(d)),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "memory location",
+            "snooped access",
+            "direct access",
+            "cache-to-cache",
+            "direct advantage (cpu)",
+        ],
+        &body,
+    )
+}
+
+/// Table 1 (region protocol states).
+pub fn render_table1() -> String {
+    use cgct::RegionState;
+    use cgct_cache::ReqKind;
+    let body: Vec<Vec<String>> = RegionState::ALL
+        .iter()
+        .map(|&s| {
+            let bcast = match (
+                s.permission(ReqKind::Read),
+                s.permission(ReqKind::ReadShared),
+            ) {
+                (cgct::RegionPermission::Broadcast, cgct::RegionPermission::Broadcast) => "Yes",
+                (cgct::RegionPermission::Broadcast, _) => "For modifiable copy",
+                _ => "No",
+            };
+            vec![
+                s.mnemonic().to_string(),
+                match s.local() {
+                    None => "No cached copies".into(),
+                    Some(cgct::LocalPart::Clean) => "Unmodified copies only".into(),
+                    Some(cgct::LocalPart::Dirty) => "May have modified copies".into(),
+                },
+                match s.external() {
+                    None => "Unknown".into(),
+                    Some(cgct::ExternalPart::Invalid) => "No cached copies".into(),
+                    Some(cgct::ExternalPart::Clean) => "Unmodified copies only".into(),
+                    Some(cgct::ExternalPart::Dirty) => "May have modified copies".into(),
+                },
+                bcast.to_string(),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            "state",
+            "processor",
+            "other processors",
+            "broadcast needed?",
+        ],
+        &body,
+    )
+}
+
+/// Renders a labeled horizontal ASCII bar chart (terminal-friendly
+/// companion to the markdown tables).
+///
+/// # Examples
+///
+/// ```
+/// use cgct_system::report::ascii_bars;
+/// let chart = ascii_bars(&[("a".into(), 0.5), ("b".into(), 1.0)], 10);
+/// assert!(chart.contains("a"));
+/// assert!(chart.lines().count() == 2);
+/// ```
+pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let filled = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{}{} {value:.1}",
+            "█".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        );
+    }
+    out
+}
+
+/// A paired-series ASCII chart: baseline vs CGCT per benchmark.
+pub fn ascii_paired(rows: &[(String, f64, f64)], width: usize) -> String {
+    let max = rows
+        .iter()
+        .flat_map(|(_, a, b)| [*a, *b])
+        .fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, base, cgct) in rows {
+        let bar = |v: f64| {
+            let filled = if max > 0.0 {
+                ((v / max) * width as f64).round() as usize
+            } else {
+                0
+            };
+            "█".repeat(filled.min(width))
+        };
+        let _ = writeln!(out, "{label:<label_w$} base |{} {base:.0}", bar(*base));
+        let _ = writeln!(out, "{:label_w$} cgct |{} {cgct:.0}", "", bar(*cgct));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&["x", "y"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("---"));
+    }
+
+    #[test]
+    fn table1_renders_seven_states() {
+        let t = render_table1();
+        for s in [
+            "| I |", "| CI |", "| CC |", "| CD |", "| DI |", "| DC |", "| DD |",
+        ] {
+            assert!(t.contains(s), "missing {s} in\n{t}");
+        }
+        assert!(t.contains("For modifiable copy"));
+    }
+
+    #[test]
+    fn table2_renders_paper_totals() {
+        let t = render_table2(&StorageModel::paper_default());
+        assert!(t.contains("| 76 |"));
+        assert!(t.contains("| 71 |"));
+        assert!(t.contains("5.9%"));
+    }
+
+    #[test]
+    fn ascii_bars_scale_to_max() {
+        let chart = ascii_bars(&[("x".into(), 2.0), ("yy".into(), 4.0)], 8);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // The max value fills the full width.
+        assert!(lines[1].contains(&"█".repeat(8)));
+        // Labels are padded to equal width.
+        assert!(lines[0].starts_with("x  |") || lines[0].starts_with("x "));
+    }
+
+    #[test]
+    fn ascii_bars_handle_all_zero() {
+        let chart = ascii_bars(&[("a".into(), 0.0)], 5);
+        assert!(chart.contains("0.0"));
+    }
+
+    #[test]
+    fn ascii_paired_emits_two_lines_per_row() {
+        let chart = ascii_paired(&[("b".into(), 10.0, 5.0)], 10);
+        assert_eq!(chart.lines().count(), 2);
+        assert!(chart.contains("base"));
+        assert!(chart.contains("cgct"));
+    }
+
+    #[test]
+    fn fig6_renders_scenarios() {
+        let t = render_fig6(&LatencyModel::paper_default());
+        assert!(t.contains("own memory"));
+        assert!(t.contains("250 cpu (25 sys)"));
+        assert!(t.contains("181 cpu (~18 sys)"));
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use crate::experiments::{Fig10Row, Fig2Row, Fig7Row, SpeedupRow};
+    use cgct_sim::ConfidenceInterval;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn fig2_renders_rows_and_average() {
+        let rows = vec![Fig2Row {
+            benchmark: "ocean".into(),
+            data: 0.5,
+            writeback: 0.1,
+            ifetch: 0.05,
+            dcb: 0.0,
+        }];
+        let t = render_fig2(&rows);
+        assert!(t.contains("| ocean |"));
+        assert!(t.contains("65.0%")); // total
+        assert!(t.contains("Average unnecessary"));
+    }
+
+    #[test]
+    fn fig7_renders_capture_rates() {
+        let mut avoided = BTreeMap::new();
+        avoided.insert(512u64, 0.4);
+        let rows = vec![Fig7Row {
+            benchmark: "tpc-w".into(),
+            oracle: 0.8,
+            avoided,
+        }];
+        let t = render_fig7(&rows, &[512]);
+        assert!(t.contains("| tpc-w | 80.0% | 40.0% | 50.0% |"));
+    }
+
+    #[test]
+    fn speedups_render_with_cis() {
+        let mut reduction = BTreeMap::new();
+        reduction.insert(
+            "cgct-512B".to_string(),
+            (
+                8.8,
+                ConfidenceInterval {
+                    low: 8.0,
+                    high: 9.6,
+                },
+            ),
+        );
+        let rows = vec![SpeedupRow {
+            benchmark: "barnes".into(),
+            reduction_pct: reduction,
+        }];
+        let t = render_speedups(&rows, &["cgct-512B".to_string()]);
+        assert!(t.contains("8.8%"));
+        assert!(t.contains("[8.0%, 9.6%]"));
+    }
+
+    #[test]
+    fn fig10_renders_traffic_pairs() {
+        let rows = vec![Fig10Row {
+            benchmark: "tpc-b".into(),
+            base_avg: 2573.0,
+            base_peak: 7365.0,
+            cgct_avg: 1103.0,
+            cgct_peak: 2683.0,
+        }];
+        let t = render_fig10(&rows, 100_000);
+        assert!(t.contains("| tpc-b | 2573 | 7365 | 1103 | 2683 |"));
+        assert!(t.contains("100000 cycles"));
+    }
+}

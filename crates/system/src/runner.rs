@@ -1,0 +1,199 @@
+//! Multi-seed experiment runner.
+//!
+//! The paper averages several perturbed runs per benchmark and reports
+//! 95% confidence intervals (§4). [`run_averaged`] does the same, fanning
+//! seeds out across OS threads.
+
+use crate::config::SystemConfig;
+use crate::machine::{Machine, RunResult};
+use cgct_sim::RunningStats;
+use cgct_workloads::BenchmarkSpec;
+use serde::{Deserialize, Serialize};
+
+/// How much work one experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// Cache-warming instructions per core before measurement starts.
+    pub warmup_per_core: u64,
+    /// Instructions each core must commit during measurement.
+    pub instructions_per_core: u64,
+    /// Hard cycle cap (guards against pathological configurations).
+    pub max_cycles: u64,
+    /// Number of perturbed runs to average.
+    pub runs: u64,
+    /// Base seed; run *i* uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl RunPlan {
+    /// A quick plan for tests and smoke runs.
+    pub fn smoke() -> Self {
+        RunPlan {
+            warmup_per_core: 2_000,
+            instructions_per_core: 5_000,
+            max_cycles: 5_000_000,
+            runs: 2,
+            base_seed: 1,
+        }
+    }
+
+    /// The default evaluation plan used by the benchmark harness.
+    pub fn evaluation() -> Self {
+        RunPlan {
+            warmup_per_core: 250_000,
+            instructions_per_core: 150_000,
+            max_cycles: 80_000_000,
+            runs: 4,
+            base_seed: 1,
+        }
+    }
+}
+
+/// Mean/CI aggregation of several perturbed runs of one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mode label.
+    pub mode: String,
+    /// Runtime in cycles across runs.
+    pub runtime: RunningStats,
+    /// Fraction of requests that avoided a broadcast.
+    pub avoided_fraction: RunningStats,
+    /// Oracle-unnecessary fraction (meaningful for baseline runs).
+    pub unnecessary_fraction: RunningStats,
+    /// Average broadcasts per traffic window.
+    pub avg_traffic: RunningStats,
+    /// Peak broadcasts in any window.
+    pub peak_traffic: RunningStats,
+    /// L2 miss ratio.
+    pub l2_miss_ratio: RunningStats,
+    /// The individual runs.
+    pub runs: Vec<RunResult>,
+}
+
+impl AggregateResult {
+    fn from_runs(runs: Vec<RunResult>) -> AggregateResult {
+        let mut agg = AggregateResult {
+            benchmark: runs[0].benchmark.clone(),
+            mode: runs[0].mode.clone(),
+            runtime: RunningStats::new(),
+            avoided_fraction: RunningStats::new(),
+            unnecessary_fraction: RunningStats::new(),
+            avg_traffic: RunningStats::new(),
+            peak_traffic: RunningStats::new(),
+            l2_miss_ratio: RunningStats::new(),
+            runs: Vec::new(),
+        };
+        for r in &runs {
+            agg.runtime.push(r.runtime_cycles as f64);
+            agg.avoided_fraction.push(r.metrics.avoided_fraction());
+            agg.unnecessary_fraction
+                .push(r.metrics.unnecessary_fraction());
+            agg.avg_traffic.push(r.metrics.avg_traffic());
+            agg.peak_traffic.push(r.metrics.peak_traffic() as f64);
+            agg.l2_miss_ratio.push(r.metrics.l2_miss_ratio());
+        }
+        agg.runs = runs;
+        agg
+    }
+
+    /// Mean runtime in cycles.
+    pub fn mean_runtime(&self) -> f64 {
+        self.runtime.mean()
+    }
+}
+
+/// Runs one seed of one configuration.
+pub fn run_once(cfg: &SystemConfig, spec: &BenchmarkSpec, seed: u64, plan: &RunPlan) -> RunResult {
+    let mut machine = Machine::new(cfg.clone(), spec, seed);
+    machine.run_warmed(
+        plan.warmup_per_core,
+        plan.instructions_per_core,
+        plan.max_cycles,
+    )
+}
+
+/// Runs `plan.runs` perturbed seeds of one configuration in parallel and
+/// aggregates them.
+///
+/// # Panics
+///
+/// Panics if `plan.runs` is zero or a worker thread panics.
+pub fn run_averaged(cfg: &SystemConfig, spec: &BenchmarkSpec, plan: &RunPlan) -> AggregateResult {
+    assert!(plan.runs > 0, "need at least one run");
+    let results: Vec<RunResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..plan.runs)
+            .map(|i| {
+                let cfg = cfg.clone();
+                let spec = spec.clone();
+                let plan = *plan;
+                scope.spawn(move || run_once(&cfg, &spec, plan.base_seed + i, &plan))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("run thread panicked"))
+            .collect()
+    });
+    AggregateResult::from_runs(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CoherenceMode;
+    use cgct_workloads::by_name;
+
+    #[test]
+    fn averaged_runs_aggregate() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        let spec = by_name("specint2000rate").unwrap();
+        let plan = RunPlan {
+            warmup_per_core: 500,
+            instructions_per_core: 2_000,
+            max_cycles: 2_000_000,
+            runs: 2,
+            base_seed: 10,
+        };
+        let agg = run_averaged(&cfg, &spec, &plan);
+        assert_eq!(agg.runs.len(), 2);
+        assert_eq!(agg.runtime.count(), 2);
+        assert!(agg.mean_runtime() > 0.0);
+        assert!(agg.unnecessary_fraction.mean() > 0.0);
+        // Perturbation makes the runs differ.
+        assert!(agg.runs[0].runtime_cycles != agg.runs[1].runtime_cycles);
+    }
+
+    #[test]
+    fn run_once_is_reproducible() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        let spec = by_name("barnes").unwrap();
+        let plan = RunPlan {
+            warmup_per_core: 0,
+            instructions_per_core: 1_500,
+            max_cycles: 2_000_000,
+            runs: 1,
+            base_seed: 3,
+        };
+        let a = run_once(&cfg, &spec, 3, &plan);
+        let b = run_once(&cfg, &spec, 3, &plan);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+        assert_eq!(a.metrics.broadcasts, b.metrics.broadcasts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_rejected() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        let spec = by_name("barnes").unwrap();
+        let plan = RunPlan {
+            warmup_per_core: 0,
+            instructions_per_core: 100,
+            max_cycles: 1000,
+            runs: 0,
+            base_seed: 0,
+        };
+        let _ = run_averaged(&cfg, &spec, &plan);
+    }
+}

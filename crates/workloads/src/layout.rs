@@ -1,0 +1,254 @@
+//! Physical address-space layout shared by all synthetic benchmarks.
+//!
+//! Segments are placed far apart so they never alias in the caches, and
+//! per-core private segments are disjoint. All addresses stay below 2^40,
+//! matching the storage model of Table 2.
+
+use cgct_cache::Addr;
+use serde::{Deserialize, Serialize};
+
+/// Logical memory segments the generators draw addresses from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Segment {
+    /// Instruction space. Shared by all cores for threaded workloads,
+    /// per-core for multiprogrammed ones.
+    Code,
+    /// Per-core private data (heap/stack): never touched by other cores.
+    PrivateHeap,
+    /// Read-mostly shared data (e.g. the Raytrace scene).
+    SharedReadOnly,
+    /// Read-write shared data (grids, databases, Java heaps).
+    SharedReadWrite,
+    /// Small hot migratory structures: locks, counters, run queues.
+    Migratory,
+    /// Per-core pool of pages zeroed with `dcbz` before use.
+    PagePool,
+    /// Operating-system data touched in kernel mode: shared.
+    Kernel,
+    /// Heap whose allocations interleave across cores in 512-byte chunks
+    /// (kernel slab / malloc arena behaviour): data is *logically*
+    /// private, but physically adjacent to other cores' data, so regions
+    /// larger than the chunk suffer false region-sharing.
+    InterleavedHeap,
+}
+
+impl Segment {
+    /// Whether addresses in this segment differ per core.
+    pub fn is_private(self) -> bool {
+        matches!(
+            self,
+            Segment::PrivateHeap | Segment::PagePool | Segment::InterleavedHeap
+        )
+    }
+}
+
+/// Resolves (segment, offset) pairs to physical addresses for one core.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_workloads::{AddressMap, Segment};
+///
+/// let m0 = AddressMap::new(0, 4, false);
+/// let m1 = AddressMap::new(1, 4, false);
+/// // Private heaps are disjoint across cores...
+/// assert_ne!(m0.resolve(Segment::PrivateHeap, 0), m1.resolve(Segment::PrivateHeap, 0));
+/// // ...while shared segments coincide.
+/// assert_eq!(
+///     m0.resolve(Segment::SharedReadWrite, 64),
+///     m1.resolve(Segment::SharedReadWrite, 64)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMap {
+    core: usize,
+    total_cores: usize,
+    per_core_code: bool,
+}
+
+/// Span reserved for each core's slice of a private segment (256 MB).
+const PRIVATE_SPAN: u64 = 0x1000_0000;
+
+/// Per-segment base offset that spreads segments across cache and RCA
+/// sets. Without it, every segment base would be a large power of two and
+/// all hot data would alias into the same low index sets of the 2-way
+/// arrays, which real address layouts do not do. Offsets are page-aligned
+/// and pairwise distinct modulo both the L2 index span (512 KB) and the
+/// RCA index span (4 MB at 512 B regions).
+fn spread(rank: u64) -> u64 {
+    rank * 73 * 4096
+}
+
+impl AddressMap {
+    /// Creates the map for `core` of `total_cores`. `per_core_code` gives
+    /// each core its own code segment (multiprogrammed workloads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= total_cores`.
+    pub fn new(core: usize, total_cores: usize, per_core_code: bool) -> Self {
+        assert!(core < total_cores, "core {core} out of {total_cores}");
+        AddressMap {
+            core,
+            total_cores,
+            per_core_code,
+        }
+    }
+
+    /// Base address of `segment` for this core.
+    pub fn base(&self, segment: Segment) -> Addr {
+        let core = self.core as u64;
+        let a = match segment {
+            Segment::Code => {
+                spread(0)
+                    + if self.per_core_code {
+                        0x00_1000_0000 + core * PRIVATE_SPAN
+                    } else {
+                        0x00_1000_0000
+                    }
+            }
+            Segment::PrivateHeap => 0x10_0000_0000 + core * PRIVATE_SPAN + spread(1),
+            Segment::SharedReadOnly => 0x20_0000_0000 + spread(2),
+            Segment::SharedReadWrite => 0x30_0000_0000 + spread(3),
+            Segment::Migratory => 0x40_0000_0000 + spread(4),
+            Segment::PagePool => 0x50_0000_0000 + core * PRIVATE_SPAN + spread(5),
+            Segment::Kernel => 0x60_0000_0000 + spread(6),
+            Segment::InterleavedHeap => 0x70_0000_0000 + spread(7),
+        };
+        Addr(a)
+    }
+
+    /// Ownership chunk size of [`Segment::InterleavedHeap`]: one core's
+    /// allocations are contiguous only within this many bytes.
+    pub const INTERLEAVE_CHUNK: u64 = 512;
+
+    /// The physical address `offset` bytes into this core's view of
+    /// `segment`. For [`Segment::InterleavedHeap`] the logical offset is
+    /// scattered into the core's 512-byte chunks of the shared arena.
+    pub fn resolve(&self, segment: Segment, offset: u64) -> Addr {
+        if segment == Segment::InterleavedHeap {
+            let chunk = offset / Self::INTERLEAVE_CHUNK;
+            let within = offset % Self::INTERLEAVE_CHUNK;
+            let phys = (chunk * self.total_cores as u64 + self.core as u64)
+                * Self::INTERLEAVE_CHUNK
+                + within;
+            return self.base(segment).offset(phys);
+        }
+        self.base(segment).offset(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_segments_are_disjoint_across_cores() {
+        let maps: Vec<AddressMap> = (0..4).map(|c| AddressMap::new(c, 4, false)).collect();
+        for seg in [Segment::PrivateHeap, Segment::PagePool] {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i == j {
+                        continue;
+                    }
+                    let a = maps[i].resolve(seg, 0).0;
+                    let b = maps[j].resolve(seg, 0).0;
+                    assert!(a.abs_diff(b) >= PRIVATE_SPAN, "{seg:?} cores {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_segments_coincide() {
+        let m0 = AddressMap::new(0, 2, false);
+        let m1 = AddressMap::new(1, 2, false);
+        for seg in [
+            Segment::SharedReadOnly,
+            Segment::SharedReadWrite,
+            Segment::Migratory,
+            Segment::Kernel,
+            Segment::Code,
+        ] {
+            assert_eq!(m0.base(seg), m1.base(seg), "{seg:?}");
+        }
+    }
+
+    #[test]
+    fn per_core_code_separates_code() {
+        let m0 = AddressMap::new(0, 2, true);
+        let m1 = AddressMap::new(1, 2, true);
+        assert_ne!(m0.base(Segment::Code), m1.base(Segment::Code));
+    }
+
+    #[test]
+    fn segments_do_not_overlap() {
+        let m = AddressMap::new(3, 4, true);
+        let mut bases: Vec<u64> = [
+            Segment::Code,
+            Segment::PrivateHeap,
+            Segment::SharedReadOnly,
+            Segment::SharedReadWrite,
+            Segment::Migratory,
+            Segment::PagePool,
+            Segment::Kernel,
+        ]
+        .iter()
+        .map(|&s| m.base(s).0)
+        .collect();
+        bases.sort_unstable();
+        for w in bases.windows(2) {
+            assert!(w[1] - w[0] >= PRIVATE_SPAN / 2, "segments too close: {w:?}");
+        }
+    }
+
+    #[test]
+    fn addresses_fit_in_40_bits_for_small_offsets() {
+        let m = AddressMap::new(3, 4, false);
+        for seg in [Segment::Kernel, Segment::PagePool] {
+            assert!(m.resolve(seg, 0x0FFF_FFFF).0 < (1 << 40), "{seg:?}");
+        }
+    }
+
+    #[test]
+    fn privacy_classification() {
+        assert!(Segment::PrivateHeap.is_private());
+        assert!(Segment::PagePool.is_private());
+        assert!(!Segment::Kernel.is_private());
+        assert!(!Segment::Code.is_private());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn rejects_core_out_of_range() {
+        let _ = AddressMap::new(4, 4, false);
+    }
+
+    #[test]
+    fn interleaved_heap_is_logically_private_but_physically_adjacent() {
+        let m0 = AddressMap::new(0, 4, false);
+        let m1 = AddressMap::new(1, 4, false);
+        // Logical offsets never collide across cores...
+        for off in [0u64, 100, 512, 5000] {
+            assert_ne!(
+                m0.resolve(Segment::InterleavedHeap, off),
+                m1.resolve(Segment::InterleavedHeap, off)
+            );
+        }
+        // ...but core 1's chunk 0 sits right after core 0's chunk 0: the
+        // two land in the same 1 KB region.
+        let a = m0.resolve(Segment::InterleavedHeap, 0).0;
+        let b = m1.resolve(Segment::InterleavedHeap, 0).0;
+        assert_eq!(b - a, 512);
+        assert_eq!(a >> 10, b >> 10, "same 1KB region");
+        assert_ne!(a >> 9, b >> 9, "different 512B regions");
+    }
+
+    #[test]
+    fn interleaved_chunks_preserve_spatial_locality_within_chunk() {
+        let m = AddressMap::new(2, 4, false);
+        let a = m.resolve(Segment::InterleavedHeap, 0).0;
+        let b = m.resolve(Segment::InterleavedHeap, 511).0;
+        assert_eq!(b - a, 511);
+    }
+}

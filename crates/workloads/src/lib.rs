@@ -1,0 +1,39 @@
+//! Synthetic multiprocessor workloads modeled on the CGCT paper's
+//! benchmark suite (Table 4).
+//!
+//! The paper evaluates nine workloads — SPLASH-2 Ocean/Raytrace/Barnes, a
+//! SPECint2000Rate multiprogrammed mix, SPECweb99, SPECjbb2000, TPC-W,
+//! TPC-B, and TPC-H — from AIX full-system checkpoints. Those checkpoints
+//! are not reproducible here, so each benchmark is replaced by a seeded
+//! synthetic generator that reproduces the *sharing characteristics* that
+//! drive the paper's results: what fraction of memory requests touch data
+//! cached nowhere else, read-only shared data, or migratory data; code
+//! footprint; OS page-zeroing (`dcbz`) behaviour; and spatial locality
+//! within regions. See `DESIGN.md` for the substitution rationale.
+//!
+//! Each benchmark is a [`BenchmarkSpec`]; [`WorkloadThread`] interprets a
+//! spec deterministically for one core, implementing
+//! [`cgct_cpu::UopSource`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_workloads::{registry, WorkloadThread};
+//! use cgct_cpu::UopSource;
+//!
+//! let spec = registry::by_name("tpc-w").expect("known benchmark");
+//! let mut thread = WorkloadThread::new(spec.clone(), 0, 4, 42);
+//! let uop = thread.next_uop();
+//! assert!(uop.pc > 0);
+//! ```
+
+pub mod layout;
+pub mod registry;
+pub mod spec;
+pub mod thread;
+pub mod trace;
+
+pub use layout::{AddressMap, Segment};
+pub use registry::{all_benchmarks, by_name, commercial_names, table4, BenchmarkInfo};
+pub use spec::{BenchmarkSpec, PhaseSpec, StreamSpec};
+pub use thread::WorkloadThread;

@@ -1,0 +1,505 @@
+//! The nine benchmarks of Table 4, as synthetic specifications.
+//!
+//! Each spec is calibrated toward the sharing characteristics the paper
+//! reports for its workload: the fraction of requests touching data cached
+//! nowhere else (Figure 2 ranges from 15% for the merge-heavy TPC-H to 94%
+//! for the multiprogrammed SPECint2000Rate mix), code footprint, `dcbz`
+//! page-zeroing rates, and spatial locality. The absolute instruction
+//! streams are synthetic; see `DESIGN.md` for the substitution argument.
+
+use crate::layout::Segment;
+use crate::spec::{BenchmarkSpec, PhaseSpec, StreamSpec};
+use serde::{Deserialize, Serialize};
+
+/// Table 4 metadata for one benchmark.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenchmarkInfo {
+    /// Short name (registry key).
+    pub name: &'static str,
+    /// Table 4 category.
+    pub category: &'static str,
+    /// Table 4 comments column.
+    pub comments: &'static str,
+}
+
+/// Helper: a stream over a shared segment.
+fn stream(
+    segment: Segment,
+    weight: f32,
+    working_set: u64,
+    run_length: u32,
+    stride: u32,
+    store_fraction: f32,
+) -> StreamSpec {
+    StreamSpec {
+        segment,
+        weight,
+        working_set,
+        run_length,
+        stride,
+        store_fraction,
+        // Store intent tracks how write-heavy the stream is: a load is a
+        // candidate for exclusive prefetching only when a store to its
+        // line is actually coming (MIPS R10000-style hint).
+        store_intent: (store_fraction * 0.6).min(0.3),
+    }
+}
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * 1024;
+
+/// SPLASH-2 Ocean: 514×514 grid, block-partitioned. Each core sweeps its
+/// own grid blocks (large private FP working set, long sequential runs)
+/// and exchanges boundary rows with neighbours.
+fn ocean() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "ocean",
+        category: "Scientific",
+        description: "SPLASH-2 Ocean Simulation, 514 x 514 Grid",
+        shared_code: true,
+        code_footprint: 64 * KB,
+        dep_short_fraction: 0.25,
+        phases: vec![PhaseSpec {
+            name: "sweep",
+            instructions: 400_000,
+            mem_fraction: 0.40,
+            branch_fraction: 0.08,
+            fp_fraction: 0.75,
+            streams: vec![
+                // Grid blocks: ~2 MB per core of doubles, swept in rows.
+                stream(Segment::PrivateHeap, 0.055, 2 * MB, 64, 8, 0.35),
+                // Hot per-core coefficients/stack: stays L2 resident.
+                stream(Segment::PrivateHeap, 0.86, 128 * KB, 48, 8, 0.3),
+                // Boundary exchange: narrow shared strips, mostly read.
+                stream(Segment::SharedReadWrite, 0.04, 256 * KB, 16, 8, 0.08),
+                // Barrier/lock traffic.
+                stream(Segment::Migratory, 0.005, 2 * KB, 2, 8, 0.5),
+            ],
+            loop_length: 24,
+            loop_iterations: 64,
+            branch_noise: 0.02,
+            dcbz_pages_per_kilo_instr: 0.0,
+        }],
+    }
+}
+
+/// SPLASH-2 Raytrace (car): a large read-only scene shared by all cores,
+/// private ray stacks, and a migratory work queue.
+fn raytrace() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "raytrace",
+        category: "Scientific",
+        description: "SPLASH-2 Raytracing application, Car",
+        shared_code: true,
+        code_footprint: 96 * KB,
+        dep_short_fraction: 0.35,
+        phases: vec![PhaseSpec {
+            name: "trace",
+            instructions: 400_000,
+            mem_fraction: 0.35,
+            branch_fraction: 0.12,
+            fp_fraction: 0.6,
+            streams: vec![
+                // Scene/BSP tree: big, read-only, irregular walks.
+                stream(Segment::SharedReadOnly, 0.005, 3 * MB, 6, 64, 0.0),
+                // Hot top levels of the BSP tree: clean-shared everywhere.
+                stream(Segment::SharedReadOnly, 0.30, 160 * KB, 8, 64, 0.0),
+                // Private ray stacks and framebuffer tiles.
+                stream(Segment::PrivateHeap, 0.020, MB, 32, 8, 0.3),
+                // Hot private state: L2 resident.
+                stream(Segment::PrivateHeap, 0.65, 128 * KB, 32, 8, 0.3),
+                // Work-queue head: migratory.
+                stream(Segment::Migratory, 0.007, 4 * KB, 2, 8, 0.5),
+            ],
+            loop_length: 28,
+            loop_iterations: 12,
+            branch_noise: 0.10,
+            dcbz_pages_per_kilo_instr: 0.0,
+        }],
+    }
+}
+
+/// SPLASH-2 Barnes-Hut (8K particles): fine-grain, irregularly shared
+/// particle/tree data dominates — the paper's hardest case (lowest
+/// fraction of unnecessary broadcasts, 21-22% broadcast reduction).
+fn barnes() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "barnes",
+        category: "Scientific",
+        description: "SPLASH-2 Barnes-Hut N-body Simulation, 8K Particles",
+        shared_code: true,
+        code_footprint: 96 * KB,
+        dep_short_fraction: 0.4,
+        phases: vec![PhaseSpec {
+            name: "force+tree",
+            instructions: 400_000,
+            mem_fraction: 0.38,
+            branch_fraction: 0.12,
+            fp_fraction: 0.6,
+            streams: vec![
+                // Particle bodies + octree: shared, read-write, short
+                // irregular runs — fits in the combined caches, so other
+                // cores usually hold copies.
+                stream(Segment::SharedReadWrite, 0.004, 1536 * KB, 3, 64, 0.20),
+                // Hot tree top: resident in every cache, updated rarely
+                // enough that reads mostly hit but updates ping-pong.
+                stream(Segment::SharedReadWrite, 0.42, 64 * KB, 4, 64, 0.030),
+                // Per-core work lists.
+                stream(Segment::PrivateHeap, 0.52, 128 * KB, 16, 8, 0.3),
+                stream(Segment::PrivateHeap, 0.015, MB, 16, 8, 0.3),
+                // Tree-build locks: heavily migratory.
+                stream(Segment::Migratory, 0.006, 8 * KB, 2, 8, 0.6),
+            ],
+            loop_length: 20,
+            loop_iterations: 10,
+            branch_noise: 0.08,
+            dcbz_pages_per_kilo_instr: 0.0,
+        }],
+    }
+}
+
+/// SPECint2000Rate: independent processes with private working sets and
+/// per-core binaries — nearly every broadcast is unnecessary (Figure 2's
+/// 94% case). The OS still zeroes pages at process working-set growth.
+fn specint_rate() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "specint2000rate",
+        category: "Multiprogramming",
+        description: "SPEC CPU Integer Benchmarks, combination of reduced-input rate runs",
+        shared_code: false,
+        code_footprint: 160 * KB,
+        dep_short_fraction: 0.45,
+        phases: vec![PhaseSpec {
+            name: "rate",
+            instructions: 400_000,
+            mem_fraction: 0.35,
+            branch_fraction: 0.16,
+            fp_fraction: 0.02,
+            streams: vec![
+                // Private heaps, mix of pointer-ish short runs and scans.
+                stream(Segment::PrivateHeap, 0.045, 4 * MB, 12, 8, 0.35),
+                stream(Segment::PrivateHeap, 0.915, 96 * KB, 48, 8, 0.4),
+                // Occasional syscalls touch kernel structures.
+                stream(Segment::Kernel, 0.02, 256 * KB, 8, 64, 0.08),
+            ],
+            loop_length: 18,
+            loop_iterations: 24,
+            branch_noise: 0.07,
+            dcbz_pages_per_kilo_instr: 0.03,
+        }],
+    }
+}
+
+/// SPECweb99 (Zeus): large instruction footprint, heavy kernel/network
+/// activity, per-connection private buffers zeroed on allocation, and a
+/// shared file cache.
+fn specweb99() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "specweb99",
+        category: "Web",
+        description: "SPECweb99, Zeus Web Server 3.3.7, 300 HTTP Requests",
+        shared_code: true,
+        code_footprint: 320 * KB,
+        dep_short_fraction: 0.4,
+        phases: vec![PhaseSpec {
+            name: "serve",
+            instructions: 400_000,
+            mem_fraction: 0.36,
+            branch_fraction: 0.17,
+            fp_fraction: 0.0,
+            streams: vec![
+                // Per-connection state and response buffers.
+                stream(Segment::InterleavedHeap, 0.022, 3 * MB, 32, 8, 0.4),
+                // Hot per-worker state: L2 resident.
+                stream(Segment::PrivateHeap, 0.57, 128 * KB, 32, 8, 0.35),
+                // Shared static-file cache, read-mostly.
+                stream(Segment::SharedReadOnly, 0.012, 4 * MB, 32, 64, 0.0),
+                // Kernel network stack: shared; the hot part is resident
+                // in all caches and written occasionally.
+                stream(Segment::Kernel, 0.007, MB, 12, 64, 0.10),
+                stream(Segment::Kernel, 0.33, 96 * KB, 8, 64, 0.04),
+                // Listen queue / accept locks.
+                stream(Segment::Migratory, 0.008, 8 * KB, 2, 8, 0.5),
+            ],
+            loop_length: 14,
+            loop_iterations: 6,
+            branch_noise: 0.12,
+            dcbz_pages_per_kilo_instr: 0.05,
+        }],
+    }
+}
+
+/// SPECjbb2000 (20 warehouses): warehouses are core-private Java heaps;
+/// allocation zeroes fresh pages; a modest shared order board.
+fn specjbb2000() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "specjbb2000",
+        category: "Web",
+        description: "SPECjbb2000, IBM jdk 1.1.8 with JIT, 20 warehouses, 2400 requests",
+        shared_code: true,
+        code_footprint: 256 * KB,
+        dep_short_fraction: 0.4,
+        phases: vec![PhaseSpec {
+            name: "transactions",
+            instructions: 400_000,
+            mem_fraction: 0.38,
+            branch_fraction: 0.15,
+            fp_fraction: 0.02,
+            streams: vec![
+                // Warehouse objects: private, allocation-heavy.
+                stream(Segment::InterleavedHeap, 0.07, 5 * MB, 24, 8, 0.4),
+                // Hot per-warehouse working set: L2 resident.
+                stream(Segment::PrivateHeap, 0.75, 160 * KB, 32, 8, 0.4),
+                // Shared company-wide structures, read-mostly.
+                stream(Segment::SharedReadWrite, 0.13, 128 * KB, 8, 64, 0.04),
+                stream(Segment::Migratory, 0.008, 8 * KB, 2, 8, 0.5),
+            ],
+            loop_length: 16,
+            loop_iterations: 8,
+            branch_noise: 0.10,
+            dcbz_pages_per_kilo_instr: 0.06,
+        }],
+    }
+}
+
+/// TPC-W (DB tier, browsing mix): dominated by buffer-pool scans of a
+/// large database; browsing transactions rarely conflict — the paper's
+/// biggest winner (21.7% speedup with 512 B regions).
+fn tpcw() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "tpc-w",
+        category: "Web",
+        description: "TPC-W e-Commerce benchmark, DB tier, browsing mix, 25 web transactions",
+        shared_code: true,
+        code_footprint: 256 * KB,
+        dep_short_fraction: 0.35,
+        phases: vec![PhaseSpec {
+            name: "browse",
+            instructions: 400_000,
+            mem_fraction: 0.40,
+            branch_fraction: 0.14,
+            fp_fraction: 0.0,
+            streams: vec![
+                // Buffer pool: huge, read-mostly, streamed per query.
+                stream(Segment::SharedReadOnly, 0.030, 16 * MB, 48, 64, 0.0),
+                // Hot catalog pages of the pool: clean-shared.
+                stream(Segment::SharedReadOnly, 0.22, 192 * KB, 16, 64, 0.0),
+                // Private sort/work areas per backend.
+                stream(Segment::InterleavedHeap, 0.075, 4 * MB, 40, 8, 0.4),
+                // Hot private executor state.
+                stream(Segment::PrivateHeap, 0.60, 128 * KB, 32, 8, 0.35),
+                // Catalog/lock manager, read-mostly.
+                stream(Segment::SharedReadWrite, 0.07, 128 * KB, 6, 64, 0.05),
+                stream(Segment::Migratory, 0.008, 4 * KB, 2, 8, 0.5),
+            ],
+            loop_length: 16,
+            loop_iterations: 10,
+            branch_noise: 0.10,
+            dcbz_pages_per_kilo_instr: 0.08,
+        }],
+    }
+}
+
+/// TPC-B (IBM DB2, 20 clients): classic OLTP — hot shared pages, a
+/// migratory log tail and lock manager, moderate private work.
+fn tpcb() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "tpc-b",
+        category: "OLTP",
+        description: "TPC-B OLTP benchmark, IBM DB2 6.1, 20 clients, 1000 transactions",
+        shared_code: true,
+        code_footprint: 192 * KB,
+        dep_short_fraction: 0.4,
+        phases: vec![PhaseSpec {
+            name: "transactions",
+            instructions: 400_000,
+            mem_fraction: 0.38,
+            branch_fraction: 0.15,
+            fp_fraction: 0.0,
+            streams: vec![
+                // Account/branch/teller pages: shared, updated in place
+                // (cold part: occasional misses).
+                stream(Segment::SharedReadWrite, 0.009, 2 * MB, 6, 64, 0.30),
+                // Branch/teller hot rows: resident, updates ping-pong.
+                stream(Segment::SharedReadWrite, 0.17, 128 * KB, 4, 64, 0.04),
+                // Private transaction state.
+                stream(Segment::InterleavedHeap, 0.020, 2 * MB, 24, 8, 0.4),
+                stream(Segment::PrivateHeap, 0.55, 128 * KB, 32, 8, 0.35),
+                // Log tail + latches: migratory hot spots.
+                stream(Segment::Migratory, 0.006, 16 * KB, 3, 8, 0.6),
+                // Kernel (I/O path), read-mostly.
+                stream(Segment::Kernel, 0.225, 96 * KB, 8, 64, 0.03),
+            ],
+            loop_length: 15,
+            loop_iterations: 6,
+            branch_noise: 0.12,
+            dcbz_pages_per_kilo_instr: 0.06,
+        }],
+    }
+}
+
+/// TPC-H Q12 (IBM DB2, 512 MB DB): a parallel scan phase that CGCT loves,
+/// followed by a merge phase full of cache-to-cache transfers — overall
+/// the paper's smallest opportunity (best case only ~15% of broadcasts).
+fn tpch() -> BenchmarkSpec {
+    BenchmarkSpec {
+        name: "tpc-h",
+        category: "Decision Support",
+        description: "TPC-H decision support, IBM DB2 6.1, query 12 on a 512 MB database",
+        shared_code: true,
+        code_footprint: 96 * KB,
+        dep_short_fraction: 0.35,
+        phases: vec![
+            PhaseSpec {
+                name: "scan",
+                instructions: 15_000,
+                mem_fraction: 0.30,
+                branch_fraction: 0.12,
+                fp_fraction: 0.05,
+                streams: vec![
+                    // Partitioned table scan: private slices, sequential,
+                    // but the working set largely fits in the L2 so few
+                    // requests reach the bus.
+                    stream(Segment::PrivateHeap, 0.93, 512 * KB, 64, 8, 0.25),
+                    stream(Segment::SharedReadWrite, 0.07, 128 * KB, 8, 64, 0.08),
+                ],
+                loop_length: 24,
+                loop_iterations: 32,
+                branch_noise: 0.04,
+                dcbz_pages_per_kilo_instr: 0.01,
+            },
+            PhaseSpec {
+                name: "merge",
+                instructions: 50_000,
+                mem_fraction: 0.35,
+                branch_fraction: 0.14,
+                fp_fraction: 0.05,
+                streams: vec![
+                    // Aggregation hash tables: shared, written by all,
+                    // resident in the other caches (cache-to-cache).
+                    stream(Segment::SharedReadWrite, 0.008, 1024 * KB, 4, 64, 0.35),
+                    // Hot buckets: resident everywhere; updates ping-pong
+                    // between the cores (cache-to-cache transfers).
+                    stream(Segment::SharedReadWrite, 0.38, 64 * KB, 3, 64, 0.09),
+                    stream(Segment::Migratory, 0.004, 16 * KB, 2, 8, 0.6),
+                    stream(Segment::PrivateHeap, 0.605, 192 * KB, 16, 8, 0.3),
+                ],
+                loop_length: 16,
+                loop_iterations: 8,
+                branch_noise: 0.10,
+                dcbz_pages_per_kilo_instr: 0.01,
+            },
+        ],
+    }
+}
+
+/// All nine benchmarks, in the paper's Table 4 order.
+pub fn all_benchmarks() -> Vec<BenchmarkSpec> {
+    vec![
+        ocean(),
+        raytrace(),
+        barnes(),
+        specint_rate(),
+        specweb99(),
+        specjbb2000(),
+        tpcw(),
+        tpcb(),
+        tpch(),
+    ]
+}
+
+/// Looks up a benchmark by its short name (case-insensitive).
+pub fn by_name(name: &str) -> Option<BenchmarkSpec> {
+    let lower = name.to_ascii_lowercase();
+    all_benchmarks().into_iter().find(|b| b.name == lower)
+}
+
+/// The benchmarks the paper calls "commercial" (Figure 8's 10.4% average
+/// is over these).
+pub fn commercial_names() -> &'static [&'static str] {
+    &["specweb99", "specjbb2000", "tpc-w", "tpc-b", "tpc-h"]
+}
+
+/// Table 4 rows.
+pub fn table4() -> Vec<BenchmarkInfo> {
+    all_benchmarks()
+        .into_iter()
+        .map(|b| BenchmarkInfo {
+            name: b.name,
+            category: b.category,
+            comments: b.description,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_benchmarks_all_valid() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 9);
+        for b in &all {
+            b.validate();
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = all_benchmarks();
+        let mut names: Vec<&str> = all.iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("tpc-w").is_some());
+        assert!(by_name("TPC-W").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn commercial_subset_exists() {
+        for name in commercial_names() {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert_eq!(commercial_names().len(), 5);
+    }
+
+    #[test]
+    fn specint_is_multiprogrammed() {
+        let b = by_name("specint2000rate").unwrap();
+        assert!(!b.shared_code, "rate runs use per-core binaries");
+    }
+
+    #[test]
+    fn tpch_has_scan_and_merge_phases() {
+        let b = by_name("tpc-h").unwrap();
+        let names: Vec<&str> = b.phases.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["scan", "merge"]);
+    }
+
+    #[test]
+    fn table4_matches_registry() {
+        let rows = table4();
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].category, "Scientific");
+        assert!(rows.iter().any(|r| r.category == "Decision Support"));
+    }
+
+    #[test]
+    fn commercial_workloads_zero_pages() {
+        // The paper attributes most DCB operations to AIX page zeroing in
+        // the commercial workloads.
+        for name in ["specweb99", "specjbb2000", "tpc-w", "tpc-b"] {
+            let b = by_name(name).unwrap();
+            assert!(
+                b.phases.iter().any(|p| p.dcbz_pages_per_kilo_instr > 0.0),
+                "{name} should dcbz"
+            );
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Benchmark specifications: the tunable parameters that a
+//! [`crate::WorkloadThread`] interprets.
+
+use crate::layout::Segment;
+use serde::{Deserialize, Serialize};
+
+/// One memory-access stream: a working set in a segment with a locality
+/// and store profile. A phase mixes several streams by weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StreamSpec {
+    /// The segment the stream draws addresses from.
+    pub segment: Segment,
+    /// Relative selection weight among the phase's memory operations.
+    pub weight: f32,
+    /// Bytes of the segment this stream touches (per core for private
+    /// segments, machine-wide for shared ones).
+    pub working_set: u64,
+    /// Mean number of consecutive accesses before jumping to a random
+    /// position (spatial locality; long runs keep regions hot).
+    pub run_length: u32,
+    /// Bytes between consecutive accesses in a run.
+    pub stride: u32,
+    /// Probability that an access is a store.
+    pub store_fraction: f32,
+    /// Probability that a load carries a store-intent hint (drives
+    /// R10000-style exclusive prefetching).
+    pub store_intent: f32,
+}
+
+impl StreamSpec {
+    /// A convenient private sequential-scan stream.
+    pub fn private_scan(weight: f32, working_set: u64, store_fraction: f32) -> StreamSpec {
+        StreamSpec {
+            segment: Segment::PrivateHeap,
+            weight,
+            working_set,
+            run_length: 32,
+            stride: 8,
+            store_fraction,
+            store_intent: 0.3,
+        }
+    }
+}
+
+/// One execution phase: an instruction mix plus a set of streams. Phases
+/// cycle in order, `instructions` each, letting a spec express e.g.
+/// TPC-H's parallel scan followed by a merge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Phase label for reports.
+    pub name: &'static str,
+    /// Dynamic instructions per visit of this phase.
+    pub instructions: u64,
+    /// Fraction of instructions that are loads/stores/dcbz.
+    pub mem_fraction: f32,
+    /// Fraction of instructions that are branches.
+    pub branch_fraction: f32,
+    /// Fraction of the remaining compute that is floating point.
+    pub fp_fraction: f32,
+    /// Memory streams active in this phase.
+    pub streams: Vec<StreamSpec>,
+    /// Instructions per loop body (code locality).
+    pub loop_length: u32,
+    /// Loop iterations before control moves to another function.
+    pub loop_iterations: u32,
+    /// Fraction of conditional branches with data-dependent (random)
+    /// outcomes — drives the misprediction rate.
+    pub branch_noise: f32,
+    /// Pages zeroed with `dcbz` per thousand instructions (AIX-style page
+    /// initialization; Figure 2's "DCB ops" category).
+    pub dcbz_pages_per_kilo_instr: f32,
+}
+
+impl PhaseSpec {
+    /// Total stream weight (used for normalization).
+    pub fn total_stream_weight(&self) -> f32 {
+        self.streams.iter().map(|s| s.weight).sum()
+    }
+}
+
+/// A complete synthetic benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Short machine-readable name (e.g. `"tpc-w"`).
+    pub name: &'static str,
+    /// Table 4 category (Scientific, Web, OLTP, ...).
+    pub category: &'static str,
+    /// Table 4 description.
+    pub description: &'static str,
+    /// Whether all cores run the same binary (threaded) or their own
+    /// (multiprogrammed).
+    pub shared_code: bool,
+    /// Bytes of instruction space touched.
+    pub code_footprint: u64,
+    /// Fraction of instructions with a short register dependence on a
+    /// recent producer (ILP control: higher = less ILP).
+    pub dep_short_fraction: f32,
+    /// Execution phases, cycled in order.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl BenchmarkSpec {
+    /// Validates internal consistency; called by the registry tests and
+    /// `WorkloadThread::new`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are out of range, a phase has no streams, or a
+    /// working set/stride is zero.
+    pub fn validate(&self) {
+        assert!(!self.phases.is_empty(), "{}: no phases", self.name);
+        assert!(
+            self.code_footprint >= 64,
+            "{}: code footprint too small",
+            self.name
+        );
+        for p in &self.phases {
+            assert!(p.instructions > 0, "{}/{}: empty phase", self.name, p.name);
+            assert!(
+                (0.0..=1.0).contains(&p.mem_fraction)
+                    && (0.0..=1.0).contains(&p.branch_fraction)
+                    && (0.0..=1.0).contains(&p.fp_fraction)
+                    && p.mem_fraction + p.branch_fraction <= 1.0,
+                "{}/{}: bad instruction mix",
+                self.name,
+                p.name
+            );
+            assert!(
+                !p.streams.is_empty(),
+                "{}/{}: no streams",
+                self.name,
+                p.name
+            );
+            assert!(
+                p.total_stream_weight() > 0.0,
+                "{}/{}: zero weight",
+                self.name,
+                p.name
+            );
+            assert!(p.loop_length > 0 && p.loop_iterations > 0);
+            for s in &p.streams {
+                assert!(
+                    s.working_set >= 64,
+                    "{}/{}: tiny working set",
+                    self.name,
+                    p.name
+                );
+                assert!(s.stride > 0, "{}/{}: zero stride", self.name, p.name);
+                assert!(s.run_length > 0, "{}/{}: zero run", self.name, p.name);
+                assert!((0.0..=1.0).contains(&s.store_fraction));
+                assert!((0.0..=1.0).contains(&s.store_intent));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_phase() -> PhaseSpec {
+        PhaseSpec {
+            name: "main",
+            instructions: 1000,
+            mem_fraction: 0.4,
+            branch_fraction: 0.15,
+            fp_fraction: 0.0,
+            streams: vec![StreamSpec::private_scan(1.0, 1 << 20, 0.3)],
+            loop_length: 32,
+            loop_iterations: 16,
+            branch_noise: 0.05,
+            dcbz_pages_per_kilo_instr: 0.0,
+        }
+    }
+
+    fn minimal_spec() -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "test",
+            category: "Test",
+            description: "unit test workload",
+            shared_code: true,
+            code_footprint: 64 * 1024,
+            dep_short_fraction: 0.3,
+            phases: vec![minimal_phase()],
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        minimal_spec().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no phases")]
+    fn empty_phases_rejected() {
+        let mut s = minimal_spec();
+        s.phases.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad instruction mix")]
+    fn overcommitted_mix_rejected() {
+        let mut s = minimal_spec();
+        s.phases[0].mem_fraction = 0.7;
+        s.phases[0].branch_fraction = 0.5;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no streams")]
+    fn streamless_phase_rejected() {
+        let mut s = minimal_spec();
+        s.phases[0].streams.clear();
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero stride")]
+    fn zero_stride_rejected() {
+        let mut s = minimal_spec();
+        s.phases[0].streams[0].stride = 0;
+        s.validate();
+    }
+
+    #[test]
+    fn stream_weight_sums() {
+        let mut p = minimal_phase();
+        p.streams.push(StreamSpec::private_scan(3.0, 1 << 16, 0.0));
+        assert!((p.total_stream_weight() - 4.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,454 @@
+//! The workload interpreter: turns a [`BenchmarkSpec`] into a
+//! deterministic, per-core dynamic instruction stream.
+
+use crate::layout::{AddressMap, Segment};
+use crate::spec::BenchmarkSpec;
+use cgct_cpu::{BranchKind, Uop, UopKind, UopSource};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Bytes of page pool each core cycles through when zeroing pages.
+const PAGE_POOL_BYTES: u64 = 8 * 1024 * 1024;
+/// Page size zeroed by a `dcbz` burst.
+const PAGE_BYTES: u64 = 4096;
+/// Line size (for `dcbz` stepping).
+const LINE_BYTES: u64 = 64;
+
+/// Per-stream cursor state.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cursor {
+    pos: u64,
+    run_left: u32,
+}
+
+/// One core's dynamic instruction stream for a benchmark.
+///
+/// Implements [`UopSource`]; the stream is infinite and fully determined
+/// by `(spec, core, total_cores, seed)`.
+#[derive(Debug, Clone)]
+pub struct WorkloadThread {
+    spec: BenchmarkSpec,
+    map: AddressMap,
+    rng: SmallRng,
+    phase_idx: usize,
+    phase_remaining: u64,
+    cursors: Vec<Cursor>,
+    // Code state.
+    pc: u64,
+    loop_start: u64,
+    loop_pos: u32,
+    loop_iter: u32,
+    // Deferred uops (dcbz bursts).
+    pending: VecDeque<Uop>,
+    page_cursor: u64,
+    generated: u64,
+}
+
+impl WorkloadThread {
+    /// Creates the stream for `core` (of `total_cores`) with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails validation or `core >= total_cores`.
+    pub fn new(spec: BenchmarkSpec, core: usize, total_cores: usize, seed: u64) -> Self {
+        spec.validate();
+        let map = AddressMap::new(core, total_cores, !spec.shared_code);
+        let mut rng = SmallRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9));
+        let code_base = map.base(Segment::Code).0;
+        let pc = code_base;
+        let n_streams = spec.phases[0].streams.len();
+        let phase_remaining = spec.phases[0].instructions;
+        // Desynchronize cores slightly so lockstep artifacts don't arise.
+        let skew = rng.gen_range(0..64);
+        let mut t = WorkloadThread {
+            spec,
+            map,
+            rng,
+            phase_idx: 0,
+            phase_remaining,
+            cursors: vec![Cursor::default(); n_streams],
+            pc,
+            loop_start: pc,
+            loop_pos: 0,
+            loop_iter: 0,
+            pending: VecDeque::new(),
+            page_cursor: 0,
+            generated: 0,
+        };
+        for _ in 0..skew {
+            let _ = t.generate();
+        }
+        t
+    }
+
+    /// Instructions generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// The benchmark spec driving this stream.
+    pub fn spec(&self) -> &BenchmarkSpec {
+        &self.spec
+    }
+
+    fn enter_phase(&mut self, idx: usize) {
+        self.phase_idx = idx;
+        self.phase_remaining = self.spec.phases[idx].instructions;
+        self.cursors = vec![Cursor::default(); self.spec.phases[idx].streams.len()];
+    }
+
+    fn advance_pc(&mut self) -> u64 {
+        let pc = self.pc;
+        self.pc += 4;
+        self.loop_pos += 1;
+        pc
+    }
+
+    fn new_function(&mut self) {
+        let phase = &self.spec.phases[self.phase_idx];
+        let body_bytes = phase.loop_length as u64 * 4;
+        let span = self.spec.code_footprint.saturating_sub(body_bytes).max(64);
+        let off = (self.rng.gen_range(0..span) / 64) * 64;
+        self.loop_start = self.map.resolve(Segment::Code, off).0;
+        self.pc = self.loop_start;
+        self.loop_pos = 0;
+        self.loop_iter = 0;
+    }
+
+    fn gen_mem_kind(&mut self) -> UopKind {
+        let phase = &self.spec.phases[self.phase_idx];
+        // Weighted stream selection.
+        let total = phase.total_stream_weight();
+        let mut pick = self.rng.gen::<f32>() * total;
+        let mut idx = phase.streams.len() - 1;
+        for (i, s) in phase.streams.iter().enumerate() {
+            if pick < s.weight {
+                idx = i;
+                break;
+            }
+            pick -= s.weight;
+        }
+        let s = phase.streams[idx];
+        let cur = &mut self.cursors[idx];
+        if cur.run_left == 0 {
+            let slots = (s.working_set / s.stride as u64).max(1);
+            cur.pos = self.rng.gen_range(0..slots) * s.stride as u64;
+            cur.run_left = self.rng.gen_range(1..=s.run_length.max(1) * 2);
+        } else {
+            cur.pos = (cur.pos + s.stride as u64) % s.working_set;
+            cur.run_left -= 1;
+        }
+        let addr = self.map.resolve(s.segment, cur.pos);
+        if self.rng.gen::<f32>() < s.store_fraction {
+            UopKind::Store { addr }
+        } else {
+            UopKind::Load {
+                addr,
+                store_intent: self.rng.gen::<f32>() < s.store_intent,
+            }
+        }
+    }
+
+    fn maybe_dcbz_burst(&mut self) {
+        let rate = self.spec.phases[self.phase_idx].dcbz_pages_per_kilo_instr;
+        if rate <= 0.0 || self.rng.gen::<f32>() >= rate / 1000.0 {
+            return;
+        }
+        // The OS zeroes a fresh page line by line, then the application
+        // immediately writes the start of it.
+        let page = self.page_cursor;
+        self.page_cursor = (self.page_cursor + PAGE_BYTES) % PAGE_POOL_BYTES;
+        let pc = self.pc;
+        for line in 0..(PAGE_BYTES / LINE_BYTES) {
+            let addr = self
+                .map
+                .resolve(Segment::PagePool, page + line * LINE_BYTES);
+            self.pending.push_back(Uop {
+                pc,
+                kind: UopKind::Dcbz { addr },
+                dep_dist: 0,
+            });
+        }
+        for word in 0..8 {
+            let addr = self.map.resolve(Segment::PagePool, page + word * 8);
+            self.pending.push_back(Uop {
+                pc,
+                kind: UopKind::Store { addr },
+                dep_dist: 0,
+            });
+        }
+    }
+
+    fn generate(&mut self) -> Uop {
+        if let Some(u) = self.pending.pop_front() {
+            self.generated += 1;
+            return u;
+        }
+        if self.phase_remaining == 0 {
+            let next = (self.phase_idx + 1) % self.spec.phases.len();
+            self.enter_phase(next);
+        }
+        self.phase_remaining -= 1;
+        self.generated += 1;
+        self.maybe_dcbz_burst();
+
+        let phase = &self.spec.phases[self.phase_idx];
+        let loop_length = phase.loop_length;
+        let loop_iterations = phase.loop_iterations;
+        let branch_noise = phase.branch_noise;
+        let mem_fraction = phase.mem_fraction;
+        let branch_fraction = phase.branch_fraction;
+        let fp_fraction = phase.fp_fraction;
+
+        let dep_dist = if self.rng.gen::<f32>() < self.spec.dep_short_fraction {
+            self.rng.gen_range(1..=2)
+        } else {
+            0
+        };
+
+        // Structural loop back-edge.
+        if self.loop_pos >= loop_length - 1 {
+            let pc = self.advance_pc();
+            self.loop_iter += 1;
+            let noisy = self.rng.gen::<f32>() < branch_noise;
+            let take_backedge = (self.loop_iter < loop_iterations) ^ noisy;
+            if take_backedge {
+                self.pc = self.loop_start;
+                self.loop_pos = 0;
+            } else {
+                self.new_function();
+            }
+            return Uop {
+                pc,
+                kind: UopKind::Branch {
+                    kind: BranchKind::Conditional,
+                    taken: take_backedge,
+                },
+                dep_dist: 0,
+            };
+        }
+
+        let r = self.rng.gen::<f32>();
+        let kind = if r < mem_fraction {
+            self.gen_mem_kind()
+        } else if r < mem_fraction + branch_fraction {
+            // Forward conditional branch, usually not taken; noise makes a
+            // fraction unpredictable. Not-taken keeps the PC sequential.
+            UopKind::Branch {
+                kind: BranchKind::Conditional,
+                taken: self.rng.gen::<f32>() < branch_noise * 0.5,
+            }
+        } else if self.rng.gen::<f32>() < fp_fraction {
+            if self.rng.gen::<f32>() < 0.3 {
+                UopKind::FpMult
+            } else {
+                UopKind::FpAlu
+            }
+        } else if self.rng.gen::<f32>() < 0.05 {
+            UopKind::IntMult
+        } else {
+            UopKind::IntAlu
+        };
+        let pc = self.advance_pc();
+        Uop { pc, kind, dep_dist }
+    }
+}
+
+impl UopSource for WorkloadThread {
+    fn next_uop(&mut self) -> Uop {
+        self.generate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PhaseSpec, StreamSpec};
+    use std::collections::HashSet;
+
+    fn spec_with(streams: Vec<StreamSpec>, dcbz: f32) -> BenchmarkSpec {
+        BenchmarkSpec {
+            name: "t",
+            category: "Test",
+            description: "test",
+            shared_code: true,
+            code_footprint: 32 * 1024,
+            dep_short_fraction: 0.3,
+            phases: vec![PhaseSpec {
+                name: "main",
+                instructions: 100_000,
+                mem_fraction: 0.4,
+                branch_fraction: 0.1,
+                fp_fraction: 0.1,
+                streams,
+                loop_length: 32,
+                loop_iterations: 8,
+                branch_noise: 0.05,
+                dcbz_pages_per_kilo_instr: dcbz,
+            }],
+        }
+    }
+
+    fn private_spec() -> BenchmarkSpec {
+        spec_with(vec![StreamSpec::private_scan(1.0, 1 << 20, 0.3)], 0.0)
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = WorkloadThread::new(private_spec(), 0, 4, 7);
+        let mut b = WorkloadThread::new(private_spec(), 0, 4, 7);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = WorkloadThread::new(private_spec(), 0, 4, 7);
+        let mut b = WorkloadThread::new(private_spec(), 0, 4, 8);
+        let same = (0..1000).filter(|_| a.next_uop() == b.next_uop()).count();
+        assert!(same < 1000);
+    }
+
+    #[test]
+    fn instruction_mix_approximates_spec() {
+        let mut t = WorkloadThread::new(private_spec(), 0, 4, 1);
+        let n = 100_000;
+        let mut mem = 0;
+        let mut branch = 0;
+        for _ in 0..n {
+            match t.next_uop().kind {
+                k if k.is_mem() => mem += 1,
+                UopKind::Branch { .. } => branch += 1,
+                _ => {}
+            }
+        }
+        let mem_frac = mem as f64 / n as f64;
+        let br_frac = branch as f64 / n as f64;
+        assert!((0.3..0.5).contains(&mem_frac), "mem fraction {mem_frac}");
+        // branch_fraction plus the structural back-edge every 32 insts.
+        assert!((0.08..0.22).contains(&br_frac), "branch fraction {br_frac}");
+    }
+
+    #[test]
+    fn private_addresses_stay_in_working_set() {
+        let spec = spec_with(vec![StreamSpec::private_scan(1.0, 1 << 16, 0.0)], 0.0);
+        let mut t = WorkloadThread::new(spec, 2, 4, 3);
+        let base = AddressMap::new(2, 4, false).base(Segment::PrivateHeap).0;
+        for _ in 0..50_000 {
+            if let Some(a) = t.next_uop().kind.mem_addr() {
+                assert!(a.0 >= base && a.0 < base + (1 << 16), "escaped WS: {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_streams_overlap_across_cores() {
+        let shared = StreamSpec {
+            segment: Segment::SharedReadWrite,
+            weight: 1.0,
+            working_set: 1 << 14,
+            run_length: 8,
+            stride: 64,
+            store_fraction: 0.5,
+            store_intent: 0.0,
+        };
+        let spec = spec_with(vec![shared], 0.0);
+        let mut t0 = WorkloadThread::new(spec.clone(), 0, 2, 1);
+        let mut t1 = WorkloadThread::new(spec, 1, 2, 99);
+        let lines = |t: &mut WorkloadThread| -> HashSet<u64> {
+            (0..20_000)
+                .filter_map(|_| t.next_uop().kind.mem_addr())
+                .map(|a| a.0 >> 6)
+                .collect()
+        };
+        let l0 = lines(&mut t0);
+        let l1 = lines(&mut t1);
+        assert!(l0.intersection(&l1).count() > 0, "no sharing seen");
+    }
+
+    #[test]
+    fn dcbz_bursts_zero_whole_pages() {
+        let spec = spec_with(vec![StreamSpec::private_scan(1.0, 1 << 20, 0.3)], 5.0);
+        let mut t = WorkloadThread::new(spec, 0, 4, 11);
+        let mut dcbz_lines = HashSet::new();
+        for _ in 0..200_000 {
+            if let UopKind::Dcbz { addr } = t.next_uop().kind {
+                dcbz_lines.insert(addr.0 >> 6);
+            }
+        }
+        assert!(
+            dcbz_lines.len() >= 64,
+            "expected at least one full page of dcbz, saw {} lines",
+            dcbz_lines.len()
+        );
+        // dcbz lines are page-pool lines, 64 consecutive per page.
+        let base = AddressMap::new(0, 4, false).base(Segment::PagePool).0 >> 6;
+        assert!(dcbz_lines.iter().all(|&l| l >= base));
+    }
+
+    #[test]
+    fn spatial_locality_clusters_into_regions() {
+        let mut t = WorkloadThread::new(private_spec(), 0, 4, 5);
+        let mut prev_region = None;
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for _ in 0..100_000 {
+            if let Some(a) = t.next_uop().kind.mem_addr() {
+                let region = a.0 >> 9; // 512 B
+                if prev_region == Some(region) {
+                    same += 1;
+                }
+                prev_region = Some(region);
+                total += 1;
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.5, "region locality too low: {frac:.3}");
+    }
+
+    #[test]
+    fn pc_stays_in_code_footprint() {
+        let mut t = WorkloadThread::new(private_spec(), 0, 4, 5);
+        let base = AddressMap::new(0, 4, false).base(Segment::Code).0;
+        for _ in 0..100_000 {
+            let pc = t.next_uop().pc;
+            assert!(
+                pc >= base && pc < base + 32 * 1024 + 256,
+                "pc escaped: {pc:#x}"
+            );
+        }
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut spec = private_spec();
+        spec.phases[0].instructions = 100;
+        spec.phases.push(PhaseSpec {
+            name: "second",
+            instructions: 100,
+            mem_fraction: 0.0,
+            branch_fraction: 0.0,
+            fp_fraction: 1.0,
+            streams: vec![StreamSpec::private_scan(1.0, 4096, 0.0)],
+            loop_length: 16,
+            loop_iterations: 4,
+            branch_noise: 0.0,
+            dcbz_pages_per_kilo_instr: 0.0,
+        });
+        let mut t = WorkloadThread::new(spec, 0, 4, 2);
+        // Run far enough to cycle through both phases several times and
+        // observe FP ops (phase 2) as well as memory ops (phase 1).
+        let mut saw_fp = false;
+        let mut saw_mem = false;
+        for _ in 0..2000 {
+            match t.next_uop().kind {
+                UopKind::FpAlu | UopKind::FpMult => saw_fp = true,
+                k if k.is_mem() => saw_mem = true,
+                _ => {}
+            }
+        }
+        assert!(saw_fp && saw_mem);
+    }
+}

@@ -1,0 +1,231 @@
+//! Trace-driven workloads: record any uop stream to a portable JSON-lines
+//! format and play it back later.
+//!
+//! The synthetic generators approximate the paper's checkpoint-driven
+//! methodology; this module gives downstream users the other half — feed
+//! the simulator a *real* dynamic instruction trace (e.g. converted from
+//! a binary-instrumentation tool) instead.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_workloads::{by_name, trace, WorkloadThread};
+//! use cgct_cpu::UopSource;
+//!
+//! // Record 1000 instructions of a synthetic benchmark...
+//! let mut src = WorkloadThread::new(by_name("barnes").unwrap(), 0, 4, 1);
+//! let uops = trace::record(&mut src, 1000);
+//!
+//! // ...serialize and replay them.
+//! let text = trace::to_jsonl(&uops).unwrap();
+//! let mut replay = trace::TraceThread::from_jsonl(&text).unwrap();
+//! assert_eq!(replay.next_uop(), uops[0]);
+//! ```
+
+use cgct_cpu::{Uop, UopSource};
+use std::fmt;
+
+/// Errors from parsing a trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// A line failed to deserialize.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying serde error, rendered.
+        reason: String,
+    },
+    /// The trace contained no instructions.
+    Empty,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Malformed { line, reason } => {
+                write!(f, "malformed trace line {line}: {reason}")
+            }
+            ParseTraceError::Empty => write!(f, "trace contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Pulls `n` instructions from any source into a buffer.
+pub fn record(src: &mut dyn UopSource, n: usize) -> Vec<Uop> {
+    (0..n).map(|_| src.next_uop()).collect()
+}
+
+/// Serializes a trace as JSON lines (one uop per line).
+///
+/// # Errors
+///
+/// Returns the underlying serialization error (practically unreachable
+/// for these types).
+pub fn to_jsonl(uops: &[Uop]) -> Result<String, serde_json::Error> {
+    let mut out = String::new();
+    for u in uops {
+        out.push_str(&serde_json::to_string(u)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses a JSON-lines trace (blank lines and `#` comments are skipped).
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Malformed`] with the offending line number,
+/// or [`ParseTraceError::Empty`] if nothing was parsed.
+pub fn from_jsonl(text: &str) -> Result<Vec<Uop>, ParseTraceError> {
+    let mut uops = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let u: Uop = serde_json::from_str(line).map_err(|e| ParseTraceError::Malformed {
+            line: i + 1,
+            reason: e.to_string(),
+        })?;
+        uops.push(u);
+    }
+    if uops.is_empty() {
+        return Err(ParseTraceError::Empty);
+    }
+    Ok(uops)
+}
+
+/// Replays a recorded trace as a [`UopSource`], looping when it reaches
+/// the end (the simulator's runs are bounded by instruction count, so a
+/// finite trace must wrap).
+#[derive(Debug, Clone)]
+pub struct TraceThread {
+    uops: Vec<Uop>,
+    pos: usize,
+    laps: u64,
+}
+
+impl TraceThread {
+    /// Wraps an in-memory trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `uops` is empty.
+    pub fn new(uops: Vec<Uop>) -> Self {
+        assert!(!uops.is_empty(), "trace must contain instructions");
+        TraceThread {
+            uops,
+            pos: 0,
+            laps: 0,
+        }
+    }
+
+    /// Parses and wraps a JSON-lines trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ParseTraceError`] from [`from_jsonl`].
+    pub fn from_jsonl(text: &str) -> Result<Self, ParseTraceError> {
+        Ok(Self::new(from_jsonl(text)?))
+    }
+
+    /// Instructions in one lap of the trace.
+    pub fn len(&self) -> usize {
+        self.uops.len()
+    }
+
+    /// Whether the trace is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.uops.is_empty()
+    }
+
+    /// How many times the trace has wrapped.
+    pub fn laps(&self) -> u64 {
+        self.laps
+    }
+}
+
+impl UopSource for TraceThread {
+    fn next_uop(&mut self) -> Uop {
+        let u = self.uops[self.pos];
+        self.pos += 1;
+        if self.pos == self.uops.len() {
+            self.pos = 0;
+            self.laps += 1;
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::by_name;
+    use crate::thread::WorkloadThread;
+    use cgct_cache::Addr;
+    use cgct_cpu::UopKind;
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let mut src = WorkloadThread::new(by_name("ocean").unwrap(), 1, 4, 9);
+        let uops = record(&mut src, 500);
+        let text = to_jsonl(&uops).unwrap();
+        let mut t = TraceThread::from_jsonl(&text).unwrap();
+        for u in &uops {
+            assert_eq!(t.next_uop(), *u);
+        }
+        assert_eq!(t.laps(), 1);
+    }
+
+    #[test]
+    fn trace_wraps_at_end() {
+        let uops = vec![
+            Uop::simple(4, UopKind::IntAlu),
+            Uop::simple(
+                8,
+                UopKind::Load {
+                    addr: Addr(0x100),
+                    store_intent: false,
+                },
+            ),
+        ];
+        let mut t = TraceThread::new(uops.clone());
+        for _ in 0..3 {
+            assert_eq!(t.next_uop(), uops[0]);
+            assert_eq!(t.next_uop(), uops[1]);
+        }
+        assert_eq!(t.laps(), 3);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# a trace\n\n{\"pc\":4,\"kind\":\"IntAlu\",\"dep_dist\":0}\n";
+        let t = TraceThread::from_jsonl(text).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_reported_with_position() {
+        let text = "{\"pc\":4,\"kind\":\"IntAlu\",\"dep_dist\":0}\nnot json\n";
+        match from_jsonl(text) {
+            Err(ParseTraceError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert!(matches!(
+            from_jsonl("# nothing\n"),
+            Err(ParseTraceError::Empty)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain instructions")]
+    fn empty_vec_rejected() {
+        let _ = TraceThread::new(Vec::new());
+    }
+}

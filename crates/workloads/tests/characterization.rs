@@ -1,0 +1,199 @@
+//! Statistical characterization of the nine benchmark generators: the
+//! properties that calibrate Figure 2 must hold in the instruction
+//! streams themselves, independent of the simulator.
+
+use cgct_cpu::{UopKind, UopSource};
+use cgct_workloads::{all_benchmarks, by_name, AddressMap, Segment, WorkloadThread};
+use std::collections::HashSet;
+
+const SAMPLE: usize = 120_000;
+
+/// Buckets a physical address into its segment for core `c` of 4.
+fn segment_of(addr: u64) -> &'static str {
+    // Segment bases from the layout (spread offsets are < 2 MB).
+    match addr >> 36 {
+        0x0 => "code",
+        0x1 => "private",
+        0x2 => "shared_ro",
+        0x3 => "shared_rw",
+        0x4 => "migratory",
+        0x5 => "pagepool",
+        0x6 => "kernel",
+        0x7 => "interleaved",
+        _ => "other",
+    }
+}
+
+fn segment_fractions(name: &str, core: usize) -> std::collections::HashMap<&'static str, f64> {
+    let spec = by_name(name).unwrap();
+    let mut t = WorkloadThread::new(spec, core, 4, 11);
+    let mut counts: std::collections::HashMap<&'static str, u64> = Default::default();
+    let mut total = 0u64;
+    for _ in 0..SAMPLE {
+        if let Some(a) = t.next_uop().kind.mem_addr() {
+            *counts.entry(segment_of(a.0)).or_default() += 1;
+            total += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|(k, v)| (k, v as f64 / total as f64))
+        .collect()
+}
+
+#[test]
+fn specint_rate_touches_no_user_shared_data() {
+    let f = segment_fractions("specint2000rate", 0);
+    assert_eq!(f.get("shared_rw").copied().unwrap_or(0.0), 0.0);
+    assert_eq!(f.get("shared_ro").copied().unwrap_or(0.0), 0.0);
+    assert_eq!(f.get("migratory").copied().unwrap_or(0.0), 0.0);
+    assert!(f.get("private").copied().unwrap_or(0.0) > 0.85);
+}
+
+#[test]
+fn barnes_is_dominated_by_shared_readwrite_data() {
+    let f = segment_fractions("barnes", 1);
+    assert!(
+        f.get("shared_rw").copied().unwrap_or(0.0) > 0.35,
+        "barnes shared_rw {:?}",
+        f.get("shared_rw")
+    );
+}
+
+#[test]
+fn raytrace_reads_a_shared_scene_without_writing_it() {
+    let spec = by_name("raytrace").unwrap();
+    let mut t = WorkloadThread::new(spec, 0, 4, 3);
+    let ro_base = AddressMap::new(0, 4, false).base(Segment::SharedReadOnly).0;
+    let ro_end = ro_base + 0x1000_0000;
+    for _ in 0..SAMPLE {
+        if let UopKind::Store { addr } = t.next_uop().kind {
+            assert!(
+                !(ro_base..ro_end).contains(&addr.0),
+                "store into the read-only scene at {addr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn commercial_workloads_zero_pages_scientific_do_not() {
+    for spec in all_benchmarks() {
+        let rate: f32 = spec
+            .phases
+            .iter()
+            .map(|p| p.dcbz_pages_per_kilo_instr)
+            .fold(0.0, f32::max);
+        let scientific = matches!(spec.name, "ocean" | "raytrace" | "barnes");
+        if scientific {
+            assert_eq!(rate, 0.0, "{} should not dcbz", spec.name);
+        } else {
+            assert!(rate > 0.0, "{} should dcbz", spec.name);
+        }
+        // For benchmarks with a non-negligible rate, the stream itself
+        // must contain whole-page dcbz bursts (low-rate ones like TPC-H
+        // are too sparse to assert on a short sample).
+        if rate >= 0.05 {
+            let mut t = WorkloadThread::new(spec.clone(), 0, 4, 7);
+            let dcbz = (0..SAMPLE)
+                .filter(|_| matches!(t.next_uop().kind, UopKind::Dcbz { .. }))
+                .count();
+            assert!(dcbz >= 64, "{}: only {dcbz} dcbz uops", spec.name);
+        }
+    }
+}
+
+#[test]
+fn multiprogrammed_code_is_per_core_threaded_code_is_shared() {
+    let pcs = |name: &str, core: usize| -> HashSet<u64> {
+        let spec = by_name(name).unwrap();
+        let mut t = WorkloadThread::new(spec, core, 4, 9);
+        (0..20_000).map(|_| t.next_uop().pc & !0xFFF).collect()
+    };
+    // SPECint rate: disjoint code pages per core.
+    let a = pcs("specint2000rate", 0);
+    let b = pcs("specint2000rate", 1);
+    assert!(a.is_disjoint(&b), "rate binaries must not share code pages");
+    // Ocean: same binary on every core.
+    let a = pcs("ocean", 0);
+    let b = pcs("ocean", 1);
+    assert!(!a.is_disjoint(&b), "threaded code must share pages");
+}
+
+#[test]
+fn tpch_alternates_private_scan_and_shared_merge() {
+    let spec = by_name("tpc-h").unwrap();
+    let mut t = WorkloadThread::new(spec, 0, 4, 13);
+    // Sample segment mix over windows; both a private-dominated and a
+    // shared-heavy window must appear.
+    let mut windows = Vec::new();
+    for _ in 0..12 {
+        let mut shared = 0u64;
+        let mut total = 0u64;
+        for _ in 0..10_000 {
+            if let Some(a) = t.next_uop().kind.mem_addr() {
+                total += 1;
+                if matches!(segment_of(a.0), "shared_rw" | "migratory") {
+                    shared += 1;
+                }
+            }
+        }
+        windows.push(shared as f64 / total.max(1) as f64);
+    }
+    let lo = windows.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = windows.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        hi > lo + 0.2,
+        "phases should differ in sharing: lo {lo:.2} hi {hi:.2} ({windows:?})"
+    );
+}
+
+#[test]
+fn every_benchmark_reuses_regions_spatially() {
+    // CGCT's premise: consecutive memory accesses frequently fall in the
+    // same 512 B region. All nine generators must show this.
+    for spec in all_benchmarks() {
+        let name = spec.name;
+        let mut t = WorkloadThread::new(spec, 0, 4, 21);
+        let mut prev = None;
+        let mut same = 0u64;
+        let mut total = 0u64;
+        for _ in 0..SAMPLE {
+            if let Some(a) = t.next_uop().kind.mem_addr() {
+                let region = a.0 >> 9;
+                if prev == Some(region) {
+                    same += 1;
+                }
+                prev = Some(region);
+                total += 1;
+            }
+        }
+        let frac = same as f64 / total as f64;
+        assert!(frac > 0.25, "{name}: region locality {frac:.2}");
+    }
+}
+
+#[test]
+fn interleaved_heap_keeps_cores_logically_disjoint() {
+    // Commercial workloads using the interleaved heap must never have two
+    // cores touch the same LINE, even though their data interleaves at
+    // 512-byte granularity.
+    for name in ["specweb99", "specjbb2000", "tpc-w", "tpc-b"] {
+        let lines = |core: usize| -> HashSet<u64> {
+            let spec = by_name(name).unwrap();
+            let mut t = WorkloadThread::new(spec, core, 4, 17);
+            (0..SAMPLE)
+                .filter_map(|_| t.next_uop().kind.mem_addr())
+                .filter(|a| segment_of(a.0) == "interleaved")
+                .map(|a| a.0 >> 6)
+                .collect()
+        };
+        let a = lines(0);
+        let b = lines(1);
+        assert!(!a.is_empty(), "{name} uses the interleaved heap");
+        assert!(
+            a.is_disjoint(&b),
+            "{name}: cores collided on interleaved lines"
+        );
+    }
+}

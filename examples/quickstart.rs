@@ -1,0 +1,73 @@
+//! Quickstart: simulate one benchmark with and without Coarse-Grain
+//! Coherence Tracking and report what the technique bought.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cgct_system::{run_once, CoherenceMode, RunPlan, SystemConfig};
+use cgct_workloads::by_name;
+
+fn main() {
+    // The paper's four-processor machine (Table 3) running the TPC-W
+    // database tier — its biggest winner.
+    let spec = by_name("tpc-w").expect("tpc-w is a registered benchmark");
+    let plan = RunPlan {
+        warmup_per_core: 100_000,
+        instructions_per_core: 60_000,
+        max_cycles: 100_000_000,
+        runs: 1,
+        base_seed: 42,
+    };
+
+    println!(
+        "simulating {} ({} instructions/core)...",
+        spec.name, plan.instructions_per_core
+    );
+
+    let baseline_cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+    let baseline = run_once(&baseline_cfg, &spec, 42, &plan);
+
+    let cgct_cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    });
+    let cgct = run_once(&cgct_cfg, &spec, 42, &plan);
+
+    println!();
+    println!("                      baseline      cgct-512B");
+    println!(
+        "runtime (cycles)    {:>10}     {:>10}",
+        baseline.runtime_cycles, cgct.runtime_cycles
+    );
+    println!(
+        "IPC                 {:>10.3}     {:>10.3}",
+        baseline.ipc, cgct.ipc
+    );
+    println!(
+        "broadcasts          {:>10}     {:>10}",
+        baseline.metrics.broadcasts, cgct.metrics.broadcasts
+    );
+    println!(
+        "direct requests     {:>10}     {:>10}",
+        baseline.metrics.direct.total(),
+        cgct.metrics.direct.total()
+    );
+    println!(
+        "avoided entirely    {:>10}     {:>10}",
+        baseline.metrics.local.total(),
+        cgct.metrics.local.total()
+    );
+    println!(
+        "mean demand latency {:>10.0}     {:>10.0}",
+        baseline.metrics.demand_latency.mean(),
+        cgct.metrics.demand_latency.mean()
+    );
+    println!();
+    let reduction = 100.0 * (1.0 - cgct.runtime_cycles as f64 / baseline.runtime_cycles as f64);
+    println!("run-time reduction: {reduction:.1}%  (paper: up to 21.7% for TPC-W at 512B regions)");
+    println!(
+        "requests avoiding the broadcast: {:.1}%",
+        cgct.metrics.avoided_fraction() * 100.0
+    );
+}

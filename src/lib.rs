@@ -1,0 +1,12 @@
+//! Umbrella crate for the CGCT reproduction workspace.
+//!
+//! Re-exports the public API of each member crate so that examples and
+//! integration tests can use a single import root.
+
+pub use cgct as core;
+pub use cgct_cache as cache;
+pub use cgct_cpu as cpu;
+pub use cgct_interconnect as interconnect;
+pub use cgct_sim as sim;
+pub use cgct_system as system;
+pub use cgct_workloads as workloads;

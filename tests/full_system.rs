@@ -1,0 +1,301 @@
+//! Cross-crate integration tests: whole-machine runs of every benchmark
+//! under every coherence mode, with the global invariants checked.
+
+use cgct_system::{CoherenceMode, Machine, SystemConfig};
+use cgct_workloads::{all_benchmarks, by_name};
+
+const INSTR: u64 = 2_500;
+const MAX_CYCLES: u64 = 8_000_000;
+
+fn machine(mode: CoherenceMode, bench: &str, seed: u64) -> Machine {
+    let mut cfg = SystemConfig::paper_default(mode);
+    cfg.perturbation = 0;
+    let spec = by_name(bench).expect("benchmark exists");
+    Machine::new(cfg, &spec, seed)
+}
+
+const MODES: [CoherenceMode; 4] = [
+    CoherenceMode::Baseline,
+    CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    },
+    CoherenceMode::Scaled {
+        region_bytes: 512,
+        sets: 8192,
+    },
+    CoherenceMode::RegionScout { region_bytes: 512 },
+];
+
+#[test]
+fn every_benchmark_runs_under_every_mode() {
+    for spec in all_benchmarks() {
+        for mode in MODES {
+            let mut m = machine(mode, spec.name, 1);
+            let r = m.run(1_000, MAX_CYCLES);
+            assert!(
+                !r.truncated,
+                "{} under {} truncated",
+                spec.name,
+                mode.label()
+            );
+            assert!(
+                r.committed >= 4_000,
+                "{}: {} committed",
+                spec.name,
+                r.committed
+            );
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", spec.name, mode.label()));
+        }
+    }
+}
+
+#[test]
+fn cgct_never_increases_broadcasts() {
+    for bench in ["ocean", "specint2000rate", "tpc-w"] {
+        let base = machine(CoherenceMode::Baseline, bench, 3).run(INSTR, MAX_CYCLES);
+        let cgct = machine(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            bench,
+            3,
+        )
+        .run(INSTR, MAX_CYCLES);
+        assert!(
+            cgct.metrics.broadcasts < base.metrics.broadcasts,
+            "{bench}: {} vs {}",
+            cgct.metrics.broadcasts,
+            base.metrics.broadcasts
+        );
+    }
+}
+
+#[test]
+fn all_tracking_modes_reduce_traffic_in_order_of_precision() {
+    // The full 7-state RCA captures at least as much as the scaled 3-state
+    // variant, which in turn beats the tiny RegionScout filter, on a
+    // private-heavy workload.
+    let bench = "specint2000rate";
+    let base = machine(CoherenceMode::Baseline, bench, 5).run(INSTR, MAX_CYCLES);
+    let results: Vec<u64> = MODES[1..]
+        .iter()
+        .map(|&mode| {
+            machine(mode, bench, 5)
+                .run(INSTR, MAX_CYCLES)
+                .metrics
+                .broadcasts
+        })
+        .collect();
+    let (cgct, scaled, scout) = (results[0], results[1], results[2]);
+    assert!(cgct < base.metrics.broadcasts);
+    assert!(scaled < base.metrics.broadcasts);
+    assert!(scout < base.metrics.broadcasts);
+    // Precision ordering (allow 10% slack for small-run noise).
+    assert!(
+        (cgct as f64) < scaled as f64 * 1.1,
+        "7-state {cgct} should be <= scaled {scaled}"
+    );
+    assert!(
+        (scaled as f64) < scout as f64 * 1.1,
+        "scaled {scaled} should be <= scout {scout}"
+    );
+}
+
+#[test]
+fn multiprogrammed_mix_has_more_opportunity_than_fine_grain_sharing() {
+    // Figure 2's extremes: SPECint-rate (private everything) vs Barnes
+    // (fine-grain sharing).
+    let specint = machine(CoherenceMode::Baseline, "specint2000rate", 2).run(INSTR, MAX_CYCLES);
+    let barnes = machine(CoherenceMode::Baseline, "barnes", 2).run(INSTR, MAX_CYCLES);
+    assert!(
+        specint.metrics.unnecessary_fraction() > barnes.metrics.unnecessary_fraction(),
+        "specint {:.2} should exceed barnes {:.2}",
+        specint.metrics.unnecessary_fraction(),
+        barnes.metrics.unnecessary_fraction()
+    );
+}
+
+#[test]
+fn region_size_sweep_all_complete_with_invariants() {
+    for region_bytes in [256, 512, 1024] {
+        let mut m = machine(
+            CoherenceMode::Cgct {
+                region_bytes,
+                sets: 8192,
+            },
+            "tpc-b",
+            4,
+        );
+        let r = m.run(INSTR, MAX_CYCLES);
+        assert!(!r.truncated);
+        assert!(
+            r.metrics.avoided_fraction() > 0.05,
+            "{region_bytes}B avoided nothing"
+        );
+        m.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn half_size_rca_still_effective() {
+    let full = machine(
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        "specjbb2000",
+        6,
+    )
+    .run(INSTR, MAX_CYCLES);
+    let half = machine(
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 4096,
+        },
+        "specjbb2000",
+        6,
+    )
+    .run(INSTR, MAX_CYCLES);
+    // Figure 9: halving the array loses only a little effectiveness.
+    assert!(half.metrics.avoided_fraction() > full.metrics.avoided_fraction() * 0.5);
+}
+
+#[test]
+fn runs_are_deterministic_per_seed_across_modes() {
+    for mode in MODES {
+        let a = machine(mode, "raytrace", 11).run(1_500, MAX_CYCLES);
+        let b = machine(mode, "raytrace", 11).run(1_500, MAX_CYCLES);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles, "{}", mode.label());
+        assert_eq!(a.metrics.broadcasts, b.metrics.broadcasts);
+        assert_eq!(a.metrics.requests.total(), b.metrics.requests.total());
+    }
+}
+
+#[test]
+fn directory_mode_runs_all_benchmarks_without_broadcasts() {
+    for spec in all_benchmarks() {
+        let mut m = machine(CoherenceMode::Directory, spec.name, 9);
+        let r = m.run(1_000, MAX_CYCLES);
+        assert!(!r.truncated, "{}", spec.name);
+        assert_eq!(r.metrics.broadcasts, 0, "{}", spec.name);
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn snooping_beats_directory_on_cache_to_cache_transfers() {
+    // The paper (1.2): a directory pays three hops (request -> home DRAM
+    // lookup -> owner -> requester) for dirty data; the snooping
+    // broadcast finds the owner in one snoop. Measure the exact transfer.
+    use cgct_cache::Addr;
+    use cgct_interconnect::CoreId;
+    use cgct_sim::Cycle;
+    use cgct_system::MemorySystem;
+
+    let c2c_latency = |mode: CoherenceMode| {
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        cfg.stream_prefetch = false;
+        let mut mem = MemorySystem::new(cfg, 1);
+        let a = Addr(0xC000);
+        mem.store(CoreId(0), Cycle(0), a);
+        let t0 = Cycle(10_000);
+        let done = mem.load(CoreId(2), t0, a, false);
+        mem.check_invariants().unwrap();
+        done - t0
+    };
+    let snoop = c2c_latency(CoherenceMode::Baseline);
+    let dir = c2c_latency(CoherenceMode::Directory);
+    assert!(
+        snoop < dir,
+        "snooped c2c ({snoop}) should beat the directory 3-hop ({dir})"
+    );
+
+    // ...while both serve unshared data with comparable low latency
+    // (the directory benefit CGCT replicates on a broadcast machine).
+    let unshared_latency = |mode: CoherenceMode| {
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        cfg.stream_prefetch = false;
+        let mut mem = MemorySystem::new(cfg, 1);
+        // Touch the region first so CGCT's second access goes direct.
+        mem.load(CoreId(0), Cycle(0), Addr(0xE000), false);
+        let t0 = Cycle(10_000);
+        let done = mem.load(CoreId(0), t0, Addr(0xE000 + 64), false);
+        done - t0
+    };
+    let cgct = unshared_latency(CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    });
+    let dir_unshared = unshared_latency(CoherenceMode::Directory);
+    let snoop_unshared = unshared_latency(CoherenceMode::Baseline);
+    assert!(
+        cgct < snoop_unshared,
+        "cgct {cgct} vs snoop {snoop_unshared}"
+    );
+    assert!(
+        dir_unshared < snoop_unshared,
+        "directory {dir_unshared} vs snoop {snoop_unshared}"
+    );
+}
+
+#[test]
+fn writeback_direct_routing_requires_region_state() {
+    // Baseline write-backs always broadcast; CGCT routes them direct
+    // using the memory-controller index in the region entry (§5.1).
+    // Dirty lines are forced out via set conflicts in the 2-way L2.
+    use cgct_cache::Addr;
+    use cgct_interconnect::CoreId;
+    use cgct_sim::Cycle;
+    use cgct_system::MemorySystem;
+
+    for (mode, expect_direct) in [
+        (CoherenceMode::Baseline, false),
+        (
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            true,
+        ),
+    ] {
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        cfg.stream_prefetch = false;
+        let mut mem = MemorySystem::new(cfg, 1);
+        let l2_span = 8192 * 64; // lines that conflict in the same set
+        let mut now = Cycle(0);
+        for i in 0..32u64 {
+            let set_base = 0x10_0000 + i * 64;
+            mem.store(CoreId(0), now, Addr(set_base));
+            now += 1000;
+            // Two conflicting fills evict the dirty line (2 ways).
+            mem.load(CoreId(0), now, Addr(set_base + l2_span), false);
+            now += 1000;
+            mem.load(CoreId(0), now, Addr(set_base + 2 * l2_span), false);
+            now += 1000;
+        }
+        assert!(
+            mem.metrics.requests.writeback >= 32,
+            "{}: only {} write-backs",
+            mode.label(),
+            mem.metrics.requests.writeback
+        );
+        if expect_direct {
+            assert!(
+                mem.metrics.direct.writeback * 2 > mem.metrics.requests.writeback,
+                "most write-backs should go direct: {}/{}",
+                mem.metrics.direct.writeback,
+                mem.metrics.requests.writeback
+            );
+        } else {
+            assert_eq!(mem.metrics.direct.writeback, 0);
+        }
+        mem.check_invariants().unwrap();
+    }
+}

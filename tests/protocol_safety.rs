@@ -1,0 +1,267 @@
+//! Property-based safety tests: arbitrary request interleavings must
+//! preserve every coherence, inclusion, and exclusivity invariant — and
+//! debug builds additionally assert that no broadcast bypass is ever
+//! unsafe (see `MemorySystem::assert_direct_is_safe`).
+
+use cgct_cache::Addr;
+use cgct_interconnect::CoreId;
+use cgct_sim::Cycle;
+use cgct_system::{CoherenceMode, MemorySystem, SystemConfig};
+use proptest::prelude::*;
+
+/// One memory operation in a generated scenario.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Load { core: u8, slot: u16, intent: bool },
+    Store { core: u8, slot: u16 },
+    Ifetch { core: u8, slot: u16 },
+    Dcbz { core: u8, slot: u16 },
+}
+
+fn op_strategy(cores: u8, slots: u16) -> impl Strategy<Value = Op> {
+    let c = 0..cores;
+    let s = 0..slots;
+    prop_oneof![
+        (c.clone(), s.clone(), any::<bool>()).prop_map(|(core, slot, intent)| Op::Load {
+            core,
+            slot,
+            intent
+        }),
+        (c.clone(), s.clone()).prop_map(|(core, slot)| Op::Store { core, slot }),
+        (c.clone(), s.clone()).prop_map(|(core, slot)| Op::Ifetch { core, slot }),
+        (c, s).prop_map(|(core, slot)| Op::Dcbz { core, slot }),
+    ]
+}
+
+/// Maps slots to addresses that deliberately collide in regions and in
+/// cache sets: slots cover few regions so cores constantly interact.
+fn addr_of(slot: u16) -> Addr {
+    // 64 lines spread over 8 regions (512 B) with set collisions.
+    let line = (slot as u64) % 64;
+    Addr(0x10_000 + line * 64)
+}
+
+fn run_scenario(mode: CoherenceMode, ops: &[Op]) {
+    let mut cfg = SystemConfig::paper_default(mode);
+    cfg.perturbation = 0;
+    let mut mem = MemorySystem::new(cfg, 1);
+    let mut now = Cycle(0);
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Load { core, slot, intent } => {
+                mem.load(CoreId(core as usize), now, addr_of(slot), intent);
+            }
+            Op::Store { core, slot } => {
+                mem.store(CoreId(core as usize), now, addr_of(slot));
+            }
+            Op::Ifetch { core, slot } => {
+                mem.ifetch(CoreId(core as usize), now, addr_of(slot));
+            }
+            Op::Dcbz { core, slot } => {
+                mem.dcbz(CoreId(core as usize), now, addr_of(slot));
+            }
+        }
+        now += 7;
+        if i % 64 == 63 {
+            mem.check_invariants().expect("mid-run invariants");
+        }
+    }
+    mem.check_invariants().expect("final invariants");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cgct_invariants_hold_for_arbitrary_interleavings(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..400)
+    ) {
+        run_scenario(
+            CoherenceMode::Cgct { region_bytes: 512, sets: 8192 },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn cgct_small_regions_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(
+            CoherenceMode::Cgct { region_bytes: 256, sets: 8192 },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn cgct_large_regions_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(
+            CoherenceMode::Cgct { region_bytes: 1024, sets: 8192 },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn scaled_protocol_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(
+            CoherenceMode::Scaled { region_bytes: 512, sets: 8192 },
+            &ops,
+        );
+    }
+
+    #[test]
+    fn regionscout_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(CoherenceMode::RegionScout { region_bytes: 512 }, &ops);
+    }
+
+    #[test]
+    fn baseline_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(CoherenceMode::Baseline, &ops);
+    }
+
+    #[test]
+    fn directory_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        run_scenario(CoherenceMode::Directory, &ops);
+    }
+
+    /// All §6 extensions enabled at once (owner prediction, prefetch
+    /// filter, DRAM-speculation filter) must preserve every invariant.
+    #[test]
+    fn extensions_preserve_invariants(
+        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
+    ) {
+        let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        cfg.perturbation = 0;
+        cfg.owner_prediction = true;
+        cfg.region_prefetch_filter = true;
+        cfg.dram_speculation_filter = true;
+        cfg.shared_read_bypass = true;
+        let mut mem = MemorySystem::new(cfg, 1);
+        let mut now = Cycle(0);
+        for op in &ops {
+            match *op {
+                Op::Load { core, slot, intent } => {
+                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
+                }
+                Op::Store { core, slot } => {
+                    mem.store(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Ifetch { core, slot } => {
+                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Dcbz { core, slot } => {
+                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
+                }
+            }
+            now += 7;
+        }
+        mem.check_invariants().expect("invariants with extensions");
+    }
+
+    /// A tiny RCA (2 sets) forces constant region evictions and
+    /// inclusion flushes — the stress case for the line counts.
+    #[test]
+    fn tiny_rca_forces_inclusion_machinery(
+        ops in prop::collection::vec(op_strategy(4, 512), 1..300)
+    ) {
+        let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        cfg.perturbation = 0;
+        // Shrink the RCA indirectly by shrinking its source config: use a
+        // dedicated mode with few sets.
+        cfg.mode = CoherenceMode::Cgct { region_bytes: 512, sets: 2 };
+        let mut mem = MemorySystem::new(cfg, 1);
+        let mut now = Cycle(0);
+        for op in &ops {
+            match *op {
+                Op::Load { core, slot, intent } => {
+                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
+                }
+                Op::Store { core, slot } => {
+                    mem.store(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Ifetch { core, slot } => {
+                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Dcbz { core, slot } => {
+                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
+                }
+            }
+            now += 7;
+        }
+        mem.check_invariants().expect("invariants with tiny RCA");
+    }
+}
+
+#[test]
+fn deterministic_scenario_replay() {
+    // The same scenario must produce byte-identical metrics.
+    let ops: Vec<Op> = (0..200)
+        .map(|i| match i % 4 {
+            0 => Op::Load {
+                core: (i % 4) as u8,
+                slot: (i * 7 % 256) as u16,
+                intent: i % 8 == 0,
+            },
+            1 => Op::Store {
+                core: (i % 3) as u8,
+                slot: (i * 13 % 256) as u16,
+            },
+            2 => Op::Ifetch {
+                core: (i % 4) as u8,
+                slot: (i * 3 % 64) as u16,
+            },
+            _ => Op::Dcbz {
+                core: (i % 2) as u8,
+                slot: (i * 11 % 256) as u16,
+            },
+        })
+        .collect();
+    let snapshot = |ops: &[Op]| {
+        let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        cfg.perturbation = 0;
+        let mut mem = MemorySystem::new(cfg, 9);
+        let mut now = Cycle(0);
+        for op in ops {
+            match *op {
+                Op::Load { core, slot, intent } => {
+                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
+                }
+                Op::Store { core, slot } => {
+                    mem.store(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Ifetch { core, slot } => {
+                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
+                }
+                Op::Dcbz { core, slot } => {
+                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
+                }
+            }
+            now += 5;
+        }
+        (
+            mem.metrics.broadcasts,
+            mem.metrics.requests.total(),
+            mem.metrics.direct.total(),
+            mem.metrics.local.total(),
+        )
+    };
+    assert_eq!(snapshot(&ops), snapshot(&ops));
+}
