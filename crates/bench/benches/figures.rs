@@ -1,18 +1,20 @@
-//! One Criterion bench per table and figure of the paper.
+//! One bench per table and figure of the paper.
 //!
 //! Analytic tables (1, 2, Figure 6) are benchmarked at full fidelity; the
 //! simulation-backed figures (2, 7, 8, 9, 10, and the RCA statistics) run
 //! a scaled-down single-seed plan per iteration so `cargo bench` stays
 //! tractable — the full-scale numbers come from the `experiments` binary
 //! (see `EXPERIMENTS.md`).
+//!
+//! Run with `cargo bench -p cgct-bench --bench figures [filter]`.
 
 use cgct::StorageModel;
+use cgct_bench::timing::{black_box, Harness};
 use cgct_interconnect::{DistanceClass, LatencyModel};
 use cgct_system::{run_once, CoherenceMode, RunPlan, SystemConfig};
 use cgct_workloads::by_name;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-/// A per-iteration plan small enough for Criterion.
+/// A per-iteration plan small enough for a timing loop.
 fn bench_plan() -> RunPlan {
     RunPlan {
         warmup_per_core: 4_000,
@@ -31,8 +33,10 @@ fn run(mode: CoherenceMode, bench: &str, seed: u64) -> f64 {
     r.runtime_cycles as f64
 }
 
-fn table1_region_states(c: &mut Criterion) {
-    c.bench_function("table1_region_state_rules", |b| {
+fn main() {
+    let mut h = Harness::from_args();
+
+    h.bench("table1_region_state_rules", |b| {
         b.iter(|| {
             let mut acc = 0usize;
             for s in cgct::RegionState::ALL {
@@ -50,17 +54,13 @@ fn table1_region_states(c: &mut Criterion) {
             black_box(acc)
         })
     });
-}
 
-fn table2_storage_overhead(c: &mut Criterion) {
-    c.bench_function("table2_storage_overhead", |b| {
+    h.bench("table2_storage_overhead", |b| {
         let m = StorageModel::paper_default();
         b.iter(|| black_box(m.table2()))
     });
-}
 
-fn fig6_latency_scenarios(c: &mut Criterion) {
-    c.bench_function("fig6_latency_scenarios", |b| {
+    h.bench("fig6_latency_scenarios", |b| {
         let lat = LatencyModel::paper_default();
         b.iter(|| {
             let mut acc = 0u64;
@@ -70,24 +70,18 @@ fn fig6_latency_scenarios(c: &mut Criterion) {
             black_box(acc)
         })
     });
-}
 
-fn fig2_oracle_classification(c: &mut Criterion) {
     // Figure 2 is measured on a baseline run with the oracle classifier.
-    c.bench_function("fig2_baseline_oracle_run", |b| {
+    h.bench("fig2_baseline_oracle_run", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             black_box(run(CoherenceMode::Baseline, "tpc-w", seed))
         })
     });
-}
 
-fn fig7_broadcast_avoidance(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_avoidance_by_region_size");
-    g.sample_size(10);
     for region in [256u64, 512, 1024] {
-        g.bench_function(format!("cgct_{region}B_specjbb"), |b| {
+        h.bench(&format!("fig7_avoidance/cgct_{region}B_specjbb"), |b| {
             let mut seed = 0;
             b.iter(|| {
                 seed += 1;
@@ -102,21 +96,16 @@ fn fig7_broadcast_avoidance(c: &mut Criterion) {
             })
         });
     }
-    g.finish();
-}
 
-fn fig8_runtime_reduction(c: &mut Criterion) {
     // Figure 8's quantity is the runtime ratio between these two runs.
-    let mut g = c.benchmark_group("fig8_runtime");
-    g.sample_size(10);
-    g.bench_function("baseline_tpcw", |b| {
+    h.bench("fig8_runtime/baseline_tpcw", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             black_box(run(CoherenceMode::Baseline, "tpc-w", seed))
         })
     });
-    g.bench_function("cgct512_tpcw", |b| {
+    h.bench("fig8_runtime/cgct512_tpcw", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
@@ -130,13 +119,8 @@ fn fig8_runtime_reduction(c: &mut Criterion) {
             ))
         })
     });
-    g.finish();
-}
 
-fn fig9_half_size_rca(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_half_size_rca");
-    g.sample_size(10);
-    g.bench_function("cgct512_4096sets_ocean", |b| {
+    h.bench("fig9_half_size_rca/cgct512_4096sets_ocean", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
@@ -150,30 +134,22 @@ fn fig9_half_size_rca(c: &mut Criterion) {
             ))
         })
     });
-    g.finish();
-}
 
-fn fig10_traffic(c: &mut Criterion) {
     // Figure 10 measures broadcasts per interval; the run itself is the
     // cost being benchmarked here.
-    let mut g = c.benchmark_group("fig10_traffic");
-    g.sample_size(10);
-    g.bench_function("baseline_barnes_traffic", |b| {
+    h.bench("fig10_traffic/baseline_barnes", |b| {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
             black_box(run(CoherenceMode::Baseline, "barnes", seed))
         })
     });
-    g.finish();
-}
 
-fn table34_workload_generation(c: &mut Criterion) {
     // Tables 3 and 4 are configuration/benchmarks; this measures the
     // workload generators' throughput across all nine specs.
-    use cgct_cpu::UopSource;
-    use cgct_workloads::{all_benchmarks, WorkloadThread};
-    c.bench_function("table4_workload_generation", |b| {
+    h.bench("table4_workload_generation", |b| {
+        use cgct_cpu::UopSource;
+        use cgct_workloads::{all_benchmarks, WorkloadThread};
         let mut threads: Vec<WorkloadThread> = all_benchmarks()
             .into_iter()
             .map(|s| WorkloadThread::new(s, 0, 4, 7))
@@ -188,20 +164,6 @@ fn table34_workload_generation(c: &mut Criterion) {
             black_box(acc)
         })
     });
-}
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        table1_region_states,
-        table2_storage_overhead,
-        fig6_latency_scenarios,
-        fig2_oracle_classification,
-        fig7_broadcast_avoidance,
-        fig8_runtime_reduction,
-        fig9_half_size_rca,
-        fig10_traffic,
-        table34_workload_generation
+    h.finish();
 }
-criterion_main!(figures);

@@ -1,17 +1,20 @@
 //! Microbenchmarks of the core data structures: the RCA and line-protocol
 //! operations that sit on the simulated critical path, plus the generic
 //! set-associative array.
+//!
+//! Run with `cargo bench -p cgct-bench --bench structures [filter]`.
 
 use cgct::{FillKind, RcaConfig, RegionCoherenceArray, RegionSnoopResponse};
+use cgct_bench::timing::{black_box, Harness};
 use cgct_cache::{
     requester_next_state, snoop_line, LineSnoopResponse, MoesiState, RegionAddr, ReqKind,
     SetAssocArray,
 };
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-fn bench_set_assoc_array(c: &mut Criterion) {
-    let mut g = c.benchmark_group("set_assoc_array");
-    g.bench_function("insert_lru_hit_stream", |b| {
+fn main() {
+    let mut h = Harness::from_args();
+
+    h.bench("set_assoc_array/insert_lru_hit_stream", |b| {
         let mut a: SetAssocArray<u64> = SetAssocArray::new(8192, 2);
         for k in 0..16384u64 {
             a.insert_lru(k, k);
@@ -22,7 +25,8 @@ fn bench_set_assoc_array(c: &mut Criterion) {
             black_box(a.access(k));
         });
     });
-    g.bench_function("insert_lru_evicting", |b| {
+
+    h.bench("set_assoc_array/insert_lru_evicting", |b| {
         let mut a: SetAssocArray<u64> = SetAssocArray::new(8192, 2);
         let mut k = 0u64;
         b.iter(|| {
@@ -30,12 +34,8 @@ fn bench_set_assoc_array(c: &mut Criterion) {
             black_box(a.insert_lru(k, k));
         });
     });
-    g.finish();
-}
 
-fn bench_rca(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rca");
-    g.bench_function("permission_hit", |b| {
+    h.bench("rca/permission_hit", |b| {
         let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
         for r in 0..16384u64 {
             rca.local_fill(
@@ -51,7 +51,8 @@ fn bench_rca(c: &mut Criterion) {
             black_box(rca.permission(RegionAddr(r), ReqKind::Read));
         });
     });
-    g.bench_function("local_fill_allocating", |b| {
+
+    h.bench("rca/local_fill_allocating", |b| {
         let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
         let mut r = 0u64;
         b.iter(|| {
@@ -64,7 +65,8 @@ fn bench_rca(c: &mut Criterion) {
             ));
         });
     });
-    g.bench_function("external_request", |b| {
+
+    h.bench("rca/external_request", |b| {
         let mut rca = RegionCoherenceArray::new(RcaConfig::paper_default(512));
         for r in 0..16384u64 {
             rca.local_fill(
@@ -81,12 +83,8 @@ fn bench_rca(c: &mut Criterion) {
             black_box(rca.external_request(RegionAddr(r), ReqKind::Read, false));
         });
     });
-    g.finish();
-}
 
-fn bench_line_protocol(c: &mut Criterion) {
-    let mut g = c.benchmark_group("line_protocol");
-    g.bench_function("snoop_line", |b| {
+    h.bench("line_protocol/snoop_line", |b| {
         let states = [
             MoesiState::Modified,
             MoesiState::Owned,
@@ -100,7 +98,8 @@ fn bench_line_protocol(c: &mut Criterion) {
             black_box(snoop_line(states[i], ReqKind::ReadExclusive));
         });
     });
-    g.bench_function("requester_next_state", |b| {
+
+    h.bench("line_protocol/requester_next_state", |b| {
         let resp = LineSnoopResponse {
             shared: true,
             dirty: false,
@@ -108,13 +107,6 @@ fn bench_line_protocol(c: &mut Criterion) {
         };
         b.iter(|| black_box(requester_next_state(ReqKind::Read, resp)));
     });
-    g.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_set_assoc_array,
-    bench_rca,
-    bench_line_protocol
-);
-criterion_main!(benches);
+    h.finish();
+}

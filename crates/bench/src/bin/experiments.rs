@@ -84,12 +84,11 @@ fn parse_args() -> Args {
     }
 }
 
-fn dump_json<T: serde::Serialize>(dir: &Option<String>, name: &str, value: &T) {
+fn dump_json(dir: &Option<String>, name: &str, value: &dyn cgct_sim::ToJson) {
     if let Some(dir) = dir {
         std::fs::create_dir_all(dir).expect("create json dir");
         let path = format!("{dir}/{name}.json");
-        let body = serde_json::to_string_pretty(value).expect("serialize");
-        std::fs::write(&path, body).expect("write json");
+        std::fs::write(&path, value.to_json().dump_pretty()).expect("write json");
         eprintln!("wrote {path}");
     }
 }

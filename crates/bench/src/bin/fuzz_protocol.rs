@@ -16,17 +16,16 @@
 use cgct_cache::Addr;
 use cgct_interconnect::{CoreId, Topology};
 use cgct_sim::Cycle;
+use cgct_sim::Xoshiro256pp;
 use cgct_system::{CoherenceMode, MemorySystem, SystemConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-fn random_config(rng: &mut SmallRng) -> SystemConfig {
-    let region_bytes = *[256u64, 512, 1024].get(rng.gen_range(0..3)).unwrap();
-    let mode = match rng.gen_range(0..5) {
+fn random_config(rng: &mut Xoshiro256pp) -> SystemConfig {
+    let region_bytes = *[256u64, 512, 1024].get(rng.gen_range(0usize..3)).unwrap();
+    let mode = match rng.gen_range(0u32..5) {
         0 => CoherenceMode::Baseline,
         1 => CoherenceMode::Cgct {
             region_bytes,
-            sets: *[2usize, 64, 8192].get(rng.gen_range(0..3)).unwrap(),
+            sets: *[2usize, 64, 8192].get(rng.gen_range(0usize..3)).unwrap(),
         },
         2 => CoherenceMode::Scaled {
             region_bytes,
@@ -65,12 +64,12 @@ fn main() {
     let mut total_ops = 0u64;
     for iter in 0..iterations {
         let seed = base_seed.wrapping_add(iter);
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let cfg = random_config(&mut rng);
         let label = cfg.mode.label();
         let cores = cfg.topology.total_cores();
         let mut mem = MemorySystem::new(cfg, seed);
-        let ops = rng.gen_range(500..4_000);
+        let ops = rng.gen_range(500u64..4_000);
         // A small address pool with deliberate region/set collisions.
         let pool_lines: u64 = rng.gen_range(16..512);
         let mut now = Cycle(0);
@@ -80,10 +79,10 @@ fn main() {
             let line = if rng.gen_bool(0.8) {
                 rng.gen_range(0..pool_lines)
             } else {
-                rng.gen_range(0..pool_lines) + 8192 * rng.gen_range(1..4)
+                rng.gen_range(0..pool_lines) + 8192 * rng.gen_range(1u64..4)
             };
-            let addr = Addr(line * 64 + rng.gen_range(0..64) / 8 * 8);
-            match rng.gen_range(0..10) {
+            let addr = Addr(line * 64 + rng.gen_range(0u64..64) / 8 * 8);
+            match rng.gen_range(0u32..10) {
                 0..=3 => {
                     mem.load(core, now, addr, rng.gen_bool(0.2));
                 }
@@ -97,7 +96,7 @@ fn main() {
                     mem.dcbz(core, now, addr);
                 }
             }
-            now += rng.gen_range(1..30);
+            now += rng.gen_range(1u64..30);
             if op % 512 == 511 {
                 if let Err(e) = mem.check_invariants() {
                     eprintln!("INVARIANT VIOLATION (seed {seed}, {label}, op {op}): {e}");

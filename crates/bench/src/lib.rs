@@ -2,13 +2,16 @@
 //!
 //! * `src/bin/experiments.rs` — regenerates every table and figure of the
 //!   paper (run `cargo run --release -p cgct-bench --bin experiments -- all`).
-//! * `benches/` — Criterion benches: one scaled-down bench per
-//!   table/figure plus microbenchmarks of the core structures.
+//! * `benches/` — plain-`Instant` benches (see [`timing`]): one
+//!   scaled-down bench per table/figure plus microbenchmarks of the core
+//!   structures.
 //!
 //! This library exposes the shared experiment scales so the binary and
-//! the Criterion benches agree on what "quick" and "full" mean.
+//! the benches agree on what "quick" and "full" mean.
 
 use cgct_system::RunPlan;
+
+pub mod timing;
 
 /// The scaled-down plan used by Criterion benches and `--quick` runs:
 /// small but large enough that every figure's qualitative shape (who

@@ -5,7 +5,6 @@
 //! 16 lines. [`Geometry`] captures one (line size, region size) choice and
 //! performs all address arithmetic.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A physical byte address.
@@ -17,15 +16,14 @@ use std::fmt;
 /// let a = Addr(0x1000);
 /// assert_eq!(a.offset(0x40), Addr(0x1040));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl Addr {
-    /// Returns the address `bytes` past this one.
+    /// Returns the address `bytes` past this one, wrapping on overflow
+    /// (consistent with [`LineAddr::offset`]).
     pub fn offset(self, bytes: u64) -> Addr {
-        Addr(self.0 + bytes)
+        Addr(self.0.wrapping_add(bytes))
     }
 }
 
@@ -36,9 +34,7 @@ impl fmt::Display for Addr {
 }
 
 /// A cache-line number (`address >> line_bits`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct LineAddr(pub u64);
 
 impl LineAddr {
@@ -55,9 +51,7 @@ impl fmt::Display for LineAddr {
 }
 
 /// A region number (`address >> region_bits`).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RegionAddr(pub u64);
 
 impl fmt::Display for RegionAddr {
@@ -81,7 +75,7 @@ impl fmt::Display for RegionAddr {
 /// let region = g.region_of_line(line);
 /// assert!(g.lines_in_region(region).any(|l| l == line));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     line_bits: u32,
     region_bits: u32,
@@ -250,6 +244,12 @@ mod tests {
         let l = LineAddr(10);
         assert_eq!(l.offset(3), LineAddr(13));
         assert_eq!(l.offset(-3), LineAddr(7));
+    }
+
+    #[test]
+    fn addr_offset_wraps_on_overflow() {
+        assert_eq!(Addr(5).offset(3), Addr(8));
+        assert_eq!(Addr(u64::MAX).offset(1), Addr(0));
     }
 
     #[test]

@@ -6,8 +6,6 @@
 //! only in its entry payload and in its replacement policy (which favors
 //! regions with no cached lines, §3.2).
 
-use serde::{Deserialize, Serialize};
-
 /// A candidate line for eviction, handed to victim-selection callbacks.
 #[derive(Debug)]
 pub struct VictimCandidate<'a, E> {
@@ -30,7 +28,7 @@ pub enum LookupOutcome {
     MissFull,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Way<E> {
     tag: u64,
     last_use: u64,
@@ -55,7 +53,7 @@ struct Way<E> {
 /// let evicted = a.insert_lru(8, "eight");
 /// assert_eq!(evicted, Some((0, "zero")));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SetAssocArray<E> {
     sets: usize,
     ways: usize,

@@ -1,7 +1,5 @@
 //! Cache configuration, with Table 3 defaults.
 
-use serde::{Deserialize, Serialize};
-
 /// Size/organization of one cache (Table 3).
 ///
 /// # Examples
@@ -11,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// let l2 = CacheConfig::paper_l2();
 /// assert_eq!(l2.sets(), 8192); // 1 MB, 2-way, 64 B lines
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: u64,
@@ -84,7 +82,7 @@ impl CacheConfig {
 }
 
 /// Per-processor cache hierarchy configuration (L1I + L1D + unified L2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchyConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,

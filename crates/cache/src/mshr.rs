@@ -5,13 +5,12 @@
 //! out-of-order cores overlap multiple memory requests (MLP).
 
 use crate::addr::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an allocated MSHR slot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MshrId(pub usize);
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Slot<T> {
     line: LineAddr,
     waiters: Vec<T>,
@@ -33,7 +32,7 @@ struct Slot<T> {
 /// assert_eq!(line, LineAddr(5));
 /// assert_eq!(waiters, vec![100, 101]);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MshrFile<T> {
     slots: Vec<Option<Slot<T>>>,
 }

@@ -7,7 +7,6 @@
 //! simulated interconnect.
 
 use crate::state::MoesiState;
-use serde::{Deserialize, Serialize};
 
 /// The kinds of memory request that reach the coherence point (L2 miss
 /// stream plus permission upgrades, write-backs and DCB operations).
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// cache holds the line (the paper's §3.1: "loads are not prevented from
 /// obtaining exclusive copies"). Instruction fetches issue
 /// [`ReqKind::ReadShared`] and always fill shared/clean.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ReqKind {
     /// Data read (load or data prefetch); fills E when unshared, S otherwise.
     Read,
@@ -58,7 +57,7 @@ impl ReqKind {
 }
 
 /// What a snooped cache must do in response to an external request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnoopAction {
     /// Nothing: the line was not cached or needs no action.
     None,
@@ -67,7 +66,7 @@ pub enum SnoopAction {
 }
 
 /// One snooped cache's contribution to the line snoop response.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LineSnoopResponse {
     /// Some other cache holds a valid copy (any of M/O/E/S).
     pub shared: bool,

@@ -15,10 +15,9 @@
 
 use crate::addr::{Geometry, LineAddr};
 use crate::array::SetAssocArray;
-use serde::{Deserialize, Serialize};
 
 /// Per-sector residency: which lines of the sector are valid.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Sector {
     valid: u32,
 }

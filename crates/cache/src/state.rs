@@ -5,7 +5,6 @@
 //! capture the stable states; the event-driven transition logic lives in
 //! [`crate::protocol`] and in the system crate.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// MOESI line state, as used by the L2 caches.
@@ -18,9 +17,7 @@ use std::fmt;
 /// assert!(MoesiState::Exclusive.can_silently_modify());
 /// assert!(!MoesiState::Shared.can_write());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum MoesiState {
     /// Only valid copy, modified; memory is stale.
     Modified,
@@ -91,9 +88,7 @@ impl fmt::Display for MoesiState {
 /// The L1s sit below the inclusive L2: an L1 line in `Modified` implies the
 /// L2 copy is (or will become) dirty, and L2 evictions/invalidations recall
 /// L1 copies.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum MsiState {
     /// Writable, dirty with respect to the L2.
     Modified,

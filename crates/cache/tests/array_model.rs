@@ -2,7 +2,8 @@
 //! implementation with explicit per-set LRU lists.
 
 use cgct_cache::SetAssocArray;
-use proptest::prelude::*;
+use cgct_sim::check::{check, gen_vec};
+use cgct_sim::Xoshiro256pp;
 use std::collections::HashMap;
 
 /// Reference model: per-set vector of keys in LRU order (front = LRU).
@@ -79,25 +80,24 @@ enum Op {
     Remove(u64),
 }
 
-fn ops(max_key: u64) -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0..max_key, any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
-            (0..max_key).prop_map(Op::Access),
-            (0..max_key).prop_map(Op::Get),
-            (0..max_key).prop_map(Op::Remove),
-        ],
-        1..300,
-    )
+fn gen_ops(g: &mut Xoshiro256pp, max_key: u64) -> Vec<Op> {
+    gen_vec(g, 1..300, |g| {
+        let k = g.gen_range(0..max_key);
+        match g.gen_range(0u8..4) {
+            0 => Op::Insert(k, g.next_u32()),
+            1 => Op::Access(k),
+            2 => Op::Get(k),
+            _ => Op::Remove(k),
+        }
+    })
 }
 
-proptest! {
-    #[test]
-    fn matches_reference_lru_model(
-        sets_log in 0usize..4,
-        ways in 1usize..5,
-        ops in ops(64),
-    ) {
+#[test]
+fn matches_reference_lru_model() {
+    check("array_model::matches_reference_lru_model", 64, |g| {
+        let sets_log = g.gen_range(0usize..4);
+        let ways = g.gen_range(1usize..5);
+        let ops = gen_ops(g, 64);
         let sets = 1usize << sets_log;
         let mut real: SetAssocArray<u32> = SetAssocArray::new(sets, ways);
         let mut model = Model::new(sets, ways);
@@ -106,44 +106,45 @@ proptest! {
                 Op::Insert(k, v) => {
                     let a = real.insert_lru(k, v);
                     let b = model.insert(k, v);
-                    prop_assert_eq!(a, b, "insert({}, {})", k, v);
+                    assert_eq!(a, b, "insert({k}, {v})");
                 }
                 Op::Access(k) => {
                     let a = real.access(k).copied();
                     model.touch(k);
                     let b = model.get(k);
-                    prop_assert_eq!(a, b, "access({})", k);
+                    assert_eq!(a, b, "access({k})");
                 }
                 Op::Get(k) => {
-                    prop_assert_eq!(real.get(k).copied(), model.get(k), "get({})", k);
+                    assert_eq!(real.get(k).copied(), model.get(k), "get({k})");
                 }
                 Op::Remove(k) => {
-                    prop_assert_eq!(real.remove(k), model.get(k), "remove({})", k);
+                    assert_eq!(real.remove(k), model.get(k), "remove({k})");
                     model.remove(k);
                 }
             }
-            prop_assert_eq!(real.len(), model.values.len());
+            assert_eq!(real.len(), model.values.len());
         }
         // Final contents agree.
         let mut real_pairs: Vec<(u64, u32)> = real.iter().map(|(k, v)| (k, *v)).collect();
         real_pairs.sort_unstable();
         let mut model_pairs: Vec<(u64, u32)> = model.values.iter().map(|(&k, &v)| (k, v)).collect();
         model_pairs.sort_unstable();
-        prop_assert_eq!(real_pairs, model_pairs);
-    }
+        assert_eq!(real_pairs, model_pairs);
+    });
+}
 
-    #[test]
-    fn occupancy_never_exceeds_ways(
-        ways in 1usize..4,
-        keys in prop::collection::vec(0u64..256, 1..200),
-    ) {
+#[test]
+fn occupancy_never_exceeds_ways() {
+    check("array_model::occupancy_never_exceeds_ways", 64, |g| {
+        let ways = g.gen_range(1usize..4);
+        let keys = gen_vec(g, 1..200, |g| g.gen_range(0u64..256));
         let mut a: SetAssocArray<()> = SetAssocArray::new(8, ways);
         for k in keys {
             a.insert_lru(k, ());
             for set_key in 0..8u64 {
-                prop_assert!(a.set_occupancy(set_key) <= ways);
+                assert!(a.set_occupancy(set_key) <= ways);
             }
         }
-        prop_assert!(a.len() <= a.capacity());
-    }
+        assert!(a.len() <= a.capacity());
+    });
 }

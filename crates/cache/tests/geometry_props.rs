@@ -3,103 +3,129 @@
 use cgct_cache::{
     requester_next_state, snoop_line, Addr, Geometry, LineSnoopResponse, MoesiState, ReqKind,
 };
-use proptest::prelude::*;
+use cgct_sim::check::{check, gen_vec};
+use cgct_sim::Xoshiro256pp;
 
-fn geometries() -> impl Strategy<Value = Geometry> {
-    (6u32..9, 0u32..5)
-        .prop_map(|(line_log, extra)| Geometry::new(1 << line_log, 1 << (line_log + extra)))
+fn gen_geometry(g: &mut Xoshiro256pp) -> Geometry {
+    let line_log = g.gen_range(6u32..9);
+    let extra = g.gen_range(0u32..5);
+    Geometry::new(1 << line_log, 1 << (line_log + extra))
 }
 
-fn any_state() -> impl Strategy<Value = MoesiState> {
-    prop_oneof![
-        Just(MoesiState::Modified),
-        Just(MoesiState::Owned),
-        Just(MoesiState::Exclusive),
-        Just(MoesiState::Shared),
-        Just(MoesiState::Invalid),
-    ]
+fn gen_state(g: &mut Xoshiro256pp) -> MoesiState {
+    *g.choose(&[
+        MoesiState::Modified,
+        MoesiState::Owned,
+        MoesiState::Exclusive,
+        MoesiState::Shared,
+        MoesiState::Invalid,
+    ])
+    .unwrap()
 }
 
-fn any_req() -> impl Strategy<Value = ReqKind> {
-    prop_oneof![
-        Just(ReqKind::Read),
-        Just(ReqKind::ReadShared),
-        Just(ReqKind::ReadExclusive),
-        Just(ReqKind::Upgrade),
-        Just(ReqKind::Writeback),
-        Just(ReqKind::Dcbz),
-    ]
+fn gen_req(g: &mut Xoshiro256pp) -> ReqKind {
+    *g.choose(&[
+        ReqKind::Read,
+        ReqKind::ReadShared,
+        ReqKind::ReadExclusive,
+        ReqKind::Upgrade,
+        ReqKind::Writeback,
+        ReqKind::Dcbz,
+    ])
+    .unwrap()
 }
 
-proptest! {
-    #[test]
-    fn line_and_region_mappings_are_consistent(g in geometries(), addr in 0u64..(1 << 40)) {
-        let a = Addr(addr);
-        let line = g.line_of(a);
-        let region = g.region_of(a);
-        // The line's region is the address's region.
-        prop_assert_eq!(g.region_of_line(line), region);
-        // The line base maps back to the same line, ditto regions.
-        prop_assert_eq!(g.line_of(g.line_base(line)), line);
-        prop_assert_eq!(g.region_of(g.region_base(region)), region);
-        // The line is enumerated by its region, exactly once.
-        let hits = g.lines_in_region(region).filter(|&l| l == line).count();
-        prop_assert_eq!(hits, 1);
-        // Index within region is within bounds and consistent.
-        prop_assert!(g.line_index_in_region(line) < g.lines_per_region());
-    }
+#[test]
+fn line_and_region_mappings_are_consistent() {
+    check(
+        "geometry::line_and_region_mappings_are_consistent",
+        64,
+        |rng| {
+            let g = gen_geometry(rng);
+            let a = Addr(rng.gen_range(0u64..(1 << 40)));
+            let line = g.line_of(a);
+            let region = g.region_of(a);
+            // The line's region is the address's region.
+            assert_eq!(g.region_of_line(line), region);
+            // The line base maps back to the same line, ditto regions.
+            assert_eq!(g.line_of(g.line_base(line)), line);
+            assert_eq!(g.region_of(g.region_base(region)), region);
+            // The line is enumerated by its region, exactly once.
+            let hits = g.lines_in_region(region).filter(|&l| l == line).count();
+            assert_eq!(hits, 1);
+            // Index within region is within bounds and consistent.
+            assert!(g.line_index_in_region(line) < g.lines_per_region());
+        },
+    );
+}
 
-    #[test]
-    fn lines_per_region_matches_enumeration(g in geometries(), region in 0u64..(1 << 25)) {
-        let r = cgct_cache::RegionAddr(region);
-        prop_assert_eq!(
-            g.lines_in_region(r).count() as u64,
-            g.lines_per_region()
-        );
-        // All enumerated lines belong to the region.
-        for l in g.lines_in_region(r) {
-            prop_assert_eq!(g.region_of_line(l), r);
-        }
-    }
+#[test]
+fn lines_per_region_matches_enumeration() {
+    check(
+        "geometry::lines_per_region_matches_enumeration",
+        64,
+        |rng| {
+            let g = gen_geometry(rng);
+            let r = cgct_cache::RegionAddr(rng.gen_range(0u64..(1 << 25)));
+            assert_eq!(g.lines_in_region(r).count() as u64, g.lines_per_region());
+            // All enumerated lines belong to the region.
+            for l in g.lines_in_region(r) {
+                assert_eq!(g.region_of_line(l), r);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn snoop_never_leaves_writable_copies_behind_invalidating_requests(
-        s in any_state(),
-        req in any_req(),
-    ) {
-        let out = snoop_line(s, req);
-        if req.invalidates_others() {
-            prop_assert_eq!(out.next, MoesiState::Invalid);
-        }
-        // Snooping never upgrades a copy's write permission.
-        prop_assert!(!out.next.can_silently_modify() || s.can_silently_modify());
-    }
-
-    #[test]
-    fn requester_and_snooper_states_always_compatible(
-        states in prop::collection::vec(any_state(), 1..4),
-        req in any_req(),
-    ) {
-        // Merge the snoop outcome across an arbitrary set of snoopers and
-        // check the requester's fill never creates a second writable copy.
-        let mut resp = LineSnoopResponse::default();
-        let mut nexts = Vec::new();
-        for &s in &states {
+#[test]
+fn snoop_never_leaves_writable_copies_behind_invalidating_requests() {
+    check(
+        "geometry::snoop_never_leaves_writable_copies_behind_invalidating_requests",
+        64,
+        |rng| {
+            let s = gen_state(rng);
+            let req = gen_req(rng);
             let out = snoop_line(s, req);
-            resp.merge(out.response);
-            nexts.push(out.next);
-        }
-        if let Some(fill) = requester_next_state(req, resp) {
-            if fill.can_silently_modify() {
-                for (&_before, &after) in states.iter().zip(&nexts) {
-                    prop_assert_eq!(after, MoesiState::Invalid,
-                        "requester fills {:?} but a snooper kept {:?}", fill, after);
+            if req.invalidates_others() {
+                assert_eq!(out.next, MoesiState::Invalid);
+            }
+            // Snooping never upgrades a copy's write permission.
+            assert!(!out.next.can_silently_modify() || s.can_silently_modify());
+        },
+    );
+}
+
+#[test]
+fn requester_and_snooper_states_always_compatible() {
+    check(
+        "geometry::requester_and_snooper_states_always_compatible",
+        64,
+        |rng| {
+            let states = gen_vec(rng, 1..4, gen_state);
+            let req = gen_req(rng);
+            // Merge the snoop outcome across an arbitrary set of snoopers and
+            // check the requester's fill never creates a second writable copy.
+            let mut resp = LineSnoopResponse::default();
+            let mut nexts = Vec::new();
+            for &s in &states {
+                let out = snoop_line(s, req);
+                resp.merge(out.response);
+                nexts.push(out.next);
+            }
+            if let Some(fill) = requester_next_state(req, resp) {
+                if fill.can_silently_modify() {
+                    for (&_before, &after) in states.iter().zip(&nexts) {
+                        assert_eq!(
+                            after,
+                            MoesiState::Invalid,
+                            "requester fills {fill:?} but a snooper kept {after:?}"
+                        );
+                    }
+                }
+                if fill == MoesiState::Exclusive {
+                    // E fill only when nobody reported a copy.
+                    assert!(!resp.shared);
                 }
             }
-            if fill == MoesiState::Exclusive {
-                // E fill only when nobody reported a copy.
-                prop_assert!(!resp.shared);
-            }
-        }
-    }
+        },
+    );
 }

@@ -15,7 +15,6 @@
 //! the bookkeeping is exact, which the memory system guarantees).
 
 use cgct_cache::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// A counting-filter Jetty for one cache.
 ///
@@ -32,7 +31,7 @@ use serde::{Deserialize, Serialize};
 /// j.remove(LineAddr(42));
 /// assert!(!j.maybe_present(LineAddr(42)));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct JettyFilter {
     a: Vec<u32>,
     b: Vec<u32>,

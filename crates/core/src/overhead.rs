@@ -7,10 +7,8 @@
 //! 2-way RCA set stores two entries of {address tag, 3-bit region state,
 //! line count, 6-bit memory-controller ID} plus an LRU bit and ECC.
 
-use serde::{Deserialize, Serialize};
-
 /// One row of Table 2: entry/region sizing and the resulting overheads.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadRow {
     /// Total RCA entries (2-way, so sets = entries / 2).
     pub entries: u64,
@@ -47,7 +45,7 @@ pub struct OverheadRow {
 /// assert_eq!(row.total_bits, 71);
 /// assert!((row.cache_space_overhead - 0.059).abs() < 0.001);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageModel {
     /// Physical address bits (paper: 40 — up to 16 GB DRAM per chip and
     /// 72 processors).

@@ -7,11 +7,10 @@
 use crate::response::RegionSnoopResponse;
 use crate::state::{ExternalPart, LocalPart, RegionState};
 use cgct_cache::ReqKind;
-use serde::{Deserialize, Serialize};
 
 /// How a line fills into the local cache, from the region protocol's point
 /// of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FillKind {
     /// The line fills as an unmodified shared (S) copy — instruction
     /// fetches and loads that found other sharers.

@@ -18,10 +18,9 @@ use crate::response::RegionSnoopResponse;
 use crate::state::{RegionPermission, RegionState};
 use cgct_cache::{Geometry, RegionAddr, ReqKind, SetAssocArray};
 use cgct_sim::{Counter, Histogram};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of one Region Coherence Array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RcaConfig {
     /// Number of sets (paper: 8192, same as the L2 tags; Figure 9 halves
     /// this to 4096).
@@ -72,7 +71,7 @@ impl Default for RcaConfig {
 }
 
 /// One region's tracked state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionEntry {
     /// Coarse-grain coherence state.
     pub state: RegionState,
@@ -99,7 +98,7 @@ pub struct RegionEviction {
 }
 
 /// Counters the paper reports about RCA behaviour (§3.2, §5.2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RcaStats {
     /// Replacements (not counting self-invalidations).
     pub evictions: Counter,

@@ -7,7 +7,6 @@
 //! requester.
 
 use crate::state::{ExternalPart, LocalPart, RegionState};
-use serde::{Deserialize, Serialize};
 
 /// Aggregated region snoop response: the two bits of §3.4.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(agg.clean && agg.dirty);
 /// assert_eq!(agg.external_part(), ExternalPart::Dirty);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
 pub struct RegionSnoopResponse {
     /// Some other processor holds the region with clean lines only.
     pub clean: bool,

@@ -9,10 +9,9 @@
 use crate::state::RegionPermission;
 use cgct_cache::{Geometry, RegionAddr, ReqKind, SetAssocArray};
 use cgct_sim::Counter;
-use serde::{Deserialize, Serialize};
 
 /// Region state of the scaled-back protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScaledRegionState {
     /// No region entry.
     #[default]
@@ -39,7 +38,7 @@ impl ScaledRegionState {
 }
 
 /// One entry of the scaled-back array.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct ScaledEntry {
     state: ScaledRegionState,
     line_count: u32,

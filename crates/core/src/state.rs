@@ -20,12 +20,11 @@
 //! | DD | may have modified | may have modified | yes |
 
 use cgct_cache::ReqKind;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Local half of a region state: the status of *this* processor's cached
 /// lines within the region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LocalPart {
     /// All cached lines of the region are unmodified shared (S) copies.
     Clean,
@@ -35,7 +34,7 @@ pub enum LocalPart {
 
 /// External half of a region state: the status of the region in *other*
 /// processors' caches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExternalPart {
     /// No other processor caches lines of the region.
     Invalid,
@@ -47,7 +46,7 @@ pub enum ExternalPart {
 
 /// What the region state allows for a given request (Table 1's
 /// "Broadcast Needed?" column, refined by request kind).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RegionPermission {
     /// The request must be broadcast to all coherence agents.
     Broadcast,
@@ -70,9 +69,7 @@ pub enum RegionPermission {
 /// assert_eq!(s.local(), Some(LocalPart::Clean));
 /// assert!(!s.is_exclusive());
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum RegionState {
     /// No lines cached by this processor; other processors unknown.
     #[default]

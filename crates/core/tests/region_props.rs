@@ -6,84 +6,101 @@ use cgct::{
     RegionSnoopResponse, RegionState,
 };
 use cgct_cache::{Geometry, RegionAddr, ReqKind};
-use proptest::prelude::*;
+use cgct_sim::check::{check, gen_vec};
+use cgct_sim::Xoshiro256pp;
 
-fn any_region_state() -> impl Strategy<Value = RegionState> {
-    prop::sample::select(RegionState::ALL.to_vec())
+fn gen_region_state(g: &mut Xoshiro256pp) -> RegionState {
+    *g.choose(&RegionState::ALL).unwrap()
 }
 
-fn any_fill() -> impl Strategy<Value = FillKind> {
-    prop_oneof![Just(FillKind::Shared), Just(FillKind::Exclusive)]
+fn gen_fill(g: &mut Xoshiro256pp) -> FillKind {
+    if g.gen_bool(0.5) {
+        FillKind::Shared
+    } else {
+        FillKind::Exclusive
+    }
 }
 
-fn any_resp() -> impl Strategy<Value = RegionSnoopResponse> {
-    (any::<bool>(), any::<bool>()).prop_map(|(clean, dirty)| RegionSnoopResponse { clean, dirty })
+fn gen_resp(g: &mut Xoshiro256pp) -> RegionSnoopResponse {
+    RegionSnoopResponse {
+        clean: g.gen_bool(0.5),
+        dirty: g.gen_bool(0.5),
+    }
 }
 
-fn any_req() -> impl Strategy<Value = ReqKind> {
-    prop_oneof![
-        Just(ReqKind::Read),
-        Just(ReqKind::ReadShared),
-        Just(ReqKind::ReadExclusive),
-        Just(ReqKind::Upgrade),
-        Just(ReqKind::Writeback),
-        Just(ReqKind::Dcbz),
-    ]
+fn gen_req(g: &mut Xoshiro256pp) -> ReqKind {
+    *g.choose(&[
+        ReqKind::Read,
+        ReqKind::ReadShared,
+        ReqKind::ReadExclusive,
+        ReqKind::Upgrade,
+        ReqKind::Writeback,
+        ReqKind::Dcbz,
+    ])
+    .unwrap()
 }
 
-proptest! {
-    #[test]
-    fn local_fill_always_yields_valid_state(
-        s in any_region_state(),
-        fill in any_fill(),
-        resp in any_resp(),
-    ) {
+#[test]
+fn local_fill_always_yields_valid_state() {
+    check("region::local_fill_always_yields_valid_state", 64, |g| {
+        let s = gen_region_state(g);
+        let fill = gen_fill(g);
+        let resp = gen_resp(g);
         let next = local_fill_next_state(s, fill, Some(resp));
-        prop_assert!(next.is_valid());
+        assert!(next.is_valid());
         // The external part mirrors the response exactly.
-        prop_assert_eq!(next.external(), Some(resp.external_part()));
+        assert_eq!(next.external(), Some(resp.external_part()));
         // Exclusive fills always leave the local part dirty.
         if fill == FillKind::Exclusive {
-            prop_assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
+            assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
         }
-    }
+    });
+}
 
-    #[test]
-    fn local_part_is_monotonic_toward_dirty(
-        s in any_region_state(),
-        fill in any_fill(),
-        resp in any_resp(),
-    ) {
+#[test]
+fn local_part_is_monotonic_toward_dirty() {
+    check("region::local_part_is_monotonic_toward_dirty", 64, |g| {
+        let s = gen_region_state(g);
+        let fill = gen_fill(g);
+        let resp = gen_resp(g);
         let next = local_fill_next_state(s, fill, Some(resp));
         if s.local() == Some(cgct::LocalPart::Dirty) {
-            prop_assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
+            assert_eq!(next.local(), Some(cgct::LocalPart::Dirty));
         }
-    }
+    });
+}
 
-    #[test]
-    fn external_requests_never_grant_exclusivity(
-        s in any_region_state(),
-        req in any_req(),
-        fill_ex in any::<bool>(),
-    ) {
-        let next = external_next_state(s, req, fill_ex);
-        if s.is_valid() && req != ReqKind::Writeback {
-            prop_assert!(next.is_valid());
-            prop_assert!(!next.is_exclusive(),
-                "{s} + external {req:?} left exclusive {next}");
-            // Local part is untouched by external requests.
-            prop_assert_eq!(next.local(), s.local());
-        }
-        if req == ReqKind::Writeback {
-            prop_assert_eq!(next, s);
-        }
-    }
+#[test]
+fn external_requests_never_grant_exclusivity() {
+    check(
+        "region::external_requests_never_grant_exclusivity",
+        64,
+        |g| {
+            let s = gen_region_state(g);
+            let req = gen_req(g);
+            let fill_ex = g.gen_bool(0.5);
+            let next = external_next_state(s, req, fill_ex);
+            if s.is_valid() && req != ReqKind::Writeback {
+                assert!(next.is_valid());
+                assert!(
+                    !next.is_exclusive(),
+                    "{s} + external {req:?} left exclusive {next}"
+                );
+                // Local part is untouched by external requests.
+                assert_eq!(next.local(), s.local());
+            }
+            if req == ReqKind::Writeback {
+                assert_eq!(next, s);
+            }
+        },
+    );
+}
 
-    #[test]
-    fn external_part_monotonically_degrades(
-        s in any_region_state(),
-        reqs in prop::collection::vec((any_req(), any::<bool>()), 1..8),
-    ) {
+#[test]
+fn external_part_monotonically_degrades() {
+    check("region::external_part_monotonically_degrades", 64, |g| {
+        let s = gen_region_state(g);
+        let reqs = gen_vec(g, 1..8, |g| (gen_req(g), g.gen_bool(0.5)));
         // Across any sequence of external requests, the external part only
         // moves Invalid -> Clean -> Dirty, never back.
         let mut cur = s;
@@ -91,18 +108,21 @@ proptest! {
         for (req, fill_ex) in reqs {
             cur = external_next_state(cur, req, fill_ex);
             if let (Some(a), Some(b)) = (prev_ext, cur.external()) {
-                prop_assert!(b >= a, "external part improved: {a:?} -> {b:?}");
+                assert!(b >= a, "external part improved: {a:?} -> {b:?}");
             }
             prev_ext = cur.external();
         }
-    }
+    });
+}
 
-    /// RCA line counts track an explicit multiset of cached lines across
-    /// arbitrary interleavings of fills, line movement, and snoops.
-    #[test]
-    fn rca_line_counts_match_reference(
-        ops in prop::collection::vec((0u8..4, 0u64..16, any::<bool>()), 1..300)
-    ) {
+/// RCA line counts track an explicit multiset of cached lines across
+/// arbitrary interleavings of fills, line movement, and snoops.
+#[test]
+fn rca_line_counts_match_reference() {
+    check("region::rca_line_counts_match_reference", 64, |g| {
+        let ops = gen_vec(g, 1..300, |g| {
+            (g.gen_range(0u8..4), g.gen_range(0u64..16), g.gen_bool(0.5))
+        });
         let geometry = Geometry::new(64, 512);
         let mut rca = RegionCoherenceArray::new(RcaConfig {
             sets: 16,
@@ -111,17 +131,23 @@ proptest! {
             self_invalidation: true,
             favor_empty_replacement: true,
         });
-        let mut counts: std::collections::HashMap<u64, u32> =
-            std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
         for (op, region_id, flag) in ops {
             let region = RegionAddr(region_id);
             match op {
                 // Local fill (broadcast): allocate/refresh the entry.
                 0 => {
-                    let resp = RegionSnoopResponse { clean: flag, dirty: !flag };
+                    let resp = RegionSnoopResponse {
+                        clean: flag,
+                        dirty: !flag,
+                    };
                     if let Some(ev) = rca.local_fill(
                         region,
-                        if flag { FillKind::Shared } else { FillKind::Exclusive },
+                        if flag {
+                            FillKind::Shared
+                        } else {
+                            FillKind::Exclusive
+                        },
                         Some(resp),
                         0,
                     ) {
@@ -141,9 +167,7 @@ proptest! {
                 }
                 // Evict a line.
                 2 => {
-                    if rca.entry(region).is_some()
-                        && *counts.get(&region_id).unwrap_or(&0) > 0
-                    {
+                    if rca.entry(region).is_some() && *counts.get(&region_id).unwrap_or(&0) > 0 {
                         rca.line_uncached(region);
                         *counts.entry(region_id).or_insert(1) -= 1;
                     }
@@ -154,20 +178,22 @@ proptest! {
                     let was_empty = *counts.get(&region_id).unwrap_or(&0) == 0;
                     let _ = rca.external_request(region, ReqKind::Read, flag);
                     if had_entry && was_empty {
-                        prop_assert!(rca.entry(region).is_none(),
-                            "empty region must self-invalidate");
+                        assert!(
+                            rca.entry(region).is_none(),
+                            "empty region must self-invalidate"
+                        );
                         counts.remove(&region_id);
                     }
                 }
             }
             // Every tracked count matches the model.
             for (region, entry) in rca.iter() {
-                prop_assert_eq!(
+                assert_eq!(
                     entry.line_count,
                     *counts.get(&region.0).unwrap_or(&0),
-                    "region {} count mismatch", region
+                    "region {region} count mismatch"
                 );
             }
         }
-    }
+    });
 }

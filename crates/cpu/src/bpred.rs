@@ -2,7 +2,6 @@
 //! return-address stack (Table 3).
 
 use crate::uop::BranchKind;
-use serde::{Deserialize, Serialize};
 
 /// Combined branch prediction unit.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// }
 /// assert!(bp.predict_and_update(0x4000, BranchKind::Conditional, true));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BranchPredictor {
     /// 2-bit saturating counters.
     pht: Vec<u8>,

@@ -1,9 +1,7 @@
 //! Core configuration (Table 3 defaults).
 
-use serde::{Deserialize, Serialize};
-
 /// Out-of-order core parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: usize,

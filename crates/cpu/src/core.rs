@@ -16,7 +16,6 @@ use crate::config::CoreConfig;
 use crate::uop::{Uop, UopKind, UopSource};
 use cgct_cache::{Addr, LineAddr, MshrFile};
 use cgct_sim::Cycle;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// The memory hierarchy as seen by one core. All methods return the
@@ -34,7 +33,7 @@ pub trait MemoryInterface {
 }
 
 /// Aggregate core statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions committed.
     pub committed: u64,

@@ -7,10 +7,9 @@
 //! ahead of the demand pointer.
 
 use cgct_cache::LineAddr;
-use serde::{Deserialize, Serialize};
 
 /// A prefetch the engine wants issued.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchRequest {
     /// Line to prefetch.
     pub line: LineAddr,
@@ -18,7 +17,7 @@ pub struct PrefetchRequest {
     pub exclusive: bool,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 struct Stream {
     /// Next expected demand line.
     expect: LineAddr,
@@ -48,7 +47,7 @@ struct Stream {
 /// assert_eq!(reqs.len(), 5);                            // 5-line runahead
 /// assert_eq!(reqs[0].line, LineAddr(102));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StreamPrefetcher {
     streams: Vec<Stream>,
     max_streams: usize,

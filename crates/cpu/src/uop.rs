@@ -2,10 +2,10 @@
 //! the core model.
 
 use cgct_cache::Addr;
-use serde::{Deserialize, Serialize};
+use cgct_sim::Json;
 
 /// Control-flow classification of a branch, for predictor bookkeeping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchKind {
     /// Conditional branch (predicted by gshare).
     Conditional,
@@ -16,7 +16,7 @@ pub enum BranchKind {
 }
 
 /// The operation performed by one dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UopKind {
     /// Integer ALU operation (1-cycle).
     IntAlu,
@@ -76,7 +76,7 @@ impl UopKind {
 }
 
 /// One dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Uop {
     /// Instruction address (drives instruction fetch and prediction).
     pub pc: u64,
@@ -94,6 +94,128 @@ impl Uop {
             pc,
             kind,
             dep_dist: 0,
+        }
+    }
+
+    /// Renders the uop as a JSON object (`{"pc":..,"kind":..,"dep_dist":..}`).
+    ///
+    /// Unit kinds serialize as bare strings, payload kinds as
+    /// single-member objects — the externally-tagged enum layout existing
+    /// trace files use.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("pc", Json::u64(self.pc)),
+            ("kind", self.kind.to_json()),
+            ("dep_dist", Json::u64(self.dep_dist as u64)),
+        ])
+    }
+
+    /// Parses a uop from the [`to_json`](Self::to_json) layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<Uop, String> {
+        let pc = v
+            .get("pc")
+            .and_then(Json::as_u64)
+            .ok_or("missing or invalid 'pc'")?;
+        let kind = UopKind::from_json(v.get("kind").ok_or("missing 'kind'")?)?;
+        let dep = v
+            .get("dep_dist")
+            .and_then(Json::as_u64)
+            .ok_or("missing or invalid 'dep_dist'")?;
+        let dep_dist = u8::try_from(dep).map_err(|_| format!("dep_dist {dep} out of range"))?;
+        Ok(Uop { pc, kind, dep_dist })
+    }
+}
+
+impl UopKind {
+    /// Externally-tagged JSON rendering (see [`Uop::to_json`]).
+    pub fn to_json(&self) -> Json {
+        let addr_obj = |tag: &'static str, addr: Addr| {
+            Json::obj([(tag, Json::obj([("addr", Json::u64(addr.0))]))])
+        };
+        match *self {
+            UopKind::IntAlu => Json::str("IntAlu"),
+            UopKind::IntMult => Json::str("IntMult"),
+            UopKind::FpAlu => Json::str("FpAlu"),
+            UopKind::FpMult => Json::str("FpMult"),
+            UopKind::Load { addr, store_intent } => Json::obj([(
+                "Load",
+                Json::obj([
+                    ("addr", Json::u64(addr.0)),
+                    ("store_intent", Json::Bool(store_intent)),
+                ]),
+            )]),
+            UopKind::Store { addr } => addr_obj("Store", addr),
+            UopKind::Dcbz { addr } => addr_obj("Dcbz", addr),
+            UopKind::Branch { kind, taken } => Json::obj([(
+                "Branch",
+                Json::obj([
+                    (
+                        "kind",
+                        Json::str(match kind {
+                            BranchKind::Conditional => "Conditional",
+                            BranchKind::Call => "Call",
+                            BranchKind::Return => "Return",
+                        }),
+                    ),
+                    ("taken", Json::Bool(taken)),
+                ]),
+            )]),
+        }
+    }
+
+    /// Parses the [`to_json`](Self::to_json) layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the unrecognized tag or malformed payload.
+    pub fn from_json(v: &Json) -> Result<UopKind, String> {
+        if let Some(tag) = v.as_str() {
+            return match tag {
+                "IntAlu" => Ok(UopKind::IntAlu),
+                "IntMult" => Ok(UopKind::IntMult),
+                "FpAlu" => Ok(UopKind::FpAlu),
+                "FpMult" => Ok(UopKind::FpMult),
+                other => Err(format!("unknown uop kind '{other}'")),
+            };
+        }
+        let pairs = v.as_object().ok_or("uop kind must be string or object")?;
+        let (tag, body) = pairs.first().ok_or("empty uop kind object")?;
+        let addr = || -> Result<Addr, String> {
+            body.get("addr")
+                .and_then(Json::as_u64)
+                .map(Addr)
+                .ok_or_else(|| format!("missing or invalid 'addr' in {tag}"))
+        };
+        match tag.as_str() {
+            "Load" => Ok(UopKind::Load {
+                addr: addr()?,
+                store_intent: body
+                    .get("store_intent")
+                    .and_then(Json::as_bool)
+                    .ok_or("missing or invalid 'store_intent' in Load")?,
+            }),
+            "Store" => Ok(UopKind::Store { addr: addr()? }),
+            "Dcbz" => Ok(UopKind::Dcbz { addr: addr()? }),
+            "Branch" => {
+                let kind = match body.get("kind").and_then(Json::as_str) {
+                    Some("Conditional") => BranchKind::Conditional,
+                    Some("Call") => BranchKind::Call,
+                    Some("Return") => BranchKind::Return,
+                    other => return Err(format!("invalid branch kind {other:?}")),
+                };
+                Ok(UopKind::Branch {
+                    kind,
+                    taken: body
+                        .get("taken")
+                        .and_then(Json::as_bool)
+                        .ok_or("missing or invalid 'taken' in Branch")?,
+                })
+            }
+            other => Err(format!("unknown uop kind '{other}'")),
         }
     }
 }

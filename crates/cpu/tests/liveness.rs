@@ -4,8 +4,8 @@
 
 use cgct_cache::Addr;
 use cgct_cpu::{BranchKind, Core, CoreConfig, MemoryInterface, Uop, UopKind};
-use cgct_sim::Cycle;
-use proptest::prelude::*;
+use cgct_sim::check::{check, gen_vec};
+use cgct_sim::{Cycle, Xoshiro256pp};
 
 /// Memory whose latency varies pseudo-randomly per access.
 struct BumpyMem {
@@ -51,33 +51,33 @@ enum K {
     Ret,
 }
 
-fn kind_strategy() -> impl Strategy<Value = K> {
-    prop_oneof![
-        Just(K::Int),
-        Just(K::Mult),
-        Just(K::Fp),
-        Just(K::Load),
-        Just(K::Store),
-        Just(K::Dcbz),
-        any::<bool>().prop_map(K::Branch),
-        Just(K::Call),
-        Just(K::Ret),
-    ]
+fn gen_kind(g: &mut Xoshiro256pp) -> K {
+    match g.gen_range(0u8..9) {
+        0 => K::Int,
+        1 => K::Mult,
+        2 => K::Fp,
+        3 => K::Load,
+        4 => K::Store,
+        5 => K::Dcbz,
+        6 => K::Branch(g.gen_bool(0.5)),
+        7 => K::Call,
+        _ => K::Ret,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any finite uop pattern, repeated forever over bumpy memory
-    /// latencies, commits steadily: the core never wedges.
-    #[test]
-    fn core_never_deadlocks(
-        pattern in prop::collection::vec((kind_strategy(), 0u8..3), 1..40),
-        max_latency in 1u64..400,
-        seed in any::<u64>(),
-    ) {
+/// Any finite uop pattern, repeated forever over bumpy memory
+/// latencies, commits steadily: the core never wedges.
+#[test]
+fn core_never_deadlocks() {
+    check("liveness::core_never_deadlocks", 48, |g| {
+        let pattern = gen_vec(g, 1..40, |g| (gen_kind(g), g.gen_range(0u8..3)));
+        let max_latency = g.gen_range(1u64..400);
+        let seed = g.next_u64();
         let mut core = Core::new(CoreConfig::paper_default());
-        let mut mem = BumpyMem { state: seed | 1, max_latency };
+        let mut mem = BumpyMem {
+            state: seed | 1,
+            max_latency,
+        };
         let mut i = 0usize;
         let mut pc = 0u64;
         let pat = pattern.clone();
@@ -89,39 +89,70 @@ proptest! {
                 K::Int => UopKind::IntAlu,
                 K::Mult => UopKind::IntMult,
                 K::Fp => UopKind::FpAlu,
-                K::Load => UopKind::Load { addr: Addr(pc * 32 % 65536), store_intent: dep == 1 },
-                K::Store => UopKind::Store { addr: Addr(pc * 48 % 65536) },
-                K::Dcbz => UopKind::Dcbz { addr: Addr(pc * 64 % 65536) },
-                K::Branch(t) => UopKind::Branch { kind: BranchKind::Conditional, taken: t },
-                K::Call => UopKind::Branch { kind: BranchKind::Call, taken: true },
-                K::Ret => UopKind::Branch { kind: BranchKind::Return, taken: true },
+                K::Load => UopKind::Load {
+                    addr: Addr(pc * 32 % 65536),
+                    store_intent: dep == 1,
+                },
+                K::Store => UopKind::Store {
+                    addr: Addr(pc * 48 % 65536),
+                },
+                K::Dcbz => UopKind::Dcbz {
+                    addr: Addr(pc * 64 % 65536),
+                },
+                K::Branch(t) => UopKind::Branch {
+                    kind: BranchKind::Conditional,
+                    taken: t,
+                },
+                K::Call => UopKind::Branch {
+                    kind: BranchKind::Call,
+                    taken: true,
+                },
+                K::Ret => UopKind::Branch {
+                    kind: BranchKind::Return,
+                    taken: true,
+                },
             };
-            Uop { pc, kind, dep_dist: dep }
+            Uop {
+                pc,
+                kind,
+                dep_dist: dep,
+            }
         };
         let budget = 30_000u64 + max_latency * 100;
         for c in 0..budget {
             core.tick(Cycle(c), &mut mem, &mut src);
         }
         // Even the slowest mixes must retire a healthy amount of work.
-        prop_assert!(
+        assert!(
             core.committed() > budget / (max_latency * 8 + 64),
             "only {} committed in {budget} cycles (max_latency {max_latency})",
             core.committed()
         );
-    }
+    });
+}
 
-    /// Commit accounting is exact: loads + stores + dcbz counted in the
-    /// stats match what the stream delivered, in order.
-    #[test]
-    fn stats_track_the_stream(seed in any::<u64>()) {
+/// Commit accounting is exact: loads + stores + dcbz counted in the
+/// stats match what the stream delivered, in order.
+#[test]
+fn stats_track_the_stream() {
+    check("liveness::stats_track_the_stream", 48, |g| {
+        let seed = g.next_u64();
         let mut core = Core::new(CoreConfig::paper_default());
-        let mut mem = BumpyMem { state: seed | 1, max_latency: 30 };
+        let mut mem = BumpyMem {
+            state: seed | 1,
+            max_latency: 30,
+        };
         let mut pc = 0u64;
         let mut src = move || {
             pc += 4;
             let kind = match pc % 5 {
-                0 => UopKind::Load { addr: Addr(pc * 8 % 32768), store_intent: false },
-                1 => UopKind::Store { addr: Addr(pc * 8 % 32768) },
+                0 => UopKind::Load {
+                    addr: Addr(pc * 8 % 32768),
+                    store_intent: false,
+                },
+                1 => UopKind::Store {
+                    addr: Addr(pc * 8 % 32768),
+                },
                 _ => UopKind::IntAlu,
             };
             Uop::simple(pc, kind)
@@ -130,11 +161,16 @@ proptest! {
             core.tick(Cycle(c), &mut mem, &mut src);
         }
         let s = core.stats();
-        prop_assert!(s.committed > 0);
+        assert!(s.committed > 0);
         // Loads issue at most once per load uop plus replays never exist
         // in this model; stores commit exactly once each.
-        prop_assert!(s.loads >= s.committed / 5 / 2, "loads {} committed {}", s.loads, s.committed);
-        prop_assert!(s.stores <= s.committed / 5 + 8);
-        prop_assert_eq!(s.cycles, 20_000);
-    }
+        assert!(
+            s.loads >= s.committed / 5 / 2,
+            "loads {} committed {}",
+            s.loads,
+            s.committed
+        );
+        assert!(s.stores <= s.committed / 5 + 8);
+        assert_eq!(s.cycles, 20_000);
+    });
 }

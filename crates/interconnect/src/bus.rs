@@ -6,7 +6,6 @@
 //! snoop latency after the grant.
 
 use cgct_sim::{Cycle, RunningStats, CPU_CYCLES_PER_SYSTEM_CYCLE};
-use serde::{Deserialize, Serialize};
 
 /// The broadcast address network arbiter.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(g1, Cycle(0));
 /// assert_eq!(g2, Cycle(10));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AddressNetwork {
     next_free: Cycle,
     granted: u64,
@@ -120,28 +119,27 @@ mod tests {
 #[cfg(test)]
 mod arbitration_props {
     use super::*;
-    use proptest::prelude::*;
+    use cgct_sim::check::{check, gen_vec};
 
-    proptest! {
-        /// Grants are strictly increasing by at least one system cycle,
-        /// never precede their requests, and every request is granted.
-        #[test]
-        fn grants_serialize_on_the_system_clock(
-            mut requests in prop::collection::vec(0u64..50_000, 1..200),
-        ) {
+    /// Grants are strictly increasing by at least one system cycle,
+    /// never precede their requests, and every request is granted.
+    #[test]
+    fn grants_serialize_on_the_system_clock() {
+        check("bus::grants_serialize_on_the_system_clock", 64, |g| {
+            let mut requests = gen_vec(g, 1..200, |g| g.gen_range(0u64..50_000));
             requests.sort_unstable();
             let mut bus = AddressNetwork::new();
             let mut last: Option<Cycle> = None;
             for &r in &requests {
-                let g = bus.grant(Cycle(r));
-                prop_assert!(g >= Cycle(r));
-                prop_assert_eq!(g.0 % CPU_CYCLES_PER_SYSTEM_CYCLE, 0);
+                let granted = bus.grant(Cycle(r));
+                assert!(granted >= Cycle(r));
+                assert_eq!(granted.0 % CPU_CYCLES_PER_SYSTEM_CYCLE, 0);
                 if let Some(prev) = last {
-                    prop_assert!(g.0 >= prev.0 + CPU_CYCLES_PER_SYSTEM_CYCLE);
+                    assert!(granted.0 >= prev.0 + CPU_CYCLES_PER_SYSTEM_CYCLE);
                 }
-                last = Some(g);
+                last = Some(granted);
             }
-            prop_assert_eq!(bus.broadcasts(), requests.len() as u64);
-        }
+            assert_eq!(bus.broadcasts(), requests.len() as u64);
+        });
     }
 }

@@ -16,11 +16,10 @@
 //! pays the full 16-cycle DRAM latency after a short request delivery.
 
 use cgct_sim::SystemCycle;
-use serde::{Deserialize, Serialize};
 
 /// Physical distance between a requester and a responder (memory
 /// controller or cache).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DistanceClass {
     /// On the requester's own chip.
     SameChip,
@@ -44,7 +43,7 @@ impl DistanceClass {
 
 /// The interconnect latency parameters (Table 3), with scenario
 /// compositions (Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyModel {
     /// Snoop latency: request broadcast until snoop response (16 sc).
     pub snoop: SystemCycle,

@@ -5,7 +5,6 @@
 //! top of the DRAM access latency from [`crate::latency::LatencyModel`].
 
 use cgct_sim::{Cycle, RunningStats, SystemCycle};
-use serde::{Deserialize, Serialize};
 
 /// One memory controller.
 ///
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// // ...the third waits for a bank.
 /// assert_eq!(mc.start_access(Cycle(0)), Cycle(40));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemoryController {
     /// Time each access occupies a bank.
     occupancy: SystemCycle,
@@ -122,39 +121,35 @@ mod tests {
 #[cfg(test)]
 mod queueing_props {
     use super::*;
-    use proptest::prelude::*;
+    use cgct_sim::check::{check, gen_vec};
 
-    proptest! {
-        /// Bank starts never go backwards, never start before the
-        /// request, and respect per-bank occupancy.
-        #[test]
-        fn bank_scheduling_is_causal(
-            banks in 1usize..8,
-            occupancy in 1u64..32,
-            mut arrivals in prop::collection::vec(0u64..10_000, 1..100),
-        ) {
+    /// Bank starts never go backwards, never start before the
+    /// request, and respect per-bank occupancy.
+    #[test]
+    fn bank_scheduling_is_causal() {
+        check("memctrl::bank_scheduling_is_causal", 64, |g| {
+            let banks = g.gen_range(1usize..8);
+            let occupancy = g.gen_range(1u64..32);
+            let mut arrivals = gen_vec(g, 1..100, |g| g.gen_range(0u64..10_000));
             arrivals.sort_unstable();
             let mut mc = MemoryController::new(SystemCycle(occupancy), banks);
             let mut starts = Vec::new();
             for &a in &arrivals {
                 let s = mc.start_access(Cycle(a));
-                prop_assert!(s >= Cycle(a), "start before arrival");
+                assert!(s >= Cycle(a), "start before arrival");
                 starts.push(s);
             }
             // Throughput bound: in any window, at most
             // banks * window/occupancy accesses can start.
             let occ_cpu = occupancy * 10;
             for (i, &s) in starts.iter().enumerate() {
-                let concurrent = starts[..i]
-                    .iter()
-                    .filter(|&&t| t + occ_cpu > s)
-                    .count();
-                prop_assert!(
+                let concurrent = starts[..i].iter().filter(|&&t| t + occ_cpu > s).count();
+                assert!(
                     concurrent < banks,
                     "{concurrent} overlapping starts with {banks} banks"
                 );
             }
-            prop_assert_eq!(mc.accesses(), arrivals.len() as u64);
-        }
+            assert_eq!(mc.accesses(), arrivals.len() as u64);
+        });
     }
 }

@@ -10,13 +10,10 @@
 
 use crate::latency::DistanceClass;
 use cgct_cache::{Geometry, RegionAddr};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A processor core index.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CoreId(pub usize);
 
 impl fmt::Display for CoreId {
@@ -26,9 +23,7 @@ impl fmt::Display for CoreId {
 }
 
 /// A memory controller index (one per chip).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct McId(pub usize);
 
 impl fmt::Display for McId {
@@ -49,7 +44,7 @@ impl fmt::Display for McId {
 /// assert_eq!(t.distance(CoreId(0), McId(0)), DistanceClass::SameChip);
 /// assert_eq!(t.distance(CoreId(0), McId(1)), DistanceClass::SameSwitch);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Topology {
     /// Cores per processor chip (paper: 2).
     pub cores_per_chip: usize,

@@ -1,0 +1,152 @@
+//! A small seeded property-test harness.
+//!
+//! Replaces the external `proptest` dependency: every property runs a
+//! fixed number of generated cases, each driven by a [`Xoshiro256pp`]
+//! stream derived via [`SeedSequence`] from a root seed, so the whole
+//! suite is deterministic and hermetic. When a case panics, the harness
+//! prints the property name, case index, and the exact seed that
+//! reproduces it, then re-raises the panic.
+//!
+//! Set `CGCT_TEST_SEED` to change the root seed (e.g. to reproduce a
+//! failure from CI or to widen coverage across runs).
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_sim::check::check;
+//!
+//! check("addition commutes", 32, |g| {
+//!     let a = g.gen_range(0u32..1000);
+//!     let b = g.gen_range(0u32..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::{SeedSequence, Xoshiro256pp};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default root seed when `CGCT_TEST_SEED` is not set.
+pub const DEFAULT_ROOT_SEED: u64 = 0xC6C7_2005_15CA;
+
+/// The root seed for this process: `CGCT_TEST_SEED` or the default.
+pub fn root_seed() -> u64 {
+    match std::env::var("CGCT_TEST_SEED") {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("CGCT_TEST_SEED must be a u64, got {v:?}")),
+        Err(_) => DEFAULT_ROOT_SEED,
+    }
+}
+
+/// Runs `cases` generated cases of the property `f`.
+///
+/// Each case receives its own generator; the stream seed depends on the
+/// property `name` (stable across reordering of tests in a file) and the
+/// case index. On panic the failing `(name, case, seed)` triple is
+/// printed so the case can be replayed in isolation with [`check_one`].
+pub fn check(name: &str, cases: u64, f: impl Fn(&mut Xoshiro256pp)) {
+    let root = root_seed();
+    let seq = SeedSequence::new(root).child(name_hash(name));
+    for case in 0..cases {
+        let seed = seq.stream(case);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "property '{name}' failed at case {case}/{cases} (case seed {seed:#x}).\n\
+                 Replay just this case with cgct_sim::check::check_one(\"{name}\", {seed:#x}, ...)\n\
+                 or rerun the suite with CGCT_TEST_SEED={root}."
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Replays a single case of a property from a printed seed.
+pub fn check_one(name: &str, seed: u64, f: impl Fn(&mut Xoshiro256pp)) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let result = catch_unwind(AssertUnwindSafe(|| f(&mut rng)));
+    if let Err(payload) = result {
+        eprintln!("property '{name}' failed replaying case seed {seed:#x}");
+        resume_unwind(payload);
+    }
+}
+
+/// Generates a vector whose length is drawn from `len` and whose
+/// elements come from `item` — the common "vec of ops" generator shape.
+pub fn gen_vec<T>(
+    g: &mut Xoshiro256pp,
+    len: std::ops::Range<usize>,
+    mut item: impl FnMut(&mut Xoshiro256pp) -> T,
+) -> Vec<T> {
+    let n = g.gen_range(len);
+    (0..n).map(|_| item(g)).collect()
+}
+
+/// FNV-1a over the property name, used to derive its seed stream.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_the_requested_number_of_cases() {
+        let count = AtomicU64::new(0);
+        check("counting", 17, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 17);
+    }
+
+    #[test]
+    fn cases_get_distinct_deterministic_streams() {
+        let mut first: Vec<u64> = Vec::new();
+        let collected = std::sync::Mutex::new(Vec::new());
+        check("streams", 8, |g| {
+            collected.lock().unwrap().push(g.next_u64());
+        });
+        first.extend(collected.lock().unwrap().iter());
+        let collected2 = std::sync::Mutex::new(Vec::new());
+        check("streams", 8, |g| {
+            collected2.lock().unwrap().push(g.next_u64());
+        });
+        assert_eq!(first, *collected2.lock().unwrap(), "reruns are identical");
+        let unique: std::collections::HashSet<u64> = first.iter().copied().collect();
+        assert_eq!(unique.len(), 8, "each case sees a fresh stream");
+    }
+
+    #[test]
+    fn failure_panics_through() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("always fails", 3, |_| panic!("boom"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gen_vec_respects_length_range() {
+        check("gen_vec lengths", 32, |g| {
+            let v = gen_vec(g, 2..10, |g| g.gen_range(0u32..5));
+            assert!((2..10).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        });
+    }
+
+    #[test]
+    fn different_names_decorrelate() {
+        let a = std::sync::Mutex::new(0u64);
+        check("name a", 1, |g| *a.lock().unwrap() = g.next_u64());
+        let b = std::sync::Mutex::new(0u64);
+        check("name b", 1, |g| *b.lock().unwrap() = g.next_u64());
+        assert_ne!(*a.lock().unwrap(), *b.lock().unwrap());
+    }
+}

@@ -1,0 +1,680 @@
+//! Minimal in-tree JSON: a value type, an emitter, and a parser.
+//!
+//! The workspace serializes only two things — `Uop` trace lines and
+//! experiment reports — so this module implements exactly the JSON subset
+//! they need (RFC 8259 values, `\uXXXX` escapes, integer-exact `u64`/`i64`
+//! numbers) with zero external crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_sim::json::Json;
+//!
+//! let v = Json::parse(r#"{"pc": 4, "kind": "IntAlu"}"#).unwrap();
+//! assert_eq!(v.get("pc").and_then(Json::as_u64), Some(4));
+//! assert_eq!(v.get("kind").and_then(Json::as_str), Some("IntAlu"));
+//! assert_eq!(v.dump(), r#"{"pc":4,"kind":"IntAlu"}"#);
+//! ```
+
+use std::fmt;
+
+/// A JSON number, kept integer-exact where possible.
+///
+/// `u64`/`i64` values survive a round-trip bit-exactly instead of being
+/// squeezed through `f64` (addresses can exceed 2^53).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Anything with a fraction or exponent.
+    F(f64),
+}
+
+/// A JSON value.
+///
+/// Objects preserve insertion order (they are association lists, not
+/// maps); duplicate keys keep the first occurrence on lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Json {
+    /// Wraps a `u64`.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(Num::U(v))
+    }
+
+    /// Wraps an `i64` (normalized to [`Num::U`] when non-negative).
+    pub fn i64(v: i64) -> Json {
+        if v >= 0 {
+            Json::Num(Num::U(v as u64))
+        } else {
+            Json::Num(Num::I(v))
+        }
+    }
+
+    /// Wraps an `f64` (normalized to an integer variant when exact).
+    pub fn f64(v: f64) -> Json {
+        if v.fract() == 0.0 && v >= 0.0 && v <= u64::MAX as f64 {
+            Json::Num(Num::U(v as u64))
+        } else if v.fract() == 0.0 && v >= i64::MIN as f64 && v < 0.0 {
+            Json::Num(Num::I(v as i64))
+        } else {
+            Json::Num(Num::F(v))
+        }
+    }
+
+    /// Wraps a string.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Member lookup on objects (first occurrence), else `None`.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if non-negative and integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(Num::U(v)) => Some(*v),
+            Json::Num(Num::F(f)) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(Num::U(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            Json::Num(Num::I(v)) => Some(*v),
+            Json::Num(Num::F(f)) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(Num::U(v)) => Some(*v as f64),
+            Json::Num(Num::I(v)) => Some(*v as f64),
+            Json::Num(Num::F(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn dump_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(Num::U(v)) => out.push_str(&v.to_string()),
+            Json::Num(Num::I(v)) => out.push_str(&v.to_string()),
+            Json::Num(Num::F(v)) => {
+                if v.is_finite() {
+                    // `{:?}` keeps a trailing `.0` so floats re-parse as floats.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    out.push_str("null"); // JSON has no Inf/NaN
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Object(pairs) => {
+                write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    let (k, v) = &pairs[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    /// Parses one JSON value from `text` (surrounding whitespace allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] on malformed input or trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, ParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if len > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane characters.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy one UTF-8 character verbatim.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Num(Num::U(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Num(Num::I(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Json::Num(Num::F(v)))
+            .map_err(|_| ParseError {
+                offset: start,
+                message: format!("invalid number '{text}'"),
+            })
+    }
+}
+
+/// Conversion into a [`Json`] value, for report dumping.
+pub trait ToJson {
+    /// Renders `self` as a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(Num::F(*self))
+    }
+}
+
+macro_rules! impl_tojson_uint {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::u64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_tojson_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tojson_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::i64(*self as i64)
+            }
+        }
+    )*};
+}
+impl_tojson_int!(i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(v.dump(), text, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn large_u64_is_exact() {
+        let v = Json::parse(&u64::MAX.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(u64::MAX));
+        assert_eq!(v.dump(), u64::MAX.to_string());
+        let neg = Json::parse(&i64::MIN.to_string()).unwrap();
+        assert_eq!(neg.as_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn structures_round_trip() {
+        let text = r#"{"a":[1,2,3],"b":{"c":true,"d":null},"e":"x\"y"}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.dump(), text);
+        assert_eq!(Json::parse(&v.dump_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Json::parse(" { \"k\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        let v = Json::parse(r#""line\nbreak A 😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("line\nbreak A 😀"));
+        // Control characters and quotes are escaped on output.
+        assert_eq!(Json::str("a\"b\n\u{1}").dump(), "\"a\\\"b\\n\\u0001\"");
+        let round = Json::parse(&Json::str("a\"b\n\u{1}😀").dump()).unwrap();
+        assert_eq!(round.as_str(), Some("a\"b\n\u{1}😀"));
+    }
+
+    #[test]
+    fn floats_reparse_as_floats() {
+        let v = Json::Num(Num::F(2.0));
+        assert_eq!(v.dump(), "2.0");
+        assert_eq!(Json::parse("2.0").unwrap().as_f64(), Some(2.0));
+        assert_eq!(Json::parse("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(Json::parse("-2.5e-1").unwrap().as_f64(), Some(-0.25));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        for (text, offset) in [("", 0), ("[1,]", 3), ("{\"a\" 1}", 5), ("tru", 0)] {
+            let e = Json::parse(text).unwrap_err();
+            assert_eq!(e.offset, offset, "offset for {text:?}: {e}");
+        }
+        assert!(Json::parse("1 2").is_err(), "trailing garbage");
+        assert!(Json::parse("\"\u{1}\"").is_err(), "raw control char");
+    }
+
+    #[test]
+    fn builders_and_accessors() {
+        let v = Json::obj([
+            ("n", Json::u64(3)),
+            ("s", Json::str("x")),
+            ("a", vec![1u32, 2].to_json()),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::i64(-2).as_i64(), Some(-2));
+        assert_eq!(Json::f64(3.0).as_u64(), Some(3));
+        assert_eq!(Json::f64(-4.0).as_i64(), Some(-4));
+    }
+
+    #[test]
+    fn nonfinite_floats_dump_as_null() {
+        assert_eq!(Json::Num(Num::F(f64::NAN)).dump(), "null");
+        assert_eq!(Json::Num(Num::F(f64::INFINITY)).dump(), "null");
+    }
+}

@@ -17,12 +17,15 @@
 //! assert_eq!((t, ev), (Cycle(5), "dram ready"));
 //! ```
 
+pub mod check;
 pub mod event;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
-pub use rng::SeedSequence;
+pub use json::{Json, ToJson};
+pub use rng::{SeedSequence, Xoshiro256pp};
 pub use stats::{ConfidenceInterval, Counter, Histogram, IntervalTracker, RunningStats};
 pub use time::{Cycle, SystemCycle, CPU_CYCLES_PER_SYSTEM_CYCLE};

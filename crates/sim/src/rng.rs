@@ -1,4 +1,4 @@
-//! Deterministic seed derivation.
+//! Deterministic seed derivation and the in-tree PRNG.
 //!
 //! The paper averages several runs of each benchmark with small random delays
 //! added to memory requests to perturb the system (Alameldeen et al.,
@@ -6,6 +6,14 @@
 //! Every random stream in this reproduction is derived from a single root
 //! seed through [`SeedSequence`], so a run is exactly reproducible from
 //! `(benchmark, config, root seed)`.
+//!
+//! The generator itself is [`Xoshiro256pp`] (xoshiro256++ by Blackman &
+//! Vigna), implemented in-tree so the workspace builds with zero external
+//! crates. It carries the sampling helpers the simulator needs:
+//! [`gen_range`](Xoshiro256pp::gen_range), [`gen_bool`](Xoshiro256pp::gen_bool),
+//! uniform floats, [`shuffle`](Xoshiro256pp::shuffle), and weighted choice.
+
+use std::ops::{Range, RangeInclusive};
 
 /// Derives independent, stable sub-seeds from a root seed.
 ///
@@ -51,6 +59,11 @@ impl SeedSequence {
             root: self.stream(child_id),
         }
     }
+
+    /// A generator seeded from logical stream `stream_id`.
+    pub fn rng(&self, stream_id: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(self.stream(stream_id))
+    }
 }
 
 /// One round of the SplitMix64 output function.
@@ -60,6 +73,199 @@ fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
+
+/// xoshiro256++ — the workspace's only pseudo-random generator.
+///
+/// Small (32 bytes of state), fast, and statistically strong for
+/// simulation workloads. Seeding goes through a SplitMix64 stream as the
+/// authors recommend, so any `u64` (including 0) is a good seed.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_sim::Xoshiro256pp;
+/// let mut rng = Xoshiro256pp::seed_from_u64(7);
+/// let x = rng.gen_range(0..100u64);
+/// assert!(x < 100);
+/// let p = rng.gen_f32();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the generator by expanding `seed` through SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut z = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut w = z;
+            w = (w ^ (w >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            w = (w ^ (w >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *slot = w ^ (w >> 31);
+        }
+        Xoshiro256pp { s }
+    }
+
+    /// Builds the generator from a raw 256-bit state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the one degenerate state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&x| x != 0), "state must be non-zero");
+        Xoshiro256pp { s }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// The next raw 32-bit output (upper half of [`next_u64`](Self::next_u64)).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform sample from an integer range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: SampleRange<T>,
+    {
+        let (lo, hi) = range.bounds_inclusive();
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // Compare against a 53-bit uniform float; exact for p = 0 and 1.
+        self.gen_f64() < p
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 random bits.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..=i);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Uniformly chosen element, or `None` if the slice is empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_range(0..slice.len())])
+        }
+    }
+
+    /// Index drawn with probability proportional to `weights[i]`.
+    ///
+    /// Non-positive weights get zero probability. If every weight is
+    /// non-positive the last index is returned (mirroring a cumulative
+    /// scan that never triggers), so callers need no special casing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn choose_weighted(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "weights must be non-empty");
+        let total: f32 = weights.iter().map(|w| w.max(0.0)).sum();
+        let mut pick = self.gen_f32() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            let w = w.max(0.0);
+            if pick < w {
+                return i;
+            }
+            pick -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// Integer types [`Xoshiro256pp::gen_range`] can sample.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi]` (inclusive).
+    fn sample_inclusive(rng: &mut Xoshiro256pp, lo: Self, hi: Self) -> Self;
+}
+
+/// Range forms accepted by [`Xoshiro256pp::gen_range`].
+pub trait SampleRange<T: UniformInt> {
+    /// The `(lo, hi)` inclusive bounds; panics if empty.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive(rng: &mut Xoshiro256pp, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Debiased multiply-shift (Lemire): reject the short
+                // leading zone so every value is exactly equally likely.
+                let n = span + 1;
+                let zone = u64::MAX - (u64::MAX - n + 1) % n;
+                loop {
+                    let v = rng.next_u64();
+                    if v <= zone {
+                        return lo.wrapping_add((v % n) as $t);
+                    }
+                }
+            }
+        }
+        impl SampleRange<$t> for Range<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn bounds_inclusive(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
 
 #[cfg(test)]
 mod tests {
@@ -99,5 +305,171 @@ mod tests {
             SeedSequence::new(1).stream(0),
             SeedSequence::new(2).stream(0)
         );
+    }
+
+    // Reference vectors computed with an independent implementation of the
+    // Blackman-Vigna reference C code (raw state, no seeding expansion).
+    #[test]
+    fn matches_reference_outputs_for_raw_state() {
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        let expect = [
+            0x0280_0001u64,
+            0x0380_0067,
+            0x000c_c000_0380_0067,
+            0x000c_c201_9944_00b2,
+            0x8012_a201_9ac4_33cd,
+            0x8a69_978a_cdee_33ba,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn matches_reference_outputs_for_seeded_state() {
+        // SplitMix64 expansion of seed 42, then xoshiro256++ outputs.
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        assert_eq!(
+            rng.s,
+            [
+                0xbdd7_3226_2feb_6e95,
+                0x28ef_e333_b266_f103,
+                0x4752_6757_130f_9f52,
+                0x581c_e1ff_0e4a_e394
+            ]
+        );
+        let expect = [
+            0xd076_4d4f_4476_689fu64,
+            0x519e_4174_576f_3791,
+            0xfbe0_7cfb_0c24_ed8c,
+            0xb37d_9f60_0cd8_35b8,
+        ];
+        for e in expect {
+            assert_eq!(rng.next_u64(), e);
+        }
+        let mut zero = Xoshiro256pp::seed_from_u64(0);
+        assert_eq!(zero.next_u64(), 0x5317_5d61_490b_23df);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(123);
+        let mut b = Xoshiro256pp::seed_from_u64(123);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_endpoints() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            seen.insert(x);
+        }
+        assert_eq!(seen.len(), 10, "all 10 values should appear");
+        for _ in 0..2000 {
+            let x = rng.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&x));
+        }
+        // Single-element ranges are fine.
+        assert_eq!(rng.gen_range(7usize..8), 7);
+        assert_eq!(rng.gen_range(9u8..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let n = 100_000;
+        let buckets = 10u64;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[rng.gen_range(0..buckets) as usize] += 1;
+        }
+        let expect = n as f64 / buckets as f64;
+        for c in counts {
+            let dev = (c as f64 - expect).abs() / expect;
+            assert!(dev < 0.05, "bucket deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((0.29..0.31).contains(&frac), "p=0.3 measured {frac}");
+        assert!(!(0..1000).any(|_| rng.gen_bool(0.0)));
+        assert!((0..1000).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn floats_are_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(17);
+        let mut sum = 0.0f64;
+        for _ in 0..100_000 {
+            let a = rng.gen_f32();
+            let b = rng.gen_f64();
+            assert!((0.0..1.0).contains(&a));
+            assert!((0.0..1.0).contains(&b));
+            sum += b;
+        }
+        let mean = sum / 100_000.0;
+        assert!((0.49..0.51).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256pp::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "shuffle of 100 elements left them sorted");
+    }
+
+    #[test]
+    fn choose_weighted_follows_weights() {
+        let mut rng = Xoshiro256pp::seed_from_u64(23);
+        let weights = [1.0f32, 3.0, 0.0, 6.0];
+        let mut counts = [0u64; 4];
+        for _ in 0..100_000 {
+            counts[rng.choose_weighted(&weights)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero weight must never be chosen");
+        let f1 = counts[1] as f64 / 100_000.0;
+        let f3 = counts[3] as f64 / 100_000.0;
+        assert!((0.28..0.32).contains(&f1), "weight 3/10 measured {f1}");
+        assert!((0.58..0.62).contains(&f3), "weight 6/10 measured {f3}");
+    }
+
+    #[test]
+    fn choose_picks_members() {
+        let mut rng = Xoshiro256pp::seed_from_u64(29);
+        let v = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(v.contains(rng.choose(&v).unwrap()));
+        }
+        assert_eq!(rng.choose::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn seed_sequence_hands_out_rngs() {
+        let seq = SeedSequence::new(3);
+        let mut a = seq.rng(0);
+        let mut b = seq.rng(0);
+        let mut c = seq.rng(1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
     }
 }

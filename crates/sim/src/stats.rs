@@ -2,7 +2,6 @@
 //! and mean / 95% confidence-interval aggregation across perturbed runs.
 
 use crate::time::Cycle;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A named monotonically increasing event counter.
@@ -16,7 +15,7 @@ use std::fmt;
 /// c.inc();
 /// assert_eq!(c.value(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Counter(u64);
 
 impl Counter {
@@ -72,7 +71,7 @@ impl fmt::Display for Counter {
 /// let ci = s.confidence_interval_95();
 /// assert!(ci.low < 11.5 && ci.high > 11.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -82,7 +81,7 @@ pub struct RunningStats {
 }
 
 /// A symmetric confidence interval `[low, high]` around a sample mean.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Lower bound.
     pub low: f64,
@@ -105,6 +104,15 @@ impl ConfidenceInterval {
 impl fmt::Display for ConfidenceInterval {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{:.4}, {:.4}]", self.low, self.high)
+    }
+}
+
+impl crate::json::ToJson for ConfidenceInterval {
+    fn to_json(&self) -> crate::json::Json {
+        crate::json::Json::obj([
+            ("low", crate::json::Json::f64(self.low)),
+            ("high", crate::json::Json::f64(self.high)),
+        ])
     }
 }
 
@@ -288,7 +296,7 @@ impl FromIterator<f64> for RunningStats {
 /// assert!((h.fraction(0) - 0.5).abs() < 1e-12);
 /// assert_eq!(h.count(3), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     total: u64,
@@ -372,7 +380,7 @@ impl Histogram {
 /// assert_eq!(t.peak(), 50);
 /// assert!((t.average_per_window() - 25.5).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntervalTracker {
     window: u64,
     current_window_start: Cycle,

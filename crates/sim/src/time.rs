@@ -5,7 +5,6 @@
 //! simulation time is kept in **CPU cycles**; [`SystemCycle`] converts to and
 //! from the coarser interconnect clock.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -24,9 +23,7 @@ pub const CPU_CYCLES_PER_SYSTEM_CYCLE: u64 = 10;
 /// assert_eq!(t, Cycle(125));
 /// assert_eq!(t - Cycle(100), 25);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cycle(pub u64);
 
 impl Cycle {
@@ -113,9 +110,7 @@ impl fmt::Display for Cycle {
 /// use cgct_sim::SystemCycle;
 /// assert_eq!(SystemCycle(16).as_cpu_cycles(), 160);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SystemCycle(pub u64);
 
 impl SystemCycle {

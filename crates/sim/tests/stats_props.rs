@@ -1,44 +1,55 @@
 //! Property tests for the statistics kernel: Welford accumulation against
 //! naive two-pass computation, and interval-tracker conservation laws.
 
+use cgct_sim::check::{check, gen_vec};
 use cgct_sim::{Cycle, IntervalTracker, RunningStats, SeedSequence};
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+fn gen_f64_in(g: &mut cgct_sim::Xoshiro256pp, lo: f64, hi: f64) -> f64 {
+    lo + g.gen_f64() * (hi - lo)
+}
+
+#[test]
+fn welford_matches_two_pass() {
+    check("stats::welford_matches_two_pass", 64, |g| {
+        let xs = gen_vec(g, 1..200, |g| gen_f64_in(g, -1e6, 1e6));
         let s: RunningStats = xs.iter().copied().collect();
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
         if xs.len() > 1 {
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-            prop_assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
+            assert!((s.variance() - var).abs() < 1e-4 * (1.0 + var.abs()));
         }
         let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
         let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(s.min(), min);
-        prop_assert_eq!(s.max(), max);
-        prop_assert_eq!(s.count(), xs.len() as u64);
-    }
+        assert_eq!(s.min(), min);
+        assert_eq!(s.max(), max);
+        assert_eq!(s.count(), xs.len() as u64);
+    });
+}
 
-    #[test]
-    fn confidence_interval_is_centered_and_ordered(
-        xs in prop::collection::vec(-1e3f64..1e3, 2..100)
-    ) {
-        let s: RunningStats = xs.iter().copied().collect();
-        let ci = s.confidence_interval_95();
-        prop_assert!(ci.low <= ci.high);
-        let center = (ci.low + ci.high) / 2.0;
-        prop_assert!((center - s.mean()).abs() < 1e-9 * (1.0 + s.mean().abs()));
-        prop_assert!(ci.contains(s.mean()));
-    }
+#[test]
+fn confidence_interval_is_centered_and_ordered() {
+    check(
+        "stats::confidence_interval_is_centered_and_ordered",
+        64,
+        |g| {
+            let xs = gen_vec(g, 2..100, |g| gen_f64_in(g, -1e3, 1e3));
+            let s: RunningStats = xs.iter().copied().collect();
+            let ci = s.confidence_interval_95();
+            assert!(ci.low <= ci.high);
+            let center = (ci.low + ci.high) / 2.0;
+            assert!((center - s.mean()).abs() < 1e-9 * (1.0 + s.mean().abs()));
+            assert!(ci.contains(s.mean()));
+        },
+    );
+}
 
-    #[test]
-    fn interval_tracker_conserves_events(
-        window in 1u64..1000,
-        mut times in prop::collection::vec(0u64..100_000, 1..200),
-    ) {
+#[test]
+fn interval_tracker_conserves_events() {
+    check("stats::interval_tracker_conserves_events", 64, |g| {
+        let window = g.gen_range(1u64..1000);
+        let mut times = gen_vec(g, 1..200, |g| g.gen_range(0u64..100_000));
         times.sort_unstable();
         let mut t = IntervalTracker::new(window);
         for &at in &times {
@@ -47,46 +58,54 @@ proptest! {
         let end = *times.last().unwrap() + 1;
         t.finish(Cycle(end));
         // Conservation: total recorded equals input count.
-        prop_assert_eq!(t.total(), times.len() as u64);
+        assert_eq!(t.total(), times.len() as u64);
         // The peak is at least the busiest window's true count and at
         // most the total.
-        prop_assert!(t.peak() >= 1);
-        prop_assert!(t.peak() <= t.total());
+        assert!(t.peak() >= 1);
+        assert!(t.peak() <= t.total());
         // Average x windows ~= total.
         let windows = end.div_ceil(window).max(1);
         let reconstructed = t.average_per_window() * windows as f64;
-        prop_assert!((reconstructed - times.len() as f64).abs() < 1e-6);
-    }
+        assert!((reconstructed - times.len() as f64).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn interval_tracker_peak_matches_brute_force(
-        window in 1u64..100,
-        mut times in prop::collection::vec(0u64..2_000, 1..150),
-    ) {
-        times.sort_unstable();
-        let mut t = IntervalTracker::new(window);
-        for &at in &times {
-            t.record(Cycle(at));
-        }
-        let end = *times.last().unwrap() + 1;
-        t.finish(Cycle(end));
-        // Brute-force per-window counts over aligned windows.
-        let mut best = 0u64;
-        let mut w = 0;
-        while w <= *times.last().unwrap() {
-            let c = times.iter().filter(|&&x| x >= w && x < w + window).count() as u64;
-            best = best.max(c);
-            w += window;
-        }
-        prop_assert_eq!(t.peak(), best);
-    }
+#[test]
+fn interval_tracker_peak_matches_brute_force() {
+    check(
+        "stats::interval_tracker_peak_matches_brute_force",
+        64,
+        |g| {
+            let window = g.gen_range(1u64..100);
+            let mut times = gen_vec(g, 1..150, |g| g.gen_range(0u64..2_000));
+            times.sort_unstable();
+            let mut t = IntervalTracker::new(window);
+            for &at in &times {
+                t.record(Cycle(at));
+            }
+            let end = *times.last().unwrap() + 1;
+            t.finish(Cycle(end));
+            // Brute-force per-window counts over aligned windows.
+            let mut best = 0u64;
+            let mut w = 0;
+            while w <= *times.last().unwrap() {
+                let c = times.iter().filter(|&&x| x >= w && x < w + window).count() as u64;
+                best = best.max(c);
+                w += window;
+            }
+            assert_eq!(t.peak(), best);
+        },
+    );
+}
 
-    #[test]
-    fn seed_streams_do_not_collide_within_root(root in any::<u64>()) {
+#[test]
+fn seed_streams_do_not_collide_within_root() {
+    check("stats::seed_streams_do_not_collide_within_root", 64, |g| {
+        let root = g.next_u64();
         let seq = SeedSequence::new(root);
         let mut seen = std::collections::HashSet::new();
         for i in 0..256 {
-            prop_assert!(seen.insert(seq.stream(i)), "collision at stream {i}");
+            assert!(seen.insert(seq.stream(i)), "collision at stream {i}");
         }
-    }
+    });
 }

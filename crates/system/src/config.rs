@@ -4,11 +4,10 @@ use cgct::RcaConfig;
 use cgct_cache::{Geometry, HierarchyConfig};
 use cgct_cpu::CoreConfig;
 use cgct_interconnect::{LatencyModel, Topology};
-use serde::{Deserialize, Serialize};
 
 /// Which coherence-tracking scheme supplements the line-grain MOESI
 /// protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoherenceMode {
     /// Conventional broadcast snooping only.
     Baseline,
@@ -70,7 +69,7 @@ impl CoherenceMode {
 }
 
 /// Complete system configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// Core/chip/switch/board arrangement.
     pub topology: Topology,

@@ -16,11 +16,10 @@
 //! causes harmless extra invalidations (the standard full-map behaviour).
 
 use cgct_cache::LineAddr;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One line's directory state at its home controller.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DirEntry {
     /// Cache holding the line in an ownership state (E/M/O): data must be
     /// fetched from (or invalidated at) this cache, not memory.

@@ -14,10 +14,9 @@
 //! model the paper does not provide.
 
 use crate::metrics::MemMetrics;
-use serde::{Deserialize, Serialize};
 
 /// Relative energy cost per event.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
     /// One cache tag-array lookup (charged at every snooped processor for
     /// every broadcast).
@@ -62,7 +61,7 @@ impl Default for EnergyModel {
 }
 
 /// Energy attributed to each subsystem for one run, in relative units.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Cache tag lookups induced by snooping other processors' requests.
     pub snoop_tag_lookups: f64,

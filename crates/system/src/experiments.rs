@@ -10,12 +10,11 @@ use crate::config::{CoherenceMode, SystemConfig};
 use crate::runner::{run_once, AggregateResult, RunPlan};
 use cgct_sim::ConfidenceInterval;
 use cgct_workloads::{all_benchmarks, commercial_names};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Runs a set of `(benchmark, mode)` configurations and caches results.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Suite {
     /// Keyed by `(benchmark, mode label)`.
     pub results: BTreeMap<(String, String), AggregateResult>,
@@ -157,7 +156,7 @@ fn aggregate(runs: Vec<crate::machine::RunResult>) -> AggregateResult {
 
 /// One Figure 2 bar: the fraction of requests whose broadcast was
 /// unnecessary, split by category.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig2Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -215,7 +214,7 @@ pub fn fig2(suite: &Suite) -> Vec<Fig2Row> {
 
 /// One Figure 7 group: the oracle opportunity vs. what CGCT captured at
 /// each region size.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -258,7 +257,7 @@ pub fn fig7(suite: &Suite, region_sizes: &[u64]) -> Vec<Fig7Row> {
 // -------------------------------------------------------------------
 
 /// Runtime reduction of one CGCT configuration vs. baseline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SpeedupRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -327,7 +326,7 @@ pub fn summary_reductions(rows: &[SpeedupRow], label: &str) -> (f64, f64) {
 // -------------------------------------------------------------------
 
 /// Broadcast traffic per window, baseline vs. CGCT (Figure 10).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Fig10Row {
     /// Benchmark name.
     pub benchmark: String,
@@ -371,7 +370,7 @@ pub fn fig10(suite: &Suite) -> Vec<Fig10Row> {
 
 /// RCA behaviour statistics (§3.2's eviction distribution, §5.2's lines
 /// per region, and the miss-ratio impact of inclusion).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RcaStatsRow {
     /// Benchmark name.
     pub benchmark: String,
@@ -442,6 +441,92 @@ pub fn rca_stats(suite: &Suite) -> Vec<RcaStatsRow> {
             row
         })
         .collect()
+}
+
+// -------------------------------------------------------------------
+// JSON serialization (for the experiments binary's --json-dir output)
+// -------------------------------------------------------------------
+
+use cgct_sim::{Json, ToJson};
+
+impl ToJson for Fig2Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("data", Json::f64(self.data)),
+            ("writeback", Json::f64(self.writeback)),
+            ("ifetch", Json::f64(self.ifetch)),
+            ("dcb", Json::f64(self.dcb)),
+        ])
+    }
+}
+
+impl ToJson for Fig7Row {
+    fn to_json(&self) -> Json {
+        let avoided = Json::Object(
+            self.avoided
+                .iter()
+                .map(|(size, frac)| (size.to_string(), Json::f64(*frac)))
+                .collect(),
+        );
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("oracle", Json::f64(self.oracle)),
+            ("avoided", avoided),
+        ])
+    }
+}
+
+impl ToJson for SpeedupRow {
+    fn to_json(&self) -> Json {
+        let reductions = Json::Object(
+            self.reduction_pct
+                .iter()
+                .map(|(label, (mean, ci))| {
+                    (
+                        label.clone(),
+                        Json::obj([("mean", Json::f64(*mean)), ("ci", ci.to_json())]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("reduction_pct", reductions),
+        ])
+    }
+}
+
+impl ToJson for Fig10Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("base_avg", Json::f64(self.base_avg)),
+            ("base_peak", Json::f64(self.base_peak)),
+            ("cgct_avg", Json::f64(self.cgct_avg)),
+            ("cgct_peak", Json::f64(self.cgct_peak)),
+        ])
+    }
+}
+
+impl ToJson for RcaStatsRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("evicted_empty", Json::f64(self.evicted_empty)),
+            ("evicted_one", Json::f64(self.evicted_one)),
+            ("evicted_two", Json::f64(self.evicted_two)),
+            (
+                "mean_lines_per_region",
+                Json::f64(self.mean_lines_per_region),
+            ),
+            ("miss_ratio_increase", Json::f64(self.miss_ratio_increase)),
+            (
+                "self_invalidations_per_mreq",
+                Json::f64(self.self_invalidations_per_mreq),
+            ),
+        ])
+    }
 }
 
 #[cfg(test)]
@@ -555,6 +640,65 @@ mod tests {
             dcb: 0.01,
         };
         assert!((r.total() - 0.56).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_rows_roundtrip_through_json() {
+        // The experiments binary dumps rows with ToJson; parsing the dump
+        // back must recover every field.
+        let fig7 = Fig7Row {
+            benchmark: "ocean".into(),
+            oracle: 0.42,
+            avoided: [(256u64, 0.30), (512, 0.35)].into_iter().collect(),
+        };
+        let v = cgct_sim::Json::parse(&fig7.to_json().dump()).unwrap();
+        assert_eq!(v.get("benchmark").and_then(|b| b.as_str()), Some("ocean"));
+        assert_eq!(v.get("oracle").and_then(|o| o.as_f64()), Some(0.42));
+        let avoided = v.get("avoided").unwrap();
+        assert_eq!(avoided.get("256").and_then(|x| x.as_f64()), Some(0.30));
+        assert_eq!(avoided.get("512").and_then(|x| x.as_f64()), Some(0.35));
+
+        let speedup = SpeedupRow {
+            benchmark: "tpc-w".into(),
+            reduction_pct: [(
+                "m".to_string(),
+                (
+                    8.8,
+                    ConfidenceInterval {
+                        low: 7.0,
+                        high: 10.6,
+                    },
+                ),
+            )]
+            .into_iter()
+            .collect(),
+        };
+        let v = cgct_sim::Json::parse(&speedup.to_json().dump()).unwrap();
+        let m = v.get("reduction_pct").and_then(|r| r.get("m")).unwrap();
+        assert_eq!(m.get("mean").and_then(|x| x.as_f64()), Some(8.8));
+        assert_eq!(
+            m.get("ci")
+                .and_then(|ci| ci.get("low"))
+                .and_then(|x| x.as_f64()),
+            Some(7.0)
+        );
+        assert_eq!(
+            m.get("ci")
+                .and_then(|ci| ci.get("high"))
+                .and_then(|x| x.as_f64()),
+            Some(10.6)
+        );
+
+        let fig10 = Fig10Row {
+            benchmark: "barnes".into(),
+            base_avg: 10.0,
+            base_peak: 50.0,
+            cgct_avg: 6.0,
+            cgct_peak: 40.0,
+        };
+        let v = cgct_sim::Json::parse(&fig10.to_json().dump()).unwrap();
+        assert_eq!(v.get("base_peak").and_then(|x| x.as_f64()), Some(50.0));
+        assert_eq!(v.get("cgct_avg").and_then(|x| x.as_f64()), Some(6.0));
     }
 
     #[test]

@@ -8,7 +8,6 @@ use cgct_cpu::{Core, CoreConfig, MemoryInterface, UopSource};
 use cgct_interconnect::CoreId;
 use cgct_sim::{Cycle, SeedSequence};
 use cgct_workloads::{BenchmarkSpec, WorkloadThread};
-use serde::{Deserialize, Serialize};
 
 /// Adapter giving one core a view of the shared memory system.
 struct Port<'a> {
@@ -32,7 +31,7 @@ impl MemoryInterface for Port<'_> {
 }
 
 /// Aggregated Region-Coherence-Array statistics across all nodes.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RcaRunStats {
     /// Total region evictions.
     pub evictions: u64,
@@ -50,7 +49,7 @@ pub struct RcaRunStats {
 }
 
 /// The outcome of one simulated run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunResult {
     /// Benchmark name.
     pub benchmark: String,

@@ -24,8 +24,7 @@ use cgct_cache::{
 use cgct_cpu::StreamPrefetcher;
 use cgct_interconnect::{AddressNetwork, CoreId, MemoryController, Topology};
 use cgct_sim::Cycle;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cgct_sim::Xoshiro256pp;
 
 /// Merged region-level snoop response across all snoopers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -202,7 +201,7 @@ pub struct MemorySystem {
     pub metrics: MemMetrics,
     /// Time origin for metrics (reset after cache warmup).
     metrics_epoch: Cycle,
-    perturb: SmallRng,
+    perturb: Xoshiro256pp,
     sample_countdown: u32,
 }
 
@@ -252,7 +251,7 @@ impl MemorySystem {
             nodes,
             bus: AddressNetwork::new(),
             mcs,
-            perturb: SmallRng::seed_from_u64(seed ^ 0xC6A4_A793_5BD1_E995),
+            perturb: Xoshiro256pp::seed_from_u64(seed ^ 0xC6A4_A793_5BD1_E995),
             sample_countdown: 10_000,
             cfg,
         }
@@ -1643,10 +1642,8 @@ mod tests {
 
     #[test]
     fn directory_invariants_under_random_traffic() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
         let mut m = MemorySystem::new(directory_cfg(), 1);
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut now = Cycle(0);
         for i in 0..4000 {
             let core = CoreId(rng.gen_range(0..4));
@@ -1720,13 +1717,11 @@ mod tests {
 
     #[test]
     fn jetty_filters_lookups_without_changing_behavior() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
         let run = |jetty: bool| {
             let mut cfg = baseline_cfg();
             cfg.jetty_filter = jetty;
             let mut m = MemorySystem::new(cfg, 1);
-            let mut rng = SmallRng::seed_from_u64(3);
+            let mut rng = Xoshiro256pp::seed_from_u64(3);
             let mut now = Cycle(0);
             for _ in 0..3000 {
                 let core = CoreId(rng.gen_range(0..4));
@@ -1759,10 +1754,8 @@ mod tests {
 
     #[test]
     fn invariants_hold_under_random_traffic() {
-        use rand::rngs::SmallRng;
-        use rand::{Rng, SeedableRng};
         let mut m = MemorySystem::new(cgct_cfg(), 1);
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         let mut now = Cycle(0);
         for i in 0..5000 {
             let core = CoreId(rng.gen_range(0..4));

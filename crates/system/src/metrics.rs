@@ -4,10 +4,9 @@
 
 use cgct_cache::ReqKind;
 use cgct_sim::{Cycle, IntervalTracker, RunningStats};
-use serde::{Deserialize, Serialize};
 
 /// Figure 2's request categories.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestCategory {
     /// Ordinary reads and writes (including prefetches) of data.
     DataReadWrite,
@@ -43,7 +42,7 @@ impl RequestCategory {
 }
 
 /// Per-category request counts.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RequestBreakdown {
     /// Reads/writes/upgrades/prefetches.
     pub data: u64,
@@ -83,7 +82,7 @@ impl RequestBreakdown {
 }
 
 /// Memory-system metrics for one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MemMetrics {
     /// All coherence-point requests (what the baseline would broadcast).
     pub requests: RequestBreakdown,

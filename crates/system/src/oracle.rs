@@ -8,10 +8,9 @@
 
 use crate::metrics::RequestCategory;
 use cgct_cache::{broadcast_unnecessary, LineSnoopResponse, ReqKind};
-use serde::{Deserialize, Serialize};
 
 /// The oracle's verdict for one broadcast.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OracleVerdict {
     /// The broadcast was unnecessary: memory could have serviced the
     /// request directly without violating coherence.

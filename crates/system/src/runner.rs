@@ -8,10 +8,9 @@ use crate::config::SystemConfig;
 use crate::machine::{Machine, RunResult};
 use cgct_sim::RunningStats;
 use cgct_workloads::BenchmarkSpec;
-use serde::{Deserialize, Serialize};
 
 /// How much work one experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunPlan {
     /// Cache-warming instructions per core before measurement starts.
     pub warmup_per_core: u64,
@@ -50,7 +49,7 @@ impl RunPlan {
 }
 
 /// Mean/CI aggregation of several perturbed runs of one configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AggregateResult {
     /// Benchmark name.
     pub benchmark: String,

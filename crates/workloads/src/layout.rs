@@ -5,10 +5,9 @@
 //! matching the storage model of Table 2.
 
 use cgct_cache::Addr;
-use serde::{Deserialize, Serialize};
 
 /// Logical memory segments the generators draw addresses from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Segment {
     /// Instruction space. Shared by all cores for threaded workloads,
     /// per-core for multiprogrammed ones.
@@ -59,7 +58,7 @@ impl Segment {
 ///     m1.resolve(Segment::SharedReadWrite, 64)
 /// );
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressMap {
     core: usize,
     total_cores: usize,

@@ -9,10 +9,9 @@
 
 use crate::layout::Segment;
 use crate::spec::{BenchmarkSpec, PhaseSpec, StreamSpec};
-use serde::{Deserialize, Serialize};
 
 /// Table 4 metadata for one benchmark.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchmarkInfo {
     /// Short name (registry key).
     pub name: &'static str,

@@ -2,11 +2,10 @@
 //! [`crate::WorkloadThread`] interprets.
 
 use crate::layout::Segment;
-use serde::{Deserialize, Serialize};
 
 /// One memory-access stream: a working set in a segment with a locality
 /// and store profile. A phase mixes several streams by weight.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamSpec {
     /// The segment the stream draws addresses from.
     pub segment: Segment,
@@ -45,7 +44,7 @@ impl StreamSpec {
 /// One execution phase: an instruction mix plus a set of streams. Phases
 /// cycle in order, `instructions` each, letting a spec express e.g.
 /// TPC-H's parallel scan followed by a merge.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseSpec {
     /// Phase label for reports.
     pub name: &'static str,
@@ -79,7 +78,7 @@ impl PhaseSpec {
 }
 
 /// A complete synthetic benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkSpec {
     /// Short machine-readable name (e.g. `"tpc-w"`).
     pub name: &'static str,

@@ -4,8 +4,7 @@
 use crate::layout::{AddressMap, Segment};
 use crate::spec::BenchmarkSpec;
 use cgct_cpu::{BranchKind, Uop, UopKind, UopSource};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cgct_sim::Xoshiro256pp;
 use std::collections::VecDeque;
 
 /// Bytes of page pool each core cycles through when zeroing pages.
@@ -30,7 +29,7 @@ struct Cursor {
 pub struct WorkloadThread {
     spec: BenchmarkSpec,
     map: AddressMap,
-    rng: SmallRng,
+    rng: Xoshiro256pp,
     phase_idx: usize,
     phase_remaining: u64,
     cursors: Vec<Cursor>,
@@ -54,7 +53,7 @@ impl WorkloadThread {
     pub fn new(spec: BenchmarkSpec, core: usize, total_cores: usize, seed: u64) -> Self {
         spec.validate();
         let map = AddressMap::new(core, total_cores, !spec.shared_code);
-        let mut rng = SmallRng::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = Xoshiro256pp::seed_from_u64(seed ^ (core as u64).wrapping_mul(0x9E37_79B9));
         let code_base = map.base(Segment::Code).0;
         let pc = code_base;
         let n_streams = spec.phases[0].streams.len();
@@ -117,19 +116,14 @@ impl WorkloadThread {
     }
 
     fn gen_mem_kind(&mut self) -> UopKind {
-        let phase = &self.spec.phases[self.phase_idx];
         // Weighted stream selection.
-        let total = phase.total_stream_weight();
-        let mut pick = self.rng.gen::<f32>() * total;
-        let mut idx = phase.streams.len() - 1;
-        for (i, s) in phase.streams.iter().enumerate() {
-            if pick < s.weight {
-                idx = i;
-                break;
-            }
-            pick -= s.weight;
-        }
-        let s = phase.streams[idx];
+        let weights: Vec<f32> = self.spec.phases[self.phase_idx]
+            .streams
+            .iter()
+            .map(|s| s.weight)
+            .collect();
+        let idx = self.rng.choose_weighted(&weights);
+        let s = self.spec.phases[self.phase_idx].streams[idx];
         let cur = &mut self.cursors[idx];
         if cur.run_left == 0 {
             let slots = (s.working_set / s.stride as u64).max(1);
@@ -140,19 +134,19 @@ impl WorkloadThread {
             cur.run_left -= 1;
         }
         let addr = self.map.resolve(s.segment, cur.pos);
-        if self.rng.gen::<f32>() < s.store_fraction {
+        if self.rng.gen_f32() < s.store_fraction {
             UopKind::Store { addr }
         } else {
             UopKind::Load {
                 addr,
-                store_intent: self.rng.gen::<f32>() < s.store_intent,
+                store_intent: self.rng.gen_f32() < s.store_intent,
             }
         }
     }
 
     fn maybe_dcbz_burst(&mut self) {
         let rate = self.spec.phases[self.phase_idx].dcbz_pages_per_kilo_instr;
-        if rate <= 0.0 || self.rng.gen::<f32>() >= rate / 1000.0 {
+        if rate <= 0.0 || self.rng.gen_f32() >= rate / 1000.0 {
             return;
         }
         // The OS zeroes a fresh page line by line, then the application
@@ -201,7 +195,7 @@ impl WorkloadThread {
         let branch_fraction = phase.branch_fraction;
         let fp_fraction = phase.fp_fraction;
 
-        let dep_dist = if self.rng.gen::<f32>() < self.spec.dep_short_fraction {
+        let dep_dist = if self.rng.gen_f32() < self.spec.dep_short_fraction {
             self.rng.gen_range(1..=2)
         } else {
             0
@@ -211,7 +205,7 @@ impl WorkloadThread {
         if self.loop_pos >= loop_length - 1 {
             let pc = self.advance_pc();
             self.loop_iter += 1;
-            let noisy = self.rng.gen::<f32>() < branch_noise;
+            let noisy = self.rng.gen_f32() < branch_noise;
             let take_backedge = (self.loop_iter < loop_iterations) ^ noisy;
             if take_backedge {
                 self.pc = self.loop_start;
@@ -229,7 +223,7 @@ impl WorkloadThread {
             };
         }
 
-        let r = self.rng.gen::<f32>();
+        let r = self.rng.gen_f32();
         let kind = if r < mem_fraction {
             self.gen_mem_kind()
         } else if r < mem_fraction + branch_fraction {
@@ -237,15 +231,15 @@ impl WorkloadThread {
             // fraction unpredictable. Not-taken keeps the PC sequential.
             UopKind::Branch {
                 kind: BranchKind::Conditional,
-                taken: self.rng.gen::<f32>() < branch_noise * 0.5,
+                taken: self.rng.gen_f32() < branch_noise * 0.5,
             }
-        } else if self.rng.gen::<f32>() < fp_fraction {
-            if self.rng.gen::<f32>() < 0.3 {
+        } else if self.rng.gen_f32() < fp_fraction {
+            if self.rng.gen_f32() < 0.3 {
                 UopKind::FpMult
             } else {
                 UopKind::FpAlu
             }
-        } else if self.rng.gen::<f32>() < 0.05 {
+        } else if self.rng.gen_f32() < 0.05 {
             UopKind::IntMult
         } else {
             UopKind::IntAlu

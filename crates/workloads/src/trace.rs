@@ -23,16 +23,17 @@
 //! ```
 
 use cgct_cpu::{Uop, UopSource};
+use cgct_sim::Json;
 use std::fmt;
 
 /// Errors from parsing a trace.
 #[derive(Debug)]
 pub enum ParseTraceError {
-    /// A line failed to deserialize.
+    /// A line failed to parse.
     Malformed {
         /// 1-based line number.
         line: usize,
-        /// The underlying serde error, rendered.
+        /// The underlying JSON or field error, rendered.
         reason: String,
     },
     /// The trace contained no instructions.
@@ -61,12 +62,12 @@ pub fn record(src: &mut dyn UopSource, n: usize) -> Vec<Uop> {
 ///
 /// # Errors
 ///
-/// Returns the underlying serialization error (practically unreachable
-/// for these types).
-pub fn to_jsonl(uops: &[Uop]) -> Result<String, serde_json::Error> {
+/// Kept as a `Result` for interface stability; serialization itself is
+/// infallible with the in-tree emitter.
+pub fn to_jsonl(uops: &[Uop]) -> Result<String, ParseTraceError> {
     let mut out = String::new();
     for u in uops {
-        out.push_str(&serde_json::to_string(u)?);
+        out.push_str(&u.to_json().dump());
         out.push('\n');
     }
     Ok(out)
@@ -85,10 +86,13 @@ pub fn from_jsonl(text: &str) -> Result<Vec<Uop>, ParseTraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let u: Uop = serde_json::from_str(line).map_err(|e| ParseTraceError::Malformed {
-            line: i + 1,
-            reason: e.to_string(),
-        })?;
+        let u = Json::parse(line)
+            .map_err(|e| e.to_string())
+            .and_then(|v| Uop::from_json(&v))
+            .map_err(|reason| ParseTraceError::Malformed {
+                line: i + 1,
+                reason,
+            })?;
         uops.push(u);
     }
     if uops.is_empty() {
@@ -177,6 +181,53 @@ mod tests {
             assert_eq!(t.next_uop(), *u);
         }
         assert_eq!(t.laps(), 1);
+    }
+
+    #[test]
+    fn every_uop_kind_roundtrips_exactly() {
+        use cgct_cpu::BranchKind;
+        // One of each variant, with an address above 2^53 to prove the
+        // JSON layer keeps u64 values integer-exact.
+        let big = Addr(0xdead_beef_dead_beef);
+        let uops = vec![
+            Uop::simple(4, UopKind::IntAlu),
+            Uop::simple(8, UopKind::IntMult),
+            Uop::simple(12, UopKind::FpAlu),
+            Uop {
+                pc: 16,
+                kind: UopKind::Load {
+                    addr: big,
+                    store_intent: true,
+                },
+                dep_dist: 2,
+            },
+            Uop::simple(20, UopKind::Store { addr: big }),
+            Uop::simple(24, UopKind::Dcbz { addr: Addr(0x200) }),
+            Uop::simple(
+                28,
+                UopKind::Branch {
+                    kind: BranchKind::Conditional,
+                    taken: true,
+                },
+            ),
+            Uop::simple(
+                32,
+                UopKind::Branch {
+                    kind: BranchKind::Call,
+                    taken: true,
+                },
+            ),
+            Uop::simple(
+                36,
+                UopKind::Branch {
+                    kind: BranchKind::Return,
+                    taken: false,
+                },
+            ),
+        ];
+        let text = to_jsonl(&uops).unwrap();
+        let replayed = from_jsonl(&text).unwrap();
+        assert_eq!(replayed, uops);
     }
 
     #[test]

@@ -110,7 +110,10 @@ fn measured_rca_evictions_favor_empty_regions() {
     // and 5.1% having only one or two cached lines". Reproducing the
     // eviction-steady-state statistic needs the paper's 8:1
     // RCA-reach-to-cache ratio with real pressure, so this runs the
-    // quarter-scale system (256 KB L2, 2K-set RCA).
+    // quarter-scale system (256 KB L2, 2K-set RCA). The run must be long
+    // enough for the RCA to cycle well past its reach: shorter runs see
+    // only the first conflict evictions among hot (non-empty) regions
+    // and report a misleadingly low empty fraction.
     let mut cfg = SystemConfig::quarter_scale(CoherenceMode::Cgct {
         region_bytes: 512,
         sets: 8192,
@@ -118,8 +121,8 @@ fn measured_rca_evictions_favor_empty_regions() {
     cfg.perturbation = 0;
     let spec = by_name("tpc-w").unwrap();
     let mut m = Machine::new(cfg, &spec, 3);
-    let r = m.run_warmed(25_000, 25_000, 100_000_000);
-    assert!(r.rca.evictions >= 10, "only {} evictions", r.rca.evictions);
+    let r = m.run_warmed(50_000, 100_000, 400_000_000);
+    assert!(r.rca.evictions >= 100, "only {} evictions", r.rca.evictions);
     assert!(
         r.rca.evicted_empty_fraction > 0.35,
         "empty fraction {:.2}",

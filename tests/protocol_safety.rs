@@ -5,9 +5,9 @@
 
 use cgct_cache::Addr;
 use cgct_interconnect::CoreId;
-use cgct_sim::Cycle;
+use cgct_sim::check::{check, gen_vec};
+use cgct_sim::{Cycle, Xoshiro256pp};
 use cgct_system::{CoherenceMode, MemorySystem, SystemConfig};
-use proptest::prelude::*;
 
 /// One memory operation in a generated scenario.
 #[derive(Debug, Clone, Copy)]
@@ -18,19 +18,19 @@ enum Op {
     Dcbz { core: u8, slot: u16 },
 }
 
-fn op_strategy(cores: u8, slots: u16) -> impl Strategy<Value = Op> {
-    let c = 0..cores;
-    let s = 0..slots;
-    prop_oneof![
-        (c.clone(), s.clone(), any::<bool>()).prop_map(|(core, slot, intent)| Op::Load {
+fn gen_op(g: &mut Xoshiro256pp, cores: u8, slots: u16) -> Op {
+    let core = g.gen_range(0..cores);
+    let slot = g.gen_range(0..slots);
+    match g.gen_range(0u8..4) {
+        0 => Op::Load {
             core,
             slot,
-            intent
-        }),
-        (c.clone(), s.clone()).prop_map(|(core, slot)| Op::Store { core, slot }),
-        (c.clone(), s.clone()).prop_map(|(core, slot)| Op::Ifetch { core, slot }),
-        (c, s).prop_map(|(core, slot)| Op::Dcbz { core, slot }),
-    ]
+            intent: g.gen_bool(0.5),
+        },
+        1 => Op::Store { core, slot },
+        2 => Op::Ifetch { core, slot },
+        _ => Op::Dcbz { core, slot },
+    }
 }
 
 /// Maps slots to addresses that deliberately collide in regions and in
@@ -41,26 +41,30 @@ fn addr_of(slot: u16) -> Addr {
     Addr(0x10_000 + line * 64)
 }
 
+fn apply(mem: &mut MemorySystem, now: Cycle, op: Op) {
+    match op {
+        Op::Load { core, slot, intent } => {
+            mem.load(CoreId(core as usize), now, addr_of(slot), intent);
+        }
+        Op::Store { core, slot } => {
+            mem.store(CoreId(core as usize), now, addr_of(slot));
+        }
+        Op::Ifetch { core, slot } => {
+            mem.ifetch(CoreId(core as usize), now, addr_of(slot));
+        }
+        Op::Dcbz { core, slot } => {
+            mem.dcbz(CoreId(core as usize), now, addr_of(slot));
+        }
+    }
+}
+
 fn run_scenario(mode: CoherenceMode, ops: &[Op]) {
     let mut cfg = SystemConfig::paper_default(mode);
     cfg.perturbation = 0;
     let mut mem = MemorySystem::new(cfg, 1);
     let mut now = Cycle(0);
     for (i, op) in ops.iter().enumerate() {
-        match *op {
-            Op::Load { core, slot, intent } => {
-                mem.load(CoreId(core as usize), now, addr_of(slot), intent);
-            }
-            Op::Store { core, slot } => {
-                mem.store(CoreId(core as usize), now, addr_of(slot));
-            }
-            Op::Ifetch { core, slot } => {
-                mem.ifetch(CoreId(core as usize), now, addr_of(slot));
-            }
-            Op::Dcbz { core, slot } => {
-                mem.dcbz(CoreId(core as usize), now, addr_of(slot));
-            }
-        }
+        apply(&mut mem, now, *op);
         now += 7;
         if i % 64 == 63 {
             mem.check_invariants().expect("mid-run invariants");
@@ -69,76 +73,91 @@ fn run_scenario(mode: CoherenceMode, ops: &[Op]) {
     mem.check_invariants().expect("final invariants");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Runs `cases` generated scenarios of up to `max_ops` ops in `mode`.
+fn check_mode(name: &str, mode: CoherenceMode, max_ops: usize) {
+    check(name, 64, |g| {
+        let ops = gen_vec(g, 1..max_ops, |g| gen_op(g, 4, 256));
+        run_scenario(mode, &ops);
+    });
+}
 
-    #[test]
-    fn cgct_invariants_hold_for_arbitrary_interleavings(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..400)
-    ) {
-        run_scenario(
-            CoherenceMode::Cgct { region_bytes: 512, sets: 8192 },
-            &ops,
-        );
-    }
+#[test]
+fn cgct_invariants_hold_for_arbitrary_interleavings() {
+    check_mode(
+        "safety::cgct_invariants_hold_for_arbitrary_interleavings",
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        400,
+    );
+}
 
-    #[test]
-    fn cgct_small_regions_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(
-            CoherenceMode::Cgct { region_bytes: 256, sets: 8192 },
-            &ops,
-        );
-    }
+#[test]
+fn cgct_small_regions_invariants() {
+    check_mode(
+        "safety::cgct_small_regions_invariants",
+        CoherenceMode::Cgct {
+            region_bytes: 256,
+            sets: 8192,
+        },
+        300,
+    );
+}
 
-    #[test]
-    fn cgct_large_regions_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(
-            CoherenceMode::Cgct { region_bytes: 1024, sets: 8192 },
-            &ops,
-        );
-    }
+#[test]
+fn cgct_large_regions_invariants() {
+    check_mode(
+        "safety::cgct_large_regions_invariants",
+        CoherenceMode::Cgct {
+            region_bytes: 1024,
+            sets: 8192,
+        },
+        300,
+    );
+}
 
-    #[test]
-    fn scaled_protocol_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(
-            CoherenceMode::Scaled { region_bytes: 512, sets: 8192 },
-            &ops,
-        );
-    }
+#[test]
+fn scaled_protocol_invariants() {
+    check_mode(
+        "safety::scaled_protocol_invariants",
+        CoherenceMode::Scaled {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        300,
+    );
+}
 
-    #[test]
-    fn regionscout_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(CoherenceMode::RegionScout { region_bytes: 512 }, &ops);
-    }
+#[test]
+fn regionscout_invariants() {
+    check_mode(
+        "safety::regionscout_invariants",
+        CoherenceMode::RegionScout { region_bytes: 512 },
+        300,
+    );
+}
 
-    #[test]
-    fn baseline_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(CoherenceMode::Baseline, &ops);
-    }
+#[test]
+fn baseline_invariants() {
+    check_mode("safety::baseline_invariants", CoherenceMode::Baseline, 300);
+}
 
-    #[test]
-    fn directory_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
-        run_scenario(CoherenceMode::Directory, &ops);
-    }
+#[test]
+fn directory_invariants() {
+    check_mode(
+        "safety::directory_invariants",
+        CoherenceMode::Directory,
+        300,
+    );
+}
 
-    /// All §6 extensions enabled at once (owner prediction, prefetch
-    /// filter, DRAM-speculation filter) must preserve every invariant.
-    #[test]
-    fn extensions_preserve_invariants(
-        ops in prop::collection::vec(op_strategy(4, 256), 1..300)
-    ) {
+/// All §6 extensions enabled at once (owner prediction, prefetch
+/// filter, DRAM-speculation filter) must preserve every invariant.
+#[test]
+fn extensions_preserve_invariants() {
+    check("safety::extensions_preserve_invariants", 64, |g| {
+        let ops = gen_vec(g, 1..300, |g| gen_op(g, 4, 256));
         let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
             region_bytes: 512,
             sets: 8192,
@@ -151,31 +170,19 @@ proptest! {
         let mut mem = MemorySystem::new(cfg, 1);
         let mut now = Cycle(0);
         for op in &ops {
-            match *op {
-                Op::Load { core, slot, intent } => {
-                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
-                }
-                Op::Store { core, slot } => {
-                    mem.store(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Ifetch { core, slot } => {
-                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Dcbz { core, slot } => {
-                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
-                }
-            }
+            apply(&mut mem, now, *op);
             now += 7;
         }
         mem.check_invariants().expect("invariants with extensions");
-    }
+    });
+}
 
-    /// A tiny RCA (2 sets) forces constant region evictions and
-    /// inclusion flushes — the stress case for the line counts.
-    #[test]
-    fn tiny_rca_forces_inclusion_machinery(
-        ops in prop::collection::vec(op_strategy(4, 512), 1..300)
-    ) {
+/// A tiny RCA (2 sets) forces constant region evictions and
+/// inclusion flushes — the stress case for the line counts.
+#[test]
+fn tiny_rca_forces_inclusion_machinery() {
+    check("safety::tiny_rca_forces_inclusion_machinery", 64, |g| {
+        let ops = gen_vec(g, 1..300, |g| gen_op(g, 4, 512));
         let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
             region_bytes: 512,
             sets: 8192,
@@ -183,28 +190,18 @@ proptest! {
         cfg.perturbation = 0;
         // Shrink the RCA indirectly by shrinking its source config: use a
         // dedicated mode with few sets.
-        cfg.mode = CoherenceMode::Cgct { region_bytes: 512, sets: 2 };
+        cfg.mode = CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 2,
+        };
         let mut mem = MemorySystem::new(cfg, 1);
         let mut now = Cycle(0);
         for op in &ops {
-            match *op {
-                Op::Load { core, slot, intent } => {
-                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
-                }
-                Op::Store { core, slot } => {
-                    mem.store(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Ifetch { core, slot } => {
-                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Dcbz { core, slot } => {
-                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
-                }
-            }
+            apply(&mut mem, now, *op);
             now += 7;
         }
         mem.check_invariants().expect("invariants with tiny RCA");
-    }
+    });
 }
 
 #[test]
@@ -240,20 +237,7 @@ fn deterministic_scenario_replay() {
         let mut mem = MemorySystem::new(cfg, 9);
         let mut now = Cycle(0);
         for op in ops {
-            match *op {
-                Op::Load { core, slot, intent } => {
-                    mem.load(CoreId(core as usize), now, addr_of(slot), intent);
-                }
-                Op::Store { core, slot } => {
-                    mem.store(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Ifetch { core, slot } => {
-                    mem.ifetch(CoreId(core as usize), now, addr_of(slot));
-                }
-                Op::Dcbz { core, slot } => {
-                    mem.dcbz(CoreId(core as usize), now, addr_of(slot));
-                }
-            }
+            apply(&mut mem, now, *op);
             now += 5;
         }
         (
