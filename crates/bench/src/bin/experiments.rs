@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CGCT paper.
 //!
 //! ```text
-//! experiments <command> [--quick] [--json <dir>]
+//! experiments <command> [--quick] [--serial] [--json <dir>]
 //!
 //! commands:
 //!   table1 table2 table3 table4    analytic tables
@@ -19,38 +19,49 @@
 //!
 //! `--quick` uses the scaled-down plan (CI-friendly); the default plan is
 //! the full evaluation scale used for `EXPERIMENTS.md`.
+//!
+//! Work fans out across the deterministic thread pool
+//! (`cgct_sim::pool`): worker count comes from `CGCT_JOBS` or the
+//! machine's available parallelism, and `--serial` forces a one-worker
+//! in-order run. Output is byte-identical whatever the worker count —
+//! only `timing.json` (per-item wall clock, written next to the other
+//! `--json` artifacts) varies run over run.
 
 use cgct::StorageModel;
-use cgct_bench::{full_plan, quick_plan};
+use cgct_bench::timing::TimingLog;
+use cgct_bench::{full_plan, prepare_output_dir, quick_plan};
 use cgct_interconnect::LatencyModel;
+use cgct_sim::pool;
 use cgct_system::experiments::{
     fig10, fig2, fig7, half_size_mode, rca_stats, speedups, standard_modes, summary_reductions,
     Suite,
 };
 use cgct_system::report::{
-    markdown_table, render_fig10, render_fig2, render_fig6, render_fig7, render_rca_stats,
-    render_speedups, render_table1, render_table2,
+    markdown_table, progress_line, render_fig10, render_fig2, render_fig6, render_fig7,
+    render_rca_stats, render_speedups, render_table1, render_table2,
 };
 use cgct_system::{CoherenceMode, RunPlan, SystemConfig};
-use cgct_workloads::table4;
+use cgct_workloads::{table4, BenchmarkSpec};
 use std::time::Instant;
 
 struct Args {
     command: String,
     quick: bool,
+    serial: bool,
     json_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
     let mut command = "all".to_string();
     let mut quick = false;
+    let mut serial = false;
     let mut json_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments <command> [--quick] [--json <dir>]\n\n\
+                    "usage: experiments <command> [--quick] [--serial] [--json <dir>]\n\n\
                      commands:\n\
                        table1 table2 table3 table4    analytic tables\n\
                        fig2 fig6 fig7 fig8 fig9 fig10 the paper's figures\n\
@@ -63,12 +74,15 @@ fn parse_args() -> Args {
                        sectoring                      sectored-cache miss ratios\n\
                        diag                           calibration diagnostics\n\
                        all                            everything, paper order\n\n\
-                     --quick  scaled-down plan (CI-friendly)\n\
-                     --json   also dump machine-readable results to <dir>"
+                     --quick   scaled-down plan (CI-friendly)\n\
+                     --serial  one worker, in-order (same output, no threads)\n\
+                     --json    also dump machine-readable results to <dir>\n\n\
+                     CGCT_JOBS=<n> overrides the worker count (default: all cores)"
                 );
                 std::process::exit(0);
             }
             "--quick" => quick = true,
+            "--serial" => serial = true,
             "--json" => json_dir = it.next(),
             c if !c.starts_with('-') => command = c.to_string(),
             other => {
@@ -80,17 +94,89 @@ fn parse_args() -> Args {
     Args {
         command,
         quick,
+        serial,
         json_dir,
     }
 }
 
 fn dump_json(dir: &Option<String>, name: &str, value: &dyn cgct_sim::ToJson) {
     if let Some(dir) = dir {
-        std::fs::create_dir_all(dir).expect("create json dir");
         let path = format!("{dir}/{name}.json");
-        std::fs::write(&path, value.to_json().dump_pretty()).expect("write json");
+        if let Err(e) = std::fs::write(&path, value.to_json().dump_pretty()) {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
         eprintln!("wrote {path}");
     }
+}
+
+/// Live progress line on stderr: `done/total | elapsed | rate | ETA`.
+struct Progress {
+    t0: Instant,
+}
+
+impl Progress {
+    fn start() -> Progress {
+        Progress { t0: Instant::now() }
+    }
+
+    /// Renders one `\r`-overwritten update (called from worker threads).
+    fn tick(&self, done: usize, total: usize) {
+        eprint!(
+            "\r{}    ",
+            progress_line(done, total, self.t0.elapsed().as_secs_f64())
+        );
+    }
+
+    /// Terminates the progress line.
+    fn finish(&self) {
+        eprintln!();
+    }
+}
+
+/// Pool-maps `f` over `items`, recording per-item wall time under
+/// `prefix:<label>` and showing a live progress line.
+fn run_pooled<T, R, F>(
+    jobs: usize,
+    prefix: &str,
+    labels: Vec<String>,
+    items: Vec<T>,
+    f: F,
+    timing: &mut TimingLog,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let seconds = std::sync::Mutex::new(vec![0.0f64; items.len()]);
+    let progress = Progress::start();
+    let out = pool::run_observed(jobs, items, f, |report| {
+        seconds.lock().expect("timing poisoned")[report.index] = report.seconds;
+        progress.tick(report.done, report.total);
+    });
+    progress.finish();
+    for (label, secs) in labels.into_iter().zip(seconds.into_inner().unwrap()) {
+        timing.record(format!("{prefix}:{label}"), secs);
+    }
+    out
+}
+
+/// Benchmark × mode work list in canonical (benchmark-major) order,
+/// with matching `bench/mode` labels.
+fn cross_product(
+    benchmarks: &[BenchmarkSpec],
+    modes: &[CoherenceMode],
+) -> (Vec<String>, Vec<(BenchmarkSpec, CoherenceMode)>) {
+    let mut labels = Vec::new();
+    let mut items = Vec::new();
+    for spec in benchmarks {
+        for &mode in modes {
+            labels.push(format!("{}/{}", spec.name, mode.label()));
+            items.push((spec.clone(), mode));
+        }
+    }
+    (labels, items)
 }
 
 fn print_table3() {
@@ -222,11 +308,24 @@ fn diag(plan: RunPlan) {
 
 fn main() {
     let args = parse_args();
+    if args.serial {
+        // Force every pool in the process (including library-internal
+        // fan-outs like rca_stats) down to one in-order worker.
+        std::env::set_var("CGCT_JOBS", "1");
+    }
+    let jobs = pool::jobs();
+    if let Some(dir) = &args.json_dir {
+        if let Err(e) = prepare_output_dir(dir) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     let plan: RunPlan = if args.quick {
         quick_plan()
     } else {
         full_plan()
     };
+    let mut timing = TimingLog::new(jobs);
     let t0 = Instant::now();
     let cmd = args.command.as_str();
     if cmd == "diag" {
@@ -259,14 +358,32 @@ fn main() {
 
     if needs_suite {
         eprintln!(
-            "running suite: {} instructions/core x {} seeds ({} mode)...",
+            "running suite: {} instructions/core x {} seeds ({} mode, {} worker{})...",
             plan.instructions_per_core,
             plan.runs,
-            if args.quick { "quick" } else { "full" }
+            if args.quick { "quick" } else { "full" },
+            jobs,
+            if jobs == 1 { "" } else { "s" }
         );
         let mut modes = standard_modes();
         modes.push(half_size_mode());
-        let suite = Suite::run(plan, &modes);
+        let suite_t0 = Instant::now();
+        let progress = Progress::start();
+        let suite = Suite::run_configured(
+            plan,
+            &modes,
+            |c| c,
+            jobs,
+            |report| progress.tick(report.done, report.total),
+        );
+        progress.finish();
+        timing.extend(
+            suite
+                .timings
+                .iter()
+                .map(|(label, secs)| (format!("suite:{label}"), *secs)),
+        );
+        timing.record("phase:suite", suite_t0.elapsed().as_secs_f64());
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
 
         if matches!(cmd, "all" | "fig2") {
@@ -329,7 +446,9 @@ fn main() {
             dump_json(&args.json_dir, "fig10", &rows);
         }
         if matches!(cmd, "all" | "rca-stats") {
+            let rca_t0 = Instant::now();
             let rows = rca_stats(&suite);
+            timing.record("phase:rca-stats", rca_t0.elapsed().as_secs_f64());
             println!("## RCA statistics (§3.2, §5.2)\n");
             println!("{}", render_rca_stats(&rows));
             println!("(paper: 65.1% empty / 17.2% one line / 5.1% two; ~1.2% miss-ratio increase; 2.8-5 lines/region)\n");
@@ -337,66 +456,100 @@ fn main() {
         }
     }
 
+    let phase = |name: &str, timing: &mut TimingLog, f: &mut dyn FnMut(usize, &mut TimingLog)| {
+        let t = Instant::now();
+        f(jobs, timing);
+        timing.record(format!("phase:{name}"), t.elapsed().as_secs_f64());
+    };
     if matches!(cmd, "all" | "ablations") {
-        run_ablations(plan, &args);
+        phase("ablations", &mut timing, &mut |jobs, timing| {
+            run_ablations(plan, &args, jobs, timing)
+        });
     }
     if matches!(cmd, "all" | "scalability") {
-        run_scalability(plan, &args);
+        phase("scalability", &mut timing, &mut |jobs, timing| {
+            run_scalability(plan, &args, jobs, timing)
+        });
     }
     if matches!(cmd, "all" | "energy") {
-        run_energy(plan, &args);
+        phase("energy", &mut timing, &mut |jobs, timing| {
+            run_energy(plan, &args, jobs, timing)
+        });
     }
     if matches!(cmd, "all" | "region-sweep") {
-        run_region_sweep(plan, &args);
+        phase("region-sweep", &mut timing, &mut |jobs, timing| {
+            run_region_sweep(plan, &args, jobs, timing)
+        });
     }
     if matches!(cmd, "all" | "directory") {
-        run_directory_comparison(plan, &args);
+        phase("directory", &mut timing, &mut |jobs, timing| {
+            run_directory_comparison(plan, &args, jobs, timing)
+        });
     }
     if matches!(cmd, "all" | "sectoring") {
-        run_sectoring_comparison(plan, &args);
+        phase("sectoring", &mut timing, &mut |jobs, timing| {
+            run_sectoring_comparison(plan, &args, jobs, timing)
+        });
     }
 
+    if let Some(dir) = &args.json_dir {
+        timing.record("phase:total", t0.elapsed().as_secs_f64());
+        match timing.write(dir) {
+            Ok(path) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {dir}/timing.json: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("total {:.1}s", t0.elapsed().as_secs_f64());
 }
 
 /// Sectored-cache comparison (related work, §2): sectoring shares one
 /// tag per 512 B and pays internal fragmentation in miss ratio; CGCT
 /// tracks regions *beyond* the cache and leaves the miss ratio alone.
-fn run_sectoring_comparison(plan: RunPlan, args: &Args) {
+fn run_sectoring_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_cache::{Addr, ConventionalCache, Geometry, SectoredCache};
     use cgct_cpu::UopSource;
     use cgct_workloads::WorkloadThread;
     println!("## Sectored vs conventional cache (related work §2)\n");
     let geom = Geometry::new(64, 512);
     let accesses = (plan.instructions_per_core as usize).max(50_000);
-    let mut rows = Vec::new();
-    for spec in cgct_workloads::all_benchmarks() {
-        let mut conventional = ConventionalCache::new(1024 * 1024, 2, geom);
-        let mut sectored = SectoredCache::new(1024 * 1024, 2, geom);
-        let mut thread = WorkloadThread::new(spec.clone(), 0, 4, plan.base_seed);
-        let mut seen = 0usize;
-        while seen < accesses {
-            if let Some(a) = thread.next_uop().kind.mem_addr() {
-                let line = geom.line_of(Addr(a.0));
-                conventional.access(line);
-                sectored.access(line);
-                seen += 1;
+    let benchmarks = cgct_workloads::all_benchmarks();
+    let labels: Vec<String> = benchmarks.iter().map(|b| b.name.to_string()).collect();
+    let mut rows = run_pooled(
+        jobs,
+        "sectoring",
+        labels,
+        benchmarks,
+        |_, spec| {
+            let mut conventional = ConventionalCache::new(1024 * 1024, 2, geom);
+            let mut sectored = SectoredCache::new(1024 * 1024, 2, geom);
+            let mut thread = WorkloadThread::new(spec.clone(), 0, 4, plan.base_seed);
+            let mut seen = 0usize;
+            while seen < accesses {
+                if let Some(a) = thread.next_uop().kind.mem_addr() {
+                    let line = geom.line_of(Addr(a.0));
+                    conventional.access(line);
+                    sectored.access(line);
+                    seen += 1;
+                }
             }
-        }
-        let delta = if conventional.miss_ratio() > 0.0 {
-            (sectored.miss_ratio() - conventional.miss_ratio()) / conventional.miss_ratio()
-        } else {
-            0.0
-        };
-        rows.push(vec![
-            spec.name.to_string(),
-            format!("{:.2}%", conventional.miss_ratio() * 100.0),
-            format!("{:.2}%", sectored.miss_ratio() * 100.0),
-            format!("{:+.0}%", delta * 100.0),
-            format!("{:.2}", sectored.mean_sector_occupancy()),
-        ]);
-        eprintln!("sectoring '{}' done", spec.name);
-    }
+            let delta = if conventional.miss_ratio() > 0.0 {
+                (sectored.miss_ratio() - conventional.miss_ratio()) / conventional.miss_ratio()
+            } else {
+                0.0
+            };
+            vec![
+                spec.name.to_string(),
+                format!("{:.2}%", conventional.miss_ratio() * 100.0),
+                format!("{:.2}%", sectored.miss_ratio() * 100.0),
+                format!("{:+.0}%", delta * 100.0),
+                format!("{:.2}", sectored.mean_sector_occupancy()),
+            ]
+        },
+        timing,
+    );
     // A sparse pointer-chase (one line per sector over 2x the cache):
     // the workload class where sectoring's fragmentation bites hardest.
     {
@@ -448,36 +601,44 @@ fn run_sectoring_comparison(plan: RunPlan, args: &Args) {
 /// same low-latency unshared access as CGCT but pays three hops for
 /// cache-to-cache data, which is exactly the trade-off the paper claims
 /// CGCT sidesteps.
-fn run_directory_comparison(plan: RunPlan, args: &Args) {
+fn run_directory_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_system::run_once;
     println!("## Snooping vs CGCT vs directory (§1.2 comparison)\n");
-    let mut rows = Vec::new();
-    for spec in cgct_workloads::all_benchmarks() {
-        let mut cells = vec![spec.name.to_string()];
-        let mut base_runtime = 0.0;
-        for mode in [
-            CoherenceMode::Baseline,
-            CoherenceMode::Cgct {
-                region_bytes: 512,
-                sets: 8192,
-            },
-            CoherenceMode::Directory,
-        ] {
+    let modes = [
+        CoherenceMode::Baseline,
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        CoherenceMode::Directory,
+    ];
+    // One work item per (benchmark, mode) cell, benchmark-major; rows
+    // fold from canonical-order chunks of three.
+    let (labels, items) = cross_product(&cgct_workloads::all_benchmarks(), &modes);
+    let results = run_pooled(
+        jobs,
+        "directory",
+        labels,
+        items,
+        |_, (spec, mode)| {
             let cfg = SystemConfig::paper_default(mode);
-            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
-            if base_runtime == 0.0 {
-                base_runtime = r.runtime_cycles as f64;
-                cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
-            } else {
-                cells.push(format!(
-                    "{:.1}%",
-                    100.0 * (1.0 - r.runtime_cycles as f64 / base_runtime)
-                ));
-                cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
-            }
+            run_once(&cfg, &spec, plan.base_seed, &plan)
+        },
+        timing,
+    );
+    let mut rows = Vec::new();
+    for chunk in results.chunks(modes.len()) {
+        let base_runtime = chunk[0].runtime_cycles as f64;
+        let mut cells = vec![chunk[0].benchmark.clone()];
+        cells.push(format!("{:.0}", chunk[0].metrics.demand_latency.mean()));
+        for r in &chunk[1..] {
+            cells.push(format!(
+                "{:.1}%",
+                100.0 * (1.0 - r.runtime_cycles as f64 / base_runtime)
+            ));
+            cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
         }
         rows.push(cells);
-        eprintln!("directory-comparison '{}' done", spec.name);
     }
     println!(
         "{}",
@@ -500,31 +661,58 @@ fn run_directory_comparison(plan: RunPlan, args: &Args) {
 /// tracking, up to 4 KB = page-grain): exposes the trade-off between
 /// spatial coverage and false region-sharing that makes mid-size regions
 /// the sweet spot.
-fn run_region_sweep(plan: RunPlan, args: &Args) {
+fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_system::run_once;
     println!("## Region-size sweep (64B - 4KB, mean across benchmarks)\n");
     let benchmarks = cgct_workloads::all_benchmarks();
-    let base_runtime: Vec<f64> = benchmarks
-        .iter()
-        .map(|spec| {
+    let base_runtime: Vec<f64> = run_pooled(
+        jobs,
+        "region-sweep-base",
+        benchmarks.iter().map(|b| b.name.to_string()).collect(),
+        benchmarks.clone(),
+        |_, spec| {
             let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
-            run_once(&cfg, spec, plan.base_seed, &plan).runtime_cycles as f64
-        })
-        .collect();
+            run_once(&cfg, &spec, plan.base_seed, &plan).runtime_cycles as f64
+        },
+        timing,
+    );
     eprintln!("region-sweep baselines done");
-    let mut rows = Vec::new();
-    let mut chart = Vec::new();
-    for region_bytes in [64u64, 128, 256, 512, 1024, 2048, 4096] {
-        let mut reduction_sum = 0.0;
-        let mut avoided_sum = 0.0;
-        for (spec, base) in benchmarks.iter().zip(&base_runtime) {
+    let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096];
+    // Region-major item order; per-region sums fold from canonical
+    // chunks, so the (order-sensitive) f64 accumulation matches a
+    // serial sweep bit for bit.
+    let mut labels = Vec::new();
+    let mut items = Vec::new();
+    for &region_bytes in &sizes {
+        for spec in &benchmarks {
+            labels.push(format!("{}B/{}", region_bytes, spec.name));
+            items.push((region_bytes, spec.clone()));
+        }
+    }
+    let results = run_pooled(
+        jobs,
+        "region-sweep",
+        labels,
+        items,
+        |_, (region_bytes, spec)| {
             let cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
                 region_bytes,
                 sets: 8192,
             });
-            let r = run_once(&cfg, spec, plan.base_seed, &plan);
-            reduction_sum += 100.0 * (1.0 - r.runtime_cycles as f64 / base);
-            avoided_sum += r.metrics.avoided_fraction() * 100.0;
+            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
+            (r.runtime_cycles as f64, r.metrics.avoided_fraction())
+        },
+        timing,
+    );
+    let mut rows = Vec::new();
+    let mut chart = Vec::new();
+    for (size_idx, chunk) in results.chunks(benchmarks.len()).enumerate() {
+        let region_bytes = sizes[size_idx];
+        let mut reduction_sum = 0.0;
+        let mut avoided_sum = 0.0;
+        for ((runtime, avoided), base) in chunk.iter().zip(&base_runtime) {
+            reduction_sum += 100.0 * (1.0 - runtime / base);
+            avoided_sum += avoided * 100.0;
         }
         let n = benchmarks.len() as f64;
         rows.push(vec![
@@ -533,7 +721,6 @@ fn run_region_sweep(plan: RunPlan, args: &Args) {
             format!("{:.1}%", avoided_sum / n),
         ]);
         chart.push((format!("{region_bytes}B"), reduction_sum / n));
-        eprintln!("region-sweep {region_bytes}B done");
     }
     println!(
         "{}",
@@ -554,13 +741,14 @@ fn run_region_sweep(plan: RunPlan, args: &Args) {
 
 /// Energy estimate (§6 future work): relative interconnect/memory energy
 /// for baseline vs CGCT, including the RCA's own lookup overhead.
-fn run_energy(plan: RunPlan, args: &Args) {
+fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_system::energy::{energy_of, EnergyModel};
     use cgct_system::run_once;
     println!("## Energy (§6 extension) — relative units, default weights\n");
     let weights = EnergyModel::default_weights();
-    let mut rows = Vec::new();
-    for spec in cgct_workloads::all_benchmarks() {
+    // Three configurations per benchmark: baseline, baseline+Jetty,
+    // and CGCT-512B. Benchmark-major item order.
+    let variants: Vec<(&str, SystemConfig)> = {
         let base_cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
         let cgct_cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
             region_bytes: 512,
@@ -568,23 +756,44 @@ fn run_energy(plan: RunPlan, args: &Args) {
         });
         let mut jetty_cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
         jetty_cfg.jetty_filter = true;
-        let base = run_once(&base_cfg, &spec, plan.base_seed, &plan);
-        let jetty = run_once(&jetty_cfg, &spec, plan.base_seed, &plan);
-        let cgct = run_once(&cgct_cfg, &spec, plan.base_seed, &plan);
+        vec![
+            ("baseline", base_cfg),
+            ("jetty", jetty_cfg),
+            ("cgct", cgct_cfg),
+        ]
+    };
+    let mut labels = Vec::new();
+    let mut items = Vec::new();
+    for spec in cgct_workloads::all_benchmarks() {
+        for (tag, cfg) in &variants {
+            labels.push(format!("{}/{tag}", spec.name));
+            items.push((spec.clone(), cfg.clone()));
+        }
+    }
+    let results = run_pooled(
+        jobs,
+        "energy",
+        labels,
+        items,
+        |_, (spec, cfg)| run_once(&cfg, &spec, plan.base_seed, &plan),
+        timing,
+    );
+    let mut rows = Vec::new();
+    for chunk in results.chunks(variants.len()) {
+        let (base, jetty, cgct) = (&chunk[0], &chunk[1], &chunk[2]);
         let eb = energy_of(&base.metrics, 3, false, &weights);
         let ej = energy_of(&jetty.metrics, 3, false, &weights);
         let ec = energy_of(&cgct.metrics, 3, true, &weights);
         let saving = 100.0 * (1.0 - ec.total() / eb.total().max(1.0));
         let jetty_saving = 100.0 * (1.0 - ej.total() / eb.total().max(1.0));
         rows.push(vec![
-            spec.name.to_string(),
+            base.benchmark.clone(),
             format!("{:.0}", eb.total() / 1000.0),
             format!("{:.0} ({jetty_saving:+.1}%)", ej.total() / 1000.0),
             format!("{:.0}", ec.total() / 1000.0),
             format!("{:.0}", ec.rca_overhead / 1000.0),
             format!("{saving:.1}%"),
         ]);
-        eprintln!("energy '{}' done", spec.name);
     }
     println!(
         "{}",
@@ -607,36 +816,45 @@ fn run_energy(plan: RunPlan, args: &Args) {
 /// improve scalability; here the same workloads run on a 16-core
 /// two-board machine where remote snoops are costlier and the single
 /// address network is shared by four times the processors.
-fn run_scalability(plan: RunPlan, args: &Args) {
+fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_interconnect::Topology;
     use cgct_system::run_once;
     println!("## Scalability — 16-core, two-board machine\n");
-    let mut rows = Vec::new();
-    for bench in ["specjbb2000", "tpc-w", "barnes"] {
-        let spec = cgct_workloads::by_name(bench).expect("benchmark");
-        let mut results = Vec::new();
-        for mode in [
-            CoherenceMode::Baseline,
-            CoherenceMode::Cgct {
-                region_bytes: 512,
-                sets: 8192,
-            },
-        ] {
+    let modes = [
+        CoherenceMode::Baseline,
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+    ];
+    let benchmarks: Vec<BenchmarkSpec> = ["specjbb2000", "tpc-w", "barnes"]
+        .iter()
+        .map(|b| cgct_workloads::by_name(b).expect("benchmark"))
+        .collect();
+    let (labels, items) = cross_product(&benchmarks, &modes);
+    let results = run_pooled(
+        jobs,
+        "scalability",
+        labels,
+        items,
+        |_, (spec, mode)| {
             let mut cfg = SystemConfig::paper_default(mode);
             cfg.topology = Topology::two_boards();
-            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
-            results.push(r);
-        }
-        let (base, cgct) = (&results[0], &results[1]);
+            run_once(&cfg, &spec, plan.base_seed, &plan)
+        },
+        timing,
+    );
+    let mut rows = Vec::new();
+    for chunk in results.chunks(modes.len()) {
+        let (base, cgct) = (&chunk[0], &chunk[1]);
         let reduction = 100.0 * (1.0 - cgct.runtime_cycles as f64 / base.runtime_cycles as f64);
         rows.push(vec![
-            bench.to_string(),
+            base.benchmark.clone(),
             format!("{:.0}", base.metrics.avg_traffic()),
             format!("{:.0}", cgct.metrics.avg_traffic()),
             format!("{:.1}%", reduction),
             format!("{:.1}%", cgct.metrics.avoided_fraction() * 100.0),
         ]);
-        eprintln!("scalability '{bench}' done");
     }
     println!(
         "{}",
@@ -655,7 +873,7 @@ fn run_scalability(plan: RunPlan, args: &Args) {
 }
 
 /// Ablations: the design choices §3 calls out, plus the cheaper variants.
-fn run_ablations(plan: RunPlan, args: &Args) {
+fn run_ablations(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     let cgct512 = CoherenceMode::Cgct {
         region_bytes: 512,
         sets: 8192,
@@ -746,7 +964,9 @@ fn run_ablations(plan: RunPlan, args: &Args) {
     ];
     let mut rows = Vec::new();
     for (name, modes, adjust) in &variants {
-        let suite = Suite::run_with(plan, modes, adjust);
+        let t0 = Instant::now();
+        let suite = Suite::run_configured(plan, modes, adjust, jobs, |_| {});
+        timing.record(format!("ablation:{name}"), t0.elapsed().as_secs_f64());
         let label = modes[1].label();
         let sp = speedups(&suite, std::slice::from_ref(&label));
         let (all, comm) = summary_reductions(&sp, &label);

@@ -37,6 +37,23 @@ pub fn full_plan() -> RunPlan {
     }
 }
 
+/// Ensures the `--json` output directory exists and is writable
+/// *before* any experiment runs, so a bad path fails in milliseconds
+/// with an actionable message instead of panicking after minutes of
+/// simulation.
+///
+/// Creates the directory (and parents) if missing, then probes it with
+/// a throwaway write.
+pub fn prepare_output_dir(dir: &str) -> Result<(), String> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| format!("cannot create --json output directory '{dir}': {e}"))?;
+    let probe = std::path::Path::new(dir).join(".cgct-write-probe");
+    std::fs::write(&probe, b"probe")
+        .map_err(|e| format!("--json output directory '{dir}' is not writable: {e}"))?;
+    let _ = std::fs::remove_file(&probe);
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +62,31 @@ mod tests {
     fn plans_are_ordered() {
         assert!(quick_plan().instructions_per_core < full_plan().instructions_per_core);
         assert!(quick_plan().runs <= full_plan().runs);
+    }
+
+    #[test]
+    fn prepare_output_dir_creates_missing_directories() {
+        let dir = std::env::temp_dir().join(format!("cgct-json-{}/nested", std::process::id()));
+        let dir_s = dir.to_str().unwrap();
+        assert!(prepare_output_dir(dir_s).is_ok());
+        assert!(dir.is_dir());
+        // No probe file left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(dir.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn prepare_output_dir_reports_unusable_paths() {
+        // A path *under a regular file* can never be a directory: the
+        // clear-error case for a mistyped --json argument.
+        let file = std::env::temp_dir().join(format!("cgct-blocker-{}", std::process::id()));
+        std::fs::write(&file, b"x").unwrap();
+        let bad = format!("{}/sub", file.to_str().unwrap());
+        let err = prepare_output_dir(&bad).unwrap_err();
+        assert!(
+            err.contains("cannot create") && err.contains(&bad),
+            "unexpected message: {err}"
+        );
+        std::fs::remove_file(&file).unwrap();
     }
 }

@@ -1,5 +1,6 @@
 //! A minimal wall-clock benchmark harness (replaces Criterion so the
-//! workspace needs no external crates).
+//! workspace needs no external crates), plus the [`TimingLog`] the
+//! `experiments` binary writes to `results/timing.json`.
 //!
 //! Each bench target is a plain binary (`harness = false`): build a
 //! [`Harness`], register closures with [`Harness::bench`], and call
@@ -9,8 +10,91 @@
 //! the command line to run a subset; `cargo bench`'s `--bench` flag is
 //! accepted and ignored.
 
+use cgct_sim::{Json, ToJson};
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Per-item wall-clock record of an experiments run, written to
+/// `<json-dir>/timing.json` so run-over-run speedup (serial vs
+/// `CGCT_JOBS=N`) is measurable from artifacts alone.
+///
+/// Unlike the figure outputs, timing is *not* expected to be
+/// byte-identical across runs — it is explicitly excluded from the
+/// determinism guarantee.
+#[derive(Debug, Clone)]
+pub struct TimingLog {
+    /// Worker threads the run used (1 for `--serial`).
+    jobs: usize,
+    /// `(label, seconds)` per completed work item or command phase.
+    rows: Vec<(String, f64)>,
+}
+
+impl TimingLog {
+    /// An empty log for a run on `jobs` workers.
+    pub fn new(jobs: usize) -> TimingLog {
+        TimingLog {
+            jobs,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one `(label, seconds)` row.
+    pub fn record(&mut self, label: impl Into<String>, seconds: f64) {
+        self.rows.push((label.into(), seconds));
+    }
+
+    /// Appends many rows (e.g. a suite's per-item timings).
+    pub fn extend(&mut self, rows: impl IntoIterator<Item = (String, f64)>) {
+        self.rows.extend(rows);
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Sum of all recorded item times — the serial-equivalent cost of
+    /// the work, to compare against actual wall-clock.
+    pub fn total_seconds(&self) -> f64 {
+        self.rows.iter().map(|(_, s)| s).sum()
+    }
+
+    /// The recorded rows, in insertion order.
+    pub fn rows(&self) -> &[(String, f64)] {
+        &self.rows
+    }
+
+    /// Writes the log to `<dir>/timing.json`, returning the path.
+    pub fn write(&self, dir: &str) -> std::io::Result<String> {
+        let path = format!("{dir}/timing.json");
+        std::fs::write(&path, self.to_json().dump_pretty())?;
+        Ok(path)
+    }
+}
+
+impl ToJson for TimingLog {
+    fn to_json(&self) -> Json {
+        let items = Json::Array(
+            self.rows
+                .iter()
+                .map(|(label, secs)| {
+                    Json::obj([("label", Json::str(label)), ("seconds", Json::f64(*secs))])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("jobs", Json::u64(self.jobs as u64)),
+            ("items", Json::u64(self.rows.len() as u64)),
+            ("total_item_seconds", Json::f64(self.total_seconds())),
+            ("timings", items),
+        ])
+    }
+}
 
 /// Per-benchmark driver handed to the closure; call [`iter`](Bencher::iter).
 pub struct Bencher {
@@ -133,6 +217,37 @@ mod tests {
         });
         assert!(b.iters_measured > 0);
         assert!(b.best_ns_per_iter.is_finite());
+    }
+
+    #[test]
+    fn timing_log_round_trips_through_json() {
+        let mut log = TimingLog::new(4);
+        assert!(log.is_empty());
+        log.record("suite:barnes/baseline#s1", 1.25);
+        log.extend([("phase:ablations".to_string(), 2.75)]);
+        assert_eq!(log.len(), 2);
+        assert!((log.total_seconds() - 4.0).abs() < 1e-12);
+        let v = Json::parse(&log.to_json().dump()).unwrap();
+        assert_eq!(v.get("jobs").and_then(Json::as_u64), Some(4));
+        assert_eq!(v.get("items").and_then(Json::as_u64), Some(2));
+        let rows = v.get("timings").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            rows[0].get("label").and_then(Json::as_str),
+            Some("suite:barnes/baseline#s1")
+        );
+        assert_eq!(rows[1].get("seconds").and_then(Json::as_f64), Some(2.75));
+    }
+
+    #[test]
+    fn timing_log_writes_to_dir() {
+        let dir = std::env::temp_dir().join(format!("cgct-timing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut log = TimingLog::new(1);
+        log.record("x", 0.5);
+        let path = log.write(dir.to_str().unwrap()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"jobs\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

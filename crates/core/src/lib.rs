@@ -38,6 +38,8 @@
 //! assert_eq!(s.permission(ReqKind::Upgrade), RegionPermission::CompleteLocally);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod jetty;
 pub mod overhead;
 pub mod protocol;

@@ -21,6 +21,20 @@
 //!     assert_eq!(a + b, b + a);
 //! });
 //! ```
+//!
+//! Reproducing a CI failure locally means exporting the seed the harness
+//! printed; `CGCT_TEST_SEED` reroots every property in the process
+//! (doctests run as their own processes, so setting it here is safe):
+//!
+//! ```
+//! use cgct_sim::check;
+//!
+//! std::env::set_var("CGCT_TEST_SEED", "12345");
+//! assert_eq!(check::root_seed(), 12345);
+//!
+//! std::env::remove_var("CGCT_TEST_SEED");
+//! assert_eq!(check::root_seed(), check::DEFAULT_ROOT_SEED);
+//! ```
 
 use crate::rng::{SeedSequence, Xoshiro256pp};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -15,6 +15,20 @@
 //! assert_eq!(v.get("kind").and_then(Json::as_str), Some("IntAlu"));
 //! assert_eq!(v.dump(), r#"{"pc":4,"kind":"IntAlu"}"#);
 //! ```
+//!
+//! Integers round-trip exactly — they are never squeezed through `f64`,
+//! so a full 64-bit address survives emit → parse bit-for-bit (an `f64`
+//! would lose everything past 2^53):
+//!
+//! ```
+//! use cgct_sim::json::Json;
+//!
+//! let addr = u64::MAX - 1; // not representable as f64
+//! let text = Json::u64(addr).dump();
+//! assert_eq!(text, "18446744073709551614");
+//! let back = Json::parse(&text).unwrap();
+//! assert_eq!(back.as_u64(), Some(addr));
+//! ```
 
 use std::fmt;
 

@@ -1,9 +1,10 @@
 //! Discrete-event simulation kernel for the CGCT reproduction.
 //!
 //! This crate provides the time base, event queue, deterministic random
-//! number utilities, and statistics machinery shared by every other crate in
-//! the workspace. It is deliberately free of any coherence-specific logic so
-//! that the cache, interconnect, and CPU models can be tested in isolation.
+//! number utilities, statistics machinery, and the deterministic thread
+//! pool ([`pool`]) shared by every other crate in the workspace. It is
+//! deliberately free of any coherence-specific logic so that the cache,
+//! interconnect, and CPU models can be tested in isolation.
 //!
 //! # Examples
 //!
@@ -17,9 +18,12 @@
 //! assert_eq!((t, ev), (Cycle(5), "dram ready"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod check;
 pub mod event;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -7,7 +7,8 @@
 //! writes `EXPERIMENTS.md`.
 
 use crate::config::{CoherenceMode, SystemConfig};
-use crate::runner::{run_once, AggregateResult, RunPlan};
+use crate::runner::{run_once, AggregateResult, RunPlan, WorkItem};
+use cgct_sim::pool::{self, ItemReport};
 use cgct_sim::ConfidenceInterval;
 use cgct_workloads::{all_benchmarks, commercial_names};
 use std::collections::BTreeMap;
@@ -20,6 +21,10 @@ pub struct Suite {
     pub results: BTreeMap<(String, String), AggregateResult>,
     /// The plan every configuration ran with.
     pub plan: RunPlan,
+    /// Wall-clock seconds per work item, in canonical item order
+    /// (benchmark-major, then mode, then seed) — the raw material for
+    /// `results/timing.json`.
+    pub timings: Vec<(String, f64)>,
 }
 
 /// The paper's standard mode set: baseline plus CGCT at the three region
@@ -51,8 +56,9 @@ pub fn half_size_mode() -> CoherenceMode {
 }
 
 impl Suite {
-    /// Runs every benchmark under every mode, fanning configurations out
-    /// across OS threads. Results are averaged over `plan.runs` seeds.
+    /// Runs every benchmark under every mode on the deterministic pool
+    /// (worker count from `CGCT_JOBS` or the machine's available
+    /// parallelism). Results are averaged over `plan.runs` seeds.
     pub fn run(plan: RunPlan, modes: &[CoherenceMode]) -> Suite {
         Self::run_with(plan, modes, |cfg| cfg)
     }
@@ -64,42 +70,73 @@ impl Suite {
         modes: &[CoherenceMode],
         adjust: impl Fn(SystemConfig) -> SystemConfig + Sync,
     ) -> Suite {
+        Self::run_configured(plan, modes, adjust, pool::jobs(), |_| {})
+    }
+
+    /// The fully-general entry point: explicit worker count and a
+    /// progress observer (called after every completed item, from
+    /// whichever worker finished it).
+    ///
+    /// The work list is the full `(benchmark, mode, seed)`
+    /// cross-product in canonical order. Each item is a pure
+    /// [`WorkItem`] whose seed comes from [`RunPlan::seed_for`] —
+    /// never from worker identity — and results are merged back in
+    /// canonical order, so any `jobs` value (including 1, the serial
+    /// escape hatch) produces bit-identical aggregates.
+    pub fn run_configured(
+        plan: RunPlan,
+        modes: &[CoherenceMode],
+        adjust: impl Fn(SystemConfig) -> SystemConfig + Sync,
+        jobs: usize,
+        observe: impl Fn(ItemReport) + Sync,
+    ) -> Suite {
         let benchmarks = all_benchmarks();
-        let mut work: Vec<(usize, usize)> = Vec::new();
-        for b in 0..benchmarks.len() {
-            for m in 0..modes.len() {
-                work.push((b, m));
+        let mut items: Vec<WorkItem> = Vec::new();
+        for spec in &benchmarks {
+            for mode in modes {
+                let cfg = adjust(SystemConfig::paper_default(*mode));
+                for run in 0..plan.runs {
+                    items.push(WorkItem {
+                        spec: spec.clone(),
+                        cfg: cfg.clone(),
+                        seed: plan.seed_for(run),
+                    });
+                }
             }
         }
-        let results = Mutex::new(BTreeMap::new());
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(work.len().max(1));
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let Some(&(b, m)) = work.get(i) else { break };
-                    let spec = &benchmarks[b];
-                    let cfg = adjust(SystemConfig::paper_default(modes[m]));
-                    // Seeds run serially here; parallelism comes from the
-                    // configuration fan-out.
-                    let runs: Vec<_> = (0..plan.runs)
-                        .map(|s| run_once(&cfg, spec, plan.base_seed + s, &plan))
-                        .collect();
-                    let agg = aggregate(runs);
-                    results
-                        .lock()
-                        .expect("poisoned")
-                        .insert((spec.name.to_string(), modes[m].label()), agg);
-                });
+        let labels: Vec<String> = items.iter().map(WorkItem::label).collect();
+        let seconds = Mutex::new(vec![0.0f64; items.len()]);
+        let runs: Vec<_> = pool::run_observed(
+            jobs,
+            items,
+            |_, item| item.execute(&plan),
+            |report| {
+                seconds.lock().expect("timing poisoned")[report.index] = report.seconds;
+                observe(report);
+            },
+        );
+        // Merge out-of-order completions back in canonical order: the
+        // items for configuration group `g` are the contiguous chunk
+        // `g*runs .. (g+1)*runs`, already in ascending seed order.
+        let mut results = BTreeMap::new();
+        let mut chunks = runs.into_iter();
+        for spec in &benchmarks {
+            for mode in modes {
+                let group: Vec<_> = (&mut chunks).take(plan.runs as usize).collect();
+                results.insert(
+                    (spec.name.to_string(), mode.label()),
+                    AggregateResult::from_runs(group),
+                );
             }
-        });
+        }
+        let timings = labels
+            .into_iter()
+            .zip(seconds.into_inner().expect("timing poisoned"))
+            .collect();
         Suite {
-            results: results.into_inner().expect("poisoned"),
+            results,
             plan,
+            timings,
         }
     }
 
@@ -122,32 +159,6 @@ impl Suite {
             .map(|b| b.name.to_string())
             .collect()
     }
-}
-
-fn aggregate(runs: Vec<crate::machine::RunResult>) -> AggregateResult {
-    // Reuse the aggregation in runner via a tiny shim: rebuild stats.
-    let mut agg = AggregateResult {
-        benchmark: runs[0].benchmark.clone(),
-        mode: runs[0].mode.clone(),
-        runtime: Default::default(),
-        avoided_fraction: Default::default(),
-        unnecessary_fraction: Default::default(),
-        avg_traffic: Default::default(),
-        peak_traffic: Default::default(),
-        l2_miss_ratio: Default::default(),
-        runs: Vec::new(),
-    };
-    for r in &runs {
-        agg.runtime.push(r.runtime_cycles as f64);
-        agg.avoided_fraction.push(r.metrics.avoided_fraction());
-        agg.unnecessary_fraction
-            .push(r.metrics.unnecessary_fraction());
-        agg.avg_traffic.push(r.metrics.avg_traffic());
-        agg.peak_traffic.push(r.metrics.peak_traffic() as f64);
-        agg.l2_miss_ratio.push(r.metrics.l2_miss_ratio());
-    }
-    agg.runs = runs;
-    agg
 }
 
 // -------------------------------------------------------------------
@@ -399,48 +410,46 @@ pub fn rca_stats(suite: &Suite) -> Vec<RcaStatsRow> {
         region_bytes: 512,
         sets: 8192, // rewritten to 2048 by quarter_scale
     };
-    suite
-        .benchmarks()
-        .iter()
-        .map(|b| {
-            let spec = cgct_workloads::by_name(b).expect("registered benchmark");
-            let run = |mode: CoherenceMode| {
-                let cfg = SystemConfig::quarter_scale(mode);
-                let runs: Vec<_> = (0..plan.runs.min(2))
-                    .map(|s| run_once(&cfg, &spec, plan.base_seed + s, &plan))
-                    .collect();
-                aggregate(runs)
-            };
-            let base = &run(CoherenceMode::Baseline);
-            let cgct = &run(cgct_mode);
-            let n = cgct.runs.len() as f64;
-            let mut row = RcaStatsRow {
-                benchmark: b.clone(),
-                evicted_empty: 0.0,
-                evicted_one: 0.0,
-                evicted_two: 0.0,
-                mean_lines_per_region: 0.0,
-                miss_ratio_increase: 0.0,
-                self_invalidations_per_mreq: 0.0,
-            };
-            for r in &cgct.runs {
-                row.evicted_empty += r.rca.evicted_empty_fraction / n;
-                row.evicted_one += r.rca.evicted_one_line_fraction / n;
-                row.evicted_two += r.rca.evicted_two_lines_fraction / n;
-                row.mean_lines_per_region += r.rca.mean_lines_per_region / n;
-                let reqs = r.metrics.requests.total().max(1) as f64;
-                row.self_invalidations_per_mreq += r.rca.self_invalidations as f64 / reqs * 1e6 / n;
-            }
-            let base_ratio = base.l2_miss_ratio.mean();
-            let cgct_ratio = cgct.l2_miss_ratio.mean();
-            row.miss_ratio_increase = if base_ratio > 0.0 {
-                (cgct_ratio - base_ratio) / base_ratio
-            } else {
-                0.0
-            };
-            row
-        })
-        .collect()
+    // Fan the per-benchmark mini-experiments out on the pool; results
+    // come back in canonical benchmark order.
+    pool::run(suite.benchmarks(), |_, b| {
+        let spec = cgct_workloads::by_name(&b).expect("registered benchmark");
+        let run = |mode: CoherenceMode| {
+            let cfg = SystemConfig::quarter_scale(mode);
+            let runs: Vec<_> = (0..plan.runs.min(2))
+                .map(|s| run_once(&cfg, &spec, plan.seed_for(s), &plan))
+                .collect();
+            AggregateResult::from_runs(runs)
+        };
+        let base = &run(CoherenceMode::Baseline);
+        let cgct = &run(cgct_mode);
+        let n = cgct.runs.len() as f64;
+        let mut row = RcaStatsRow {
+            benchmark: b.clone(),
+            evicted_empty: 0.0,
+            evicted_one: 0.0,
+            evicted_two: 0.0,
+            mean_lines_per_region: 0.0,
+            miss_ratio_increase: 0.0,
+            self_invalidations_per_mreq: 0.0,
+        };
+        for r in &cgct.runs {
+            row.evicted_empty += r.rca.evicted_empty_fraction / n;
+            row.evicted_one += r.rca.evicted_one_line_fraction / n;
+            row.evicted_two += r.rca.evicted_two_lines_fraction / n;
+            row.mean_lines_per_region += r.rca.mean_lines_per_region / n;
+            let reqs = r.metrics.requests.total().max(1) as f64;
+            row.self_invalidations_per_mreq += r.rca.self_invalidations as f64 / reqs * 1e6 / n;
+        }
+        let base_ratio = base.l2_miss_ratio.mean();
+        let cgct_ratio = cgct.l2_miss_ratio.mean();
+        row.miss_ratio_increase = if base_ratio > 0.0 {
+            (cgct_ratio - base_ratio) / base_ratio
+        } else {
+            0.0
+        };
+        row
+    })
 }
 
 // -------------------------------------------------------------------

@@ -329,6 +329,53 @@ pub fn ascii_bars(rows: &[(String, f64)], width: usize) -> String {
     out
 }
 
+/// Renders the live progress line the parallel experiment runner
+/// prints to stderr: items done/total, elapsed seconds, throughput,
+/// and the remaining-time estimate extrapolated from the mean rate.
+///
+/// # Examples
+///
+/// ```
+/// use cgct_system::report::progress_line;
+/// let line = progress_line(10, 40, 5.0);
+/// assert_eq!(line, "10/40 items | 5s elapsed | 2.0 items/s | ETA 15s");
+/// assert_eq!(progress_line(0, 40, 0.0), "0/40 items | 0s elapsed");
+/// ```
+pub fn progress_line(done: usize, total: usize, elapsed_secs: f64) -> String {
+    let mut line = format!("{done}/{total} items | {elapsed_secs:.0}s elapsed");
+    if done > 0 && elapsed_secs > 0.0 {
+        let rate = done as f64 / elapsed_secs;
+        let eta = (total.saturating_sub(done)) as f64 / rate;
+        let _ = write!(line, " | {rate:.1} items/s | ETA {eta:.0}s");
+    }
+    line
+}
+
+/// Renders the slowest work items of a run as a markdown table —
+/// the human-readable companion to `results/timing.json`.
+pub fn render_timing(timings: &[(String, f64)], top: usize) -> String {
+    let total: f64 = timings.iter().map(|(_, s)| s).sum();
+    let mut sorted: Vec<&(String, f64)> = timings.iter().collect();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let body: Vec<Vec<String>> = sorted
+        .iter()
+        .take(top)
+        .map(|(label, secs)| {
+            vec![
+                label.clone(),
+                format!("{secs:.2}s"),
+                format!("{:.1}%", 100.0 * secs / total.max(f64::MIN_POSITIVE)),
+            ]
+        })
+        .collect();
+    format!(
+        "{} items, {total:.1}s of work; slowest {}:\n\n{}",
+        timings.len(),
+        body.len(),
+        markdown_table(&["item", "wall time", "share"], &body)
+    )
+}
+
 /// A paired-series ASCII chart: baseline vs CGCT per benchmark.
 pub fn ascii_paired(rows: &[(String, f64, f64)], width: usize) -> String {
     let max = rows
@@ -406,6 +453,28 @@ mod tests {
         assert_eq!(chart.lines().count(), 2);
         assert!(chart.contains("base"));
         assert!(chart.contains("cgct"));
+    }
+
+    #[test]
+    fn progress_line_reports_rate_and_eta() {
+        assert_eq!(
+            progress_line(25, 100, 50.0),
+            "25/100 items | 50s elapsed | 0.5 items/s | ETA 150s"
+        );
+        // Before the first completion there is no rate to extrapolate.
+        assert_eq!(progress_line(0, 100, 2.0), "0/100 items | 2s elapsed");
+        // Finished runs never report a negative ETA.
+        assert!(progress_line(100, 100, 50.0).ends_with("ETA 0s"));
+    }
+
+    #[test]
+    fn render_timing_sorts_by_cost() {
+        let t = render_timing(&[("fast".into(), 1.0), ("slow".into(), 3.0)], 10);
+        assert!(t.contains("2 items, 4.0s of work"));
+        let slow_at = t.find("| slow |").unwrap();
+        let fast_at = t.find("| fast |").unwrap();
+        assert!(slow_at < fast_at, "slowest item must come first:\n{t}");
+        assert!(t.contains("75.0%"));
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! Multi-seed experiment runner.
 //!
 //! The paper averages several perturbed runs per benchmark and reports
-//! 95% confidence intervals (§4). [`run_averaged`] does the same, fanning
-//! seeds out across OS threads.
+//! 95% confidence intervals (§4). [`run_averaged`] does the same,
+//! fanning seeds out across the deterministic thread pool
+//! ([`cgct_sim::pool`]). The unit of scheduling is a [`WorkItem`] — a
+//! `(benchmark, configuration, seed)` triple executed by a pure
+//! function — so results never depend on which worker ran what.
 
 use crate::config::SystemConfig;
 use crate::machine::{Machine, RunResult};
-use cgct_sim::RunningStats;
+use cgct_sim::{pool, RunningStats};
 use cgct_workloads::BenchmarkSpec;
 
 /// How much work one experiment runs.
@@ -46,6 +49,57 @@ impl RunPlan {
             base_seed: 1,
         }
     }
+
+    /// The root seed for perturbed run `run` of this plan.
+    ///
+    /// This is a pure function of the plan and the run index (run *i*
+    /// uses `base_seed + i`, the scheme the committed `results/*.json`
+    /// were generated with), so a [`WorkItem`] carries its seed from
+    /// the moment the work list is built — worker identity and
+    /// completion order can never leak into it. The seed becomes the
+    /// root of the machine's [`cgct_sim::SeedSequence`], from which
+    /// every per-component stream is derived. Keeping the same seed
+    /// for run *i* across coherence modes is load-bearing: speedup
+    /// confidence intervals pair baseline and CGCT runs by seed.
+    pub fn seed_for(&self, run: u64) -> u64 {
+        self.base_seed + run
+    }
+}
+
+/// One independent cell of an experiment sweep: a benchmark under a
+/// fully-adjusted configuration at one perturbation seed.
+///
+/// Executing a `WorkItem` is a pure function — the same item yields the
+/// same [`RunResult`] regardless of the thread that runs it or the
+/// order items complete in — which is what lets the pool collect
+/// results out of order and merge them canonically.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// The benchmark to run.
+    pub spec: BenchmarkSpec,
+    /// The system configuration (mode, topology, ablation toggles).
+    pub cfg: SystemConfig,
+    /// Root seed for this item's `SeedSequence` (see
+    /// [`RunPlan::seed_for`]).
+    pub seed: u64,
+}
+
+impl WorkItem {
+    /// A human-readable `benchmark/mode#seed` tag for progress lines
+    /// and `timing.json`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}#s{}",
+            self.spec.name,
+            self.cfg.mode.label(),
+            self.seed
+        )
+    }
+
+    /// Runs the item to completion under `plan`.
+    pub fn execute(&self, plan: &RunPlan) -> RunResult {
+        run_once(&self.cfg, &self.spec, self.seed, plan)
+    }
 }
 
 /// Mean/CI aggregation of several perturbed runs of one configuration.
@@ -72,7 +126,15 @@ pub struct AggregateResult {
 }
 
 impl AggregateResult {
-    fn from_runs(runs: Vec<RunResult>) -> AggregateResult {
+    /// Folds per-seed runs into mean/CI statistics. The fold order is
+    /// the order of `runs`, so callers must pass runs in ascending
+    /// seed-index order for bit-identical aggregates across worker
+    /// counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` is empty.
+    pub fn from_runs(runs: Vec<RunResult>) -> AggregateResult {
         let mut agg = AggregateResult {
             benchmark: runs[0].benchmark.clone(),
             mode: runs[0].mode.clone(),
@@ -113,28 +175,23 @@ pub fn run_once(cfg: &SystemConfig, spec: &BenchmarkSpec, seed: u64, plan: &RunP
     )
 }
 
-/// Runs `plan.runs` perturbed seeds of one configuration in parallel and
-/// aggregates them.
+/// Runs `plan.runs` perturbed seeds of one configuration on the
+/// deterministic pool (worker count from `CGCT_JOBS` or the machine's
+/// available parallelism) and aggregates them in seed order.
 ///
 /// # Panics
 ///
 /// Panics if `plan.runs` is zero or a worker thread panics.
 pub fn run_averaged(cfg: &SystemConfig, spec: &BenchmarkSpec, plan: &RunPlan) -> AggregateResult {
     assert!(plan.runs > 0, "need at least one run");
-    let results: Vec<RunResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..plan.runs)
-            .map(|i| {
-                let cfg = cfg.clone();
-                let spec = spec.clone();
-                let plan = *plan;
-                scope.spawn(move || run_once(&cfg, &spec, plan.base_seed + i, &plan))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("run thread panicked"))
-            .collect()
-    });
+    let items: Vec<WorkItem> = (0..plan.runs)
+        .map(|i| WorkItem {
+            spec: spec.clone(),
+            cfg: cfg.clone(),
+            seed: plan.seed_for(i),
+        })
+        .collect();
+    let results = pool::run(items, |_, item| item.execute(plan));
     AggregateResult::from_runs(results)
 }
 
@@ -179,6 +236,41 @@ mod tests {
         let b = run_once(&cfg, &spec, 3, &plan);
         assert_eq!(a.runtime_cycles, b.runtime_cycles);
         assert_eq!(a.metrics.broadcasts, b.metrics.broadcasts);
+    }
+
+    #[test]
+    fn work_item_is_pure_and_labeled() {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        });
+        let spec = by_name("barnes").unwrap();
+        let plan = RunPlan {
+            warmup_per_core: 0,
+            instructions_per_core: 1_000,
+            max_cycles: 1_000_000,
+            runs: 1,
+            base_seed: 4,
+        };
+        let item = WorkItem {
+            spec,
+            cfg,
+            seed: plan.seed_for(0),
+        };
+        assert_eq!(item.seed, 4);
+        assert_eq!(item.label(), "barnes/cgct-512B#s4");
+        let a = item.execute(&plan);
+        let b = item.execute(&plan);
+        assert_eq!(a.runtime_cycles, b.runtime_cycles);
+    }
+
+    #[test]
+    fn seeds_are_item_derived_and_mode_independent() {
+        let plan = RunPlan::smoke();
+        // The same run index maps to the same seed whatever the mode —
+        // speedup CIs pair baseline/CGCT runs by seed.
+        assert_eq!(plan.seed_for(0), plan.base_seed);
+        assert_eq!(plan.seed_for(3), plan.base_seed + 3);
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The parallel runner's core guarantee: results are a function of the
+//! work list, never of the worker count or scheduling order.
+//!
+//! These tests run the same tiny suite serially and on 2 and 8 workers
+//! and require *bit-identical* aggregates — not "close", identical —
+//! plus the `CGCT_JOBS=1` escape hatch degrading to the calling thread.
+
+use cgct_sim::pool;
+use cgct_system::experiments::Suite;
+use cgct_system::{CoherenceMode, RunPlan};
+
+fn tiny_plan() -> RunPlan {
+    RunPlan {
+        warmup_per_core: 0,
+        instructions_per_core: 1_200,
+        max_cycles: 2_000_000,
+        runs: 2,
+        base_seed: 5,
+    }
+}
+
+fn tiny_modes() -> Vec<CoherenceMode> {
+    vec![
+        CoherenceMode::Baseline,
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+    ]
+}
+
+/// Every observable output of a suite, flattened to exactly comparable
+/// values (u64 cycles and the raw bits of every f64 statistic).
+fn fingerprint(suite: &Suite) -> Vec<(String, String, Vec<u64>)> {
+    suite
+        .results
+        .iter()
+        .map(|((bench, mode), agg)| {
+            let mut words: Vec<u64> = agg.runs.iter().map(|r| r.runtime_cycles).collect();
+            words.extend(agg.runs.iter().map(|r| r.metrics.broadcasts));
+            words.push(agg.runtime.mean().to_bits());
+            words.push(agg.avoided_fraction.mean().to_bits());
+            words.push(agg.l2_miss_ratio.mean().to_bits());
+            words.push(agg.runtime.confidence_interval_95().half_width().to_bits());
+            (bench.clone(), mode.clone(), words)
+        })
+        .collect()
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    let plan = tiny_plan();
+    let modes = tiny_modes();
+    let serial = Suite::run_configured(plan, &modes, |c| c, 1, |_| {});
+    let two = Suite::run_configured(plan, &modes, |c| c, 2, |_| {});
+    let eight = Suite::run_configured(plan, &modes, |c| c, 8, |_| {});
+
+    let want = fingerprint(&serial);
+    assert!(!want.is_empty());
+    assert_eq!(fingerprint(&two), want, "2 workers diverged from serial");
+    assert_eq!(fingerprint(&eight), want, "8 workers diverged from serial");
+}
+
+#[test]
+fn timing_labels_stay_in_canonical_order() {
+    // Whatever order items *complete* in, the timing rows come back in
+    // build order: benchmark-major, then mode, then seed.
+    let plan = tiny_plan();
+    let modes = tiny_modes();
+    let suite = Suite::run_configured(plan, &modes, |c| c, 4, |_| {});
+    let labels: Vec<&str> = suite.timings.iter().map(|(l, _)| l.as_str()).collect();
+    let first_bench = cgct_workloads::all_benchmarks()[0].name;
+    assert_eq!(labels[0], format!("{first_bench}/baseline#s5"));
+    assert_eq!(labels[1], format!("{first_bench}/baseline#s6"));
+    assert_eq!(labels[2], format!("{first_bench}/cgct-512B#s5"));
+    assert_eq!(
+        labels.len(),
+        cgct_workloads::all_benchmarks().len() * modes.len() * plan.runs as usize
+    );
+}
+
+#[test]
+fn observer_sees_every_item_exactly_once() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let plan = tiny_plan();
+    let modes = tiny_modes();
+    let seen = AtomicUsize::new(0);
+    let suite = Suite::run_configured(
+        plan,
+        &modes,
+        |c| c,
+        3,
+        |report| {
+            seen.fetch_add(1, Ordering::SeqCst);
+            assert!(report.done >= 1 && report.done <= report.total);
+        },
+    );
+    assert_eq!(seen.load(Ordering::SeqCst), suite.timings.len());
+}
+
+#[test]
+fn cgct_jobs_one_degrades_to_the_calling_thread() {
+    // `--serial` (and CGCT_JOBS=1) must run items in order on the
+    // calling thread with no workers spawned. This test owns the env
+    // var: the other tests in this binary pass `jobs` explicitly and
+    // never read it, so there is no race.
+    std::env::set_var("CGCT_JOBS", "1");
+    assert_eq!(pool::jobs(), 1);
+    let main_thread = std::thread::current().id();
+    let order = pool::run(vec![10u64, 20, 30], |i, x| {
+        assert_eq!(std::thread::current().id(), main_thread);
+        (i, x)
+    });
+    assert_eq!(order, vec![(0, 10), (1, 20), (2, 30)]);
+    std::env::remove_var("CGCT_JOBS");
+
+    // Out-of-range and garbage values fall back to auto-detection.
+    assert_eq!(pool::jobs_from(Some("0")), pool::jobs_from(None));
+    assert_eq!(pool::jobs_from(Some("lots")), pool::jobs_from(None));
+}

@@ -5,14 +5,20 @@
 //! cargo run --release --example benchmark_explorer -- barnes baseline
 //! cargo run --release --example benchmark_explorer -- ocean scaled 1024
 //! cargo run --release --example benchmark_explorer -- tpc-w regionscout
+//! cargo run --release --example benchmark_explorer -- tpc-b cgct 512 8
 //! ```
+//!
+//! A fourth argument asks for that many perturbed seeds; they fan out
+//! across the deterministic thread pool (`CGCT_JOBS` controls the
+//! worker count) and are reported as mean ± 95% CI. The numbers do not
+//! depend on the worker count — only on the seeds.
 
-use cgct_system::{run_once, CoherenceMode, RunPlan, SystemConfig};
+use cgct_system::{run_averaged, run_once, CoherenceMode, RunPlan, SystemConfig};
 use cgct_workloads::{all_benchmarks, by_name};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: benchmark_explorer <benchmark> [baseline|cgct|scaled|regionscout] [region_bytes]"
+        "usage: benchmark_explorer <benchmark> [baseline|cgct|scaled|regionscout] [region_bytes] [runs]"
     );
     eprintln!(
         "benchmarks: {}",
@@ -50,12 +56,20 @@ fn main() {
         _ => usage(),
     };
 
+    let runs: u64 = args
+        .get(3)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(1);
+    if runs == 0 {
+        usage()
+    }
+
     let cfg = SystemConfig::paper_default(mode);
     let plan = RunPlan {
         warmup_per_core: 100_000,
         instructions_per_core: 60_000,
         max_cycles: 100_000_000,
-        runs: 1,
+        runs,
         base_seed: 7,
     };
     println!(
@@ -66,6 +80,52 @@ fn main() {
         plan.instructions_per_core,
         plan.warmup_per_core
     );
+
+    if runs > 1 {
+        // Multi-seed mode: fan the perturbed runs out across the pool
+        // and report mean ± 95% CI instead of one run's detail.
+        println!(
+            "averaging {} perturbed seeds on {} worker(s)",
+            runs,
+            cgct_sim::pool::jobs()
+        );
+        let agg = run_averaged(&cfg, &spec, &plan);
+        let rt = agg.runtime.confidence_interval_95();
+        println!();
+        println!(
+            "runtime:          {:.0} ± {:.0} cycles (95% CI over {} runs)",
+            agg.runtime.mean(),
+            rt.half_width(),
+            agg.runs.len()
+        );
+        println!(
+            "avoided fraction: {:.2}% ± {:.2}%",
+            agg.avoided_fraction.mean() * 100.0,
+            agg.avoided_fraction.confidence_interval_95().half_width() * 100.0
+        );
+        println!(
+            "L2 miss ratio:    {:.2}% ± {:.2}%",
+            agg.l2_miss_ratio.mean() * 100.0,
+            agg.l2_miss_ratio.confidence_interval_95().half_width() * 100.0
+        );
+        println!(
+            "avg traffic:      {:.1} broadcasts/window (peak {:.0})",
+            agg.avg_traffic.mean(),
+            agg.peak_traffic.max()
+        );
+        println!();
+        println!("per-seed runtimes (seed order, identical for any CGCT_JOBS):");
+        for (i, r) in agg.runs.iter().enumerate() {
+            println!(
+                "  seed {:>3}: {:>12} cycles (IPC {:.3})",
+                plan.seed_for(i as u64),
+                r.runtime_cycles,
+                r.ipc
+            );
+        }
+        return;
+    }
+
     let r = run_once(&cfg, &spec, 7, &plan);
 
     let ki = r.committed as f64 / 1000.0;

@@ -10,6 +10,12 @@ cargo build --release --workspace --offline
 echo "== test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== doctests (offline) =="
+cargo test -q --workspace --offline --doc
+
+echo "== rustdoc (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 # Style checks are best-effort: skipped (with a warning) when the
 # component is not installed, and fmt/clippy findings do not fail CI.
 echo "== fmt (best effort) =="
