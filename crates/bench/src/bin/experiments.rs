@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CGCT paper.
 //!
 //! ```text
-//! experiments <command> [--quick] [--serial] [--json <dir>]
+//! experiments <command> [--quick] [--serial] [--no-skip] [--json <dir>]
 //!
 //! commands:
 //!   table1 table2 table3 table4    analytic tables
@@ -48,6 +48,7 @@ struct Args {
     command: String,
     quick: bool,
     serial: bool,
+    no_skip: bool,
     json_dir: Option<String>,
 }
 
@@ -55,6 +56,7 @@ fn parse_args() -> Args {
     let mut command = "all".to_string();
     let mut quick = false;
     let mut serial = false;
+    let mut no_skip = false;
     let mut json_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -74,15 +76,18 @@ fn parse_args() -> Args {
                        sectoring                      sectored-cache miss ratios\n\
                        diag                           calibration diagnostics\n\
                        all                            everything, paper order\n\n\
-                     --quick   scaled-down plan (CI-friendly)\n\
-                     --serial  one worker, in-order (same output, no threads)\n\
-                     --json    also dump machine-readable results to <dir>\n\n\
+                     --quick    scaled-down plan (CI-friendly)\n\
+                     --serial   one worker, in-order (same output, no threads)\n\
+                     --no-skip  cycle-stepped reference loop (same output,\n\
+                                no wakeup-driven time skipping; slow)\n\
+                     --json     also dump machine-readable results to <dir>\n\n\
                      CGCT_JOBS=<n> overrides the worker count (default: all cores)"
                 );
                 std::process::exit(0);
             }
             "--quick" => quick = true,
             "--serial" => serial = true,
+            "--no-skip" => no_skip = true,
             "--json" => json_dir = it.next(),
             c if !c.starts_with('-') => command = c.to_string(),
             other => {
@@ -95,6 +100,7 @@ fn parse_args() -> Args {
         command,
         quick,
         serial,
+        no_skip,
         json_dir,
     }
 }
@@ -135,13 +141,16 @@ impl Progress {
 }
 
 /// Pool-maps `f` over `items`, recording per-item wall time under
-/// `prefix:<label>` and showing a live progress line.
+/// `prefix:<label>` and showing a live progress line. `cycles` extracts
+/// the simulated cycles an item covered (for the timing log's
+/// throughput columns); return `None` for non-simulation work.
 fn run_pooled<T, R, F>(
     jobs: usize,
     prefix: &str,
     labels: Vec<String>,
     items: Vec<T>,
     f: F,
+    cycles: impl Fn(&R) -> Option<u64>,
     timing: &mut TimingLog,
 ) -> Vec<R>
 where
@@ -156,8 +165,12 @@ where
         progress.tick(report.done, report.total);
     });
     progress.finish();
-    for (label, secs) in labels.into_iter().zip(seconds.into_inner().unwrap()) {
-        timing.record(format!("{prefix}:{label}"), secs);
+    let per_item = seconds.into_inner().unwrap();
+    for ((label, secs), result) in labels.into_iter().zip(per_item).zip(&out) {
+        match cycles(result) {
+            Some(c) => timing.record_run(format!("{prefix}:{label}"), secs, c),
+            None => timing.record(format!("{prefix}:{label}"), secs),
+        }
     }
     out
 }
@@ -313,6 +326,11 @@ fn main() {
         // fan-outs like rca_stats) down to one in-order worker.
         std::env::set_var("CGCT_JOBS", "1");
     }
+    if args.no_skip {
+        // Every Machine in the process falls back to the cycle-stepped
+        // reference loop; outputs must be byte-identical, only slower.
+        std::env::set_var("CGCT_NO_SKIP", "1");
+    }
     let jobs = pool::jobs();
     if let Some(dir) = &args.json_dir {
         if let Err(e) = prepare_output_dir(dir) {
@@ -377,11 +395,11 @@ fn main() {
             |report| progress.tick(report.done, report.total),
         );
         progress.finish();
-        timing.extend(
+        timing.extend_runs(
             suite
                 .timings
                 .iter()
-                .map(|(label, secs)| (format!("suite:{label}"), *secs)),
+                .map(|(label, secs, cycles)| (format!("suite:{label}"), *secs, *cycles)),
         );
         timing.record("phase:suite", suite_t0.elapsed().as_secs_f64());
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
@@ -548,6 +566,7 @@ fn run_sectoring_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mu
                 format!("{:.2}", sectored.mean_sector_occupancy()),
             ]
         },
+        |_| None,
         timing,
     );
     // A sparse pointer-chase (one line per sector over 2x the cache):
@@ -624,6 +643,7 @@ fn run_directory_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mu
             let cfg = SystemConfig::paper_default(mode);
             run_once(&cfg, &spec, plan.base_seed, &plan)
         },
+        |r| Some(r.runtime_cycles),
         timing,
     );
     let mut rows = Vec::new();
@@ -674,6 +694,7 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
             let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
             run_once(&cfg, &spec, plan.base_seed, &plan).runtime_cycles as f64
         },
+        |rt| Some(*rt as u64),
         timing,
     );
     eprintln!("region-sweep baselines done");
@@ -702,6 +723,7 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
             let r = run_once(&cfg, &spec, plan.base_seed, &plan);
             (r.runtime_cycles as f64, r.metrics.avoided_fraction())
         },
+        |(rt, _)| Some(*rt as u64),
         timing,
     );
     let mut rows = Vec::new();
@@ -776,6 +798,7 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
         labels,
         items,
         |_, (spec, cfg)| run_once(&cfg, &spec, plan.base_seed, &plan),
+        |r| Some(r.runtime_cycles),
         timing,
     );
     let mut rows = Vec::new();
@@ -842,6 +865,7 @@ fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingL
             cfg.topology = Topology::two_boards();
             run_once(&cfg, &spec, plan.base_seed, &plan)
         },
+        |r| Some(r.runtime_cycles),
         timing,
     );
     let mut rows = Vec::new();

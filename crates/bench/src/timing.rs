@@ -14,9 +14,36 @@ use cgct_sim::{Json, ToJson};
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// One timed entry in a [`TimingLog`]: a work item or command phase,
+/// plus — for entries that are actual simulations — the simulated
+/// cycles the item covered, so throughput (simulated cycles per
+/// wall-clock second) is derivable from artifacts alone.
+#[derive(Debug, Clone)]
+pub struct TimingRow {
+    /// `prefix:bench/mode#seed`-style identifier, canonical item order.
+    pub label: String,
+    /// Wall-clock seconds the item took on its worker.
+    pub seconds: f64,
+    /// Simulated cycles of the measured phase (`None` for rows that are
+    /// not simulations: command phases, analytic tables, cache models).
+    pub sim_cycles: Option<u64>,
+}
+
+impl TimingRow {
+    /// Simulated cycles per wall-clock second, or `None` for rows with
+    /// no cycle count (or an unmeasurably short wall time).
+    pub fn cycles_per_sec(&self) -> Option<f64> {
+        match self.sim_cycles {
+            Some(c) if self.seconds > 0.0 => Some(c as f64 / self.seconds),
+            _ => None,
+        }
+    }
+}
+
 /// Per-item wall-clock record of an experiments run, written to
 /// `<json-dir>/timing.json` so run-over-run speedup (serial vs
-/// `CGCT_JOBS=N`) is measurable from artifacts alone.
+/// `CGCT_JOBS=N`, cycle-skipping vs `--no-skip`) is measurable from
+/// artifacts alone.
 ///
 /// Unlike the figure outputs, timing is *not* expected to be
 /// byte-identical across runs — it is explicitly excluded from the
@@ -25,8 +52,8 @@ use std::time::{Duration, Instant};
 pub struct TimingLog {
     /// Worker threads the run used (1 for `--serial`).
     jobs: usize,
-    /// `(label, seconds)` per completed work item or command phase.
-    rows: Vec<(String, f64)>,
+    /// One row per completed work item or command phase.
+    rows: Vec<TimingRow>,
 }
 
 impl TimingLog {
@@ -38,14 +65,38 @@ impl TimingLog {
         }
     }
 
-    /// Appends one `(label, seconds)` row.
+    /// Appends one `(label, seconds)` row with no cycle count (command
+    /// phases and other non-simulation work).
     pub fn record(&mut self, label: impl Into<String>, seconds: f64) {
-        self.rows.push((label.into(), seconds));
+        self.rows.push(TimingRow {
+            label: label.into(),
+            seconds,
+            sim_cycles: None,
+        });
     }
 
-    /// Appends many rows (e.g. a suite's per-item timings).
+    /// Appends one simulation row: wall seconds plus the simulated
+    /// cycles the item covered.
+    pub fn record_run(&mut self, label: impl Into<String>, seconds: f64, sim_cycles: u64) {
+        self.rows.push(TimingRow {
+            label: label.into(),
+            seconds,
+            sim_cycles: Some(sim_cycles),
+        });
+    }
+
+    /// Appends many cycle-free rows (e.g. phase timings).
     pub fn extend(&mut self, rows: impl IntoIterator<Item = (String, f64)>) {
-        self.rows.extend(rows);
+        for (label, seconds) in rows {
+            self.record(label, seconds);
+        }
+    }
+
+    /// Appends many simulation rows (e.g. a suite's per-item timings).
+    pub fn extend_runs(&mut self, rows: impl IntoIterator<Item = (String, f64, u64)>) {
+        for (label, seconds, cycles) in rows {
+            self.record_run(label, seconds, cycles);
+        }
     }
 
     /// Number of rows recorded.
@@ -61,11 +112,16 @@ impl TimingLog {
     /// Sum of all recorded item times — the serial-equivalent cost of
     /// the work, to compare against actual wall-clock.
     pub fn total_seconds(&self) -> f64 {
-        self.rows.iter().map(|(_, s)| s).sum()
+        self.rows.iter().map(|r| r.seconds).sum()
+    }
+
+    /// Sum of simulated cycles over rows that carry one.
+    pub fn total_sim_cycles(&self) -> u64 {
+        self.rows.iter().filter_map(|r| r.sim_cycles).sum()
     }
 
     /// The recorded rows, in insertion order.
-    pub fn rows(&self) -> &[(String, f64)] {
+    pub fn rows(&self) -> &[TimingRow] {
         &self.rows
     }
 
@@ -82,8 +138,19 @@ impl ToJson for TimingLog {
         let items = Json::Array(
             self.rows
                 .iter()
-                .map(|(label, secs)| {
-                    Json::obj([("label", Json::str(label)), ("seconds", Json::f64(*secs))])
+                .map(|row| {
+                    let mut fields = vec![
+                        ("label", Json::str(&row.label)),
+                        ("seconds", Json::f64(row.seconds)),
+                    ];
+                    if let Some(c) = row.sim_cycles {
+                        fields.push(("sim_cycles", Json::u64(c)));
+                        fields.push((
+                            "cycles_per_sec",
+                            Json::f64(row.cycles_per_sec().unwrap_or(0.0)),
+                        ));
+                    }
+                    Json::obj(fields)
                 })
                 .collect(),
         );
@@ -91,6 +158,7 @@ impl ToJson for TimingLog {
             ("jobs", Json::u64(self.jobs as u64)),
             ("items", Json::u64(self.rows.len() as u64)),
             ("total_item_seconds", Json::f64(self.total_seconds())),
+            ("total_sim_cycles", Json::u64(self.total_sim_cycles())),
             ("timings", items),
         ])
     }
@@ -236,6 +304,45 @@ mod tests {
             Some("suite:barnes/baseline#s1")
         );
         assert_eq!(rows[1].get("seconds").and_then(Json::as_f64), Some(2.75));
+        // Cycle-free rows carry no throughput fields.
+        assert!(rows[0].get("sim_cycles").is_none());
+        assert!(rows[0].get("cycles_per_sec").is_none());
+    }
+
+    #[test]
+    fn simulation_rows_carry_cycles_and_throughput() {
+        let mut log = TimingLog::new(1);
+        log.record_run("suite:ocean/cgct-512B#s1", 0.5, 1_000_000);
+        log.extend_runs([("suite:ocean/cgct-512B#s2".to_string(), 0.25, 500_000u64)]);
+        log.record("phase:total", 0.75);
+        assert_eq!(log.total_sim_cycles(), 1_500_000);
+        assert_eq!(log.rows()[0].cycles_per_sec(), Some(2_000_000.0));
+        assert_eq!(log.rows()[2].cycles_per_sec(), None);
+        let v = Json::parse(&log.to_json().dump()).unwrap();
+        assert_eq!(
+            v.get("total_sim_cycles").and_then(Json::as_u64),
+            Some(1_500_000)
+        );
+        let rows = v.get("timings").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            rows[0].get("sim_cycles").and_then(Json::as_u64),
+            Some(1_000_000)
+        );
+        assert_eq!(
+            rows[1].get("cycles_per_sec").and_then(Json::as_f64),
+            Some(2_000_000.0)
+        );
+        assert!(rows[2].get("sim_cycles").is_none());
+        // A zero wall-time reading cannot produce an infinite rate.
+        let mut zero = TimingLog::new(1);
+        zero.record_run("x", 0.0, 10);
+        assert_eq!(zero.rows()[0].cycles_per_sec(), None);
+        let z = Json::parse(&zero.to_json().dump()).unwrap();
+        let zr = z.get("timings").and_then(Json::as_array).unwrap();
+        assert_eq!(
+            zr[0].get("cycles_per_sec").and_then(Json::as_f64),
+            Some(0.0)
+        );
     }
 
     #[test]

@@ -57,6 +57,10 @@ struct Way<E> {
 pub struct SetAssocArray<E> {
     sets: usize,
     ways: usize,
+    /// `sets - 1`, precomputed: the set index is `key & set_mask`.
+    set_mask: usize,
+    /// `log2(sets)`, precomputed: the tag is `key >> set_shift`.
+    set_shift: u32,
     storage: Vec<Way<E>>,
     clock: u64,
     len: usize,
@@ -82,6 +86,8 @@ impl<E> SetAssocArray<E> {
         SetAssocArray {
             sets,
             ways,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             storage,
             clock: 0,
             len: 0,
@@ -113,27 +119,43 @@ impl<E> SetAssocArray<E> {
         self.len == 0
     }
 
+    #[inline]
     fn set_index(&self, key: u64) -> usize {
-        (key as usize) & (self.sets - 1)
+        (key as usize) & self.set_mask
     }
 
+    #[inline]
     fn tag(&self, key: u64) -> u64 {
-        key >> self.sets.trailing_zeros()
+        key >> self.set_shift
     }
 
     fn key_from(&self, tag: u64, set: usize) -> u64 {
-        (tag << self.sets.trailing_zeros()) | set as u64
+        (tag << self.set_shift) | set as u64
     }
 
+    #[inline]
     fn set_range(&self, key: u64) -> std::ops::Range<usize> {
         let s = self.set_index(key);
         s * self.ways..(s + 1) * self.ways
     }
 
+    /// The hot path of every cache and RCA probe. Compares the tag
+    /// first: on the common miss path each way is rejected by one
+    /// integer compare, and the `Option` discriminant is only consulted
+    /// on a tag match (an empty way keeps its stale tag, so the validity
+    /// check cannot be dropped — a reinserted key may legitimately match
+    /// it).
+    #[inline]
     fn find(&self, key: u64) -> Option<usize> {
         let tag = self.tag(key);
-        self.set_range(key)
-            .find(|&i| self.storage[i].entry.is_some() && self.storage[i].tag == tag)
+        let start = self.set_index(key) * self.ways;
+        let ways = &self.storage[start..start + self.ways];
+        for (i, way) in ways.iter().enumerate() {
+            if way.tag == tag && way.entry.is_some() {
+                return Some(start + i);
+            }
+        }
+        None
     }
 
     /// Classifies what an insertion of `key` would encounter.
@@ -427,6 +449,33 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         let _: SetAssocArray<u8> = SetAssocArray::new(3, 2);
+    }
+
+    #[test]
+    fn lru_tie_breaks_on_lowest_way() {
+        // The public API hands every entry a unique clock stamp, but the
+        // victim policy must still be deterministic if stamps ever tie
+        // (`min_by_key` keeps the *first* minimum): replacement order is
+        // simulation-visible state, so a refactor that scanned ways
+        // backwards would silently change results only in tie cases.
+        let mut a: SetAssocArray<char> = SetAssocArray::new(1, 3);
+        a.insert_lru(0, 'a');
+        a.insert_lru(1, 'b');
+        a.insert_lru(2, 'c');
+        for way in &mut a.storage {
+            way.last_use = 7;
+        }
+        assert_eq!(a.insert_lru(3, 'd'), Some((0, 'a')));
+
+        // A strictly smaller stamp still beats position.
+        let mut b: SetAssocArray<char> = SetAssocArray::new(1, 3);
+        b.insert_lru(0, 'a');
+        b.insert_lru(1, 'b');
+        b.insert_lru(2, 'c');
+        b.storage[0].last_use = 7;
+        b.storage[1].last_use = 7;
+        b.storage[2].last_use = 3;
+        assert_eq!(b.insert_lru(3, 'd'), Some((2, 'c')));
     }
 
     #[test]

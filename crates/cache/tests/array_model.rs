@@ -1,7 +1,7 @@
 //! Model-based property tests: `SetAssocArray` against a reference
 //! implementation with explicit per-set LRU lists.
 
-use cgct_cache::SetAssocArray;
+use cgct_cache::{LookupOutcome, SetAssocArray};
 use cgct_sim::check::{check, gen_vec};
 use cgct_sim::Xoshiro256pp;
 use std::collections::HashMap;
@@ -131,6 +131,94 @@ fn matches_reference_lru_model() {
         model_pairs.sort_unstable();
         assert_eq!(real_pairs, model_pairs);
     });
+}
+
+/// A set drained by `remove` must behave exactly like a never-used set:
+/// reinsertions take free ways (no phantom evictions), and the stale
+/// tags the removed entries leave behind in their ways must never
+/// produce a hit — neither for the removed key itself nor for a
+/// different key whose tag happens to collide.
+#[test]
+fn insert_into_set_emptied_by_remove_uses_free_ways() {
+    let mut a: SetAssocArray<u32> = SetAssocArray::new(4, 2);
+    // Keys 1, 5, 9 all map to set 1 (tags 0, 1, 2).
+    a.insert_lru(1, 10);
+    a.insert_lru(5, 50);
+    assert_eq!(a.remove(1), Some(10));
+    assert_eq!(a.remove(5), Some(50));
+    assert_eq!(a.len(), 0);
+    assert_eq!(a.lookup(9), LookupOutcome::MissFree);
+    // Stale tags are invisible to probes...
+    assert!(!a.contains(1) && !a.contains(5));
+    assert_eq!(a.get(1), None);
+    assert_eq!(a.access(5), None);
+    // ...and to insertion: both ways are free again, nothing is evicted.
+    assert!(a.insert_lru(9, 90).is_none());
+    assert!(a.insert_lru(1, 11).is_none());
+    assert_eq!(a.len(), 2);
+    assert_eq!(a.lookup(5), LookupOutcome::MissFull);
+    assert_eq!(a.get(1), Some(&11));
+    assert_eq!(a.get(9), Some(&90));
+    assert!(!a.contains(5));
+}
+
+/// The branch-lean `find` fast path (tag compare first, validity only on
+/// a tag match) must classify probes exactly like a naive scan of the
+/// live contents — across hits, free-way misses, full-set misses, and
+/// the stale-tag ways that removals leave behind.
+#[test]
+fn lookup_and_contains_match_naive_reference() {
+    check(
+        "array_model::lookup_and_contains_match_naive_reference",
+        64,
+        |g| {
+            let sets = 1usize << g.gen_range(0usize..4);
+            let ways = g.gen_range(1usize..5);
+            let ops = gen_ops(g, 48);
+            let mut real: SetAssocArray<u32> = SetAssocArray::new(sets, ways);
+            // Naive reference: the live (key, value) pairs, scanned linearly.
+            let mut naive: Vec<(u64, u32)> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        // A replace-on-hit reports the key itself as the
+                        // displaced pair, so a single retain covers both it
+                        // and a genuine eviction.
+                        if let Some((victim, _)) = real.insert_lru(k, v) {
+                            naive.retain(|&(nk, _)| nk != victim);
+                        }
+                        naive.push((k, v));
+                    }
+                    Op::Access(k) => {
+                        real.touch(k);
+                    }
+                    Op::Get(_) => {}
+                    Op::Remove(k) => {
+                        real.remove(k);
+                        naive.retain(|&(nk, _)| nk != k);
+                    }
+                }
+                // Probe every key in range, present or not: the fast path
+                // and the naive scan must agree on all of them.
+                for k in 0..48u64 {
+                    let hit = naive.iter().any(|&(nk, _)| nk == k);
+                    assert_eq!(real.contains(k), hit, "contains({k})");
+                    let in_set = naive
+                        .iter()
+                        .filter(|&&(nk, _)| (nk as usize) % sets == (k as usize) % sets)
+                        .count();
+                    let want = if hit {
+                        LookupOutcome::Hit
+                    } else if in_set < ways {
+                        LookupOutcome::MissFree
+                    } else {
+                        LookupOutcome::MissFull
+                    };
+                    assert_eq!(real.lookup(k), want, "lookup({k})");
+                }
+            }
+        },
+    );
 }
 
 #[test]

@@ -32,12 +32,29 @@ pub trait MemoryInterface {
     fn dcbz(&mut self, now: Cycle, addr: Addr) -> Cycle;
 }
 
+/// The earliest cycle at which a core might make progress again.
+///
+/// Returned by [`Core::tick`]. The contract: ticking the core at any
+/// cycle strictly before `self.0` is an observational no-op — it
+/// commits nothing, issues nothing, drains nothing, fetches nothing,
+/// and makes no [`MemoryInterface`] call — so a driver may skip
+/// straight to `self.0` without changing any architectural outcome.
+/// The value may be conservative (earlier than the real next event);
+/// early ticks are merely wasted work, never wrong. Per-tick stall
+/// statistics ([`CoreStats::fetch_stall_cycles`],
+/// [`CoreStats::store_buffer_stall_cycles`], [`CoreStats::cycles`])
+/// count *executed* ticks only, so they shrink under a skipping
+/// driver; they are diagnostics, not architectural state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wakeup(pub Cycle);
+
 /// Aggregate core statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions committed.
     pub committed: u64,
-    /// Cycles simulated.
+    /// Cycles this core was actually ticked (equals wall-clock cycles
+    /// only under a non-skipping driver).
     pub cycles: u64,
     /// Cycles fetch was stalled (icache miss, misprediction redirect).
     pub fetch_stall_cycles: u64,
@@ -65,7 +82,6 @@ impl CoreStats {
 #[derive(Debug, Clone, Copy)]
 struct RobEntry {
     uop: Uop,
-    seq: u64,
     issued: bool,
     done_at: Cycle,
     /// This entry is a mispredicted branch: fetch resumes a pipeline
@@ -96,9 +112,20 @@ pub struct Core {
     /// Mispredicted branches in flight; fetch stalls while non-zero.
     redirects_in_flight: usize,
     fetch_stall_until: Cycle,
-    rob: VecDeque<RobEntry>,
+    /// Reorder buffer as a power-of-two ring indexed by `seq & rob_mask`.
+    /// Valid entries are exactly `head_seq..next_seq`; producer lookups
+    /// and the issue scan become direct slice indexing instead of deque
+    /// walks.
+    rob: Vec<RobEntry>,
+    rob_mask: u64,
     head_seq: u64,
     next_seq: u64,
+    /// Entries in `head_seq..next_seq` not yet issued. Zero lets the
+    /// issue stage return without scanning at all.
+    unissued: usize,
+    /// Lower bound on the first unissued seq: every entry below it is
+    /// issued, so the issue scan starts here instead of at the head.
+    first_unissued_seq: u64,
     lsq_occupancy: usize,
     store_buffer: VecDeque<(StoreKind, Addr)>,
     stores_in_flight: Vec<Cycle>,
@@ -113,7 +140,7 @@ impl std::fmt::Debug for Core {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Core")
             .field("committed", &self.stats.committed)
-            .field("rob_occupancy", &self.rob.len())
+            .field("rob_occupancy", &self.rob_len())
             .field("fetch_queue", &self.fetch_queue.len())
             .finish()
     }
@@ -123,6 +150,13 @@ impl Core {
     /// Creates a core with the given configuration and a paper-default
     /// branch predictor.
     pub fn new(cfg: CoreConfig) -> Self {
+        let ring = cfg.rob.next_power_of_two().max(1);
+        let placeholder = RobEntry {
+            uop: Uop::simple(0, UopKind::IntAlu),
+            issued: false,
+            done_at: Cycle::ZERO,
+            redirect: false,
+        };
         Core {
             cfg,
             bpred: BranchPredictor::paper_default(),
@@ -132,9 +166,12 @@ impl Core {
             fetch_line_ready: Cycle::ZERO,
             redirects_in_flight: 0,
             fetch_stall_until: Cycle::ZERO,
-            rob: VecDeque::new(),
+            rob: vec![placeholder; ring],
+            rob_mask: ring as u64 - 1,
             head_seq: 0,
             next_seq: 0,
+            unissued: 0,
+            first_unissued_seq: 0,
             lsq_occupancy: 0,
             store_buffer: VecDeque::new(),
             stores_in_flight: Vec::new(),
@@ -158,35 +195,177 @@ impl Core {
         &self.bpred
     }
 
+    fn rob_len(&self) -> usize {
+        (self.next_seq - self.head_seq) as usize
+    }
+
+    #[inline]
+    fn rob_at(&self, seq: u64) -> &RobEntry {
+        &self.rob[(seq & self.rob_mask) as usize]
+    }
+
     /// Whether all buffered work (ROB + store buffer) has drained.
     pub fn quiesced(&self, now: Cycle) -> bool {
-        self.rob.is_empty()
+        self.head_seq == self.next_seq
             && self.store_buffer.is_empty()
             && self.stores_in_flight.iter().all(|&t| t <= now)
     }
 
     /// Advances the core by one cycle: commit, issue, dispatch, fetch
     /// (reverse pipeline order so each instruction spends at least a cycle
-    /// per stage). Returns the number of instructions committed this
-    /// cycle.
+    /// per stage). Returns the [`Wakeup`] cycle: if any stage made
+    /// progress this tick, `now + 1`; otherwise the earliest pending
+    /// completion event (fill arrival, store retirement, fetch-line
+    /// ready, redirect refill), before which every tick would be a
+    /// no-op.
     pub fn tick(
         &mut self,
         now: Cycle,
         mem: &mut dyn MemoryInterface,
         src: &mut dyn UopSource,
-    ) -> u64 {
+    ) -> Wakeup {
         self.stats.cycles += 1;
         self.retire_load_mshrs(now);
         self.drain_store_buffer(now, mem);
         let committed = self.commit(now);
-        self.issue(now, mem);
-        self.dispatch();
-        self.fetch(now, mem, src);
-        committed
+        let issue_force = self.issue(now, mem);
+        let dispatched = self.dispatch();
+        let fetched = self.fetch(now, mem, src);
+        // A stage forces a `now + 1` wakeup only when it will have work
+        // next cycle that no recorded completion event covers:
+        //   - fetch consumed the stream and may consume more (stalls are
+        //     covered by `fetch_line_ready` / `fetch_stall_until`);
+        //   - dispatch moved uops into the ROB — they may issue next
+        //     cycle (their producers can already be complete);
+        //   - issue was cut short by per-cycle limits (functional units,
+        //     issue width, issue window) that reset next cycle — see
+        //     [`Core::issue`]; producer / MSHR stalls instead resolve at
+        //     completion times `next_event` already tracks;
+        //   - commit exhausted its width with work left (a store-buffer
+        //     or head-not-done block resolves at a recorded event);
+        //   - the store buffer holds entries (pushed by commit after the
+        //     drain stage ran) that a free write MSHR can accept.
+        // Everything else a stalled core waits for — fills, store
+        // retirements, fetch-line arrival, redirect refill — completes
+        // at a cycle `next_event` returns.
+        // Fetch continues next cycle only if it ran to its width: queue
+        // space left and neither stall timer armed (an icache stall
+        // recorded here always reaches past `now + 1`).
+        let fetch_force = fetched
+            && self.redirects_in_flight == 0
+            && self.fetch_line_ready <= now + 1
+            && self.fetch_queue.len() < self.cfg.fetch_queue;
+        // Dispatch has work next cycle if uops wait (including ones fetch
+        // pushed after dispatch ran) and the ROB/LSQ can take the front.
+        let can_dispatch_next = self.rob_len() < self.cfg.rob
+            && match self.fetch_queue.front() {
+                Some(f) => !(f.uop.kind.is_mem() && self.lsq_occupancy >= self.cfg.lsq),
+                None => false,
+            };
+        let force = fetch_force
+            || dispatched > 0
+            || can_dispatch_next
+            || issue_force
+            || committed >= self.cfg.commit_width as u64
+            || (!self.store_buffer.is_empty()
+                && self.stores_in_flight.len() < self.cfg.store_mshrs);
+        if force {
+            return Wakeup(now + 1);
+        }
+        self.next_event(now)
     }
 
-    fn retire_load_mshrs(&mut self, now: Cycle) {
+    /// The earliest cycle after `now` at which a fully-stalled core can
+    /// change state. Sound because every stall in this model resolves at
+    /// a completion time that is already recorded somewhere in the core:
+    /// issued ROB entries (`done_at` gates both commit and dependent
+    /// issue, and redirect resolution), in-flight stores (gate the store
+    /// buffer and, through it, commit), load MSHRs (gate load issue when
+    /// the file is full), and the two fetch stalls. If no event is
+    /// pending the conservative answer `now + 1` keeps the driver live.
+    fn next_event(&self, now: Cycle) -> Wakeup {
+        let mut wake = u64::MAX;
+        // Commit is enabled by the head's completion. (A head that is
+        // already complete but store-buffer-blocked waits on a store
+        // retirement, picked up below — a full buffer implies in-flight
+        // stores.) A still-unissued head is reached through the issue
+        // events next.
+        if self.head_seq != self.next_seq {
+            let h = self.rob_at(self.head_seq);
+            if h.issued && h.done_at > now {
+                wake = wake.min(h.done_at.0);
+            }
+        }
+        // Issue is enabled when the producer of an unissued entry inside
+        // the issue window completes. Producers that are themselves
+        // unissued sit earlier in the same window, so their own
+        // producers' events cover them transitively; producers already
+        // complete mean the entry was schedulable this tick and the
+        // forcing rules in `tick` handled it.
+        let mut scanned = 0;
+        for seq in self.first_unissued_seq.max(self.head_seq)..self.next_seq {
+            let e = self.rob_at(seq);
+            if e.issued {
+                continue;
+            }
+            scanned += 1;
+            if scanned > self.cfg.issue_window {
+                break;
+            }
+            if e.uop.dep_dist == 0 {
+                continue;
+            }
+            let Some(producer_seq) = seq.checked_sub(e.uop.dep_dist as u64) else {
+                continue;
+            };
+            if producer_seq < self.head_seq {
+                continue;
+            }
+            let p = self.rob_at(producer_seq);
+            if p.issued && p.done_at > now {
+                wake = wake.min(p.done_at.0);
+            }
+        }
+        // A fill retirement frees a load MSHR, unblocking an MSHR-full
+        // load in the window (these mostly coincide with producer
+        // completions above).
+        for idx in 0..self.load_mshrs.capacity() {
+            if let Some(&done) = self.load_mshrs.get_primary(cgct_cache::MshrId(idx)) {
+                if done > now {
+                    wake = wake.min(done.0);
+                }
+            }
+        }
+        // Store retirements matter only while the buffer has a backlog
+        // to drain (which also covers a store-buffer-blocked commit).
+        if !self.store_buffer.is_empty() {
+            for &t in &self.stores_in_flight {
+                if t > now {
+                    wake = wake.min(t.0);
+                }
+            }
+        }
+        // Fetch stalls matter only when fetch could otherwise run: queue
+        // space and no unresolved redirect (a redirect resolves through
+        // the issue events above, which set `fetch_stall_until` anew).
+        if self.redirects_in_flight == 0 && self.fetch_queue.len() < self.cfg.fetch_queue {
+            if self.fetch_line_ready > now {
+                wake = wake.min(self.fetch_line_ready.0);
+            }
+            if self.fetch_stall_until > now {
+                wake = wake.min(self.fetch_stall_until.0);
+            }
+        }
+        if wake == u64::MAX {
+            Wakeup(now + 1)
+        } else {
+            Wakeup(Cycle(wake))
+        }
+    }
+
+    fn retire_load_mshrs(&mut self, now: Cycle) -> bool {
         // Free registers whose fills have arrived.
+        let mut any = false;
         for idx in 0..self.load_mshrs.capacity() {
             let id = cgct_cache::MshrId(idx);
             let done = match self.load_mshrs.get_primary(id) {
@@ -195,19 +374,23 @@ impl Core {
             };
             if done <= now {
                 let _ = self.load_mshrs.complete(id);
+                any = true;
             }
         }
+        any
     }
 
-    fn drain_store_buffer(&mut self, now: Cycle, mem: &mut dyn MemoryInterface) {
+    fn drain_store_buffer(&mut self, now: Cycle, mem: &mut dyn MemoryInterface) -> bool {
         // Committed stores issue in order but may overlap in flight up to
         // the write-MSHR limit; the memory system applies their coherence
         // effects at issue time, preserving store order for SC.
         self.stores_in_flight.retain(|&t| t > now);
+        let mut any = false;
         while self.stores_in_flight.len() < self.cfg.store_mshrs {
             let Some((kind, addr)) = self.store_buffer.pop_front() else {
-                return;
+                return any;
             };
+            any = true;
             let done = match kind {
                 StoreKind::Store => mem.store(now, addr),
                 StoreKind::Dcbz => mem.dcbz(now, addr),
@@ -216,12 +399,16 @@ impl Core {
                 self.stores_in_flight.push(done);
             }
         }
+        any
     }
 
     fn commit(&mut self, now: Cycle) -> u64 {
         let mut committed = 0;
         while committed < self.cfg.commit_width as u64 {
-            let Some(head) = self.rob.front() else { break };
+            if self.head_seq == self.next_seq {
+                break;
+            }
+            let head = self.rob_at(self.head_seq);
             if !head.issued || head.done_at > now {
                 break;
             }
@@ -251,57 +438,79 @@ impl Core {
                     StoreKind::Dcbz => self.stats.dcbz_ops += 1,
                 }
             }
-            let entry = self.rob.pop_front().expect("head exists");
-            if entry.uop.kind.is_mem() {
+            if self.rob_at(self.head_seq).uop.kind.is_mem() {
                 self.lsq_occupancy -= 1;
             }
-            self.head_seq = entry.seq + 1;
+            self.head_seq += 1;
             self.stats.committed += 1;
             committed += 1;
         }
         committed
     }
 
-    fn producer_ready(&self, entry_idx: usize, now: Cycle) -> bool {
-        let entry = &self.rob[entry_idx];
-        if entry.uop.dep_dist == 0 {
+    /// Whether the in-window register producer of the entry at `seq` has
+    /// a result available.
+    #[inline]
+    fn producer_ready(&self, seq: u64, dep_dist: u8, now: Cycle) -> bool {
+        if dep_dist == 0 {
             return true;
         }
-        let Some(producer_seq) = entry.seq.checked_sub(entry.uop.dep_dist as u64) else {
+        let Some(producer_seq) = seq.checked_sub(dep_dist as u64) else {
             return true;
         };
         if producer_seq < self.head_seq {
             return true; // producer already retired
         }
-        let idx = (producer_seq - self.head_seq) as usize;
-        let p = &self.rob[idx];
+        let p = self.rob_at(producer_seq);
         p.issued && p.done_at <= now
     }
 
-    fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryInterface) {
+    /// Issue stage. Returns whether issue must run again next cycle
+    /// because a *per-cycle* limit cut it short: a functional unit ran
+    /// out, the issue width was exhausted with unissued entries left, or
+    /// the issue window was exceeded after at least one issue widened
+    /// it. Entries blocked on producers or MSHRs instead wait for
+    /// completion events that [`Core::next_event`] reports.
+    fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryInterface) -> bool {
+        if self.unissued == 0 {
+            return false;
+        }
         let mut issued = 0;
         let mut scanned_unissued = 0;
+        let mut fu_blocked = false;
+        let mut window_break = false;
         let mut int_alu = self.cfg.int_alu;
         let mut int_mult = self.cfg.int_mult;
         let mut fp_alu = self.cfg.fp_alu;
         let mut fp_mult = self.cfg.fp_mult;
         let mut mem_ports = self.cfg.mem_ports;
-        for i in 0..self.rob.len() {
+        // The scan leaves behind a new lower bound on the first unissued
+        // entry; `None` until the first entry left unissued is seen.
+        let mut next_hint: Option<u64> = None;
+        let start = self.first_unissued_seq.max(self.head_seq);
+        for seq in start..self.next_seq {
             if issued >= self.cfg.issue_width {
+                if next_hint.is_none() {
+                    next_hint = Some(seq);
+                }
                 break;
             }
-            if self.rob[i].issued {
+            let e = self.rob_at(seq);
+            if e.issued {
                 continue;
             }
             scanned_unissued += 1;
             if scanned_unissued > self.cfg.issue_window {
+                window_break = true;
+                if next_hint.is_none() {
+                    next_hint = Some(seq);
+                }
                 break;
             }
-            if !self.producer_ready(i, now) {
-                continue;
-            }
-            let kind = self.rob[i].uop.kind;
-            // Functional-unit availability.
+            let dep_dist = e.uop.dep_dist;
+            let kind = e.uop.kind;
+            // Functional-unit availability (checked before the producer
+            // lookup: it is cheaper and both must pass).
             let fu = match kind {
                 UopKind::IntAlu | UopKind::Branch { .. } => &mut int_alu,
                 UopKind::IntMult => &mut int_mult,
@@ -312,12 +521,25 @@ impl Core {
                 }
             };
             if *fu == 0 {
+                fu_blocked = true;
+                if next_hint.is_none() {
+                    next_hint = Some(seq);
+                }
+                continue;
+            }
+            if !self.producer_ready(seq, dep_dist, now) {
+                if next_hint.is_none() {
+                    next_hint = Some(seq);
+                }
                 continue;
             }
             // A load to a line not already in flight needs a free MSHR.
             if let UopKind::Load { addr, .. } = kind {
                 let line = LineAddr(addr.0 >> 6);
                 if self.load_mshrs.is_full() && self.load_mshrs.find(line).is_none() {
+                    if next_hint.is_none() {
+                        next_hint = Some(seq);
+                    }
                     continue;
                 }
             }
@@ -345,7 +567,7 @@ impl Core {
                 // access happens post-commit via the store buffer.
                 UopKind::Store { .. } | UopKind::Dcbz { .. } => now + 1,
             };
-            let entry = &mut self.rob[i];
+            let entry = &mut self.rob[(seq & self.rob_mask) as usize];
             entry.issued = true;
             entry.done_at = done_at;
             if entry.redirect {
@@ -355,13 +577,25 @@ impl Core {
                     .max(done_at + self.cfg.mispredict_penalty);
                 self.redirects_in_flight -= 1;
             }
+            self.unissued -= 1;
             issued += 1;
         }
+        // Everything below the hint is issued; with nothing left over the
+        // next unissued entry can only be a future dispatch at
+        // `next_seq` or beyond.
+        self.first_unissued_seq = next_hint.unwrap_or(self.next_seq);
+        // Width and window breaks only matter if unissued entries remain
+        // beyond the cut (width) or newly inside the window (window —
+        // which shifts only when something issued).
+        fu_blocked
+            || (issued >= self.cfg.issue_width && self.unissued > 0)
+            || (window_break && issued > 0)
     }
 
-    fn dispatch(&mut self) {
+    fn dispatch(&mut self) -> usize {
+        let mut dispatched = 0;
         for _ in 0..self.cfg.dispatch_width {
-            if self.rob.len() >= self.cfg.rob {
+            if self.rob_len() >= self.cfg.rob {
                 break;
             }
             let Some(front) = self.fetch_queue.front() else {
@@ -374,26 +608,36 @@ impl Core {
             if f.uop.kind.is_mem() {
                 self.lsq_occupancy += 1;
             }
-            self.rob.push_back(RobEntry {
+            // `first_unissued_seq <= next_seq` always holds, so the new
+            // unissued entry never invalidates the hint.
+            self.rob[(self.next_seq & self.rob_mask) as usize] = RobEntry {
                 uop: f.uop,
-                seq: self.next_seq,
                 issued: false,
                 done_at: Cycle::ZERO,
                 redirect: f.redirect,
-            });
+            };
             self.next_seq += 1;
+            self.unissued += 1;
+            dispatched += 1;
         }
+        dispatched
     }
 
-    fn fetch(&mut self, now: Cycle, mem: &mut dyn MemoryInterface, src: &mut dyn UopSource) {
+    fn fetch(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemoryInterface,
+        src: &mut dyn UopSource,
+    ) -> bool {
         if self.redirects_in_flight > 0 || now < self.fetch_stall_until {
             self.stats.fetch_stall_cycles += 1;
-            return;
+            return false;
         }
         if self.fetch_line_ready > now {
             self.stats.fetch_stall_cycles += 1;
-            return;
+            return false;
         }
+        let mut any = false;
         for _ in 0..self.cfg.fetch_width {
             if self.fetch_queue.len() >= self.cfg.fetch_queue {
                 break;
@@ -411,6 +655,9 @@ impl Core {
                     FetchedUop { uop, redirect }
                 }
             };
+            // Consuming the stream (or the pending slot) is progress even
+            // if the icache stalls the line below.
+            any = true;
             // Instruction cache: fetching a new line may stall.
             let line = fetched.uop.pc >> 6;
             if self.current_fetch_line != Some(line) {
@@ -431,6 +678,7 @@ impl Core {
                 break;
             }
         }
+        any
     }
 }
 

@@ -21,10 +21,12 @@ pub struct Suite {
     pub results: BTreeMap<(String, String), AggregateResult>,
     /// The plan every configuration ran with.
     pub plan: RunPlan,
-    /// Wall-clock seconds per work item, in canonical item order
-    /// (benchmark-major, then mode, then seed) — the raw material for
-    /// `results/timing.json`.
-    pub timings: Vec<(String, f64)>,
+    /// `(label, wall seconds, simulated cycles)` per work item, in
+    /// canonical item order (benchmark-major, then mode, then seed) —
+    /// the raw material for `results/timing.json`. Cycles are the
+    /// item's measured-phase `runtime_cycles`, so simulation
+    /// throughput (cycles/sec) is derivable per item.
+    pub timings: Vec<(String, f64, u64)>,
 }
 
 /// The paper's standard mode set: baseline plus CGCT at the three region
@@ -115,6 +117,7 @@ impl Suite {
                 observe(report);
             },
         );
+        let cycles: Vec<u64> = runs.iter().map(|r| r.runtime_cycles).collect();
         // Merge out-of-order completions back in canonical order: the
         // items for configuration group `g` are the contiguous chunk
         // `g*runs .. (g+1)*runs`, already in ascending seed order.
@@ -132,6 +135,8 @@ impl Suite {
         let timings = labels
             .into_iter()
             .zip(seconds.into_inner().expect("timing poisoned"))
+            .zip(cycles)
+            .map(|((label, secs), cyc)| (label, secs, cyc))
             .collect();
         Suite {
             results,

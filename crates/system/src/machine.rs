@@ -78,6 +78,24 @@ pub struct Machine {
     mem: MemorySystem,
     now: Cycle,
     benchmark: String,
+    /// Per-core wakeup times from the last tick (see
+    /// [`cgct_cpu::Wakeup`]); `now` jumps to their minimum when
+    /// `cycle_skip` is on.
+    wakeups: Vec<Cycle>,
+    /// Event-driven time advancement (default). Disabled by the
+    /// `CGCT_NO_SKIP` env var (or [`Machine::set_cycle_skip`]), which
+    /// restores the plain cycle-stepped loop for A/B validation.
+    cycle_skip: bool,
+}
+
+/// Whether cycle skipping is enabled for new machines: true unless the
+/// `CGCT_NO_SKIP` environment variable is set to something other than
+/// `0` or empty.
+fn cycle_skip_default() -> bool {
+    !matches!(
+        std::env::var("CGCT_NO_SKIP").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    )
 }
 
 impl std::fmt::Debug for Machine {
@@ -114,6 +132,8 @@ impl Machine {
             mem,
             now: Cycle::ZERO,
             benchmark: spec.name.to_string(),
+            wakeups: vec![Cycle::ZERO; n],
+            cycle_skip: cycle_skip_default(),
         }
     }
 
@@ -143,7 +163,31 @@ impl Machine {
             mem,
             now: Cycle::ZERO,
             benchmark: label.to_string(),
+            wakeups: vec![Cycle::ZERO; n],
+            cycle_skip: cycle_skip_default(),
         }
+    }
+
+    /// Overrides the `CGCT_NO_SKIP` default for this machine: `false`
+    /// forces the plain cycle-stepped loop, `true` the event-driven one.
+    /// The two are observationally equivalent (see
+    /// `tests/cycle_skip_equivalence.rs`); the cycle-stepped loop exists
+    /// as the trusted reference.
+    pub fn set_cycle_skip(&mut self, enabled: bool) {
+        self.cycle_skip = enabled;
+    }
+
+    /// Whether this machine advances time event-driven (cycle skipping).
+    pub fn cycle_skip(&self) -> bool {
+        self.cycle_skip
+    }
+
+    /// Total core ticks actually executed, summed across cores. Under
+    /// the cycle-stepped loop this is (cores x cycles each core ran);
+    /// under cycle skipping it is smaller by exactly the number of
+    /// skipped no-op ticks — the speedup diagnostic.
+    pub fn executed_ticks(&self) -> u64 {
+        self.cores.iter().map(|c| c.stats().cycles).sum()
     }
 
     /// Read access to the memory system (tests, inspection).
@@ -183,28 +227,64 @@ impl Machine {
         self.result(truncated, instructions_per_core)
     }
 
+    /// Runs cores until each has committed `committed_target`
+    /// instructions or `now` reaches the (exclusive) `max_cycles` cap.
+    ///
+    /// With cycle skipping on, `now` jumps to the minimum wakeup across
+    /// unfinished cores after each round; otherwise it steps by one.
+    /// Both modes tick the same cores with the same `now` at every cycle
+    /// where any core makes progress, so the sequence of memory-system
+    /// calls — and with it every architectural outcome — is identical.
+    /// The cap is exclusive: no core is ever ticked at a cycle >=
+    /// `max_cycles`, and a truncated run stops with `now == max_cycles`
+    /// in both modes.
     fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
         let n = self.cores.len();
         loop {
             let mut all_done = true;
             for i in 0..n {
-                if self.cores[i].committed() >= committed_target {
-                    continue;
+                if self.cores[i].committed() < committed_target {
+                    all_done = false;
+                    break;
                 }
-                all_done = false;
-                let mut port = Port {
-                    mem: &mut self.mem,
-                    core: CoreId(i),
-                };
-                self.cores[i].tick(self.now, &mut port, &mut *self.threads[i]);
             }
             if all_done {
                 return false;
             }
-            self.now += 1;
             if self.now.0 >= max_cycles {
                 return true;
             }
+            for i in 0..n {
+                if self.cores[i].committed() >= committed_target {
+                    continue;
+                }
+                if self.cycle_skip && self.wakeups[i] > self.now {
+                    continue;
+                }
+                let mut port = Port {
+                    mem: &mut self.mem,
+                    core: CoreId(i),
+                };
+                let w = self.cores[i].tick(self.now, &mut port, &mut *self.threads[i]);
+                self.wakeups[i] = w.0;
+            }
+            let mut next = self.now.0 + 1;
+            if self.cycle_skip {
+                // Jump to the earliest wakeup among cores still running.
+                // Every unfinished core's wakeup is > now here (ticked
+                // cores returned >= now + 1; skipped ones were already
+                // ahead), so next only moves forward.
+                let mut earliest = u64::MAX;
+                for i in 0..n {
+                    if self.cores[i].committed() < committed_target {
+                        earliest = earliest.min(self.wakeups[i].0);
+                    }
+                }
+                if earliest != u64::MAX && earliest > next {
+                    next = earliest;
+                }
+            }
+            self.now = Cycle(next.min(max_cycles));
         }
     }
 

@@ -1,0 +1,98 @@
+//! Cycle skipping must be invisible: advancing `now` straight to the
+//! next wakeup instead of ticking stalled cores may change how fast the
+//! simulator runs, never what it computes.
+//!
+//! Every benchmark runs under every coherence mode twice — once with the
+//! event-driven loop (the default) and once with the plain cycle-stepped
+//! reference (`CGCT_NO_SKIP` / `Machine::set_cycle_skip(false)`) — and
+//! the two `RunResult`s must be *bit-identical*: same `runtime_cycles`,
+//! same memory metrics to the last counter, same RCA statistics, same
+//! perturbation-RNG draws. Any drift means a wakeup was reported too
+//! late (a tick that mattered got skipped) and is a correctness bug, not
+//! a tolerance question.
+
+use cgct_system::{CoherenceMode, Machine, RunResult, SystemConfig};
+use cgct_workloads::all_benchmarks;
+
+fn run_mode(mode: CoherenceMode, bench: &str, seed: u64, skip: bool) -> (RunResult, Machine) {
+    let cfg = SystemConfig::paper_default(mode);
+    let spec = all_benchmarks()
+        .iter()
+        .find(|s| s.name == bench)
+        .expect("benchmark exists")
+        .clone();
+    let mut m = Machine::new(cfg, &spec, seed);
+    m.set_cycle_skip(skip);
+    let r = m.run_warmed(500, 1500, 2_000_000);
+    (r, m)
+}
+
+/// Every field of a `RunResult`, flattened to an exactly-comparable
+/// string. `Debug` for `f64` prints the shortest round-trip
+/// representation, so two results format equal iff they are bit-equal
+/// (modulo -0.0, which never arises from these counters).
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+fn modes() -> Vec<CoherenceMode> {
+    vec![
+        CoherenceMode::Baseline,
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        CoherenceMode::Scaled {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        CoherenceMode::RegionScout { region_bytes: 512 },
+        CoherenceMode::Directory,
+    ]
+}
+
+#[test]
+fn skip_and_no_skip_agree_on_every_benchmark_and_mode() {
+    for spec in all_benchmarks() {
+        for mode in modes() {
+            let label = format!("{}/{}", spec.name, mode.label());
+            let (skip, m) = run_mode(mode, spec.name, 42, true);
+            let (noskip, _) = run_mode(mode, spec.name, 42, false);
+            assert!(!skip.truncated, "{label}: truncated");
+            assert_eq!(
+                skip.runtime_cycles, noskip.runtime_cycles,
+                "{label}: runtime diverged"
+            );
+            assert_eq!(
+                fingerprint(&skip),
+                fingerprint(&noskip),
+                "{label}: results diverged"
+            );
+            // The run must also leave a coherent machine behind (this
+            // exercises the region-line reverse index validation).
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}
+
+/// The cycle cap is exclusive and truncation lands on the identical
+/// cycle in both modes — including the once-off-by-one case where the
+/// warmup phase itself exhausts the cap.
+#[test]
+fn truncation_is_identical_across_modes() {
+    for &(warmup, instr, cap) in &[(0u64, 1_000_000u64, 700u64), (1_000_000, 1_000, 700)] {
+        let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
+        let spec = all_benchmarks()[0].clone();
+        let mut a = Machine::new(cfg.clone(), &spec, 9);
+        a.set_cycle_skip(true);
+        let ra = a.run_warmed(warmup, instr, cap);
+        let mut b = Machine::new(cfg, &spec, 9);
+        b.set_cycle_skip(false);
+        let rb = b.run_warmed(warmup, instr, cap);
+        assert!(ra.truncated && rb.truncated);
+        assert_eq!(a.now().0, cap, "skip mode must stop exactly at the cap");
+        assert_eq!(b.now().0, cap, "no-skip mode must stop exactly at the cap");
+        assert_eq!(fingerprint(&ra), fingerprint(&rb));
+    }
+}

@@ -33,6 +33,9 @@ pub struct WorkloadThread {
     phase_idx: usize,
     phase_remaining: u64,
     cursors: Vec<Cursor>,
+    /// Current phase's stream weights, cached so the per-uop hot path
+    /// never allocates.
+    weights: Vec<f32>,
     // Code state.
     pc: u64,
     loop_start: u64,
@@ -57,6 +60,7 @@ impl WorkloadThread {
         let code_base = map.base(Segment::Code).0;
         let pc = code_base;
         let n_streams = spec.phases[0].streams.len();
+        let weights: Vec<f32> = spec.phases[0].streams.iter().map(|s| s.weight).collect();
         let phase_remaining = spec.phases[0].instructions;
         // Desynchronize cores slightly so lockstep artifacts don't arise.
         let skew = rng.gen_range(0..64);
@@ -67,6 +71,7 @@ impl WorkloadThread {
             phase_idx: 0,
             phase_remaining,
             cursors: vec![Cursor::default(); n_streams],
+            weights,
             pc,
             loop_start: pc,
             loop_pos: 0,
@@ -95,6 +100,9 @@ impl WorkloadThread {
         self.phase_idx = idx;
         self.phase_remaining = self.spec.phases[idx].instructions;
         self.cursors = vec![Cursor::default(); self.spec.phases[idx].streams.len()];
+        self.weights.clear();
+        self.weights
+            .extend(self.spec.phases[idx].streams.iter().map(|s| s.weight));
     }
 
     fn advance_pc(&mut self) -> u64 {
@@ -116,13 +124,8 @@ impl WorkloadThread {
     }
 
     fn gen_mem_kind(&mut self) -> UopKind {
-        // Weighted stream selection.
-        let weights: Vec<f32> = self.spec.phases[self.phase_idx]
-            .streams
-            .iter()
-            .map(|s| s.weight)
-            .collect();
-        let idx = self.rng.choose_weighted(&weights);
+        // Weighted stream selection (weights cached per phase).
+        let idx = self.rng.choose_weighted(&self.weights);
         let s = self.spec.phases[self.phase_idx].streams[idx];
         let cur = &mut self.cursors[idx];
         if cur.run_left == 0 {
@@ -130,7 +133,13 @@ impl WorkloadThread {
             cur.pos = self.rng.gen_range(0..slots) * s.stride as u64;
             cur.run_left = self.rng.gen_range(1..=s.run_length.max(1) * 2);
         } else {
-            cur.pos = (cur.pos + s.stride as u64) % s.working_set;
+            let next = cur.pos + s.stride as u64;
+            // Division is the hot-path cost here; wrap only when needed.
+            cur.pos = if next >= s.working_set {
+                next % s.working_set
+            } else {
+                next
+            };
             cur.run_left -= 1;
         }
         let addr = self.map.resolve(s.segment, cur.pos);

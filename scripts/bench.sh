@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# A/B benchmark of the event-driven execution loop against the
+# cycle-stepped reference (see DESIGN.md, "Time advancement").
+#
+# Runs `experiments all --quick` twice on one worker (CGCT_JOBS=1) with
+# pinned seeds — once with cycle skipping (the default), once with
+# --no-skip — byte-compares every figure artifact between the runs, and
+# writes BENCH_cgct.json with wall-clock seconds, simulated cycles/sec,
+# and the speedup ratio. The speedup is only reported if the artifacts
+# are byte-identical: it must be the cost of simulating the *same*
+# machine trajectory, not a different one.
+#
+# Usage: scripts/bench.sh [output.json]
+#   CGCT_BENCH_CMD=fig7  restrict to one command (default: all)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_cgct.json}"
+cmd="${CGCT_BENCH_CMD:-all}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+echo "== build (release, offline) =="
+cargo build --release -p cgct-bench --offline
+
+bin=target/release/experiments
+
+run_mode() { # $1 = skip|noskip, extra flag in $2 (may be empty)
+    local tag="$1" flag="${2:-}"
+    mkdir -p "$workdir/$tag"
+    local t0 t1
+    t0=$(date +%s%N)
+    # shellcheck disable=SC2086
+    CGCT_JOBS=1 "$bin" "$cmd" --quick $flag --json "$workdir/$tag" \
+        > "$workdir/$tag.md" 2> "$workdir/$tag.log"
+    t1=$(date +%s%N)
+    echo $(( (t1 - t0) / 1000000 )) # milliseconds
+}
+
+echo "== $cmd --quick, event-driven loop (CGCT_JOBS=1) =="
+skip_ms=$(run_mode skip "")
+echo "   ${skip_ms} ms"
+
+echo "== $cmd --quick, cycle-stepped reference (--no-skip) =="
+noskip_ms=$(run_mode noskip "--no-skip")
+echo "   ${noskip_ms} ms"
+
+echo "== comparing artifacts =="
+identical=true
+for f in "$workdir"/skip/*.json; do
+    name="$(basename "$f")"
+    [ "$name" = timing.json ] && continue # wall times differ by design
+    if ! cmp -s "$f" "$workdir/noskip/$name"; then
+        echo "MISMATCH: $name differs between skip and no-skip"
+        identical=false
+    fi
+done
+if ! cmp -s "$workdir/skip.md" "$workdir/noskip.md"; then
+    echo "MISMATCH: report markdown differs between skip and no-skip"
+    identical=false
+fi
+if [ "$identical" != true ]; then
+    echo "bench.sh: FAILED — modes disagree; speedup would be meaningless" >&2
+    exit 1
+fi
+echo "   all artifacts byte-identical"
+
+# total_sim_cycles is identical in both runs (same trajectory); read it
+# from the skip run's timing.json.
+sim_cycles=$(grep -o '"total_sim_cycles": [0-9]*' "$workdir/skip/timing.json" \
+    | head -1 | grep -o '[0-9]*')
+sim_cycles=${sim_cycles:-0}
+
+# Fixed-point arithmetic (no bc in the image): x1000 for three decimals.
+speedup_milli=$(( noskip_ms * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
+skip_cps=$(( sim_cycles * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
+noskip_cps=$(( sim_cycles * 1000 / (noskip_ms > 0 ? noskip_ms : 1) ))
+
+cat > "$out" <<EOF
+{
+  "command": "experiments $cmd --quick",
+  "jobs": 1,
+  "artifacts_identical": true,
+  "total_sim_cycles": $sim_cycles,
+  "skip": {
+    "wall_seconds": $((skip_ms / 1000)).$(printf '%03d' $((skip_ms % 1000))),
+    "sim_cycles_per_sec": $skip_cps
+  },
+  "no_skip": {
+    "wall_seconds": $((noskip_ms / 1000)).$(printf '%03d' $((noskip_ms % 1000))),
+    "sim_cycles_per_sec": $noskip_cps
+  },
+  "speedup": $((speedup_milli / 1000)).$(printf '%03d' $((speedup_milli % 1000)))
+}
+EOF
+echo "== wrote $out =="
+cat "$out"

@@ -32,4 +32,9 @@ else
     echo "clippy not installed; skipping"
 fi
 
+echo "== bench harness smoke (one command, quick) =="
+smoke_out="$(mktemp)"
+CGCT_BENCH_CMD=directory scripts/bench.sh "$smoke_out"
+rm -f "$smoke_out"
+
 echo "ci.sh: OK"
