@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CGCT paper.
 //!
 //! ```text
-//! experiments <command> [--quick] [--serial] [--no-skip] [--json <dir>]
+//! experiments <command> [--quick] [--serial] [--no-skip] [--sanitize] [--json <dir>]
 //!
 //! commands:
 //!   table1 table2 table3 table4    analytic tables
@@ -49,6 +49,7 @@ struct Args {
     quick: bool,
     serial: bool,
     no_skip: bool,
+    sanitize: bool,
     json_dir: Option<String>,
 }
 
@@ -57,6 +58,7 @@ fn parse_args() -> Args {
     let mut quick = false;
     let mut serial = false;
     let mut no_skip = false;
+    let mut sanitize = false;
     let mut json_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -80,6 +82,9 @@ fn parse_args() -> Args {
                      --serial   one worker, in-order (same output, no threads)\n\
                      --no-skip  cycle-stepped reference loop (same output,\n\
                                 no wakeup-driven time skipping; slow)\n\
+                     --sanitize runtime coherence sanitizer: re-check the\n\
+                                global coherence invariants during every\n\
+                                run (same output, slower)\n\
                      --json     also dump machine-readable results to <dir>\n\n\
                      CGCT_JOBS=<n> overrides the worker count (default: all cores)"
                 );
@@ -88,6 +93,7 @@ fn parse_args() -> Args {
             "--quick" => quick = true,
             "--serial" => serial = true,
             "--no-skip" => no_skip = true,
+            "--sanitize" => sanitize = true,
             "--json" => json_dir = it.next(),
             c if !c.starts_with('-') => command = c.to_string(),
             other => {
@@ -101,6 +107,7 @@ fn parse_args() -> Args {
         quick,
         serial,
         no_skip,
+        sanitize,
         json_dir,
     }
 }
@@ -330,6 +337,12 @@ fn main() {
         // Every Machine in the process falls back to the cycle-stepped
         // reference loop; outputs must be byte-identical, only slower.
         std::env::set_var("CGCT_NO_SKIP", "1");
+    }
+    if args.sanitize {
+        // Every MemorySystem in the process re-checks the global
+        // coherence invariants as it runs (read-only: outputs must be
+        // byte-identical, the runs just take longer).
+        std::env::set_var("CGCT_SANITIZE", "1");
     }
     let jobs = pool::jobs();
     if let Some(dir) = &args.json_dir {

@@ -9,6 +9,9 @@
 //! This library exposes the shared experiment scales so the binary and
 //! the benches agree on what "quick" and "full" mean.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use cgct_system::RunPlan;
 
 pub mod timing;

@@ -18,6 +18,9 @@
 //! assert!(MoesiState::Modified.is_dirty());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod addr;
 pub mod array;
 pub mod config;

@@ -1,0 +1,188 @@
+//! Property suite for the MSHR file: random operation sequences checked
+//! against a naive insertion-ordered reference model.
+
+use cgct_cache::{LineAddr, MshrFile};
+use cgct_sim::check::check;
+use cgct_sim::rng::Xoshiro256pp;
+
+/// The obviously-correct reference: a capacity-bounded list of
+/// `(line, waiters)` pairs in allocation order. No slot indices, no
+/// reuse logic — just the architectural contract.
+struct Reference {
+    capacity: usize,
+    entries: Vec<(u64, Vec<u32>)>,
+}
+
+impl Reference {
+    fn new(capacity: usize) -> Self {
+        Reference {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// A miss for `line` with token `waiter`: merge if tracked, allocate
+    /// if there is room, refuse otherwise. Returns whether it fit.
+    fn miss(&mut self, line: u64, waiter: u32) -> bool {
+        if let Some((_, w)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            w.push(waiter);
+            true
+        } else if self.entries.len() < self.capacity {
+            self.entries.push((line, vec![waiter]));
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complete(&mut self, line: u64) -> Vec<u32> {
+        let i = self
+            .entries
+            .iter()
+            .position(|(l, _)| *l == line)
+            .expect("completing a tracked line");
+        self.entries.remove(i).1
+    }
+}
+
+/// Cross-checks every observable of the real file against the reference.
+fn assert_agrees(m: &MshrFile<u32>, r: &Reference, step: usize) {
+    assert_eq!(m.in_use(), r.entries.len(), "step {step}: in_use");
+    assert_eq!(
+        m.is_full(),
+        r.entries.len() == r.capacity,
+        "step {step}: is_full"
+    );
+    for (line, waiters) in &r.entries {
+        let id = m
+            .find(LineAddr(*line))
+            .unwrap_or_else(|| panic!("step {step}: line {line} lost"));
+        assert_eq!(m.line(id), LineAddr(*line), "step {step}: line accessor");
+        assert_eq!(
+            m.primary(id),
+            waiters.first().expect("allocation recorded a waiter"),
+            "step {step}: primary waiter"
+        );
+        assert_eq!(
+            m.get_primary(id),
+            waiters.first(),
+            "step {step}: get_primary"
+        );
+    }
+}
+
+/// One random op: a miss to a line from a small pool (forcing merges and
+/// capacity pressure) or a completion of a random tracked line.
+fn random_step(
+    g: &mut Xoshiro256pp,
+    m: &mut MshrFile<u32>,
+    r: &mut Reference,
+    next_token: &mut u32,
+    step: usize,
+) {
+    let complete = !r.entries.is_empty() && g.gen_range(0u32..3) == 0;
+    if complete {
+        let line = r.entries[g.gen_range(0..r.entries.len())].0;
+        let expected = r.complete(line);
+        let id = m.find(LineAddr(line)).expect("tracked line has a slot");
+        let (got_line, got_waiters) = m.complete(id);
+        // Fill/release ordering: waiters come back in exact arrival
+        // order (primary first, merges after, FIFO).
+        assert_eq!(got_line, LineAddr(line), "step {step}: completed line");
+        assert_eq!(got_waiters, expected, "step {step}: waiter order");
+        assert_eq!(m.find(LineAddr(line)), None, "step {step}: slot freed");
+    } else {
+        let line = g.gen_range(0u64..12);
+        let token = *next_token;
+        *next_token += 1;
+        let had_slot = m.find(LineAddr(line));
+        let fits = r.miss(line, token);
+        match had_slot {
+            // Merge-on-match: a tracked line never allocates a second
+            // slot, it joins the existing one.
+            Some(id) => {
+                assert!(fits);
+                m.add_waiter(id, token);
+                assert_eq!(m.find(LineAddr(line)), Some(id), "step {step}: merged");
+            }
+            None => {
+                let allocated = m.allocate(LineAddr(line), token);
+                // Capacity refusal: allocation fails exactly when the
+                // file is full.
+                assert_eq!(allocated.is_some(), fits, "step {step}: capacity");
+                if let Some(id) = allocated {
+                    assert_eq!(m.line(id), LineAddr(line));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn random_sequences_match_the_reference_model() {
+    check("mshr matches reference", 256, |g| {
+        let capacity = g.gen_range(1usize..6);
+        let mut m: MshrFile<u32> = MshrFile::new(capacity);
+        let mut r = Reference::new(capacity);
+        let mut next_token = 0u32;
+        let steps = g.gen_range(10usize..120);
+        for step in 0..steps {
+            random_step(g, &mut m, &mut r, &mut next_token, step);
+            assert_agrees(&m, &r, step);
+        }
+    });
+}
+
+#[test]
+fn draining_returns_every_waiter_exactly_once() {
+    check("mshr conserves waiters", 128, |g| {
+        let capacity = g.gen_range(1usize..5);
+        let mut m: MshrFile<u32> = MshrFile::new(capacity);
+        let mut r = Reference::new(capacity);
+        let mut next_token = 0u32;
+        let mut refused = 0u32;
+        for _ in 0..g.gen_range(5usize..60) {
+            let line = g.gen_range(0u64..8);
+            let token = next_token;
+            next_token += 1;
+            match m.find(LineAddr(line)) {
+                Some(id) => m.add_waiter(id, token),
+                None => {
+                    if m.allocate(LineAddr(line), token).is_none() {
+                        refused += 1;
+                    }
+                }
+            }
+            r.miss(line, token);
+        }
+        // Drain everything; each accepted token appears exactly once.
+        let mut seen: Vec<u32> = Vec::new();
+        while let Some((line, _)) = r.entries.first().cloned() {
+            let id = m.find(LineAddr(line)).expect("tracked");
+            let (_, waiters) = m.complete(id);
+            assert_eq!(waiters, r.complete(line), "waiter order on drain");
+            seen.extend(waiters);
+        }
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(seen.len() as u32 + refused, next_token, "tokens conserved");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len() as u32 + refused, next_token, "no duplicates");
+    });
+}
+
+#[test]
+fn slots_recycle_under_sustained_pressure() {
+    check("mshr slot recycling", 64, |g| {
+        let mut m: MshrFile<u32> = MshrFile::new(2);
+        for round in 0..g.gen_range(3usize..20) {
+            let a = m.allocate(LineAddr(round as u64 * 2), 0).expect("slot");
+            let b = m.allocate(LineAddr(round as u64 * 2 + 1), 1).expect("slot");
+            assert!(m.is_full());
+            assert_eq!(m.allocate(LineAddr(999), 2), None, "full file refuses");
+            m.complete(a);
+            m.complete(b);
+            assert_eq!(m.in_use(), 0, "all slots recycled");
+        }
+    });
+}

@@ -38,7 +38,8 @@
 //! assert_eq!(s.permission(ReqKind::Upgrade), RegionPermission::CompleteLocally);
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod jetty;
 pub mod overhead;

@@ -14,6 +14,9 @@
 //! completion time. Wrong-path instructions are not simulated; a branch
 //! misprediction costs the pipeline-refill bubble.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bpred;
 pub mod config;
 pub mod core;

@@ -19,6 +19,9 @@
 //! assert_eq!(lat.direct_memory_access(DistanceClass::SameChip), 181);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod bus;
 pub mod latency;
 pub mod memctrl;

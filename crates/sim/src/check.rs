@@ -99,12 +99,7 @@ pub fn gen_vec<T>(
 
 /// FNV-1a over the property name, used to derive its seed stream.
 fn name_hash(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    crate::hash::fnv1a(name.as_bytes())
 }
 
 #[cfg(test)]

@@ -1,0 +1,101 @@
+//! Deterministic, seed-free hashing for reproducible data structures.
+//!
+//! `std`'s default hasher is randomly seeded per process, so the
+//! iteration order of a `HashMap` — and anything derived from it —
+//! varies run to run. Most of the workspace avoids that by never
+//! iterating hash maps on result-affecting paths, but the model checker
+//! (`cgct-verify`) and the property harness want hashing that is
+//! *stable across processes*: identical inputs must explore identical
+//! orders and print identical diagnostics.
+//!
+//! This module provides FNV-1a (the same function the property harness
+//! uses to derive per-property seed streams) as a [`std::hash::Hasher`],
+//! plus map/set aliases built on it.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_sim::hash::{fnv1a, StableHashSet};
+//!
+//! assert_eq!(fnv1a(b"region"), fnv1a(b"region"));
+//! let mut seen: StableHashSet<u64> = StableHashSet::default();
+//! assert!(seen.insert(42));
+//! assert!(!seen.insert(42));
+//! ```
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a offset basis (64-bit).
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// One-shot FNV-1a over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a hasher. Deterministic: no per-process seed.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// Builds [`Fnv1a`] hashers; usable as a `HashMap`/`HashSet` hasher.
+pub type BuildFnv1a = BuildHasherDefault<Fnv1a>;
+
+/// A `HashMap` with process-independent (FNV-1a) hashing.
+pub type StableHashMap<K, V> = std::collections::HashMap<K, V, BuildFnv1a>;
+
+/// A `HashSet` with process-independent (FNV-1a) hashing.
+pub type StableHashSet<T> = std::collections::HashSet<T, BuildFnv1a>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::default();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn map_and_set_work_with_integer_keys() {
+        let mut m: StableHashMap<u64, &str> = StableHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let s: StableHashSet<u32> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+    }
+}

@@ -18,10 +18,12 @@
 //! assert_eq!((t, ev), (Cycle(5), "dram ready"));
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod check;
 pub mod event;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod rng;

@@ -25,6 +25,9 @@
 //! println!("runtime: {} cycles", result.runtime_cycles);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod directory;
 pub mod energy;

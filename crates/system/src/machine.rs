@@ -195,6 +195,17 @@ impl Machine {
         &self.mem
     }
 
+    /// Enables or disables the runtime coherence sanitizer for this
+    /// machine (overriding the `CGCT_SANITIZE` default).
+    pub fn set_sanitize(&mut self, enabled: bool) {
+        self.mem.set_sanitize(enabled);
+    }
+
+    /// Mutable access to the memory system (sanitizer configuration).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> Cycle {
         self.now
@@ -224,6 +235,13 @@ impl Machine {
         truncated |= self.run_until(warmup_per_core + instructions_per_core, max_cycles);
         let end = Cycle(self.now.0.saturating_sub(self.mem.metrics_epoch().0));
         self.mem.metrics.finish(end);
+        if self.mem.sanitize() {
+            // End-of-run walk: periodic checks can miss a violation that
+            // appears in the final stretch of the run.
+            if let Err(err) = self.mem.check_invariants() {
+                panic!("coherence sanitizer (end of run): {err}");
+            }
+        }
         self.result(truncated, instructions_per_core)
     }
 
@@ -433,6 +451,36 @@ mod tests {
         assert_ne!(
             (a.runtime_cycles, a.metrics.broadcasts),
             (b.runtime_cycles, b.metrics.broadcasts)
+        );
+    }
+
+    #[test]
+    fn sanitized_run_is_byte_identical_and_actually_checks() {
+        let mode = CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        };
+        let (plain, _) = tiny_run(mode, 5);
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        let spec = by_name("ocean").unwrap();
+        let mut m = Machine::new(cfg, &spec, 5);
+        m.set_sanitize(true);
+        m.memory_mut().set_sanitize_interval(500);
+        let sanitized = m.run(3000, 2_000_000);
+        // The sanitizer is read-only: every architectural outcome must
+        // match the unsanitized run exactly.
+        assert_eq!(sanitized.runtime_cycles, plain.runtime_cycles);
+        assert_eq!(sanitized.committed, plain.committed);
+        assert_eq!(sanitized.metrics.broadcasts, plain.metrics.broadcasts,);
+        assert_eq!(
+            sanitized.metrics.requests.total(),
+            plain.metrics.requests.total()
+        );
+        // And it must actually have walked the invariants along the way.
+        assert!(
+            m.memory().sanitize_checks() > 0,
+            "no periodic sanitizer walks ran"
         );
     }
 

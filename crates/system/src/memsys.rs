@@ -295,6 +295,41 @@ pub struct MemorySystem {
     metrics_epoch: Cycle,
     perturb: Xoshiro256pp,
     sample_countdown: u32,
+    /// Runtime coherence sanitizer (`CGCT_SANITIZE=1` or
+    /// [`MemorySystem::set_sanitize`]): re-checks the global invariants
+    /// every `sanitize_interval` coherence-point requests and validates
+    /// every no-broadcast decision against the actual remote states.
+    /// Strictly read-only over the architectural and metric state, so a
+    /// sanitized run produces byte-identical results.
+    sanitize: bool,
+    sanitize_interval: u64,
+    sanitize_countdown: u64,
+    sanitize_checks: u64,
+    /// Nesting depth of [`MemorySystem::coherent_request`] — fills can
+    /// trigger evictions whose write-backs re-enter the engine, and the
+    /// sanitizer must only walk the invariants once the outermost request
+    /// has fully committed its state changes.
+    request_depth: u32,
+}
+
+/// Whether the sanitizer is on for new memory systems: true when the
+/// `CGCT_SANITIZE` environment variable is set to something other than
+/// empty or `0`.
+fn sanitize_default() -> bool {
+    matches!(
+        std::env::var("CGCT_SANITIZE").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    )
+}
+
+/// Requests between full invariant walks: `CGCT_SANITIZE_INTERVAL`
+/// (minimum 1), default 65536.
+fn sanitize_interval_default() -> u64 {
+    std::env::var("CGCT_SANITIZE_INTERVAL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(65_536)
+        .max(1)
 }
 
 impl MemorySystem {
@@ -346,7 +381,55 @@ impl MemorySystem {
             mcs,
             perturb: Xoshiro256pp::seed_from_u64(seed ^ 0xC6A4_A793_5BD1_E995),
             sample_countdown: 10_000,
+            sanitize: sanitize_default(),
+            sanitize_interval: sanitize_interval_default(),
+            sanitize_countdown: sanitize_interval_default(),
+            sanitize_checks: 0,
+            request_depth: 0,
             cfg,
+        }
+    }
+
+    /// Enables or disables the runtime coherence sanitizer (overriding
+    /// the `CGCT_SANITIZE` default).
+    pub fn set_sanitize(&mut self, enabled: bool) {
+        self.sanitize = enabled;
+        self.sanitize_countdown = self.sanitize_interval;
+    }
+
+    /// Whether the runtime coherence sanitizer is enabled.
+    pub fn sanitize(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Overrides the number of coherence-point requests between full
+    /// sanitizer walks (overriding `CGCT_SANITIZE_INTERVAL`; minimum 1).
+    pub fn set_sanitize_interval(&mut self, every: u64) {
+        self.sanitize_interval = every.max(1);
+        self.sanitize_countdown = self.sanitize_interval;
+    }
+
+    /// Number of full invariant walks the sanitizer has run.
+    pub fn sanitize_checks(&self) -> u64 {
+        self.sanitize_checks
+    }
+
+    /// One sanitizer step, taken as each top-level coherence-point
+    /// request completes: every `sanitize_interval` requests, walk the
+    /// complete cross-node invariant set.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the violated invariant's description — a sanitized
+    /// run must die loudly rather than publish corrupt results.
+    fn sanitize_tick(&mut self) {
+        self.sanitize_countdown -= 1;
+        if self.sanitize_countdown == 0 {
+            self.sanitize_countdown = self.sanitize_interval;
+            self.sanitize_checks += 1;
+            if let Err(err) = self.check_invariants() {
+                panic!("coherence sanitizer: {err}");
+            }
         }
     }
 
@@ -521,7 +604,29 @@ impl MemorySystem {
     /// Issues a coherence-point request and applies all state changes
     /// atomically; returns the completion time. For data requests the
     /// line is filled into the requester's L2.
+    ///
+    /// Nested requests (eviction write-backs out of
+    /// [`MemorySystem::fill_l2`]) re-enter here; the sanitizer tick only
+    /// fires once the outermost request has committed, when the global
+    /// state is consistent again.
     fn coherent_request(
+        &mut self,
+        core: CoreId,
+        now: Cycle,
+        req: ReqKind,
+        line: LineAddr,
+        prefetch: bool,
+    ) -> Cycle {
+        self.request_depth += 1;
+        let done = self.coherent_request_inner(core, now, req, line, prefetch);
+        self.request_depth -= 1;
+        if self.request_depth == 0 && self.sanitize {
+            self.sanitize_tick();
+        }
+        done
+    }
+
+    fn coherent_request_inner(
         &mut self,
         core: CoreId,
         now: Cycle,
@@ -547,8 +652,7 @@ impl MemorySystem {
         match permission {
             RegionPermission::CompleteLocally => {
                 self.metrics.local.record(category);
-                #[cfg(debug_assertions)]
-                self.assert_direct_is_safe(core, req, line);
+                self.check_direct_decision(core, req, line);
                 self.nodes[core.0].tracker.local_complete(
                     region,
                     FillKind::Exclusive,
@@ -562,11 +666,11 @@ impl MemorySystem {
             }
             RegionPermission::DirectToMemory => {
                 self.metrics.direct.record(category);
-                // Safety net (debug builds): a direct request must never
-                // be issued when the broadcast was actually required —
-                // this is the CGCT-transparency invariant.
-                #[cfg(debug_assertions)]
-                self.assert_direct_is_safe(core, req, line);
+                // Safety net: a direct request must never be issued when
+                // the broadcast was actually required — this is the
+                // CGCT-transparency invariant. Always on in debug builds,
+                // and in release builds under the sanitizer.
+                self.check_direct_decision(core, req, line);
                 if req == ReqKind::Writeback {
                     // Fire-and-forget: deliver to the controller, done.
                     let _ = self.reserve_data_port(core, now);
@@ -1292,16 +1396,96 @@ impl MemorySystem {
                 }
             }
         }
+        // 5. Region-claim conservatism: a region state must never
+        //    under-report line states. A locally-clean entry (CI/CC/CD)
+        //    may only cover unmodified (S) lines, and an externally-clean
+        //    claim (CC/DC) means every *other* node's lines of the region
+        //    are S.
+        let mut nonshared: Vec<std::collections::HashSet<u64>> =
+            Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut set = std::collections::HashSet::new();
+            for (key, state) in node.l2.iter() {
+                if *state != MoesiState::Shared {
+                    set.insert(self.geom.region_of_line(LineAddr(key)).0);
+                }
+            }
+            nonshared.push(set);
+        }
+        for (n, node) in self.nodes.iter().enumerate() {
+            let Some(rca) = node.tracker.rca() else {
+                continue;
+            };
+            for (region, entry) in rca.iter() {
+                if entry.state.local() == Some(cgct::LocalPart::Clean)
+                    && nonshared[n].contains(&region.0)
+                {
+                    return Err(format!(
+                        "node {n}: region {region} locally clean ({}) but holds \
+                         modified/modifiable lines",
+                        entry.state
+                    ));
+                }
+                if entry.state.is_externally_clean() {
+                    for (b, remote) in nonshared.iter().enumerate() {
+                        if b != n && remote.contains(&region.0) {
+                            return Err(format!(
+                                "region {region}: node {n} claims {} (externally clean) \
+                                 but node {b} holds modified/modifiable lines",
+                                entry.state
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        // 6. Snoop-response consistency: the region snoop response a node
+        //    would drive on the bus (derived from its entry's local half)
+        //    must describe its actual cache contents — answering
+        //    Region-Clean while holding an M/O/E line would let another
+        //    processor's region state go stale.
+        for (n, node) in self.nodes.iter().enumerate() {
+            let Some(rca) = node.tracker.rca() else {
+                continue;
+            };
+            for (region, entry) in rca.iter() {
+                let r = RegionSnoopResponse::from_local_state(entry.state);
+                if !r.dirty && nonshared[n].contains(&region.0) {
+                    return Err(format!(
+                        "node {n}: region {region} would answer Region-Clean ({}) \
+                         but holds modified/modifiable lines",
+                        entry.state
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
-    /// Debug-build check: a request bypassing the broadcast must satisfy
-    /// the oracle's rule — other caches' actual states make the broadcast
-    /// unnecessary (write-backs always qualify).
-    #[cfg(debug_assertions)]
-    fn assert_direct_is_safe(&self, core: CoreId, req: ReqKind, line: LineAddr) {
+    /// Gate for [`MemorySystem::direct_decision_error`]: always checked
+    /// in debug builds, and in release builds when the sanitizer is on.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the error description when the no-broadcast decision
+    /// was unsafe.
+    fn check_direct_decision(&self, core: CoreId, req: ReqKind, line: LineAddr) {
+        if cfg!(debug_assertions) || self.sanitize {
+            if let Some(err) = self.direct_decision_error(core, req, line) {
+                panic!("coherence sanitizer: {err}");
+            }
+        }
+    }
+
+    /// Validates one request that bypassed the broadcast: the oracle's
+    /// rule — other caches' actual states make the broadcast unnecessary
+    /// — must hold (write-backs always qualify), and if the bypass rests
+    /// on an exclusive region claim, no other node may cache lines of
+    /// the region at all. Returns a description of the violation, or
+    /// `None` when the bypass was safe.
+    fn direct_decision_error(&self, core: CoreId, req: ReqKind, line: LineAddr) -> Option<String> {
         if req == ReqKind::Writeback {
-            return;
+            return None;
         }
         let mut resp = LineSnoopResponse::default();
         for (i, node) in self.nodes.iter().enumerate() {
@@ -1315,10 +1499,29 @@ impl MemorySystem {
                 exclusive: state == MoesiState::Exclusive,
             });
         }
-        assert!(
-            cgct_cache::broadcast_unnecessary(req, resp),
-            "unsafe bypass: core {core} {req:?} line {line} with external {resp:?}"
-        );
+        if !cgct_cache::broadcast_unnecessary(req, resp) {
+            return Some(format!(
+                "unsafe bypass: core {core} {req:?} line {line} with external {resp:?}"
+            ));
+        }
+        let region = self.geom.region_of_line(line);
+        if let Some(rca) = self.nodes[core.0].tracker.rca() {
+            if rca.state(region).is_exclusive() {
+                for (i, node) in self.nodes.iter().enumerate() {
+                    if i == core.0 {
+                        continue;
+                    }
+                    let cached = node.count_region_lines(self.geom, region);
+                    if cached > 0 {
+                        return Some(format!(
+                            "stale exclusive claim: core {core} holds region {region} \
+                             exclusive but node {i} caches {cached} line(s) of it"
+                        ));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// Test/inspection helper: the MOESI state of `line` at node `core`.

@@ -1,0 +1,212 @@
+//! Breadth-first exhaustive exploration of the model's state space.
+//!
+//! Starting from the empty machine, the checker applies every enabled
+//! event to every newly discovered state, deduplicating on the exact
+//! packed encoding ([`GlobalState::encode`]), and checks every invariant
+//! the first time a state is seen. Because invariants are checked
+//! *before* a state is expanded, the transition code never runs on a
+//! corrupted state (whose RCA bookkeeping asserts could otherwise mask
+//! the original violation with a panic).
+//!
+//! On a violation the breadth-first parent links reconstruct a
+//! shortest-path counterexample: the event trace from the initial state
+//! to the violating one, with every intermediate state printed.
+
+use crate::invariants;
+use crate::model::{apply, enabled_events, Event, GlobalState, ModelConfig};
+use cgct_sim::hash::{StableHashMap, StableHashSet};
+use std::collections::VecDeque;
+
+/// One step of a counterexample trace.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The event taken.
+    pub event: Event,
+    /// The state it produced.
+    pub state: GlobalState,
+}
+
+/// A reachable invariant violation with its shortest event trace.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The invariant's error message.
+    pub message: String,
+    /// Events from the initial state to the violating state, in order;
+    /// the last step's state is the violating one.
+    pub trace: Vec<TraceStep>,
+}
+
+impl Violation {
+    /// Renders the counterexample as a numbered event/state listing.
+    pub fn render(&self, initial: &GlobalState) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("violation: {}\n", self.message));
+        out.push_str(&format!("trace ({} steps):\n", self.trace.len()));
+        out.push_str(&format!("    start  {initial}\n"));
+        for (i, step) in self.trace.iter().enumerate() {
+            out.push_str(&format!(
+                "    {:>3}. {:<18} -> {}\n",
+                i + 1,
+                step.event.to_string(),
+                step.state
+            ));
+        }
+        out
+    }
+}
+
+/// The result of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Number of distinct reachable states visited.
+    pub states: u64,
+    /// Number of transitions taken (events applied to visited states).
+    pub transitions: u64,
+    /// The packed encodings of every visited state, for membership
+    /// queries (e.g. cross-validating a live simulation against the
+    /// model's reachable set).
+    pub reachable: StableHashSet<u128>,
+    /// The first (shortest-trace) violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl ExploreResult {
+    /// Whether the exploration completed with every invariant holding.
+    pub fn clean(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Explores every reachable state of `cfg`'s machine to a fixpoint.
+///
+/// Deterministic: the same configuration always yields the same state
+/// and transition counts and (under a faulty [`crate::model::Mutation`])
+/// the same counterexample.
+pub fn explore(cfg: &ModelConfig) -> ExploreResult {
+    cfg.validate();
+    let initial = GlobalState::initial(cfg);
+
+    // key -> how we first reached it (None for the initial state).
+    let mut parents: StableHashMap<u128, Option<(u128, Event)>> = StableHashMap::default();
+    let mut queue: VecDeque<GlobalState> = VecDeque::new();
+    let mut states: u64 = 0;
+    let mut transitions: u64 = 0;
+
+    let visit = |state: &GlobalState,
+                 from: Option<(u128, Event)>,
+                 parents: &mut StableHashMap<u128, Option<(u128, Event)>>,
+                 queue: &mut VecDeque<GlobalState>|
+     -> Result<(), String> {
+        let key = state.encode();
+        if parents.contains_key(&key) {
+            return Ok(());
+        }
+        parents.insert(key, from);
+        invariants::check(state)?;
+        queue.push_back(state.clone());
+        Ok(())
+    };
+
+    let mut violation: Option<(u128, String)> = None;
+    if let Err(message) = visit(&initial, None, &mut parents, &mut queue) {
+        violation = Some((initial.encode(), message));
+    }
+    states += 1;
+
+    // Keep every visited state around so parent keys can be decoded back
+    // into states for the trace without re-deriving them.
+    let mut decoded: StableHashMap<u128, GlobalState> = StableHashMap::default();
+    decoded.insert(initial.encode(), initial.clone());
+
+    'bfs: while let Some(state) = queue.pop_front() {
+        let key = state.encode();
+        for event in enabled_events(cfg, &state) {
+            transitions += 1;
+            let next = apply(cfg, &state, event);
+            let next_key = next.encode();
+            let fresh = !parents.contains_key(&next_key);
+            if fresh {
+                states += 1;
+                decoded.insert(next_key, next.clone());
+            }
+            if let Err(message) = visit(&next, Some((key, event)), &mut parents, &mut queue) {
+                violation = Some((next_key, message));
+                break 'bfs;
+            }
+        }
+    }
+
+    let violation = violation.map(|(mut key, message)| {
+        let mut rev: Vec<TraceStep> = Vec::new();
+        while let Some(Some((parent, event))) = parents.get(&key) {
+            rev.push(TraceStep {
+                event: *event,
+                state: decoded[&key].clone(),
+            });
+            key = *parent;
+        }
+        rev.reverse();
+        Violation {
+            message,
+            trace: rev,
+        }
+    });
+
+    ExploreResult {
+        states,
+        transitions,
+        reachable: parents.keys().copied().collect(),
+        violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Mutation;
+
+    #[test]
+    fn two_node_one_line_machine_is_clean_and_small() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            lines: 1,
+            self_invalidation: true,
+            mutation: Mutation::None,
+        };
+        let r = explore(&cfg);
+        assert!(r.clean(), "{}", r.violation.unwrap().message);
+        assert!(r.states > 10, "explored only {} states", r.states);
+        assert!(r.transitions > r.states);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            lines: 1,
+            self_invalidation: true,
+            mutation: Mutation::None,
+        };
+        let a = explore(&cfg);
+        let b = explore(&cfg);
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.transitions, b.transitions);
+    }
+
+    #[test]
+    fn a_faulty_protocol_yields_a_renderable_trace() {
+        let cfg = ModelConfig {
+            nodes: 2,
+            lines: 1,
+            self_invalidation: true,
+            mutation: Mutation::KeepStaleSharers,
+        };
+        let r = explore(&cfg);
+        let v = r.violation.expect("fault must be caught");
+        assert!(!v.trace.is_empty());
+        let text = v.render(&GlobalState::initial(&cfg));
+        assert!(text.contains("violation:"), "{text}");
+        assert!(text.contains("start"), "{text}");
+        assert!(text.contains("1."), "{text}");
+    }
+}

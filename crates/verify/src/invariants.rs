@@ -1,0 +1,335 @@
+//! The global safety invariants checked at every explored state.
+//!
+//! Each invariant carries its paper grounding (Cantin, Lipasti, Smith —
+//! ISCA 2005); `DESIGN.md`'s "Invariants & verification" section lists
+//! the same set. The runtime sanitizer in `cgct-system` re-checks the
+//! identical properties against the live machine.
+
+use crate::model::GlobalState;
+use cgct::{LocalPart, RegionPermission, RegionSnoopResponse};
+use cgct_cache::{broadcast_unnecessary, LineSnoopResponse, MoesiState, ReqKind};
+
+/// All request kinds a region permission can rule on (write-backs are
+/// checked too: they are trivially safe but must stay so).
+const ALL_REQS: [ReqKind; 6] = [
+    ReqKind::Read,
+    ReqKind::ReadShared,
+    ReqKind::ReadExclusive,
+    ReqKind::Upgrade,
+    ReqKind::Dcbz,
+    ReqKind::Writeback,
+];
+
+/// Checks every invariant on `state`; returns the first violation.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the violated invariant.
+pub fn check(state: &GlobalState) -> Result<(), String> {
+    single_writer_multiple_reader(state)?;
+    region_conservatism(state)?;
+    inclusion_and_counts(state)?;
+    snoop_response_consistency(state)?;
+    permission_oracle_soundness(state)?;
+    Ok(())
+}
+
+/// I1 — Single writer, multiple readers (MOESI base protocol; the
+/// property CGCT must preserve, §1: "without violating coherence").
+/// Per line: at most one M/E copy, an M/E copy is the only copy, and at
+/// most one dirty owner (M/O) exists.
+pub fn single_writer_multiple_reader(state: &GlobalState) -> Result<(), String> {
+    let lines = state.nodes[0].lines.len();
+    for line in 0..lines {
+        let holders: Vec<(usize, MoesiState)> = state
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.lines[line].is_valid())
+            .map(|(i, n)| (i, n.lines[line]))
+            .collect();
+        let writable = holders
+            .iter()
+            .filter(|(_, s)| s.can_silently_modify())
+            .count();
+        if writable > 1 {
+            return Err(format!(
+                "I1: line {line} has multiple M/E holders {holders:?}"
+            ));
+        }
+        if writable == 1 && holders.len() > 1 {
+            return Err(format!(
+                "I1: line {line} has M/E alongside other copies {holders:?}"
+            ));
+        }
+        let owners = holders.iter().filter(|(_, s)| s.is_dirty()).count();
+        if owners > 1 {
+            return Err(format!("I1: line {line} has multiple owners {holders:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// I2 — Region-state conservatism (Table 1's state meanings): a region
+/// state must never *under-report* what other processors hold.
+/// External Invalid ⇒ no other node has an entry or cached lines;
+/// external Clean ⇒ other nodes hold only unmodified (S) lines; local
+/// Clean ⇒ the node's own lines are all S.
+pub fn region_conservatism(state: &GlobalState) -> Result<(), String> {
+    for (a, node_a) in state.nodes.iter().enumerate() {
+        if !node_a.region.is_valid() {
+            continue;
+        }
+        if node_a.region.local() == Some(LocalPart::Clean) {
+            for (l, &s) in node_a.lines.iter().enumerate() {
+                if s.is_valid() && s != MoesiState::Shared {
+                    return Err(format!(
+                        "I2: node {a} region {} (locally clean) holds line {l} in {s}",
+                        node_a.region
+                    ));
+                }
+            }
+        }
+        if node_a.region.is_exclusive() {
+            for (b, node_b) in state.nodes.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                if node_b.region.is_valid() {
+                    return Err(format!(
+                        "I2: node {a} claims {} but node {b} has entry {}",
+                        node_a.region, node_b.region
+                    ));
+                }
+                if node_b.cached_lines() > 0 {
+                    return Err(format!(
+                        "I2: node {a} claims {} but node {b} caches {} line(s)",
+                        node_a.region,
+                        node_b.cached_lines()
+                    ));
+                }
+            }
+        }
+        if node_a.region.is_externally_clean() {
+            for (b, node_b) in state.nodes.iter().enumerate() {
+                if a == b {
+                    continue;
+                }
+                for (l, &s) in node_b.lines.iter().enumerate() {
+                    if s.is_valid() && s != MoesiState::Shared {
+                        return Err(format!(
+                            "I2: node {a} claims {} (externally clean) but node {b} \
+                             holds line {l} in {s}",
+                            node_a.region
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// I3 — RCA/L2 inclusion with exact counts (§3.2): every cached line is
+/// covered by a valid region entry, and the entry's line count equals
+/// the number of lines actually cached.
+pub fn inclusion_and_counts(state: &GlobalState) -> Result<(), String> {
+    for (i, node) in state.nodes.iter().enumerate() {
+        let actual = node.cached_lines();
+        if !node.region.is_valid() {
+            if actual != 0 {
+                return Err(format!(
+                    "I3: node {i} caches {actual} line(s) with no region entry"
+                ));
+            }
+            if node.line_count != 0 {
+                return Err(format!(
+                    "I3: node {i} has no entry but a line count of {}",
+                    node.line_count
+                ));
+            }
+            continue;
+        }
+        if node.line_count != actual {
+            return Err(format!(
+                "I3: node {i} entry counts {} line(s) but {actual} are cached",
+                node.line_count
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// I4 — Snoop-response consistency (§3.4): the contribution a node's
+/// region state would put on the bus (via
+/// [`RegionSnoopResponse::from_local_state`]) must describe its actual
+/// cache contents. Not asserting Region Dirty means holding no M/O/E
+/// lines; asserting nothing means holding no lines at all.
+pub fn snoop_response_consistency(state: &GlobalState) -> Result<(), String> {
+    for (i, node) in state.nodes.iter().enumerate() {
+        let r = RegionSnoopResponse::from_local_state(node.region);
+        if !r.any() && node.cached_lines() > 0 {
+            return Err(format!(
+                "I4: node {i} would answer no-copies yet caches {} line(s)",
+                node.cached_lines()
+            ));
+        }
+        if !r.dirty {
+            for (l, &s) in node.lines.iter().enumerate() {
+                if s.is_valid() && s != MoesiState::Shared {
+                    return Err(format!(
+                        "I4: node {i} would answer Region-Clean yet holds line {l} in {s}"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// I5 — Permission oracle soundness (§3, Table 2): whenever a region
+/// state lets a request skip the broadcast (direct-to-memory or
+/// complete-locally), the oracle rule of Figure 2 — evaluated on the
+/// *actual* remote line states — must agree the broadcast is
+/// unnecessary. This is the paper's central safety claim.
+pub fn permission_oracle_soundness(state: &GlobalState) -> Result<(), String> {
+    let lines = state.nodes[0].lines.len();
+    for (a, node_a) in state.nodes.iter().enumerate() {
+        for req in ALL_REQS {
+            if node_a.region.permission(req) == RegionPermission::Broadcast {
+                continue;
+            }
+            for line in 0..lines {
+                let mut resp = LineSnoopResponse::default();
+                for (b, node_b) in state.nodes.iter().enumerate() {
+                    if a == b {
+                        continue;
+                    }
+                    let s = node_b.lines[line];
+                    resp.merge(LineSnoopResponse {
+                        shared: s.is_valid(),
+                        dirty: s.is_dirty(),
+                        exclusive: s == MoesiState::Exclusive,
+                    });
+                }
+                if !broadcast_unnecessary(req, resp) {
+                    return Err(format!(
+                        "I5: node {a} region {} permits {req:?} without broadcast, \
+                         but line {line} has remote state {resp:?}",
+                        node_a.region
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GlobalState, ModelConfig, NodeState};
+    use cgct::RegionState;
+
+    fn node(lines: Vec<MoesiState>, region: RegionState, count: u32) -> NodeState {
+        NodeState {
+            lines,
+            region,
+            line_count: count,
+        }
+    }
+
+    #[test]
+    fn initial_state_is_clean() {
+        let cfg = ModelConfig::default_3x2();
+        check(&GlobalState::initial(&cfg)).unwrap();
+    }
+
+    #[test]
+    fn catches_double_writer() {
+        use MoesiState::*;
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Modified, Invalid], RegionState::DirtyDirty, 1),
+                node(vec![Exclusive, Invalid], RegionState::DirtyDirty, 1),
+            ],
+        };
+        let err = check(&s).unwrap_err();
+        assert!(err.starts_with("I1"), "{err}");
+    }
+
+    #[test]
+    fn catches_stale_exclusive_claim() {
+        use MoesiState::*;
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Shared, Invalid], RegionState::CleanInvalid, 1),
+                node(vec![Shared, Invalid], RegionState::CleanDirty, 1),
+            ],
+        };
+        let err = check(&s).unwrap_err();
+        assert!(err.starts_with("I2"), "{err}");
+    }
+
+    #[test]
+    fn catches_count_drift() {
+        use MoesiState::*;
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Shared, Invalid], RegionState::CleanClean, 2),
+                node(vec![Shared, Invalid], RegionState::CleanClean, 1),
+            ],
+        };
+        let err = check(&s).unwrap_err();
+        assert!(err.starts_with("I3"), "{err}");
+    }
+
+    #[test]
+    fn catches_unsafe_externally_clean_claim() {
+        use MoesiState::*;
+        // Node 0 claims the region externally clean while node 1 holds a
+        // modifiable copy — an ifetch would go direct and read stale data.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Shared, Invalid], RegionState::CleanClean, 1),
+                node(vec![Invalid, Exclusive], RegionState::DirtyClean, 1),
+            ],
+        };
+        let err = check(&s).unwrap_err();
+        assert!(err.starts_with("I2"), "{err}");
+    }
+
+    #[test]
+    fn catches_lying_snoop_response() {
+        use MoesiState::*;
+        // A locally-clean region state answers Region-Clean, but the node
+        // holds an Owned (dirty) line. I2 and I4 both describe it; the
+        // conservatism check fires first.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Owned, Invalid], RegionState::CleanDirty, 1),
+                node(vec![Shared, Invalid], RegionState::CleanDirty, 1),
+            ],
+        };
+        let err = check(&s).unwrap_err();
+        assert!(err.starts_with("I2"), "{err}");
+        let err = snoop_response_consistency(&s).unwrap_err();
+        assert!(err.starts_with("I4"), "{err}");
+    }
+
+    #[test]
+    fn catches_unsound_direct_permission() {
+        use MoesiState::*;
+        // Node 0's DI region would send loads direct while node 1 holds a
+        // copy of a line in it. I2 fires on the exclusivity claim; the
+        // dedicated oracle check fires on the same state.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Exclusive, Invalid], RegionState::DirtyInvalid, 1),
+                node(vec![Invalid, Shared], RegionState::CleanDirty, 1),
+            ],
+        };
+        let err = permission_oracle_soundness(&s).unwrap_err();
+        assert!(err.starts_with("I5"), "{err}");
+    }
+}

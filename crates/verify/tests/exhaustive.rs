@@ -1,0 +1,238 @@
+//! Acceptance tests for the exhaustive checker: clean fixpoints on the
+//! faithful protocol, guaranteed counterexamples on mutated wirings,
+//! and cross-validation of the model against the real `MemorySystem`.
+
+use cgct::RegionState;
+use cgct_cache::{Addr, LineAddr, RegionAddr};
+use cgct_interconnect::CoreId;
+use cgct_sim::rng::Xoshiro256pp;
+use cgct_sim::Cycle;
+use cgct_system::{CoherenceMode, MemorySystem, SystemConfig};
+use cgct_verify::checker::explore;
+use cgct_verify::model::{apply, GlobalState, ModelConfig, Mutation, NodeState};
+
+/// Golden state/transition counts for the acceptance configuration
+/// (3 nodes x 1 region x 2 lines). A change here means the protocol's
+/// reachable state space changed — deliberate protocol edits must update
+/// these, anything else is a regression.
+const GOLDEN_3X2_STATES: u64 = 4947;
+const GOLDEN_3X2_TRANSITIONS: u64 = 116_040;
+
+#[test]
+fn acceptance_config_explores_to_fixpoint_with_zero_violations() {
+    let cfg = ModelConfig::default_3x2();
+    let r = explore(&cfg);
+    assert!(
+        r.clean(),
+        "{}",
+        r.violation.unwrap().render(&GlobalState::initial(&cfg))
+    );
+    assert_eq!(r.states, GOLDEN_3X2_STATES);
+    assert_eq!(r.transitions, GOLDEN_3X2_TRANSITIONS);
+    assert_eq!(r.reachable.len() as u64, r.states);
+}
+
+#[test]
+fn state_count_is_stable_across_runs() {
+    let cfg = ModelConfig::default_3x2();
+    let a = explore(&cfg);
+    let b = explore(&cfg);
+    assert_eq!(a.states, b.states);
+    assert_eq!(a.transitions, b.transitions);
+    assert_eq!(a.reachable, b.reachable);
+}
+
+#[test]
+fn other_shapes_are_clean() {
+    for (nodes, lines) in [(2, 1), (2, 2), (4, 1)] {
+        let cfg = ModelConfig {
+            nodes,
+            lines,
+            self_invalidation: true,
+            mutation: Mutation::None,
+        };
+        let r = explore(&cfg);
+        assert!(
+            r.clean(),
+            "{nodes}x{lines}: {}",
+            r.violation.unwrap().render(&GlobalState::initial(&cfg))
+        );
+    }
+}
+
+#[test]
+fn disabling_self_invalidation_is_still_safe() {
+    let cfg = ModelConfig {
+        self_invalidation: false,
+        ..ModelConfig::default_3x2()
+    };
+    let r = explore(&cfg);
+    assert!(
+        r.clean(),
+        "{}",
+        r.violation.unwrap().render(&GlobalState::initial(&cfg))
+    );
+    // Keeping stale entries alive changes the space, not its safety.
+    assert_ne!(r.states, GOLDEN_3X2_STATES);
+}
+
+#[test]
+fn every_fault_injection_yields_a_counterexample() {
+    for mutation in Mutation::ALL_FAULTS {
+        let cfg = ModelConfig {
+            mutation,
+            ..ModelConfig::default_3x2()
+        };
+        let r = explore(&cfg);
+        let v = r
+            .violation
+            .unwrap_or_else(|| panic!("{} must be caught", mutation.name()));
+        assert!(!v.trace.is_empty(), "{}: empty trace", mutation.name());
+        // The trace must replay: applying its events from the initial
+        // state reproduces exactly the recorded intermediate states.
+        let mut state = GlobalState::initial(&cfg);
+        for (i, step) in v.trace.iter().enumerate() {
+            state = apply(&cfg, &state, step.event);
+            assert_eq!(
+                state,
+                step.state,
+                "{}: trace step {i} does not replay",
+                mutation.name()
+            );
+        }
+        // And the replayed final state violates an invariant.
+        assert!(
+            cgct_verify::invariants::check(&state).is_err(),
+            "{}: final trace state passes the invariants",
+            mutation.name()
+        );
+    }
+}
+
+// ------------------------------------------------------------------
+// Cross-validation: every global state a real MemorySystem reaches
+// under random traffic must be in the model's reachable set.
+// ------------------------------------------------------------------
+
+/// Projects the live system's state for region 0 onto the model's
+/// abstract state: per node, the L2 MOESI state of each line of the
+/// region plus the RCA entry (state, line count).
+fn observed_state(m: &MemorySystem, nodes: usize, lines: usize) -> GlobalState {
+    GlobalState {
+        nodes: (0..nodes)
+            .map(|c| {
+                let core = CoreId(c);
+                let entry = m.rca(core).expect("cgct mode").entry(RegionAddr(0));
+                NodeState {
+                    lines: (0..lines)
+                        .map(|l| m.l2_state(core, LineAddr(l as u64)))
+                        .collect(),
+                    region: entry.map_or(RegionState::Invalid, |e| e.state),
+                    line_count: entry.map_or(0, |e| e.line_count),
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Drives `ops` random load/ifetch/store/dcbz operations from `nodes`
+/// cores over `lines` lines of region 0 and asserts after every single
+/// operation that the observed global state is model-reachable.
+fn cross_validate(nodes: usize, lines: usize, ops: usize, seed: u64) {
+    let model = ModelConfig {
+        nodes,
+        lines,
+        self_invalidation: true,
+        mutation: Mutation::None,
+    };
+    let reachable = explore(&model);
+    assert!(reachable.clean());
+
+    let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+        region_bytes: 64 * lines as u64,
+        sets: 8192,
+    });
+    // The model covers the coherence protocol, not the predictors: turn
+    // off everything that issues requests on its own or changes fill
+    // policy, and make completion times deterministic.
+    cfg.stream_prefetch = false;
+    cfg.exclusive_prefetch = false;
+    cfg.shared_read_bypass = false;
+    cfg.owner_prediction = false;
+    cfg.perturbation = 0;
+    assert_eq!(cfg.geometry().lines_per_region(), lines as u64);
+    let mut m = MemorySystem::new(cfg, seed);
+
+    let mut g = Xoshiro256pp::seed_from_u64(seed);
+    let mut now = Cycle(0);
+    for i in 0..ops {
+        let core = CoreId(g.gen_range(0..nodes));
+        let addr = Addr(64 * g.gen_range(0..lines as u64));
+        now = match g.gen_range(0u32..4) {
+            0 => m.load(core, now, addr, false),
+            1 => m.ifetch(core, now, addr),
+            2 => m.store(core, now, addr),
+            _ => m.dcbz(core, now, addr),
+        };
+        let state = observed_state(&m, nodes, lines);
+        assert!(
+            reachable.reachable.contains(&state.encode()),
+            "op {i}: live state {state} is not model-reachable"
+        );
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("op {i}: {e}"));
+    }
+}
+
+#[test]
+fn live_system_stays_within_the_model_reachable_set_4_nodes() {
+    // All four cores of the paper topology, one-line regions.
+    cross_validate(4, 1, 1500, 0xC6C7_2005);
+}
+
+#[test]
+fn live_system_stays_within_the_model_reachable_set_2_nodes() {
+    // Two active cores, two-line regions. The idle cores never cache
+    // anything, so the active pair must behave exactly like the 2-node
+    // model; the projection below checks the idle cores stay empty.
+    let nodes = 2;
+    let lines = 2;
+    let model = ModelConfig {
+        nodes,
+        lines,
+        self_invalidation: true,
+        mutation: Mutation::None,
+    };
+    let reachable = explore(&model);
+    assert!(reachable.clean());
+
+    let mut cfg = SystemConfig::paper_default(CoherenceMode::Cgct {
+        region_bytes: 128,
+        sets: 8192,
+    });
+    cfg.stream_prefetch = false;
+    cfg.exclusive_prefetch = false;
+    cfg.perturbation = 0;
+    let mut m = MemorySystem::new(cfg, 7);
+
+    let mut g = Xoshiro256pp::seed_from_u64(7);
+    let mut now = Cycle(0);
+    for i in 0..1500 {
+        let core = CoreId(g.gen_range(0..nodes));
+        let addr = Addr(64 * g.gen_range(0..lines as u64));
+        now = match g.gen_range(0u32..4) {
+            0 => m.load(core, now, addr, false),
+            1 => m.ifetch(core, now, addr),
+            2 => m.store(core, now, addr),
+            _ => m.dcbz(core, now, addr),
+        };
+        for idle in nodes..4 {
+            assert_eq!(observed_state(&m, 4, lines).nodes[idle].cached_lines(), 0);
+        }
+        let state = observed_state(&m, nodes, lines);
+        assert!(
+            reachable.reachable.contains(&state.encode()),
+            "op {i}: live state {state} is not model-reachable"
+        );
+    }
+}

@@ -27,6 +27,9 @@
 //! assert!(uop.pc > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod layout;
 pub mod registry;
 pub mod spec;

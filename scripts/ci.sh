@@ -16,21 +16,49 @@ cargo test -q --workspace --offline --doc
 echo "== rustdoc (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
 
-# Style checks are best-effort: skipped (with a warning) when the
-# component is not installed, and fmt/clippy findings do not fail CI.
-echo "== fmt (best effort) =="
+# Style checks are skipped (with a warning) when the component is not
+# installed, but when present their findings FAIL the build — a clean
+# tree locally must mean a clean tree for everyone.
+echo "== fmt =="
 if cargo fmt --version >/dev/null 2>&1; then
-    cargo fmt --all --check || echo "warning: rustfmt found formatting diffs"
+    cargo fmt --all --check
 else
     echo "rustfmt not installed; skipping"
 fi
 
-echo "== clippy (best effort) =="
+echo "== clippy =="
 if cargo clippy --version >/dev/null 2>&1; then
-    cargo clippy --workspace --offline -- -D warnings || echo "warning: clippy reported lints"
+    cargo clippy --workspace --offline --all-targets -- -D warnings
 else
     echo "clippy not installed; skipping"
 fi
+
+echo "== exhaustive model checker (3 nodes x 1 region x 2 lines) =="
+cargo run --release -p cgct-verify --offline --bin cgct-verify -- --nodes 3 --lines 2
+
+echo "== sanitizer smoke: experiments all --quick, byte-compared =="
+san_dir="$(mktemp -d)"
+trap 'rm -rf "$san_dir"' EXIT
+CGCT_JOBS=1 target/release/experiments all --quick --json "$san_dir/plain" \
+    > "$san_dir/plain.md"
+CGCT_JOBS=1 CGCT_SANITIZE=1 CGCT_SANITIZE_INTERVAL=4096 \
+    target/release/experiments all --quick --json "$san_dir/sanitized" \
+    > "$san_dir/sanitized.md"
+# The sanitizer is read-only: every artifact except the wall-clock
+# timing log must be byte-identical with and without it.
+for f in "$san_dir"/plain/*.json; do
+    name="$(basename "$f")"
+    [ "$name" = "timing.json" ] && continue
+    cmp -s "$f" "$san_dir/sanitized/$name" || {
+        echo "sanitized artifact differs: $name"
+        exit 1
+    }
+done
+cmp -s "$san_dir/plain.md" "$san_dir/sanitized.md" || {
+    echo "sanitized report differs"
+    exit 1
+}
+echo "sanitized artifacts byte-identical"
 
 echo "== bench harness smoke (one command, quick) =="
 smoke_out="$(mktemp)"

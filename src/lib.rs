@@ -3,6 +3,9 @@
 //! Re-exports the public API of each member crate so that examples and
 //! integration tests can use a single import root.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use cgct as core;
 pub use cgct_cache as cache;
 pub use cgct_cpu as cpu;
