@@ -51,6 +51,7 @@ struct Args {
     no_skip: bool,
     sanitize: bool,
     json_dir: Option<String>,
+    trace_dir: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -60,6 +61,7 @@ fn parse_args() -> Args {
     let mut no_skip = false;
     let mut sanitize = false;
     let mut json_dir = None;
+    let mut trace_dir = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -85,7 +87,11 @@ fn parse_args() -> Args {
                      --sanitize runtime coherence sanitizer: re-check the\n\
                                 global coherence invariants during every\n\
                                 run (same output, slower)\n\
-                     --json     also dump machine-readable results to <dir>\n\n\
+                     --json     also dump machine-readable results to <dir>\n\
+                     --trace    record per-request lifetime traces and write\n\
+                                chrome_trace.json / trace_summary.json /\n\
+                                trace_report.md to <dir> (implies CGCT_TRACE=1;\n\
+                                all other outputs stay byte-identical)\n\n\
                      CGCT_JOBS=<n> overrides the worker count (default: all cores)"
                 );
                 std::process::exit(0);
@@ -95,6 +101,7 @@ fn parse_args() -> Args {
             "--no-skip" => no_skip = true,
             "--sanitize" => sanitize = true,
             "--json" => json_dir = it.next(),
+            "--trace" => trace_dir = it.next(),
             c if !c.starts_with('-') => command = c.to_string(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -109,6 +116,7 @@ fn parse_args() -> Args {
         no_skip,
         sanitize,
         json_dir,
+        trace_dir,
     }
 }
 
@@ -344,8 +352,20 @@ fn main() {
         // byte-identical, the runs just take longer).
         std::env::set_var("CGCT_SANITIZE", "1");
     }
+    if args.trace_dir.is_some() {
+        // Every Machine in the process records request-lifetime trace
+        // events (pure observation: all non-trace outputs must be
+        // byte-identical to an untraced run).
+        std::env::set_var("CGCT_TRACE", "1");
+    }
     let jobs = pool::jobs();
     if let Some(dir) = &args.json_dir {
+        if let Err(e) = prepare_output_dir(dir) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(dir) = &args.trace_dir {
         if let Err(e) = prepare_output_dir(dir) {
             eprintln!("error: {e}");
             std::process::exit(1);
@@ -357,6 +377,10 @@ fn main() {
         full_plan()
     };
     let mut timing = TimingLog::new(jobs);
+    // Request-lifetime trace reports, accumulated in canonical item
+    // order (so the trace artifacts are deterministic under any
+    // CGCT_JOBS) from the phases that keep their raw RunResults.
+    let mut trace_reports: Vec<cgct_trace::TraceReport> = Vec::new();
     let t0 = Instant::now();
     let cmd = args.command.as_str();
     if cmd == "diag" {
@@ -416,6 +440,19 @@ fn main() {
         );
         timing.record("phase:suite", suite_t0.elapsed().as_secs_f64());
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
+        if args.trace_dir.is_some() {
+            for bench in suite.benchmarks() {
+                for mode in &modes {
+                    for run in &suite.get(&bench, &mode.label()).runs {
+                        if let Some(t) = &run.trace {
+                            let mut t = t.clone();
+                            t.label = format!("suite:{}", t.label);
+                            trace_reports.push(t);
+                        }
+                    }
+                }
+            }
+        }
 
         if matches!(cmd, "all" | "fig2") {
             let rows = fig2(&suite);
@@ -513,8 +550,9 @@ fn main() {
         });
     }
     if matches!(cmd, "all" | "directory") {
+        let traces = &mut trace_reports;
         phase("directory", &mut timing, &mut |jobs, timing| {
-            run_directory_comparison(plan, &args, jobs, timing)
+            run_directory_comparison(plan, &args, jobs, timing, traces)
         });
     }
     if matches!(cmd, "all" | "sectoring") {
@@ -523,6 +561,28 @@ fn main() {
         });
     }
 
+    if let Some(dir) = &args.trace_dir {
+        let write = |name: &str, contents: String| {
+            let path = format!("{dir}/{name}");
+            if let Err(e) = std::fs::write(&path, contents) {
+                eprintln!("error: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote {path}");
+        };
+        write(
+            "chrome_trace.json",
+            cgct_trace::report::chrome_trace(&trace_reports).dump(),
+        );
+        write(
+            "trace_summary.json",
+            cgct_trace::report::summary(&trace_reports).dump_pretty(),
+        );
+        write(
+            "trace_report.md",
+            cgct_trace::report::markdown_report(&trace_reports),
+        );
+    }
     if let Some(dir) = &args.json_dir {
         timing.record("phase:total", t0.elapsed().as_secs_f64());
         match timing.write(dir) {
@@ -633,7 +693,13 @@ fn run_sectoring_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mu
 /// same low-latency unshared access as CGCT but pays three hops for
 /// cache-to-cache data, which is exactly the trade-off the paper claims
 /// CGCT sidesteps.
-fn run_directory_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
+fn run_directory_comparison(
+    plan: RunPlan,
+    args: &Args,
+    jobs: usize,
+    timing: &mut TimingLog,
+    traces: &mut Vec<cgct_trace::TraceReport>,
+) {
     use cgct_system::run_once;
     println!("## Snooping vs CGCT vs directory (§1.2 comparison)\n");
     let modes = [
@@ -659,6 +725,18 @@ fn run_directory_comparison(plan: RunPlan, args: &Args, jobs: usize, timing: &mu
         |r| Some(r.runtime_cycles),
         timing,
     );
+    if args.trace_dir.is_some() {
+        // Canonical order is guaranteed by run_pooled (item order, not
+        // completion order), so the trace summary is deterministic
+        // under any CGCT_JOBS.
+        for r in &results {
+            if let Some(t) = &r.trace {
+                let mut t = t.clone();
+                t.label = format!("directory:{}", t.label);
+                traces.push(t);
+            }
+        }
+    }
     let mut rows = Vec::new();
     for chunk in results.chunks(modes.len()) {
         let base_runtime = chunk[0].runtime_cycles as f64;

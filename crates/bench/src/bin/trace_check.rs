@@ -1,0 +1,159 @@
+//! Validates the artifacts written by `experiments --trace <dir>`.
+//!
+//! Usage: `trace_check <trace_dir>`
+//!
+//! Checks, hard-failing on the first violation:
+//!
+//! 1. `chrome_trace.json` parses with [`cgct_sim::json`] and every
+//!    track's (`pid`, `tid`) timestamps are nondecreasing — the order
+//!    Chrome's `about://tracing` importer expects.
+//! 2. `trace_summary.json` parses and survives a `parse -> dump_pretty`
+//!    round trip byte-for-byte (the summary is integer-exact by
+//!    construction, so any drift is a serializer bug).
+//! 3. Figure 6 ordering: within every run and request category that
+//!    exercised both paths, the mean latency of direct (memory-sourced,
+//!    snoop-free) requests is below the mean of snooped
+//!    broadcast-memory requests. At least one such comparison must
+//!    exist, otherwise the check is vacuous and fails.
+
+use cgct_sim::Json;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("trace_check: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn read(dir: &str, name: &str) -> String {
+    let path = format!("{dir}/{name}");
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => fail(&format!("cannot read {path}: {e}")),
+    }
+}
+
+fn parse(name: &str, text: &str) -> Json {
+    match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => fail(&format!("{name} does not parse as JSON: {e:?}")),
+    }
+}
+
+/// Chrome trace: per-(pid, tid) timestamps must be nondecreasing.
+fn check_chrome(dir: &str) {
+    let text = read(dir, "chrome_trace.json");
+    let value = parse("chrome_trace.json", &text);
+    let Some(events) = value.get("traceEvents").and_then(Json::as_array) else {
+        fail("chrome_trace.json has no traceEvents array");
+    };
+    let mut last: Vec<((u64, u64), u64)> = Vec::new();
+    let mut timed = 0u64;
+    for ev in events {
+        let Some(ts) = ev.get("ts").and_then(Json::as_u64) else {
+            continue; // metadata events carry no timestamp
+        };
+        timed += 1;
+        let (Some(pid), Some(tid)) = (
+            ev.get("pid").and_then(Json::as_u64),
+            ev.get("tid").and_then(Json::as_u64),
+        ) else {
+            fail("timed chrome event without pid/tid");
+        };
+        match last.iter_mut().find(|(k, _)| *k == (pid, tid)) {
+            Some((_, prev)) => {
+                if *prev > ts {
+                    fail(&format!(
+                        "track ({pid}, {tid}) goes backwards: {prev} -> {ts}"
+                    ));
+                }
+                *prev = ts;
+            }
+            None => last.push(((pid, tid), ts)),
+        }
+    }
+    if timed == 0 {
+        fail("chrome_trace.json contains no timed events");
+    }
+    println!(
+        "trace_check: chrome_trace.json ok ({timed} spans on {} tracks)",
+        last.len()
+    );
+}
+
+/// Summary: byte-exact round trip plus the Figure 6 latency ordering.
+fn check_summary(dir: &str) {
+    let text = read(dir, "trace_summary.json");
+    let value = parse("trace_summary.json", &text);
+    if value.dump_pretty() != text {
+        fail("trace_summary.json does not round-trip byte-exactly");
+    }
+    if value.get("schema").and_then(Json::as_str) != Some("cgct-trace-summary-v1") {
+        fail("trace_summary.json schema mismatch");
+    }
+    let Some(runs) = value.get("runs").and_then(Json::as_array) else {
+        fail("trace_summary.json has no runs array");
+    };
+    if runs.is_empty() {
+        fail("trace_summary.json lists no runs");
+    }
+    // Direct requests skip snoop-response serialization, so whenever a
+    // run's category saw both memory-sourced paths the direct mean must
+    // be lower (paper Figure 6). Tiny cells are noise; require a few
+    // spans on each side.
+    const MIN_COUNT: u64 = 5;
+    let mut compared = 0u64;
+    for run in runs {
+        let label = run.get("label").and_then(Json::as_str).unwrap_or("?");
+        let Some(paths) = run.get("paths").and_then(Json::as_array) else {
+            fail(&format!("{label}: no paths array"));
+        };
+        let cell = |category: &str, path: &str| -> Option<(u64, u64)> {
+            paths.iter().find_map(|p| {
+                if p.get("category").and_then(Json::as_str) == Some(category)
+                    && p.get("path").and_then(Json::as_str) == Some(path)
+                {
+                    Some((
+                        p.get("count").and_then(Json::as_u64)?,
+                        p.get("mean_milli").and_then(Json::as_u64)?,
+                    ))
+                } else {
+                    None
+                }
+            })
+        };
+        for category in ["data", "ifetch"] {
+            let (Some(direct), Some(bcast)) =
+                (cell(category, "direct"), cell(category, "broadcast-memory"))
+            else {
+                continue;
+            };
+            if direct.0 < MIN_COUNT || bcast.0 < MIN_COUNT {
+                continue;
+            }
+            if direct.1 >= bcast.1 {
+                fail(&format!(
+                    "{label}/{category}: direct mean {}m >= broadcast-memory mean {}m \
+                     (Figure 6 ordering violated)",
+                    direct.1, bcast.1
+                ));
+            }
+            compared += 1;
+        }
+    }
+    if compared == 0 {
+        fail("no run had both direct and broadcast-memory cells to compare");
+    }
+    println!(
+        "trace_check: trace_summary.json ok ({} runs, {compared} Figure-6 comparisons)",
+        runs.len()
+    );
+}
+
+fn main() {
+    let dir = match std::env::args().nth(1) {
+        Some(d) => d,
+        None => fail("usage: trace_check <trace_dir>"),
+    };
+    check_chrome(&dir);
+    check_summary(&dir);
+    println!("trace_check: OK");
+}

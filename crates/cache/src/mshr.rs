@@ -5,6 +5,8 @@
 //! out-of-order cores overlap multiple memory requests (MLP).
 
 use crate::addr::LineAddr;
+use cgct_sim::Cycle;
+use cgct_trace::{EventKind, TraceEvent, TraceSink, UNKEYED};
 
 /// Identifier of an allocated MSHR slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -144,6 +146,57 @@ impl<T> MshrFile<T> {
     }
 }
 
+/// Trace-aware variants for MSHR files whose waiter token is the fill
+/// completion time (the shape the cores use): identical behaviour to
+/// [`MshrFile::find`]/[`MshrFile::allocate`], plus an
+/// [`EventKind::MshrMerge`]/[`EventKind::MshrAlloc`] record in `sink`.
+///
+/// Tracing is observation only — the sink never changes what is
+/// allocated or found.
+impl MshrFile<Cycle> {
+    /// [`MshrFile::find`] that, on a merge hit, records the merge and
+    /// the remaining wait (`fill - now`) for the secondary access.
+    pub fn find_merge_traced(
+        &self,
+        line: LineAddr,
+        node: u8,
+        now: Cycle,
+        sink: &mut dyn TraceSink,
+    ) -> Option<MshrId> {
+        let id = self.find(line)?;
+        let fill = *self.primary(id);
+        sink.record(TraceEvent {
+            node,
+            seq: UNKEYED,
+            cycle: now.0,
+            kind: EventKind::MshrMerge {
+                line: line.0,
+                wait: fill.0.saturating_sub(now.0),
+            },
+        });
+        Some(id)
+    }
+
+    /// [`MshrFile::allocate`] that records the allocation.
+    pub fn allocate_traced(
+        &mut self,
+        line: LineAddr,
+        fill: Cycle,
+        node: u8,
+        now: Cycle,
+        sink: &mut dyn TraceSink,
+    ) -> Option<MshrId> {
+        let id = self.allocate(line, fill)?;
+        sink.record(TraceEvent {
+            node,
+            seq: UNKEYED,
+            cycle: now.0,
+            kind: EventKind::MshrAlloc { line: line.0 },
+        });
+        Some(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +253,26 @@ mod tests {
         let id = m.allocate(LineAddr(1), 77).unwrap();
         m.add_waiter(id, 88);
         assert_eq!(*m.primary(id), 77);
+    }
+
+    #[test]
+    fn traced_variants_record_and_match_untraced() {
+        let mut m: MshrFile<Cycle> = MshrFile::new(2);
+        let mut sink = cgct_trace::TraceBuffer::new(16);
+        let id = m
+            .allocate_traced(LineAddr(9), Cycle(500), 3, Cycle(100), &mut sink)
+            .unwrap();
+        assert_eq!(m.find(LineAddr(9)), Some(id));
+        let merged = m.find_merge_traced(LineAddr(9), 3, Cycle(140), &mut sink);
+        assert_eq!(merged, Some(id));
+        assert_eq!(
+            m.find_merge_traced(LineAddr(8), 3, Cycle(141), &mut sink),
+            None
+        );
+        let events: Vec<_> = sink.events().collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::MshrAlloc { line: 9 });
+        assert_eq!(events[0].cycle, 100);
+        assert_eq!(events[1].kind, EventKind::MshrMerge { line: 9, wait: 360 });
     }
 }

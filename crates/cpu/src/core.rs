@@ -133,6 +133,10 @@ pub struct Core {
     /// completion time. Bounds load-level parallelism and merges
     /// secondary misses onto the primary's fill.
     load_mshrs: MshrFile<Cycle>,
+    /// Optional trace sink for MSHR alloc/merge events, tagged with
+    /// this core's id. `None` (the default) records nothing and is the
+    /// zero-cost path; the sink never influences core behaviour.
+    trace: Option<(u8, Box<dyn cgct_trace::TraceSink>)>,
     stats: CoreStats,
 }
 
@@ -176,8 +180,20 @@ impl Core {
             store_buffer: VecDeque::new(),
             stores_in_flight: Vec::new(),
             load_mshrs: MshrFile::new(cfg.load_mshrs),
+            trace: None,
             stats: CoreStats::default(),
         }
+    }
+
+    /// Installs a trace sink; MSHR alloc/merge events are recorded to
+    /// it tagged with `core_id`.
+    pub fn set_trace(&mut self, core_id: u8, sink: Box<dyn cgct_trace::TraceSink>) {
+        self.trace = Some((core_id, sink));
+    }
+
+    /// Removes any installed trace sink (tracing off).
+    pub fn clear_trace(&mut self) {
+        self.trace = None;
     }
 
     /// Collected statistics.
@@ -551,14 +567,30 @@ impl Core {
                 UopKind::Load { addr, store_intent } => {
                     self.stats.loads += 1;
                     let line = LineAddr(addr.0 >> 6);
-                    if let Some(id) = self.load_mshrs.find(line) {
+                    let merged = match &mut self.trace {
+                        Some((id, sink)) => {
+                            self.load_mshrs
+                                .find_merge_traced(line, *id, now, sink.as_mut())
+                        }
+                        None => self.load_mshrs.find(line),
+                    };
+                    if let Some(id) = merged {
                         // Secondary miss: share the in-flight fill.
                         *self.load_mshrs.primary(id)
                     } else {
                         let done = mem.load(now, addr, store_intent);
                         if done > now + 1 {
                             // A real miss occupies an MSHR until it fills.
-                            let _ = self.load_mshrs.allocate(line, done);
+                            let _ = match &mut self.trace {
+                                Some((id, sink)) => self.load_mshrs.allocate_traced(
+                                    line,
+                                    done,
+                                    *id,
+                                    now,
+                                    sink.as_mut(),
+                                ),
+                                None => self.load_mshrs.allocate(line, done),
+                            };
                         }
                         done
                     }

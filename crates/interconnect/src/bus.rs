@@ -6,6 +6,7 @@
 //! snoop latency after the grant.
 
 use cgct_sim::{Cycle, RunningStats, CPU_CYCLES_PER_SYSTEM_CYCLE};
+use cgct_trace::{EventKind, TraceEvent, TraceSink};
 
 /// The broadcast address network arbiter.
 ///
@@ -46,6 +47,29 @@ impl AddressNetwork {
         self.next_free = granted_at + CPU_CYCLES_PER_SYSTEM_CYCLE;
         self.granted += 1;
         self.queue_delay.push((granted_at - now) as f64);
+        granted_at
+    }
+
+    /// [`AddressNetwork::grant`] that also records an
+    /// [`EventKind::BusGrant`] (with the queuing delay) for request
+    /// `(node, seq)` in `sink`. Same arbitration either way: tracing
+    /// never changes what is granted when.
+    pub fn grant_traced(
+        &mut self,
+        now: Cycle,
+        trace: Option<(&mut dyn TraceSink, u8, u64)>,
+    ) -> Cycle {
+        let granted_at = self.grant(now);
+        if let Some((sink, node, seq)) = trace {
+            sink.record(TraceEvent {
+                node,
+                seq,
+                cycle: granted_at.0,
+                kind: EventKind::BusGrant {
+                    queued: granted_at - now,
+                },
+            });
+        }
         granted_at
     }
 
@@ -104,6 +128,26 @@ mod tests {
         bus.grant(Cycle(0)); // delay 0
         bus.grant(Cycle(0)); // delay 10
         assert!((bus.mean_queue_delay() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_grant_matches_and_records() {
+        let mut bus = AddressNetwork::new();
+        let mut shadow = AddressNetwork::new();
+        let mut sink = cgct_trace::TraceBuffer::new(8);
+        let g0 = bus.grant_traced(Cycle(3), None);
+        let g1 = bus.grant_traced(Cycle(3), Some((&mut sink, 2, 7)));
+        assert_eq!(g0, shadow.grant(Cycle(3)));
+        assert_eq!(g1, shadow.grant(Cycle(3)));
+        let ev: Vec<_> = sink.events().collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!((ev[0].node, ev[0].seq, ev[0].cycle), (2, 7, g1.0));
+        assert_eq!(
+            ev[0].kind,
+            EventKind::BusGrant {
+                queued: g1 - Cycle(3)
+            }
+        );
     }
 
     #[test]

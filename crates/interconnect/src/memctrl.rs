@@ -5,6 +5,7 @@
 //! top of the DRAM access latency from [`crate::latency::LatencyModel`].
 
 use cgct_sim::{Cycle, RunningStats, SystemCycle};
+use cgct_trace::{EventKind, TraceEvent, TraceSink};
 
 /// One memory controller.
 ///
@@ -70,6 +71,29 @@ impl MemoryController {
         start
     }
 
+    /// [`MemoryController::start_access`] that also records an
+    /// [`EventKind::DramStart`] (with the bank queuing delay) for
+    /// request `(node, seq)` in `sink`. Same bank schedule either way:
+    /// tracing never changes when accesses start.
+    pub fn start_access_traced(
+        &mut self,
+        now: Cycle,
+        trace: Option<(&mut dyn TraceSink, u8, u64)>,
+    ) -> Cycle {
+        let start = self.start_access(now);
+        if let Some((sink, node, seq)) = trace {
+            sink.record(TraceEvent {
+                node,
+                seq,
+                cycle: start.0,
+                kind: EventKind::DramStart {
+                    queued: start - now,
+                },
+            });
+        }
+        start
+    }
+
     /// Total accesses serviced.
     pub fn accesses(&self) -> u64 {
         self.accesses
@@ -109,6 +133,26 @@ mod tests {
         mc.start_access(Cycle(0)); // 0 delay
         mc.start_access(Cycle(0)); // 10 delay
         assert!((mc.mean_queue_delay() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traced_start_matches_and_records() {
+        let mut mc = MemoryController::new(SystemCycle(2), 1);
+        let mut shadow = MemoryController::new(SystemCycle(2), 1);
+        let mut sink = cgct_trace::TraceBuffer::new(8);
+        let s0 = mc.start_access_traced(Cycle(0), None);
+        let s1 = mc.start_access_traced(Cycle(5), Some((&mut sink, 1, 4)));
+        assert_eq!(s0, shadow.start_access(Cycle(0)));
+        assert_eq!(s1, shadow.start_access(Cycle(5)));
+        let ev: Vec<_> = sink.events().collect();
+        assert_eq!(ev.len(), 1);
+        assert_eq!((ev[0].node, ev[0].seq, ev[0].cycle), (1, 4, s1.0));
+        assert_eq!(
+            ev[0].kind,
+            EventKind::DramStart {
+                queued: s1 - Cycle(5)
+            }
+        );
     }
 
     #[test]

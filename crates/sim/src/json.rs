@@ -457,16 +457,28 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Copy one UTF-8 character verbatim.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    if (c as u32) < 0x20 {
+                Some(b) => {
+                    // Copy one UTF-8 character verbatim, validating only
+                    // its own bytes (validating the whole remaining input
+                    // per character would make parsing quadratic).
+                    if b < 0x20 {
                         return Err(self.err("unescaped control character"));
                     }
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    let len = match b {
+                        0x00..=0x7F => 1,
+                        0xC2..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF4 => 4,
+                        _ => return Err(self.err("invalid UTF-8")),
+                    };
+                    let end = self.pos + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("invalid UTF-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
                 }
             }
         }

@@ -7,6 +7,7 @@ use cgct_cache::Addr;
 use cgct_cpu::{Core, CoreConfig, MemoryInterface, UopSource};
 use cgct_interconnect::CoreId;
 use cgct_sim::{Cycle, SeedSequence};
+use cgct_trace::{SharedSink, TraceReport, DEFAULT_CAPACITY};
 use cgct_workloads::{BenchmarkSpec, WorkloadThread};
 
 /// Adapter giving one core a view of the shared memory system.
@@ -69,6 +70,9 @@ pub struct RunResult {
     pub rca: RcaRunStats,
     /// Whether the run hit the cycle cap before finishing.
     pub truncated: bool,
+    /// Request-lifetime trace report (`None` unless tracing was on —
+    /// `CGCT_TRACE=1` or [`Machine::set_trace`]).
+    pub trace: Option<TraceReport>,
 }
 
 /// One simulated machine instance.
@@ -86,6 +90,23 @@ pub struct Machine {
     /// `CGCT_NO_SKIP` env var (or [`Machine::set_cycle_skip`]), which
     /// restores the plain cycle-stepped loop for A/B validation.
     cycle_skip: bool,
+    /// Request-lifetime trace sink shared with the memory system and the
+    /// cores (`CGCT_TRACE=1` or [`Machine::set_trace`]). Tracing is pure
+    /// observation: a traced run's architectural outcome is
+    /// byte-identical to an untraced one.
+    trace: Option<SharedSink>,
+    /// Seed the machine was built with (labels the trace report).
+    seed: u64,
+}
+
+/// Whether request-lifetime tracing is enabled for new machines: true
+/// when the `CGCT_TRACE` environment variable is set to something other
+/// than empty or `0`.
+fn trace_default() -> bool {
+    matches!(
+        std::env::var("CGCT_TRACE").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    )
 }
 
 /// Whether cycle skipping is enabled for new machines: true unless the
@@ -126,7 +147,7 @@ impl Machine {
             })
             .collect();
         let mem = MemorySystem::new(cfg, seq.stream(1000));
-        Machine {
+        let mut machine = Machine {
             cores,
             threads,
             mem,
@@ -134,7 +155,13 @@ impl Machine {
             benchmark: spec.name.to_string(),
             wakeups: vec![Cycle::ZERO; n],
             cycle_skip: cycle_skip_default(),
+            trace: None,
+            seed,
+        };
+        if trace_default() {
+            machine.install_trace();
         }
+        machine
     }
 
     /// Builds a machine driven by caller-provided instruction sources —
@@ -157,7 +184,7 @@ impl Machine {
         let core_cfg: CoreConfig = cfg.core;
         let cores = (0..n).map(|_| Core::new(core_cfg)).collect();
         let mem = MemorySystem::new(cfg, SeedSequence::new(seed).stream(1000));
-        Machine {
+        let mut machine = Machine {
             cores,
             threads: sources,
             mem,
@@ -165,7 +192,44 @@ impl Machine {
             benchmark: label.to_string(),
             wakeups: vec![Cycle::ZERO; n],
             cycle_skip: cycle_skip_default(),
+            trace: None,
+            seed,
+        };
+        if trace_default() {
+            machine.install_trace();
         }
+        machine
+    }
+
+    /// Installs a fresh shared trace ring buffer into the memory system
+    /// and every core.
+    fn install_trace(&mut self) {
+        let sink = SharedSink::new(DEFAULT_CAPACITY);
+        self.mem.set_trace(sink.clone());
+        for (i, core) in self.cores.iter_mut().enumerate() {
+            core.set_trace(i as u8, Box::new(sink.clone()));
+        }
+        self.trace = Some(sink);
+    }
+
+    /// Enables or disables request-lifetime tracing for this machine
+    /// (overriding the `CGCT_TRACE` default). Enabling replaces any
+    /// existing trace buffer with an empty one.
+    pub fn set_trace(&mut self, enabled: bool) {
+        if enabled {
+            self.install_trace();
+        } else {
+            self.mem.clear_trace();
+            for core in &mut self.cores {
+                core.clear_trace();
+            }
+            self.trace = None;
+        }
+    }
+
+    /// Whether request-lifetime tracing is on for this machine.
+    pub fn trace(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Overrides the `CGCT_NO_SKIP` default for this machine: `false`
@@ -357,6 +421,17 @@ impl Machine {
             metrics: self.mem.metrics.clone(),
             rca,
             truncated,
+            trace: self.trace.as_ref().map(|sink| {
+                TraceReport::from_buffer(
+                    format!(
+                        "{}/{}#s{}",
+                        self.benchmark,
+                        self.mem.config().mode.label(),
+                        self.seed
+                    ),
+                    &sink.take(),
+                )
+            }),
         }
     }
 
@@ -482,6 +557,41 @@ mod tests {
             m.memory().sanitize_checks() > 0,
             "no periodic sanitizer walks ran"
         );
+    }
+
+    #[test]
+    fn traced_run_is_byte_identical_and_spans_are_conserved() {
+        let mode = CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        };
+        let (plain, _) = tiny_run(mode, 5);
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        let spec = by_name("ocean").unwrap();
+        let mut m = Machine::new(cfg, &spec, 5);
+        m.set_trace(true);
+        let traced = m.run(3000, 2_000_000);
+        // Tracing is pure observation: every architectural outcome must
+        // match the untraced run exactly.
+        assert_eq!(traced.runtime_cycles, plain.runtime_cycles);
+        assert_eq!(traced.committed, plain.committed);
+        assert_eq!(traced.metrics.broadcasts, plain.metrics.broadcasts);
+        assert_eq!(
+            traced.metrics.requests.total(),
+            plain.metrics.requests.total()
+        );
+        // Span conservation: every counted request retired exactly one
+        // complete span whose segments partition its lifetime.
+        let report = traced.trace.expect("tracing was on");
+        assert_eq!(report.dropped_events, 0);
+        assert_eq!(report.incomplete, 0, "requests issued but never retired");
+        assert_eq!(report.orphans, 0, "milestones without a matching issue");
+        assert_eq!(report.spans.len() as u64, traced.metrics.requests.total());
+        for span in &report.spans {
+            let total: u64 = span.segments.iter().map(|s| s.cycles()).sum();
+            assert_eq!(total, span.latency(), "segments must partition {span:?}");
+        }
     }
 
     #[test]

@@ -25,6 +25,23 @@ use cgct_cpu::StreamPrefetcher;
 use cgct_interconnect::{AddressNetwork, CoreId, MemoryController, Topology};
 use cgct_sim::Cycle;
 use cgct_sim::Xoshiro256pp;
+use cgct_trace::{
+    Category as TraceCategory, EventKind, PathTag, ReqTag, SharedSink, TraceEvent, TraceSink,
+    UNKEYED,
+};
+
+/// Splits the borrow between `self.tracer` and the interconnect field a
+/// traced call targets (`bus` / `mcs`), producing the optional
+/// `(sink, node, seq)` argument the `*_traced` interconnect variants
+/// take.
+macro_rules! trace_arg {
+    ($self:ident, $tid:expr) => {
+        match (&mut $self.tracer, $tid) {
+            (Some(t), Some((node, seq))) => Some((&mut t.sink as &mut dyn TraceSink, node, seq)),
+            _ => None,
+        }
+    };
+}
 
 /// Merged region-level snoop response across all snoopers.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -160,6 +177,48 @@ impl Tracker {
         if let Tracker::Rca(rca) = self {
             rca.record_supplier(region, supplier);
         }
+    }
+
+    /// Cumulative region self-invalidations this tracker has performed
+    /// (used to attribute [`EventKind::RcaSelfInvalidate`] trace events
+    /// to the snoop that triggered them).
+    fn self_invalidations(&self) -> u64 {
+        match self {
+            Tracker::Rca(rca) => rca.stats().self_invalidations.value(),
+            Tracker::Scaled(s) => s.self_invalidations(),
+            Tracker::None | Tracker::Scout(_) => 0,
+        }
+    }
+}
+
+/// Per-machine request-lifetime tracing state
+/// ([`MemorySystem::set_trace`]): the shared event sink plus a per-node
+/// request-id allocator. Request ids are `(node, seq)` with `seq` dense
+/// per node, so traces are deterministic regardless of how runs are
+/// scheduled across worker threads.
+#[derive(Debug)]
+struct TracerState {
+    sink: SharedSink,
+    next_seq: Vec<u64>,
+}
+
+fn trace_req_tag(req: ReqKind) -> ReqTag {
+    match req {
+        ReqKind::Read => ReqTag::Read,
+        ReqKind::ReadShared => ReqTag::ReadShared,
+        ReqKind::ReadExclusive => ReqTag::ReadExclusive,
+        ReqKind::Upgrade => ReqTag::Upgrade,
+        ReqKind::Writeback => ReqTag::Writeback,
+        ReqKind::Dcbz => ReqTag::Dcbz,
+    }
+}
+
+fn trace_category(cat: RequestCategory) -> TraceCategory {
+    match cat {
+        RequestCategory::DataReadWrite => TraceCategory::Data,
+        RequestCategory::Writeback => TraceCategory::Writeback,
+        RequestCategory::Ifetch => TraceCategory::Ifetch,
+        RequestCategory::DcbOp => TraceCategory::Dcb,
     }
 }
 
@@ -310,6 +369,12 @@ pub struct MemorySystem {
     /// sanitizer must only walk the invariants once the outermost request
     /// has fully committed its state changes.
     request_depth: u32,
+    /// Request-lifetime tracer ([`MemorySystem::set_trace`]): records
+    /// cycle-stamped events into a shared bounded ring buffer. `None`
+    /// (the default) records nothing and costs nothing. Strictly
+    /// read-only over the architectural and metric state, so a traced
+    /// run produces byte-identical results.
+    tracer: Option<TracerState>,
 }
 
 /// Whether the sanitizer is on for new memory systems: true when the
@@ -386,8 +451,27 @@ impl MemorySystem {
             sanitize_countdown: sanitize_interval_default(),
             sanitize_checks: 0,
             request_depth: 0,
+            tracer: None,
             cfg,
         }
+    }
+
+    /// Attaches a request-lifetime trace sink: every subsequent
+    /// coherence-point request records cycle-stamped [`TraceEvent`]s
+    /// (issue, bus grant, snoop resolution, DRAM access, retire, plus
+    /// RCA hit/miss/evict/self-invalidate and DCBZ-elided counters)
+    /// into it, keyed by a per-node request id.
+    pub fn set_trace(&mut self, sink: SharedSink) {
+        let nodes = self.nodes.len();
+        self.tracer = Some(TracerState {
+            sink,
+            next_seq: vec![0; nodes],
+        });
+    }
+
+    /// Detaches the trace sink (tracing off).
+    pub fn clear_trace(&mut self) {
+        self.tracer = None;
     }
 
     /// Enables or disables the runtime coherence sanitizer (overriding
@@ -451,6 +535,12 @@ impl MemorySystem {
                 Tracker::Scaled(s) => s.reset_stats(),
                 Tracker::Scout(s) => s.reset_stats(),
             }
+        }
+        // Warmup-phase trace events are measurement noise: restart the
+        // trace alongside the metrics so spans line up with them.
+        if let Some(t) = &mut self.tracer {
+            t.sink.clear();
+            t.next_seq.fill(0);
         }
     }
 
@@ -598,6 +688,69 @@ impl MemorySystem {
     }
 
     // ---------------------------------------------------------------
+    // Request-lifetime tracing
+    // ---------------------------------------------------------------
+
+    /// Allocates a request id and records its [`EventKind::Issue`];
+    /// returns the `(node, seq)` key later milestones attach to, or
+    /// `None` when tracing is off.
+    fn trace_begin(
+        &mut self,
+        core: CoreId,
+        now: Cycle,
+        req: ReqKind,
+        line: LineAddr,
+        prefetch: bool,
+    ) -> Option<(u8, u64)> {
+        let t = self.tracer.as_mut()?;
+        let node = core.0 as u8;
+        let seq = t.next_seq[core.0];
+        t.next_seq[core.0] += 1;
+        t.sink.record(TraceEvent {
+            node,
+            seq,
+            cycle: now.0,
+            kind: EventKind::Issue {
+                kind: trace_req_tag(req),
+                category: trace_category(RequestCategory::of(req)),
+                line: line.0,
+                prefetch,
+            },
+        });
+        Some((node, seq))
+    }
+
+    /// Records a milestone event for request `id` (no-op when `id` is
+    /// `None`, i.e. tracing was off at issue).
+    fn trace_ev(&mut self, id: Option<(u8, u64)>, cycle: Cycle, kind: EventKind) {
+        if let (Some((node, seq)), Some(t)) = (id, self.tracer.as_mut()) {
+            t.sink.record(TraceEvent {
+                node,
+                seq,
+                cycle: cycle.0,
+                kind,
+            });
+        }
+    }
+
+    /// Records the [`EventKind::Retire`] that closes request `id`'s span.
+    fn trace_retire(&mut self, id: Option<(u8, u64)>, cycle: Cycle, path: PathTag) {
+        self.trace_ev(id, cycle, EventKind::Retire { path });
+    }
+
+    /// Records an unkeyed (counter) event attributed to `node`.
+    fn trace_unkeyed(&mut self, node: CoreId, cycle: Cycle, kind: EventKind) {
+        if let Some(t) = self.tracer.as_mut() {
+            t.sink.record(TraceEvent {
+                node: node.0 as u8,
+                seq: UNKEYED,
+                cycle: cycle.0,
+                kind,
+            });
+        }
+    }
+
+    // ---------------------------------------------------------------
     // Coherence engine
     // ---------------------------------------------------------------
 
@@ -640,9 +793,21 @@ impl MemorySystem {
         let category = RequestCategory::of(req);
         self.metrics.requests.record(category);
         self.maybe_sample_rca(core);
+        let tid = self.trace_begin(core, now, req, line, prefetch);
+        if tid.is_some() {
+            // Classify the RCA lookup (trackers that keep a region state).
+            if let Some(state) = self.nodes[core.0].tracker.region_state(region) {
+                let kind = if state.is_valid() {
+                    EventKind::RcaHit { region: region.0 }
+                } else {
+                    EventKind::RcaMiss { region: region.0 }
+                };
+                self.trace_unkeyed(core, now, kind);
+            }
+        }
 
         if self.cfg.mode == CoherenceMode::Directory {
-            return self.directory_request(core, now, req, line, mc, dist);
+            return self.directory_request(core, now, req, line, tid);
         }
 
         let mut permission = self.nodes[core.0].tracker.permission(region, req);
@@ -661,7 +826,9 @@ impl MemorySystem {
                 );
                 if req == ReqKind::Dcbz {
                     self.fill_l2(core, line, MoesiState::Modified, now);
+                    self.trace_unkeyed(core, now, EventKind::DcbzElided { line: line.0 });
                 }
+                self.trace_retire(tid, now, PathTag::Local);
                 now
             }
             RegionPermission::DirectToMemory => {
@@ -676,6 +843,7 @@ impl MemorySystem {
                     let _ = self.reserve_data_port(core, now);
                     let arrive = now + self.cfg.latency.direct_request(dist);
                     self.mcs[mc.0].start_access(arrive);
+                    self.trace_retire(tid, now, PathTag::Direct);
                     return now;
                 }
                 let fill_state = match req {
@@ -689,22 +857,39 @@ impl MemorySystem {
                     fill_state
                 };
                 let fill = FillKind::from_moesi(fill_state);
-                if let Some((victim, _count)) = self.nodes[core.0]
+                if let Some((victim, count)) = self.nodes[core.0]
                     .tracker
                     .local_complete(region, fill, None, mc.0 as u8)
                 {
+                    self.trace_unkeyed(
+                        core,
+                        now,
+                        EventKind::RcaEvict {
+                            region: victim.0,
+                            lines: count,
+                        },
+                    );
                     self.flush_region(core, now, victim);
                 }
                 let arrive = now + self.cfg.latency.direct_request(dist);
-                let dram_start = self.mcs[mc.0].start_access(arrive.align_to_system_clock());
+                self.trace_ev(tid, arrive, EventKind::HopDone);
+                let dram_start = self.mcs[mc.0]
+                    .start_access_traced(arrive.align_to_system_clock(), trace_arg!(self, tid));
+                self.trace_ev(
+                    tid,
+                    dram_start + self.cfg.latency.dram.as_cpu_cycles(),
+                    EventKind::DramDone,
+                );
                 let mut done = dram_start
                     + self.cfg.latency.dram.as_cpu_cycles()
                     + self.cfg.latency.transfer_cpu(dist);
                 if req.needs_data() || req == ReqKind::Dcbz {
                     self.metrics.memory_fills += u64::from(req.needs_data());
                     self.fill_l2(core, line, fill_state, now);
+                    self.trace_ev(tid, done, EventKind::Fill);
                     done = self.reserve_data_port(core, done);
                 }
+                self.trace_retire(tid, done, PathTag::Direct);
                 done
             }
             RegionPermission::Broadcast => {
@@ -714,6 +899,7 @@ impl MemorySystem {
                 // broadcast at all.
                 if self.cfg.owner_prediction && req == ReqKind::Read && !prefetch {
                     if let Some(done) = self.try_owner_predicted_read(core, now, line, region) {
+                        self.trace_retire(tid, done, PathTag::OwnerPredicted);
                         return done;
                     }
                 }
@@ -725,7 +911,7 @@ impl MemorySystem {
                         .tracker
                         .region_state(region)
                         .is_some_and(|s| s.is_externally_dirty());
-                let grant = self.bus.grant(now);
+                let grant = self.bus.grant_traced(now, trace_arg!(self, tid));
                 self.metrics.broadcasts += 1;
                 self.metrics
                     .traffic
@@ -776,6 +962,14 @@ impl MemorySystem {
                 let fill_state = requester_next_state(req, line_resp);
                 let fill_exclusive = fill_state.is_some_and(|s| s.can_silently_modify());
 
+                self.trace_ev(
+                    tid,
+                    snoop_done,
+                    EventKind::SnoopDone {
+                        owner: owner.is_some(),
+                    },
+                );
+
                 // Region snoop responses, merged across snoopers.
                 let mut region_resp = MergedRegionResp::default();
                 for other in 0..self.nodes.len() {
@@ -788,10 +982,22 @@ impl MemorySystem {
                         }
                         _ => 0,
                     };
+                    let si_before = if tid.is_some() {
+                        self.nodes[other].tracker.self_invalidations()
+                    } else {
+                        0
+                    };
                     let r =
                         self.nodes[other]
                             .tracker
                             .external(region, req, fill_exclusive, my_lines);
+                    if tid.is_some() && self.nodes[other].tracker.self_invalidations() > si_before {
+                        self.trace_unkeyed(
+                            CoreId(other),
+                            snoop_done,
+                            EventKind::RcaSelfInvalidate { region: region.0 },
+                        );
+                    }
                     region_resp.rca.merge(r.rca);
                     region_resp.cached_bit |= r.cached_bit;
                 }
@@ -799,12 +1005,20 @@ impl MemorySystem {
                 // Requester's region update (may displace a region).
                 if req != ReqKind::Writeback {
                     let fill = fill_state.map_or(FillKind::Shared, FillKind::from_moesi);
-                    if let Some((victim, _)) = self.nodes[core.0].tracker.local_complete(
+                    if let Some((victim, count)) = self.nodes[core.0].tracker.local_complete(
                         region,
                         fill,
                         Some(region_resp),
                         mc.0 as u8,
                     ) {
+                        self.trace_unkeyed(
+                            core,
+                            now,
+                            EventKind::RcaEvict {
+                                region: victim.0,
+                                lines: count,
+                            },
+                        );
                         self.flush_region(core, now, victim);
                     }
                 }
@@ -821,25 +1035,37 @@ impl MemorySystem {
                 // parallel with the snoop (Figure 6); if an owner cache
                 // supplies the data that access was wasted — unless the
                 // region-state predictor suppressed it (§6 extension).
-                let done = if req.needs_data() {
+                let (done, path) = if req.needs_data() {
                     if let Some(owner) = owner {
                         self.metrics.cache_to_cache += 1;
                         if predicted_cached {
                             self.metrics.dram_speculation_saved += 1;
                         } else {
                             self.metrics.dram_speculation_wasted += 1;
+                            // Wasted speculative access: off the critical
+                            // path, so it leaves no trace milestone.
                             self.mcs[mc.0].start_access(grant);
                         }
                         let d = self.topo.core_distance(core, owner);
                         let supplied = grant + self.cfg.latency.cache_to_cache(d);
                         let _ = self.reserve_data_port(owner, supplied);
-                        self.reserve_data_port(core, supplied)
+                        self.trace_ev(tid, supplied, EventKind::Fill);
+                        (
+                            self.reserve_data_port(core, supplied),
+                            PathTag::BroadcastCache,
+                        )
                     } else {
                         self.metrics.memory_fills += 1;
                         // A wrong "cached" prediction must restart the
                         // DRAM access after the snoop resolves.
                         let dram_at = if predicted_cached { snoop_done } else { grant };
-                        let dram_start = self.mcs[mc.0].start_access(dram_at);
+                        let dram_start =
+                            self.mcs[mc.0].start_access_traced(dram_at, trace_arg!(self, tid));
+                        self.trace_ev(
+                            tid,
+                            dram_start + self.cfg.latency.dram.as_cpu_cycles(),
+                            EventKind::DramDone,
+                        );
                         let queue_extra = dram_start - dram_at;
                         let base = if predicted_cached {
                             // Serialized: full snoop, then full DRAM+transfer.
@@ -849,20 +1075,25 @@ impl MemorySystem {
                         } else {
                             self.cfg.latency.snoop_memory_access(dist)
                         };
-                        self.reserve_data_port(core, grant + base + queue_extra)
+                        self.trace_ev(tid, grant + base + queue_extra, EventKind::Fill);
+                        (
+                            self.reserve_data_port(core, grant + base + queue_extra),
+                            PathTag::BroadcastMemory,
+                        )
                     }
                 } else if req == ReqKind::Writeback {
                     let _ = self.reserve_data_port(core, now);
                     self.mcs[mc.0].start_access(snoop_done);
-                    now
+                    (now, PathTag::BroadcastControl)
                 } else {
-                    snoop_done
+                    (snoop_done, PathTag::BroadcastControl)
                 };
                 if let Some(state) = fill_state {
                     if !prefetch || !self.nodes[core.0].l2.contains(line.0) {
                         self.fill_l2(core, line, state, now);
                     }
                 }
+                self.trace_retire(tid, done, path);
                 done
             }
         }
@@ -878,9 +1109,11 @@ impl MemorySystem {
         now: Cycle,
         req: ReqKind,
         line: LineAddr,
-        mc: cgct_interconnect::McId,
-        dist: cgct_interconnect::DistanceClass,
+        tid: Option<(u8, u64)>,
     ) -> Cycle {
+        let region = self.geom.region_of_line(line);
+        let mc = self.topo.mc_of_region(region);
+        let dist = self.topo.distance(core, mc);
         let category = RequestCategory::of(req);
         self.metrics.direct.record(category);
         let dreq = match req {
@@ -894,14 +1127,20 @@ impl MemorySystem {
             let _ = self.reserve_data_port(core, now);
             let arrive = now + self.cfg.latency.direct_request(dist);
             self.mcs[mc.0].start_access(arrive);
+            self.trace_retire(tid, now, PathTag::DirectoryMemory);
             return now;
         }
         // The home lookup is a DRAM access (directory state lives in
         // memory, as in classic full-map systems like the SGI Origin);
         // data for memory-sourced fills piggybacks on the same access.
         let req_hop = self.cfg.latency.direct_request(dist);
-        let dir_start = self.mcs[mc.0].start_access((now + req_hop).align_to_system_clock());
+        self.trace_ev(tid, now + req_hop, EventKind::HopDone);
+        let dir_start = self.mcs[mc.0].start_access_traced(
+            (now + req_hop).align_to_system_clock(),
+            trace_arg!(self, tid),
+        );
         let dir_done = dir_start + self.cfg.latency.dram.as_cpu_cycles();
+        self.trace_ev(tid, dir_done, EventKind::DramDone);
         let mut inval_latency = 0u64;
         let invalidate = match &action {
             DirAction::FromMemory { invalidate }
@@ -933,7 +1172,7 @@ impl MemorySystem {
             }
             _ => MoesiState::Modified,
         };
-        let data_done = match action {
+        let (data_done, path) = match action {
             DirAction::ForwardToOwner { owner, .. } => {
                 let o = CoreId(owner as usize);
                 let owner_state = self.nodes[o.0]
@@ -960,27 +1199,41 @@ impl MemorySystem {
                             .transfer_cpu(self.topo.core_distance(core, o));
                     let supplied = dir_done + fwd + supply;
                     let _ = self.reserve_data_port(o, supplied);
-                    self.reserve_data_port(core, supplied)
+                    self.trace_ev(tid, supplied, EventKind::Fill);
+                    (
+                        self.reserve_data_port(core, supplied),
+                        PathTag::DirectoryForwarded,
+                    )
                 } else {
                     // Stale owner (silently evicted a clean E copy): the
                     // home retries from memory after the failed forward.
                     let fwd = self.cfg.latency.direct_request(self.topo.distance(o, mc));
                     let dram_start = self.mcs[mc.0].start_access(dir_done + 2 * fwd);
                     self.metrics.memory_fills += u64::from(req.needs_data());
-                    dram_start
-                        + self.cfg.latency.dram.as_cpu_cycles()
-                        + self.cfg.latency.transfer_cpu(dist)
+                    (
+                        dram_start
+                            + self.cfg.latency.dram.as_cpu_cycles()
+                            + self.cfg.latency.transfer_cpu(dist),
+                        PathTag::DirectoryMemory,
+                    )
                 }
             }
             DirAction::FromMemory { .. } if req.needs_data() => {
                 // Data returns with the directory lookup's DRAM access.
                 self.metrics.memory_fills += 1;
-                self.reserve_data_port(core, dir_done + self.cfg.latency.transfer_cpu(dist))
+                let arrived = dir_done + self.cfg.latency.transfer_cpu(dist);
+                self.trace_ev(tid, arrived, EventKind::Fill);
+                (
+                    self.reserve_data_port(core, arrived),
+                    PathTag::DirectoryMemory,
+                )
             }
-            _ => dir_done,
+            _ => (dir_done, PathTag::DirectoryMemory),
         };
         self.fill_l2(core, line, fill_state, now);
-        data_done.max(dir_done + inval_latency)
+        let done = data_done.max(dir_done + inval_latency);
+        self.trace_retire(tid, done, path);
+        done
     }
 
     /// The full-map directory at controller `mc` (Directory mode).
@@ -1030,16 +1283,36 @@ impl MemorySystem {
         // external parts only stay conservative).
         let out = snoop_line(owner_state, ReqKind::Read);
         self.apply_snooped_transition(owner.0, line, owner_state, out.next, region);
+        let si_before = if self.tracer.is_some() {
+            self.nodes[owner.0].tracker.self_invalidations()
+        } else {
+            0
+        };
         let _ = self.nodes[owner.0]
             .tracker
             .external(region, ReqKind::Read, false, 0);
+        if self.tracer.is_some() && self.nodes[owner.0].tracker.self_invalidations() > si_before {
+            self.trace_unkeyed(
+                owner,
+                now,
+                EventKind::RcaSelfInvalidate { region: region.0 },
+            );
+        }
         // Requester fills shared; the region entry stays externally dirty.
-        if let Some((victim, _)) = self.nodes[core.0].tracker.local_complete(
+        if let Some((victim, count)) = self.nodes[core.0].tracker.local_complete(
             region,
             FillKind::Shared,
             None,
             self.topo.mc_of_region(region).0 as u8,
         ) {
+            self.trace_unkeyed(
+                core,
+                now,
+                EventKind::RcaEvict {
+                    region: victim.0,
+                    lines: count,
+                },
+            );
             self.flush_region(core, now, victim);
         }
         self.fill_l2(core, line, MoesiState::Shared, now);
@@ -1115,11 +1388,15 @@ impl MemorySystem {
             }
             if state.is_dirty() {
                 // Routed direct: the displaced entry's controller index is
-                // known. Counted as a write-back request.
+                // known. Counted as a write-back request, so it also gets
+                // its own (zero-length) trace span: every counted request
+                // must retire exactly one span.
                 self.metrics.requests.record(RequestCategory::Writeback);
                 self.metrics.direct.record(RequestCategory::Writeback);
+                let wtid = self.trace_begin(core, now, ReqKind::Writeback, line, false);
                 let arrive = now + self.cfg.latency.direct_request(dist);
                 self.mcs[mc.0].start_access(arrive);
+                self.trace_retire(wtid, now, PathTag::Direct);
             }
         }
     }

@@ -1,0 +1,114 @@
+//! Span-conservation property for the request-lifetime tracer.
+//!
+//! Every coherence-point request that issues must retire exactly one
+//! complete span; a span's segments must be non-overlapping and sum
+//! exactly to `retire - issue`; and the number of complete spans must
+//! equal the memory system's own request count. Checked across all nine
+//! benchmarks for both coherence classes (broadcast baseline and CGCT),
+//! with the traced run's architectural outcome compared against an
+//! untraced twin — tracing must be pure observation.
+//!
+//! The runs use the `--quick` suite's warm-then-measure plan
+//! (60k warmup + 20k measured instructions per core); the same matrix
+//! is also exercised end-to-end in release by `scripts/ci.sh` via
+//! `experiments --trace` + `trace_check`.
+
+use cgct_sim::check::check;
+use cgct_system::{CoherenceMode, Machine, SystemConfig};
+use cgct_workloads::all_benchmarks;
+
+const WARMUP: u64 = 60_000;
+const MEASURE: u64 = 20_000;
+const MAX_CYCLES: u64 = 40_000_000;
+
+fn run_pair_and_check(mode: CoherenceMode, seed: u64) {
+    for spec in all_benchmarks() {
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        let mut plain = Machine::new(cfg, &spec, seed);
+        plain.set_trace(false);
+        let untraced = plain.run_warmed(WARMUP, MEASURE, MAX_CYCLES);
+
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.perturbation = 0;
+        let mut m = Machine::new(cfg, &spec, seed);
+        m.set_trace(true);
+        let traced = m.run_warmed(WARMUP, MEASURE, MAX_CYCLES);
+
+        // Pure observation: identical architectural outcome.
+        assert_eq!(
+            traced.runtime_cycles, untraced.runtime_cycles,
+            "{}: tracing changed the runtime",
+            spec.name
+        );
+        assert_eq!(traced.metrics.broadcasts, untraced.metrics.broadcasts);
+        assert_eq!(
+            traced.metrics.requests.total(),
+            untraced.metrics.requests.total()
+        );
+
+        let report = traced.trace.expect("tracing was on");
+        assert_eq!(report.dropped_events, 0, "{}: ring overflowed", spec.name);
+        assert_eq!(
+            report.incomplete, 0,
+            "{}: requests issued but never retired",
+            spec.name
+        );
+        assert_eq!(
+            report.orphans, 0,
+            "{}: milestones without a matching issue",
+            spec.name
+        );
+        // Exactly one complete span per counted request.
+        assert_eq!(
+            report.spans.len() as u64,
+            traced.metrics.requests.total(),
+            "{}: span count != request count",
+            spec.name
+        );
+        for span in &report.spans {
+            // Segments are contiguous (non-overlapping by construction)
+            // and partition the lifetime exactly.
+            let mut at = span.issue;
+            for seg in &span.segments {
+                assert_eq!(seg.start, at, "{}: gap/overlap in {span:?}", spec.name);
+                assert!(seg.end >= seg.start);
+                at = seg.end;
+            }
+            if !span.segments.is_empty() {
+                assert_eq!(
+                    at, span.retire,
+                    "{}: segments end early {span:?}",
+                    spec.name
+                );
+            }
+            let total: u64 = span.segments.iter().map(|s| s.cycles()).sum();
+            assert_eq!(
+                total,
+                span.latency(),
+                "{}: segments must sum to the latency of {span:?}",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn spans_conserved_for_every_benchmark_baseline() {
+    check("span_conservation::baseline", 1, |g| {
+        run_pair_and_check(CoherenceMode::Baseline, g.gen_range(1u64..1_000_000));
+    });
+}
+
+#[test]
+fn spans_conserved_for_every_benchmark_cgct() {
+    check("span_conservation::cgct", 1, |g| {
+        run_pair_and_check(
+            CoherenceMode::Cgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            g.gen_range(1u64..1_000_000),
+        );
+    });
+}

@@ -1,0 +1,492 @@
+//! Deterministic request-lifetime tracing for the CGCT simulator.
+//!
+//! The simulator's metrics answer *how many* requests took each path;
+//! this crate answers *where a single request spent its cycles*. Model
+//! components record typed, cycle-stamped [`TraceEvent`]s into a
+//! bounded ring buffer through the [`TraceSink`] trait; after a run,
+//! the [`span`] assembler folds the events of each request id into a
+//! lifetime breakdown (arbitration / snoop / DRAM / transfer segments,
+//! tagged with the direct-vs-broadcast path it took), and [`report`]
+//! aggregates spans into log2-bucket latency histograms with
+//! p50/p95/p99 per (request category, path) plus Chrome
+//! `about://tracing` JSON.
+//!
+//! Determinism rules: every event is stamped with a *simulated* cycle —
+//! never wall clock — and recording is single-threaded per machine, so
+//! the event stream, the assembled spans, and every aggregate are pure
+//! functions of (benchmark, configuration, seed). Tracing is
+//! observation only: sinks must not influence the simulation.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_trace::{EventKind, TraceBuffer, TraceEvent, TraceSink};
+//! use cgct_trace::{Category, PathTag, ReqTag};
+//!
+//! let mut buf = TraceBuffer::new(16);
+//! buf.record(TraceEvent {
+//!     node: 0,
+//!     seq: 0,
+//!     cycle: 100,
+//!     kind: EventKind::Issue {
+//!         kind: ReqTag::Read,
+//!         category: Category::Data,
+//!         line: 0x40,
+//!         prefetch: false,
+//!     },
+//! });
+//! buf.record(TraceEvent {
+//!     node: 0,
+//!     seq: 0,
+//!     cycle: 350,
+//!     kind: EventKind::Retire { path: PathTag::Direct },
+//! });
+//! let asm = cgct_trace::span::assemble(&buf);
+//! assert_eq!(asm.spans.len(), 1);
+//! assert_eq!(asm.spans[0].latency(), 250);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod span;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+pub use report::{PathSummary, TraceReport};
+pub use span::{Segment, Span};
+
+/// Sequence number used by events that are not tied to one request's
+/// lifetime (MSHR activity, RCA bookkeeping, DCBZ elisions).
+pub const UNKEYED: u64 = u64::MAX;
+
+/// Default ring-buffer capacity, in events. Sized so a quick-plan run
+/// fits without drops; longer runs saturate gracefully (drop-oldest,
+/// counted in [`TraceBuffer::dropped`]).
+pub const DEFAULT_CAPACITY: usize = 1 << 18;
+
+/// Request kinds, mirroring the coherence-point request vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReqTag {
+    /// Read for shared or exclusive data (load miss).
+    Read,
+    /// Read that leaves remote copies valid (ifetch, shared-read bypass).
+    ReadShared,
+    /// Read with intent to modify (store miss, exclusive prefetch).
+    ReadExclusive,
+    /// Upgrade a valid shared copy to modifiable.
+    Upgrade,
+    /// Write dirty data back to memory.
+    Writeback,
+    /// Data-cache-block zero.
+    Dcbz,
+}
+
+impl ReqTag {
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqTag::Read => "read",
+            ReqTag::ReadShared => "read-shared",
+            ReqTag::ReadExclusive => "read-exclusive",
+            ReqTag::Upgrade => "upgrade",
+            ReqTag::Writeback => "writeback",
+            ReqTag::Dcbz => "dcbz",
+        }
+    }
+}
+
+/// Request categories, mirroring the metrics breakdown (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// Ordinary data reads/writes/upgrades, including prefetches.
+    Data,
+    /// Write-backs of dirty lines.
+    Writeback,
+    /// Instruction fetches.
+    Ifetch,
+    /// Data-cache-block operations.
+    Dcb,
+}
+
+impl Category {
+    /// All categories, in reporting order.
+    pub const ALL: [Category; 4] = [
+        Category::Data,
+        Category::Writeback,
+        Category::Ifetch,
+        Category::Dcb,
+    ];
+
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Data => "data",
+            Category::Writeback => "writeback",
+            Category::Ifetch => "ifetch",
+            Category::Dcb => "dcb",
+        }
+    }
+}
+
+/// The path a request took through the memory system — the axis the
+/// paper's latency claims (Figure 6) are made on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PathTag {
+    /// Completed entirely within the node (no external request).
+    Local,
+    /// Sent point-to-point to a memory controller, skipping the snoop.
+    Direct,
+    /// Served point-to-point by a predicted owner (§6 extension).
+    OwnerPredicted,
+    /// Broadcast; data supplied cache-to-cache by the owner.
+    BroadcastCache,
+    /// Broadcast; data supplied by memory after the snoop resolved.
+    BroadcastMemory,
+    /// Broadcast that moved no data to the requester (upgrades,
+    /// broadcast write-backs).
+    BroadcastControl,
+    /// Directory protocol; data supplied by memory.
+    DirectoryMemory,
+    /// Directory protocol; data forwarded by the owning cache (3-hop).
+    DirectoryForwarded,
+}
+
+impl PathTag {
+    /// All paths, in reporting order.
+    pub const ALL: [PathTag; 8] = [
+        PathTag::Local,
+        PathTag::Direct,
+        PathTag::OwnerPredicted,
+        PathTag::BroadcastCache,
+        PathTag::BroadcastMemory,
+        PathTag::BroadcastControl,
+        PathTag::DirectoryMemory,
+        PathTag::DirectoryForwarded,
+    ];
+
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathTag::Local => "local",
+            PathTag::Direct => "direct",
+            PathTag::OwnerPredicted => "owner-predicted",
+            PathTag::BroadcastCache => "broadcast-cache",
+            PathTag::BroadcastMemory => "broadcast-memory",
+            PathTag::BroadcastControl => "broadcast-control",
+            PathTag::DirectoryMemory => "directory-memory",
+            PathTag::DirectoryForwarded => "directory-forwarded",
+        }
+    }
+}
+
+/// What happened, and the payload needed to interpret it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request entered the coherence point.
+    Issue {
+        /// Request kind.
+        kind: ReqTag,
+        /// Reporting category.
+        category: Category,
+        /// Line address (line number, not byte address).
+        line: u64,
+        /// True for hardware-prefetch requests.
+        prefetch: bool,
+    },
+    /// The broadcast address network granted the request a slot.
+    BusGrant {
+        /// Cycles spent waiting for the grant.
+        queued: u64,
+    },
+    /// A point-to-point request hop arrived at its destination.
+    HopDone,
+    /// The snoop response resolved.
+    SnoopDone {
+        /// True if some remote cache owned the line (will supply data).
+        owner: bool,
+    },
+    /// A memory-controller bank accepted the access.
+    DramStart {
+        /// Cycles spent queued for a free bank.
+        queued: u64,
+    },
+    /// The DRAM access completed.
+    DramDone,
+    /// The fill was installed in the requester's cache.
+    Fill,
+    /// The request's lifetime ended; its data (if any) is usable.
+    Retire {
+        /// The path the request took.
+        path: PathTag,
+    },
+    /// A miss allocated an MSHR (unkeyed; node is the core id).
+    MshrAlloc {
+        /// Line address.
+        line: u64,
+    },
+    /// A secondary miss merged into an in-flight MSHR (unkeyed).
+    MshrMerge {
+        /// Line address.
+        line: u64,
+        /// Cycles the merged access still had to wait for the fill.
+        wait: u64,
+    },
+    /// The RCA held a usable region entry for this request (unkeyed).
+    RcaHit {
+        /// Region address.
+        region: u64,
+    },
+    /// The RCA had no usable entry for this request (unkeyed).
+    RcaMiss {
+        /// Region address.
+        region: u64,
+    },
+    /// An RCA entry was evicted to make room (unkeyed).
+    RcaEvict {
+        /// Region address of the victim.
+        region: u64,
+        /// Cached lines flushed to keep RCA inclusion.
+        lines: u32,
+    },
+    /// A node gave up region permissions on an external request
+    /// (self-invalidation, unkeyed).
+    RcaSelfInvalidate {
+        /// Region address.
+        region: u64,
+    },
+    /// A DCBZ completed without any external request (unkeyed).
+    DcbzElided {
+        /// Line address.
+        line: u64,
+    },
+}
+
+/// One cycle-stamped event, keyed by `(node, seq)`.
+///
+/// `seq` is a per-node request id for lifetime events and [`UNKEYED`]
+/// for standalone observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The node (or core, for MSHR events) that recorded the event.
+    pub node: u8,
+    /// Per-node request id, or [`UNKEYED`].
+    pub seq: u64,
+    /// Simulated CPU cycle of the event.
+    pub cycle: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// Destination for trace events.
+///
+/// The default implementation everywhere is effectively a null sink:
+/// components hold an `Option` of a sink and skip all recording work
+/// when it is absent, so tracing off costs nothing and simulated
+/// behaviour never depends on the sink.
+pub trait TraceSink: std::fmt::Debug {
+    /// Records one event.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Whether events are being kept (lets callers skip building them).
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Bounded drop-oldest ring buffer of trace events.
+///
+/// When full, recording evicts the oldest event and counts it in
+/// [`TraceBuffer::dropped`] — long runs saturate gracefully instead of
+/// growing without bound, and the summary surfaces the loss.
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a buffer holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        let capacity = capacity.max(1);
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted by saturation since the last [`clear`](Self::clear).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Discards all events and resets the drop counter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+/// A cloneable handle to one shared [`TraceBuffer`].
+///
+/// One buffer per machine is shared between the memory system and every
+/// core (the machine is single-threaded, so `Rc<RefCell<..>>` suffices
+/// and the recording order is deterministic).
+#[derive(Debug, Clone)]
+pub struct SharedSink {
+    inner: Rc<RefCell<TraceBuffer>>,
+}
+
+impl SharedSink {
+    /// Creates a new shared buffer with the given capacity.
+    pub fn new(capacity: usize) -> SharedSink {
+        SharedSink {
+            inner: Rc::new(RefCell::new(TraceBuffer::new(capacity))),
+        }
+    }
+
+    /// Discards buffered events (used when measurement starts, so
+    /// warmup activity never appears in reports).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
+    }
+
+    /// Takes the buffer contents, leaving an empty buffer behind.
+    pub fn take(&self) -> TraceBuffer {
+        let capacity = self.inner.borrow().capacity();
+        self.inner.replace(TraceBuffer::new(capacity))
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.inner.borrow_mut().record(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, cycle: u64) -> TraceEvent {
+        TraceEvent {
+            node: 0,
+            seq,
+            cycle,
+            kind: EventKind::HopDone,
+        }
+    }
+
+    #[test]
+    fn ring_buffer_saturates_drop_oldest() {
+        let mut buf = TraceBuffer::new(4);
+        for i in 0..4 {
+            buf.record(ev(i, i));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 0);
+        // Wrap around twice over: the oldest events leave first and the
+        // drop counter tracks exactly how many were lost.
+        for i in 4..11 {
+            buf.record(ev(i, i));
+        }
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.dropped(), 7);
+        let kept: Vec<u64> = buf.events().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn clear_resets_drop_counter() {
+        let mut buf = TraceBuffer::new(2);
+        for i in 0..5 {
+            buf.record(ev(i, i));
+        }
+        assert_eq!(buf.dropped(), 3);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 0);
+        buf.record(ev(9, 9));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut buf = TraceBuffer::new(0);
+        assert_eq!(buf.capacity(), 1);
+        buf.record(ev(0, 0));
+        buf.record(ev(1, 1));
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn shared_sink_clones_share_one_buffer() {
+        let sink = SharedSink::new(8);
+        let mut a = sink.clone();
+        let mut b = sink.clone();
+        a.record(ev(0, 1));
+        b.record(ev(1, 2));
+        let buf = sink.take();
+        assert_eq!(buf.len(), 2);
+        let empty = sink.take();
+        assert!(empty.is_empty());
+        assert_eq!(empty.capacity(), 8);
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        assert!(!NullSink.enabled());
+        let buf = TraceBuffer::new(4);
+        assert!(TraceSink::enabled(&buf));
+        NullSink.record(ev(0, 0));
+    }
+}

@@ -1,0 +1,547 @@
+//! Aggregation and rendering: per-path latency statistics, the
+//! canonical `trace_summary.json`, Chrome `about://tracing` JSON, and a
+//! top-N slow-request markdown report.
+//!
+//! Every emitted number is an exact integer (cycle counts, or
+//! milli-cycle fixed point for means), so the summary survives a
+//! `parse -> dump` round trip through [`cgct_sim::json`] byte-for-byte
+//! and is identical under any worker count.
+
+use crate::span::{assemble, MshrCounts, RcaCounts, Span};
+use crate::{Category, PathTag, TraceBuffer};
+use cgct_sim::Json;
+
+/// Latency statistics for one (category, path) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSummary {
+    /// Request category.
+    pub category: Category,
+    /// Path taken.
+    pub path: PathTag,
+    /// Number of spans in the cell.
+    pub count: u64,
+    /// Sum of latencies, in cycles.
+    pub total_cycles: u64,
+    /// Mean latency in milli-cycles (fixed point: `total * 1000 / count`).
+    pub mean_milli: u64,
+    /// Median latency (nearest rank).
+    pub p50: u64,
+    /// 95th-percentile latency (nearest rank).
+    pub p95: u64,
+    /// 99th-percentile latency (nearest rank).
+    pub p99: u64,
+    /// Sparse log2 histogram: `(bucket, count)` where bucket `b`
+    /// covers latencies in `[2^(b-1), 2^b)` and bucket 0 holds zero.
+    pub log2_buckets: Vec<(u32, u64)>,
+}
+
+impl PathSummary {
+    /// Mean latency in cycles (derived from the fixed-point field).
+    pub fn mean(&self) -> f64 {
+        self.mean_milli as f64 / 1000.0
+    }
+}
+
+fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (pct * n).div_ceil(100).max(1);
+    sorted[(rank - 1) as usize]
+}
+
+fn log2_bucket(latency: u64) -> u32 {
+    match latency {
+        0 => 0,
+        d => 64 - d.leading_zeros(),
+    }
+}
+
+/// One run's assembled trace, ready for aggregation and rendering.
+///
+/// Plain data (`Send + Clone`), so it can travel back from pool workers
+/// inside run results.
+#[derive(Debug, Clone)]
+pub struct TraceReport {
+    /// Run label, e.g. `ocean/cgct-512B#s1`.
+    pub label: String,
+    /// Complete spans in canonical `(node, issue, seq)` order.
+    pub spans: Vec<Span>,
+    /// Issues whose retire never appeared (only possible after drops).
+    pub incomplete: u64,
+    /// Events whose issue was dropped from the ring.
+    pub orphans: u64,
+    /// Events evicted by ring saturation.
+    pub dropped_events: u64,
+    /// MSHR activity.
+    pub mshr: MshrCounts,
+    /// RCA activity.
+    pub rca: RcaCounts,
+    /// DCBZ operations elided locally.
+    pub dcbz_elided: u64,
+}
+
+impl TraceReport {
+    /// Assembles a buffer into a report.
+    pub fn from_buffer(label: impl Into<String>, buffer: &TraceBuffer) -> TraceReport {
+        let asm = assemble(buffer);
+        TraceReport {
+            label: label.into(),
+            spans: asm.spans,
+            incomplete: asm.incomplete,
+            orphans: asm.orphans,
+            dropped_events: asm.dropped,
+            mshr: asm.mshr,
+            rca: asm.rca,
+            dcbz_elided: asm.dcbz_elided,
+        }
+    }
+
+    /// Per-(category, path) latency statistics in canonical order.
+    pub fn path_summaries(&self) -> Vec<PathSummary> {
+        let mut cells: Vec<((Category, PathTag), Vec<u64>)> = Vec::new();
+        for span in &self.spans {
+            let key = (span.category, span.path);
+            match cells.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, lat)) => lat.push(span.latency()),
+                None => cells.push((key, vec![span.latency()])),
+            }
+        }
+        cells.sort_by_key(|(k, _)| *k);
+        cells
+            .into_iter()
+            .map(|((category, path), mut lat)| {
+                lat.sort_unstable();
+                let count = lat.len() as u64;
+                let total_cycles: u64 = lat.iter().sum();
+                let mut log2_buckets: Vec<(u32, u64)> = Vec::new();
+                for &d in &lat {
+                    let b = log2_bucket(d);
+                    match log2_buckets.iter_mut().find(|(k, _)| *k == b) {
+                        Some((_, c)) => *c += 1,
+                        None => log2_buckets.push((b, 1)),
+                    }
+                }
+                log2_buckets.sort_unstable();
+                PathSummary {
+                    category,
+                    path,
+                    count,
+                    total_cycles,
+                    mean_milli: total_cycles.saturating_mul(1000) / count,
+                    p50: percentile(&lat, 50),
+                    p95: percentile(&lat, 95),
+                    p99: percentile(&lat, 99),
+                    log2_buckets,
+                }
+            })
+            .collect()
+    }
+
+    /// The `n` slowest spans, ties broken canonically.
+    pub fn slowest(&self, n: usize) -> Vec<&Span> {
+        let mut refs: Vec<&Span> = self.spans.iter().collect();
+        refs.sort_by_key(|s| (std::cmp::Reverse(s.latency()), s.node, s.issue, s.seq));
+        refs.truncate(n);
+        refs
+    }
+}
+
+fn span_json(span: &Span) -> Json {
+    Json::obj([
+        ("node", Json::u64(u64::from(span.node))),
+        ("seq", Json::u64(span.seq)),
+        ("kind", Json::str(span.kind.name())),
+        ("category", Json::str(span.category.name())),
+        ("path", Json::str(span.path.name())),
+        ("line", Json::u64(span.line)),
+        ("prefetch", Json::Bool(span.prefetch)),
+        ("issue", Json::u64(span.issue)),
+        ("retire", Json::u64(span.retire)),
+        ("latency", Json::u64(span.latency())),
+        (
+            "segments",
+            Json::Array(
+                span.segments
+                    .iter()
+                    .map(|seg| {
+                        Json::obj([
+                            ("label", Json::str(seg.label)),
+                            ("start", Json::u64(seg.start)),
+                            ("end", Json::u64(seg.end)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Number of slowest spans listed per run in the summary and report.
+pub const SLOWEST_PER_RUN: usize = 5;
+
+/// Builds the canonical `trace_summary.json` value for a set of runs.
+///
+/// The runs must already be in canonical order; everything inside is
+/// integer-exact and deterministic under any `CGCT_JOBS`.
+pub fn summary(reports: &[TraceReport]) -> Json {
+    let runs: Vec<Json> = reports
+        .iter()
+        .map(|r| {
+            let paths: Vec<Json> = r
+                .path_summaries()
+                .iter()
+                .map(|p| {
+                    Json::obj([
+                        ("category", Json::str(p.category.name())),
+                        ("path", Json::str(p.path.name())),
+                        ("count", Json::u64(p.count)),
+                        ("total_cycles", Json::u64(p.total_cycles)),
+                        ("mean_milli", Json::u64(p.mean_milli)),
+                        ("p50", Json::u64(p.p50)),
+                        ("p95", Json::u64(p.p95)),
+                        ("p99", Json::u64(p.p99)),
+                        (
+                            "log2_buckets",
+                            Json::Array(
+                                p.log2_buckets
+                                    .iter()
+                                    .map(|&(b, c)| {
+                                        Json::obj([
+                                            ("bucket", Json::u64(u64::from(b))),
+                                            (
+                                                "ge",
+                                                Json::u64(if b == 0 { 0 } else { 1u64 << (b - 1) }),
+                                            ),
+                                            ("count", Json::u64(c)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Json::obj([
+                ("label", Json::str(r.label.clone())),
+                ("spans", Json::u64(r.spans.len() as u64)),
+                ("incomplete", Json::u64(r.incomplete)),
+                ("orphans", Json::u64(r.orphans)),
+                ("dropped_events", Json::u64(r.dropped_events)),
+                (
+                    "mshr",
+                    Json::obj([
+                        ("allocs", Json::u64(r.mshr.allocs)),
+                        ("merges", Json::u64(r.mshr.merges)),
+                        ("merge_wait_cycles", Json::u64(r.mshr.merge_wait_cycles)),
+                    ]),
+                ),
+                (
+                    "rca",
+                    Json::obj([
+                        ("hits", Json::u64(r.rca.hits)),
+                        ("misses", Json::u64(r.rca.misses)),
+                        ("evictions", Json::u64(r.rca.evictions)),
+                        ("evicted_lines", Json::u64(r.rca.evicted_lines)),
+                        ("self_invalidations", Json::u64(r.rca.self_invalidations)),
+                    ]),
+                ),
+                ("dcbz_elided", Json::u64(r.dcbz_elided)),
+                ("paths", Json::Array(paths)),
+                (
+                    "slowest",
+                    Json::Array(
+                        r.slowest(SLOWEST_PER_RUN)
+                            .into_iter()
+                            .map(span_json)
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::str("cgct-trace-summary-v1")),
+        ("runs", Json::Array(runs)),
+    ])
+}
+
+/// Builds a Chrome `about://tracing` JSON value: one process per run,
+/// one thread (track) per node, one complete (`ph: "X"`) event per
+/// span with its segment breakdown in `args`. Events on each track are
+/// emitted in nondecreasing `ts` order.
+pub fn chrome_trace(reports: &[TraceReport]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    for (pid, report) in reports.iter().enumerate() {
+        let pid = pid as u64;
+        events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::u64(pid)),
+            (
+                "args",
+                Json::obj([("name", Json::str(report.label.clone()))]),
+            ),
+        ]));
+        let mut nodes: Vec<u8> = report.spans.iter().map(|s| s.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        for node in &nodes {
+            events.push(Json::obj([
+                ("name", Json::str("thread_name")),
+                ("ph", Json::str("M")),
+                ("pid", Json::u64(pid)),
+                ("tid", Json::u64(u64::from(*node))),
+                (
+                    "args",
+                    Json::obj([("name", Json::str(format!("node {node}")))]),
+                ),
+            ]));
+        }
+        // Spans are already sorted by (node, issue, seq): per-track
+        // timestamps come out nondecreasing.
+        for span in &report.spans {
+            let mut args = vec![
+                ("seq".to_string(), Json::u64(span.seq)),
+                ("line".to_string(), Json::u64(span.line)),
+                ("path".to_string(), Json::str(span.path.name())),
+                ("prefetch".to_string(), Json::Bool(span.prefetch)),
+            ];
+            for seg in &span.segments {
+                args.push((seg.label.to_string(), Json::u64(seg.cycles())));
+            }
+            events.push(Json::obj([
+                (
+                    "name",
+                    Json::str(format!("{}/{}", span.kind.name(), span.path.name())),
+                ),
+                ("cat", Json::str(span.category.name())),
+                ("ph", Json::str("X")),
+                ("pid", Json::u64(pid)),
+                ("tid", Json::u64(u64::from(span.node))),
+                ("ts", Json::u64(span.issue)),
+                ("dur", Json::u64(span.latency())),
+                ("args", Json::Object(args)),
+            ]));
+        }
+    }
+    Json::obj([
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::str("ns")),
+    ])
+}
+
+/// Renders the top-N slow-request report (markdown).
+pub fn markdown_report(reports: &[TraceReport]) -> String {
+    let mut out = String::new();
+    out.push_str("# Slowest requests by run\n");
+    for report in reports {
+        out.push_str(&format!("\n## {}\n\n", report.label));
+        out.push_str(&format!(
+            "{} spans, {} dropped events, {} incomplete\n",
+            report.spans.len(),
+            report.dropped_events,
+            report.incomplete
+        ));
+        for span in report.slowest(SLOWEST_PER_RUN) {
+            out.push_str(&format!(
+                "\n- node {} seq {} `{}` {} {} line {:#x}{}: {} cycles ({} -> {})\n",
+                span.node,
+                span.seq,
+                span.kind.name(),
+                span.category.name(),
+                span.path.name(),
+                span.line,
+                if span.prefetch { " prefetch" } else { "" },
+                span.latency(),
+                span.issue,
+                span.retire
+            ));
+            for seg in &span.segments {
+                out.push_str(&format!(
+                    "    - {:<12} {:>8} cycles ({} -> {})\n",
+                    seg.label,
+                    seg.cycles(),
+                    seg.start,
+                    seg.end
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, ReqTag, TraceEvent, TraceSink};
+
+    fn demo_report() -> TraceReport {
+        let mut buf = TraceBuffer::new(256);
+        let mut rec = |node: u8, seq: u64, cycle: u64, kind: EventKind| {
+            buf.record(TraceEvent {
+                node,
+                seq,
+                cycle,
+                kind,
+            })
+        };
+        // Three direct data reads and two broadcast reads on two nodes.
+        for (i, (node, base, lat)) in [(0u8, 100u64, 180u64), (0, 400, 200), (1, 120, 190)]
+            .iter()
+            .enumerate()
+        {
+            rec(
+                *node,
+                i as u64,
+                *base,
+                EventKind::Issue {
+                    kind: ReqTag::Read,
+                    category: Category::Data,
+                    line: 64 + i as u64,
+                    prefetch: false,
+                },
+            );
+            rec(*node, i as u64, base + 10, EventKind::HopDone);
+            rec(
+                *node,
+                i as u64,
+                base + lat,
+                EventKind::Retire {
+                    path: PathTag::Direct,
+                },
+            );
+        }
+        for (i, (node, base, lat)) in [(0u8, 150u64, 260u64), (1, 500, 300)].iter().enumerate() {
+            let seq = 10 + i as u64;
+            rec(
+                *node,
+                seq,
+                *base,
+                EventKind::Issue {
+                    kind: ReqTag::Read,
+                    category: Category::Data,
+                    line: 128 + i as u64,
+                    prefetch: false,
+                },
+            );
+            rec(*node, seq, base + 20, EventKind::BusGrant { queued: 20 });
+            rec(
+                *node,
+                seq,
+                base + 180,
+                EventKind::SnoopDone { owner: false },
+            );
+            rec(
+                *node,
+                seq,
+                base + lat,
+                EventKind::Retire {
+                    path: PathTag::BroadcastMemory,
+                },
+            );
+        }
+        TraceReport::from_buffer("demo/baseline#s1", &buf)
+    }
+
+    #[test]
+    fn path_summaries_aggregate_exactly() {
+        let report = demo_report();
+        let paths = report.path_summaries();
+        assert_eq!(paths.len(), 2);
+        let direct = &paths[0];
+        assert_eq!(
+            (direct.category, direct.path),
+            (Category::Data, PathTag::Direct)
+        );
+        assert_eq!(direct.count, 3);
+        assert_eq!(direct.total_cycles, 180 + 200 + 190);
+        assert_eq!(direct.mean_milli, 570_000 / 3);
+        assert_eq!(direct.p50, 190);
+        assert_eq!(direct.p95, 200);
+        assert_eq!(direct.p99, 200);
+        let bcast = &paths[1];
+        assert_eq!(bcast.path, PathTag::BroadcastMemory);
+        assert_eq!(bcast.count, 2);
+        // Fig 6 ordering on the synthetic data: direct < broadcast.
+        assert!(direct.mean_milli < bcast.mean_milli);
+    }
+
+    #[test]
+    fn log2_buckets_cover_all_spans() {
+        let report = demo_report();
+        for p in report.path_summaries() {
+            let total: u64 = p.log2_buckets.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, p.count);
+        }
+        assert_eq!(super::log2_bucket(0), 0);
+        assert_eq!(super::log2_bucket(1), 1);
+        assert_eq!(super::log2_bucket(255), 8);
+        assert_eq!(super::log2_bucket(256), 9);
+    }
+
+    #[test]
+    fn slowest_orders_by_latency_then_canonically() {
+        let report = demo_report();
+        let slow = report.slowest(3);
+        assert_eq!(slow.len(), 3);
+        assert_eq!(slow[0].latency(), 300);
+        assert_eq!(slow[1].latency(), 260);
+        assert_eq!(slow[2].latency(), 200);
+    }
+
+    #[test]
+    fn summary_round_trips_byte_exactly() {
+        let report = demo_report();
+        let value = summary(&[report]);
+        let text = value.dump_pretty();
+        let reparsed = Json::parse(&text).expect("summary must parse");
+        assert_eq!(reparsed.dump_pretty(), text);
+        assert_eq!(
+            value.get("schema").and_then(Json::as_str),
+            Some("cgct-trace-summary-v1")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_monotonic_per_track() {
+        let report = demo_report();
+        let value = chrome_trace(&[report]);
+        let text = value.dump();
+        let reparsed = Json::parse(&text).expect("chrome trace must parse");
+        let events = reparsed
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        let mut last: Vec<((u64, u64), u64)> = Vec::new();
+        let mut timed = 0;
+        for ev in events {
+            let Some(ts) = ev.get("ts").and_then(Json::as_u64) else {
+                continue; // metadata
+            };
+            timed += 1;
+            let key = (
+                ev.get("pid").and_then(Json::as_u64).unwrap(),
+                ev.get("tid").and_then(Json::as_u64).unwrap(),
+            );
+            match last.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, prev)) => {
+                    assert!(*prev <= ts, "timestamps must be monotonic per track");
+                    *prev = ts;
+                }
+                None => last.push((key, ts)),
+            }
+        }
+        assert_eq!(timed, 5);
+    }
+
+    #[test]
+    fn markdown_report_lists_slowest() {
+        let report = demo_report();
+        let md = markdown_report(&[report]);
+        assert!(md.contains("## demo/baseline#s1"));
+        assert!(md.contains("broadcast-memory"));
+        assert!(md.contains("snoop"));
+    }
+}

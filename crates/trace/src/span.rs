@@ -1,0 +1,396 @@
+//! Span assembly: folding raw trace events into per-request lifetimes.
+//!
+//! Every request that issues at the coherence point records an
+//! [`EventKind::Issue`], zero or more milestone events (bus grant,
+//! snoop resolution, DRAM start/done, ...), and exactly one
+//! [`EventKind::Retire`]. The assembler partitions each lifetime at its
+//! milestone cycles into labelled, non-overlapping [`Segment`]s that sum
+//! to exactly `retire - issue` *by construction*: boundaries are clamped
+//! monotonically into `[issue, retire]`, so overlapped work (a DRAM
+//! access speculatively started under a snoop) shows up as a shortened
+//! segment rather than double-counted time.
+
+use crate::{Category, EventKind, PathTag, ReqTag, TraceBuffer, TraceEvent, UNKEYED};
+use std::collections::HashMap;
+
+/// One labelled slice of a request's lifetime: `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// What the request was waiting on ("arbitration", "snoop", ...).
+    pub label: &'static str,
+    /// First cycle of the segment.
+    pub start: u64,
+    /// First cycle after the segment.
+    pub end: u64,
+}
+
+impl Segment {
+    /// Segment length in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// One request's assembled lifetime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Issuing node.
+    pub node: u8,
+    /// Per-node request id.
+    pub seq: u64,
+    /// Request kind.
+    pub kind: ReqTag,
+    /// Reporting category.
+    pub category: Category,
+    /// Line address (line number).
+    pub line: u64,
+    /// True for hardware-prefetch requests.
+    pub prefetch: bool,
+    /// The path the request took.
+    pub path: PathTag,
+    /// Issue cycle.
+    pub issue: u64,
+    /// Retire cycle.
+    pub retire: u64,
+    /// Non-overlapping segments covering `[issue, retire)` exactly.
+    pub segments: Vec<Segment>,
+}
+
+impl Span {
+    /// Total lifetime in cycles.
+    pub fn latency(&self) -> u64 {
+        self.retire - self.issue
+    }
+}
+
+/// MSHR activity observed alongside the spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrCounts {
+    /// Primary misses that allocated an MSHR.
+    pub allocs: u64,
+    /// Secondary misses merged into an in-flight MSHR.
+    pub merges: u64,
+    /// Total cycles merged accesses still waited for their fill.
+    pub merge_wait_cycles: u64,
+}
+
+/// Region Coherence Array activity observed alongside the spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RcaCounts {
+    /// Requests that found a usable region entry.
+    pub hits: u64,
+    /// Requests that found no usable region entry.
+    pub misses: u64,
+    /// Region entries evicted to make room.
+    pub evictions: u64,
+    /// Cached lines flushed by those evictions (RCA inclusion).
+    pub evicted_lines: u64,
+    /// Region permissions given up on external requests.
+    pub self_invalidations: u64,
+}
+
+/// Everything the assembler extracted from one buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Assembly {
+    /// Complete spans, sorted by `(node, issue, seq)`.
+    pub spans: Vec<Span>,
+    /// Issues whose retire never appeared (only possible after drops).
+    pub incomplete: u64,
+    /// Milestone/retire events whose issue was dropped from the ring.
+    pub orphans: u64,
+    /// Events the saturated ring buffer evicted.
+    pub dropped: u64,
+    /// MSHR activity.
+    pub mshr: MshrCounts,
+    /// RCA activity.
+    pub rca: RcaCounts,
+    /// DCBZ operations completed with no external request.
+    pub dcbz_elided: u64,
+}
+
+/// The segment label a milestone event closes (the time *since the
+/// previous boundary* was spent waiting on this).
+fn milestone_label(kind: &EventKind) -> Option<&'static str> {
+    match kind {
+        EventKind::BusGrant { .. } => Some("arbitration"),
+        EventKind::HopDone => Some("hop"),
+        EventKind::SnoopDone { .. } => Some("snoop"),
+        EventKind::DramStart { .. } => Some("dram_queue"),
+        EventKind::DramDone => Some("dram"),
+        EventKind::Fill => Some("transfer"),
+        _ => None,
+    }
+}
+
+struct Pending {
+    kind: ReqTag,
+    category: Category,
+    line: u64,
+    prefetch: bool,
+    issue: u64,
+    milestones: Vec<(&'static str, u64)>,
+}
+
+impl Pending {
+    /// Closes the lifetime: clamp milestone boundaries monotonically
+    /// into `[issue, retire]` and label the final stretch "fill".
+    fn finish(self, node: u8, seq: u64, retire: u64, path: PathTag) -> Span {
+        let retire = retire.max(self.issue);
+        let mut segments = Vec::with_capacity(self.milestones.len() + 1);
+        let mut prev = self.issue;
+        for (label, cycle) in self.milestones {
+            let end = cycle.clamp(prev, retire);
+            if end > prev {
+                segments.push(Segment {
+                    label,
+                    start: prev,
+                    end,
+                });
+                prev = end;
+            }
+        }
+        if retire > prev {
+            segments.push(Segment {
+                label: "fill",
+                start: prev,
+                end: retire,
+            });
+        }
+        Span {
+            node,
+            seq,
+            kind: self.kind,
+            category: self.category,
+            line: self.line,
+            prefetch: self.prefetch,
+            path,
+            issue: self.issue,
+            retire,
+            segments,
+        }
+    }
+}
+
+/// Assembles a buffer's events into spans and counters.
+pub fn assemble(buffer: &TraceBuffer) -> Assembly {
+    let mut asm = Assembly {
+        dropped: buffer.dropped(),
+        ..Assembly::default()
+    };
+    let mut pending: HashMap<(u8, u64), Pending> = HashMap::new();
+    for ev in buffer.events() {
+        let TraceEvent {
+            node,
+            seq,
+            cycle,
+            kind,
+        } = *ev;
+        if seq == UNKEYED {
+            match kind {
+                EventKind::MshrAlloc { .. } => asm.mshr.allocs += 1,
+                EventKind::MshrMerge { wait, .. } => {
+                    asm.mshr.merges += 1;
+                    asm.mshr.merge_wait_cycles += wait;
+                }
+                EventKind::RcaHit { .. } => asm.rca.hits += 1,
+                EventKind::RcaMiss { .. } => asm.rca.misses += 1,
+                EventKind::RcaEvict { lines, .. } => {
+                    asm.rca.evictions += 1;
+                    asm.rca.evicted_lines += u64::from(lines);
+                }
+                EventKind::RcaSelfInvalidate { .. } => asm.rca.self_invalidations += 1,
+                EventKind::DcbzElided { .. } => asm.dcbz_elided += 1,
+                _ => asm.orphans += 1,
+            }
+            continue;
+        }
+        match kind {
+            EventKind::Issue {
+                kind,
+                category,
+                line,
+                prefetch,
+            } => {
+                pending.insert(
+                    (node, seq),
+                    Pending {
+                        kind,
+                        category,
+                        line,
+                        prefetch,
+                        issue: cycle,
+                        milestones: Vec::new(),
+                    },
+                );
+            }
+            EventKind::Retire { path } => match pending.remove(&(node, seq)) {
+                Some(p) => asm.spans.push(p.finish(node, seq, cycle, path)),
+                None => asm.orphans += 1,
+            },
+            other => match (milestone_label(&other), pending.get_mut(&(node, seq))) {
+                (Some(label), Some(p)) => p.milestones.push((label, cycle)),
+                _ => asm.orphans += 1,
+            },
+        }
+    }
+    asm.incomplete = pending.len() as u64;
+    asm.spans.sort_by_key(|s| (s.node, s.issue, s.seq));
+    asm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    fn keyed(seq: u64, cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            node: 1,
+            seq,
+            cycle,
+            kind,
+        }
+    }
+
+    fn issue(seq: u64, cycle: u64) -> TraceEvent {
+        keyed(
+            seq,
+            cycle,
+            EventKind::Issue {
+                kind: ReqTag::Read,
+                category: Category::Data,
+                line: 0x1000 + seq,
+                prefetch: false,
+            },
+        )
+    }
+
+    fn retire(seq: u64, cycle: u64, path: PathTag) -> TraceEvent {
+        keyed(seq, cycle, EventKind::Retire { path })
+    }
+
+    /// Conservation: segments are non-overlapping, in order, and sum to
+    /// exactly `retire - issue`.
+    fn assert_conserved(span: &Span) {
+        let mut prev = span.issue;
+        let mut total = 0;
+        for seg in &span.segments {
+            assert_eq!(seg.start, prev, "segments must be contiguous");
+            assert!(seg.end > seg.start, "segments must be non-empty");
+            total += seg.cycles();
+            prev = seg.end;
+        }
+        assert_eq!(
+            prev,
+            if span.segments.is_empty() {
+                span.issue
+            } else {
+                span.retire
+            }
+        );
+        assert_eq!(total, span.latency());
+    }
+
+    #[test]
+    fn broadcast_lifetime_partitions_exactly() {
+        let mut buf = TraceBuffer::new(64);
+        buf.record(issue(0, 100));
+        buf.record(keyed(0, 130, EventKind::BusGrant { queued: 30 }));
+        buf.record(keyed(0, 290, EventKind::SnoopDone { owner: false }));
+        buf.record(keyed(0, 300, EventKind::DramStart { queued: 10 }));
+        buf.record(keyed(0, 460, EventKind::DramDone));
+        buf.record(retire(0, 480, PathTag::BroadcastMemory));
+        let asm = assemble(&buf);
+        assert_eq!(asm.spans.len(), 1);
+        let span = &asm.spans[0];
+        assert_eq!(span.latency(), 380);
+        assert_conserved(span);
+        let labels: Vec<_> = span.segments.iter().map(|s| s.label).collect();
+        assert_eq!(
+            labels,
+            vec!["arbitration", "snoop", "dram_queue", "dram", "fill"]
+        );
+    }
+
+    #[test]
+    fn overlapped_dram_is_clamped_not_double_counted() {
+        // Speculative DRAM start *before* the snoop resolves: the
+        // monotonic clamp charges the overlap to the snoop segment.
+        let mut buf = TraceBuffer::new(64);
+        buf.record(issue(3, 0));
+        buf.record(keyed(3, 10, EventKind::BusGrant { queued: 10 }));
+        buf.record(keyed(3, 170, EventKind::SnoopDone { owner: false }));
+        buf.record(keyed(3, 10, EventKind::DramStart { queued: 0 }));
+        buf.record(keyed(3, 240, EventKind::DramDone));
+        buf.record(retire(3, 260, PathTag::BroadcastMemory));
+        let asm = assemble(&buf);
+        let span = &asm.spans[0];
+        assert_conserved(span);
+        // dram_queue clamps to zero length and disappears.
+        let labels: Vec<_> = span.segments.iter().map(|s| s.label).collect();
+        assert_eq!(labels, vec!["arbitration", "snoop", "dram", "fill"]);
+    }
+
+    #[test]
+    fn zero_latency_span_has_no_segments() {
+        let mut buf = TraceBuffer::new(8);
+        buf.record(issue(7, 42));
+        buf.record(retire(7, 42, PathTag::Local));
+        let asm = assemble(&buf);
+        assert_eq!(asm.spans[0].latency(), 0);
+        assert!(asm.spans[0].segments.is_empty());
+        assert_conserved(&asm.spans[0]);
+    }
+
+    #[test]
+    fn spans_sort_canonically_and_losses_are_counted() {
+        let mut buf = TraceBuffer::new(64);
+        // Out-of-order issue cycles across seqs; plus one incomplete
+        // and one orphan retire.
+        buf.record(issue(5, 200));
+        buf.record(issue(4, 50));
+        buf.record(retire(5, 260, PathTag::Direct));
+        buf.record(retire(4, 90, PathTag::Direct));
+        buf.record(issue(6, 300)); // never retires
+        buf.record(retire(9, 400, PathTag::Direct)); // issue lost
+        let asm = assemble(&buf);
+        assert_eq!(asm.spans.len(), 2);
+        assert_eq!(asm.spans[0].seq, 4);
+        assert_eq!(asm.spans[1].seq, 5);
+        assert_eq!(asm.incomplete, 1);
+        assert_eq!(asm.orphans, 1);
+    }
+
+    #[test]
+    fn unkeyed_events_feed_counters() {
+        let mut buf = TraceBuffer::new(64);
+        let un = |kind| TraceEvent {
+            node: 2,
+            seq: UNKEYED,
+            cycle: 5,
+            kind,
+        };
+        buf.record(un(EventKind::MshrAlloc { line: 1 }));
+        buf.record(un(EventKind::MshrMerge { line: 1, wait: 120 }));
+        buf.record(un(EventKind::MshrMerge { line: 1, wait: 30 }));
+        buf.record(un(EventKind::RcaHit { region: 9 }));
+        buf.record(un(EventKind::RcaMiss { region: 9 }));
+        buf.record(un(EventKind::RcaEvict {
+            region: 9,
+            lines: 3,
+        }));
+        buf.record(un(EventKind::RcaSelfInvalidate { region: 9 }));
+        buf.record(un(EventKind::DcbzElided { line: 4 }));
+        let asm = assemble(&buf);
+        assert_eq!(asm.mshr.allocs, 1);
+        assert_eq!(asm.mshr.merges, 2);
+        assert_eq!(asm.mshr.merge_wait_cycles, 150);
+        assert_eq!(asm.rca.hits, 1);
+        assert_eq!(asm.rca.misses, 1);
+        assert_eq!(asm.rca.evictions, 1);
+        assert_eq!(asm.rca.evicted_lines, 3);
+        assert_eq!(asm.rca.self_invalidations, 1);
+        assert_eq!(asm.dcbz_elided, 1);
+        assert!(asm.spans.is_empty());
+    }
+}

@@ -2,13 +2,15 @@
 # A/B benchmark of the event-driven execution loop against the
 # cycle-stepped reference (see DESIGN.md, "Time advancement").
 #
-# Runs `experiments all --quick` twice on one worker (CGCT_JOBS=1) with
+# Runs `experiments all --quick` on one worker (CGCT_JOBS=1) with
 # pinned seeds — once with cycle skipping (the default), once with
-# --no-skip — byte-compares every figure artifact between the runs, and
-# writes BENCH_cgct.json with wall-clock seconds, simulated cycles/sec,
-# and the speedup ratio. The speedup is only reported if the artifacts
-# are byte-identical: it must be the cost of simulating the *same*
-# machine trajectory, not a different one.
+# --no-skip, once with request-lifetime tracing on (CGCT_TRACE=1) —
+# byte-compares every figure artifact between the runs, and writes
+# BENCH_cgct.json with wall-clock seconds, simulated cycles/sec, the
+# speedup ratio, and the tracing overhead ratio. The ratios are only
+# reported if the artifacts are byte-identical: they must be the cost
+# of simulating the *same* machine trajectory, not a different one.
+# Tracing overhead above 10% fails the run.
 #
 # Usage: scripts/bench.sh [output.json]
 #   CGCT_BENCH_CMD=fig7  restrict to one command (default: all)
@@ -45,22 +47,30 @@ echo "== $cmd --quick, cycle-stepped reference (--no-skip) =="
 noskip_ms=$(run_mode noskip "--no-skip")
 echo "   ${noskip_ms} ms"
 
+echo "== $cmd --quick, request-lifetime tracing on (CGCT_TRACE=1) =="
+traced_ms=$(CGCT_TRACE=1 run_mode traced "")
+echo "   ${traced_ms} ms"
+
 echo "== comparing artifacts =="
 identical=true
 for f in "$workdir"/skip/*.json; do
     name="$(basename "$f")"
     [ "$name" = timing.json ] && continue # wall times differ by design
-    if ! cmp -s "$f" "$workdir/noskip/$name"; then
-        echo "MISMATCH: $name differs between skip and no-skip"
+    for other in noskip traced; do
+        if ! cmp -s "$f" "$workdir/$other/$name"; then
+            echo "MISMATCH: $name differs between skip and $other"
+            identical=false
+        fi
+    done
+done
+for other in noskip traced; do
+    if ! cmp -s "$workdir/skip.md" "$workdir/$other.md"; then
+        echo "MISMATCH: report markdown differs between skip and $other"
         identical=false
     fi
 done
-if ! cmp -s "$workdir/skip.md" "$workdir/noskip.md"; then
-    echo "MISMATCH: report markdown differs between skip and no-skip"
-    identical=false
-fi
 if [ "$identical" != true ]; then
-    echo "bench.sh: FAILED — modes disagree; speedup would be meaningless" >&2
+    echo "bench.sh: FAILED — modes disagree; ratios would be meaningless" >&2
     exit 1
 fi
 echo "   all artifacts byte-identical"
@@ -75,6 +85,14 @@ sim_cycles=${sim_cycles:-0}
 speedup_milli=$(( noskip_ms * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 skip_cps=$(( sim_cycles * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 noskip_cps=$(( sim_cycles * 1000 / (noskip_ms > 0 ? noskip_ms : 1) ))
+trace_overhead_milli=$(( traced_ms * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
+
+# Gate: recording trace events may cost at most 10% wall clock.
+if [ "$trace_overhead_milli" -gt 1100 ]; then
+    echo "bench.sh: FAILED — tracing overhead $((trace_overhead_milli / 10 - 100))% exceeds the 10% budget" >&2
+    exit 1
+fi
+echo "   tracing overhead ratio: $((trace_overhead_milli / 1000)).$(printf '%03d' $((trace_overhead_milli % 1000))) (budget 1.100)"
 
 cat > "$out" <<EOF
 {
@@ -89,6 +107,11 @@ cat > "$out" <<EOF
   "no_skip": {
     "wall_seconds": $((noskip_ms / 1000)).$(printf '%03d' $((noskip_ms % 1000))),
     "sim_cycles_per_sec": $noskip_cps
+  },
+  "trace": {
+    "wall_seconds": $((traced_ms / 1000)).$(printf '%03d' $((traced_ms % 1000))),
+    "overhead_ratio": $((trace_overhead_milli / 1000)).$(printf '%03d' $((trace_overhead_milli % 1000))),
+    "budget_ratio": 1.100
   },
   "speedup": $((speedup_milli / 1000)).$(printf '%03d' $((speedup_milli % 1000)))
 }

@@ -60,6 +60,31 @@ cmp -s "$san_dir/plain.md" "$san_dir/sanitized.md" || {
 }
 echo "sanitized artifacts byte-identical"
 
+echo "== trace smoke: experiments directory --quick --trace, validated =="
+trace_dir="$san_dir/trace"
+CGCT_JOBS=1 target/release/experiments directory --quick \
+    --trace "$trace_dir" --json "$san_dir/traced_json" > "$san_dir/traced.md"
+# Tracing is pure observation: every non-trace artifact must be
+# byte-identical to an untraced run of the same command.
+CGCT_JOBS=1 target/release/experiments directory --quick \
+    --json "$san_dir/untraced_json" > "$san_dir/untraced.md"
+for f in "$san_dir"/untraced_json/*.json; do
+    name="$(basename "$f")"
+    [ "$name" = "timing.json" ] && continue
+    cmp -s "$f" "$san_dir/traced_json/$name" || {
+        echo "traced artifact differs: $name"
+        exit 1
+    }
+done
+cmp -s "$san_dir/traced.md" "$san_dir/untraced.md" || {
+    echo "traced report differs"
+    exit 1
+}
+# Chrome JSON parses and is per-track monotonic; the summary
+# round-trips byte-exactly and obeys the Figure 6 latency ordering.
+target/release/trace_check "$trace_dir"
+echo "trace artifacts validated, non-trace artifacts byte-identical"
+
 echo "== bench harness smoke (one command, quick) =="
 smoke_out="$(mktemp)"
 CGCT_BENCH_CMD=directory scripts/bench.sh "$smoke_out"
