@@ -156,16 +156,17 @@ impl Progress {
 }
 
 /// Pool-maps `f` over `items`, recording per-item wall time under
-/// `prefix:<label>` and showing a live progress line. `cycles` extracts
-/// the simulated cycles an item covered (for the timing log's
-/// throughput columns); return `None` for non-simulation work.
+/// `prefix:<label>` and showing a live progress line. `stats` extracts
+/// the simulated cycles an item covered and the memory events it
+/// delivered (for the timing log's throughput columns); return `None`
+/// for non-simulation work.
 fn run_pooled<T, R, F>(
     jobs: usize,
     prefix: &str,
     labels: Vec<String>,
     items: Vec<T>,
     f: F,
-    cycles: impl Fn(&R) -> Option<u64>,
+    stats: impl Fn(&R) -> Option<(u64, u64)>,
     timing: &mut TimingLog,
 ) -> Vec<R>
 where
@@ -182,8 +183,8 @@ where
     progress.finish();
     let per_item = seconds.into_inner().unwrap();
     for ((label, secs), result) in labels.into_iter().zip(per_item).zip(&out) {
-        match cycles(result) {
-            Some(c) => timing.record_run(format!("{prefix}:{label}"), secs, c),
+        match stats(result) {
+            Some((c, e)) => timing.record_run(format!("{prefix}:{label}"), secs, c, e),
             None => timing.record(format!("{prefix}:{label}"), secs),
         }
     }
@@ -432,12 +433,9 @@ fn main() {
             |report| progress.tick(report.done, report.total),
         );
         progress.finish();
-        timing.extend_runs(
-            suite
-                .timings
-                .iter()
-                .map(|(label, secs, cycles)| (format!("suite:{label}"), *secs, *cycles)),
-        );
+        timing.extend_runs(suite.timings.iter().map(|(label, secs, cycles, events)| {
+            (format!("suite:{label}"), *secs, *cycles, *events)
+        }));
         timing.record("phase:suite", suite_t0.elapsed().as_secs_f64());
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
         if args.trace_dir.is_some() {
@@ -722,7 +720,7 @@ fn run_directory_comparison(
             let cfg = SystemConfig::paper_default(mode);
             run_once(&cfg, &spec, plan.base_seed, &plan)
         },
-        |r| Some(r.runtime_cycles),
+        |r| Some((r.runtime_cycles, r.mem_events)),
         timing,
     );
     if args.trace_dir.is_some() {
@@ -783,11 +781,15 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
         benchmarks.clone(),
         |_, spec| {
             let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
-            run_once(&cfg, &spec, plan.base_seed, &plan).runtime_cycles as f64
+            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
+            (r.runtime_cycles, r.mem_events)
         },
-        |rt| Some(*rt as u64),
+        |(rt, ev)| Some((*rt, *ev)),
         timing,
-    );
+    )
+    .into_iter()
+    .map(|(rt, _)| rt as f64)
+    .collect();
     eprintln!("region-sweep baselines done");
     let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096];
     // Region-major item order; per-region sums fold from canonical
@@ -812,9 +814,13 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
                 sets: 8192,
             });
             let r = run_once(&cfg, &spec, plan.base_seed, &plan);
-            (r.runtime_cycles as f64, r.metrics.avoided_fraction())
+            (
+                r.runtime_cycles as f64,
+                r.metrics.avoided_fraction(),
+                r.mem_events,
+            )
         },
-        |(rt, _)| Some(*rt as u64),
+        |(rt, _, ev)| Some((*rt as u64, *ev)),
         timing,
     );
     let mut rows = Vec::new();
@@ -823,7 +829,7 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
         let region_bytes = sizes[size_idx];
         let mut reduction_sum = 0.0;
         let mut avoided_sum = 0.0;
-        for ((runtime, avoided), base) in chunk.iter().zip(&base_runtime) {
+        for ((runtime, avoided, _), base) in chunk.iter().zip(&base_runtime) {
             reduction_sum += 100.0 * (1.0 - runtime / base);
             avoided_sum += avoided * 100.0;
         }
@@ -889,7 +895,7 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
         labels,
         items,
         |_, (spec, cfg)| run_once(&cfg, &spec, plan.base_seed, &plan),
-        |r| Some(r.runtime_cycles),
+        |r| Some((r.runtime_cycles, r.mem_events)),
         timing,
     );
     let mut rows = Vec::new();
@@ -956,7 +962,7 @@ fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingL
             cfg.topology = Topology::two_boards();
             run_once(&cfg, &spec, plan.base_seed, &plan)
         },
-        |r| Some(r.runtime_cycles),
+        |r| Some((r.runtime_cycles, r.mem_events)),
         timing,
     );
     let mut rows = Vec::new();

@@ -27,6 +27,10 @@ pub struct TimingRow {
     /// Simulated cycles of the measured phase (`None` for rows that are
     /// not simulations: command phases, analytic tables, cache models).
     pub sim_cycles: Option<u64>,
+    /// Memory completion events the item delivered (`None` for
+    /// non-simulation rows) — with `seconds`, the raw material for the
+    /// `memory_events_per_sec` throughput figure.
+    pub mem_events: Option<u64>,
 }
 
 impl TimingRow {
@@ -72,16 +76,25 @@ impl TimingLog {
             label: label.into(),
             seconds,
             sim_cycles: None,
+            mem_events: None,
         });
     }
 
     /// Appends one simulation row: wall seconds plus the simulated
-    /// cycles the item covered.
-    pub fn record_run(&mut self, label: impl Into<String>, seconds: f64, sim_cycles: u64) {
+    /// cycles the item covered and the memory completion events it
+    /// delivered.
+    pub fn record_run(
+        &mut self,
+        label: impl Into<String>,
+        seconds: f64,
+        sim_cycles: u64,
+        mem_events: u64,
+    ) {
         self.rows.push(TimingRow {
             label: label.into(),
             seconds,
             sim_cycles: Some(sim_cycles),
+            mem_events: Some(mem_events),
         });
     }
 
@@ -93,9 +106,9 @@ impl TimingLog {
     }
 
     /// Appends many simulation rows (e.g. a suite's per-item timings).
-    pub fn extend_runs(&mut self, rows: impl IntoIterator<Item = (String, f64, u64)>) {
-        for (label, seconds, cycles) in rows {
-            self.record_run(label, seconds, cycles);
+    pub fn extend_runs(&mut self, rows: impl IntoIterator<Item = (String, f64, u64, u64)>) {
+        for (label, seconds, cycles, events) in rows {
+            self.record_run(label, seconds, cycles, events);
         }
     }
 
@@ -118,6 +131,11 @@ impl TimingLog {
     /// Sum of simulated cycles over rows that carry one.
     pub fn total_sim_cycles(&self) -> u64 {
         self.rows.iter().filter_map(|r| r.sim_cycles).sum()
+    }
+
+    /// Sum of memory completion events over rows that carry one.
+    pub fn total_mem_events(&self) -> u64 {
+        self.rows.iter().filter_map(|r| r.mem_events).sum()
     }
 
     /// The recorded rows, in insertion order.
@@ -150,6 +168,9 @@ impl ToJson for TimingLog {
                             Json::f64(row.cycles_per_sec().unwrap_or(0.0)),
                         ));
                     }
+                    if let Some(e) = row.mem_events {
+                        fields.push(("mem_events", Json::u64(e)));
+                    }
                     Json::obj(fields)
                 })
                 .collect(),
@@ -159,6 +180,7 @@ impl ToJson for TimingLog {
             ("items", Json::u64(self.rows.len() as u64)),
             ("total_item_seconds", Json::f64(self.total_seconds())),
             ("total_sim_cycles", Json::u64(self.total_sim_cycles())),
+            ("total_mem_events", Json::u64(self.total_mem_events())),
             ("timings", items),
         ])
     }
@@ -312,10 +334,16 @@ mod tests {
     #[test]
     fn simulation_rows_carry_cycles_and_throughput() {
         let mut log = TimingLog::new(1);
-        log.record_run("suite:ocean/cgct-512B#s1", 0.5, 1_000_000);
-        log.extend_runs([("suite:ocean/cgct-512B#s2".to_string(), 0.25, 500_000u64)]);
+        log.record_run("suite:ocean/cgct-512B#s1", 0.5, 1_000_000, 900);
+        log.extend_runs([(
+            "suite:ocean/cgct-512B#s2".to_string(),
+            0.25,
+            500_000u64,
+            450u64,
+        )]);
         log.record("phase:total", 0.75);
         assert_eq!(log.total_sim_cycles(), 1_500_000);
+        assert_eq!(log.total_mem_events(), 1_350);
         assert_eq!(log.rows()[0].cycles_per_sec(), Some(2_000_000.0));
         assert_eq!(log.rows()[2].cycles_per_sec(), None);
         let v = Json::parse(&log.to_json().dump()).unwrap();
@@ -323,19 +351,25 @@ mod tests {
             v.get("total_sim_cycles").and_then(Json::as_u64),
             Some(1_500_000)
         );
+        assert_eq!(
+            v.get("total_mem_events").and_then(Json::as_u64),
+            Some(1_350)
+        );
         let rows = v.get("timings").and_then(Json::as_array).unwrap();
         assert_eq!(
             rows[0].get("sim_cycles").and_then(Json::as_u64),
             Some(1_000_000)
         );
+        assert_eq!(rows[0].get("mem_events").and_then(Json::as_u64), Some(900));
         assert_eq!(
             rows[1].get("cycles_per_sec").and_then(Json::as_f64),
             Some(2_000_000.0)
         );
         assert!(rows[2].get("sim_cycles").is_none());
+        assert!(rows[2].get("mem_events").is_none());
         // A zero wall-time reading cannot produce an infinite rate.
         let mut zero = TimingLog::new(1);
-        zero.record_run("x", 0.0, 10);
+        zero.record_run("x", 0.0, 10, 1);
         assert_eq!(zero.rows()[0].cycles_per_sec(), None);
         let z = Json::parse(&zero.to_json().dump()).unwrap();
         let zr = z.get("timings").and_then(Json::as_array).unwrap();

@@ -37,6 +37,9 @@ struct Slot<T> {
 #[derive(Debug, Clone)]
 pub struct MshrFile<T> {
     slots: Vec<Option<Slot<T>>>,
+    /// Occupied-slot count, kept in step with `slots` so the per-issue
+    /// full check is O(1) instead of a scan.
+    live: usize,
 }
 
 impl<T> MshrFile<T> {
@@ -49,6 +52,7 @@ impl<T> MshrFile<T> {
         assert!(capacity > 0, "MSHR file needs at least one register");
         MshrFile {
             slots: (0..capacity).map(|_| None).collect(),
+            live: 0,
         }
     }
 
@@ -59,12 +63,12 @@ impl<T> MshrFile<T> {
 
     /// Number of registers in use.
     pub fn in_use(&self) -> usize {
-        self.slots.iter().filter(|s| s.is_some()).count()
+        self.live
     }
 
     /// Whether every register is occupied.
     pub fn is_full(&self) -> bool {
-        self.slots.iter().all(|s| s.is_some())
+        self.live == self.slots.len()
     }
 
     /// Returns the MSHR already tracking `line`, if any (a secondary miss
@@ -85,6 +89,7 @@ impl<T> MshrFile<T> {
             line,
             waiters: vec![waiter],
         });
+        self.live += 1;
         Some(MshrId(idx))
     }
 
@@ -142,6 +147,7 @@ impl<T> MshrFile<T> {
     /// Panics if `id` is not allocated.
     pub fn complete(&mut self, id: MshrId) -> (LineAddr, Vec<T>) {
         let slot = self.slots[id.0].take().expect("MSHR not allocated");
+        self.live -= 1;
         (slot.line, slot.waiters)
     }
 }
@@ -154,6 +160,18 @@ impl<T> MshrFile<T> {
 /// Tracing is observation only — the sink never changes what is
 /// allocated or found.
 impl MshrFile<Cycle> {
+    /// The earliest primary fill time across all allocated registers —
+    /// the next cycle at which this file releases a miss. This is the
+    /// MSHR-fill completion the machine's event-driven clock jumps to;
+    /// `None` when no miss is outstanding.
+    pub fn next_fill(&self) -> Option<Cycle> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter_map(|slot| slot.waiters.first().copied())
+            .min()
+    }
+
     /// [`MshrFile::find`] that, on a merge hit, records the merge and
     /// the remaining wait (`fill - now`) for the secondary access.
     pub fn find_merge_traced(
@@ -253,6 +271,22 @@ mod tests {
         let id = m.allocate(LineAddr(1), 77).unwrap();
         m.add_waiter(id, 88);
         assert_eq!(*m.primary(id), 77);
+    }
+
+    #[test]
+    fn next_fill_is_earliest_primary() {
+        let mut m: MshrFile<Cycle> = MshrFile::new(4);
+        assert_eq!(m.next_fill(), None);
+        let a = m.allocate(LineAddr(1), Cycle(300)).unwrap();
+        m.allocate(LineAddr(2), Cycle(200)).unwrap();
+        // Secondary waiters never move the fill time.
+        m.add_waiter(a, Cycle(100));
+        assert_eq!(m.next_fill(), Some(Cycle(200)));
+        let b = m.find(LineAddr(2)).unwrap();
+        m.complete(b);
+        assert_eq!(m.next_fill(), Some(Cycle(300)));
+        m.complete(a);
+        assert_eq!(m.next_fill(), None);
     }
 
     #[test]

@@ -87,6 +87,30 @@ struct RobEntry {
     /// This entry is a mispredicted branch: fetch resumes a pipeline
     /// refill after it resolves.
     redirect: bool,
+    /// Functional-unit class (index into the issue stage's availability
+    /// array), precomputed at dispatch so the issue scan — which may
+    /// revisit a blocked entry many times — never re-derives it from
+    /// the uop kind.
+    fu_class: u8,
+}
+
+/// Functional-unit classes, in the order the issue stage's availability
+/// array is laid out: int ALU (also branches), int mult, FP ALU, FP
+/// mult, memory port.
+const FU_INT_ALU: u8 = 0;
+const FU_INT_MULT: u8 = 1;
+const FU_FP_ALU: u8 = 2;
+const FU_FP_MULT: u8 = 3;
+const FU_MEM: u8 = 4;
+
+fn fu_class_of(kind: UopKind) -> u8 {
+    match kind {
+        UopKind::IntAlu | UopKind::Branch { .. } => FU_INT_ALU,
+        UopKind::IntMult => FU_INT_MULT,
+        UopKind::FpAlu => FU_FP_ALU,
+        UopKind::FpMult => FU_FP_MULT,
+        UopKind::Load { .. } | UopKind::Store { .. } | UopKind::Dcbz { .. } => FU_MEM,
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,12 +144,13 @@ pub struct Core {
     rob_mask: u64,
     head_seq: u64,
     next_seq: u64,
-    /// Entries in `head_seq..next_seq` not yet issued. Zero lets the
-    /// issue stage return without scanning at all.
-    unissued: usize,
-    /// Lower bound on the first unissued seq: every entry below it is
-    /// issued, so the issue scan starts here instead of at the head.
-    first_unissued_seq: u64,
+    /// Seqs of entries in `head_seq..next_seq` not yet issued, in
+    /// ascending order (dispatch appends, issue removes from anywhere).
+    /// The issue stage and `next_event` walk this list instead of the
+    /// ROB, so their cost scales with the *unissued* population — a
+    /// handful in steady flow — rather than with ROB occupancy, which
+    /// is mostly issued entries waiting to commit.
+    unissued_seqs: Vec<u64>,
     lsq_occupancy: usize,
     store_buffer: VecDeque<(StoreKind, Addr)>,
     stores_in_flight: Vec<Cycle>,
@@ -133,6 +158,10 @@ pub struct Core {
     /// completion time. Bounds load-level parallelism and merges
     /// secondary misses onto the primary's fill.
     load_mshrs: MshrFile<Cycle>,
+    /// Earliest primary fill among `load_mshrs` (`u64::MAX` when none):
+    /// the retire stage scans the file only when a fill is actually due,
+    /// and `next_event` reads this instead of re-deriving the minimum.
+    earliest_fill: u64,
     /// Optional trace sink for MSHR alloc/merge events, tagged with
     /// this core's id. `None` (the default) records nothing and is the
     /// zero-cost path; the sink never influences core behaviour.
@@ -160,11 +189,12 @@ impl Core {
             issued: false,
             done_at: Cycle::ZERO,
             redirect: false,
+            fu_class: FU_INT_ALU,
         };
         Core {
             cfg,
             bpred: BranchPredictor::paper_default(),
-            fetch_queue: VecDeque::new(),
+            fetch_queue: VecDeque::with_capacity(cfg.fetch_queue + 1),
             pending_fetch: None,
             current_fetch_line: None,
             fetch_line_ready: Cycle::ZERO,
@@ -174,12 +204,12 @@ impl Core {
             rob_mask: ring as u64 - 1,
             head_seq: 0,
             next_seq: 0,
-            unissued: 0,
-            first_unissued_seq: 0,
+            unissued_seqs: Vec::with_capacity(cfg.rob),
             lsq_occupancy: 0,
-            store_buffer: VecDeque::new(),
-            stores_in_flight: Vec::new(),
+            store_buffer: VecDeque::with_capacity(cfg.store_buffer + 1),
+            stores_in_flight: Vec::with_capacity(cfg.store_mshrs + 1),
             load_mshrs: MshrFile::new(cfg.load_mshrs),
+            earliest_fill: u64::MAX,
             trace: None,
             stats: CoreStats::default(),
         }
@@ -299,7 +329,7 @@ impl Core {
     /// buffer and, through it, commit), load MSHRs (gate load issue when
     /// the file is full), and the two fetch stalls. If no event is
     /// pending the conservative answer `now + 1` keeps the driver live.
-    fn next_event(&self, now: Cycle) -> Wakeup {
+    fn next_event(&mut self, now: Cycle) -> Wakeup {
         let mut wake = u64::MAX;
         // Commit is enabled by the head's completion. (A head that is
         // already complete but store-buffer-blocked waits on a store
@@ -318,16 +348,11 @@ impl Core {
         // producers' events cover them transitively; producers already
         // complete mean the entry was schedulable this tick and the
         // forcing rules in `tick` handled it.
-        let mut scanned = 0;
-        for seq in self.first_unissued_seq.max(self.head_seq)..self.next_seq {
-            let e = self.rob_at(seq);
-            if e.issued {
-                continue;
-            }
-            scanned += 1;
-            if scanned > self.cfg.issue_window {
+        for (scanned, &seq) in self.unissued_seqs.iter().enumerate() {
+            if scanned >= self.cfg.issue_window {
                 break;
             }
+            let e = self.rob_at(seq);
             if e.uop.dep_dist == 0 {
                 continue;
             }
@@ -344,14 +369,9 @@ impl Core {
         }
         // A fill retirement frees a load MSHR, unblocking an MSHR-full
         // load in the window (these mostly coincide with producer
-        // completions above).
-        for idx in 0..self.load_mshrs.capacity() {
-            if let Some(&done) = self.load_mshrs.get_primary(cgct_cache::MshrId(idx)) {
-                if done > now {
-                    wake = wake.min(done.0);
-                }
-            }
-        }
+        // completions above). The retire stage already ran at `now`, so
+        // the cached minimum is either in the future or MAX.
+        wake = wake.min(self.earliest_fill);
         // Store retirements matter only while the buffer has a backlog
         // to drain (which also covers a store-buffer-blocked commit).
         if !self.store_buffer.is_empty() {
@@ -380,8 +400,14 @@ impl Core {
     }
 
     fn retire_load_mshrs(&mut self, now: Cycle) -> bool {
-        // Free registers whose fills have arrived.
+        // Free registers whose fills have arrived. The cached minimum
+        // makes the no-fill-due case (the vast majority of ticks) a
+        // single compare; the scan below re-derives it from what stays.
+        if self.earliest_fill > now.0 {
+            return false;
+        }
         let mut any = false;
+        let mut earliest = u64::MAX;
         for idx in 0..self.load_mshrs.capacity() {
             let id = cgct_cache::MshrId(idx);
             let done = match self.load_mshrs.get_primary(id) {
@@ -391,8 +417,11 @@ impl Core {
             if done <= now {
                 let _ = self.load_mshrs.complete(id);
                 any = true;
+            } else {
+                earliest = earliest.min(done.0);
             }
         }
+        self.earliest_fill = earliest;
         any
     }
 
@@ -428,6 +457,7 @@ impl Core {
             if !head.issued || head.done_at > now {
                 break;
             }
+            let head_is_mem = head.uop.kind.is_mem();
             // Stores and dcbz retire into the store buffer.
             let buffered = match head.uop.kind {
                 UopKind::Store { addr } => Some((StoreKind::Store, addr)),
@@ -454,7 +484,7 @@ impl Core {
                     StoreKind::Dcbz => self.stats.dcbz_ops += 1,
                 }
             }
-            if self.rob_at(self.head_seq).uop.kind.is_mem() {
+            if head_is_mem {
                 self.lsq_occupancy -= 1;
             }
             self.head_seq += 1;
@@ -488,78 +518,67 @@ impl Core {
     /// it. Entries blocked on producers or MSHRs instead wait for
     /// completion events that [`Core::next_event`] reports.
     fn issue(&mut self, now: Cycle, mem: &mut dyn MemoryInterface) -> bool {
-        if self.unissued == 0 {
+        if self.unissued_seqs.is_empty() {
             return false;
         }
         let mut issued = 0;
-        let mut scanned_unissued = 0;
         let mut fu_blocked = false;
         let mut window_break = false;
-        let mut int_alu = self.cfg.int_alu;
-        let mut int_mult = self.cfg.int_mult;
-        let mut fp_alu = self.cfg.fp_alu;
-        let mut fp_mult = self.cfg.fp_mult;
-        let mut mem_ports = self.cfg.mem_ports;
-        // The scan leaves behind a new lower bound on the first unissued
-        // entry; `None` until the first entry left unissued is seen.
-        let mut next_hint: Option<u64> = None;
-        let start = self.first_unissued_seq.max(self.head_seq);
-        for seq in start..self.next_seq {
+        let mut avail: [usize; 5] = [
+            self.cfg.int_alu,
+            self.cfg.int_mult,
+            self.cfg.fp_alu,
+            self.cfg.fp_mult,
+            self.cfg.mem_ports,
+        ];
+        // Walk the unissued list in program order, compacting in place:
+        // entries that issue drop out, blocked entries (and, after a
+        // width/window break, the unprocessed tail) stay.
+        let n_list = self.unissued_seqs.len();
+        let mut read = 0;
+        let mut write = 0;
+        while read < n_list {
             if issued >= self.cfg.issue_width {
-                if next_hint.is_none() {
-                    next_hint = Some(seq);
-                }
                 break;
             }
-            let e = self.rob_at(seq);
-            if e.issued {
-                continue;
-            }
-            scanned_unissued += 1;
-            if scanned_unissued > self.cfg.issue_window {
+            // Only the oldest `issue_window` unissued entries are
+            // candidates; every list element is unissued, so the read
+            // position is the count scanned.
+            if read >= self.cfg.issue_window {
                 window_break = true;
-                if next_hint.is_none() {
-                    next_hint = Some(seq);
-                }
                 break;
             }
+            let seq = self.unissued_seqs[read];
+            let e = self.rob_at(seq);
             let dep_dist = e.uop.dep_dist;
             let kind = e.uop.kind;
             // Functional-unit availability (checked before the producer
             // lookup: it is cheaper and both must pass).
-            let fu = match kind {
-                UopKind::IntAlu | UopKind::Branch { .. } => &mut int_alu,
-                UopKind::IntMult => &mut int_mult,
-                UopKind::FpAlu => &mut fp_alu,
-                UopKind::FpMult => &mut fp_mult,
-                UopKind::Load { .. } | UopKind::Store { .. } | UopKind::Dcbz { .. } => {
-                    &mut mem_ports
-                }
-            };
-            if *fu == 0 {
+            let fu = e.fu_class as usize;
+            if avail[fu] == 0 {
                 fu_blocked = true;
-                if next_hint.is_none() {
-                    next_hint = Some(seq);
-                }
+                self.unissued_seqs[write] = seq;
+                write += 1;
+                read += 1;
                 continue;
             }
             if !self.producer_ready(seq, dep_dist, now) {
-                if next_hint.is_none() {
-                    next_hint = Some(seq);
-                }
+                self.unissued_seqs[write] = seq;
+                write += 1;
+                read += 1;
                 continue;
             }
             // A load to a line not already in flight needs a free MSHR.
             if let UopKind::Load { addr, .. } = kind {
                 let line = LineAddr(addr.0 >> 6);
                 if self.load_mshrs.is_full() && self.load_mshrs.find(line).is_none() {
-                    if next_hint.is_none() {
-                        next_hint = Some(seq);
-                    }
+                    self.unissued_seqs[write] = seq;
+                    write += 1;
+                    read += 1;
                     continue;
                 }
             }
-            *fu -= 1;
+            avail[fu] -= 1;
             let done_at = match kind {
                 UopKind::IntAlu | UopKind::Branch { .. } => now + 1,
                 UopKind::IntMult => now + self.cfg.int_mult_latency,
@@ -591,6 +610,7 @@ impl Core {
                                 ),
                                 None => self.load_mshrs.allocate(line, done),
                             };
+                            self.earliest_fill = self.earliest_fill.min(done.0);
                         }
                         done
                     }
@@ -609,18 +629,20 @@ impl Core {
                     .max(done_at + self.cfg.mispredict_penalty);
                 self.redirects_in_flight -= 1;
             }
-            self.unissued -= 1;
             issued += 1;
+            read += 1;
         }
-        // Everything below the hint is issued; with nothing left over the
-        // next unissued entry can only be a future dispatch at
-        // `next_seq` or beyond.
-        self.first_unissued_seq = next_hint.unwrap_or(self.next_seq);
+        // Keep the unprocessed tail (width/window break) and drop the
+        // issued entries the compaction skipped.
+        if write != read {
+            self.unissued_seqs.copy_within(read..n_list, write);
+        }
+        self.unissued_seqs.truncate(write + (n_list - read));
         // Width and window breaks only matter if unissued entries remain
         // beyond the cut (width) or newly inside the window (window —
         // which shifts only when something issued).
         fu_blocked
-            || (issued >= self.cfg.issue_width && self.unissued > 0)
+            || (issued >= self.cfg.issue_width && !self.unissued_seqs.is_empty())
             || (window_break && issued > 0)
     }
 
@@ -640,16 +662,16 @@ impl Core {
             if f.uop.kind.is_mem() {
                 self.lsq_occupancy += 1;
             }
-            // `first_unissued_seq <= next_seq` always holds, so the new
-            // unissued entry never invalidates the hint.
             self.rob[(self.next_seq & self.rob_mask) as usize] = RobEntry {
+                fu_class: fu_class_of(f.uop.kind),
                 uop: f.uop,
                 issued: false,
                 done_at: Cycle::ZERO,
                 redirect: f.redirect,
             };
+            // Dispatch appends in seq order, keeping the list sorted.
+            self.unissued_seqs.push(self.next_seq);
             self.next_seq += 1;
-            self.unissued += 1;
             dispatched += 1;
         }
         dispatched

@@ -5,7 +5,8 @@
 //! "queuing delays" of Figure 6 come from. Snoop responses return a fixed
 //! snoop latency after the grant.
 
-use cgct_sim::{Cycle, RunningStats, CPU_CYCLES_PER_SYSTEM_CYCLE};
+use crate::event::MemEvent;
+use cgct_sim::{Cycle, EventQueue, CPU_CYCLES_PER_SYSTEM_CYCLE};
 use cgct_trace::{EventKind, TraceEvent, TraceSink};
 
 /// The broadcast address network arbiter.
@@ -26,7 +27,11 @@ use cgct_trace::{EventKind, TraceEvent, TraceSink};
 pub struct AddressNetwork {
     next_free: Cycle,
     granted: u64,
-    queue_delay: RunningStats,
+    /// Total queuing + alignment delay over all grants, in whole CPU
+    /// cycles. An integer sum is exact and independent of push order,
+    /// unlike a floating-point running mean — a determinism hazard once
+    /// memory events interleave differently between runs.
+    queue_delay_cycles: u64,
 }
 
 impl AddressNetwork {
@@ -35,7 +40,7 @@ impl AddressNetwork {
         AddressNetwork {
             next_free: Cycle::ZERO,
             granted: 0,
-            queue_delay: RunningStats::new(),
+            queue_delay_cycles: 0,
         }
     }
 
@@ -46,7 +51,22 @@ impl AddressNetwork {
         let granted_at = earliest.max(self.next_free);
         self.next_free = granted_at + CPU_CYCLES_PER_SYSTEM_CYCLE;
         self.granted += 1;
-        self.queue_delay.push((granted_at - now) as f64);
+        self.queue_delay_cycles += granted_at - now;
+        granted_at
+    }
+
+    /// [`AddressNetwork::grant_traced`] that also schedules a
+    /// [`MemEvent::BusGranted`] completion event at the grant time, so
+    /// the machine's event-driven clock can jump straight to it instead
+    /// of discovering the grant by re-ticking cores.
+    pub fn grant_event(
+        &mut self,
+        now: Cycle,
+        events: &mut EventQueue<MemEvent>,
+        trace: Option<(&mut dyn TraceSink, u8, u64)>,
+    ) -> Cycle {
+        let granted_at = self.grant_traced(now, trace);
+        events.schedule(granted_at, MemEvent::BusGranted);
         granted_at
     }
 
@@ -78,9 +98,20 @@ impl AddressNetwork {
         self.granted
     }
 
-    /// Mean queuing + alignment delay per broadcast, in CPU cycles.
+    /// Mean queuing + alignment delay per broadcast, in milli-cycles
+    /// (fixed point: `total * 1000 / grants`) — integer-exact, so the
+    /// value cannot depend on the order delays were accumulated.
+    pub fn mean_queue_delay_milli(&self) -> u64 {
+        self.queue_delay_cycles
+            .saturating_mul(1000)
+            .checked_div(self.granted)
+            .unwrap_or(0)
+    }
+
+    /// Mean queuing + alignment delay per broadcast, in CPU cycles
+    /// (derived from [`AddressNetwork::mean_queue_delay_milli`]).
     pub fn mean_queue_delay(&self) -> f64 {
-        self.queue_delay.mean()
+        self.mean_queue_delay_milli() as f64 / 1000.0
     }
 
     /// Resets counters and the arbiter clock (between runs).
@@ -127,7 +158,41 @@ mod tests {
         let mut bus = AddressNetwork::new();
         bus.grant(Cycle(0)); // delay 0
         bus.grant(Cycle(0)); // delay 10
+        assert_eq!(bus.mean_queue_delay_milli(), 5_000);
         assert!((bus.mean_queue_delay() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn queue_delay_mean_is_push_order_independent() {
+        // Integer accumulation: any permutation of the same delays
+        // yields the identical milli-cycle mean.
+        // Arrivals are spaced 1000 cycles apart (no arbitration
+        // coupling); each contributes an alignment delay of `d`.
+        let delays = [0u64, 3, 7, 1, 9, 2, 8];
+        let arrive = |k: u64, d: u64| Cycle(1000 * (k + 1) + (10 - d) % 10);
+        let mut fwd = AddressNetwork::new();
+        let mut rev = AddressNetwork::new();
+        for (k, &d) in delays.iter().enumerate() {
+            fwd.grant(arrive(k as u64, d));
+        }
+        for (k, &d) in delays.iter().rev().enumerate() {
+            rev.grant(arrive(k as u64, d));
+        }
+        assert_eq!(fwd.mean_queue_delay_milli(), rev.mean_queue_delay_milli());
+    }
+
+    #[test]
+    fn event_grant_matches_and_schedules() {
+        let mut bus = AddressNetwork::new();
+        let mut shadow = AddressNetwork::new();
+        let mut q = EventQueue::new();
+        let g0 = bus.grant_event(Cycle(3), &mut q, None);
+        let g1 = bus.grant_event(Cycle(3), &mut q, None);
+        assert_eq!(g0, shadow.grant(Cycle(3)));
+        assert_eq!(g1, shadow.grant(Cycle(3)));
+        assert_eq!(q.pop(), Some((g0, MemEvent::BusGranted)));
+        assert_eq!(q.pop(), Some((g1, MemEvent::BusGranted)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -1,0 +1,87 @@
+//! Typed completion events for the memory path.
+//!
+//! The memory system is discrete-event: the arbiter, the memory
+//! controllers, the snoop-response combiner, the data ports, and the
+//! MSHR fill paths all schedule a [`MemEvent`] on the machine's central
+//! [`cgct_sim::EventQueue`] at the cycle their work completes. The
+//! machine's run loop advances `now` to the earliest of the core
+//! wakeups and the queue head (see `Machine::run_until` in
+//! `cgct-system`), so wall-clock tracks the number of events, not the
+//! number of simulated cycles. The cycle-stepped reference
+//! (`CGCT_NO_SKIP`) drains the same queue once per cycle instead.
+//!
+//! Events are pure *completion notifications*: every architectural
+//! state transition is applied synchronously inside the atomic-bus
+//! coherence engine when the request is processed, so delivering an
+//! event mutates nothing — it only marks a point in time the clock must
+//! not skip past, and feeds the `memory_events_per_sec` throughput
+//! diagnostic in `BENCH_cgct.json`.
+
+/// One memory-path completion, scheduled at the cycle it happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemEvent {
+    /// The broadcast address network granted a request its bus slot.
+    BusGranted,
+    /// All snoop responses for a broadcast have been combined.
+    SnoopComplete,
+    /// A DRAM bank finished its access and is free again.
+    DramComplete,
+    /// A point-to-point data-port transfer finished.
+    DataPortFree,
+    /// A demand miss response arrived and fills the requesting MSHR
+    /// (load, store, or dcbz path).
+    MshrFill,
+    /// An instruction-fetch miss response arrived (fetch resumes).
+    FetchFill,
+}
+
+impl MemEvent {
+    /// Stable short label (diagnostics).
+    pub fn label(self) -> &'static str {
+        match self {
+            MemEvent::BusGranted => "bus-grant",
+            MemEvent::SnoopComplete => "snoop-complete",
+            MemEvent::DramComplete => "dram-complete",
+            MemEvent::DataPortFree => "data-port-free",
+            MemEvent::MshrFill => "mshr-fill",
+            MemEvent::FetchFill => "fetch-fill",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cgct_sim::{Cycle, EventQueue};
+
+    #[test]
+    fn events_queue_in_time_order() {
+        let mut q: EventQueue<MemEvent> = EventQueue::new();
+        q.schedule(Cycle(30), MemEvent::DramComplete);
+        q.schedule(Cycle(10), MemEvent::BusGranted);
+        q.schedule(Cycle(20), MemEvent::SnoopComplete);
+        let order: Vec<MemEvent> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(
+            order,
+            vec![
+                MemEvent::BusGranted,
+                MemEvent::SnoopComplete,
+                MemEvent::DramComplete
+            ]
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            MemEvent::BusGranted,
+            MemEvent::SnoopComplete,
+            MemEvent::DramComplete,
+            MemEvent::DataPortFree,
+            MemEvent::MshrFill,
+            MemEvent::FetchFill,
+        ];
+        let labels: std::collections::HashSet<_> = all.iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+}

@@ -23,11 +23,13 @@
 #![deny(missing_docs)]
 
 pub mod bus;
+pub mod event;
 pub mod latency;
 pub mod memctrl;
 pub mod topology;
 
 pub use bus::AddressNetwork;
+pub use event::MemEvent;
 pub use latency::{DistanceClass, LatencyModel};
 pub use memctrl::MemoryController;
 pub use topology::{CoreId, McId, Topology};

@@ -4,7 +4,8 @@
 //! per bank-occupancy interval; contention shows up as queuing delay on
 //! top of the DRAM access latency from [`crate::latency::LatencyModel`].
 
-use cgct_sim::{Cycle, RunningStats, SystemCycle};
+use crate::event::MemEvent;
+use cgct_sim::{Cycle, EventQueue, SystemCycle};
 use cgct_trace::{EventKind, TraceEvent, TraceSink};
 
 /// One memory controller.
@@ -29,7 +30,11 @@ pub struct MemoryController {
     /// Next-free time per bank.
     banks: Vec<Cycle>,
     accesses: u64,
-    queue_delay: RunningStats,
+    /// Total bank queuing delay over all accesses, in whole CPU cycles.
+    /// An integer sum is exact and independent of push order, unlike a
+    /// floating-point running mean — a determinism hazard once memory
+    /// events interleave differently between runs.
+    queue_delay_cycles: u64,
 }
 
 impl MemoryController {
@@ -45,7 +50,7 @@ impl MemoryController {
             occupancy,
             banks: vec![Cycle::ZERO; banks],
             accesses: 0,
-            queue_delay: RunningStats::new(),
+            queue_delay_cycles: 0,
         }
     }
 
@@ -67,7 +72,25 @@ impl MemoryController {
         let start = now.max(free_at);
         self.banks[idx] = start + self.occupancy.as_cpu_cycles();
         self.accesses += 1;
-        self.queue_delay.push((start - now) as f64);
+        self.queue_delay_cycles += start - now;
+        start
+    }
+
+    /// [`MemoryController::start_access_traced`] that also schedules a
+    /// [`MemEvent::DramComplete`] at the cycle the bank finishes, so
+    /// the machine's event-driven clock can jump straight to the
+    /// completion instead of discovering it by re-ticking cores.
+    pub fn start_access_event(
+        &mut self,
+        now: Cycle,
+        events: &mut EventQueue<MemEvent>,
+        trace: Option<(&mut dyn TraceSink, u8, u64)>,
+    ) -> Cycle {
+        let start = self.start_access_traced(now, trace);
+        events.schedule(
+            start + self.occupancy.as_cpu_cycles(),
+            MemEvent::DramComplete,
+        );
         start
     }
 
@@ -99,9 +122,20 @@ impl MemoryController {
         self.accesses
     }
 
-    /// Mean bank queuing delay in CPU cycles.
+    /// Mean bank queuing delay per access, in milli-cycles (fixed
+    /// point: `total * 1000 / accesses`) — integer-exact, so the value
+    /// cannot depend on the order delays were accumulated.
+    pub fn mean_queue_delay_milli(&self) -> u64 {
+        self.queue_delay_cycles
+            .saturating_mul(1000)
+            .checked_div(self.accesses)
+            .unwrap_or(0)
+    }
+
+    /// Mean bank queuing delay in CPU cycles (derived from
+    /// [`MemoryController::mean_queue_delay_milli`]).
     pub fn mean_queue_delay(&self) -> f64 {
-        self.queue_delay.mean()
+        self.mean_queue_delay_milli() as f64 / 1000.0
     }
 }
 
@@ -132,7 +166,23 @@ mod tests {
         let mut mc = MemoryController::new(SystemCycle(1), 1);
         mc.start_access(Cycle(0)); // 0 delay
         mc.start_access(Cycle(0)); // 10 delay
+        assert_eq!(mc.mean_queue_delay_milli(), 5_000);
         assert!((mc.mean_queue_delay() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_start_matches_and_schedules_completion() {
+        let mut mc = MemoryController::new(SystemCycle(2), 1);
+        let mut shadow = MemoryController::new(SystemCycle(2), 1);
+        let mut q = EventQueue::new();
+        let s0 = mc.start_access_event(Cycle(0), &mut q, None);
+        let s1 = mc.start_access_event(Cycle(5), &mut q, None);
+        assert_eq!(s0, shadow.start_access(Cycle(0)));
+        assert_eq!(s1, shadow.start_access(Cycle(5)));
+        // Completions land one bank-occupancy after each start.
+        assert_eq!(q.pop(), Some((s0 + 20, MemEvent::DramComplete)));
+        assert_eq!(q.pop(), Some((s1 + 20, MemEvent::DramComplete)));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -161,6 +161,81 @@ mod tests {
         assert_eq!(q.len(), 1);
     }
 
+    /// FIFO seq-stability must hold under *interleaved* schedule/pop —
+    /// not just batch-then-drain. Popping (which mutates heap
+    /// internals) between schedules of equal timestamps must never
+    /// reorder them, and `pop_due` must agree with a stable-sort model.
+    #[test]
+    fn fifo_stable_under_interleaved_schedule_and_pop() {
+        use crate::check::check;
+
+        check(
+            "event::fifo_stable_under_interleaved_schedule_and_pop",
+            128,
+            |g| {
+                let mut q = EventQueue::new();
+                // Reference model: (time, insertion index), kept in a Vec;
+                // the earliest event is the stable minimum by time.
+                let mut model: Vec<(Cycle, u64)> = Vec::new();
+                let mut next_id = 0u64;
+                let ops = g.gen_range(1usize..200);
+                let mut now = Cycle(0);
+                for _ in 0..ops {
+                    match g.gen_range(0u64..4) {
+                        // Schedule at a time in a small window (collisions
+                        // are the interesting case).
+                        0 | 1 => {
+                            let at = Cycle(g.gen_range(0u64..8));
+                            q.schedule(at, next_id);
+                            model.push((at, next_id));
+                            next_id += 1;
+                        }
+                        // Unconditional pop.
+                        2 => {
+                            let got = q.pop();
+                            let want = model
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, &(t, id))| (t, id))
+                                .map(|(i, _)| i);
+                            match (got, want) {
+                                (None, None) => {}
+                                (Some((t, id)), Some(i)) => {
+                                    assert_eq!((t, id), model.remove(i));
+                                }
+                                (got, want) => panic!("pop {got:?} vs model {want:?}"),
+                            }
+                        }
+                        // pop_due at a (non-decreasing) deadline.
+                        _ => {
+                            now = Cycle(now.0 + g.gen_range(0u64..3));
+                            let got = q.pop_due(now);
+                            let want = model
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|(_, &(t, id))| (t, id))
+                                .filter(|(_, &(t, _))| t <= now)
+                                .map(|(i, _)| i);
+                            match (got, want) {
+                                (None, None) => {}
+                                (Some((t, id)), Some(i)) => {
+                                    assert_eq!((t, id), model.remove(i));
+                                }
+                                (got, want) => panic!("pop_due {got:?} vs model {want:?}"),
+                            }
+                        }
+                    }
+                }
+                // Drain: remaining events come out in stable (time, seq) order.
+                model.sort_by_key(|&(t, id)| (t, id));
+                for expected in model {
+                    assert_eq!(q.pop(), Some(expected));
+                }
+                assert_eq!(q.pop(), None);
+            },
+        );
+    }
+
     #[test]
     fn clear_empties_queue() {
         let mut q = EventQueue::new();

@@ -21,12 +21,13 @@ pub struct Suite {
     pub results: BTreeMap<(String, String), AggregateResult>,
     /// The plan every configuration ran with.
     pub plan: RunPlan,
-    /// `(label, wall seconds, simulated cycles)` per work item, in
-    /// canonical item order (benchmark-major, then mode, then seed) —
-    /// the raw material for `results/timing.json`. Cycles are the
-    /// item's measured-phase `runtime_cycles`, so simulation
-    /// throughput (cycles/sec) is derivable per item.
-    pub timings: Vec<(String, f64, u64)>,
+    /// `(label, wall seconds, simulated cycles, memory events)` per
+    /// work item, in canonical item order (benchmark-major, then mode,
+    /// then seed) — the raw material for `results/timing.json`. Cycles
+    /// are the item's measured-phase `runtime_cycles` and events its
+    /// delivered memory completions, so simulation throughput
+    /// (cycles/sec, events/sec) is derivable per item.
+    pub timings: Vec<(String, f64, u64, u64)>,
 }
 
 /// The paper's standard mode set: baseline plus CGCT at the three region
@@ -117,7 +118,10 @@ impl Suite {
                 observe(report);
             },
         );
-        let cycles: Vec<u64> = runs.iter().map(|r| r.runtime_cycles).collect();
+        let cycles: Vec<(u64, u64)> = runs
+            .iter()
+            .map(|r| (r.runtime_cycles, r.mem_events))
+            .collect();
         // Merge out-of-order completions back in canonical order: the
         // items for configuration group `g` are the contiguous chunk
         // `g*runs .. (g+1)*runs`, already in ascending seed order.
@@ -136,7 +140,7 @@ impl Suite {
             .into_iter()
             .zip(seconds.into_inner().expect("timing poisoned"))
             .zip(cycles)
-            .map(|((label, secs), cyc)| (label, secs, cyc))
+            .map(|((label, secs), (cyc, ev))| (label, secs, cyc, ev))
             .collect();
         Suite {
             results,

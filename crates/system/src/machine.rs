@@ -58,8 +58,17 @@ pub struct RunResult {
     pub mode: String,
     /// Cycles until every core committed its instruction quota.
     pub runtime_cycles: u64,
-    /// Total instructions committed across cores.
+    /// Total instructions committed across cores during the measured
+    /// phase. On a truncated run this is what the cores actually
+    /// managed, not the target quota.
     pub committed: u64,
+    /// Instructions committed per core during the measured phase.
+    pub committed_per_core: Vec<u64>,
+    /// Memory completion events delivered during the measured phase
+    /// (bus grants, snoop completions, DRAM completions, port releases,
+    /// MSHR fills) — identical across the event-driven and
+    /// cycle-stepped loops.
+    pub mem_events: u64,
     /// Aggregate IPC across cores.
     pub ipc: f64,
     /// Branch misprediction rate across cores.
@@ -86,6 +95,10 @@ pub struct Machine {
     /// [`cgct_cpu::Wakeup`]); `now` jumps to their minimum when
     /// `cycle_skip` is on.
     wakeups: Vec<Cycle>,
+    /// Per-core committed counts at the metrics epoch (end of warmup),
+    /// so measured-phase counts can be reported exactly even when the
+    /// run truncates short of its quota.
+    epoch_committed: Vec<u64>,
     /// Event-driven time advancement (default). Disabled by the
     /// `CGCT_NO_SKIP` env var (or [`Machine::set_cycle_skip`]), which
     /// restores the plain cycle-stepped loop for A/B validation.
@@ -154,6 +167,7 @@ impl Machine {
             now: Cycle::ZERO,
             benchmark: spec.name.to_string(),
             wakeups: vec![Cycle::ZERO; n],
+            epoch_committed: vec![0; n],
             cycle_skip: cycle_skip_default(),
             trace: None,
             seed,
@@ -191,6 +205,7 @@ impl Machine {
             now: Cycle::ZERO,
             benchmark: label.to_string(),
             wakeups: vec![Cycle::ZERO; n],
+            epoch_committed: vec![0; n],
             cycle_skip: cycle_skip_default(),
             trace: None,
             seed,
@@ -295,6 +310,9 @@ impl Machine {
             truncated |= self.run_until(warmup_per_core, max_cycles);
             let epoch = self.now;
             self.mem.reset_metrics(epoch);
+            for (slot, core) in self.epoch_committed.iter_mut().zip(&self.cores) {
+                *slot = core.committed();
+            }
         }
         truncated |= self.run_until(warmup_per_core + instructions_per_core, max_cycles);
         let end = Cycle(self.now.0.saturating_sub(self.mem.metrics_epoch().0));
@@ -306,7 +324,7 @@ impl Machine {
                 panic!("coherence sanitizer (end of run): {err}");
             }
         }
-        self.result(truncated, instructions_per_core)
+        self.result(truncated)
     }
 
     /// Runs cores until each has committed `committed_target`
@@ -322,56 +340,79 @@ impl Machine {
     /// in both modes.
     fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
         let n = self.cores.len();
+        // `unfinished` lists the cores still short of the target, in
+        // index order. Maintaining it incrementally keeps each round at
+        // one pass over the *running* cores instead of three passes over
+        // all of them (done-check, tick loop, wakeup scan).
+        let mut unfinished: Vec<usize> = (0..n)
+            .filter(|&i| self.cores[i].committed() < committed_target)
+            .collect();
         loop {
-            let mut all_done = true;
-            for i in 0..n {
-                if self.cores[i].committed() < committed_target {
-                    all_done = false;
-                    break;
-                }
-            }
-            if all_done {
+            if unfinished.is_empty() {
                 return false;
             }
             if self.now.0 >= max_cycles {
                 return true;
             }
-            for i in 0..n {
-                if self.cores[i].committed() >= committed_target {
-                    continue;
+            // One pass: tick every due core, drop freshly-finished
+            // cores, and fold the minimum wakeup of the rest.
+            let mut earliest = u64::MAX;
+            unfinished.retain(|&i| {
+                if !self.cycle_skip || self.wakeups[i] <= self.now {
+                    let mut port = Port {
+                        mem: &mut self.mem,
+                        core: CoreId(i),
+                    };
+                    let w = self.cores[i].tick(self.now, &mut port, &mut *self.threads[i]);
+                    self.wakeups[i] = w.0;
+                    if self.cores[i].committed() >= committed_target {
+                        return false;
+                    }
                 }
-                if self.cycle_skip && self.wakeups[i] > self.now {
-                    continue;
-                }
-                let mut port = Port {
-                    mem: &mut self.mem,
-                    core: CoreId(i),
-                };
-                let w = self.cores[i].tick(self.now, &mut port, &mut *self.threads[i]);
-                self.wakeups[i] = w.0;
-            }
+                earliest = earliest.min(self.wakeups[i].0);
+                true
+            });
             let mut next = self.now.0 + 1;
             if self.cycle_skip {
                 // Jump to the earliest wakeup among cores still running.
                 // Every unfinished core's wakeup is > now here (ticked
                 // cores returned >= now + 1; skipped ones were already
                 // ahead), so next only moves forward.
-                let mut earliest = u64::MAX;
-                for i in 0..n {
-                    if self.cores[i].committed() < committed_target {
-                        earliest = earliest.min(self.wakeups[i].0);
-                    }
-                }
                 if earliest != u64::MAX && earliest > next {
                     next = earliest;
                 }
+                // Second clock source: never skip past a pending memory
+                // completion event. Events only *limit* the jump — they
+                // never extend it past now + 1, so the loop's stopping
+                // times remain a superset of the reference loop's
+                // progress times and the end-of-phase `now` matches.
+                if let Some(t) = self.mem.next_event_time() {
+                    next = next.min(t.0.max(self.now.0 + 1));
+                }
             }
             self.now = Cycle(next.min(max_cycles));
+            // Retire memory completion events that time has now
+            // reached. Purely observational (events carry no state),
+            // and both loop modes reach the same final time having
+            // delivered everything due by then, so the counts agree.
+            self.mem.advance(self.now);
         }
     }
 
-    fn result(&self, truncated: bool, measured_per_core: u64) -> RunResult {
-        let committed: u64 = measured_per_core * self.cores.len() as u64;
+    fn result(&self, truncated: bool) -> RunResult {
+        // Report what the cores actually committed since the metrics
+        // epoch — NOT `quota * n`, which overstates both committed and
+        // IPC whenever the run truncates at the cycle cap before every
+        // core reaches its quota. (On a complete run the actual count
+        // can differ from the quota by at most one tick's commit width
+        // per core.)
+        let committed_per_core: Vec<u64> = self
+            .cores
+            .iter()
+            .zip(&self.epoch_committed)
+            .map(|(c, &epoch)| c.committed() - epoch)
+            .collect();
+        let committed: u64 = committed_per_core.iter().sum();
         let (mut preds, mut mispreds) = (0u64, 0u64);
         for c in &self.cores {
             preds += c.branch_predictor().predictions();
@@ -408,6 +449,8 @@ impl Machine {
             mode: self.mem.config().mode.label(),
             runtime_cycles: runtime,
             committed,
+            committed_per_core,
+            mem_events: self.mem.events_delivered(),
             ipc: if runtime == 0 {
                 0.0
             } else {

@@ -22,9 +22,9 @@ use cgct_cache::{
     MsiState, RegionAddr, ReqKind, SetAssocArray, SnoopAction,
 };
 use cgct_cpu::StreamPrefetcher;
-use cgct_interconnect::{AddressNetwork, CoreId, MemoryController, Topology};
-use cgct_sim::Cycle;
+use cgct_interconnect::{AddressNetwork, CoreId, MemEvent, MemoryController, Topology};
 use cgct_sim::Xoshiro256pp;
+use cgct_sim::{Cycle, EventQueue};
 use cgct_trace::{
     Category as TraceCategory, EventKind, PathTag, ReqTag, SharedSink, TraceEvent, TraceSink,
     UNKEYED,
@@ -348,6 +348,19 @@ pub struct MemorySystem {
     /// Per-node data-network port: next time it is free (Table 3's
     /// 2.4 GB/s per-processor data bandwidth).
     data_ports: Vec<Cycle>,
+    /// The machine's central completion-event queue: bus grants, snoop
+    /// resolutions, DRAM bank completions, data-port releases, and MSHR
+    /// fills all schedule a typed [`MemEvent`] here at the cycle they
+    /// finish. The run loop advances time to
+    /// `min(core wakeups, events.next_time())` and drains due events
+    /// via [`MemorySystem::advance`]; the cycle-stepped reference
+    /// (`CGCT_NO_SKIP`) drains once per cycle instead. Events carry no
+    /// state — the atomic-bus engine applies every transition
+    /// synchronously — so delivery only moves the clock and counts.
+    events: EventQueue<MemEvent>,
+    /// Events delivered since the metrics epoch (the
+    /// `memory_events_per_sec` throughput diagnostic).
+    events_delivered: u64,
     /// Collected metrics (public so runners can read and reset).
     pub metrics: MemMetrics,
     /// Time origin for metrics (reset after cache warmup).
@@ -439,6 +452,8 @@ impl MemorySystem {
             metrics_epoch: Cycle::ZERO,
             directories,
             data_ports: vec![Cycle::ZERO; topo.total_cores()],
+            events: EventQueue::new(),
+            events_delivered: 0,
             geom,
             topo,
             nodes,
@@ -528,6 +543,10 @@ impl MemorySystem {
     pub fn reset_metrics(&mut self, now: Cycle) {
         self.metrics = MemMetrics::new(self.cfg.traffic_window);
         self.metrics_epoch = now;
+        // Events scheduled during warmup stay queued (the clock still
+        // must not skip past them) but stop counting toward the
+        // delivered total, which restarts with the other metrics.
+        self.events_delivered = 0;
         for node in &mut self.nodes {
             match &mut node.tracker {
                 Tracker::None => {}
@@ -547,6 +566,35 @@ impl MemorySystem {
     /// The metrics time origin (set by [`MemorySystem::reset_metrics`]).
     pub fn metrics_epoch(&self) -> Cycle {
         self.metrics_epoch
+    }
+
+    /// The cycle of the earliest pending memory completion event, if
+    /// any — the second source of the machine's two-source clock (the
+    /// first being the core wakeups). `Machine::run_until` never skips
+    /// past this time.
+    pub fn next_event_time(&self) -> Option<Cycle> {
+        self.events.next_time()
+    }
+
+    /// Delivers every completion event due at or before `now`. Events
+    /// are notifications, not actions — all architectural transitions
+    /// were applied synchronously when the request was processed — so
+    /// delivery just retires them from the queue in (time, schedule)
+    /// order and counts them.
+    pub fn advance(&mut self, now: Cycle) {
+        while self.events.pop_due(now).is_some() {
+            self.events_delivered += 1;
+        }
+    }
+
+    /// Completion events delivered since the metrics epoch.
+    pub fn events_delivered(&self) -> u64 {
+        self.events_delivered
+    }
+
+    /// Completion events scheduled but not yet delivered.
+    pub fn events_pending(&self) -> usize {
+        self.events.len()
     }
 
     /// The configuration in use.
@@ -581,7 +629,11 @@ impl MemorySystem {
         if self.nodes[core.0].l2.access(line.0).is_some() {
             self.fill_l1i(core, line);
         }
-        self.perturbed(done)
+        let done = self.perturbed(done);
+        if done > now + 1 {
+            self.events.schedule(done, MemEvent::FetchFill);
+        }
+        done
     }
 
     /// Data load. With exclusive prefetching enabled, a store-intent load
@@ -627,7 +679,11 @@ impl MemorySystem {
         if self.nodes[core.0].l2.contains(line.0) {
             self.fill_l1d(core, line, MsiState::Shared);
         }
-        self.perturbed(done)
+        let done = self.perturbed(done);
+        if done > now + 1 {
+            self.events.schedule(done, MemEvent::MshrFill);
+        }
+        done
     }
 
     /// Data store: obtains write permission and dirties the line.
@@ -663,7 +719,11 @@ impl MemorySystem {
         if self.nodes[core.0].l2.contains(line.0) {
             self.fill_l1d(core, line, MsiState::Modified);
         }
-        self.perturbed(done)
+        let done = self.perturbed(done);
+        if done > now + 1 {
+            self.events.schedule(done, MemEvent::MshrFill);
+        }
+        done
     }
 
     /// `dcbz`: allocate the line zeroed and modifiable without reading
@@ -684,7 +744,11 @@ impl MemorySystem {
             *self.nodes[core.0].l2.access(line.0).expect("present") = MoesiState::Modified;
         }
         self.fill_l1d(core, line, MsiState::Modified);
-        self.perturbed(done)
+        let done = self.perturbed(done);
+        if done > now + 1 {
+            self.events.schedule(done, MemEvent::MshrFill);
+        }
+        done
     }
 
     // ---------------------------------------------------------------
@@ -842,7 +906,7 @@ impl MemorySystem {
                     // Fire-and-forget: deliver to the controller, done.
                     let _ = self.reserve_data_port(core, now);
                     let arrive = now + self.cfg.latency.direct_request(dist);
-                    self.mcs[mc.0].start_access(arrive);
+                    self.mcs[mc.0].start_access_event(arrive, &mut self.events, None);
                     self.trace_retire(tid, now, PathTag::Direct);
                     return now;
                 }
@@ -873,8 +937,11 @@ impl MemorySystem {
                 }
                 let arrive = now + self.cfg.latency.direct_request(dist);
                 self.trace_ev(tid, arrive, EventKind::HopDone);
-                let dram_start = self.mcs[mc.0]
-                    .start_access_traced(arrive.align_to_system_clock(), trace_arg!(self, tid));
+                let dram_start = self.mcs[mc.0].start_access_event(
+                    arrive.align_to_system_clock(),
+                    &mut self.events,
+                    trace_arg!(self, tid),
+                );
                 self.trace_ev(
                     tid,
                     dram_start + self.cfg.latency.dram.as_cpu_cycles(),
@@ -911,12 +978,15 @@ impl MemorySystem {
                         .tracker
                         .region_state(region)
                         .is_some_and(|s| s.is_externally_dirty());
-                let grant = self.bus.grant_traced(now, trace_arg!(self, tid));
+                let grant = self
+                    .bus
+                    .grant_event(now, &mut self.events, trace_arg!(self, tid));
                 self.metrics.broadcasts += 1;
                 self.metrics
                     .traffic
                     .record(grant.saturating_sub(self.metrics_epoch.0));
                 let snoop_done = grant + self.cfg.latency.snoop_cpu();
+                self.events.schedule(snoop_done, MemEvent::SnoopComplete);
 
                 // Snoop every other node's cache line state.
                 let mut line_resp = LineSnoopResponse::default();
@@ -1044,7 +1114,7 @@ impl MemorySystem {
                             self.metrics.dram_speculation_wasted += 1;
                             // Wasted speculative access: off the critical
                             // path, so it leaves no trace milestone.
-                            self.mcs[mc.0].start_access(grant);
+                            self.mcs[mc.0].start_access_event(grant, &mut self.events, None);
                         }
                         let d = self.topo.core_distance(core, owner);
                         let supplied = grant + self.cfg.latency.cache_to_cache(d);
@@ -1059,8 +1129,11 @@ impl MemorySystem {
                         // A wrong "cached" prediction must restart the
                         // DRAM access after the snoop resolves.
                         let dram_at = if predicted_cached { snoop_done } else { grant };
-                        let dram_start =
-                            self.mcs[mc.0].start_access_traced(dram_at, trace_arg!(self, tid));
+                        let dram_start = self.mcs[mc.0].start_access_event(
+                            dram_at,
+                            &mut self.events,
+                            trace_arg!(self, tid),
+                        );
                         self.trace_ev(
                             tid,
                             dram_start + self.cfg.latency.dram.as_cpu_cycles(),
@@ -1083,7 +1156,7 @@ impl MemorySystem {
                     }
                 } else if req == ReqKind::Writeback {
                     let _ = self.reserve_data_port(core, now);
-                    self.mcs[mc.0].start_access(snoop_done);
+                    self.mcs[mc.0].start_access_event(snoop_done, &mut self.events, None);
                     (now, PathTag::BroadcastControl)
                 } else {
                     (snoop_done, PathTag::BroadcastControl)
@@ -1126,7 +1199,7 @@ impl MemorySystem {
         if req == ReqKind::Writeback {
             let _ = self.reserve_data_port(core, now);
             let arrive = now + self.cfg.latency.direct_request(dist);
-            self.mcs[mc.0].start_access(arrive);
+            self.mcs[mc.0].start_access_event(arrive, &mut self.events, None);
             self.trace_retire(tid, now, PathTag::DirectoryMemory);
             return now;
         }
@@ -1135,8 +1208,9 @@ impl MemorySystem {
         // data for memory-sourced fills piggybacks on the same access.
         let req_hop = self.cfg.latency.direct_request(dist);
         self.trace_ev(tid, now + req_hop, EventKind::HopDone);
-        let dir_start = self.mcs[mc.0].start_access_traced(
+        let dir_start = self.mcs[mc.0].start_access_event(
             (now + req_hop).align_to_system_clock(),
+            &mut self.events,
             trace_arg!(self, tid),
         );
         let dir_done = dir_start + self.cfg.latency.dram.as_cpu_cycles();
@@ -1208,7 +1282,11 @@ impl MemorySystem {
                     // Stale owner (silently evicted a clean E copy): the
                     // home retries from memory after the failed forward.
                     let fwd = self.cfg.latency.direct_request(self.topo.distance(o, mc));
-                    let dram_start = self.mcs[mc.0].start_access(dir_done + 2 * fwd);
+                    let dram_start = self.mcs[mc.0].start_access_event(
+                        dir_done + 2 * fwd,
+                        &mut self.events,
+                        None,
+                    );
                     self.metrics.memory_fills += u64::from(req.needs_data());
                     (
                         dram_start
@@ -1395,7 +1473,7 @@ impl MemorySystem {
                 self.metrics.direct.record(RequestCategory::Writeback);
                 let wtid = self.trace_begin(core, now, ReqKind::Writeback, line, false);
                 let arrive = now + self.cfg.latency.direct_request(dist);
-                self.mcs[mc.0].start_access(arrive);
+                self.mcs[mc.0].start_access_event(arrive, &mut self.events, None);
                 self.trace_retire(wtid, now, PathTag::Direct);
             }
         }
@@ -1520,6 +1598,7 @@ impl MemorySystem {
         }
         let actual = done.max(self.data_ports[node.0]);
         self.data_ports[node.0] = actual + occ;
+        self.events.schedule(actual + occ, MemEvent::DataPortFree);
         actual
     }
 

@@ -2,7 +2,7 @@
 //! deterministic, per-core dynamic instruction stream.
 
 use crate::layout::{AddressMap, Segment};
-use crate::spec::BenchmarkSpec;
+use crate::spec::{BenchmarkSpec, PhaseSpec, StreamSpec};
 use cgct_cpu::{BranchKind, Uop, UopKind, UopSource};
 use cgct_sim::Xoshiro256pp;
 use std::collections::VecDeque;
@@ -21,6 +21,69 @@ struct Cursor {
     run_left: u32,
 }
 
+/// The current phase's parameters, flattened into one contiguous block
+/// at phase entry. The per-uop hot path reads these instead of chasing
+/// `spec.phases[idx]` (two pointer hops and a bounds check per field),
+/// and the weighted stream draw reuses the pre-clamped weights and
+/// their precomputed total instead of re-summing on every call. The
+/// cached values are pure copies, so draw sequences and results are
+/// bit-identical to reading the spec directly.
+#[derive(Debug, Clone)]
+struct PhaseCache {
+    loop_length: u32,
+    loop_iterations: u32,
+    branch_noise: f32,
+    mem_fraction: f32,
+    branch_fraction: f32,
+    fp_fraction: f32,
+    /// Raw `dcbz_pages_per_kilo_instr`; gates whether a burst draw is
+    /// consumed at all (the draw sequence depends on this exact test).
+    dcbz_rate: f32,
+    /// `dcbz_pages_per_kilo_instr / 1000`, the per-instruction burst
+    /// probability compared against one `gen_f32` draw.
+    dcbz_threshold: f32,
+    streams: Vec<StreamSpec>,
+    /// Stream weights with negatives clamped to zero, exactly as
+    /// `choose_weighted` clamps them per call.
+    weights: Vec<f32>,
+    /// Sum of the clamped weights (same order, so the same float).
+    weight_total: f32,
+    /// Per-stream `(working_set / stride).max(1)`, hoisting the
+    /// run-restart division out of the draw path.
+    stream_slots: Vec<u64>,
+    /// Per-stream `run_length.max(1) * 2`, the inclusive upper bound of
+    /// the run-length draw.
+    run_span: Vec<u32>,
+}
+
+impl PhaseCache {
+    fn from_phase(p: &PhaseSpec) -> Self {
+        let weights: Vec<f32> = p.streams.iter().map(|s| s.weight.max(0.0)).collect();
+        let weight_total = weights.iter().sum();
+        let stream_slots = p
+            .streams
+            .iter()
+            .map(|s| (s.working_set / s.stride as u64).max(1))
+            .collect();
+        let run_span = p.streams.iter().map(|s| s.run_length.max(1) * 2).collect();
+        PhaseCache {
+            loop_length: p.loop_length,
+            loop_iterations: p.loop_iterations,
+            branch_noise: p.branch_noise,
+            mem_fraction: p.mem_fraction,
+            branch_fraction: p.branch_fraction,
+            fp_fraction: p.fp_fraction,
+            dcbz_rate: p.dcbz_pages_per_kilo_instr,
+            dcbz_threshold: p.dcbz_pages_per_kilo_instr / 1000.0,
+            streams: p.streams.clone(),
+            weights,
+            weight_total,
+            stream_slots,
+            run_span,
+        }
+    }
+}
+
 /// One core's dynamic instruction stream for a benchmark.
 ///
 /// Implements [`UopSource`]; the stream is infinite and fully determined
@@ -33,9 +96,8 @@ pub struct WorkloadThread {
     phase_idx: usize,
     phase_remaining: u64,
     cursors: Vec<Cursor>,
-    /// Current phase's stream weights, cached so the per-uop hot path
-    /// never allocates.
-    weights: Vec<f32>,
+    /// Current phase's parameters, flattened for the per-uop hot path.
+    cur: PhaseCache,
     // Code state.
     pc: u64,
     loop_start: u64,
@@ -60,7 +122,7 @@ impl WorkloadThread {
         let code_base = map.base(Segment::Code).0;
         let pc = code_base;
         let n_streams = spec.phases[0].streams.len();
-        let weights: Vec<f32> = spec.phases[0].streams.iter().map(|s| s.weight).collect();
+        let cur = PhaseCache::from_phase(&spec.phases[0]);
         let phase_remaining = spec.phases[0].instructions;
         // Desynchronize cores slightly so lockstep artifacts don't arise.
         let skew = rng.gen_range(0..64);
@@ -71,7 +133,7 @@ impl WorkloadThread {
             phase_idx: 0,
             phase_remaining,
             cursors: vec![Cursor::default(); n_streams],
-            weights,
+            cur,
             pc,
             loop_start: pc,
             loop_pos: 0,
@@ -100,9 +162,7 @@ impl WorkloadThread {
         self.phase_idx = idx;
         self.phase_remaining = self.spec.phases[idx].instructions;
         self.cursors = vec![Cursor::default(); self.spec.phases[idx].streams.len()];
-        self.weights.clear();
-        self.weights
-            .extend(self.spec.phases[idx].streams.iter().map(|s| s.weight));
+        self.cur = PhaseCache::from_phase(&self.spec.phases[idx]);
     }
 
     fn advance_pc(&mut self) -> u64 {
@@ -113,8 +173,7 @@ impl WorkloadThread {
     }
 
     fn new_function(&mut self) {
-        let phase = &self.spec.phases[self.phase_idx];
-        let body_bytes = phase.loop_length as u64 * 4;
+        let body_bytes = self.cur.loop_length as u64 * 4;
         let span = self.spec.code_footprint.saturating_sub(body_bytes).max(64);
         let off = (self.rng.gen_range(0..span) / 64) * 64;
         self.loop_start = self.map.resolve(Segment::Code, off).0;
@@ -124,14 +183,24 @@ impl WorkloadThread {
     }
 
     fn gen_mem_kind(&mut self) -> UopKind {
-        // Weighted stream selection (weights cached per phase).
-        let idx = self.rng.choose_weighted(&self.weights);
-        let s = self.spec.phases[self.phase_idx].streams[idx];
+        // Weighted stream selection: same draw and scan as
+        // `Xoshiro256pp::choose_weighted`, but against the pre-clamped
+        // cached weights and their precomputed total.
+        let mut pick = self.rng.gen_f32() * self.cur.weight_total;
+        let mut idx = self.cur.weights.len() - 1;
+        for (i, &w) in self.cur.weights.iter().enumerate() {
+            if pick < w {
+                idx = i;
+                break;
+            }
+            pick -= w;
+        }
+        let s = self.cur.streams[idx];
         let cur = &mut self.cursors[idx];
         if cur.run_left == 0 {
-            let slots = (s.working_set / s.stride as u64).max(1);
+            let slots = self.cur.stream_slots[idx];
             cur.pos = self.rng.gen_range(0..slots) * s.stride as u64;
-            cur.run_left = self.rng.gen_range(1..=s.run_length.max(1) * 2);
+            cur.run_left = self.rng.gen_range(1..=self.cur.run_span[idx]);
         } else {
             let next = cur.pos + s.stride as u64;
             // Division is the hot-path cost here; wrap only when needed.
@@ -154,8 +223,7 @@ impl WorkloadThread {
     }
 
     fn maybe_dcbz_burst(&mut self) {
-        let rate = self.spec.phases[self.phase_idx].dcbz_pages_per_kilo_instr;
-        if rate <= 0.0 || self.rng.gen_f32() >= rate / 1000.0 {
+        if self.cur.dcbz_rate <= 0.0 || self.rng.gen_f32() >= self.cur.dcbz_threshold {
             return;
         }
         // The OS zeroes a fresh page line by line, then the application
@@ -196,13 +264,12 @@ impl WorkloadThread {
         self.generated += 1;
         self.maybe_dcbz_burst();
 
-        let phase = &self.spec.phases[self.phase_idx];
-        let loop_length = phase.loop_length;
-        let loop_iterations = phase.loop_iterations;
-        let branch_noise = phase.branch_noise;
-        let mem_fraction = phase.mem_fraction;
-        let branch_fraction = phase.branch_fraction;
-        let fp_fraction = phase.fp_fraction;
+        let loop_length = self.cur.loop_length;
+        let loop_iterations = self.cur.loop_iterations;
+        let branch_noise = self.cur.branch_noise;
+        let mem_fraction = self.cur.mem_fraction;
+        let branch_fraction = self.cur.branch_fraction;
+        let fp_fraction = self.cur.fp_fraction;
 
         let dep_dist = if self.rng.gen_f32() < self.spec.dep_short_fraction {
             self.rng.gen_range(1..=2)

@@ -75,16 +75,20 @@ if [ "$identical" != true ]; then
 fi
 echo "   all artifacts byte-identical"
 
-# total_sim_cycles is identical in both runs (same trajectory); read it
-# from the skip run's timing.json.
+# total_sim_cycles and total_mem_events are identical in both runs
+# (same trajectory); read them from the skip run's timing.json.
 sim_cycles=$(grep -o '"total_sim_cycles": [0-9]*' "$workdir/skip/timing.json" \
     | head -1 | grep -o '[0-9]*')
 sim_cycles=${sim_cycles:-0}
+mem_events=$(grep -o '"total_mem_events": [0-9]*' "$workdir/skip/timing.json" \
+    | head -1 | grep -o '[0-9]*')
+mem_events=${mem_events:-0}
 
 # Fixed-point arithmetic (no bc in the image): x1000 for three decimals.
 speedup_milli=$(( noskip_ms * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 skip_cps=$(( sim_cycles * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 noskip_cps=$(( sim_cycles * 1000 / (noskip_ms > 0 ? noskip_ms : 1) ))
+skip_eps=$(( mem_events * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 trace_overhead_milli=$(( traced_ms * 1000 / (skip_ms > 0 ? skip_ms : 1) ))
 
 # Gate: recording trace events may cost at most 10% wall clock.
@@ -100,9 +104,11 @@ cat > "$out" <<EOF
   "jobs": 1,
   "artifacts_identical": true,
   "total_sim_cycles": $sim_cycles,
+  "total_mem_events": $mem_events,
   "skip": {
     "wall_seconds": $((skip_ms / 1000)).$(printf '%03d' $((skip_ms % 1000))),
-    "sim_cycles_per_sec": $skip_cps
+    "sim_cycles_per_sec": $skip_cps,
+    "memory_events_per_sec": $skip_eps
   },
   "no_skip": {
     "wall_seconds": $((noskip_ms / 1000)).$(printf '%03d' $((noskip_ms % 1000))),

@@ -36,6 +36,9 @@ fi
 echo "== exhaustive model checker (3 nodes x 1 region x 2 lines) =="
 cargo run --release -p cgct-verify --offline --bin cgct-verify -- --nodes 3 --lines 2
 
+echo "== event-driven vs cycle-stepped equivalence =="
+cargo test -q --release -p cgct-system --offline --test event_skip_equivalence
+
 echo "== sanitizer smoke: experiments all --quick, byte-compared =="
 san_dir="$(mktemp -d)"
 trap 'rm -rf "$san_dir"' EXIT

@@ -35,7 +35,43 @@ fn committed_counts_measured_instructions_only() {
     let spec = by_name("ocean").unwrap();
     let mut m = Machine::new(cfg(CoherenceMode::Baseline), &spec, 2);
     let r = m.run_warmed(3_000, 2_000, 50_000_000);
-    assert_eq!(r.committed, 4 * 2_000);
+    // The reported count is what the cores actually committed during
+    // the measured phase: within one tick's commit width of the quota
+    // on either side (the warmup and measured phases each stop at tick
+    // granularity, so a core can enter the measured phase slightly
+    // ahead or leave it slightly over).
+    assert_eq!(r.committed_per_core.len(), 4);
+    for &c in &r.committed_per_core {
+        assert!((1_936..2_064).contains(&c), "per-core committed {c}");
+    }
+    assert_eq!(r.committed, r.committed_per_core.iter().sum::<u64>());
+}
+
+#[test]
+fn truncated_run_reports_actual_committed_and_ipc() {
+    // Deliberately truncate: the cycle cap lands mid-measurement, so
+    // cores commit only part of their quota. `committed` and `ipc`
+    // must reflect what actually happened, not the target count (the
+    // old accounting reported quota * n — wildly inflating IPC on
+    // truncated runs).
+    let spec = by_name("ocean").unwrap();
+    let mut m = Machine::new(cfg(CoherenceMode::Baseline), &spec, 2);
+    let r = m.run_warmed(1_000, 1_000_000, 20_000);
+    assert!(r.truncated);
+    let measured: u64 = r.committed_per_core.iter().sum();
+    assert_eq!(r.committed, measured);
+    assert!(
+        r.committed < 4 * 1_000_000,
+        "a truncated run cannot have committed its full quota"
+    );
+    for &c in &r.committed_per_core {
+        assert!(c > 0, "every core ran for some of the measured phase");
+    }
+    let n = r.committed_per_core.len() as u64;
+    let expected_ipc = r.committed as f64 / (r.runtime_cycles as f64 * n as f64);
+    assert!((r.ipc - expected_ipc).abs() < 1e-12, "ipc {}", r.ipc);
+    // Sanity bound: per-core IPC can never exceed the commit width.
+    assert!(r.ipc > 0.0 && r.ipc < 8.0);
 }
 
 #[test]
