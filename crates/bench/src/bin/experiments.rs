@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the CGCT paper.
 //!
 //! ```text
-//! experiments <command> [--quick] [--serial] [--no-skip] [--sanitize] [--json <dir>]
+//! experiments <command> [--quick] [--serial] [--intra-serial] [--no-skip] [--sanitize] [--json <dir>]
 //!
 //! commands:
 //!   table1 table2 table3 table4    analytic tables
@@ -26,6 +26,12 @@
 //! in-order run. Output is byte-identical whatever the worker count —
 //! only `timing.json` (per-item wall clock, written next to the other
 //! `--json` artifacts) varies run over run.
+//!
+//! Independently, `CGCT_INTRA_JOBS=<n>` parallelizes *within* each run
+//! using the conservative epoch engine (`cgct_system`'s `epoch` module),
+//! and `--intra-serial` runs that engine on one worker — the reference a
+//! `CGCT_INTRA_JOBS=<n>` run must match byte for byte. The two knobs
+//! multiply; prefer `CGCT_JOBS=1` when turning intra-run parallelism on.
 
 use cgct::StorageModel;
 use cgct_bench::timing::TimingLog;
@@ -48,6 +54,7 @@ struct Args {
     command: String,
     quick: bool,
     serial: bool,
+    intra_serial: bool,
     no_skip: bool,
     sanitize: bool,
     json_dir: Option<String>,
@@ -58,6 +65,7 @@ fn parse_args() -> Args {
     let mut command = "all".to_string();
     let mut quick = false;
     let mut serial = false;
+    let mut intra_serial = false;
     let mut no_skip = false;
     let mut sanitize = false;
     let mut json_dir = None;
@@ -82,6 +90,11 @@ fn parse_args() -> Args {
                        all                            everything, paper order\n\n\
                      --quick    scaled-down plan (CI-friendly)\n\
                      --serial   one worker, in-order (same output, no threads)\n\
+                     --intra-serial\n\
+                                run the intra-run epoch engine on one\n\
+                                worker — the byte-identical reference for\n\
+                                CGCT_INTRA_JOBS=<n> runs (see DESIGN.md,\n\
+                                'Concurrency & determinism model')\n\
                      --no-skip  cycle-stepped reference loop (same output,\n\
                                 no wakeup-driven time skipping; slow)\n\
                      --sanitize runtime coherence sanitizer: re-check the\n\
@@ -92,12 +105,16 @@ fn parse_args() -> Args {
                                 chrome_trace.json / trace_summary.json /\n\
                                 trace_report.md to <dir> (implies CGCT_TRACE=1;\n\
                                 all other outputs stay byte-identical)\n\n\
-                     CGCT_JOBS=<n> overrides the worker count (default: all cores)"
+                     CGCT_JOBS=<n> overrides the worker count (default: all cores)\n\
+                     CGCT_INTRA_JOBS=<n> parallelizes *within* each run with the\n\
+                                conservative epoch engine (default: off; the\n\
+                                legacy single-threaded engine)"
                 );
                 std::process::exit(0);
             }
             "--quick" => quick = true,
             "--serial" => serial = true,
+            "--intra-serial" => intra_serial = true,
             "--no-skip" => no_skip = true,
             "--sanitize" => sanitize = true,
             "--json" => json_dir = it.next(),
@@ -113,6 +130,7 @@ fn parse_args() -> Args {
         command,
         quick,
         serial,
+        intra_serial,
         no_skip,
         sanitize,
         json_dir,
@@ -341,6 +359,12 @@ fn main() {
         // Force every pool in the process (including library-internal
         // fan-outs like rca_stats) down to one in-order worker.
         std::env::set_var("CGCT_JOBS", "1");
+    }
+    if args.intra_serial {
+        // Every Machine in the process uses the conservative epoch
+        // engine on one worker — the reference whose outputs a
+        // CGCT_INTRA_JOBS=<n> run must reproduce byte for byte.
+        std::env::set_var("CGCT_INTRA_JOBS", "1");
     }
     if args.no_skip {
         // Every Machine in the process falls back to the cycle-stepped

@@ -1,0 +1,475 @@
+//! The conservative parallel discrete-event engine ("epoch engine").
+//!
+//! Each node — core, workload thread, private L1I/L1D/L2 arrays, RCA —
+//! becomes a **logical process** (LP) with its own completion-event
+//! sub-queue. Time is divided into epochs of length
+//! [`LatencyModel::epoch_lookahead`](cgct_interconnect::LatencyModel::epoch_lookahead)
+//! (one bus clock for the paper machine): within an epoch's *parallel
+//! phase*, every LP advances its local clock independently, answering
+//! only node-local L1 hits; any access that needs the shared coherence
+//! engine is *deferred*. At the epoch barrier, a single thread runs the
+//! *serial phase*: all deferred requests execute through the unmodified
+//! atomic-bus engine in a canonical order — `(issue time, node, arrival
+//! seq)` — with each request's issue-time `now`, so latencies, bus
+//! arbitration, snoops, RCA updates, metrics, perturbation draws,
+//! tracing, and the sanitizer all behave exactly as if one thread had
+//! interleaved the nodes in that order.
+//!
+//! This makes the engine deterministic **by construction**: nothing a
+//! worker thread does in the parallel phase touches shared state, and
+//! everything order-sensitive happens serially in an order derived only
+//! from simulated time and node index — never from OS scheduling. The
+//! artifacts of a `CGCT_INTRA_JOBS=8` run are byte-identical to
+//! `--intra-serial` (this engine on one worker); see
+//! `tests/intra_parallel_determinism.rs` and the "Concurrency &
+//! determinism model" chapter of DESIGN.md for why the lookahead is
+//! safe for MOESI × region snooping.
+//!
+//! The engine is an explicitly documented *model variant*: deferring a
+//! miss to the epoch barrier quantizes its issue into the bus-clock
+//! grid (the request still executes with its original issue time, but
+//! its *answer* reaches the core at the barrier), so its results differ
+//! slightly — and validly — from the legacy engine's. The default
+//! (`CGCT_INTRA_JOBS` unset) remains the legacy engine, and every
+//! pre-existing artifact and test is unaffected.
+
+use crate::machine::Machine;
+use crate::memsys::{MemorySystem, Node};
+use cgct_cache::{Addr, Geometry};
+use cgct_cpu::{Core, MemAttempt, MemoryInterface, UopSource};
+use cgct_interconnect::{CoreId, MemEvent};
+use cgct_sim::pool::EpochGate;
+use cgct_sim::{Cycle, EventQueue};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Which core-facing request a deferred op re-executes at the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OpKind {
+    Ifetch,
+    Load,
+    Store,
+    Dcbz,
+}
+
+/// One memory access deferred from the parallel phase to the serial
+/// phase, carrying everything needed to replay it verbatim.
+#[derive(Debug, Clone, Copy)]
+struct DeferredOp {
+    /// The LP-local cycle the core attempted the access.
+    t: Cycle,
+    /// Arrival order within this LP and epoch (tie-break after time).
+    seq: u64,
+    kind: OpKind,
+    addr: Addr,
+    store_intent: bool,
+    /// Line key (dedupe handle shared with `outstanding`/`ready`).
+    line: u64,
+}
+
+/// Persistent per-LP epoch-engine state. Lives on the [`Machine`]
+/// across `run_until` phases so responses produced at the end of warmup
+/// are still consumable when measurement starts.
+#[derive(Debug, Default)]
+pub(crate) struct LpState {
+    /// Ops deferred this epoch, in attempt order (drained each barrier).
+    deferred: Vec<DeferredOp>,
+    /// Arrival counter feeding [`DeferredOp::seq`].
+    next_seq: u64,
+    /// Keys currently deferred and not yet answered: a repeat attempt
+    /// to the same key blocks without re-deferring.
+    outstanding: HashSet<(OpKind, u64)>,
+    /// Barrier answers awaiting their retry, FIFO per key.
+    ready: HashMap<(OpKind, u64), VecDeque<Cycle>>,
+    /// This LP's completion-event sub-queue (the shard of the machine's
+    /// central queue holding events its own requests scheduled).
+    subq: EventQueue<MemEvent>,
+    /// Sub-queue deliveries not yet folded into the shared total.
+    delivered: u64,
+}
+
+impl LpState {
+    fn new() -> LpState {
+        LpState::default()
+    }
+}
+
+/// One logical process: everything a worker may touch in the parallel
+/// phase. The node is `Option` because the serial phase lends it back
+/// to the [`MemorySystem`] while deferred requests run.
+struct LpSlot {
+    core: Core,
+    thread: Box<dyn UopSource + Send>,
+    node: Option<Node>,
+    st: LpState,
+    /// LP-local clock (within `[epoch start, epoch end]`).
+    now: Cycle,
+    /// The core's last reported wakeup.
+    wakeup: Cycle,
+    finished: bool,
+    /// The cycle after the finishing tick (valid once `finished`).
+    finish: Cycle,
+}
+
+/// The [`MemoryInterface`] an LP's core sees during the parallel phase:
+/// answers barrier responses and node-local L1 hits, defers everything
+/// else. Touches nothing outside the LP.
+struct LpPort<'a> {
+    node: &'a mut Node,
+    st: &'a mut LpState,
+    geom: Geometry,
+    /// Retry horizon for blocked attempts: the current epoch's end,
+    /// when the serial phase will have answered.
+    retry: Cycle,
+}
+
+impl LpPort<'_> {
+    fn attempt(&mut self, kind: OpKind, now: Cycle, addr: Addr, store_intent: bool) -> MemAttempt {
+        let line = self.geom.line_of(addr);
+        let key = (kind, line.0);
+        // 1. A pending barrier answer must be consumed *before* the L1
+        //    probe: the serial phase filled the L1, so probing first
+        //    would turn the modeled miss into a free hit and leak the
+        //    response.
+        if let Some(q) = self.st.ready.get_mut(&key) {
+            if let Some(done) = q.pop_front() {
+                if q.is_empty() {
+                    self.st.ready.remove(&key);
+                }
+                return MemAttempt::Done(done.max(now + 1));
+            }
+        }
+        // 2. Node-local fast path — exactly the first probe of the
+        //    corresponding MemorySystem method, metrics- and RNG-free.
+        let hit = match kind {
+            OpKind::Ifetch => self.node.l1i_hit(line),
+            OpKind::Load => self.node.l1d_load_hit(line),
+            OpKind::Store => self.node.l1d_store_hit_modified(line),
+            // dcbz has no L1 fast path in the atomic-bus engine either.
+            OpKind::Dcbz => false,
+        };
+        if hit {
+            return MemAttempt::Done(now + 1);
+        }
+        // 3. Defer to the serial phase, once per key per answer.
+        if self.st.outstanding.insert(key) {
+            let seq = self.st.next_seq;
+            self.st.next_seq += 1;
+            self.st.deferred.push(DeferredOp {
+                t: now,
+                seq,
+                kind,
+                addr,
+                store_intent,
+                line: line.0,
+            });
+        }
+        MemAttempt::Blocked(self.retry)
+    }
+}
+
+impl MemoryInterface for LpPort<'_> {
+    fn ifetch(&mut self, _now: Cycle, _addr: Addr) -> Cycle {
+        unreachable!("the core only calls try_* on an epoch-engine port")
+    }
+    fn load(&mut self, _now: Cycle, _addr: Addr, _store_intent: bool) -> Cycle {
+        unreachable!("the core only calls try_* on an epoch-engine port")
+    }
+    fn store(&mut self, _now: Cycle, _addr: Addr) -> Cycle {
+        unreachable!("the core only calls try_* on an epoch-engine port")
+    }
+    fn dcbz(&mut self, _now: Cycle, _addr: Addr) -> Cycle {
+        unreachable!("the core only calls try_* on an epoch-engine port")
+    }
+    fn try_ifetch(&mut self, now: Cycle, addr: Addr) -> MemAttempt {
+        self.attempt(OpKind::Ifetch, now, addr, false)
+    }
+    fn try_load(&mut self, now: Cycle, addr: Addr, store_intent: bool) -> MemAttempt {
+        self.attempt(OpKind::Load, now, addr, store_intent)
+    }
+    fn try_store(&mut self, now: Cycle, addr: Addr) -> MemAttempt {
+        self.attempt(OpKind::Store, now, addr, false)
+    }
+    fn try_dcbz(&mut self, now: Cycle, addr: Addr) -> MemAttempt {
+        self.attempt(OpKind::Dcbz, now, addr, false)
+    }
+}
+
+/// Advances one LP through the parallel phase of the epoch ending at
+/// `e`. Mirrors the legacy `run_until` loop per-LP: tick when due, jump
+/// the local clock to `min(wakeup, own sub-queue)` under cycle
+/// skipping, deliver due sub-queue events, stop at the epoch end (or
+/// when the commit target is reached).
+fn advance_lp(slot: &mut LpSlot, e: Cycle, target: u64, cycle_skip: bool, geom: Geometry) {
+    if slot.finished {
+        return;
+    }
+    while slot.now < e {
+        if !cycle_skip || slot.wakeup <= slot.now {
+            let mut port = LpPort {
+                node: slot.node.as_mut().expect("node lent to the serial phase"),
+                st: &mut slot.st,
+                geom,
+                retry: e,
+            };
+            let w = slot.core.tick(slot.now, &mut port, &mut *slot.thread);
+            slot.wakeup = w.0;
+            if slot.core.committed() >= target {
+                slot.finished = true;
+                slot.finish = slot.now + 1;
+                return;
+            }
+        }
+        let mut next = slot.now.0 + 1;
+        if cycle_skip {
+            if slot.wakeup.0 > next {
+                next = slot.wakeup.0;
+            }
+            if let Some(tq) = slot.st.subq.next_time() {
+                next = next.min(tq.0.max(slot.now.0 + 1));
+            }
+        }
+        slot.now = Cycle(next.min(e.0));
+        while slot.st.subq.pop_due(slot.now).is_some() {
+            slot.st.delivered += 1;
+        }
+    }
+}
+
+/// The serial coherence phase at the epoch barrier: lends every node
+/// back to the memory system, replays all deferred requests through the
+/// unmodified atomic-bus engine in `(time, node, seq)` order — swapping
+/// the central event queue with each requester's sub-queue around its
+/// call so scheduled events land where the requester's clock delivers
+/// them — then lends the nodes back out.
+fn serial_phase(mem: &mut MemorySystem, guards: &mut [MutexGuard<'_, LpSlot>], epoch_end: Cycle) {
+    let mut ops: Vec<(usize, DeferredOp)> = Vec::new();
+    for (i, g) in guards.iter_mut().enumerate() {
+        ops.extend(g.st.deferred.drain(..).map(|op| (i, op)));
+        g.st.next_seq = 0;
+    }
+    if !ops.is_empty() {
+        ops.sort_by_key(|&(lp, op)| (op.t, lp, op.seq));
+        let nodes: Vec<Node> = guards
+            .iter_mut()
+            .map(|g| g.node.take().expect("node already lent"))
+            .collect();
+        mem.put_nodes(nodes);
+        for (lp, op) in ops {
+            let g = &mut guards[lp];
+            mem.swap_events(&mut g.st.subq);
+            let done = match op.kind {
+                OpKind::Ifetch => mem.ifetch(CoreId(lp), op.t, op.addr),
+                OpKind::Load => mem.load(CoreId(lp), op.t, op.addr, op.store_intent),
+                OpKind::Store => mem.store(CoreId(lp), op.t, op.addr),
+                OpKind::Dcbz => mem.dcbz(CoreId(lp), op.t, op.addr),
+            };
+            mem.swap_events(&mut g.st.subq);
+            let key = (op.kind, op.line);
+            g.st.outstanding.remove(&key);
+            g.st.ready.entry(key).or_default().push_back(done);
+        }
+        let nodes = mem.take_nodes();
+        for (g, node) in guards.iter_mut().zip(nodes) {
+            g.node = Some(node);
+        }
+    }
+    // The central queue is normally empty in epoch mode (every request
+    // runs with a sub-queue swapped in), but a machine that previously
+    // ran the legacy engine may still hold events there.
+    mem.advance(epoch_end);
+}
+
+/// Where the next epoch starts: normally at this epoch's end, but when
+/// every unfinished LP is provably idle past it (no wakeup, no
+/// sub-queue event, and therefore no deferred answer pending — a
+/// blocked core's wakeup is the epoch end itself), jump straight to the
+/// earliest thing that can happen. Pure function of LP state, so the
+/// decision is identical at any worker count.
+fn next_epoch_start(
+    e: Cycle,
+    guards: &[MutexGuard<'_, LpSlot>],
+    cycle_skip: bool,
+    max_cycles: u64,
+) -> Cycle {
+    if !cycle_skip {
+        return e;
+    }
+    let mut min_due = u64::MAX;
+    for g in guards.iter() {
+        if g.finished {
+            continue;
+        }
+        min_due = min_due.min(g.wakeup.0);
+        if let Some(tq) = g.st.subq.next_time() {
+            min_due = min_due.min(tq.0);
+        }
+    }
+    if min_due == u64::MAX || min_due <= e.0 {
+        e
+    } else {
+        Cycle(min_due.min(max_cycles))
+    }
+}
+
+/// The epoch engine's `run_until`: runs cores until each has committed
+/// `committed_target` instructions or `max_cycles` is reached
+/// (exclusive cap, like the legacy loop). `workers` must be >= 1;
+/// worker 1 handles LPs `0, workers, 2*workers, ...` — the caller's
+/// thread is worker 0 and also coordinates the barriers.
+pub(crate) fn run_until_epochs(
+    m: &mut Machine,
+    committed_target: u64,
+    max_cycles: u64,
+    workers: usize,
+) -> bool {
+    let n = m.cores.len();
+    if n == 0 {
+        return false;
+    }
+    let lookahead = {
+        let cfg = m.mem.config();
+        cfg.latency.epoch_lookahead(&cfg.topology).max(1)
+    };
+    let geom = m.mem.geometry();
+    let cycle_skip = m.cycle_skip;
+    if m.intra_lps.len() != n {
+        m.intra_lps = (0..n).map(|_| LpState::new()).collect();
+    }
+
+    // Move each LP's private state into a lockable slot. Locks are
+    // uncontended by construction (worker w only touches LPs with
+    // index % workers == w; the coordinator takes all of them only
+    // while workers are parked at the barrier) — they exist to make
+    // the sharing pattern checkable by the type system.
+    let start = m.now;
+    let cores = std::mem::take(&mut m.cores);
+    let threads = std::mem::take(&mut m.threads);
+    let states = std::mem::take(&mut m.intra_lps);
+    let nodes = m.mem.take_nodes();
+    let slots: Vec<Mutex<LpSlot>> = cores
+        .into_iter()
+        .zip(threads)
+        .zip(states)
+        .zip(nodes)
+        .enumerate()
+        .map(|(i, (((core, thread), st), node))| {
+            let finished = core.committed() >= committed_target;
+            Mutex::new(LpSlot {
+                core,
+                thread,
+                node: Some(node),
+                st,
+                now: start,
+                wakeup: m.wakeups[i],
+                finished,
+                finish: start,
+            })
+        })
+        .collect();
+
+    let workers = workers.min(n).max(1);
+    let mut truncated = false;
+    if workers == 1 {
+        // Serial epoch engine (`--intra-serial`): same algorithm on the
+        // calling thread, no worker threads, no barriers.
+        let mut guards: Vec<MutexGuard<'_, LpSlot>> =
+            slots.iter().map(|s| s.lock().expect("lp slot")).collect();
+        let mut t = start;
+        loop {
+            if guards.iter().all(|g| g.finished) {
+                break;
+            }
+            if t.0 >= max_cycles {
+                truncated = true;
+                break;
+            }
+            let e = Cycle((t.0 + lookahead).min(max_cycles));
+            for g in guards.iter_mut() {
+                advance_lp(g, e, committed_target, cycle_skip, geom);
+            }
+            serial_phase(&mut m.mem, &mut guards, e);
+            t = next_epoch_start(e, &guards, cycle_skip, max_cycles);
+        }
+    } else {
+        let gate_parallel = EpochGate::new(workers);
+        let gate_serial = EpochGate::new(workers);
+        let epoch_end = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        let slots_ref = &slots;
+        let mem = &mut m.mem;
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let (gate_parallel, gate_serial) = (&gate_parallel, &gate_serial);
+                let (epoch_end, done) = (&epoch_end, &done);
+                scope.spawn(move || loop {
+                    // Wait for the coordinator to open the epoch.
+                    gate_serial.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let e = Cycle(epoch_end.load(Ordering::Acquire));
+                    for i in (w..slots_ref.len()).step_by(workers) {
+                        let mut g = slots_ref[i].lock().expect("lp slot");
+                        advance_lp(&mut g, e, committed_target, cycle_skip, geom);
+                    }
+                    gate_parallel.wait();
+                });
+            }
+            // Coordinator = worker 0, on the calling thread.
+            let mut t = start;
+            loop {
+                let all_done = slots_ref
+                    .iter()
+                    .all(|s| s.lock().expect("lp slot").finished);
+                if all_done || t.0 >= max_cycles {
+                    truncated = !all_done;
+                    done.store(true, Ordering::Release);
+                    gate_serial.wait(); // release workers into the exit check
+                    break;
+                }
+                let e = Cycle((t.0 + lookahead).min(max_cycles));
+                epoch_end.store(e.0, Ordering::Release);
+                gate_serial.wait(); // open the epoch
+                for i in (0..slots_ref.len()).step_by(workers) {
+                    let mut g = slots_ref[i].lock().expect("lp slot");
+                    advance_lp(&mut g, e, committed_target, cycle_skip, geom);
+                }
+                gate_parallel.wait(); // all parallel phases complete
+                let mut guards: Vec<MutexGuard<'_, LpSlot>> = slots_ref
+                    .iter()
+                    .map(|s| s.lock().expect("lp slot"))
+                    .collect();
+                serial_phase(mem, &mut guards, e);
+                t = next_epoch_start(e, &guards, cycle_skip, max_cycles);
+            }
+        });
+    }
+
+    // Move everything back into the machine, in node order.
+    let mut final_now = start;
+    let mut nodes = Vec::with_capacity(n);
+    let mut states = Vec::with_capacity(n);
+    for (i, slot) in slots.into_iter().enumerate() {
+        let mut s = slot.into_inner().expect("lp slot");
+        m.wakeups[i] = s.wakeup;
+        if s.finished {
+            final_now = final_now.max(s.finish);
+        }
+        nodes.push(s.node.take().expect("node returns with its LP"));
+        m.mem.add_events_delivered(s.st.delivered);
+        s.st.delivered = 0;
+        states.push(s.st);
+        m.cores.push(s.core);
+        m.threads.push(s.thread);
+    }
+    m.mem.put_nodes(nodes);
+    m.intra_lps = states;
+    m.now = if truncated {
+        Cycle(max_cycles)
+    } else {
+        final_now
+    };
+    truncated
+}

@@ -31,6 +31,7 @@
 pub mod config;
 pub mod directory;
 pub mod energy;
+mod epoch;
 pub mod experiments;
 pub mod machine;
 pub mod memsys;

@@ -85,16 +85,19 @@ pub struct RunResult {
 }
 
 /// One simulated machine instance.
+///
+/// Fields the epoch engine (the crate-private `epoch` module) borrows are
+/// `pub(crate)`; everything else stays private to this module.
 pub struct Machine {
-    cores: Vec<Core>,
-    threads: Vec<Box<dyn UopSource>>,
-    mem: MemorySystem,
-    now: Cycle,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) threads: Vec<Box<dyn UopSource + Send>>,
+    pub(crate) mem: MemorySystem,
+    pub(crate) now: Cycle,
     benchmark: String,
     /// Per-core wakeup times from the last tick (see
     /// [`cgct_cpu::Wakeup`]); `now` jumps to their minimum when
     /// `cycle_skip` is on.
-    wakeups: Vec<Cycle>,
+    pub(crate) wakeups: Vec<Cycle>,
     /// Per-core committed counts at the metrics epoch (end of warmup),
     /// so measured-phase counts can be reported exactly even when the
     /// run truncates short of its quota.
@@ -102,7 +105,17 @@ pub struct Machine {
     /// Event-driven time advancement (default). Disabled by the
     /// `CGCT_NO_SKIP` env var (or [`Machine::set_cycle_skip`]), which
     /// restores the plain cycle-stepped loop for A/B validation.
-    cycle_skip: bool,
+    pub(crate) cycle_skip: bool,
+    /// Conservative-parallel epoch engine (DESIGN.md "Concurrency &
+    /// determinism model"): `None` (default) runs the legacy
+    /// single-threaded engine; `Some(w)` runs the epoch engine on `w`
+    /// workers. From `CGCT_INTRA_JOBS` unless overridden by
+    /// [`Machine::set_intra`].
+    intra: Option<usize>,
+    /// Per-logical-process persistent epoch-engine state (deferred-op
+    /// bookkeeping and event sub-queues); empty until the epoch engine
+    /// first runs.
+    pub(crate) intra_lps: Vec<crate::epoch::LpState>,
     /// Request-lifetime trace sink shared with the memory system and the
     /// cores (`CGCT_TRACE=1` or [`Machine::set_trace`]). Tracing is pure
     /// observation: a traced run's architectural outcome is
@@ -132,6 +145,22 @@ fn cycle_skip_default() -> bool {
     )
 }
 
+/// The epoch-engine worker count for new machines, from
+/// `CGCT_INTRA_JOBS` (see [`cgct_sim::pool::intra_jobs`]): `None`
+/// selects the legacy engine.
+///
+/// The environment-derived count is clamped to the host's available
+/// parallelism: epoch-engine output is byte-identical at any worker
+/// count, so running more workers than hardware threads buys nothing
+/// and costs barrier churn. [`Machine::set_intra`] applies no clamp —
+/// tests use it to exercise the threaded path deliberately.
+fn intra_default() -> Option<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cgct_sim::pool::intra_jobs().map(|n| n.min(host))
+}
+
 impl std::fmt::Debug for Machine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Machine")
@@ -156,7 +185,7 @@ impl Machine {
                     c,
                     n,
                     seq.stream(c as u64),
-                )) as Box<dyn UopSource>
+                )) as Box<dyn UopSource + Send>
             })
             .collect();
         let mem = MemorySystem::new(cfg, seq.stream(1000));
@@ -169,6 +198,8 @@ impl Machine {
             wakeups: vec![Cycle::ZERO; n],
             epoch_committed: vec![0; n],
             cycle_skip: cycle_skip_default(),
+            intra: intra_default(),
+            intra_lps: Vec::new(),
             trace: None,
             seed,
         };
@@ -189,7 +220,7 @@ impl Machine {
     /// count.
     pub fn from_sources(
         cfg: SystemConfig,
-        sources: Vec<Box<dyn UopSource>>,
+        sources: Vec<Box<dyn UopSource + Send>>,
         label: &str,
         seed: u64,
     ) -> Self {
@@ -207,6 +238,8 @@ impl Machine {
             wakeups: vec![Cycle::ZERO; n],
             epoch_committed: vec![0; n],
             cycle_skip: cycle_skip_default(),
+            intra: intra_default(),
+            intra_lps: Vec::new(),
             trace: None,
             seed,
         };
@@ -259,6 +292,23 @@ impl Machine {
     /// Whether this machine advances time event-driven (cycle skipping).
     pub fn cycle_skip(&self) -> bool {
         self.cycle_skip
+    }
+
+    /// Overrides the `CGCT_INTRA_JOBS` default for this machine: `None`
+    /// selects the legacy single-threaded engine, `Some(1)` the epoch
+    /// engine run serially (the byte-identity reference), `Some(w)` the
+    /// epoch engine on `w` workers. The epoch engine is a documented
+    /// model variant: its artifacts are byte-identical **across its own
+    /// worker counts** (enforced by
+    /// `tests/intra_parallel_determinism.rs`), not to the legacy
+    /// engine's.
+    pub fn set_intra(&mut self, workers: Option<usize>) {
+        self.intra = workers;
+    }
+
+    /// The epoch-engine worker count (`None` = legacy engine).
+    pub fn intra(&self) -> Option<usize> {
+        self.intra
     }
 
     /// Total core ticks actually executed, summed across cores. Under
@@ -339,6 +389,18 @@ impl Machine {
     /// `max_cycles`, and a truncated run stops with `now == max_cycles`
     /// in both modes.
     fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
+        if let Some(w) = self.intra {
+            // Traced runs stay on one worker: core-side records would
+            // otherwise interleave through the shared sink in worker
+            // order. Same epoch algorithm either way, so the artifacts
+            // still byte-match `--intra-serial`.
+            let w = if self.trace.is_some() {
+                1
+            } else {
+                w.min(self.cores.len()).max(1)
+            };
+            return crate::epoch::run_until_epochs(self, committed_target, max_cycles, w);
+        }
         let n = self.cores.len();
         // `unfinished` lists the cores still short of the target, in
         // index order. Maintaining it incrementally keeps each round at

@@ -282,8 +282,13 @@ impl RegionLineIndex {
 }
 
 /// One processor node's private state.
+///
+/// `pub(crate)` so the epoch engine (the crate-private `epoch` module) can lend each
+/// node to its logical process during an epoch's parallel phase; the
+/// node returns to [`MemorySystem::put_nodes`] before any coherence
+/// work runs.
 #[derive(Debug)]
-struct Node {
+pub(crate) struct Node {
     l1i: SetAssocArray<()>,
     l1d: SetAssocArray<MsiState>,
     l2: SetAssocArray<MoesiState>,
@@ -331,6 +336,30 @@ impl Node {
             self.lines.on_remove(geom, LineAddr(victim_key));
         }
         displaced
+    }
+
+    // ---------------------------------------------------------------
+    // Epoch-engine fast paths (crate::epoch)
+    // ---------------------------------------------------------------
+    // The only memory accesses the parallel phase may answer without
+    // the serial coherence phase. Each mirrors the *first probe* of the
+    // corresponding `MemorySystem` method exactly — including its LRU
+    // touch — and reads or writes nothing outside this node: no
+    // metrics, no perturbation RNG, no tracer, no bus.
+
+    /// [`MemorySystem::ifetch`]'s L1I fast path: hit (with LRU touch)?
+    pub(crate) fn l1i_hit(&mut self, line: LineAddr) -> bool {
+        self.l1i.access(line.0).is_some()
+    }
+
+    /// [`MemorySystem::load`]'s L1D fast path: hit in any state?
+    pub(crate) fn l1d_load_hit(&mut self, line: LineAddr) -> bool {
+        self.l1d.access(line.0).is_some()
+    }
+
+    /// [`MemorySystem::store`]'s L1D fast path: hit already Modified?
+    pub(crate) fn l1d_store_hit_modified(&mut self, line: LineAddr) -> bool {
+        self.l1d.access(line.0) == Some(&mut MsiState::Modified)
     }
 }
 
@@ -595,6 +624,39 @@ impl MemorySystem {
     /// Completion events scheduled but not yet delivered.
     pub fn events_pending(&self) -> usize {
         self.events.len()
+    }
+
+    // ---------------------------------------------------------------
+    // Epoch-engine seams (crate::epoch)
+    // ---------------------------------------------------------------
+
+    /// Moves every node out, for the epoch engine to lend to its
+    /// logical processes during an epoch's parallel phase.
+    pub(crate) fn take_nodes(&mut self) -> Vec<Node> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    /// Returns the nodes taken by [`MemorySystem::take_nodes`] (same
+    /// order) before any coherence work runs.
+    pub(crate) fn put_nodes(&mut self, nodes: Vec<Node>) {
+        debug_assert!(self.nodes.is_empty(), "put_nodes over live nodes");
+        self.nodes = nodes;
+    }
+
+    /// Swaps the central completion-event queue with `q`. The epoch
+    /// engine wraps each deferred request in a swap pair so the events
+    /// the request schedules land in the *requester's* sub-queue, whose
+    /// local clock delivers them.
+    pub(crate) fn swap_events(&mut self, q: &mut EventQueue<MemEvent>) {
+        std::mem::swap(&mut self.events, q);
+    }
+
+    /// Folds `n` sub-queue deliveries into the delivered total (the
+    /// epoch engine calls this once per node, in node order, when a run
+    /// completes — so [`MemorySystem::reset_metrics`] between warmup
+    /// and measurement behaves exactly as under the legacy engine).
+    pub(crate) fn add_events_delivered(&mut self, n: u64) {
+        self.events_delivered += n;
     }
 
     /// The configuration in use.

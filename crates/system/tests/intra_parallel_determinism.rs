@@ -1,0 +1,86 @@
+//! The conservative epoch engine must be deterministic *by worker
+//! count*: a run with `CGCT_INTRA_JOBS=4` (four worker threads sharing
+//! the node LPs) must produce results byte-identical to `--intra-serial`
+//! (the same epoch algorithm on one worker, no threads at all) —
+//! including the delivered-event count, since sub-queue deliveries are
+//! folded back into the shared total in canonical node order.
+//!
+//! Every benchmark runs under baseline and CGCT at one, two, and four
+//! workers (set explicitly via [`Machine::set_intra`], not the
+//! environment, so parallel test binaries can't race on `set_var`), and
+//! all fingerprints must agree. This is the epoch-engine mirror of
+//! `parallel_determinism.rs` (across-run sharding) and
+//! `event_skip_equivalence.rs` (event-driven vs cycle-stepped clock).
+
+use cgct_system::{CoherenceMode, Machine, RunResult, SystemConfig};
+use cgct_workloads::all_benchmarks;
+
+fn run_intra(mode: CoherenceMode, bench: &str, seed: u64, workers: usize) -> (RunResult, Machine) {
+    let cfg = SystemConfig::paper_default(mode);
+    let spec = all_benchmarks()
+        .iter()
+        .find(|s| s.name == bench)
+        .expect("benchmark exists")
+        .clone();
+    let mut m = Machine::new(cfg, &spec, seed);
+    m.set_intra(Some(workers));
+    let r = m.run_warmed(500, 1500, 2_000_000);
+    (r, m)
+}
+
+/// Byte-exact comparison via `Debug` (shortest round-trip `f64`
+/// formatting makes string equality the same as bit equality here).
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn epoch_engine_is_byte_identical_at_any_worker_count() {
+    let modes = [
+        CoherenceMode::Baseline,
+        CoherenceMode::Cgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+    ];
+    for spec in all_benchmarks() {
+        for mode in modes {
+            let label = format!("{}/{}", spec.name, mode.label());
+            let (serial, m) = run_intra(mode, spec.name, 7, 1);
+            assert!(!serial.truncated, "{label}: truncated");
+            // The memory system actually ran: completions were scheduled
+            // into LP sub-queues and delivered during the measured phase.
+            assert!(serial.mem_events > 0, "{label}: no events delivered");
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+            for workers in [2usize, 4] {
+                let (parallel, m) = run_intra(mode, spec.name, 7, workers);
+                assert_eq!(
+                    serial.mem_events, parallel.mem_events,
+                    "{label}: delivered-event counts diverged at {workers} workers"
+                );
+                assert_eq!(
+                    fingerprint(&serial),
+                    fingerprint(&parallel),
+                    "{label}: results diverged at {workers} workers"
+                );
+                m.check_invariants()
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+            }
+        }
+    }
+}
+
+/// Asking for more workers than there are nodes must degrade gracefully
+/// to one LP per worker, still byte-identical.
+#[test]
+fn worker_count_above_node_count_is_harmless() {
+    let mode = CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    };
+    let bench = all_benchmarks()[0].name;
+    let (reference, _) = run_intra(mode, bench, 11, 1);
+    let (oversubscribed, _) = run_intra(mode, bench, 11, 64);
+    assert_eq!(fingerprint(&reference), fingerprint(&oversubscribed));
+}

@@ -52,9 +52,8 @@
 pub mod report;
 pub mod span;
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 pub use report::{PathSummary, TraceReport};
 pub use span::{Segment, Span};
@@ -377,37 +376,41 @@ impl TraceSink for TraceBuffer {
 /// A cloneable handle to one shared [`TraceBuffer`].
 ///
 /// One buffer per machine is shared between the memory system and every
-/// core (the machine is single-threaded, so `Rc<RefCell<..>>` suffices
-/// and the recording order is deterministic).
+/// core. The handle is `Arc<Mutex<..>>` so cores carrying a sink clone
+/// remain `Send` (the epoch-parallel machine moves cores across
+/// workers); recording order stays deterministic because traced runs
+/// execute the machine single-threaded — the lock is for the type
+/// system, never contended.
 #[derive(Debug, Clone)]
 pub struct SharedSink {
-    inner: Rc<RefCell<TraceBuffer>>,
+    inner: Arc<Mutex<TraceBuffer>>,
 }
 
 impl SharedSink {
     /// Creates a new shared buffer with the given capacity.
     pub fn new(capacity: usize) -> SharedSink {
         SharedSink {
-            inner: Rc::new(RefCell::new(TraceBuffer::new(capacity))),
+            inner: Arc::new(Mutex::new(TraceBuffer::new(capacity))),
         }
     }
 
     /// Discards buffered events (used when measurement starts, so
     /// warmup activity never appears in reports).
     pub fn clear(&self) {
-        self.inner.borrow_mut().clear();
+        self.inner.lock().expect("trace buffer poisoned").clear();
     }
 
     /// Takes the buffer contents, leaving an empty buffer behind.
     pub fn take(&self) -> TraceBuffer {
-        let capacity = self.inner.borrow().capacity();
-        self.inner.replace(TraceBuffer::new(capacity))
+        let mut inner = self.inner.lock().expect("trace buffer poisoned");
+        let capacity = inner.capacity();
+        std::mem::replace(&mut *inner, TraceBuffer::new(capacity))
     }
 }
 
 impl TraceSink for SharedSink {
     fn record(&mut self, ev: TraceEvent) {
-        self.inner.borrow_mut().record(ev);
+        self.inner.lock().expect("trace buffer poisoned").record(ev);
     }
 }
 

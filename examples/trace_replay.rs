@@ -44,11 +44,11 @@ fn main() {
             sets: 8192,
         },
     ] {
-        let sources: Vec<Box<dyn UopSource>> = serialized
+        let sources: Vec<Box<dyn UopSource + Send>> = serialized
             .iter()
             .map(|text| {
                 Box::new(trace::TraceThread::from_jsonl(text).expect("valid trace"))
-                    as Box<dyn UopSource>
+                    as Box<dyn UopSource + Send>
             })
             .collect();
         let cfg = SystemConfig::paper_default(mode);

@@ -104,9 +104,11 @@ fn trace_driven_machine_is_deterministic() {
         })
         .collect();
     let run = || {
-        let sources: Vec<Box<dyn UopSource>> = texts
+        let sources: Vec<Box<dyn UopSource + Send>> = texts
             .iter()
-            .map(|t| Box::new(trace::TraceThread::from_jsonl(t).unwrap()) as Box<dyn UopSource>)
+            .map(|t| {
+                Box::new(trace::TraceThread::from_jsonl(t).unwrap()) as Box<dyn UopSource + Send>
+            })
             .collect();
         let mut m = Machine::from_sources(
             cfg(CoherenceMode::Cgct {
@@ -150,8 +152,8 @@ fn synthetic_uop_source_closure_drives_machine() {
             }
         }
     };
-    let sources: Vec<Box<dyn UopSource>> = (0..4)
-        .map(|c| Box::new(mk(c)) as Box<dyn UopSource>)
+    let sources: Vec<Box<dyn UopSource + Send>> = (0..4)
+        .map(|c| Box::new(mk(c)) as Box<dyn UopSource + Send>)
         .collect();
     let mut m = Machine::from_sources(
         cfg(CoherenceMode::Cgct {
@@ -177,6 +179,6 @@ fn synthetic_uop_source_closure_drives_machine() {
 #[test]
 #[should_panic(expected = "one source per core")]
 fn from_sources_validates_core_count() {
-    let sources: Vec<Box<dyn UopSource>> = vec![];
+    let sources: Vec<Box<dyn UopSource + Send>> = vec![];
     let _ = Machine::from_sources(cfg(CoherenceMode::Baseline), sources, "empty", 0);
 }
