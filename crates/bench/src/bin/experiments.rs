@@ -15,6 +15,8 @@
 //!   sectoring                      sectored-cache miss ratios (§2)
 //!   diag                           calibration diagnostics
 //!   all                            everything, in paper order
+//!   run <benchmark>                one cell, checkpointable/resumable
+//!   cache gc                       prune stale result-cache entries
 //! ```
 //!
 //! `--quick` uses the scaled-down plan (CI-friendly); the default plan is
@@ -32,6 +34,13 @@
 //! and `--intra-serial` runs that engine on one worker — the reference a
 //! `CGCT_INTRA_JOBS=<n>` run must match byte for byte. The two knobs
 //! multiply; prefer `CGCT_JOBS=1` when turning intra-run parallelism on.
+//!
+//! Every simulated cell goes through the content-addressed result cache
+//! (`cgct_system::resultcache`) rooted at `CGCT_CACHE_DIR` (default
+//! `.cgct-cache`): a warm re-run restores every cell from disk and
+//! produces byte-identical artifacts without simulating. `--no-cache`
+//! or `CGCT_CACHE=0` disables it; tracing, sanitizing, and `--no-skip`
+//! runs bypass it automatically (they exist to exercise the simulator).
 
 use cgct::StorageModel;
 use cgct_bench::timing::TimingLog;
@@ -52,22 +61,51 @@ use std::time::Instant;
 
 struct Args {
     command: String,
+    /// Positional operand after the command (`run <benchmark>`,
+    /// `cache <gc>`).
+    operand: Option<String>,
     quick: bool,
     serial: bool,
     intra_serial: bool,
     no_skip: bool,
     sanitize: bool,
+    no_cache: bool,
+    mode: Option<String>,
+    seed: Option<u64>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    resume: Option<String>,
+    stop_after: Option<u64>,
     json_dir: Option<String>,
     trace_dir: Option<String>,
 }
 
+fn parse_u64(flag: &str, value: Option<String>) -> u64 {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("error: {flag} needs a number");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_args() -> Args {
     let mut command = "all".to_string();
+    let mut operand = None;
+    let mut positionals = 0usize;
     let mut quick = false;
     let mut serial = false;
     let mut intra_serial = false;
     let mut no_skip = false;
     let mut sanitize = false;
+    let mut no_cache = false;
+    let mut mode = None;
+    let mut seed = None;
+    let mut checkpoint = None;
+    let mut checkpoint_every = None;
+    let mut resume = None;
+    let mut stop_after = None;
     let mut json_dir = None;
     let mut trace_dir = None;
     let mut it = std::env::args().skip(1);
@@ -87,7 +125,9 @@ fn parse_args() -> Args {
                        directory                      snoop vs CGCT vs directory\n\
                        sectoring                      sectored-cache miss ratios\n\
                        diag                           calibration diagnostics\n\
-                       all                            everything, paper order\n\n\
+                       all                            everything, paper order\n\
+                       run <benchmark>                one cell, checkpointable\n\
+                       cache gc                       prune stale cache entries\n\n\
                      --quick    scaled-down plan (CI-friendly)\n\
                      --serial   one worker, in-order (same output, no threads)\n\
                      --intra-serial\n\
@@ -104,11 +144,24 @@ fn parse_args() -> Args {
                      --trace    record per-request lifetime traces and write\n\
                                 chrome_trace.json / trace_summary.json /\n\
                                 trace_report.md to <dir> (implies CGCT_TRACE=1;\n\
-                                all other outputs stay byte-identical)\n\n\
+                                all other outputs stay byte-identical)\n\
+                     --no-cache bypass the content-addressed result cache\n\
+                                (also CGCT_CACHE=0; tracing/sanitizing/no-skip\n\
+                                runs bypass it automatically)\n\n\
+                     run-command flags (see EXPERIMENTS.md):\n\
+                     --mode <label>        baseline | cgct-<N>B | scaled-<N>B |\n\
+                                           regionscout-<N>B | directory\n\
+                     --seed <n>            root seed (default: the plan's)\n\
+                     --checkpoint <file>   write a snapshot at each pause\n\
+                     --checkpoint-every <cycles>\n\
+                                           pause/snapshot cadence\n\
+                     --resume <file>       continue from a snapshot\n\
+                     --stop-after <k>      exit after k segments (interrupt)\n\n\
                      CGCT_JOBS=<n> overrides the worker count (default: all cores)\n\
                      CGCT_INTRA_JOBS=<n> parallelizes *within* each run with the\n\
                                 conservative epoch engine (default: off; the\n\
-                                legacy single-threaded engine)"
+                                legacy single-threaded engine)\n\
+                     CGCT_CACHE_DIR=<dir> result-cache root (default .cgct-cache)"
                 );
                 std::process::exit(0);
             }
@@ -117,9 +170,28 @@ fn parse_args() -> Args {
             "--intra-serial" => intra_serial = true,
             "--no-skip" => no_skip = true,
             "--sanitize" => sanitize = true,
+            "--no-cache" => no_cache = true,
+            "--mode" => mode = it.next(),
+            "--seed" => seed = Some(parse_u64("--seed", it.next())),
+            "--checkpoint" => checkpoint = it.next(),
+            "--checkpoint-every" => {
+                checkpoint_every = Some(parse_u64("--checkpoint-every", it.next()));
+            }
+            "--resume" => resume = it.next(),
+            "--stop-after" => stop_after = Some(parse_u64("--stop-after", it.next())),
             "--json" => json_dir = it.next(),
             "--trace" => trace_dir = it.next(),
-            c if !c.starts_with('-') => command = c.to_string(),
+            c if !c.starts_with('-') => {
+                match positionals {
+                    0 => command = c.to_string(),
+                    1 => operand = Some(c.to_string()),
+                    _ => {
+                        eprintln!("unexpected argument {c}");
+                        std::process::exit(2);
+                    }
+                }
+                positionals += 1;
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -128,11 +200,19 @@ fn parse_args() -> Args {
     }
     Args {
         command,
+        operand,
         quick,
         serial,
         intra_serial,
         no_skip,
         sanitize,
+        no_cache,
+        mode,
+        seed,
+        checkpoint,
+        checkpoint_every,
+        resume,
+        stop_after,
         json_dir,
         trace_dir,
     }
@@ -175,16 +255,17 @@ impl Progress {
 
 /// Pool-maps `f` over `items`, recording per-item wall time under
 /// `prefix:<label>` and showing a live progress line. `stats` extracts
-/// the simulated cycles an item covered and the memory events it
-/// delivered (for the timing log's throughput columns); return `None`
-/// for non-simulation work.
+/// the simulated cycles an item covered, the memory events it
+/// delivered, and whether the cell was restored from the result cache
+/// (for the timing log's throughput and `cache_hit` columns); return
+/// `None` for non-simulation work.
 fn run_pooled<T, R, F>(
     jobs: usize,
     prefix: &str,
     labels: Vec<String>,
     items: Vec<T>,
     f: F,
-    stats: impl Fn(&R) -> Option<(u64, u64)>,
+    stats: impl Fn(&R) -> Option<(u64, u64, bool)>,
     timing: &mut TimingLog,
 ) -> Vec<R>
 where
@@ -202,11 +283,24 @@ where
     let per_item = seconds.into_inner().unwrap();
     for ((label, secs), result) in labels.into_iter().zip(per_item).zip(&out) {
         match stats(result) {
-            Some((c, e)) => timing.record_run(format!("{prefix}:{label}"), secs, c, e),
+            Some((c, e, hit)) => timing.record_run(format!("{prefix}:{label}"), secs, c, e, hit),
             None => timing.record(format!("{prefix}:{label}"), secs),
         }
     }
     out
+}
+
+/// Per-section result-cache report on stderr: cells restored from the
+/// cache vs actually simulated since the last report. Silent when the
+/// cache is off or the section simulated nothing.
+fn cache_report(section: &str) {
+    if let Some(cache) = cgct_system::resultcache::global() {
+        let (hits, misses) = (cache.hits(), cache.misses());
+        if hits + misses > 0 {
+            eprintln!("[cache] {section}: {hits} cells restored, {misses} simulated");
+        }
+        cache.reset_counts();
+    }
 }
 
 /// Benchmark × mode work list in canonical (benchmark-major) order,
@@ -353,6 +447,181 @@ fn diag(plan: RunPlan) {
     }
 }
 
+/// `cache gc`: prune result-cache entries that can never hit again
+/// (stale code fingerprint, corrupt, truncated) and report bytes
+/// reclaimed. Operates on `CGCT_CACHE_DIR` regardless of whether the
+/// cache is enabled for runs.
+fn run_cache_command(args: &Args) {
+    match args.operand.as_deref() {
+        Some("gc") => {
+            let dir = std::env::var("CGCT_CACHE_DIR")
+                .ok()
+                .filter(|d| !d.is_empty())
+                .unwrap_or_else(|| ".cgct-cache".to_string());
+            let cache = cgct_system::ResultCache::new(dir.clone().into());
+            match cache.gc() {
+                Ok(r) => println!(
+                    "cache gc: {dir}: scanned {} entries, kept {}, removed {}, reclaimed {} bytes",
+                    r.scanned, r.kept, r.removed, r.bytes_reclaimed
+                ),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!(
+                "error: unknown cache subcommand {:?} (try: cache gc)",
+                other.unwrap_or("<none>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses a coherence-mode label of the kind `CoherenceMode::label`
+/// prints (`baseline`, `cgct-512B`, `scaled-256B`, `regionscout-1024B`,
+/// `directory`).
+fn parse_mode(label: &str) -> CoherenceMode {
+    let size = |s: &str| s.strip_suffix('B').and_then(|n| n.parse::<u64>().ok());
+    match label {
+        "baseline" => return CoherenceMode::Baseline,
+        "directory" => return CoherenceMode::Directory,
+        _ => {
+            if let Some(rb) = label.strip_prefix("cgct-").and_then(size) {
+                return CoherenceMode::Cgct {
+                    region_bytes: rb,
+                    sets: 8192,
+                };
+            }
+            if let Some(rb) = label.strip_prefix("scaled-").and_then(size) {
+                return CoherenceMode::Scaled {
+                    region_bytes: rb,
+                    sets: 8192,
+                };
+            }
+            if let Some(rb) = label.strip_prefix("regionscout-").and_then(size) {
+                return CoherenceMode::RegionScout { region_bytes: rb };
+            }
+        }
+    }
+    eprintln!(
+        "error: unknown mode '{label}' \
+         (baseline | cgct-<N>B | scaled-<N>B | regionscout-<N>B | directory)"
+    );
+    std::process::exit(2);
+}
+
+/// Writes `contents` to `path` atomically (temp + rename), so an
+/// interrupted process never leaves a truncated checkpoint behind.
+fn write_atomic(path: &str, contents: &str) {
+    let temp = format!("{path}.tmp-{}", std::process::id());
+    let write = std::fs::write(&temp, contents).and_then(|()| std::fs::rename(&temp, path));
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&temp);
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// `run <benchmark>`: one checkpointable cell. Prints the RunResult
+/// snapshot (one deterministic JSON line) on completion, so a resumed
+/// run is byte-comparable to an uninterrupted one. `--checkpoint-every
+/// N` pauses every N cycles and (with `--checkpoint FILE`) writes a
+/// snapshot; `--stop-after K` exits after K segments (a controlled
+/// interruption); `--resume FILE` continues from a snapshot.
+fn run_single(plan: RunPlan, args: &Args) {
+    use cgct_sim::{Json, Snap};
+    use cgct_system::{CheckpointRun, Machine};
+    let mode = parse_mode(args.mode.as_deref().unwrap_or("baseline"));
+    let cfg = SystemConfig::paper_default(mode);
+    let or_die = |r: Result<CheckpointRun, String>| {
+        r.unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    };
+    let mut run = if let Some(path) = &args.resume {
+        let parsed = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| Json::parse(&text).map_err(|e| format!("{path}: {e:?}")));
+        match parsed {
+            Ok(v) => {
+                // Benchmark comes from the snapshot itself; the operand
+                // (if given) and config must agree or restore fails.
+                let bench: String = v
+                    .get("machine")
+                    .and_then(|m| m.get("benchmark"))
+                    .and_then(|b| b.as_str())
+                    .unwrap_or_default()
+                    .to_string();
+                let spec = cgct_workloads::by_name(&bench).unwrap_or_else(|| {
+                    eprintln!("error: snapshot names unknown benchmark '{bench}'");
+                    std::process::exit(1);
+                });
+                or_die(CheckpointRun::resume(cfg, &spec, &v))
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let bench = args.operand.clone().unwrap_or_else(|| {
+            eprintln!("error: run needs a benchmark name (or --resume <file>)");
+            std::process::exit(2);
+        });
+        let spec = cgct_workloads::by_name(&bench).unwrap_or_else(|| {
+            eprintln!("error: unknown benchmark '{bench}'");
+            std::process::exit(2);
+        });
+        let seed = args.seed.unwrap_or(plan.base_seed);
+        or_die(CheckpointRun::new(
+            Machine::new(cfg, &spec, seed),
+            plan.warmup_per_core,
+            plan.instructions_per_core,
+            plan.max_cycles,
+        ))
+    };
+    let segment = args.checkpoint_every.unwrap_or(u64::MAX);
+    let mut segments = 0u64;
+    loop {
+        let done = run.step(segment);
+        segments += 1;
+        if done {
+            break;
+        }
+        if let Some(path) = &args.checkpoint {
+            let snap = run.snapshot().unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            write_atomic(path, &snap.dump());
+        }
+        if args.stop_after.is_some_and(|k| segments >= k) {
+            eprintln!(
+                "paused after {segments} segment(s) at cycle {} ({})",
+                run.machine().now().0,
+                match &args.checkpoint {
+                    Some(path) => format!("checkpoint in {path}"),
+                    None => "no --checkpoint file; state discarded".to_string(),
+                }
+            );
+            return;
+        }
+    }
+    let result = run.finish().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "completed in {segments} segment(s): {} cycles, {} instructions",
+        result.runtime_cycles, result.committed
+    );
+    println!("{}", result.snap().dump());
+}
+
 fn main() {
     let args = parse_args();
     if args.serial {
@@ -383,6 +652,19 @@ fn main() {
         // byte-identical to an untraced run).
         std::env::set_var("CGCT_TRACE", "1");
     }
+    if !args.no_cache && args.command != "diag" {
+        // Default-ON content-addressed result cache. install_from_env
+        // re-checks CGCT_CACHE / trace / sanitize / no-skip (set above
+        // from the flags), so a bypassed run never consults it.
+        if cgct_system::resultcache::install_from_env() {
+            let dir = cgct_system::resultcache::global().expect("installed").dir();
+            eprintln!("result cache: {}", dir.display());
+        }
+    }
+    if args.command == "cache" {
+        run_cache_command(&args);
+        return;
+    }
     let jobs = pool::jobs();
     if let Some(dir) = &args.json_dir {
         if let Err(e) = prepare_output_dir(dir) {
@@ -410,6 +692,10 @@ fn main() {
     let cmd = args.command.as_str();
     if cmd == "diag" {
         diag(plan);
+        return;
+    }
+    if cmd == "run" {
+        run_single(plan, &args);
         return;
     }
     let needs_suite = matches!(
@@ -457,11 +743,17 @@ fn main() {
             |report| progress.tick(report.done, report.total),
         );
         progress.finish();
-        timing.extend_runs(suite.timings.iter().map(|(label, secs, cycles, events)| {
-            (format!("suite:{label}"), *secs, *cycles, *events)
-        }));
+        timing.extend_runs(
+            suite
+                .timings
+                .iter()
+                .map(|(label, secs, cycles, events, hit)| {
+                    (format!("suite:{label}"), *secs, *cycles, *events, *hit)
+                }),
+        );
         timing.record("phase:suite", suite_t0.elapsed().as_secs_f64());
         eprintln!("suite done in {:.1}s", t0.elapsed().as_secs_f64());
+        cache_report("suite");
         if args.trace_dir.is_some() {
             for bench in suite.benchmarks() {
                 for mode in &modes {
@@ -539,6 +831,7 @@ fn main() {
             let rca_t0 = Instant::now();
             let rows = rca_stats(&suite);
             timing.record("phase:rca-stats", rca_t0.elapsed().as_secs_f64());
+            cache_report("rca-stats");
             println!("## RCA statistics (§3.2, §5.2)\n");
             println!("{}", render_rca_stats(&rows));
             println!("(paper: 65.1% empty / 17.2% one line / 5.1% two; ~1.2% miss-ratio increase; 2.8-5 lines/region)\n");
@@ -550,6 +843,7 @@ fn main() {
         let t = Instant::now();
         f(jobs, timing);
         timing.record(format!("phase:{name}"), t.elapsed().as_secs_f64());
+        cache_report(name);
     };
     if matches!(cmd, "all" | "ablations") {
         phase("ablations", &mut timing, &mut |jobs, timing| {
@@ -722,7 +1016,7 @@ fn run_directory_comparison(
     timing: &mut TimingLog,
     traces: &mut Vec<cgct_trace::TraceReport>,
 ) {
-    use cgct_system::run_once;
+    use cgct_system::run_once_cached;
     println!("## Snooping vs CGCT vs directory (§1.2 comparison)\n");
     let modes = [
         CoherenceMode::Baseline,
@@ -735,18 +1029,21 @@ fn run_directory_comparison(
     // One work item per (benchmark, mode) cell, benchmark-major; rows
     // fold from canonical-order chunks of three.
     let (labels, items) = cross_product(&cgct_workloads::all_benchmarks(), &modes);
-    let results = run_pooled(
+    let results: Vec<_> = run_pooled(
         jobs,
         "directory",
         labels,
         items,
         |_, (spec, mode)| {
             let cfg = SystemConfig::paper_default(mode);
-            run_once(&cfg, &spec, plan.base_seed, &plan)
+            run_once_cached(&cfg, &spec, plan.base_seed, &plan)
         },
-        |r| Some((r.runtime_cycles, r.mem_events)),
+        |(r, hit)| Some((r.runtime_cycles, r.mem_events, *hit)),
         timing,
-    );
+    )
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect();
     if args.trace_dir.is_some() {
         // Canonical order is guaranteed by run_pooled (item order, not
         // completion order), so the trace summary is deterministic
@@ -795,7 +1092,7 @@ fn run_directory_comparison(
 /// spatial coverage and false region-sharing that makes mid-size regions
 /// the sweet spot.
 fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
-    use cgct_system::run_once;
+    use cgct_system::run_once_cached;
     println!("## Region-size sweep (64B - 4KB, mean across benchmarks)\n");
     let benchmarks = cgct_workloads::all_benchmarks();
     let base_runtime: Vec<f64> = run_pooled(
@@ -805,14 +1102,14 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
         benchmarks.clone(),
         |_, spec| {
             let cfg = SystemConfig::paper_default(CoherenceMode::Baseline);
-            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
-            (r.runtime_cycles, r.mem_events)
+            let (r, hit) = run_once_cached(&cfg, &spec, plan.base_seed, &plan);
+            (r.runtime_cycles, r.mem_events, hit)
         },
-        |(rt, ev)| Some((*rt, *ev)),
+        |(rt, ev, hit)| Some((*rt, *ev, *hit)),
         timing,
     )
     .into_iter()
-    .map(|(rt, _)| rt as f64)
+    .map(|(rt, _, _)| rt as f64)
     .collect();
     eprintln!("region-sweep baselines done");
     let sizes = [64u64, 128, 256, 512, 1024, 2048, 4096];
@@ -837,14 +1134,15 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
                 region_bytes,
                 sets: 8192,
             });
-            let r = run_once(&cfg, &spec, plan.base_seed, &plan);
+            let (r, hit) = run_once_cached(&cfg, &spec, plan.base_seed, &plan);
             (
                 r.runtime_cycles as f64,
                 r.metrics.avoided_fraction(),
                 r.mem_events,
+                hit,
             )
         },
-        |(rt, _, ev)| Some((*rt as u64, *ev)),
+        |(rt, _, ev, hit)| Some((*rt as u64, *ev, *hit)),
         timing,
     );
     let mut rows = Vec::new();
@@ -853,7 +1151,7 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
         let region_bytes = sizes[size_idx];
         let mut reduction_sum = 0.0;
         let mut avoided_sum = 0.0;
-        for ((runtime, avoided, _), base) in chunk.iter().zip(&base_runtime) {
+        for ((runtime, avoided, _, _), base) in chunk.iter().zip(&base_runtime) {
             reduction_sum += 100.0 * (1.0 - runtime / base);
             avoided_sum += avoided * 100.0;
         }
@@ -886,7 +1184,7 @@ fn run_region_sweep(plan: RunPlan, args: &Args, jobs: usize, timing: &mut Timing
 /// for baseline vs CGCT, including the RCA's own lookup overhead.
 fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_system::energy::{energy_of, EnergyModel};
-    use cgct_system::run_once;
+    use cgct_system::run_once_cached;
     println!("## Energy (§6 extension) — relative units, default weights\n");
     let weights = EnergyModel::default_weights();
     // Three configurations per benchmark: baseline, baseline+Jetty,
@@ -913,15 +1211,18 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
             items.push((spec.clone(), cfg.clone()));
         }
     }
-    let results = run_pooled(
+    let results: Vec<_> = run_pooled(
         jobs,
         "energy",
         labels,
         items,
-        |_, (spec, cfg)| run_once(&cfg, &spec, plan.base_seed, &plan),
-        |r| Some((r.runtime_cycles, r.mem_events)),
+        |_, (spec, cfg)| run_once_cached(&cfg, &spec, plan.base_seed, &plan),
+        |(r, hit)| Some((r.runtime_cycles, r.mem_events, *hit)),
         timing,
-    );
+    )
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect();
     let mut rows = Vec::new();
     for chunk in results.chunks(variants.len()) {
         let (base, jetty, cgct) = (&chunk[0], &chunk[1], &chunk[2]);
@@ -962,7 +1263,7 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
 /// address network is shared by four times the processors.
 fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_interconnect::Topology;
-    use cgct_system::run_once;
+    use cgct_system::run_once_cached;
     println!("## Scalability — 16-core, two-board machine\n");
     let modes = [
         CoherenceMode::Baseline,
@@ -976,7 +1277,7 @@ fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingL
         .map(|b| cgct_workloads::by_name(b).expect("benchmark"))
         .collect();
     let (labels, items) = cross_product(&benchmarks, &modes);
-    let results = run_pooled(
+    let results: Vec<_> = run_pooled(
         jobs,
         "scalability",
         labels,
@@ -984,11 +1285,14 @@ fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingL
         |_, (spec, mode)| {
             let mut cfg = SystemConfig::paper_default(mode);
             cfg.topology = Topology::two_boards();
-            run_once(&cfg, &spec, plan.base_seed, &plan)
+            run_once_cached(&cfg, &spec, plan.base_seed, &plan)
         },
-        |r| Some((r.runtime_cycles, r.mem_events)),
+        |(r, hit)| Some((r.runtime_cycles, r.mem_events, *hit)),
         timing,
-    );
+    )
+    .into_iter()
+    .map(|(r, _)| r)
+    .collect();
     let mut rows = Vec::new();
     for chunk in results.chunks(modes.len()) {
         let (base, cgct) = (&chunk[0], &chunk[1]);

@@ -31,6 +31,11 @@ pub struct TimingRow {
     /// non-simulation rows) — with `seconds`, the raw material for the
     /// `memory_events_per_sec` throughput figure.
     pub mem_events: Option<u64>,
+    /// Whether the item was restored from the content-addressed result
+    /// cache instead of simulated (`None` for non-simulation rows;
+    /// `Some(false)` covers both a cache miss and a disabled cache —
+    /// either way the cell was actually simulated).
+    pub cache_hit: Option<bool>,
 }
 
 impl TimingRow {
@@ -77,24 +82,28 @@ impl TimingLog {
             seconds,
             sim_cycles: None,
             mem_events: None,
+            cache_hit: None,
         });
     }
 
     /// Appends one simulation row: wall seconds plus the simulated
-    /// cycles the item covered and the memory completion events it
-    /// delivered.
+    /// cycles the item covered, the memory completion events it
+    /// delivered, and whether the cell was restored from the result
+    /// cache rather than simulated.
     pub fn record_run(
         &mut self,
         label: impl Into<String>,
         seconds: f64,
         sim_cycles: u64,
         mem_events: u64,
+        cache_hit: bool,
     ) {
         self.rows.push(TimingRow {
             label: label.into(),
             seconds,
             sim_cycles: Some(sim_cycles),
             mem_events: Some(mem_events),
+            cache_hit: Some(cache_hit),
         });
     }
 
@@ -106,9 +115,9 @@ impl TimingLog {
     }
 
     /// Appends many simulation rows (e.g. a suite's per-item timings).
-    pub fn extend_runs(&mut self, rows: impl IntoIterator<Item = (String, f64, u64, u64)>) {
-        for (label, seconds, cycles, events) in rows {
-            self.record_run(label, seconds, cycles, events);
+    pub fn extend_runs(&mut self, rows: impl IntoIterator<Item = (String, f64, u64, u64, bool)>) {
+        for (label, seconds, cycles, events, hit) in rows {
+            self.record_run(label, seconds, cycles, events, hit);
         }
     }
 
@@ -170,6 +179,9 @@ impl ToJson for TimingLog {
                     }
                     if let Some(e) = row.mem_events {
                         fields.push(("mem_events", Json::u64(e)));
+                    }
+                    if let Some(h) = row.cache_hit {
+                        fields.push(("cache_hit", Json::Bool(h)));
                     }
                     Json::obj(fields)
                 })
@@ -334,12 +346,13 @@ mod tests {
     #[test]
     fn simulation_rows_carry_cycles_and_throughput() {
         let mut log = TimingLog::new(1);
-        log.record_run("suite:ocean/cgct-512B#s1", 0.5, 1_000_000, 900);
+        log.record_run("suite:ocean/cgct-512B#s1", 0.5, 1_000_000, 900, false);
         log.extend_runs([(
             "suite:ocean/cgct-512B#s2".to_string(),
             0.25,
             500_000u64,
             450u64,
+            true,
         )]);
         log.record("phase:total", 0.75);
         assert_eq!(log.total_sim_cycles(), 1_500_000);
@@ -362,14 +375,20 @@ mod tests {
         );
         assert_eq!(rows[0].get("mem_events").and_then(Json::as_u64), Some(900));
         assert_eq!(
+            rows[0].get("cache_hit").and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(rows[1].get("cache_hit").and_then(Json::as_bool), Some(true));
+        assert_eq!(
             rows[1].get("cycles_per_sec").and_then(Json::as_f64),
             Some(2_000_000.0)
         );
         assert!(rows[2].get("sim_cycles").is_none());
         assert!(rows[2].get("mem_events").is_none());
+        assert!(rows[2].get("cache_hit").is_none());
         // A zero wall-time reading cannot produce an infinite rate.
         let mut zero = TimingLog::new(1);
-        zero.record_run("x", 0.0, 10, 1);
+        zero.record_run("x", 0.0, 10, 1, false);
         assert_eq!(zero.rows()[0].cycles_per_sec(), None);
         let z = Json::parse(&zero.to_json().dump()).unwrap();
         let zr = z.get("timings").and_then(Json::as_array).unwrap();

@@ -60,6 +60,20 @@ impl fmt::Display for RegionAddr {
     }
 }
 
+macro_rules! impl_snap_addr {
+    ($($t:ident),*) => {$(
+        impl cgct_sim::Snap for $t {
+            fn snap(&self) -> cgct_sim::Json {
+                cgct_sim::Json::u64(self.0)
+            }
+            fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+                Ok($t(v.as_u64().ok_or(concat!("expected ", stringify!($t)))?))
+            }
+        }
+    )*};
+}
+impl_snap_addr!(Addr, LineAddr, RegionAddr);
+
 /// Line/region address arithmetic for one (line size, region size) choice.
 ///
 /// Both sizes must be powers of two, and the region must be at least one

@@ -323,6 +323,72 @@ impl<E> SetAssocArray<E> {
     }
 }
 
+impl<E: cgct_sim::Snap> cgct_sim::Snap for SetAssocArray<E> {
+    /// Ways serialize positionally (`null` for a free way), so free-way
+    /// selection and victim order replay identically after restore. Free
+    /// ways deliberately drop their stale tag/LRU stamp — both are dead
+    /// state (`find` gates on occupancy, victims only come from full
+    /// sets) — which also makes snapshotting idempotent.
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("sets", Json::u64(self.sets as u64)),
+            ("ways", Json::u64(self.ways as u64)),
+            ("clock", Json::u64(self.clock)),
+            (
+                "storage",
+                Json::Array(
+                    self.storage
+                        .iter()
+                        .map(|w| match &w.entry {
+                            None => Json::Null,
+                            Some(e) => Json::obj([
+                                ("t", Json::u64(w.tag)),
+                                ("u", Json::u64(w.last_use)),
+                                ("e", e.snap()),
+                            ]),
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        use cgct_sim::Json;
+        let sets: usize = unsnap_field(v, "sets")?;
+        let ways: usize = unsnap_field(v, "ways")?;
+        if !sets.is_power_of_two() || ways == 0 {
+            return Err(format!("bad geometry {sets}x{ways}"));
+        }
+        let mut a = SetAssocArray::new(sets, ways);
+        a.clock = unsnap_field(v, "clock")?;
+        let storage = elements(field(v, "storage")?)?;
+        if storage.len() != sets * ways {
+            return Err(format!(
+                "storage has {} ways, expected {}",
+                storage.len(),
+                sets * ways
+            ));
+        }
+        for (i, w) in storage.iter().enumerate() {
+            if matches!(w, Json::Null) {
+                continue;
+            }
+            a.storage[i] = Way {
+                tag: unsnap_field(w, "t")?,
+                last_use: unsnap_field(w, "u")?,
+                entry: Some(
+                    E::unsnap(field(w, "e")?).map_err(|e| format!("way [{i}] entry: {e}"))?,
+                ),
+            };
+            a.len += 1;
+        }
+        Ok(a)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,6 +215,52 @@ impl MshrFile<Cycle> {
     }
 }
 
+impl<T: cgct_sim::Snap> cgct_sim::Snap for MshrFile<T> {
+    /// Slots serialize positionally (`null` for a free register) and
+    /// waiters in order, so first-free allocation, merge lookup, and the
+    /// primary-waiter convention all replay identically after restore.
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::Array(
+            self.slots
+                .iter()
+                .map(|s| match s {
+                    None => Json::Null,
+                    Some(slot) => Json::obj([
+                        ("line", Json::u64(slot.line.0)),
+                        ("waiters", slot.waiters.snap()),
+                    ]),
+                })
+                .collect(),
+        )
+    }
+
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        use cgct_sim::Json;
+        let items = elements(v)?;
+        if items.is_empty() {
+            return Err("MSHR file needs at least one register".to_string());
+        }
+        let mut m = MshrFile::new(items.len());
+        for (i, s) in items.iter().enumerate() {
+            if matches!(s, Json::Null) {
+                continue;
+            }
+            let waiters: Vec<T> = unsnap_field(s, "waiters")?;
+            if waiters.is_empty() {
+                return Err(format!("slot [{i}] has no primary waiter"));
+            }
+            m.slots[i] = Some(Slot {
+                line: LineAddr(field(s, "line")?.as_u64().ok_or("line must be u64")?),
+                waiters,
+            });
+            m.live += 1;
+        }
+        Ok(m)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

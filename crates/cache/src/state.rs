@@ -126,6 +126,36 @@ impl fmt::Display for MsiState {
     }
 }
 
+impl cgct_sim::Snap for MoesiState {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(self.letter().to_string())
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("M") => Ok(MoesiState::Modified),
+            Some("O") => Ok(MoesiState::Owned),
+            Some("E") => Ok(MoesiState::Exclusive),
+            Some("S") => Ok(MoesiState::Shared),
+            Some("I") => Ok(MoesiState::Invalid),
+            other => Err(format!("unknown MOESI state {other:?}")),
+        }
+    }
+}
+
+impl cgct_sim::Snap for MsiState {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(self.letter().to_string())
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("M") => Ok(MsiState::Modified),
+            Some("S") => Ok(MsiState::Shared),
+            Some("I") => Ok(MsiState::Invalid),
+            other => Err(format!("unknown MSI state {other:?}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

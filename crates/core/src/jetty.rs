@@ -124,6 +124,37 @@ impl JettyFilter {
         self.queries = 0;
         self.filtered = 0;
     }
+
+    /// Snapshots both counter arrays and the statistics.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("a", self.a.snap()),
+            ("b", self.b.snap()),
+            ("queries", Json::u64(self.queries)),
+            ("filtered", Json::u64(self.filtered)),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into a
+    /// filter of the same size.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or an array-size mismatch.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::unsnap_field;
+        let a: Vec<u32> = unsnap_field(v, "a")?;
+        let b: Vec<u32> = unsnap_field(v, "b")?;
+        if a.len() != self.a.len() || b.len() != self.b.len() {
+            return Err("Jetty array size mismatch".to_string());
+        }
+        self.a = a;
+        self.b = b;
+        self.queries = unsnap_field(v, "queries")?;
+        self.filtered = unsnap_field(v, "filtered")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

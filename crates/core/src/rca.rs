@@ -376,6 +376,83 @@ impl RegionCoherenceArray {
     }
 }
 
+impl cgct_sim::Snap for RegionEntry {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("s", self.state.snap()),
+            ("n", Json::u64(self.line_count as u64)),
+            ("mc", Json::u64(self.mc as u64)),
+            ("o", self.owner_hint.snap()),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(RegionEntry {
+            state: unsnap_field(v, "s")?,
+            line_count: unsnap_field(v, "n")?,
+            mc: unsnap_field(v, "mc")?,
+            owner_hint: unsnap_field(v, "o")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for RcaStats {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("evictions", self.evictions.snap()),
+            ("evicted_line_counts", self.evicted_line_counts.snap()),
+            ("self_invalidations", self.self_invalidations.snap()),
+            ("region_hits", self.region_hits.snap()),
+            ("region_misses", self.region_misses.snap()),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(RcaStats {
+            evictions: unsnap_field(v, "evictions")?,
+            evicted_line_counts: unsnap_field(v, "evicted_line_counts")?,
+            self_invalidations: unsnap_field(v, "self_invalidations")?,
+            region_hits: unsnap_field(v, "region_hits")?,
+            region_misses: unsnap_field(v, "region_misses")?,
+        })
+    }
+}
+
+impl RegionCoherenceArray {
+    /// Snapshots the array contents and statistics (the configuration is
+    /// the caller's to rebuild — see [`restore_state`](Self::restore_state)).
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([("array", self.array.snap()), ("stats", self.stats.snap())])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into an
+    /// array built with the same [`RcaConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a geometry mismatch with this array's
+    /// configuration.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{field, Snap};
+        let array = SetAssocArray::unsnap(field(v, "array")?)?;
+        if array.sets() != self.cfg.sets || array.ways() != self.cfg.ways {
+            return Err(format!(
+                "RCA geometry mismatch: snapshot {}x{}, config {}x{}",
+                array.sets(),
+                array.ways(),
+                self.cfg.sets,
+                self.cfg.ways
+            ));
+        }
+        self.array = array;
+        self.stats = RcaStats::unsnap(field(v, "stats")?)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 impl RegionCoherenceArray {
     /// Test helper: refresh a region's LRU recency.

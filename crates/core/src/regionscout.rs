@@ -148,6 +148,42 @@ impl RegionScout {
     }
 }
 
+impl RegionScout {
+    /// Snapshots the CRH counters, NSRT contents, and statistics.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("crh", self.crh.snap()),
+            ("nsrt", self.nsrt.snap()),
+            ("false_positives", self.false_positive_candidates.snap()),
+            ("nsrt_hits", self.nsrt_hits.snap()),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into a
+    /// filter of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a CRH/NSRT size mismatch.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{field, unsnap_field, Snap};
+        let crh: Vec<u32> = unsnap_field(v, "crh")?;
+        if crh.len() != self.crh.len() {
+            return Err("CRH size mismatch".to_string());
+        }
+        let nsrt = SetAssocArray::unsnap(field(v, "nsrt")?)?;
+        if nsrt.sets() != self.nsrt.sets() || nsrt.ways() != self.nsrt.ways() {
+            return Err("NSRT geometry mismatch".to_string());
+        }
+        self.crh = crh;
+        self.nsrt = nsrt;
+        self.false_positive_candidates = unsnap_field(v, "false_positives")?;
+        self.nsrt_hits = unsnap_field(v, "nsrt_hits")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -216,6 +216,71 @@ impl ScaledRca {
     }
 }
 
+impl cgct_sim::Snap for ScaledRegionState {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(match self {
+            ScaledRegionState::Invalid => "I",
+            ScaledRegionState::Exclusive => "E",
+            ScaledRegionState::NotExclusive => "NE",
+        })
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("I") => Ok(ScaledRegionState::Invalid),
+            Some("E") => Ok(ScaledRegionState::Exclusive),
+            Some("NE") => Ok(ScaledRegionState::NotExclusive),
+            other => Err(format!("unknown scaled region state {other:?}")),
+        }
+    }
+}
+
+impl cgct_sim::Snap for ScaledEntry {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("s", self.state.snap()),
+            ("n", Json::u64(self.line_count as u64)),
+            ("mc", Json::u64(self.mc as u64)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(ScaledEntry {
+            state: unsnap_field(v, "s")?,
+            line_count: unsnap_field(v, "n")?,
+            mc: unsnap_field(v, "mc")?,
+        })
+    }
+}
+
+impl ScaledRca {
+    /// Snapshots the array contents and statistics.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("array", self.array.snap()),
+            ("self_invalidations", self.self_invalidations.snap()),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into an
+    /// array of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or an array-geometry mismatch.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{field, unsnap_field, Snap};
+        let array = SetAssocArray::unsnap(field(v, "array")?)?;
+        if array.sets() != self.array.sets() || array.ways() != self.array.ways() {
+            return Err("scaled RCA geometry mismatch".to_string());
+        }
+        self.array = array;
+        self.self_invalidations = unsnap_field(v, "self_invalidations")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

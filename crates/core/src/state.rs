@@ -224,6 +224,19 @@ impl fmt::Display for RegionState {
     }
 }
 
+impl cgct_sim::Snap for RegionState {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(self.mnemonic())
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        let name = v.as_str().ok_or("expected region-state mnemonic")?;
+        RegionState::ALL
+            .into_iter()
+            .find(|s| s.mnemonic() == name)
+            .ok_or_else(|| format!("unknown region state {name:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -146,6 +146,45 @@ impl BranchPredictor {
             self.mispredictions as f64 / self.predictions as f64
         }
     }
+
+    /// Snapshots every predictor table and the statistics.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("pht", self.pht.snap()),
+            ("history", Json::u64(self.history)),
+            ("btb", self.btb.snap()),
+            ("ras", self.ras.snap()),
+            ("predictions", Json::u64(self.predictions)),
+            ("mispredictions", Json::u64(self.mispredictions)),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into a
+    /// predictor of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or a table-size mismatch.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::unsnap_field;
+        let pht: Vec<u8> = unsnap_field(v, "pht")?;
+        let btb: Vec<u64> = unsnap_field(v, "btb")?;
+        let ras: Vec<u64> = unsnap_field(v, "ras")?;
+        if pht.len() != self.pht.len() || btb.len() != self.btb.len() {
+            return Err("branch-predictor table size mismatch".to_string());
+        }
+        if ras.len() > self.ras_cap {
+            return Err("RAS overflows its capacity".to_string());
+        }
+        self.pht = pht;
+        self.btb = btb;
+        self.ras = ras;
+        self.history = unsnap_field::<u64>(v, "history")? & self.history_mask;
+        self.predictions = unsnap_field(v, "predictions")?;
+        self.mispredictions = unsnap_field(v, "mispredictions")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

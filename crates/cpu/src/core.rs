@@ -829,6 +829,191 @@ impl Core {
     }
 }
 
+impl cgct_sim::Snap for FetchedUop {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([("u", self.uop.snap()), ("r", Json::Bool(self.redirect))])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(FetchedUop {
+            uop: unsnap_field(v, "u")?,
+            redirect: unsnap_field(v, "r")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for StoreKind {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(match self {
+            StoreKind::Store => "S",
+            StoreKind::Dcbz => "Z",
+        })
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        match v.as_str() {
+            Some("S") => Ok(StoreKind::Store),
+            Some("Z") => Ok(StoreKind::Dcbz),
+            other => Err(format!("unknown store kind {other:?}")),
+        }
+    }
+}
+
+impl cgct_sim::Snap for RobEntry {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        // `fu_class` is derived from the uop kind, so it is not stored.
+        Json::obj([
+            ("u", self.uop.snap()),
+            ("i", Json::Bool(self.issued)),
+            ("d", self.done_at.snap()),
+            ("r", Json::Bool(self.redirect)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        let uop: Uop = unsnap_field(v, "u")?;
+        Ok(RobEntry {
+            fu_class: fu_class_of(uop.kind),
+            uop,
+            issued: unsnap_field(v, "i")?,
+            done_at: unsnap_field(v, "d")?,
+            redirect: unsnap_field(v, "r")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for CoreStats {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("committed", Json::u64(self.committed)),
+            ("cycles", Json::u64(self.cycles)),
+            ("fetch_stall_cycles", Json::u64(self.fetch_stall_cycles)),
+            (
+                "store_buffer_stall_cycles",
+                Json::u64(self.store_buffer_stall_cycles),
+            ),
+            ("loads", Json::u64(self.loads)),
+            ("stores", Json::u64(self.stores)),
+            ("dcbz_ops", Json::u64(self.dcbz_ops)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(CoreStats {
+            committed: unsnap_field(v, "committed")?,
+            cycles: unsnap_field(v, "cycles")?,
+            fetch_stall_cycles: unsnap_field(v, "fetch_stall_cycles")?,
+            store_buffer_stall_cycles: unsnap_field(v, "store_buffer_stall_cycles")?,
+            loads: unsnap_field(v, "loads")?,
+            stores: unsnap_field(v, "stores")?,
+            dcbz_ops: unsnap_field(v, "dcbz_ops")?,
+        })
+    }
+}
+
+impl Core {
+    /// Snapshots all architectural and microarchitectural state except
+    /// the configuration (fixed at construction) and any trace sink
+    /// (checkpointing is disabled while tracing).
+    ///
+    /// Only the valid `head_seq..next_seq` window of the ROB ring is
+    /// stored; the unissued list is an invariant of those entries and is
+    /// rebuilt on restore.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        let rob: Vec<cgct_sim::Json> = (self.head_seq..self.next_seq)
+            .map(|seq| self.rob_at(seq).snap())
+            .collect();
+        Json::obj([
+            ("bpred", self.bpred.snap_state()),
+            ("fetch_queue", self.fetch_queue.snap()),
+            ("pending_fetch", self.pending_fetch.snap()),
+            ("current_fetch_line", self.current_fetch_line.snap()),
+            ("fetch_line_ready", self.fetch_line_ready.snap()),
+            (
+                "redirects_in_flight",
+                Json::u64(self.redirects_in_flight as u64),
+            ),
+            ("fetch_stall_until", self.fetch_stall_until.snap()),
+            ("rob", Json::Array(rob)),
+            ("head_seq", Json::u64(self.head_seq)),
+            ("next_seq", Json::u64(self.next_seq)),
+            ("lsq_occupancy", self.lsq_occupancy.snap()),
+            ("store_buffer", self.store_buffer.snap()),
+            ("stores_in_flight", self.stores_in_flight.snap()),
+            ("load_mshrs", self.load_mshrs.snap()),
+            ("earliest_fill", Json::u64(self.earliest_fill)),
+            ("issue_retry_at", self.issue_retry_at.snap()),
+            ("store_retry_at", self.store_retry_at.snap()),
+            ("stats", self.stats.snap()),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into a
+    /// core of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or any capacity mismatch with this
+    /// core's configuration.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{field, unsnap_field, Snap};
+        self.bpred.restore_state(field(v, "bpred")?)?;
+        let fetch_queue: VecDeque<FetchedUop> = unsnap_field(v, "fetch_queue")?;
+        if fetch_queue.len() > self.cfg.fetch_queue {
+            return Err("fetch queue overflows its capacity".to_string());
+        }
+        let head_seq: u64 = unsnap_field(v, "head_seq")?;
+        let next_seq: u64 = unsnap_field(v, "next_seq")?;
+        if next_seq < head_seq || (next_seq - head_seq) as usize > self.cfg.rob {
+            return Err("invalid ROB sequence window".to_string());
+        }
+        let entries: Vec<RobEntry> = unsnap_field(v, "rob")?;
+        if entries.len() as u64 != next_seq - head_seq {
+            return Err("ROB entry count does not match the sequence window".to_string());
+        }
+        let store_buffer: VecDeque<(StoreKind, Addr)> = unsnap_field(v, "store_buffer")?;
+        if store_buffer.len() > self.cfg.store_buffer {
+            return Err("store buffer overflows its capacity".to_string());
+        }
+        let stores_in_flight: Vec<Cycle> = unsnap_field(v, "stores_in_flight")?;
+        if stores_in_flight.len() > self.cfg.store_mshrs {
+            return Err("more in-flight stores than write MSHRs".to_string());
+        }
+        let load_mshrs = MshrFile::unsnap(field(v, "load_mshrs")?)?;
+        if load_mshrs.capacity() != self.cfg.load_mshrs {
+            return Err("load MSHR capacity mismatch".to_string());
+        }
+        self.fetch_queue = fetch_queue;
+        self.pending_fetch = unsnap_field(v, "pending_fetch")?;
+        self.current_fetch_line = unsnap_field(v, "current_fetch_line")?;
+        self.fetch_line_ready = unsnap_field(v, "fetch_line_ready")?;
+        self.redirects_in_flight = unsnap_field::<u64>(v, "redirects_in_flight")? as usize;
+        self.fetch_stall_until = unsnap_field(v, "fetch_stall_until")?;
+        self.head_seq = head_seq;
+        self.next_seq = next_seq;
+        self.unissued_seqs.clear();
+        for (i, e) in entries.into_iter().enumerate() {
+            let seq = head_seq + i as u64;
+            if !e.issued {
+                self.unissued_seqs.push(seq);
+            }
+            self.rob[(seq & self.rob_mask) as usize] = e;
+        }
+        self.lsq_occupancy = unsnap_field(v, "lsq_occupancy")?;
+        self.store_buffer = store_buffer;
+        self.stores_in_flight = stores_in_flight;
+        self.load_mshrs = load_mshrs;
+        self.earliest_fill = unsnap_field(v, "earliest_fill")?;
+        self.issue_retry_at = unsnap_field(v, "issue_retry_at")?;
+        self.store_retry_at = unsnap_field(v, "store_retry_at")?;
+        self.stats = unsnap_field(v, "stats")?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

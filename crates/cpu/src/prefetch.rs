@@ -170,6 +170,63 @@ impl StreamPrefetcher {
     pub fn issued(&self) -> u64 {
         self.issued
     }
+
+    /// Snapshots the stream registers and statistics.
+    pub fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("streams", self.streams.snap()),
+            ("clock", Json::u64(self.clock)),
+            ("issued", Json::u64(self.issued)),
+        ])
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state) into an
+    /// engine of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or more streams than this engine holds.
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::unsnap_field;
+        let streams: Vec<Stream> = unsnap_field(v, "streams")?;
+        if streams.len() > self.max_streams {
+            return Err("more streams than registers".to_string());
+        }
+        self.streams = streams;
+        self.clock = unsnap_field(v, "clock")?;
+        self.issued = unsnap_field(v, "issued")?;
+        Ok(())
+    }
+}
+
+impl cgct_sim::Snap for Stream {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("e", self.expect.snap()),
+            ("d", Json::i64(self.direction)),
+            ("r", Json::u64(self.runahead)),
+            ("c", Json::Bool(self.confirmed)),
+            ("x", Json::Bool(self.exclusive)),
+            ("u", Json::u64(self.last_use)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        let direction: i64 = unsnap_field(v, "d")?;
+        if direction != 1 && direction != -1 {
+            return Err(format!("stream direction must be ±1, got {direction}"));
+        }
+        Ok(Stream {
+            expect: unsnap_field(v, "e")?,
+            direction,
+            runahead: unsnap_field(v, "r")?,
+            confirmed: unsnap_field(v, "c")?,
+            exclusive: unsnap_field(v, "x")?,
+            last_use: unsnap_field(v, "u")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -220,6 +220,15 @@ impl UopKind {
     }
 }
 
+impl cgct_sim::Snap for Uop {
+    fn snap(&self) -> Json {
+        self.to_json()
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        Uop::from_json(v)
+    }
+}
+
 /// An infinite dynamic instruction stream.
 ///
 /// Implementations are the synthetic workload generators; the core pulls
@@ -228,6 +237,22 @@ impl UopKind {
 pub trait UopSource {
     /// Produces the next dynamic instruction.
     fn next_uop(&mut self) -> Uop;
+
+    /// Snapshots the generator's dynamic state, or `None` when the source
+    /// does not support checkpointing (the default).
+    fn snap_state(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`snap_state`](Self::snap_state).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the source does not support checkpointing (the default)
+    /// or on malformed input.
+    fn restore_state(&mut self, _v: &Json) -> Result<(), String> {
+        Err("this uop source does not support checkpointing".to_string())
+    }
 }
 
 impl<F: FnMut() -> Uop> UopSource for F {

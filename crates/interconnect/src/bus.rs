@@ -126,6 +126,25 @@ impl Default for AddressNetwork {
     }
 }
 
+impl cgct_sim::Snap for AddressNetwork {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("next_free", self.next_free.snap()),
+            ("granted", Json::u64(self.granted)),
+            ("queue_delay_cycles", Json::u64(self.queue_delay_cycles)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(AddressNetwork {
+            next_free: unsnap_field(v, "next_free")?,
+            granted: unsnap_field(v, "granted")?,
+            queue_delay_cycles: unsnap_field(v, "queue_delay_cycles")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

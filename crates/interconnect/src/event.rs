@@ -49,6 +49,26 @@ impl MemEvent {
     }
 }
 
+impl cgct_sim::Snap for MemEvent {
+    fn snap(&self) -> cgct_sim::Json {
+        cgct_sim::Json::str(self.label())
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        let name = v.as_str().ok_or("expected memory-event label")?;
+        [
+            MemEvent::BusGranted,
+            MemEvent::SnoopComplete,
+            MemEvent::DramComplete,
+            MemEvent::DataPortFree,
+            MemEvent::MshrFill,
+            MemEvent::FetchFill,
+        ]
+        .into_iter()
+        .find(|e| e.label() == name)
+        .ok_or_else(|| format!("unknown memory event {name:?}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

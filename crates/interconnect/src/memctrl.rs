@@ -139,6 +139,31 @@ impl MemoryController {
     }
 }
 
+impl cgct_sim::Snap for MemoryController {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("occupancy", Json::u64(self.occupancy.0)),
+            ("banks", self.banks.snap()),
+            ("accesses", Json::u64(self.accesses)),
+            ("queue_delay_cycles", Json::u64(self.queue_delay_cycles)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        let banks: Vec<Cycle> = unsnap_field(v, "banks")?;
+        if banks.is_empty() {
+            return Err("memory controller needs at least one bank".to_string());
+        }
+        Ok(MemoryController {
+            occupancy: SystemCycle(unsnap_field(v, "occupancy")?),
+            banks,
+            accesses: unsnap_field(v, "accesses")?,
+            queue_delay_cycles: unsnap_field(v, "queue_delay_cycles")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,58 @@ impl<E> Default for EventQueue<E> {
     }
 }
 
+impl<E: crate::snap::Snap> crate::snap::Snap for EventQueue<E> {
+    /// Entries are emitted sorted by `(time, seq)` — `BinaryHeap`
+    /// iteration order is arbitrary and must not leak into the snapshot —
+    /// and each entry keeps its exact sequence number so FIFO tie-breaks
+    /// replay identically after restore.
+    fn snap(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let mut entries: Vec<&Entry<E>> = self.heap.iter().collect();
+        entries.sort_by_key(|e| e.key.0);
+        Json::obj([
+            ("next_seq", Json::u64(self.next_seq)),
+            (
+                "entries",
+                Json::Array(
+                    entries
+                        .iter()
+                        .map(|e| {
+                            Json::Array(vec![
+                                Json::u64(e.key.0 .0 .0),
+                                Json::u64(e.key.0 .1),
+                                e.payload.snap(),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn unsnap(v: &crate::json::Json) -> Result<Self, String> {
+        use crate::snap::{elements, field, unsnap_field};
+        let mut q = EventQueue::new();
+        q.next_seq = unsnap_field(v, "next_seq")?;
+        for (i, item) in elements(field(v, "entries")?)?.iter().enumerate() {
+            let parts = elements(item)?;
+            if parts.len() != 3 {
+                return Err(format!("entry [{i}]: expected [time, seq, payload]"));
+            }
+            let at = Cycle(parts[0].as_u64().ok_or("entry time must be u64")?);
+            let seq = parts[1].as_u64().ok_or("entry seq must be u64")?;
+            if seq >= q.next_seq {
+                return Err(format!("entry [{i}]: seq {seq} >= next_seq"));
+            }
+            q.heap.push(Entry {
+                key: Reverse((at, seq)),
+                payload: E::unsnap(&parts[2]).map_err(|e| format!("entry [{i}]: {e}"))?,
+            });
+        }
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -27,11 +27,13 @@ pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
 pub use event::EventQueue;
 pub use json::{Json, ToJson};
 pub use rng::{SeedSequence, Xoshiro256pp};
+pub use snap::Snap;
 pub use stats::{ConfidenceInterval, Counter, Histogram, IntervalTracker, RunningStats};
 pub use time::{Cycle, SystemCycle, CPU_CYCLES_PER_SYSTEM_CYCLE};

@@ -142,6 +142,12 @@ impl Xoshiro256pp {
         Xoshiro256pp { s }
     }
 
+    /// The raw 256-bit state, for checkpointing (see
+    /// [`from_state`](Self::from_state)).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
     /// The next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
@@ -234,6 +240,23 @@ impl Xoshiro256pp {
             pick -= w;
         }
         weights.len() - 1
+    }
+}
+
+impl crate::snap::Snap for Xoshiro256pp {
+    fn snap(&self) -> crate::json::Json {
+        self.s.to_vec().snap()
+    }
+
+    fn unsnap(v: &crate::json::Json) -> Result<Self, String> {
+        let words = <Vec<u64> as crate::snap::Snap>::unsnap(v)?;
+        let s: [u64; 4] = words
+            .try_into()
+            .map_err(|_| "rng state must have 4 words".to_string())?;
+        if s.iter().all(|&x| x == 0) {
+            return Err("rng state must be non-zero".to_string());
+        }
+        Ok(Xoshiro256pp::from_state(s))
     }
 }
 

@@ -1,0 +1,293 @@
+//! Deterministic state serialization for checkpoint/restore.
+//!
+//! [`Snap`] is the workspace's snapshot trait: a value renders its state
+//! as a [`Json`] tree (`snap`) and is reconstructed exactly from that
+//! tree (`unsnap`). Snapshots must be *bit-exact round trips* — restoring
+//! a snapshot and snapshotting again yields the identical JSON — because
+//! the checkpoint/resume machinery (see `cgct_system`) asserts that a
+//! resumed simulation byte-equals an uninterrupted one.
+//!
+//! Two encoding rules keep that guarantee:
+//!
+//! - **Floats are stored as IEEE-754 bit patterns** (`u64`), never as
+//!   decimal JSON numbers. [`Json::f64`] normalizes integral floats and
+//!   drops non-finite values, so a textual float would not round-trip
+//!   `-0.0`, `±INF` (the empty-[`RunningStats`](crate::RunningStats)
+//!   sentinels), or `NaN`. Use [`snap_f64_bits`]/[`unsnap_f64_bits`].
+//! - **`Option` wraps `Some` in a one-element array** (`None` is `null`),
+//!   so `Some(())` — whose payload snaps to `null` — stays distinguishable
+//!   from `None`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cgct_sim::snap::Snap;
+//!
+//! let v: Vec<Option<u64>> = vec![Some(3), None];
+//! let json = v.snap();
+//! assert_eq!(Vec::<Option<u64>>::unsnap(&json).unwrap(), v);
+//! ```
+
+use crate::json::Json;
+use crate::time::{Cycle, SystemCycle};
+use std::collections::VecDeque;
+
+/// Bit-exact JSON snapshot and restore.
+///
+/// Implementations live next to the type they serialize (private fields
+/// stay private); `unsnap(&x.snap())` must reconstruct a value whose
+/// subsequent `snap()` is identical JSON.
+pub trait Snap: Sized {
+    /// Renders this value's state as JSON.
+    fn snap(&self) -> Json;
+
+    /// Reconstructs a value from [`snap`](Snap::snap) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch (missing
+    /// field, wrong JSON type, out-of-range payload).
+    fn unsnap(v: &Json) -> Result<Self, String>;
+}
+
+/// Encodes an `f64` as its IEEE-754 bit pattern (round-trips `-0.0`,
+/// `±INF`, and `NaN`, which textual JSON floats cannot).
+pub fn snap_f64_bits(v: f64) -> Json {
+    Json::u64(v.to_bits())
+}
+
+/// Decodes an `f64` stored by [`snap_f64_bits`].
+///
+/// # Errors
+///
+/// Fails if `v` is not a `u64`.
+pub fn unsnap_f64_bits(v: &Json) -> Result<f64, String> {
+    Ok(f64::from_bits(
+        v.as_u64().ok_or("expected f64 bit pattern (u64)")?,
+    ))
+}
+
+/// Looks up a required object member.
+///
+/// # Errors
+///
+/// Fails if `v` is not an object or lacks `key`.
+pub fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+/// Unsnaps a required object member in one step.
+///
+/// # Errors
+///
+/// Fails if the member is missing or its payload does not unsnap.
+pub fn unsnap_field<T: Snap>(v: &Json, key: &str) -> Result<T, String> {
+    T::unsnap(field(v, key)?).map_err(|e| format!("field '{key}': {e}"))
+}
+
+/// The elements of a JSON array.
+///
+/// # Errors
+///
+/// Fails if `v` is not an array.
+pub fn elements(v: &Json) -> Result<&[Json], String> {
+    v.as_array().ok_or_else(|| "expected array".to_string())
+}
+
+macro_rules! impl_snap_uint {
+    ($($t:ty),*) => {$(
+        impl Snap for $t {
+            fn snap(&self) -> Json {
+                Json::u64(*self as u64)
+            }
+            fn unsnap(v: &Json) -> Result<Self, String> {
+                let raw = v.as_u64().ok_or(concat!("expected ", stringify!($t)))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| format!("{raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_snap_uint!(u8, u16, u32, u64, usize);
+
+impl Snap for i64 {
+    fn snap(&self) -> Json {
+        Json::i64(*self)
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        v.as_i64().ok_or_else(|| "expected i64".to_string())
+    }
+}
+
+impl Snap for bool {
+    fn snap(&self) -> Json {
+        Json::Bool(*self)
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        v.as_bool().ok_or_else(|| "expected bool".to_string())
+    }
+}
+
+impl Snap for f64 {
+    fn snap(&self) -> Json {
+        snap_f64_bits(*self)
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        unsnap_f64_bits(v)
+    }
+}
+
+impl Snap for String {
+    fn snap(&self) -> Json {
+        Json::Str(self.clone())
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| "expected string".to_string())
+    }
+}
+
+impl Snap for () {
+    fn snap(&self) -> Json {
+        Json::Null
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Null => Ok(()),
+            _ => Err("expected null".to_string()),
+        }
+    }
+}
+
+impl Snap for Cycle {
+    fn snap(&self) -> Json {
+        Json::u64(self.0)
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        Ok(Cycle(v.as_u64().ok_or("expected cycle")?))
+    }
+}
+
+impl Snap for SystemCycle {
+    fn snap(&self) -> Json {
+        Json::u64(self.0)
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        Ok(SystemCycle(v.as_u64().ok_or("expected system cycle")?))
+    }
+}
+
+impl<T: Snap> Snap for Option<T> {
+    fn snap(&self) -> Json {
+        match self {
+            // A one-element array keeps `Some(())` (payload `null`)
+            // distinguishable from `None`.
+            Some(x) => Json::Array(vec![x.snap()]),
+            None => Json::Null,
+        }
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        match v {
+            Json::Null => Ok(None),
+            Json::Array(items) if items.len() == 1 => Ok(Some(T::unsnap(&items[0])?)),
+            _ => Err("expected null or one-element array".to_string()),
+        }
+    }
+}
+
+impl<T: Snap> Snap for Vec<T> {
+    fn snap(&self) -> Json {
+        Json::Array(self.iter().map(Snap::snap).collect())
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        elements(v)?
+            .iter()
+            .enumerate()
+            .map(|(i, x)| T::unsnap(x).map_err(|e| format!("[{i}]: {e}")))
+            .collect()
+    }
+}
+
+impl<T: Snap> Snap for VecDeque<T> {
+    fn snap(&self) -> Json {
+        Json::Array(self.iter().map(Snap::snap).collect())
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        Ok(Vec::<T>::unsnap(v)?.into())
+    }
+}
+
+impl<A: Snap, B: Snap> Snap for (A, B) {
+    fn snap(&self) -> Json {
+        Json::Array(vec![self.0.snap(), self.1.snap()])
+    }
+    fn unsnap(v: &Json) -> Result<Self, String> {
+        let items = elements(v)?;
+        if items.len() != 2 {
+            return Err(format!("expected pair, got {} elements", items.len()));
+        }
+        Ok((A::unsnap(&items[0])?, B::unsnap(&items[1])?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Snap + PartialEq + std::fmt::Debug>(v: T) {
+        let json = v.snap();
+        // Through text too: the checkpoint file is parsed JSON.
+        let reparsed = Json::parse(&json.dump()).unwrap();
+        assert_eq!(T::unsnap(&reparsed).unwrap(), v);
+        assert_eq!(T::unsnap(&reparsed).unwrap().snap(), json, "idempotent");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(String::from("hi"));
+        roundtrip(());
+        roundtrip(Cycle(17));
+        roundtrip(SystemCycle(3));
+    }
+
+    #[test]
+    fn floats_are_bit_exact() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let json = v.snap();
+            let back = f64::unsnap(&Json::parse(&json.dump()).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        let nan = f64::unsnap(&f64::NAN.snap()).unwrap();
+        assert_eq!(nan.to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn options_disambiguate_unit() {
+        roundtrip(Some(()));
+        roundtrip(Option::<()>::None);
+        roundtrip(Some(5u64));
+        assert_ne!(Some(()).snap(), Option::<()>::None.snap());
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<u64>::new());
+        roundtrip(VecDeque::from([Some(1u32), None]));
+        roundtrip((Cycle(4), 9u64));
+    }
+
+    #[test]
+    fn range_errors_are_reported() {
+        assert!(u8::unsnap(&Json::u64(300)).is_err());
+        assert!(u64::unsnap(&Json::str("x")).is_err());
+        assert!(<(u8, u8)>::unsnap(&Json::Array(vec![Json::u64(1)])).is_err());
+        assert!(unsnap_field::<u64>(&Json::obj([("a", Json::u64(1))]), "b").is_err());
+    }
+}

@@ -457,6 +457,92 @@ impl IntervalTracker {
     }
 }
 
+mod snap_impls {
+    //! [`Snap`](crate::snap::Snap) implementations for the statistics
+    //! types. Floats travel as IEEE-754 bit patterns so the empty-
+    //! accumulator `±INF` min/max sentinels survive the round trip.
+
+    use super::*;
+    use crate::json::Json;
+    use crate::snap::{unsnap_field, Snap};
+
+    impl Snap for Counter {
+        fn snap(&self) -> Json {
+            Json::u64(self.0)
+        }
+        fn unsnap(v: &Json) -> Result<Self, String> {
+            Ok(Counter(v.as_u64().ok_or("expected counter")?))
+        }
+    }
+
+    impl Snap for RunningStats {
+        fn snap(&self) -> Json {
+            Json::obj([
+                ("n", self.n.snap()),
+                ("mean", self.mean.snap()),
+                ("m2", self.m2.snap()),
+                ("min", self.min.snap()),
+                ("max", self.max.snap()),
+            ])
+        }
+        fn unsnap(v: &Json) -> Result<Self, String> {
+            Ok(RunningStats {
+                n: unsnap_field(v, "n")?,
+                mean: unsnap_field(v, "mean")?,
+                m2: unsnap_field(v, "m2")?,
+                min: unsnap_field(v, "min")?,
+                max: unsnap_field(v, "max")?,
+            })
+        }
+    }
+
+    impl Snap for Histogram {
+        fn snap(&self) -> Json {
+            Json::obj([
+                ("buckets", self.buckets.snap()),
+                ("total", self.total.snap()),
+            ])
+        }
+        fn unsnap(v: &Json) -> Result<Self, String> {
+            let buckets: Vec<u64> = unsnap_field(v, "buckets")?;
+            if buckets.is_empty() {
+                return Err("histogram needs at least one bucket".to_string());
+            }
+            Ok(Histogram {
+                buckets,
+                total: unsnap_field(v, "total")?,
+            })
+        }
+    }
+
+    impl Snap for IntervalTracker {
+        fn snap(&self) -> Json {
+            Json::obj([
+                ("window", self.window.snap()),
+                ("start", self.current_window_start.snap()),
+                ("count", self.current_count.snap()),
+                ("peak", self.peak.snap()),
+                ("total", self.total_events.snap()),
+                ("windows", self.windows_elapsed.snap()),
+            ])
+        }
+        fn unsnap(v: &Json) -> Result<Self, String> {
+            let window: u64 = unsnap_field(v, "window")?;
+            if window == 0 {
+                return Err("interval window must be positive".to_string());
+            }
+            Ok(IntervalTracker {
+                window,
+                current_window_start: unsnap_field(v, "start")?,
+                current_count: unsnap_field(v, "count")?,
+                peak: unsnap_field(v, "peak")?,
+                total_events: unsnap_field(v, "total")?,
+                windows_elapsed: unsnap_field(v, "windows")?,
+            })
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -163,6 +163,14 @@ impl SystemConfig {
         Geometry::new(self.hierarchy.l2.line_bytes, self.mode.region_bytes())
     }
 
+    /// Stable fingerprint of this configuration: FNV-1a over its
+    /// canonical `Debug` rendering. Guards machine snapshots and
+    /// result-cache entries against being applied under a different
+    /// configuration.
+    pub fn fingerprint(&self) -> u64 {
+        cgct_sim::hash::fnv1a(format!("{self:?}").as_bytes())
+    }
+
     /// A quarter-scale memory system: 256 KB L2 with a 2K-set RCA. The
     /// RCA-reach-to-cache ratio (8:1 at 512 B regions) matches the paper's
     /// full-size configuration, so RCA eviction statistics (§3.2) reach

@@ -203,6 +203,69 @@ impl DirectoryController {
     }
 }
 
+impl cgct_sim::Snap for DirEntry {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("o", self.owner.map(u64::from).snap()),
+            ("s", Json::u64(self.sharers)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        let owner: Option<u64> = unsnap_field(v, "o")?;
+        let owner = owner
+            .map(|o| u8::try_from(o).map_err(|_| "directory owner out of range".to_string()))
+            .transpose()?;
+        Ok(DirEntry {
+            owner,
+            sharers: unsnap_field(v, "s")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for DirectoryController {
+    /// Entries are serialized sorted by line address so the snapshot is
+    /// independent of `HashMap` iteration order.
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        let mut entries: Vec<(&u64, &DirEntry)> = self.entries.iter().collect();
+        entries.sort_by_key(|(k, _)| **k);
+        Json::obj([
+            (
+                "entries",
+                Json::Array(
+                    entries
+                        .into_iter()
+                        .map(|(k, e)| Json::Array(vec![Json::u64(*k), e.snap()]))
+                        .collect(),
+                ),
+            ),
+            ("three_hop_transfers", Json::u64(self.three_hop_transfers)),
+            ("invalidations_sent", Json::u64(self.invalidations_sent)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        let mut entries = HashMap::new();
+        for pair in elements(field(v, "entries")?)? {
+            let pair = elements(pair)?;
+            if pair.len() != 2 {
+                return Err("directory entry must be a [line, entry] pair".to_string());
+            }
+            let key = u64::unsnap(&pair[0])?;
+            if entries.insert(key, DirEntry::unsnap(&pair[1])?).is_some() {
+                return Err(format!("duplicate directory entry for line {key}"));
+            }
+        }
+        Ok(DirectoryController {
+            entries,
+            three_hop_transfers: unsnap_field(v, "three_hop_transfers")?,
+            invalidations_sent: unsnap_field(v, "invalidations_sent")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

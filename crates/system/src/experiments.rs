@@ -7,7 +7,7 @@
 //! writes `EXPERIMENTS.md`.
 
 use crate::config::{CoherenceMode, SystemConfig};
-use crate::runner::{run_once, AggregateResult, RunPlan, WorkItem};
+use crate::runner::{run_once_cached, AggregateResult, RunPlan, WorkItem};
 use cgct_sim::pool::{self, ItemReport};
 use cgct_sim::ConfidenceInterval;
 use cgct_workloads::{all_benchmarks, commercial_names};
@@ -21,13 +21,15 @@ pub struct Suite {
     pub results: BTreeMap<(String, String), AggregateResult>,
     /// The plan every configuration ran with.
     pub plan: RunPlan,
-    /// `(label, wall seconds, simulated cycles, memory events)` per
-    /// work item, in canonical item order (benchmark-major, then mode,
-    /// then seed) — the raw material for `results/timing.json`. Cycles
-    /// are the item's measured-phase `runtime_cycles` and events its
-    /// delivered memory completions, so simulation throughput
-    /// (cycles/sec, events/sec) is derivable per item.
-    pub timings: Vec<(String, f64, u64, u64)>,
+    /// `(label, wall seconds, simulated cycles, memory events, cache
+    /// hit)` per work item, in canonical item order (benchmark-major,
+    /// then mode, then seed) — the raw material for
+    /// `results/timing.json`. Cycles are the item's measured-phase
+    /// `runtime_cycles` and events its delivered memory completions, so
+    /// simulation throughput (cycles/sec, events/sec) is derivable per
+    /// item; the flag records whether the item was restored from the
+    /// result cache instead of simulated.
+    pub timings: Vec<(String, f64, u64, u64, bool)>,
 }
 
 /// The paper's standard mode set: baseline plus CGCT at the three region
@@ -109,19 +111,20 @@ impl Suite {
         }
         let labels: Vec<String> = items.iter().map(WorkItem::label).collect();
         let seconds = Mutex::new(vec![0.0f64; items.len()]);
-        let runs: Vec<_> = pool::run_observed(
+        let flagged: Vec<_> = pool::run_observed(
             jobs,
             items,
-            |_, item| item.execute(&plan),
+            |_, item| item.execute_cached(&plan),
             |report| {
                 seconds.lock().expect("timing poisoned")[report.index] = report.seconds;
                 observe(report);
             },
         );
-        let cycles: Vec<(u64, u64)> = runs
+        let cycles: Vec<(u64, u64, bool)> = flagged
             .iter()
-            .map(|r| (r.runtime_cycles, r.mem_events))
+            .map(|(r, hit)| (r.runtime_cycles, r.mem_events, *hit))
             .collect();
+        let runs: Vec<_> = flagged.into_iter().map(|(r, _)| r).collect();
         // Merge out-of-order completions back in canonical order: the
         // items for configuration group `g` are the contiguous chunk
         // `g*runs .. (g+1)*runs`, already in ascending seed order.
@@ -140,7 +143,7 @@ impl Suite {
             .into_iter()
             .zip(seconds.into_inner().expect("timing poisoned"))
             .zip(cycles)
-            .map(|((label, secs), (cyc, ev))| (label, secs, cyc, ev))
+            .map(|((label, secs), (cyc, ev, hit))| (label, secs, cyc, ev, hit))
             .collect();
         Suite {
             results,
@@ -426,7 +429,7 @@ pub fn rca_stats(suite: &Suite) -> Vec<RcaStatsRow> {
         let run = |mode: CoherenceMode| {
             let cfg = SystemConfig::quarter_scale(mode);
             let runs: Vec<_> = (0..plan.runs.min(2))
-                .map(|s| run_once(&cfg, &spec, plan.seed_for(s), &plan))
+                .map(|s| run_once_cached(&cfg, &spec, plan.seed_for(s), &plan).0)
                 .collect();
             AggregateResult::from_runs(runs)
         };

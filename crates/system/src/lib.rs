@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod directory;
 pub mod energy;
@@ -38,11 +39,14 @@ pub mod memsys;
 pub mod metrics;
 pub mod oracle;
 pub mod report;
+pub mod resultcache;
 pub mod runner;
 
+pub use checkpoint::CheckpointRun;
 pub use config::{CoherenceMode, SystemConfig};
 pub use machine::{Machine, RunResult};
 pub use memsys::MemorySystem;
 pub use metrics::{MemMetrics, RequestBreakdown, RequestCategory};
 pub use oracle::classify;
-pub use runner::{run_averaged, run_once, AggregateResult, RunPlan};
+pub use resultcache::ResultCache;
+pub use runner::{run_averaged, run_once, run_once_cached, AggregateResult, RunPlan};

@@ -358,13 +358,26 @@ impl Machine {
         let mut truncated = false;
         if warmup_per_core > 0 {
             truncated |= self.run_until(warmup_per_core, max_cycles);
-            let epoch = self.now;
-            self.mem.reset_metrics(epoch);
-            for (slot, core) in self.epoch_committed.iter_mut().zip(&self.cores) {
-                *slot = core.committed();
-            }
+            self.mark_warmed();
         }
         truncated |= self.run_until(warmup_per_core + instructions_per_core, max_cycles);
+        self.finish_run(truncated)
+    }
+
+    /// Ends the warmup phase: resets all metrics to start the measured
+    /// phase at the current cycle (mirroring the paper's
+    /// warmed-checkpoint methodology, §4).
+    pub(crate) fn mark_warmed(&mut self) {
+        let epoch = self.now;
+        self.mem.reset_metrics(epoch);
+        for (slot, core) in self.epoch_committed.iter_mut().zip(&self.cores) {
+            *slot = core.committed();
+        }
+    }
+
+    /// Closes out a measured run: finalizes interval tracking, runs the
+    /// sanitizer's end-of-run walk, and builds the [`RunResult`].
+    pub(crate) fn finish_run(&mut self, truncated: bool) -> RunResult {
         let end = Cycle(self.now.0.saturating_sub(self.mem.metrics_epoch().0));
         self.mem.metrics.finish(end);
         if self.mem.sanitize() {
@@ -388,7 +401,7 @@ impl Machine {
     /// The cap is exclusive: no core is ever ticked at a cycle >=
     /// `max_cycles`, and a truncated run stops with `now == max_cycles`
     /// in both modes.
-    fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
+    pub(crate) fn run_until(&mut self, committed_target: u64, max_cycles: u64) -> bool {
         if let Some(w) = self.intra {
             // Traced runs stay on one worker: core-side records would
             // otherwise interleave through the shared sink in worker
@@ -547,6 +560,221 @@ impl Machine {
     /// Returns the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         self.mem.check_invariants()
+    }
+
+    /// The benchmark label this machine was built for.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The seed this machine was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Serializes the complete dynamic machine state — every core's
+    /// pipeline, every instruction source's generator state, and the
+    /// full memory system — as a [`cgct_sim::Json`] snapshot that
+    /// [`Machine::restore`] turns back into an identical machine.
+    ///
+    /// A restored machine's subsequent trajectory is byte-identical to
+    /// the uninterrupted one (see `tests/checkpoint_resume.rs`), which
+    /// is what makes on-disk checkpoints and warmed-state forking safe.
+    ///
+    /// # Errors
+    ///
+    /// Fails when tracing is on, after the epoch engine has run
+    /// (checkpointed runs must use the legacy engine —
+    /// [`Machine::set_intra`]`(None)`), when an instruction source does
+    /// not support checkpointing, or while the memory system is
+    /// mid-request.
+    pub fn snapshot(&self) -> Result<cgct_sim::Json, String> {
+        use cgct_sim::{Json, Snap};
+        if self.trace.is_some() {
+            return Err("cannot snapshot a traced machine".to_string());
+        }
+        if !self.intra_lps.is_empty() {
+            return Err(
+                "cannot snapshot after the epoch engine has run; checkpointed runs use the \
+                 legacy engine (set_intra(None))"
+                    .to_string(),
+            );
+        }
+        let threads: Vec<Json> = self
+            .threads
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.snap_state().ok_or_else(|| {
+                    format!("thread {i}'s instruction source does not support checkpointing")
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Json::obj([
+            ("v", Json::u64(1)),
+            ("benchmark", Json::str(self.benchmark.clone())),
+            ("seed", Json::u64(self.seed)),
+            ("config_fp", Json::u64(self.mem.config().fingerprint())),
+            ("now", self.now.snap()),
+            ("wakeups", self.wakeups.snap()),
+            ("epoch_committed", self.epoch_committed.snap()),
+            (
+                "cores",
+                Json::Array(self.cores.iter().map(|c| c.snap_state()).collect()),
+            ),
+            ("threads", Json::Array(threads)),
+            ("mem", self.mem.snap_state()?),
+        ]))
+    }
+
+    /// Restores a [`Machine::snapshot`] into this machine, which must
+    /// have been built with the identical configuration, benchmark, and
+    /// seed (all three are validated against the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input, any identity mismatch, or when this
+    /// machine is traced or has run the epoch engine.
+    pub fn restore(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        if self.trace.is_some() {
+            return Err("cannot restore into a traced machine".to_string());
+        }
+        if !self.intra_lps.is_empty() {
+            return Err("cannot restore after the epoch engine has run".to_string());
+        }
+        let version: u64 = unsnap_field(v, "v")?;
+        if version != 1 {
+            return Err(format!("unsupported snapshot version {version}"));
+        }
+        let benchmark: String = unsnap_field(v, "benchmark")?;
+        if benchmark != self.benchmark {
+            return Err(format!(
+                "snapshot is of benchmark {benchmark:?}, machine runs {:?}",
+                self.benchmark
+            ));
+        }
+        let seed: u64 = unsnap_field(v, "seed")?;
+        if seed != self.seed {
+            return Err(format!(
+                "snapshot was taken at seed {seed}, machine uses {}",
+                self.seed
+            ));
+        }
+        let fp: u64 = unsnap_field(v, "config_fp")?;
+        if fp != self.mem.config().fingerprint() {
+            return Err("snapshot was taken under a different configuration".to_string());
+        }
+        let wakeups: Vec<Cycle> = unsnap_field(v, "wakeups")?;
+        if wakeups.len() != self.wakeups.len() {
+            return Err("wakeup count does not match core count".to_string());
+        }
+        let epoch_committed: Vec<u64> = unsnap_field(v, "epoch_committed")?;
+        if epoch_committed.len() != self.epoch_committed.len() {
+            return Err("epoch-committed count does not match core count".to_string());
+        }
+        let cores = elements(field(v, "cores")?)?;
+        if cores.len() != self.cores.len() {
+            return Err(format!(
+                "snapshot has {} cores, machine has {}",
+                cores.len(),
+                self.cores.len()
+            ));
+        }
+        let threads = elements(field(v, "threads")?)?;
+        if threads.len() != self.threads.len() {
+            return Err(format!(
+                "snapshot has {} threads, machine has {}",
+                threads.len(),
+                self.threads.len()
+            ));
+        }
+        for (i, (core, cv)) in self.cores.iter_mut().zip(cores).enumerate() {
+            core.restore_state(cv)
+                .map_err(|e| format!("core[{i}]: {e}"))?;
+        }
+        for (i, (thread, tv)) in self.threads.iter_mut().zip(threads).enumerate() {
+            thread
+                .restore_state(tv)
+                .map_err(|e| format!("thread[{i}]: {e}"))?;
+        }
+        self.mem
+            .restore_state(field(v, "mem")?)
+            .map_err(|e| format!("memory system: {e}"))?;
+        self.now = unsnap_field(v, "now")?;
+        self.wakeups = wakeups;
+        self.epoch_committed = epoch_committed;
+        Ok(())
+    }
+}
+
+impl cgct_sim::Snap for RcaRunStats {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("evictions", Json::u64(self.evictions)),
+            ("evicted_empty_fraction", self.evicted_empty_fraction.snap()),
+            (
+                "evicted_one_line_fraction",
+                self.evicted_one_line_fraction.snap(),
+            ),
+            (
+                "evicted_two_lines_fraction",
+                self.evicted_two_lines_fraction.snap(),
+            ),
+            ("self_invalidations", Json::u64(self.self_invalidations)),
+            ("mean_lines_per_region", self.mean_lines_per_region.snap()),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(RcaRunStats {
+            evictions: unsnap_field(v, "evictions")?,
+            evicted_empty_fraction: unsnap_field(v, "evicted_empty_fraction")?,
+            evicted_one_line_fraction: unsnap_field(v, "evicted_one_line_fraction")?,
+            evicted_two_lines_fraction: unsnap_field(v, "evicted_two_lines_fraction")?,
+            self_invalidations: unsnap_field(v, "self_invalidations")?,
+            mean_lines_per_region: unsnap_field(v, "mean_lines_per_region")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for RunResult {
+    /// The trace report is never serialized: the result cache is
+    /// bypassed while tracing, so a cached result is always untraced
+    /// and `unsnap` restores `trace: None`.
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("benchmark", Json::str(self.benchmark.clone())),
+            ("mode", Json::str(self.mode.clone())),
+            ("runtime_cycles", Json::u64(self.runtime_cycles)),
+            ("committed", Json::u64(self.committed)),
+            ("committed_per_core", self.committed_per_core.snap()),
+            ("mem_events", Json::u64(self.mem_events)),
+            ("ipc", self.ipc.snap()),
+            ("mispredict_rate", self.mispredict_rate.snap()),
+            ("metrics", self.metrics.snap()),
+            ("rca", self.rca.snap()),
+            ("truncated", Json::Bool(self.truncated)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(RunResult {
+            benchmark: unsnap_field(v, "benchmark")?,
+            mode: unsnap_field(v, "mode")?,
+            runtime_cycles: unsnap_field(v, "runtime_cycles")?,
+            committed: unsnap_field(v, "committed")?,
+            committed_per_core: unsnap_field(v, "committed_per_core")?,
+            mem_events: unsnap_field(v, "mem_events")?,
+            ipc: unsnap_field(v, "ipc")?,
+            mispredict_rate: unsnap_field(v, "mispredict_rate")?,
+            metrics: unsnap_field(v, "metrics")?,
+            rca: unsnap_field(v, "rca")?,
+            truncated: unsnap_field(v, "truncated")?,
+            trace: None,
+        })
     }
 }
 

@@ -189,6 +189,40 @@ impl Tracker {
             Tracker::None | Tracker::Scout(_) => 0,
         }
     }
+
+    /// Serializes the tracker's dynamic state, tagged by variant so a
+    /// restore into the wrong coherence mode fails loudly.
+    fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        match self {
+            Tracker::None => Json::Null,
+            Tracker::Rca(r) => Json::obj([("k", Json::str("rca")), ("s", r.snap_state())]),
+            Tracker::Scaled(s) => Json::obj([("k", Json::str("scaled")), ("s", s.snap_state())]),
+            Tracker::Scout(s) => Json::obj([("k", Json::str("scout")), ("s", s.snap_state())]),
+        }
+    }
+
+    /// Restores state captured by [`Tracker::snap_state`]; the snapshot
+    /// variant must match this tracker's.
+    fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::field;
+        use cgct_sim::Json;
+        let kind = match v {
+            Json::Null => None,
+            _ => Some(
+                field(v, "k")?
+                    .as_str()
+                    .ok_or("tracker kind must be a string")?,
+            ),
+        };
+        match (self, kind) {
+            (Tracker::None, None) => Ok(()),
+            (Tracker::Rca(r), Some("rca")) => r.restore_state(field(v, "s")?),
+            (Tracker::Scaled(s), Some("scaled")) => s.restore_state(field(v, "s")?),
+            (Tracker::Scout(s), Some("scout")) => s.restore_state(field(v, "s")?),
+            (_, k) => Err(format!("tracker variant mismatch (snapshot has {k:?})")),
+        }
+    }
 }
 
 /// Per-machine request-lifetime tracing state
@@ -360,6 +394,81 @@ impl Node {
     /// [`MemorySystem::store`]'s L1D fast path: hit already Modified?
     pub(crate) fn l1d_store_hit_modified(&mut self, line: LineAddr) -> bool {
         self.l1d.access(line.0) == Some(&mut MsiState::Modified)
+    }
+
+    /// Serializes this node's caches, tracker, prefetcher, and snoop
+    /// filter. The region-line reverse index is *not* serialized — it is
+    /// derived state, rebuilt from the restored L2 by
+    /// [`Node::restore_state`].
+    fn snap_state(&self) -> cgct_sim::Json {
+        use cgct_sim::{Json, Snap};
+        Json::obj([
+            ("l1i", self.l1i.snap()),
+            ("l1d", self.l1d.snap()),
+            ("l2", self.l2.snap()),
+            ("tracker", self.tracker.snap_state()),
+            ("prefetcher", self.prefetcher.snap_state()),
+            (
+                "jetty",
+                match &self.jetty {
+                    None => Json::Null,
+                    Some(j) => Json::Array(vec![j.snap_state()]),
+                },
+            ),
+        ])
+    }
+
+    /// Restores state captured by [`Node::snap_state`] into a node built
+    /// from the identical configuration, validating every geometry.
+    fn restore_state(&mut self, geom: Geometry, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{field, unsnap_field};
+        use cgct_sim::Json;
+        let l1i: SetAssocArray<()> = unsnap_field(v, "l1i")?;
+        let l1d: SetAssocArray<MsiState> = unsnap_field(v, "l1d")?;
+        let l2: SetAssocArray<MoesiState> = unsnap_field(v, "l2")?;
+        for (name, (sets, ways), cur) in [
+            (
+                "l1i",
+                (l1i.sets(), l1i.ways()),
+                &self.l1i as &dyn CacheShape,
+            ),
+            ("l1d", (l1d.sets(), l1d.ways()), &self.l1d),
+            ("l2", (l2.sets(), l2.ways()), &self.l2),
+        ] {
+            if (sets, ways) != cur.shape() {
+                return Err(format!(
+                    "{name} geometry {sets}x{ways} does not match configuration"
+                ));
+            }
+        }
+        let mut lines = RegionLineIndex::new(geom);
+        for (key, _) in l2.iter() {
+            lines.on_insert(geom, LineAddr(key));
+        }
+        self.l1i = l1i;
+        self.l1d = l1d;
+        self.l2 = l2;
+        self.lines = lines;
+        self.tracker.restore_state(field(v, "tracker")?)?;
+        self.prefetcher.restore_state(field(v, "prefetcher")?)?;
+        match (&mut self.jetty, field(v, "jetty")?) {
+            (None, Json::Null) => {}
+            (Some(j), Json::Array(a)) if a.len() == 1 => j.restore_state(&a[0])?,
+            _ => return Err("jetty filter presence mismatch".to_string()),
+        }
+        Ok(())
+    }
+}
+
+/// Uniform `(sets, ways)` view over the three differently-typed cache
+/// arrays, for [`Node::restore_state`]'s geometry validation loop.
+trait CacheShape {
+    fn shape(&self) -> (usize, usize);
+}
+
+impl<E> CacheShape for SetAssocArray<E> {
+    fn shape(&self) -> (usize, usize) {
+        (self.sets(), self.ways())
     }
 }
 
@@ -667,6 +776,123 @@ impl MemorySystem {
     /// Node `core`'s Region Coherence Array, if running in CGCT mode.
     pub fn rca(&self, core: CoreId) -> Option<&RegionCoherenceArray> {
         self.nodes[core.0].tracker.rca()
+    }
+
+    // ---------------------------------------------------------------
+    // Checkpointing (Machine::snapshot / Machine::restore)
+    // ---------------------------------------------------------------
+
+    /// Serializes the complete dynamic state of the memory system:
+    /// every cache array, coherence tracker, prefetcher and snoop
+    /// filter, the bus and memory-controller clocks, the directories,
+    /// the pending completion-event queue, the metrics, and the
+    /// perturbation RNG. Construction parameters (config, geometry,
+    /// topology) are not included — [`MemorySystem::restore_state`]
+    /// targets a system built from the identical configuration and
+    /// validates shapes as it goes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a trace sink is attached (traced runs are not
+    /// checkpointable), while a request is in flight, or while the
+    /// epoch engine has the nodes lent out.
+    pub fn snap_state(&self) -> Result<cgct_sim::Json, String> {
+        use cgct_sim::{Json, Snap};
+        if self.tracer.is_some() {
+            return Err("cannot snapshot a traced memory system".to_string());
+        }
+        if self.request_depth != 0 {
+            return Err("cannot snapshot mid-request".to_string());
+        }
+        if self.nodes.is_empty() {
+            return Err("cannot snapshot while nodes are lent out".to_string());
+        }
+        Ok(Json::obj([
+            (
+                "nodes",
+                Json::Array(self.nodes.iter().map(Node::snap_state).collect()),
+            ),
+            ("bus", self.bus.snap()),
+            ("mcs", self.mcs.snap()),
+            ("directories", self.directories.snap()),
+            ("data_ports", self.data_ports.snap()),
+            ("events", self.events.snap()),
+            ("events_delivered", Json::u64(self.events_delivered)),
+            ("metrics", self.metrics.snap()),
+            ("metrics_epoch", self.metrics_epoch.snap()),
+            ("perturb", self.perturb.snap()),
+            (
+                "sample_countdown",
+                Json::u64(u64::from(self.sample_countdown)),
+            ),
+        ]))
+    }
+
+    /// Restores state captured by [`MemorySystem::snap_state`] into a
+    /// system built from the identical configuration.
+    ///
+    /// The sanitizer's walk countdown restarts rather than resuming:
+    /// the sanitizer is strictly read-only over architectural and
+    /// metric state, so walk timing cannot affect results.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed input or any shape mismatch against the
+    /// current configuration (node count, cache geometries, tracker
+    /// variant, controller/directory/port counts).
+    pub fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        let node_snaps = elements(field(v, "nodes")?)?;
+        if node_snaps.len() != self.nodes.len() {
+            return Err(format!(
+                "snapshot has {} nodes, configuration has {}",
+                node_snaps.len(),
+                self.nodes.len()
+            ));
+        }
+        let mcs: Vec<MemoryController> = unsnap_field(v, "mcs")?;
+        if mcs.len() != self.mcs.len() {
+            return Err(format!(
+                "snapshot has {} memory controllers, configuration has {}",
+                mcs.len(),
+                self.mcs.len()
+            ));
+        }
+        let directories: Vec<DirectoryController> = unsnap_field(v, "directories")?;
+        if directories.len() != self.directories.len() {
+            return Err(format!(
+                "snapshot has {} directories, configuration has {}",
+                directories.len(),
+                self.directories.len()
+            ));
+        }
+        let data_ports: Vec<Cycle> = unsnap_field(v, "data_ports")?;
+        if data_ports.len() != self.data_ports.len() {
+            return Err(format!(
+                "snapshot has {} data ports, configuration has {}",
+                data_ports.len(),
+                self.data_ports.len()
+            ));
+        }
+        let geom = self.geom;
+        for (i, (node, nv)) in self.nodes.iter_mut().zip(node_snaps).enumerate() {
+            node.restore_state(geom, nv)
+                .map_err(|e| format!("node[{i}]: {e}"))?;
+        }
+        self.bus = unsnap_field(v, "bus")?;
+        self.mcs = mcs;
+        self.directories = directories;
+        self.data_ports = data_ports;
+        self.events = unsnap_field(v, "events")?;
+        self.events_delivered = unsnap_field(v, "events_delivered")?;
+        self.metrics = unsnap_field(v, "metrics")?;
+        self.metrics_epoch = unsnap_field(v, "metrics_epoch")?;
+        self.perturb = unsnap_field(v, "perturb")?;
+        let countdown: u64 = unsnap_field(v, "sample_countdown")?;
+        self.sample_countdown =
+            u32::try_from(countdown).map_err(|_| "sample countdown out of range".to_string())?;
+        self.sanitize_countdown = self.sanitize_interval;
+        Ok(())
     }
 
     // ---------------------------------------------------------------

@@ -205,6 +205,100 @@ impl MemMetrics {
     }
 }
 
+impl cgct_sim::Snap for RequestBreakdown {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("data", Json::u64(self.data)),
+            ("writeback", Json::u64(self.writeback)),
+            ("ifetch", Json::u64(self.ifetch)),
+            ("dcb", Json::u64(self.dcb)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(RequestBreakdown {
+            data: unsnap_field(v, "data")?,
+            writeback: unsnap_field(v, "writeback")?,
+            ifetch: unsnap_field(v, "ifetch")?,
+            dcb: unsnap_field(v, "dcb")?,
+        })
+    }
+}
+
+impl cgct_sim::Snap for MemMetrics {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("requests", self.requests.snap()),
+            ("broadcasts", Json::u64(self.broadcasts)),
+            ("direct", self.direct.snap()),
+            ("local", self.local.snap()),
+            ("unnecessary", self.unnecessary.snap()),
+            ("traffic", self.traffic.snap()),
+            ("cache_to_cache", Json::u64(self.cache_to_cache)),
+            ("memory_fills", Json::u64(self.memory_fills)),
+            ("demand_latency", self.demand_latency.snap()),
+            ("l2_accesses", Json::u64(self.l2_accesses)),
+            ("l2_misses", Json::u64(self.l2_misses)),
+            ("inclusion_flushes", Json::u64(self.inclusion_flushes)),
+            ("prefetches", Json::u64(self.prefetches)),
+            ("prefetches_filtered", Json::u64(self.prefetches_filtered)),
+            (
+                "dram_speculation_wasted",
+                Json::u64(self.dram_speculation_wasted),
+            ),
+            (
+                "dram_speculation_saved",
+                Json::u64(self.dram_speculation_saved),
+            ),
+            ("snooped_tag_lookups", Json::u64(self.snooped_tag_lookups)),
+            (
+                "jetty_filtered_lookups",
+                Json::u64(self.jetty_filtered_lookups),
+            ),
+            (
+                "owner_prediction_hits",
+                Json::u64(self.owner_prediction_hits),
+            ),
+            (
+                "owner_prediction_misses",
+                Json::u64(self.owner_prediction_misses),
+            ),
+            (
+                "lines_per_region_samples",
+                self.lines_per_region_samples.snap(),
+            ),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(MemMetrics {
+            requests: unsnap_field(v, "requests")?,
+            broadcasts: unsnap_field(v, "broadcasts")?,
+            direct: unsnap_field(v, "direct")?,
+            local: unsnap_field(v, "local")?,
+            unnecessary: unsnap_field(v, "unnecessary")?,
+            traffic: unsnap_field(v, "traffic")?,
+            cache_to_cache: unsnap_field(v, "cache_to_cache")?,
+            memory_fills: unsnap_field(v, "memory_fills")?,
+            demand_latency: unsnap_field(v, "demand_latency")?,
+            l2_accesses: unsnap_field(v, "l2_accesses")?,
+            l2_misses: unsnap_field(v, "l2_misses")?,
+            inclusion_flushes: unsnap_field(v, "inclusion_flushes")?,
+            prefetches: unsnap_field(v, "prefetches")?,
+            prefetches_filtered: unsnap_field(v, "prefetches_filtered")?,
+            dram_speculation_wasted: unsnap_field(v, "dram_speculation_wasted")?,
+            dram_speculation_saved: unsnap_field(v, "dram_speculation_saved")?,
+            snooped_tag_lookups: unsnap_field(v, "snooped_tag_lookups")?,
+            jetty_filtered_lookups: unsnap_field(v, "jetty_filtered_lookups")?,
+            owner_prediction_hits: unsnap_field(v, "owner_prediction_hits")?,
+            owner_prediction_misses: unsnap_field(v, "owner_prediction_misses")?,
+            lines_per_region_samples: unsnap_field(v, "lines_per_region_samples")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

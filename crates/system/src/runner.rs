@@ -100,6 +100,31 @@ impl WorkItem {
     pub fn execute(&self, plan: &RunPlan) -> RunResult {
         run_once(&self.cfg, &self.spec, self.seed, plan)
     }
+
+    /// The item's content address under `plan` (see
+    /// [`crate::resultcache::cache_key`]).
+    pub fn cache_key(&self, plan: &RunPlan) -> u64 {
+        crate::resultcache::cache_key(&self.cfg, &self.spec, self.seed, plan)
+    }
+
+    /// Runs the item through the process-global result cache, if one is
+    /// installed ([`crate::resultcache::install_from_env`]): a hit
+    /// returns the stored result without simulating; a miss simulates
+    /// and populates the cache. The returned flag records whether this
+    /// was a hit. Without an installed cache this is exactly
+    /// [`WorkItem::execute`].
+    pub fn execute_cached(&self, plan: &RunPlan) -> (RunResult, bool) {
+        let Some(cache) = crate::resultcache::global() else {
+            return (self.execute(plan), false);
+        };
+        let key = self.cache_key(plan);
+        if let Some(result) = cache.lookup(key) {
+            return (result, true);
+        }
+        let result = self.execute(plan);
+        cache.store(key, &result);
+        (result, false)
+    }
 }
 
 /// Mean/CI aggregation of several perturbed runs of one configuration.
@@ -173,6 +198,22 @@ pub fn run_once(cfg: &SystemConfig, spec: &BenchmarkSpec, seed: u64, plan: &RunP
         plan.instructions_per_core,
         plan.max_cycles,
     )
+}
+
+/// [`run_once`] through the process-global result cache (see
+/// [`WorkItem::execute_cached`]); the flag records a cache hit.
+pub fn run_once_cached(
+    cfg: &SystemConfig,
+    spec: &BenchmarkSpec,
+    seed: u64,
+    plan: &RunPlan,
+) -> (RunResult, bool) {
+    WorkItem {
+        spec: spec.clone(),
+        cfg: cfg.clone(),
+        seed,
+    }
+    .execute_cached(plan)
 }
 
 /// Runs `plan.runs` perturbed seeds of one configuration on the

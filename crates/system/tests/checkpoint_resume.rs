@@ -1,0 +1,98 @@
+//! Checkpoint/resume byte-equality across benchmarks and modes.
+//!
+//! The contract under test: interrupting a measured run at an arbitrary
+//! cycle boundary, serializing it to JSON, dropping every live object,
+//! resuming from the bytes, and finishing produces the byte-identical
+//! `RunResult` of an uninterrupted run — for the baseline snooping
+//! machine and the CGCT machine alike — and a snapshot survives a
+//! restore unchanged (idempotence).
+
+use cgct_sim::{Json, Snap};
+use cgct_system::{CheckpointRun, CoherenceMode, Machine, SystemConfig};
+use cgct_workloads::by_name;
+
+const BENCHMARKS: [&str; 3] = ["ocean", "barnes", "tpc-w"];
+const MODES: [CoherenceMode; 2] = [
+    CoherenceMode::Baseline,
+    CoherenceMode::Cgct {
+        region_bytes: 512,
+        sets: 8192,
+    },
+];
+const WARMUP: u64 = 300;
+const INSTRUCTIONS: u64 = 1_200;
+const MAX_CYCLES: u64 = 2_000_000;
+const SEED: u64 = 7;
+
+fn machine(bench: &str, mode: CoherenceMode) -> Machine {
+    let cfg = SystemConfig::paper_default(mode);
+    let mut m = Machine::new(cfg, &by_name(bench).unwrap(), SEED);
+    m.set_trace(false);
+    m.set_intra(None);
+    m
+}
+
+#[test]
+fn resumed_runs_byte_equal_uninterrupted_across_benchmarks_and_modes() {
+    for bench in BENCHMARKS {
+        for mode in MODES {
+            let reference = machine(bench, mode)
+                .run_warmed(WARMUP, INSTRUCTIONS, MAX_CYCLES)
+                .snap()
+                .dump();
+            // Segment the same run; after every pause, serialize, drop
+            // the live run, and resume from the bytes alone.
+            let mut run =
+                CheckpointRun::new(machine(bench, mode), WARMUP, INSTRUCTIONS, MAX_CYCLES).unwrap();
+            let mut finished = None;
+            for _ in 0..100_000 {
+                if run.step(900) {
+                    finished = Some(run.finish().unwrap());
+                    break;
+                }
+                let bytes = run.snapshot().unwrap().dump();
+                drop(run);
+                let parsed = Json::parse(&bytes).unwrap();
+                let cfg = SystemConfig::paper_default(mode);
+                run = CheckpointRun::resume(cfg, &by_name(bench).unwrap(), &parsed).unwrap();
+            }
+            let resumed = finished.expect("run completed").snap().dump();
+            assert_eq!(
+                resumed,
+                reference,
+                "{bench}/{} diverged after checkpoint+resume",
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn snapshot_restore_snapshot_is_idempotent_everywhere() {
+    for bench in BENCHMARKS {
+        for mode in MODES {
+            let mut run =
+                CheckpointRun::new(machine(bench, mode), WARMUP, INSTRUCTIONS, MAX_CYCLES).unwrap();
+            // Probe idempotence at several points along the run: fresh,
+            // mid-warmup, and mid-measurement.
+            for probe in 0..3 {
+                if run.step(800) {
+                    break;
+                }
+                let first = run.snapshot().unwrap().dump();
+                let parsed = Json::parse(&first).unwrap();
+                let cfg = SystemConfig::paper_default(mode);
+                let restored =
+                    CheckpointRun::resume(cfg, &by_name(bench).unwrap(), &parsed).unwrap();
+                let second = restored.snapshot().unwrap().dump();
+                assert_eq!(
+                    first,
+                    second,
+                    "{bench}/{} snapshot drifted through restore (probe {probe})",
+                    mode.label()
+                );
+                run = restored;
+            }
+        }
+    }
+}

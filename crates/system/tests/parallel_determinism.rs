@@ -71,13 +71,13 @@ fn timing_labels_stay_in_canonical_order() {
     let labels: Vec<&str> = suite
         .timings
         .iter()
-        .map(|(l, _, _, _)| l.as_str())
+        .map(|(l, _, _, _, _)| l.as_str())
         .collect();
     // Every suite item is a real simulation, so every row must carry a
     // non-zero simulated-cycle count (and some delivered memory
     // completion events) for the timing log's throughput figures.
-    assert!(suite.timings.iter().all(|(_, _, cycles, _)| *cycles > 0));
-    assert!(suite.timings.iter().all(|(_, _, _, events)| *events > 0));
+    assert!(suite.timings.iter().all(|(_, _, cycles, _, _)| *cycles > 0));
+    assert!(suite.timings.iter().all(|(_, _, _, events, _)| *events > 0));
     let first_bench = cgct_workloads::all_benchmarks()[0].name;
     assert_eq!(labels[0], format!("{first_bench}/baseline#s5"));
     assert_eq!(labels[1], format!("{first_bench}/baseline#s6"));

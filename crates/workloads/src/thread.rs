@@ -325,9 +325,75 @@ impl WorkloadThread {
     }
 }
 
+impl cgct_sim::Snap for Cursor {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        Json::obj([
+            ("p", Json::u64(self.pos)),
+            ("r", Json::u64(self.run_left as u64)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::unsnap_field;
+        Ok(Cursor {
+            pos: unsnap_field(v, "p")?,
+            run_left: unsnap_field(v, "r")?,
+        })
+    }
+}
+
 impl UopSource for WorkloadThread {
     fn next_uop(&mut self) -> Uop {
         self.generate()
+    }
+
+    /// Snapshots the generator's dynamic state. The spec and address map
+    /// are construction parameters and are not stored; the flattened
+    /// phase cache is rebuilt from the spec on restore.
+    fn snap_state(&self) -> Option<cgct_sim::Json> {
+        use cgct_sim::{Json, Snap};
+        Some(Json::obj([
+            ("rng", self.rng.snap()),
+            ("phase_idx", self.phase_idx.snap()),
+            ("phase_remaining", Json::u64(self.phase_remaining)),
+            ("cursors", self.cursors.snap()),
+            ("pc", Json::u64(self.pc)),
+            ("loop_start", Json::u64(self.loop_start)),
+            ("loop_pos", Json::u64(self.loop_pos as u64)),
+            ("loop_iter", Json::u64(self.loop_iter as u64)),
+            ("pending", self.pending.snap()),
+            ("page_cursor", Json::u64(self.page_cursor)),
+            ("generated", Json::u64(self.generated)),
+        ]))
+    }
+
+    /// Restores state captured by
+    /// [`snap_state`](UopSource::snap_state) into a thread built from
+    /// the same `(spec, core, total_cores, seed)`. The construction-time
+    /// RNG skew is overwritten wholesale by the stored RNG state.
+    fn restore_state(&mut self, v: &cgct_sim::Json) -> Result<(), String> {
+        use cgct_sim::snap::unsnap_field;
+        let phase_idx: usize = unsnap_field(v, "phase_idx")?;
+        if phase_idx >= self.spec.phases.len() {
+            return Err("phase index out of range".to_string());
+        }
+        let cursors: Vec<Cursor> = unsnap_field(v, "cursors")?;
+        if cursors.len() != self.spec.phases[phase_idx].streams.len() {
+            return Err("cursor count does not match the phase's streams".to_string());
+        }
+        self.rng = unsnap_field(v, "rng")?;
+        self.phase_idx = phase_idx;
+        self.phase_remaining = unsnap_field(v, "phase_remaining")?;
+        self.cursors = cursors;
+        self.cur = PhaseCache::from_phase(&self.spec.phases[phase_idx]);
+        self.pc = unsnap_field(v, "pc")?;
+        self.loop_start = unsnap_field(v, "loop_start")?;
+        self.loop_pos = unsnap_field(v, "loop_pos")?;
+        self.loop_iter = unsnap_field(v, "loop_iter")?;
+        self.pending = unsnap_field(v, "pending")?;
+        self.page_cursor = unsnap_field(v, "page_cursor")?;
+        self.generated = unsnap_field(v, "generated")?;
+        Ok(())
     }
 }
 
