@@ -1,4 +1,8 @@
 //! Regenerates every table and figure of the CGCT paper.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+// ^ clippy mirror of D001/D004 (clippy.toml): host-facing binary —
+// wall-clock timing.json and CLI env plumbing live here by policy,
+// exactly as cgct-lint exempts src/bin/ paths.
 //!
 //! ```text
 //! experiments <command> [--quick] [--serial] [--intra-serial] [--no-skip] [--sanitize] [--json <dir>]
@@ -454,9 +458,8 @@ fn diag(plan: RunPlan) {
 fn run_cache_command(args: &Args) {
     match args.operand.as_deref() {
         Some("gc") => {
-            let dir = std::env::var("CGCT_CACHE_DIR")
-                .ok()
-                .filter(|d| !d.is_empty())
+            let dir = cgct_system::config::env_knobs()
+                .cache_dir
                 .unwrap_or_else(|| ".cgct-cache".to_string());
             let cache = cgct_system::ResultCache::new(dir.clone().into());
             match cache.gc() {
@@ -1229,14 +1232,20 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
         let eb = energy_of(&base.metrics, 3, false, &weights);
         let ej = energy_of(&jetty.metrics, 3, false, &weights);
         let ec = energy_of(&cgct.metrics, 3, true, &weights);
-        let saving = 100.0 * (1.0 - ec.total() / eb.total().max(1.0));
-        let jetty_saving = 100.0 * (1.0 - ej.total() / eb.total().max(1.0));
+        // Totals are exact integer milli-units; floats appear only here,
+        // at format time (milli -> units -> kilo-units).
+        let base_total = (eb.total_milli() as f64).max(1000.0);
+        let saving = 100.0 * (1.0 - ec.total_milli() as f64 / base_total);
+        let jetty_saving = 100.0 * (1.0 - ej.total_milli() as f64 / base_total);
         rows.push(vec![
             base.benchmark.clone(),
-            format!("{:.0}", eb.total() / 1000.0),
-            format!("{:.0} ({jetty_saving:+.1}%)", ej.total() / 1000.0),
-            format!("{:.0}", ec.total() / 1000.0),
-            format!("{:.0}", ec.rca_overhead / 1000.0),
+            format!("{:.0}", eb.total_milli() as f64 / 1_000_000.0),
+            format!(
+                "{:.0} ({jetty_saving:+.1}%)",
+                ej.total_milli() as f64 / 1_000_000.0
+            ),
+            format!("{:.0}", ec.total_milli() as f64 / 1_000_000.0),
+            format!("{:.0}", ec.rca_overhead_milli as f64 / 1_000_000.0),
             format!("{saving:.1}%"),
         ]);
     }

@@ -11,6 +11,10 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+// ^ clippy mirror of D001/D004 (clippy.toml): the bench harness is
+// host-facing by policy (wall-clock timing is its whole job), exactly
+// as cgct-lint exempts crates/bench.
 
 use cgct_system::RunPlan;
 

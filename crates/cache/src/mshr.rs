@@ -101,6 +101,7 @@ impl<T> MshrFile<T> {
     pub fn add_waiter(&mut self, id: MshrId, waiter: T) {
         self.slots[id.0]
             .as_mut()
+            // cgct-lint: allow(D006) MshrId is a capability handed out by allocate(); an invalid id is a protocol bug and must fail-stop
             .expect("MSHR not allocated")
             .waiters
             .push(waiter);
@@ -112,6 +113,7 @@ impl<T> MshrFile<T> {
     ///
     /// Panics if `id` is not allocated.
     pub fn line(&self, id: MshrId) -> LineAddr {
+        // cgct-lint: allow(D006) MshrId is a capability handed out by allocate(); an invalid id is a protocol bug and must fail-stop
         self.slots[id.0].as_ref().expect("MSHR not allocated").line
     }
 
@@ -124,9 +126,11 @@ impl<T> MshrFile<T> {
     pub fn primary(&self, id: MshrId) -> &T {
         self.slots[id.0]
             .as_ref()
+            // cgct-lint: allow(D006) MshrId is a capability handed out by allocate(); an invalid id is a protocol bug and must fail-stop
             .expect("MSHR not allocated")
             .waiters
             .first()
+            // cgct-lint: allow(D006) allocate() always records the primary waiter; its absence is a protocol bug and must fail-stop
             .expect("allocate always records a primary waiter")
     }
 
@@ -146,6 +150,7 @@ impl<T> MshrFile<T> {
     ///
     /// Panics if `id` is not allocated.
     pub fn complete(&mut self, id: MshrId) -> (LineAddr, Vec<T>) {
+        // cgct-lint: allow(D006) MshrId is a capability handed out by allocate(); freeing an invalid id is a protocol bug and must fail-stop
         let slot = self.slots[id.0].take().expect("MSHR not allocated");
         self.live -= 1;
         (slot.line, slot.waiters)

@@ -1,6 +1,9 @@
 //! Model-based property tests: `SetAssocArray` against a reference
 //! implementation with explicit per-set LRU lists.
 
+#![allow(clippy::disallowed_types)]
+// ^ D002 mirror (clippy.toml): test code is exempt by policy
+
 use cgct_cache::{LookupOutcome, SetAssocArray};
 use cgct_sim::check::{check, gen_vec};
 use cgct_sim::Xoshiro256pp;

@@ -79,6 +79,7 @@ pub fn local_fill_next_state(
         Some(r) => r.external_part(),
         None => current
             .external()
+            // cgct-lint: allow(D006) direct requests are only issued for valid region entries (checked upstream); fail-stop on a broken protocol invariant
             .expect("direct request issued with no valid region entry"),
     };
     RegionState::compose(local, external)

@@ -214,6 +214,17 @@ impl RegionCoherenceArray {
         sum as f64 / self.array.len() as f64
     }
 
+    /// [`Self::mean_lines_per_region`] in exact milli-lines, rounded to
+    /// nearest, for integer metrics accumulation.
+    pub fn mean_lines_per_region_milli(&self) -> i64 {
+        if self.array.is_empty() {
+            return 0;
+        }
+        let sum: u64 = self.array.iter().map(|(_, e)| e.line_count as u64).sum();
+        let len = self.array.len() as u64;
+        ((sum * 1000 + len / 2) / len) as i64
+    }
+
     /// What the region state allows for request `req`, recording the
     /// hit/miss statistic.
     pub fn permission(&mut self, region: RegionAddr, req: ReqKind) -> RegionPermission {
@@ -273,6 +284,7 @@ impl RegionCoherenceArray {
                     return i;
                 }
             }
+            // cgct-lint: allow(D006) a full set always offers replacement candidates; fail-stop on a broken replacement invariant
             pick(&|_| true).expect("full set has candidates")
         });
         displaced.map(|(key, entry)| {
@@ -327,6 +339,7 @@ impl RegionCoherenceArray {
         let entry = self
             .array
             .get_mut(region.0)
+            // cgct-lint: allow(D006) RCA inclusion invariant: every cached line has a region entry; fail-stop on violation
             .expect("inclusion violated: cached line with no region entry");
         entry.line_count += 1;
         assert!(
@@ -345,6 +358,7 @@ impl RegionCoherenceArray {
         let entry = self
             .array
             .get_mut(region.0)
+            // cgct-lint: allow(D006) RCA inclusion invariant: every cached line has a region entry; fail-stop on violation
             .expect("inclusion violated: evicted line with no region entry");
         assert!(entry.line_count > 0, "line count underflow for {region}");
         entry.line_count -= 1;

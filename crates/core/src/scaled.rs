@@ -116,6 +116,7 @@ impl ScaledRca {
             return None;
         }
         let cached =
+            // cgct-lint: allow(D006) direct requests are only issued for valid region entries (checked upstream); fail-stop on a broken protocol invariant
             externally_cached.expect("direct request issued with no valid scaled region entry");
         let entry = ScaledEntry {
             state: if cached {
@@ -136,6 +137,7 @@ impl ScaledRca {
                     .min_by_key(|(_, c)| c.last_use)
                     .or_else(|| cands.iter().enumerate().min_by_key(|(_, c)| c.last_use))
                     .map(|(i, _)| i)
+                    // cgct-lint: allow(D006) a full set always offers replacement candidates; fail-stop on a broken replacement invariant
                     .expect("full set has candidates")
             })
             .map(|(k, e)| (RegionAddr(k), e.line_count))
@@ -171,6 +173,7 @@ impl ScaledRca {
         let e = self
             .array
             .get_mut(region.0)
+            // cgct-lint: allow(D006) scaled-RCA inclusion invariant: every cached line has a region entry; fail-stop on violation
             .expect("inclusion violated: cached line with no scaled region entry");
         e.line_count += 1;
         assert!(e.line_count <= cap, "scaled line count exceeds capacity");
@@ -185,6 +188,7 @@ impl ScaledRca {
         let e = self
             .array
             .get_mut(region.0)
+            // cgct-lint: allow(D006) scaled-RCA inclusion invariant: every cached line has a region entry; fail-stop on violation
             .expect("inclusion violated: evicted line with no scaled region entry");
         assert!(e.line_count > 0, "scaled line count underflow");
         e.line_count -= 1;

@@ -1,6 +1,9 @@
 //! Property tests of the region protocol's algebra and the RCA's
 //! bookkeeping under arbitrary operation sequences.
 
+#![allow(clippy::disallowed_types)]
+// ^ D002 mirror (clippy.toml): test code is exempt by policy
+
 use cgct::{
     external_next_state, local_fill_next_state, FillKind, RcaConfig, RegionCoherenceArray,
     RegionSnoopResponse, RegionState,

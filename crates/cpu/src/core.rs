@@ -740,6 +740,7 @@ impl Core {
             if front.uop.kind.is_mem() && self.lsq_occupancy >= self.cfg.lsq {
                 break;
             }
+            // cgct-lint: allow(D006) guarded by the non-empty check on the line above; pop_front cannot fail
             let f = self.fetch_queue.pop_front().expect("front exists");
             if f.uop.kind.is_mem() {
                 self.lsq_occupancy += 1;

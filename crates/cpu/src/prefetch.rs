@@ -157,6 +157,7 @@ impl StreamPrefetcher {
                     .min_by_key(|(_, s)| s.last_use)
             })
             .map(|(i, _)| i)
+            // cgct-lint: allow(D006) streams is non-empty here: the miss above either found or just pushed a stream
             .expect("streams is non-empty");
         self.streams[victim] = stream;
     }

@@ -70,6 +70,7 @@ impl cgct_sim::Snap for MemEvent {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // D002 mirror: test code is exempt by policy
 mod tests {
     use super::*;
     use cgct_sim::{Cycle, EventQueue};

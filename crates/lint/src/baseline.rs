@@ -1,0 +1,158 @@
+//! Grandfathered-finding baselines with a ratchet: a baseline may only
+//! shrink. Every current finding must be listed in the baseline, and
+//! every baseline entry must still match a current finding — a stale
+//! entry means the debt was paid and the baseline must be re-shrunk, so
+//! the debt count is monotonically non-increasing over the repo's life.
+
+use crate::rules::Finding;
+use cgct_sim::json::{Json, ToJson};
+
+/// One grandfathered finding, matched exactly by
+/// `(rule, path, line, col)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id.
+    pub rule: String,
+}
+
+impl BaselineEntry {
+    fn of(f: &Finding) -> BaselineEntry {
+        BaselineEntry {
+            path: f.path.clone(),
+            line: f.line,
+            col: f.col,
+            rule: f.rule.clone(),
+        }
+    }
+}
+
+impl ToJson for BaselineEntry {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("path", Json::str(&self.path)),
+            ("line", Json::u64(self.line as u64)),
+            ("col", Json::u64(self.col as u64)),
+            ("rule", Json::str(&self.rule)),
+        ])
+    }
+}
+
+/// Serializes findings as a canonical (sorted, pretty) baseline file.
+pub fn render(findings: &[Finding]) -> String {
+    let mut entries: Vec<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
+    entries.sort();
+    entries.dedup();
+    let arr = Json::Array(entries.iter().map(|e| e.to_json()).collect());
+    format!("{}\n", arr.dump_pretty())
+}
+
+/// Parses a baseline file.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let v = Json::parse(text).map_err(|e| format!("baseline parse error: {e}"))?;
+    let arr = v.as_array().ok_or("baseline must be a JSON array")?;
+    let mut out = Vec::new();
+    for item in arr {
+        let get = |k: &str| -> Result<&Json, String> {
+            item.get(k)
+                .ok_or_else(|| format!("baseline entry missing `{k}`"))
+        };
+        out.push(BaselineEntry {
+            path: get("path")?
+                .as_str()
+                .ok_or("baseline `path` must be a string")?
+                .to_string(),
+            line: get("line")?
+                .as_u64()
+                .ok_or("baseline `line` must be a u64")? as u32,
+            col: get("col")?.as_u64().ok_or("baseline `col` must be a u64")? as u32,
+            rule: get("rule")?
+                .as_str()
+                .ok_or("baseline `rule` must be a string")?
+                .to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// The ratchet verdict: which findings are new (not grandfathered) and
+/// which baseline entries are stale (paid-off debt still listed).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct RatchetResult {
+    /// Findings not covered by the baseline — always an error.
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries matching nothing — the baseline must shrink.
+    pub stale_entries: Vec<BaselineEntry>,
+}
+
+impl RatchetResult {
+    /// Whether the tree is acceptable under the baseline.
+    pub fn ok(&self) -> bool {
+        self.new_findings.is_empty() && self.stale_entries.is_empty()
+    }
+}
+
+/// Applies the baseline to the current findings.
+pub fn apply(findings: &[Finding], baseline: &[BaselineEntry]) -> RatchetResult {
+    use std::collections::BTreeSet;
+    let listed: BTreeSet<&BaselineEntry> = baseline.iter().collect();
+    let current: BTreeSet<BaselineEntry> = findings.iter().map(BaselineEntry::of).collect();
+    RatchetResult {
+        new_findings: findings
+            .iter()
+            .filter(|f| !listed.contains(&BaselineEntry::of(f)))
+            .cloned()
+            .collect(),
+        stale_entries: baseline
+            .iter()
+            .filter(|e| !current.contains(e))
+            .cloned()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32, rule: &str) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            col: 5,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip_and_ratchet() {
+        let fs = vec![finding("a.rs", 3, "D002"), finding("b.rs", 9, "D001")];
+        let text = render(&fs);
+        let parsed = parse(&text).expect("parses");
+        assert_eq!(parsed.len(), 2);
+        let r = apply(&fs, &parsed);
+        assert!(r.ok());
+        // A new finding is flagged.
+        let mut more = fs.clone();
+        more.push(finding("c.rs", 1, "D004"));
+        let r2 = apply(&more, &parsed);
+        assert_eq!(r2.new_findings.len(), 1);
+        // A paid-off finding makes its entry stale.
+        let r3 = apply(&fs[..1], &parsed);
+        assert_eq!(r3.stale_entries.len(), 1);
+        assert!(!r3.ok());
+    }
+
+    #[test]
+    fn render_is_canonical() {
+        let a = vec![finding("b.rs", 9, "D001"), finding("a.rs", 3, "D002")];
+        let b = vec![finding("a.rs", 3, "D002"), finding("b.rs", 9, "D001")];
+        assert_eq!(render(&a), render(&b));
+    }
+}

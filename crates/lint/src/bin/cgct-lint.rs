@@ -1,0 +1,175 @@
+//! The `cgct-lint` binary: determinism & purity lint for the workspace.
+//!
+//! ```text
+//! cgct-lint [--root DIR] [--format human|json] [--baseline FILE]
+//!           [--write-baseline FILE] [--self-test [SEED]] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean (or all findings baselined), 1 findings /
+//! ratchet violation / self-test failure, 2 usage or I/O error.
+
+use cgct_lint::{analyze_tree, baseline, render, rules, selftest, OutputFormat};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    format: OutputFormat,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    self_test: bool,
+    self_test_seed: u64,
+    list_rules: bool,
+}
+
+const USAGE: &str = "usage: cgct-lint [--root DIR] [--format human|json] [--baseline FILE] \
+[--write-baseline FILE] [--self-test [SEED]] [--list-rules]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        format: OutputFormat::Human,
+        baseline: None,
+        write_baseline: None,
+        self_test: false,
+        self_test_seed: 0xC6C7_2005_15CA,
+        list_rules: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => args.root = PathBuf::from(value(&mut i, "--root")?),
+            "--format" => {
+                args.format = match value(&mut i, "--format")?.as_str() {
+                    "human" => OutputFormat::Human,
+                    "json" => OutputFormat::Json,
+                    other => return Err(format!("--format must be human|json, got {other:?}")),
+                }
+            }
+            "--baseline" => args.baseline = Some(PathBuf::from(value(&mut i, "--baseline")?)),
+            "--write-baseline" => {
+                args.write_baseline = Some(PathBuf::from(value(&mut i, "--write-baseline")?))
+            }
+            "--self-test" => {
+                args.self_test = true;
+                // Optional seed: consume the next arg only if numeric.
+                if let Some(seed) = argv.get(i + 1).and_then(|s| s.parse::<u64>().ok()) {
+                    args.self_test_seed = seed;
+                    i += 1;
+                }
+            }
+            "--list-rules" => args.list_rules = true,
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for r in rules::RULES {
+            println!("{}  {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if args.self_test {
+        let results = selftest::run(args.self_test_seed);
+        for c in &results {
+            if c.errors.is_empty() {
+                println!("self-test {}: ok", c.name);
+            } else {
+                for e in &c.errors {
+                    println!("self-test {}: FAIL: {e}", c.name);
+                }
+            }
+        }
+        return if selftest::passed(&results) {
+            println!(
+                "cgct-lint self-test: all cases passed (seed {})",
+                args.self_test_seed
+            );
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let (findings, scanned) = match analyze_tree(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cgct-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.write_baseline {
+        let text = baseline::render(&findings);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cgct-lint: write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "cgct-lint: wrote baseline with {} entr(ies) to {}",
+            findings.len(),
+            path.display()
+        );
+    }
+
+    // Under a baseline, report only ratchet violations; the baseline's
+    // own entries are acknowledged debt.
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cgct-lint: read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match baseline::parse(&text) {
+            Ok(es) => es,
+            Err(e) => {
+                eprintln!("cgct-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let verdict = baseline::apply(&findings, &entries);
+        print!("{}", render(&verdict.new_findings, scanned, args.format));
+        for stale in &verdict.stale_entries {
+            eprintln!(
+                "cgct-lint: stale baseline entry {} {}:{}:{} — the finding is gone; \
+                 shrink the baseline (ratchet)",
+                stale.rule, stale.path, stale.line, stale.col
+            );
+        }
+        return if verdict.ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    print!("{}", render(&findings, scanned, args.format));
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

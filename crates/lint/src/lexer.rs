@@ -1,0 +1,482 @@
+//! A small but real Rust lexer: enough fidelity that the rule engine
+//! never mistakes the inside of a string, comment, or char literal for
+//! code. Handles nested block comments, raw strings/identifiers, byte
+//! and raw byte strings, char vs. lifetime disambiguation, numeric
+//! literals with type suffixes, and a leading shebang line.
+//!
+//! The lexer is total: malformed input (unterminated strings or
+//! comments) consumes to end of file rather than failing, so the
+//! analyzer degrades gracefully on half-written code.
+
+/// What a token is. Comments are tokens (the suppression scanner reads
+/// them); rules match over the comment-free "code token" view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`region`, `fn`, `f64`).
+    Ident,
+    /// Raw identifier (`r#type`).
+    RawIdent,
+    /// Lifetime (`'a`, `'_`) — not a char literal.
+    Lifetime,
+    /// String literal `"..."`.
+    Str,
+    /// Raw string literal `r"..."` / `r#"..."#`.
+    RawStr,
+    /// Byte string literal `b"..."`.
+    ByteStr,
+    /// Raw byte string literal `br#"..."#`.
+    RawByteStr,
+    /// Char literal `'x'`, `'\''`, `'"'`.
+    Char,
+    /// Byte char literal `b'x'`.
+    ByteChar,
+    /// Numeric literal, including suffixes (`1_000u64`, `2.5f64`, `0xff`).
+    Num,
+    /// `// ...` comment; whether it is a doc comment (`///`, `//!`) is
+    /// decided by the consumer from the token text.
+    LineComment,
+    /// `/* ... */` comment, nesting tracked.
+    BlockComment,
+    /// Single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// `#!/usr/bin/env ...` first line.
+    Shebang,
+}
+
+/// One lexed token with its byte span and 1-based line/column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based character column of the first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's source text.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens with exact spans. Whitespace is skipped;
+/// everything else (including comments) is returned.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    b: &'s [u8],
+    i: usize,
+    line: u32,
+    /// Byte offset where the current line starts (for column math).
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            b: src.as_bytes(),
+            i: 0,
+            line: 1,
+            line_start: 0,
+            out: Vec::new(),
+        }
+    }
+
+    fn col_at(&self, offset: usize) -> u32 {
+        self.src[self.line_start..offset].chars().count() as u32 + 1
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, start_line: u32, start_col: u32) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line: start_line,
+            col: start_col,
+        });
+    }
+
+    /// Advances one byte, maintaining line accounting.
+    fn bump(&mut self) {
+        if self.b[self.i] == b'\n' {
+            self.line += 1;
+            self.line_start = self.i + 1;
+        }
+        self.i += 1;
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    fn eat_to_eol(&mut self) {
+        while self.i < self.b.len() && self.b[self.i] != b'\n' {
+            self.i += 1;
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        // Shebang: `#!` at offset 0 not followed by `[` (which would be
+        // an inner attribute like `#![forbid(unsafe_code)]`).
+        if self.b.len() >= 2 && self.b[0] == b'#' && self.b[1] == b'!' && self.peek(2) != Some(b'[')
+        {
+            self.eat_to_eol();
+            self.push(TokKind::Shebang, 0, 1, 1);
+        }
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let (start, start_line) = (self.i, self.line);
+            let start_col = self.col_at(start);
+            match c {
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.eat_to_eol();
+                    self.push(TokKind::LineComment, start, start_line, start_col);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokKind::BlockComment, start, start_line, start_col);
+                }
+                b'r' if self.is_raw_string_start(0) => {
+                    self.bump(); // r
+                    self.raw_string_body();
+                    self.push(TokKind::RawStr, start, start_line, start_col);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.ident_body();
+                    self.push(TokKind::RawIdent, start, start_line, start_col);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.bump(); // b
+                    self.string_body();
+                    self.push(TokKind::ByteStr, start, start_line, start_col);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.bump(); // b
+                    self.char_body();
+                    self.push(TokKind::ByteChar, start, start_line, start_col);
+                }
+                b'b' if self.peek(1) == Some(b'r') && self.is_raw_string_start(1) => {
+                    self.bump(); // b
+                    self.bump(); // r
+                    self.raw_string_body();
+                    self.push(TokKind::RawByteStr, start, start_line, start_col);
+                }
+                b'"' => {
+                    self.string_body();
+                    self.push(TokKind::Str, start, start_line, start_col);
+                }
+                b'\'' => {
+                    if self.is_lifetime() {
+                        self.bump(); // '
+                        self.ident_body();
+                        self.push(TokKind::Lifetime, start, start_line, start_col);
+                    } else {
+                        self.char_body();
+                        self.push(TokKind::Char, start, start_line, start_col);
+                    }
+                }
+                _ if c.is_ascii_digit() => {
+                    self.number_body();
+                    self.push(TokKind::Num, start, start_line, start_col);
+                }
+                _ if is_ident_start(c) => {
+                    self.ident_body();
+                    self.push(TokKind::Ident, start, start_line, start_col);
+                }
+                _ => {
+                    // Single punctuation char; consume the whole UTF-8
+                    // char so multi-byte chars never get split.
+                    let w = utf8_width(c);
+                    for _ in 0..w {
+                        if self.i < self.b.len() {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokKind::Punct, start, start_line, start_col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Whether `r` at `self.i + offset` begins a raw string: `r"`,
+    /// `r#"`, `r##"`, ... (any number of hashes then a quote).
+    fn is_raw_string_start(&self, offset: usize) -> bool {
+        let mut j = self.i + offset + 1;
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.b.get(j) == Some(&b'"')
+    }
+
+    /// `'a` / `'_` are lifetimes; `'a'`, `'\n'`, `'"'`, `'_'` are chars.
+    /// After a quote, ident-start + closing quote means char; ident-start
+    /// without closing quote means lifetime; anything else is a char.
+    fn is_lifetime(&self) -> bool {
+        match self.peek(1) {
+            Some(b'\\') => false,
+            Some(n) if is_ident_start(n) => {
+                // Look past the full ident: lifetime iff no closing quote.
+                let mut j = self.i + 2;
+                while self.b.get(j).copied().is_some_and(is_ident_continue) {
+                    j += 1;
+                }
+                self.b.get(j) != Some(&b'\'')
+            }
+            _ => false,
+        }
+    }
+
+    fn ident_body(&mut self) {
+        while self.i < self.b.len() && is_ident_continue(self.b[self.i]) {
+            self.bump();
+        }
+    }
+
+    fn number_body(&mut self) {
+        // Digits, underscores, hex/suffix letters; a `.` continues the
+        // number only when followed by a digit (so `1..2` and `1.max()`
+        // lex as integer-then-punct).
+        self.bump();
+        loop {
+            match self.peek(0) {
+                Some(c) if is_ident_continue(c) => self.bump(),
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn string_body(&mut self) {
+        self.bump(); // opening "
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.bump();
+                    if self.i < self.b.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn char_body(&mut self) {
+        self.bump(); // opening '
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    self.bump();
+                    if self.i < self.b.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.bump();
+                    return;
+                }
+                // An unterminated char literal never spans a newline.
+                b'\n' => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Raw string starting at `r` (already bumped past). Consumes
+    /// `#...#"body"#...#` with a matching hash count.
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            return; // not actually a raw string; treat `r` + hashes as consumed
+        }
+        self.bump(); // opening "
+        while self.i < self.b.len() {
+            if self.b[self.i] == b'"' {
+                // Count following hashes.
+                let mut j = self.i + 1;
+                let mut n = 0usize;
+                while n < hashes && self.b.get(j) == Some(&b'#') {
+                    n += 1;
+                    j += 1;
+                }
+                if n == hashes {
+                    while self.i < j {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Block comment with nesting: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.b[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.b[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        let ks = kinds(src);
+        assert_eq!(ks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(ks[1], (TokKind::BlockComment, "/* x /* y */ z */".into()));
+        assert_eq!(ks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r####"let x = r#"env::var inside "quotes""#; y"####;
+        let ks = kinds(src);
+        let raw = ks.iter().find(|(k, _)| *k == TokKind::RawStr).unwrap();
+        assert!(raw.1.contains("env::var"));
+        assert_eq!(ks.last().unwrap(), &(TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c: char = '\"'; fn f<'a>(x: &'a str) { let q = 'q'; let u = '_'; }";
+        let ks = kinds(src);
+        let chars: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Char).collect();
+        let lifes: Vec<_> = ks.iter().filter(|(k, _)| *k == TokKind::Lifetime).collect();
+        assert_eq!(chars.len(), 3, "'\"', 'q', '_' are chars: {ks:?}");
+        assert_eq!(lifes.len(), 2, "two uses of 'a: {ks:?}");
+    }
+
+    #[test]
+    fn escaped_quote_char() {
+        let ks = kinds(r"let c = '\''; next");
+        assert!(ks.contains(&(TokKind::Char, r"'\''".into())));
+        assert_eq!(ks.last().unwrap(), &(TokKind::Ident, "next".into()));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = r###"let a = b"bytes"; let b2 = br#"raw "bytes""#; let c = b'x';"###;
+        let ks = kinds(src);
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::ByteStr));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawByteStr && t.contains("raw \"bytes\"")));
+        assert!(ks.contains(&(TokKind::ByteChar, "b'x'".into())));
+    }
+
+    #[test]
+    fn shebang_only_on_first_line() {
+        let ks = kinds("#!/usr/bin/env run\nfn main() {}");
+        assert_eq!(ks[0].0, TokKind::Shebang);
+        // Inner attribute is not a shebang.
+        let ks2 = kinds("#![forbid(unsafe_code)]");
+        assert_eq!(ks2[0].0, TokKind::Punct);
+        assert_eq!(ks2[0].1, "#");
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#type = 1; r#fn");
+        assert!(ks.contains(&(TokKind::RawIdent, "r#type".into())));
+        assert!(ks.contains(&(TokKind::RawIdent, "r#fn".into())));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let ks = kinds("1_000u64 + 2.5f64 .. 0xffu8; 1..2; 3.min(4)");
+        assert!(ks.contains(&(TokKind::Num, "1_000u64".into())));
+        assert!(ks.contains(&(TokKind::Num, "2.5f64".into())));
+        assert!(ks.contains(&(TokKind::Num, "0xffu8".into())));
+        // `1..2` is Num Punct Punct Num; `3.min` keeps `3` integral.
+        assert!(ks.contains(&(TokKind::Num, "1".into())));
+        assert!(ks.contains(&(TokKind::Num, "3".into())));
+        assert!(ks.contains(&(TokKind::Ident, "min".into())));
+    }
+
+    #[test]
+    fn line_and_column_are_one_based_and_exact() {
+        let src = "fn a() {}\n  let x;";
+        let toks = lex(src);
+        let x = toks
+            .iter()
+            .find(|t| t.text(src) == "x")
+            .expect("x token exists");
+        assert_eq!((x.line, x.col), (2, 7));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

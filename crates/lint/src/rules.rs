@@ -1,0 +1,437 @@
+//! The rule engine: repo-specific determinism rules over the token
+//! stream, `#[cfg(test)]` exemption, and `// cgct-lint: allow(...)`
+//! suppressions that require a written justification.
+
+use crate::lexer::{lex, TokKind, Token};
+use crate::policy::{self, FileClass};
+
+/// One diagnostic. Ordering (and therefore output) is canonical:
+/// `(path, line, col, rule)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based character column.
+    pub col: u32,
+    /// Rule id (`D001`..`D007`, `L000`..`L002`).
+    pub rule: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line:col: rule: message` — the clickable human form.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Static rule metadata for `--list-rules` and the docs table.
+pub struct RuleInfo {
+    /// Rule id.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// All rules, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D001",
+        summary: "no std::time::{Instant, SystemTime} in pure crates (wall clock leaks host state)",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "no std HashMap/HashSet in pure crates (randomized iteration; use cgct_sim::hash::Stable*)",
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "no thread spawning outside cgct_sim::pool (scheduling must stay behind the deterministic pool)",
+    },
+    RuleInfo {
+        id: "D004",
+        summary: "no env::var/env::args outside the config seams (knobs must be typed and centrally documented)",
+    },
+    RuleInfo {
+        id: "D005",
+        summary: "no f64/f32-typed accumulator state in stats/metrics accumulation files (integer milli-units only)",
+    },
+    RuleInfo {
+        id: "D006",
+        summary: "no unwrap/expect on library coherence paths reachable from run_once without a justified allow",
+    },
+    RuleInfo {
+        id: "D007",
+        summary: "crate roots must carry #![forbid(unsafe_code)] and #![deny(missing_docs)]",
+    },
+    RuleInfo {
+        id: "L000",
+        summary: "a cgct-lint allow() suppression requires a non-empty justification",
+    },
+    RuleInfo {
+        id: "L001",
+        summary: "malformed cgct-lint directive or unknown rule id",
+    },
+    RuleInfo {
+        id: "L002",
+        summary: "unused cgct-lint suppression (nothing to suppress — remove it)",
+    },
+];
+
+fn known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// A parsed `// cgct-lint: allow(RULE) justification` directive.
+struct Allow {
+    rule: String,
+    /// Line the comment sits on.
+    line: u32,
+    col: u32,
+    /// Lines it suppresses: the comment's own line, plus the next line
+    /// when the comment stands alone on its line.
+    applies: Vec<u32>,
+    justified: bool,
+    used: bool,
+}
+
+/// Analyzes one source file. `rel` decides the policy (see
+/// [`crate::policy`]); test files are fully exempt.
+pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
+    let class = policy::classify(rel);
+    if class == FileClass::TestCode {
+        return Vec::new();
+    }
+    let tokens = lex(src);
+    // Code view: comments and shebang removed, original indices kept.
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| {
+            !matches!(
+                t.kind,
+                TokKind::LineComment | TokKind::BlockComment | TokKind::Shebang
+            )
+        })
+        .collect();
+    let exempt = cfg_test_lines(&code, src);
+    let (mut allows, mut findings) = parse_allows(rel, &tokens, &code, src);
+    let mut raw: Vec<(u32, u32, &'static str, String)> = Vec::new();
+
+    let pure = class == FileClass::Pure;
+    for (idx, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let text = t.text(src);
+        match text {
+            "Instant" | "SystemTime" if pure => raw.push((
+                t.line,
+                t.col,
+                "D001",
+                format!("wall-clock type `{text}` in a pure crate — simulated time only (cgct_sim::time)"),
+            )),
+            "HashMap" | "HashSet" if pure => raw.push((
+                t.line,
+                t.col,
+                "D002",
+                format!(
+                    "std `{text}` has randomized iteration order — use cgct_sim::hash::Stable{text}"
+                ),
+            )),
+            "spawn"
+                if pure
+                    && !policy::SPAWN_SEAM_FILES.contains(&rel)
+                    && is_call_target(&code, idx, src) =>
+            {
+                raw.push((
+                    t.line,
+                    t.col,
+                    "D003",
+                    "thread creation outside cgct_sim::pool — shard work through the deterministic pool".to_string(),
+                ))
+            }
+            "env"
+                if pure
+                    && !policy::ENV_SEAM_FILES.contains(&rel)
+                    && env_read_follows(&code, idx, src) =>
+            {
+                let what = code[idx + 3].text(src);
+                raw.push((
+                    t.line,
+                    t.col,
+                    "D004",
+                    format!(
+                        "`env::{what}` outside the config seam — read knobs through cgct_system::config::env_knobs()"
+                    ),
+                ))
+            }
+            "f64" | "f32"
+                if policy::is_accumulation_file(rel) && is_type_ascription(&code, idx, src) =>
+            {
+                raw.push((
+                    t.line,
+                    t.col,
+                    "D005",
+                    format!(
+                        "`{text}`-typed accumulator state in an accumulation file — use integer milli-units (IntStats)"
+                    ),
+                ))
+            }
+            "unwrap" | "expect"
+                if policy::is_coherence_path(rel) && is_method_call(&code, idx, src) =>
+            {
+                raw.push((
+                    t.line,
+                    t.col,
+                    "D006",
+                    format!(
+                        "`.{text}()` on a coherence path reachable from run_once — handle the case or justify the fail-stop"
+                    ),
+                ))
+            }
+            _ => {}
+        }
+    }
+
+    // D007: crate roots must carry the hygiene headers.
+    if policy::is_crate_root(rel) {
+        for (attr, inner) in [("forbid", "unsafe_code"), ("deny", "missing_docs")] {
+            if !has_inner_attr(&code, src, attr, inner) {
+                raw.push((
+                    1,
+                    1,
+                    "D007",
+                    format!("crate root is missing `#![{attr}({inner})]`"),
+                ));
+            }
+        }
+    }
+
+    // Filter exempt regions, then apply suppressions.
+    for (line, col, rule, message) in raw {
+        if exempt.contains(&line) {
+            continue;
+        }
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == rule && a.applies.contains(&line) {
+                a.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line,
+                col,
+                rule: rule.to_string(),
+                message,
+            });
+        }
+    }
+
+    // Directive hygiene: unjustified and unused allows are themselves
+    // findings, so a suppression can never silently rot.
+    for a in &allows {
+        if !a.justified {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "L000".to_string(),
+                message: format!(
+                    "allow({}) without a justification — state why the violation is sound",
+                    a.rule
+                ),
+            });
+        } else if !a.used {
+            findings.push(Finding {
+                path: rel.to_string(),
+                line: a.line,
+                col: a.col,
+                rule: "L002".to_string(),
+                message: format!("allow({}) suppresses nothing — remove it", a.rule),
+            });
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+/// Lines covered by `#[cfg(test)]` items (the following attribute-run +
+/// item, through its matching brace or semicolon).
+fn cfg_test_lines(code: &[&Token], src: &str) -> std::collections::BTreeSet<u32> {
+    let mut exempt = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if is_cfg_test_attr(code, i, src) {
+            // Skip this attribute (7 tokens: # [ cfg ( test ) ]).
+            let mut j = i + 7;
+            // Skip any further attributes.
+            while j + 1 < code.len() && code[j].text(src) == "#" && code[j + 1].text(src) == "[" {
+                let mut depth = 0i32;
+                while j < code.len() {
+                    match code[j].text(src) {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            // Consume the item: to `;` at brace depth 0, or through the
+            // matching `}` of the first opened brace.
+            let start_line = code[i].line;
+            let mut depth = 0i32;
+            let mut end_line = start_line;
+            while j < code.len() {
+                let t = code[j].text(src);
+                end_line = code[j].line;
+                match t {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            for l in start_line..=end_line {
+                exempt.insert(l);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    exempt
+}
+
+fn is_cfg_test_attr(code: &[&Token], i: usize, src: &str) -> bool {
+    let texts: Vec<&str> = code[i..].iter().take(7).map(|t| t.text(src)).collect();
+    texts == ["#", "[", "cfg", "(", "test", ")", "]"]
+}
+
+/// `.spawn(` or `::spawn(` — an actual call, not e.g. a doc word.
+fn is_call_target(code: &[&Token], idx: usize, src: &str) -> bool {
+    let before = idx > 0 && matches!(code[idx - 1].text(src), "." | ":");
+    let after = code.get(idx + 1).is_some_and(|t| t.text(src) == "(");
+    before && after
+}
+
+/// `env :: var`-style read: `env` followed by `::` then a read fn.
+fn env_read_follows(code: &[&Token], idx: usize, src: &str) -> bool {
+    code.get(idx + 1).is_some_and(|t| t.text(src) == ":")
+        && code.get(idx + 2).is_some_and(|t| t.text(src) == ":")
+        && code
+            .get(idx + 3)
+            .is_some_and(|t| matches!(t.text(src), "var" | "var_os" | "vars" | "args" | "args_os"))
+}
+
+/// `: f64` type ascription (field, binding, or parameter) — but not a
+/// path segment like `std::f64::consts`.
+fn is_type_ascription(code: &[&Token], idx: usize, src: &str) -> bool {
+    idx > 0 && code[idx - 1].text(src) == ":" && !(idx > 1 && code[idx - 2].text(src) == ":")
+}
+
+/// `.unwrap(` / `.expect(`.
+fn is_method_call(code: &[&Token], idx: usize, src: &str) -> bool {
+    idx > 0
+        && code[idx - 1].text(src) == "."
+        && code.get(idx + 1).is_some_and(|t| t.text(src) == "(")
+}
+
+/// Whether `#![attr(inner)]` appears at the top level of the file.
+fn has_inner_attr(code: &[&Token], src: &str, attr: &str, inner: &str) -> bool {
+    code.windows(7).any(|w| {
+        let texts: Vec<&str> = w.iter().map(|t| t.text(src)).collect();
+        texts == ["#", "!", "[", attr, "(", inner, ")"]
+    })
+}
+
+/// Parses `cgct-lint: allow(RULE) justification` directives out of line
+/// comments. Returns the usable suppressions plus L001 findings for
+/// malformed directives / unknown rule ids.
+fn parse_allows(
+    rel: &str,
+    tokens: &[Token],
+    code: &[&Token],
+    src: &str,
+) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for t in tokens {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        let text = t.text(src);
+        // Doc comments (`///`, `//!`) *describe* the directive syntax
+        // (rule tables, usage docs); only plain `//` comments direct.
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = text.find("cgct-lint:") else {
+            continue;
+        };
+        let directive = text[pos + "cgct-lint:".len()..].trim();
+        let parsed = directive
+            .strip_prefix("allow(")
+            .and_then(|rest| rest.split_once(')'));
+        let Some((rule_raw, rest)) = parsed else {
+            bad.push(Finding {
+                path: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "L001".to_string(),
+                message: format!(
+                    "malformed directive `{directive}` — expected `allow(<rule>) <justification>`"
+                ),
+            });
+            continue;
+        };
+        let rule = rule_raw.trim().to_string();
+        if !known_rule(&rule) {
+            bad.push(Finding {
+                path: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: "L001".to_string(),
+                message: format!("unknown rule id `{rule}` in allow()"),
+            });
+            continue;
+        }
+        // A standalone comment (first token on its line) also covers the
+        // next line; a trailing comment covers only its own.
+        let standalone = !code.iter().any(|c| c.line == t.line && c.col < t.col);
+        let mut applies = vec![t.line];
+        if standalone {
+            applies.push(t.line + 1);
+        }
+        allows.push(Allow {
+            rule,
+            line: t.line,
+            col: t.col,
+            applies,
+            justified: !rest.trim().is_empty(),
+            used: false,
+        });
+    }
+    (allows, bad)
+}

@@ -1,0 +1,340 @@
+//! Self-test: inject seeded violations into clean fixture sources and
+//! assert that every rule fires with the exact expected `line:col` span
+//! — and that clean fixtures, justified allows, and `#[cfg(test)]`
+//! exemptions stay silent. The injection *order* is drawn from the
+//! workspace PRNG so successive seeds exercise different interleavings,
+//! while every expectation stays exact.
+
+use crate::rules::{analyze_source, Finding};
+use cgct_sim::rng::Xoshiro256pp;
+
+/// One injectable violation: a source line plus the rule it must trip
+/// and the violating token whose column we expect.
+struct Violation {
+    rule: &'static str,
+    line_text: &'static str,
+    /// The token whose `line:col` the diagnostic must carry.
+    token: &'static str,
+}
+
+const VIOLATIONS: &[Violation] = &[
+    Violation {
+        rule: "D001",
+        line_text: "    let t0 = std::time::Instant::now();",
+        token: "Instant",
+    },
+    Violation {
+        rule: "D001",
+        line_text: "    let wall = std::time::SystemTime::now();",
+        token: "SystemTime",
+    },
+    Violation {
+        rule: "D002",
+        line_text: "    let m: std::collections::HashMap<u64, u32> = Default::default();",
+        token: "HashMap",
+    },
+    Violation {
+        rule: "D002",
+        line_text: "    let s: std::collections::HashSet<u64> = Default::default();",
+        token: "HashSet",
+    },
+    Violation {
+        rule: "D003",
+        line_text: "    let h = std::thread::spawn(|| 1u64);",
+        token: "spawn",
+    },
+    Violation {
+        rule: "D004",
+        line_text: "    let jobs = std::env::var(\"CGCT_JOBS\");",
+        token: "env",
+    },
+    Violation {
+        rule: "D004",
+        line_text: "    let argv: Vec<String> = std::env::args().collect();",
+        token: "env",
+    },
+];
+
+/// A violation for the accumulation-file policy (D005 applies only
+/// there, so it gets its own fixture path).
+const D005_LINE: &str = "    pub running_mean: f64,";
+/// And one for the coherence-path policy (D006).
+const D006_LINE: &str = "    let v = self.slots.get(0).unwrap();";
+
+/// Clean fixture prologue: lines that must never trip anything.
+const CLEAN_PROLOGUE: &[&str] = &[
+    "//! Fixture crate-let for the cgct-lint self-test.",
+    "#![forbid(unsafe_code)]",
+    "#![deny(missing_docs)]",
+    "",
+    "/* a block comment mentioning HashMap, Instant and env::var",
+    "   /* nested: std::time::Instant */",
+    "   still inside the outer comment */",
+    "",
+    "/// Doc text naming `HashMap` and `env::var` must not fire either.",
+    "pub fn clean() -> u64 {",
+    "    let s = \"env::var(\\\"HashMap\\\") Instant inside a string\";",
+    "    let r = r#\"raw: std::collections::HashMap<SystemTime, _>\"#;",
+    "    let c = '\\''; let q = '\"'; let b = b\"Instant bytes\";",
+    "    (s.len() + r.len() + c as usize + q as usize + b.len()) as u64",
+    "}",
+    "",
+    "#[cfg(test)]",
+    "mod tests {",
+    "    // Exempt: tests may use std collections and the clock.",
+    "    use std::collections::HashMap;",
+    "    use std::time::Instant;",
+    "    #[test]",
+    "    fn ok() {",
+    "        let _m: HashMap<u8, u8> = HashMap::new();",
+    "        let _t = Instant::now();",
+    "        let _e = std::env::var(\"HOME\");",
+    "    }",
+    "}",
+    "",
+    "pub fn body() {",
+];
+const CLEAN_EPILOGUE: &[&str] = &["}", ""];
+
+/// One self-test case outcome.
+#[derive(Debug)]
+pub struct CaseResult {
+    /// Case label.
+    pub name: String,
+    /// Mismatch description, empty when the case passed.
+    pub errors: Vec<String>,
+}
+
+/// Runs the full self-test with `seed` deciding the injection order.
+/// Returns per-case results; the run passed iff every `errors` is empty.
+pub fn run(seed: u64) -> Vec<CaseResult> {
+    vec![
+        injected_case(seed),
+        clean_case(),
+        policy_cases(),
+        suppression_cases(),
+        header_case(),
+    ]
+}
+
+/// Whether every case passed.
+pub fn passed(results: &[CaseResult]) -> bool {
+    results.iter().all(|c| c.errors.is_empty())
+}
+
+fn expect_exact(
+    name: &str,
+    rel: &str,
+    src: &str,
+    expected: &mut Vec<(String, u32, u32)>,
+) -> CaseResult {
+    let mut found: Vec<(String, u32, u32)> = analyze_source(rel, src)
+        .iter()
+        .map(|f: &Finding| (f.rule.clone(), f.line, f.col))
+        .collect();
+    found.sort();
+    expected.sort();
+    let mut errors = Vec::new();
+    if found != *expected {
+        errors.push(format!(
+            "{name}: expected findings {expected:?}, got {found:?}"
+        ));
+    }
+    CaseResult {
+        name: name.to_string(),
+        errors,
+    }
+}
+
+/// Seeded injection: shuffle the violation list, append each as one
+/// line of the fixture body, and demand the exact `(rule, line, col)`
+/// triple for every one — nothing more, nothing less.
+fn injected_case(seed: u64) -> CaseResult {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..VIOLATIONS.len()).collect();
+    rng.shuffle(&mut order);
+
+    let mut lines: Vec<String> = CLEAN_PROLOGUE.iter().map(|s| s.to_string()).collect();
+    let mut expected: Vec<(String, u32, u32)> = Vec::new();
+    for &vi in &order {
+        let v = &VIOLATIONS[vi];
+        lines.push(v.line_text.to_string());
+        let line_no = lines.len() as u32;
+        let col = v.line_text.find(v.token).expect("token in its line") as u32 + 1;
+        expected.push((v.rule.to_string(), line_no, col));
+    }
+    lines.extend(CLEAN_EPILOGUE.iter().map(|s| s.to_string()));
+    let src = lines.join("\n");
+    expect_exact(
+        &format!("injected(seed={seed})"),
+        "crates/sim/src/injected_fixture.rs",
+        &src,
+        &mut expected,
+    )
+}
+
+/// The clean fixture alone must produce zero findings.
+fn clean_case() -> CaseResult {
+    let mut lines: Vec<String> = CLEAN_PROLOGUE.iter().map(|s| s.to_string()).collect();
+    lines.push("    let _ = 0u64;".to_string());
+    lines.extend(CLEAN_EPILOGUE.iter().map(|s| s.to_string()));
+    let src = lines.join("\n");
+    expect_exact(
+        "clean",
+        "crates/sim/src/clean_fixture.rs",
+        &src,
+        &mut Vec::new(),
+    )
+}
+
+/// D005/D006 are policy-scoped: the same line trips in a designated
+/// file and stays silent elsewhere. Host-facing files are exempt from
+/// the purity rules entirely.
+fn policy_cases() -> CaseResult {
+    let mut errors = Vec::new();
+
+    let d005_src = format!("pub struct Acc {{\n{D005_LINE}\n}}\n");
+    let col = D005_LINE.find("f64").expect("token") as u32 + 1;
+    for (rel, expect_hit) in [
+        ("crates/sim/src/stats.rs", true),
+        ("crates/system/src/runner.rs", false),
+    ] {
+        let hits: Vec<Finding> = analyze_source(rel, &d005_src)
+            .into_iter()
+            .filter(|f| f.rule == "D005")
+            .collect();
+        let want: Vec<(u32, u32)> = if expect_hit { vec![(2, col)] } else { vec![] };
+        let got: Vec<(u32, u32)> = hits.iter().map(|f| (f.line, f.col)).collect();
+        if got != want {
+            errors.push(format!("D005 policy at {rel}: want {want:?}, got {got:?}"));
+        }
+    }
+
+    let d006_src = format!("pub fn touch(&mut self) {{\n{D006_LINE}\n}}\n");
+    let col = D006_LINE.find("unwrap").expect("token") as u32 + 1;
+    for (rel, expect_hit) in [
+        ("crates/cache/src/mshr.rs", true),
+        ("crates/system/src/report.rs", false),
+    ] {
+        let hits: Vec<Finding> = analyze_source(rel, &d006_src)
+            .into_iter()
+            .filter(|f| f.rule == "D006")
+            .collect();
+        let want: Vec<(u32, u32)> = if expect_hit { vec![(2, col)] } else { vec![] };
+        let got: Vec<(u32, u32)> = hits.iter().map(|f| (f.line, f.col)).collect();
+        if got != want {
+            errors.push(format!("D006 policy at {rel}: want {want:?}, got {got:?}"));
+        }
+    }
+
+    // Host-facing code may read the clock and argv freely.
+    let host_src = "pub fn main2() { let t = std::time::Instant::now(); \
+                    let a: Vec<String> = std::env::args().collect(); }\n";
+    let hits = analyze_source("crates/bench/src/timing.rs", host_src);
+    if !hits.is_empty() {
+        errors.push(format!("host-facing file should be exempt, got {hits:?}"));
+    }
+
+    CaseResult {
+        name: "policy-scoping".to_string(),
+        errors,
+    }
+}
+
+/// Suppression semantics: a justified allow silences exactly its rule
+/// on its line; an unjustified allow is L000; an allow with nothing to
+/// suppress is L002; a bogus rule id is L001.
+fn suppression_cases() -> CaseResult {
+    let mut errors = Vec::new();
+    let check = |name: &str, src: &str, want: Vec<(&str, u32)>| -> Option<String> {
+        let got: Vec<(String, u32)> = analyze_source("crates/sim/src/fixture.rs", src)
+            .iter()
+            .map(|f| (f.rule.clone(), f.line))
+            .collect();
+        let want: Vec<(String, u32)> = want.into_iter().map(|(r, l)| (r.to_string(), l)).collect();
+        (got != want).then(|| format!("{name}: want {want:?}, got {got:?}"))
+    };
+
+    errors.extend(check(
+        "justified-trailing",
+        "fn f() {\n    let t = std::time::Instant::now(); \
+         // cgct-lint: allow(D001) host telemetry only, never feeds results\n}\n",
+        vec![],
+    ));
+    errors.extend(check(
+        "justified-standalone",
+        "fn f() {\n    // cgct-lint: allow(D002) keyed lookups only, never iterated\n    \
+         let m: std::collections::HashMap<u8, u8> = Default::default();\n}\n",
+        vec![],
+    ));
+    errors.extend(check(
+        "unjustified-is-L000",
+        "fn f() {\n    let t = std::time::Instant::now(); // cgct-lint: allow(D001)\n}\n",
+        vec![("L000", 2)],
+    ));
+    errors.extend(check(
+        "unused-is-L002",
+        "fn f() {\n    // cgct-lint: allow(D001) nothing here actually violates\n    let x = 1;\n}\n",
+        vec![("L002", 2)],
+    ));
+    errors.extend(check(
+        "unknown-rule-is-L001",
+        "fn f() {\n    // cgct-lint: allow(D999) no such rule\n    let x = 1;\n}\n",
+        vec![("L001", 2)],
+    ));
+    errors.extend(check(
+        "wrong-rule-does-not-suppress",
+        "fn f() {\n    let t = std::time::Instant::now(); \
+         // cgct-lint: allow(D002) wrong rule id for this line\n}\n",
+        vec![("D001", 2), ("L002", 2)],
+    ));
+
+    CaseResult {
+        name: "suppressions".to_string(),
+        errors,
+    }
+}
+
+/// D007 fires (twice) on a crate root missing both headers, with the
+/// span pinned to 1:1, and stays silent on a compliant root.
+fn header_case() -> CaseResult {
+    let mut errors = Vec::new();
+    let bare = "//! A crate.\npub fn f() {}\n";
+    let got: Vec<(String, u32, u32)> = analyze_source("crates/x/src/lib.rs", bare)
+        .iter()
+        .map(|f| (f.rule.clone(), f.line, f.col))
+        .collect();
+    let want = vec![("D007".to_string(), 1, 1), ("D007".to_string(), 1, 1)];
+    if got != want {
+        errors.push(format!("missing headers: want {want:?}, got {got:?}"));
+    }
+    let good = "//! A crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\npub fn f() {}\n";
+    let got2 = analyze_source("crates/x/src/lib.rs", good);
+    if !got2.is_empty() {
+        errors.push(format!("compliant root should be clean, got {got2:?}"));
+    }
+    // Non-root files carry no header obligation.
+    let got3 = analyze_source("crates/x/src/other.rs", bare);
+    if !got3.is_empty() {
+        errors.push(format!("non-root should be clean, got {got3:?}"));
+    }
+    CaseResult {
+        name: "crate-headers".to_string(),
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_test_passes_for_several_seeds() {
+        for seed in [0u64, 1, 42, 0xC6C7_2005_15CA] {
+            let results = run(seed);
+            for c in &results {
+                assert!(c.errors.is_empty(), "case {}: {:?}", c.name, c.errors);
+            }
+        }
+    }
+}

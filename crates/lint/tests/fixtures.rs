@@ -1,0 +1,192 @@
+//! Fixture tests: exact diagnostic spans on hand-written sources, and
+//! the suppression contract (an unjustified or unused allow is itself
+//! an error).
+
+use cgct_lint::rules::analyze_source;
+
+/// Collects `(line, col, rule)` triples for compact exact-span asserts.
+fn spans(rel: &str, src: &str) -> Vec<(u32, u32, String)> {
+    analyze_source(rel, src)
+        .into_iter()
+        .map(|f| (f.line, f.col, f.rule))
+        .collect()
+}
+
+#[test]
+fn hashmap_in_pure_crate_exact_span() {
+    let src = "\
+//! Docs.
+use std::collections::HashMap;
+
+/// Docs.
+pub fn build() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+";
+    assert_eq!(
+        spans("crates/cache/src/fixture.rs", src),
+        vec![
+            (2, 23, "D002".to_string()),
+            (5, 19, "D002".to_string()),
+            (6, 5, "D002".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn instant_in_pure_crate_exact_span() {
+    let src = "\
+//! Docs.
+use std::time::Instant;
+";
+    assert_eq!(
+        spans("crates/core/src/fixture.rs", src),
+        vec![(2, 16, "D001".to_string())]
+    );
+}
+
+#[test]
+fn env_var_exact_span_and_seam_exemption() {
+    let src = "\
+//! Docs.
+pub fn knob() -> Option<String> {
+    std::env::var(\"CGCT_FIXTURE\").ok()
+}
+";
+    assert_eq!(
+        spans("crates/system/src/fixture.rs", src),
+        vec![(3, 10, "D004".to_string())]
+    );
+    // The same source inside the config seam is exempt.
+    assert_eq!(spans("crates/system/src/config.rs", src), vec![]);
+}
+
+#[test]
+fn violations_inside_strings_and_comments_do_not_fire() {
+    let src = "\
+//! Mentions HashMap and Instant and env::var in docs.
+/* block comment: HashMap::new(), std::time::Instant */
+pub const DOC: &str = \"use std::collections::HashMap and .unwrap()\";
+pub const RAW: &str = r#\"Instant::now() \"inner\" env::var\"#;
+pub const CH: char = 'H';
+";
+    assert_eq!(spans("crates/cache/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    let src = "\
+//! Docs.
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn t() {
+        let _ = std::env::var(\"X\");
+        let _: HashMap<u8, u8> = HashMap::new();
+        let _ = Instant::now();
+    }
+}
+";
+    assert_eq!(spans("crates/cache/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn host_facing_files_are_exempt_from_purity_rules() {
+    let src = "\
+//! Docs.
+use std::time::Instant;
+use std::collections::HashMap;
+
+pub fn main_ish() {
+    let _ = std::env::var(\"CGCT_JOBS\");
+    let _: HashMap<u8, u8> = HashMap::new();
+    let _ = Instant::now();
+}
+";
+    assert_eq!(spans("crates/bench/src/bin/fixture.rs", src), vec![]);
+    assert_eq!(spans("crates/system/examples/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn justified_allow_suppresses_and_is_not_an_error() {
+    let src = "\
+//! Docs.
+// cgct-lint: allow(D002) fixture needs the std map for a reason
+use std::collections::HashMap;
+
+/// Docs.
+pub type M = std::collections::HashMap<u8, u8>; // cgct-lint: allow(D002) trailing form, also justified
+";
+    assert_eq!(spans("crates/cache/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn unjustified_allow_is_an_error_but_still_suppresses() {
+    let src = "\
+//! Docs.
+// cgct-lint: allow(D002)
+use std::collections::HashMap;
+";
+    // The D002 is suppressed, but the bare allow itself is L000.
+    assert_eq!(
+        spans("crates/cache/src/fixture.rs", src),
+        vec![(2, 1, "L000".to_string())]
+    );
+}
+
+#[test]
+fn unused_allow_is_an_error() {
+    let src = "\
+//! Docs.
+// cgct-lint: allow(D001) nothing on the next line uses a wall clock
+pub fn fine() {}
+";
+    assert_eq!(
+        spans("crates/cache/src/fixture.rs", src),
+        vec![(2, 1, "L002".to_string())]
+    );
+}
+
+#[test]
+fn unknown_rule_in_allow_is_an_error() {
+    let src = "\
+//! Docs.
+// cgct-lint: allow(D999) no such rule
+pub fn fine() {}
+";
+    assert_eq!(
+        spans("crates/cache/src/fixture.rs", src),
+        vec![(2, 1, "L001".to_string())]
+    );
+}
+
+#[test]
+fn missing_crate_headers_fire_at_one_one() {
+    let src = "//! Crate docs but no lint headers.\npub fn f() {}\n";
+    let got = spans("crates/cache/src/lib.rs", src);
+    assert_eq!(
+        got,
+        vec![(1, 1, "D007".to_string()), (1, 1, "D007".to_string())]
+    );
+    // Non-root files don't need the headers.
+    assert_eq!(spans("crates/cache/src/array_fixture.rs", src), vec![]);
+}
+
+#[test]
+fn unwrap_on_coherence_path_exact_span() {
+    let src = "\
+//! Docs.
+pub fn f(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+";
+    assert_eq!(
+        spans("crates/cache/src/fixture.rs", src),
+        vec![(3, 16, "D006".to_string())]
+    );
+    // The same code outside the coherence path set is fine.
+    assert_eq!(spans("crates/sim/src/fixture.rs", src), vec![]);
+}

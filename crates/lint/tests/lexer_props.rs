@@ -1,0 +1,188 @@
+//! Lexer property tests: totality and span sanity on seeded random
+//! input, plus comment/string/char torture fixtures with exact token
+//! expectations.
+
+use cgct_lint::lexer::{lex, TokKind};
+use cgct_sim::Xoshiro256pp;
+
+/// Seeded random "Rust-ish" source: fragments that exercise every
+/// tricky lexer state, concatenated in random order.
+fn random_source(rng: &mut Xoshiro256pp, fragments: usize) -> String {
+    const FRAGS: &[&str] = &[
+        "fn f() {}",
+        "// line comment HashMap\n",
+        "/// doc comment Instant\n",
+        "/* block */",
+        "/* outer /* nested */ still outer */",
+        "/* unterminated",
+        "\"string with // not a comment\"",
+        "\"unterminated",
+        "r\"raw\"",
+        "r#\"raw with \"quotes\" inside\"#",
+        "r##\"nested \"# hash\"##",
+        "b\"bytes\"",
+        "br#\"raw bytes\"#",
+        "'c'",
+        "'\\''",
+        "'\\n'",
+        "b'x'",
+        "'lifetime",
+        "&'a str",
+        "'_",
+        "r#type",
+        "1_000u64",
+        "0xFFu8",
+        "2.5f64",
+        "1..10",
+        "x.max(1)",
+        "let s: &str = \"\\\"escaped\\\"\";",
+        "ident_0123",
+        "::",
+        "->",
+        "=>",
+        "#![forbid(unsafe_code)]",
+        "#[cfg(test)]",
+        "\n",
+        " ",
+        "\t",
+    ];
+    let mut out = String::new();
+    for _ in 0..fragments {
+        let idx = (rng.next_u64() % FRAGS.len() as u64) as usize;
+        out.push_str(FRAGS[idx]);
+        out.push(' ');
+    }
+    out
+}
+
+#[test]
+fn lexer_is_total_with_sane_spans_on_random_input() {
+    // Lexing any fragment soup must not panic, and every token must
+    // have an in-bounds, non-empty, strictly increasing span on a
+    // char boundary (so Token::text never panics either).
+    let mut rng = Xoshiro256pp::seed_from_u64(cgct_sim::check::root_seed());
+    for _ in 0..200 {
+        let n = (rng.next_u64() % 40) as usize + 1;
+        let src = random_source(&mut rng, n);
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            assert!(t.start < t.end, "empty span in {src:?}");
+            assert!(t.end <= src.len(), "span past EOF in {src:?}");
+            assert!(t.start >= prev_end, "overlapping tokens in {src:?}");
+            assert!(
+                src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+                "span splits a char in {src:?}"
+            );
+            assert!(t.line >= 1 && t.col >= 1);
+            let _ = t.text(&src);
+            prev_end = t.end;
+        }
+    }
+}
+
+#[test]
+fn lexer_is_deterministic() {
+    let mut rng = Xoshiro256pp::seed_from_u64(cgct_sim::check::root_seed() ^ 0xA5A5);
+    let src = random_source(&mut rng, 64);
+    let a = lex(&src);
+    let b = lex(&src);
+    assert_eq!(a, b);
+}
+
+/// Code identifiers extracted the way the rule engine sees them
+/// (comments and strings excluded).
+fn code_idents(src: &str) -> Vec<&str> {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text(src))
+        .collect()
+}
+
+#[test]
+fn nested_block_comments_hide_identifiers() {
+    let src = "a /* b /* c */ d */ e /* f";
+    assert_eq!(code_idents(src), vec!["a", "e"]);
+}
+
+#[test]
+fn raw_strings_hide_identifiers_and_respect_hashes() {
+    // The "# inside the r##...## body must not close the string.
+    let src = r####"before r##"HashMap "# still_inside"## after"####;
+    assert_eq!(code_idents(src), vec!["before", "after"]);
+}
+
+#[test]
+fn char_literals_vs_lifetimes() {
+    let src = "match x { 'a' => y, _ => z } fn f<'a>(v: &'a str) {} let c = '\\'';";
+    let kinds: Vec<TokKind> = lex(src)
+        .iter()
+        .filter(|t| matches!(t.kind, TokKind::Char | TokKind::Lifetime))
+        .map(|t| t.kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokKind::Char,     // 'a'
+            TokKind::Lifetime, // <'a>
+            TokKind::Lifetime, // &'a
+            TokKind::Char,     // '\''
+        ]
+    );
+}
+
+#[test]
+fn string_escapes_do_not_end_the_string_early() {
+    let src = r#"let s = "a\"b // not a comment"; next"#;
+    assert_eq!(code_idents(src), vec!["let", "s", "next"]);
+}
+
+#[test]
+fn float_literals_do_not_eat_method_calls_or_ranges() {
+    // `1.max(2)` is Num(1) . Ident(max); `1..3` is Num . . Num;
+    // `2.5` is a single Num.
+    assert_eq!(code_idents("1.max(2)"), vec!["max"]);
+    let nums = |s: &str| {
+        lex(s)
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text(s).to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(nums("1..3"), vec!["1", "3"]);
+    assert_eq!(nums("2.5f64 + 0x1F"), vec!["2.5f64", "0x1F"]);
+}
+
+#[test]
+fn shebang_only_counts_on_line_one() {
+    let src = "#!/usr/bin/env run\nfn f() {}";
+    let tokens = lex(src);
+    assert_eq!(tokens[0].kind, TokKind::Shebang);
+    assert!(tokens[1..].iter().all(|t| t.kind != TokKind::Shebang));
+}
+
+#[test]
+fn raw_identifiers_are_not_plain_idents() {
+    let src = "r#type r#match plain";
+    let tokens = lex(src);
+    let raw: Vec<&str> = tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::RawIdent)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(raw, vec!["r#type", "r#match"]);
+    assert_eq!(code_idents(src), vec!["plain"]);
+}
+
+#[test]
+fn columns_are_character_not_byte_based() {
+    // The multi-byte arrow in the comment must not skew the column of
+    // the following token's line.
+    let src = "// → multi-byte\nlet x = 1;";
+    let let_tok = lex(src)
+        .into_iter()
+        .find(|t| t.kind == TokKind::Ident)
+        .expect("has an ident");
+    assert_eq!((let_tok.line, let_tok.col), (2, 1));
+}

@@ -43,7 +43,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 pub const DEFAULT_ROOT_SEED: u64 = 0xC6C7_2005_15CA;
 
 /// The root seed for this process: `CGCT_TEST_SEED` or the default.
+#[allow(clippy::disallowed_methods)] // clippy mirror of the D004 allow below
 pub fn root_seed() -> u64 {
+    // cgct-lint: allow(D004) this is the one documented read of CGCT_TEST_SEED, the property-test seed override
     match std::env::var("CGCT_TEST_SEED") {
         Ok(v) => v
             .parse()
@@ -103,6 +105,7 @@ fn name_hash(name: &str) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // D002 mirror: test code is exempt by policy
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};

@@ -64,9 +64,13 @@ impl Hasher for Fnv1a {
 pub type BuildFnv1a = BuildHasherDefault<Fnv1a>;
 
 /// A `HashMap` with process-independent (FNV-1a) hashing.
+#[allow(clippy::disallowed_types)] // clippy mirror of the cgct-lint allow below
+                                   // cgct-lint: allow(D002) this alias IS the sanctioned deterministic wrapper the rule points everyone at
 pub type StableHashMap<K, V> = std::collections::HashMap<K, V, BuildFnv1a>;
 
 /// A `HashSet` with process-independent (FNV-1a) hashing.
+#[allow(clippy::disallowed_types)] // clippy mirror of the cgct-lint allow below
+                                   // cgct-lint: allow(D002) this alias IS the sanctioned deterministic wrapper the rule points everyone at
 pub type StableHashSet<T> = std::collections::HashSet<T, BuildFnv1a>;
 
 #[cfg(test)]

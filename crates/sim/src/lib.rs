@@ -35,5 +35,5 @@ pub use event::EventQueue;
 pub use json::{Json, ToJson};
 pub use rng::{SeedSequence, Xoshiro256pp};
 pub use snap::Snap;
-pub use stats::{ConfidenceInterval, Counter, Histogram, IntervalTracker, RunningStats};
+pub use stats::{ConfidenceInterval, Counter, Histogram, IntStats, IntervalTracker, RunningStats};
 pub use time::{Cycle, SystemCycle, CPU_CYCLES_PER_SYSTEM_CYCLE};

@@ -313,6 +313,7 @@ impl_uniform_int!(
 );
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // D002 mirror: test code is exempt by policy
 mod tests {
     use super::*;
     use std::collections::HashSet;

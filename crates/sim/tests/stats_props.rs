@@ -1,6 +1,9 @@
 //! Property tests for the statistics kernel: Welford accumulation against
 //! naive two-pass computation, and interval-tracker conservation laws.
 
+#![allow(clippy::disallowed_types)]
+// ^ D002 mirror (clippy.toml): test code is exempt by policy
+
 use cgct_sim::check::{check, gen_vec};
 use cgct_sim::{Cycle, IntervalTracker, RunningStats, SeedSequence};
 

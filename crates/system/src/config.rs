@@ -1,4 +1,5 @@
-//! Whole-system configuration (Table 3 defaults).
+//! Whole-system configuration (Table 3 defaults) and the host
+//! environment-variable seam ([`env_knobs`]).
 
 use cgct::RcaConfig;
 use cgct_cache::{Geometry, HierarchyConfig};
@@ -207,9 +208,95 @@ impl SystemConfig {
     }
 }
 
+/// A snapshot of every `CGCT_*` host-environment knob the system layer
+/// honors, read through this one policy-sanctioned seam (lint rule
+/// D004: `env::var` anywhere else in a pure crate is a finding).
+///
+/// The complete knob table for the workspace:
+///
+/// | variable                 | meaning                                            | default        | read at |
+/// |--------------------------|----------------------------------------------------|----------------|---------|
+/// | `CGCT_TRACE`             | request-lifetime tracing (`1` on)                  | off            | here    |
+/// | `CGCT_NO_SKIP`           | disable idle-cycle skipping (`1` disables)         | skipping on    | here    |
+/// | `CGCT_SANITIZE`          | per-request invariant sanitizer (`1` on)           | off            | here    |
+/// | `CGCT_SANITIZE_INTERVAL` | requests between full invariant walks (min 1)      | 65536          | here    |
+/// | `CGCT_CACHE`             | result cache (`0`/empty disables)                  | on             | here    |
+/// | `CGCT_CACHE_DIR`         | result-cache root directory                        | `.cgct-cache`  | here    |
+/// | `CGCT_JOBS`              | run-level worker-pool width                        | host cores     | [`cgct_sim::pool::jobs`] |
+/// | `CGCT_INTRA_JOBS`        | intra-run epoch-engine workers (unset = legacy)    | unset          | [`cgct_sim::pool::intra_jobs`] |
+/// | `CGCT_TEST_SEED`         | root seed for property tests                       | fixed          | `cgct_sim::check::root_seed` |
+///
+/// Every knob is a host-side execution-strategy or observability
+/// toggle: by construction (and verified by the A/B smokes in
+/// `scripts/ci.sh`) none of them may change simulated outcomes, only
+/// whether/how fast/with what instrumentation they are produced.
+///
+/// Values are read fresh on every call — the `experiments` binary
+/// rewrites some of these while handling its own flags, and callers
+/// must observe the update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvKnobs {
+    /// `CGCT_TRACE`: request-lifetime tracing is on.
+    pub trace: bool,
+    /// `CGCT_NO_SKIP`: idle-cycle skipping is disabled.
+    pub no_skip: bool,
+    /// `CGCT_SANITIZE`: the memory-system invariant sanitizer is on.
+    pub sanitize: bool,
+    /// `CGCT_SANITIZE_INTERVAL`: requests between full invariant walks.
+    pub sanitize_interval: u64,
+    /// `CGCT_CACHE` set to empty/`0`: the result cache is disabled.
+    pub cache_disabled: bool,
+    /// `CGCT_CACHE_DIR`: result-cache root (when set and non-empty).
+    pub cache_dir: Option<String>,
+}
+
+/// True when `name` is set to something other than empty or `0`.
+#[allow(clippy::disallowed_methods)] // clippy mirror of D004: this IS the seam
+fn env_flag(name: &str) -> bool {
+    matches!(
+        std::env::var(name).ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    )
+}
+
+/// Reads the current [`EnvKnobs`] snapshot. See the type-level table.
+#[allow(clippy::disallowed_methods)] // clippy mirror of D004: this IS the seam
+pub fn env_knobs() -> EnvKnobs {
+    EnvKnobs {
+        trace: env_flag("CGCT_TRACE"),
+        no_skip: env_flag("CGCT_NO_SKIP"),
+        sanitize: env_flag("CGCT_SANITIZE"),
+        sanitize_interval: std::env::var("CGCT_SANITIZE_INTERVAL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(65_536)
+            .max(1),
+        cache_disabled: matches!(
+            std::env::var("CGCT_CACHE").ok().as_deref(),
+            Some(v) if v.is_empty() || v == "0"
+        ),
+        cache_dir: std::env::var("CGCT_CACHE_DIR")
+            .ok()
+            .filter(|d| !d.is_empty()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    #[allow(clippy::disallowed_methods)] // probing the ambient env is the point
+    fn env_knobs_defaults() {
+        // The test harness never sets the sanitize-interval knob, so the
+        // documented defaults must come back. (Flag knobs are exercised
+        // by ci.sh's A/B smokes, which do set them.)
+        let k = env_knobs();
+        if std::env::var("CGCT_SANITIZE_INTERVAL").is_err() {
+            assert_eq!(k.sanitize_interval, 65_536);
+        }
+        assert!(k.sanitize_interval >= 1);
+    }
 
     #[test]
     fn paper_default_shape() {

@@ -16,7 +16,7 @@
 //! causes harmless extra invalidations (the standard full-map behaviour).
 
 use cgct_cache::LineAddr;
-use std::collections::HashMap;
+use cgct_sim::hash::StableHashMap;
 
 /// One line's directory state at its home controller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -81,7 +81,7 @@ pub enum DirRequest {
 /// The directory state for one memory controller's lines.
 #[derive(Debug, Clone, Default)]
 pub struct DirectoryController {
-    entries: HashMap<u64, DirEntry>,
+    entries: StableHashMap<u64, DirEntry>,
     /// Three-hop (owner-forwarded) transfers served.
     pub three_hop_transfers: u64,
     /// Invalidation messages sent.
@@ -247,7 +247,7 @@ impl cgct_sim::Snap for DirectoryController {
     }
     fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
         use cgct_sim::snap::{elements, field, unsnap_field};
-        let mut entries = HashMap::new();
+        let mut entries = StableHashMap::default();
         for pair in elements(field(v, "entries")?)? {
             let pair = elements(pair)?;
             if pair.len() != 2 {

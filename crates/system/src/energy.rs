@@ -12,44 +12,49 @@
 //! SRAM lookup; the RCA lookup is charged on every local request and
 //! every observed snoop). Absolute joules would require a technology
 //! model the paper does not provide.
+//!
+//! All weights and accumulated totals are exact integers in
+//! **milli-units** (one tag lookup = 1000), so energy accounting obeys
+//! the same determinism discipline as every other accumulator in the
+//! tree: order-independent, byte-stable, no floating-point drift.
 
 use crate::metrics::MemMetrics;
 
-/// Relative energy cost per event.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Relative energy cost per event, in milli-units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnergyModel {
     /// One cache tag-array lookup (charged at every snooped processor for
     /// every broadcast).
-    pub tag_lookup: f64,
+    pub tag_lookup_milli: u64,
     /// Driving one request across the broadcast address network.
-    pub bus_broadcast: f64,
+    pub bus_broadcast_milli: u64,
     /// One point-to-point direct request packet.
-    pub direct_request: f64,
+    pub direct_request_milli: u64,
     /// One critical-word data transfer over the data network.
-    pub data_transfer: f64,
+    pub data_transfer_milli: u64,
     /// One DRAM access (demand fill, write-back, or wasted speculation).
-    pub dram_access: f64,
+    pub dram_access_milli: u64,
     /// One RCA lookup (local request check or external snoop check) —
     /// the overhead CGCT adds.
-    pub rca_lookup: f64,
+    pub rca_lookup_milli: u64,
     /// One Jetty filter query (a few small SRAM arrays).
-    pub jetty_lookup: f64,
+    pub jetty_lookup_milli: u64,
 }
 
 impl EnergyModel {
     /// Default relative weights: tag lookup 1; broadcast 4 (long global
     /// wires); direct request 1 (point-to-point); data transfer 4;
     /// DRAM access 20; RCA lookup 0.5 (a small tag array, ~6% of the
-    /// cache per Table 2).
+    /// cache per Table 2); Jetty query 0.1.
     pub fn default_weights() -> Self {
         EnergyModel {
-            tag_lookup: 1.0,
-            bus_broadcast: 4.0,
-            direct_request: 1.0,
-            data_transfer: 4.0,
-            dram_access: 20.0,
-            rca_lookup: 0.5,
-            jetty_lookup: 0.1,
+            tag_lookup_milli: 1000,
+            bus_broadcast_milli: 4000,
+            direct_request_milli: 1000,
+            data_transfer_milli: 4000,
+            dram_access_milli: 20_000,
+            rca_lookup_milli: 500,
+            jetty_lookup_milli: 100,
         }
     }
 }
@@ -60,35 +65,36 @@ impl Default for EnergyModel {
     }
 }
 
-/// Energy attributed to each subsystem for one run, in relative units.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+/// Energy attributed to each subsystem for one run, in relative
+/// milli-units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EnergyBreakdown {
     /// Cache tag lookups induced by snooping other processors' requests.
-    pub snoop_tag_lookups: f64,
+    pub snoop_tag_lookups_milli: u64,
     /// Address-network broadcast energy.
-    pub bus: f64,
+    pub bus_milli: u64,
     /// Direct-request packet energy.
-    pub direct: f64,
+    pub direct_milli: u64,
     /// Data-network transfer energy.
-    pub data: f64,
+    pub data_milli: u64,
     /// DRAM access energy (fills + write-backs + wasted speculation).
-    pub dram: f64,
+    pub dram_milli: u64,
     /// RCA lookup overhead (zero for the baseline).
-    pub rca_overhead: f64,
+    pub rca_overhead_milli: u64,
     /// Jetty filter query overhead (zero without the filter).
-    pub jetty_overhead: f64,
+    pub jetty_overhead_milli: u64,
 }
 
 impl EnergyBreakdown {
-    /// Total energy across subsystems.
-    pub fn total(&self) -> f64 {
-        self.snoop_tag_lookups
-            + self.bus
-            + self.direct
-            + self.data
-            + self.dram
-            + self.rca_overhead
-            + self.jetty_overhead
+    /// Total energy across subsystems, in milli-units.
+    pub fn total_milli(&self) -> u64 {
+        self.snoop_tag_lookups_milli
+            + self.bus_milli
+            + self.direct_milli
+            + self.data_milli
+            + self.dram_milli
+            + self.rca_overhead_milli
+            + self.jetty_overhead_milli
     }
 }
 
@@ -106,7 +112,7 @@ impl EnergyBreakdown {
 ///
 /// let m = MemMetrics::new(100_000);
 /// let e = energy_of(&m, 3, false, &EnergyModel::default_weights());
-/// assert_eq!(e.total(), 0.0);
+/// assert_eq!(e.total_milli(), 0);
 /// ```
 pub fn energy_of(
     metrics: &MemMetrics,
@@ -114,40 +120,39 @@ pub fn energy_of(
     has_rca: bool,
     model: &EnergyModel,
 ) -> EnergyBreakdown {
-    let broadcasts = metrics.broadcasts as f64;
-    let direct = metrics.direct.total() as f64;
+    let broadcasts = metrics.broadcasts;
+    let direct = metrics.direct.total();
     // Prefer the exact per-snooper lookup counts (which reflect any Jetty
     // filtering); fall back to broadcasts x snoopers for hand-assembled
     // metrics.
     let tag_lookups = if metrics.snooped_tag_lookups + metrics.jetty_filtered_lookups > 0 {
-        metrics.snooped_tag_lookups as f64
+        metrics.snooped_tag_lookups
     } else {
-        broadcasts * snoopers as f64
+        broadcasts * snoopers as u64
     };
-    let jetty_queries = (metrics.snooped_tag_lookups + metrics.jetty_filtered_lookups) as f64;
+    let jetty_queries = metrics.snooped_tag_lookups + metrics.jetty_filtered_lookups;
     let jetty_active = metrics.jetty_filtered_lookups > 0;
-    let dram_accesses = (metrics.memory_fills
-        + metrics.requests.writeback
-        + metrics.dram_speculation_wasted) as f64;
-    let transfers = (metrics.memory_fills + metrics.cache_to_cache) as f64;
+    let dram_accesses =
+        metrics.memory_fills + metrics.requests.writeback + metrics.dram_speculation_wasted;
+    let transfers = metrics.memory_fills + metrics.cache_to_cache;
     let rca_lookups = if has_rca {
         // Every local coherence-point request checks the RCA, and every
         // observed broadcast snoops it at each other processor.
-        metrics.requests.total() as f64 + broadcasts * snoopers as f64
+        metrics.requests.total() + broadcasts * snoopers as u64
     } else {
-        0.0
+        0
     };
     EnergyBreakdown {
-        snoop_tag_lookups: tag_lookups * model.tag_lookup,
-        bus: broadcasts * model.bus_broadcast,
-        direct: direct * model.direct_request,
-        data: transfers * model.data_transfer,
-        dram: dram_accesses * model.dram_access,
-        rca_overhead: rca_lookups * model.rca_lookup,
-        jetty_overhead: if jetty_active {
-            jetty_queries * model.jetty_lookup
+        snoop_tag_lookups_milli: tag_lookups * model.tag_lookup_milli,
+        bus_milli: broadcasts * model.bus_broadcast_milli,
+        direct_milli: direct * model.direct_request_milli,
+        data_milli: transfers * model.data_transfer_milli,
+        dram_milli: dram_accesses * model.dram_access_milli,
+        rca_overhead_milli: rca_lookups * model.rca_lookup_milli,
+        jetty_overhead_milli: if jetty_active {
+            jetty_queries * model.jetty_lookup_milli
         } else {
-            0.0
+            0
         },
     }
 }
@@ -175,8 +180,8 @@ mod tests {
     fn baseline_charges_no_rca_overhead() {
         let m = metrics_with(100, 0, 80, 10, 20);
         let e = energy_of(&m, 3, false, &EnergyModel::default_weights());
-        assert_eq!(e.rca_overhead, 0.0);
-        assert!(e.snoop_tag_lookups > 0.0 && e.bus > 0.0 && e.dram > 0.0);
+        assert_eq!(e.rca_overhead_milli, 0);
+        assert!(e.snoop_tag_lookups_milli > 0 && e.bus_milli > 0 && e.dram_milli > 0);
     }
 
     #[test]
@@ -186,16 +191,19 @@ mod tests {
         // CGCT: 40 broadcasts became direct requests; same data movement.
         let cgct = energy_of(&metrics_with(60, 40, 80, 10, 20), 3, true, &w);
         assert!(
-            cgct.snoop_tag_lookups < baseline.snoop_tag_lookups,
+            cgct.snoop_tag_lookups_milli < baseline.snoop_tag_lookups_milli,
             "fewer snooped lookups"
         );
-        assert!(cgct.bus < baseline.bus);
-        assert!(cgct.rca_overhead > 0.0, "the RCA itself costs something");
+        assert!(cgct.bus_milli < baseline.bus_milli);
         assert!(
-            cgct.total() < baseline.total(),
-            "net win: {:.0} vs {:.0}",
-            cgct.total(),
-            baseline.total()
+            cgct.rca_overhead_milli > 0,
+            "the RCA itself costs something"
+        );
+        assert!(
+            cgct.total_milli() < baseline.total_milli(),
+            "net win: {} vs {}",
+            cgct.total_milli(),
+            baseline.total_milli()
         );
     }
 
@@ -211,8 +219,8 @@ mod tests {
         a.dram_speculation_wasted = 0;
         let ea = energy_of(&a, 3, false, &w);
         let eb = energy_of(&b, 3, false, &w);
-        assert!(eb.dram > ea.dram);
-        assert!((eb.dram - ea.dram - 5.0 * w.dram_access).abs() < 1e-9);
+        assert!(eb.dram_milli > ea.dram_milli);
+        assert_eq!(eb.dram_milli - ea.dram_milli, 5 * w.dram_access_milli);
     }
 
     #[test]
@@ -221,6 +229,20 @@ mod tests {
         let m = metrics_with(100, 0, 0, 0, 0);
         let four = energy_of(&m, 3, false, &w);
         let sixteen = energy_of(&m, 15, false, &w);
-        assert!((sixteen.snoop_tag_lookups / four.snoop_tag_lookups - 5.0).abs() < 1e-9);
+        assert_eq!(
+            sixteen.snoop_tag_lookups_milli,
+            5 * four.snoop_tag_lookups_milli
+        );
+    }
+
+    #[test]
+    fn integer_weights_match_paper_relative_costs() {
+        // The milli-unit weights are exactly 1000x the documented
+        // relative costs (1, 4, 1, 4, 20, 0.5, 0.1).
+        let w = EnergyModel::default_weights();
+        assert_eq!(w.tag_lookup_milli, 1000);
+        assert_eq!(w.dram_access_milli, 20 * w.tag_lookup_milli);
+        assert_eq!(w.rca_lookup_milli * 2, w.tag_lookup_milli);
+        assert_eq!(w.jetty_lookup_milli * 10, w.tag_lookup_milli);
     }
 }

@@ -38,9 +38,10 @@ use crate::memsys::{MemorySystem, Node};
 use cgct_cache::{Addr, Geometry};
 use cgct_cpu::{Core, MemAttempt, MemoryInterface, UopSource};
 use cgct_interconnect::{CoreId, MemEvent};
+use cgct_sim::hash::{StableHashMap, StableHashSet};
 use cgct_sim::pool::EpochGate;
 use cgct_sim::{Cycle, EventQueue};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
@@ -79,9 +80,9 @@ pub(crate) struct LpState {
     next_seq: u64,
     /// Keys currently deferred and not yet answered: a repeat attempt
     /// to the same key blocks without re-deferring.
-    outstanding: HashSet<(OpKind, u64)>,
+    outstanding: StableHashSet<(OpKind, u64)>,
     /// Barrier answers awaiting their retry, FIFO per key.
-    ready: HashMap<(OpKind, u64), VecDeque<Cycle>>,
+    ready: StableHashMap<(OpKind, u64), VecDeque<Cycle>>,
     /// This LP's completion-event sub-queue (the shard of the machine's
     /// central queue holding events its own requests scheduled).
     subq: EventQueue<MemEvent>,
@@ -208,6 +209,7 @@ fn advance_lp(slot: &mut LpSlot, e: Cycle, target: u64, cycle_skip: bool, geom: 
     while slot.now < e {
         if !cycle_skip || slot.wakeup <= slot.now {
             let mut port = LpPort {
+                // cgct-lint: allow(D006) LP node-lending discipline: between epochs the serial phase owns every node; absence is an engine bug, fail-stop
                 node: slot.node.as_mut().expect("node lent to the serial phase"),
                 st: &mut slot.st,
                 geom,
@@ -253,6 +255,7 @@ fn serial_phase(mem: &mut MemorySystem, guards: &mut [MutexGuard<'_, LpSlot>], e
         ops.sort_by_key(|&(lp, op)| (op.t, lp, op.seq));
         let nodes: Vec<Node> = guards
             .iter_mut()
+            // cgct-lint: allow(D006) LP node-lending discipline: between epochs the serial phase owns every node; absence is an engine bug, fail-stop
             .map(|g| g.node.take().expect("node already lent"))
             .collect();
         mem.put_nodes(nodes);
@@ -375,6 +378,7 @@ pub(crate) fn run_until_epochs(
         // Serial epoch engine (`--intra-serial`): same algorithm on the
         // calling thread, no worker threads, no barriers.
         let mut guards: Vec<MutexGuard<'_, LpSlot>> =
+            // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
             slots.iter().map(|s| s.lock().expect("lp slot")).collect();
         let mut t = start;
         loop {
@@ -403,6 +407,7 @@ pub(crate) fn run_until_epochs(
             for w in 1..workers {
                 let (gate_parallel, gate_serial) = (&gate_parallel, &gate_serial);
                 let (epoch_end, done) = (&epoch_end, &done);
+                // cgct-lint: allow(D003) the epoch engine's scoped workers ARE the intra-run determinism mechanism: barrier-synchronized, results merged in LP index order, byte-identical at any CGCT_INTRA_JOBS (ci.sh A/B smoke)
                 scope.spawn(move || loop {
                     // Wait for the coordinator to open the epoch.
                     gate_serial.wait();
@@ -411,6 +416,7 @@ pub(crate) fn run_until_epochs(
                     }
                     let e = Cycle(epoch_end.load(Ordering::Acquire));
                     for i in (w..slots_ref.len()).step_by(workers) {
+                        // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
                         let mut g = slots_ref[i].lock().expect("lp slot");
                         advance_lp(&mut g, e, committed_target, cycle_skip, geom);
                     }
@@ -422,6 +428,7 @@ pub(crate) fn run_until_epochs(
             loop {
                 let all_done = slots_ref
                     .iter()
+                    // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
                     .all(|s| s.lock().expect("lp slot").finished);
                 if all_done || t.0 >= max_cycles {
                     truncated = !all_done;
@@ -433,12 +440,14 @@ pub(crate) fn run_until_epochs(
                 epoch_end.store(e.0, Ordering::Release);
                 gate_serial.wait(); // open the epoch
                 for i in (0..slots_ref.len()).step_by(workers) {
+                    // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
                     let mut g = slots_ref[i].lock().expect("lp slot");
                     advance_lp(&mut g, e, committed_target, cycle_skip, geom);
                 }
                 gate_parallel.wait(); // all parallel phases complete
                 let mut guards: Vec<MutexGuard<'_, LpSlot>> = slots_ref
                     .iter()
+                    // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
                     .map(|s| s.lock().expect("lp slot"))
                     .collect();
                 serial_phase(mem, &mut guards, e);
@@ -452,11 +461,13 @@ pub(crate) fn run_until_epochs(
     let mut nodes = Vec::with_capacity(n);
     let mut states = Vec::with_capacity(n);
     for (i, slot) in slots.into_iter().enumerate() {
+        // cgct-lint: allow(D006) lock poisoning only follows a worker panic, which already aborted the run; propagating it is correct
         let mut s = slot.into_inner().expect("lp slot");
         m.wakeups[i] = s.wakeup;
         if s.finished {
             final_now = final_now.max(s.finish);
         }
+        // cgct-lint: allow(D006) LP node-lending discipline: between epochs the serial phase owns every node; absence is an engine bug, fail-stop
         nodes.push(s.node.take().expect("node returns with its LP"));
         m.mem.add_events_delivered(s.st.delivered);
         s.st.delivered = 0;

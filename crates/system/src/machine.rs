@@ -125,24 +125,16 @@ pub struct Machine {
     seed: u64,
 }
 
-/// Whether request-lifetime tracing is enabled for new machines: true
-/// when the `CGCT_TRACE` environment variable is set to something other
-/// than empty or `0`.
+/// Whether request-lifetime tracing is enabled for new machines
+/// (`CGCT_TRACE`, via the [`crate::config::env_knobs`] seam).
 fn trace_default() -> bool {
-    matches!(
-        std::env::var("CGCT_TRACE").ok().as_deref(),
-        Some(v) if !v.is_empty() && v != "0"
-    )
+    crate::config::env_knobs().trace
 }
 
-/// Whether cycle skipping is enabled for new machines: true unless the
-/// `CGCT_NO_SKIP` environment variable is set to something other than
-/// `0` or empty.
+/// Whether cycle skipping is enabled for new machines (true unless
+/// `CGCT_NO_SKIP` is set, via the [`crate::config::env_knobs`] seam).
 fn cycle_skip_default() -> bool {
-    !matches!(
-        std::env::var("CGCT_NO_SKIP").ok().as_deref(),
-        Some(v) if !v.is_empty() && v != "0"
-    )
+    !crate::config::env_knobs().no_skip
 }
 
 /// The epoch-engine worker count for new machines, from

@@ -3,7 +3,7 @@
 //! RCA behaviour (§3.2, §5.2).
 
 use cgct_cache::ReqKind;
-use cgct_sim::{Cycle, IntervalTracker, RunningStats};
+use cgct_sim::{Cycle, IntStats, IntervalTracker};
 
 /// Figure 2's request categories.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,8 +101,9 @@ pub struct MemMetrics {
     pub cache_to_cache: u64,
     /// Demand fills served from memory.
     pub memory_fills: u64,
-    /// Demand (non-prefetch) data request latency in CPU cycles.
-    pub demand_latency: RunningStats,
+    /// Demand (non-prefetch) data request latency, accumulated exactly
+    /// in milli-cycles.
+    pub demand_latency: IntStats,
     /// L2 demand accesses and misses (for miss-ratio impact, §3.2).
     pub l2_accesses: u64,
     /// L2 demand misses.
@@ -128,8 +129,9 @@ pub struct MemMetrics {
     pub owner_prediction_hits: u64,
     /// Owner-prediction probes that missed and fell back to a broadcast.
     pub owner_prediction_misses: u64,
-    /// Sampled mean lines per valid region (§5.2's 2.8–5 range).
-    pub lines_per_region_samples: RunningStats,
+    /// Sampled lines per valid region (§5.2's 2.8–5 range), accumulated
+    /// exactly in milli-lines.
+    pub lines_per_region_samples: IntStats,
 }
 
 impl MemMetrics {
@@ -144,7 +146,7 @@ impl MemMetrics {
             traffic: IntervalTracker::new(traffic_window),
             cache_to_cache: 0,
             memory_fills: 0,
-            demand_latency: RunningStats::new(),
+            demand_latency: IntStats::new(),
             l2_accesses: 0,
             l2_misses: 0,
             inclusion_flushes: 0,
@@ -156,7 +158,7 @@ impl MemMetrics {
             jetty_filtered_lookups: 0,
             owner_prediction_hits: 0,
             owner_prediction_misses: 0,
-            lines_per_region_samples: RunningStats::new(),
+            lines_per_region_samples: IntStats::new(),
         }
     }
 

@@ -278,39 +278,26 @@ fn validate_envelope(envelope: &Json, fp: u64) -> Result<&Json, String> {
 /// The process-global cache used by [`crate::runner`]'s cached path.
 static GLOBAL: OnceLock<Option<ResultCache>> = OnceLock::new();
 
-/// Whether a non-empty, non-`"0"` value is set for `name`.
-fn env_flag(name: &str) -> bool {
-    matches!(
-        std::env::var(name).ok().as_deref(),
-        Some(v) if !v.is_empty() && v != "0"
-    )
-}
-
-/// Installs the process-global result cache from the environment:
-/// rooted at `CGCT_CACHE_DIR` (default `.cgct-cache`). Returns whether
-/// a cache is active afterwards — `false` when `CGCT_CACHE=0`, when
-/// `CGCT_TRACE` / `CGCT_SANITIZE` / `CGCT_NO_SKIP` ask for a run that
-/// must actually execute, or when the binary cannot fingerprint
-/// itself. Idempotent; the first call decides.
+/// Installs the process-global result cache from the environment (via
+/// the [`crate::config::env_knobs`] seam): rooted at `CGCT_CACHE_DIR`
+/// (default `.cgct-cache`). Returns whether a cache is active
+/// afterwards — `false` when `CGCT_CACHE=0`, when `CGCT_TRACE` /
+/// `CGCT_SANITIZE` / `CGCT_NO_SKIP` ask for a run that must actually
+/// execute, or when the binary cannot fingerprint itself. Idempotent;
+/// the first call decides.
 pub fn install_from_env() -> bool {
     GLOBAL
         .get_or_init(|| {
-            let disabled = matches!(
-                std::env::var("CGCT_CACHE").ok().as_deref(),
-                Some(v) if v.is_empty() || v == "0"
-            );
-            if disabled
-                || env_flag("CGCT_TRACE")
-                || env_flag("CGCT_SANITIZE")
-                || env_flag("CGCT_NO_SKIP")
+            let knobs = crate::config::env_knobs();
+            if knobs.cache_disabled
+                || knobs.trace
+                || knobs.sanitize
+                || knobs.no_skip
                 || code_fingerprint().is_none()
             {
                 return None;
             }
-            let dir = std::env::var("CGCT_CACHE_DIR")
-                .ok()
-                .filter(|d| !d.is_empty())
-                .unwrap_or_else(|| ".cgct-cache".to_string());
+            let dir = knobs.cache_dir.unwrap_or_else(|| ".cgct-cache".to_string());
             Some(ResultCache::new(PathBuf::from(dir)))
         })
         .is_some()

@@ -11,7 +11,7 @@
 //! segment rather than double-counted time.
 
 use crate::{Category, EventKind, PathTag, ReqTag, TraceBuffer, TraceEvent, UNKEYED};
-use std::collections::HashMap;
+use cgct_sim::hash::StableHashMap;
 
 /// One labelled slice of a request's lifetime: `[start, end)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -177,7 +177,7 @@ pub fn assemble(buffer: &TraceBuffer) -> Assembly {
         dropped: buffer.dropped(),
         ..Assembly::default()
     };
-    let mut pending: HashMap<(u8, u64), Pending> = HashMap::new();
+    let mut pending: StableHashMap<(u8, u64), Pending> = StableHashMap::default();
     for ev in buffer.events() {
         let TraceEvent {
             node,

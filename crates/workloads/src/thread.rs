@@ -398,6 +398,7 @@ impl UopSource for WorkloadThread {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // D002 mirror: test code is exempt by policy
 mod tests {
     use super::*;
     use crate::spec::{PhaseSpec, StreamSpec};

@@ -2,6 +2,9 @@
 //! properties that calibrate Figure 2 must hold in the instruction
 //! streams themselves, independent of the simulator.
 
+#![allow(clippy::disallowed_types)]
+// ^ D002 mirror (clippy.toml): test code is exempt by policy
+
 use cgct_cpu::{UopKind, UopSource};
 use cgct_workloads::{all_benchmarks, by_name, AddressMap, Segment, WorkloadThread};
 use std::collections::HashSet;

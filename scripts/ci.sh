@@ -33,6 +33,35 @@ else
     echo "clippy not installed; skipping"
 fi
 
+echo "== cgct-lint (determinism & purity static analysis) =="
+# Self-test first: every rule must fire with its exact expected span on
+# seeded injected violations, or the gate below proves nothing.
+target/release/cgct-lint --self-test
+# The tree itself must be clean modulo the (shrink-only) baseline.
+target/release/cgct-lint --root . --format json --baseline lint_baseline.json
+# Injection smoke: a freshly planted violation in a pure crate must
+# fail the gate — the binary wired here actually bites.
+lint_dir="$(mktemp -d)"
+mkdir -p "$lint_dir/crates/sim/src"
+cat > "$lint_dir/crates/sim/src/bad.rs" <<'EOF'
+//! Injected fixture: must trip D001, D002, and D004.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad() -> Option<String> {
+    let _: HashMap<u8, u8> = HashMap::new();
+    let _ = Instant::now();
+    std::env::var("CGCT_INJECTED").ok()
+}
+EOF
+if target/release/cgct-lint --root "$lint_dir" > /dev/null; then
+    echo "cgct-lint failed to flag an injected violation"
+    rm -rf "$lint_dir"
+    exit 1
+fi
+rm -rf "$lint_dir"
+echo "cgct-lint clean; self-test and injection smoke passed"
+
 echo "== exhaustive model checker (3 nodes x 1 region x 2 lines) =="
 cargo run --release -p cgct-verify --offline --bin cgct-verify -- --nodes 3 --lines 2
 
