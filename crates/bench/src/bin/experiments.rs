@@ -485,7 +485,7 @@ fn run_cache_command(args: &Args) {
 
 /// Parses a coherence-mode label of the kind `CoherenceMode::label`
 /// prints (`baseline`, `cgct-512B`, `scaled-256B`, `regionscout-1024B`,
-/// `directory`).
+/// `directory`, `dir-cgct-512B`, `hier-512B`).
 fn parse_mode(label: &str) -> CoherenceMode {
     let size = |s: &str| s.strip_suffix('B').and_then(|n| n.parse::<u64>().ok());
     match label {
@@ -507,11 +507,24 @@ fn parse_mode(label: &str) -> CoherenceMode {
             if let Some(rb) = label.strip_prefix("regionscout-").and_then(size) {
                 return CoherenceMode::RegionScout { region_bytes: rb };
             }
+            if let Some(rb) = label.strip_prefix("dir-cgct-").and_then(size) {
+                return CoherenceMode::DirectoryCgct {
+                    region_bytes: rb,
+                    sets: 8192,
+                };
+            }
+            if let Some(rb) = label.strip_prefix("hier-").and_then(size) {
+                return CoherenceMode::Hierarchical {
+                    region_bytes: rb,
+                    sets: 8192,
+                };
+            }
         }
     }
     eprintln!(
         "error: unknown mode '{label}' \
-         (baseline | cgct-<N>B | scaled-<N>B | regionscout-<N>B | directory)"
+         (baseline | cgct-<N>B | scaled-<N>B | regionscout-<N>B | directory \
+         | dir-cgct-<N>B | hier-<N>B)"
     );
     std::process::exit(2);
 }
@@ -1028,6 +1041,10 @@ fn run_directory_comparison(
             sets: 8192,
         },
         CoherenceMode::Directory,
+        CoherenceMode::DirectoryCgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
     ];
     // One work item per (benchmark, mode) cell, benchmark-major; rows
     // fold from canonical-order chunks of three.
@@ -1071,6 +1088,14 @@ fn run_directory_comparison(
             ));
             cells.push(format!("{:.0}", r.metrics.demand_latency.mean()));
         }
+        // Region claims let the region-tracking directory skip the home
+        // lookup entirely; report how often.
+        let dc = &chunk[3];
+        let looked = dc.metrics.dir_lookups + dc.metrics.dir_bypasses;
+        cells.push(format!(
+            "{:.1}%",
+            100.0 * dc.metrics.dir_bypasses as f64 / looked.max(1) as f64
+        ));
         rows.push(cells);
     }
     println!(
@@ -1083,6 +1108,9 @@ fn run_directory_comparison(
                 "cgct latency",
                 "directory reduction",
                 "directory latency",
+                "dir-cgct reduction",
+                "dir-cgct latency",
+                "lookup bypass",
             ],
             &rows
         )
@@ -1267,33 +1295,53 @@ fn run_energy(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
 }
 
 /// Scalability (§5.3 extended): the paper argues lower broadcast rates
-/// improve scalability; here the same workloads run on a 16-core
-/// two-board machine where remote snoops are costlier and the single
-/// address network is shared by four times the processors.
+/// improve scalability; here three machine organisations (flat
+/// directory, directory+RCA lookup bypass, clustered hierarchy) are
+/// swept from 4 to 64 nodes on the same workloads to locate the
+/// crossover where snooping stops scaling.
 fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingLog) {
     use cgct_interconnect::Topology;
     use cgct_system::run_once_cached;
-    println!("## Scalability — 16-core, two-board machine\n");
+    println!("## Scalability — 4 to 64 nodes, directory and hierarchical machines\n");
+    // Broadcast snooping stops at the bus; past it the contenders are a
+    // flat full-map directory, the same directory with region-tracking
+    // lookup bypass (dir-cgct), and cluster-snooping with an
+    // inter-cluster region directory (hier). Sweep all three across the
+    // node counts the paper's §6 points toward.
     let modes = [
-        CoherenceMode::Baseline,
-        CoherenceMode::Cgct {
+        CoherenceMode::Directory,
+        CoherenceMode::DirectoryCgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        CoherenceMode::Hierarchical {
             region_bytes: 512,
             sets: 8192,
         },
     ];
+    let core_counts = [4usize, 8, 16, 32, 64];
     let benchmarks: Vec<BenchmarkSpec> = ["specjbb2000", "tpc-w", "barnes"]
         .iter()
         .map(|b| cgct_workloads::by_name(b).expect("benchmark"))
         .collect();
-    let (labels, items) = cross_product(&benchmarks, &modes);
+    let mut labels = Vec::new();
+    let mut items = Vec::new();
+    for &cores in &core_counts {
+        for spec in &benchmarks {
+            for &mode in &modes {
+                labels.push(format!("{cores}c/{}/{}", spec.name, mode.label()));
+                items.push((cores, spec.clone(), mode));
+            }
+        }
+    }
     let results: Vec<_> = run_pooled(
         jobs,
         "scalability",
         labels,
         items,
-        |_, (spec, mode)| {
+        |_, (cores, spec, mode)| {
             let mut cfg = SystemConfig::paper_default(mode);
-            cfg.topology = Topology::two_boards();
+            cfg.topology = Topology::for_cores(cores);
             run_once_cached(&cfg, &spec, plan.base_seed, &plan)
         },
         |(r, hit)| Some((r.runtime_cycles, r.mem_events, *hit)),
@@ -1303,29 +1351,57 @@ fn run_scalability(plan: RunPlan, args: &Args, jobs: usize, timing: &mut TimingL
     .map(|(r, _)| r)
     .collect();
     let mut rows = Vec::new();
-    for chunk in results.chunks(modes.len()) {
-        let (base, cgct) = (&chunk[0], &chunk[1]);
-        let reduction = 100.0 * (1.0 - cgct.runtime_cycles as f64 / base.runtime_cycles as f64);
-        rows.push(vec![
-            base.benchmark.clone(),
-            format!("{:.0}", base.metrics.avg_traffic()),
-            format!("{:.0}", cgct.metrics.avg_traffic()),
-            format!("{:.1}%", reduction),
-            format!("{:.1}%", cgct.metrics.avoided_fraction() * 100.0),
-        ]);
+    for (ci, &cores) in core_counts.iter().enumerate() {
+        for (bi, spec) in benchmarks.iter().enumerate() {
+            let at = |mi: usize| &results[(ci * benchmarks.len() + bi) * modes.len() + mi];
+            let (dir, dc, hier) = (at(0), at(1), at(2));
+            let looked = dc.metrics.dir_bypasses + dc.metrics.dir_lookups;
+            let (cl, cc) = (
+                hier.metrics.cluster_local_requests,
+                hier.metrics.cross_cluster_requests,
+            );
+            rows.push(vec![
+                cores.to_string(),
+                spec.name.to_string(),
+                dir.runtime_cycles.to_string(),
+                dc.runtime_cycles.to_string(),
+                format!(
+                    "{:.1}%",
+                    100.0 * (1.0 - dc.runtime_cycles as f64 / dir.runtime_cycles as f64)
+                ),
+                format!(
+                    "{:.1}%",
+                    100.0 * dc.metrics.dir_bypasses as f64 / looked.max(1) as f64
+                ),
+                dc.metrics.three_hop_transfers.to_string(),
+                hier.runtime_cycles.to_string(),
+                cl.to_string(),
+                cc.to_string(),
+                hier.metrics.cluster_snoops_filtered.to_string(),
+            ]);
+        }
     }
     println!(
         "{}",
         markdown_table(
             &[
+                "nodes",
                 "benchmark",
-                "base bcast/100K",
-                "cgct bcast/100K",
-                "runtime reduction",
-                "avoided"
+                "dir cycles",
+                "dir-cgct cycles",
+                "dir-cgct vs dir",
+                "lookup bypass",
+                "3-hop xfers",
+                "hier cycles",
+                "cluster-local",
+                "cross-cluster",
+                "hops saved",
             ],
             &rows
         )
+    );
+    println!(
+        "(Lookup bypass = home-directory DRAM lookups skipped via region\nclaims; hops saved = cross-cluster snoop deliveries the inter-cluster\nregion directory filtered out.)\n"
     );
     dump_json(&args.json_dir, "scalability", &rows);
 }

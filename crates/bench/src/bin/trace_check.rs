@@ -15,6 +15,11 @@
 //!    snoop-free) requests is below the mean of snooped
 //!    broadcast-memory requests. At least one such comparison must
 //!    exist, otherwise the check is vacuous and fails.
+//! 4. Directory-bypass ordering: in directory-mode runs, requests whose
+//!    region claim skipped the home's in-memory lookup
+//!    (`directory-bypassed`) must show a lower mean latency than
+//!    requests that paid the full lookup (`directory-memory`). Also
+//!    required to be non-vacuous.
 
 use cgct_sim::Json;
 
@@ -142,8 +147,55 @@ fn check_summary(dir: &str) {
     if compared == 0 {
         fail("no run had both direct and broadcast-memory cells to compare");
     }
+    // The same argument at the home directory: a bypassed request skips
+    // the serialized in-memory directory lookup, so its mean must beat
+    // the full-lookup path whenever a run exercised both.
+    let mut dir_compared = 0u64;
+    for run in runs {
+        let label = run.get("label").and_then(Json::as_str).unwrap_or("?");
+        let Some(paths) = run.get("paths").and_then(Json::as_array) else {
+            fail(&format!("{label}: no paths array"));
+        };
+        let cell = |category: &str, path: &str| -> Option<(u64, u64)> {
+            paths.iter().find_map(|p| {
+                if p.get("category").and_then(Json::as_str) == Some(category)
+                    && p.get("path").and_then(Json::as_str) == Some(path)
+                {
+                    Some((
+                        p.get("count").and_then(Json::as_u64)?,
+                        p.get("mean_milli").and_then(Json::as_u64)?,
+                    ))
+                } else {
+                    None
+                }
+            })
+        };
+        for category in ["data", "ifetch"] {
+            let (Some(bypassed), Some(lookup)) = (
+                cell(category, "directory-bypassed"),
+                cell(category, "directory-memory"),
+            ) else {
+                continue;
+            };
+            if bypassed.0 < MIN_COUNT || lookup.0 < MIN_COUNT {
+                continue;
+            }
+            if bypassed.1 >= lookup.1 {
+                fail(&format!(
+                    "{label}/{category}: directory-bypassed mean {}m >= \
+                     directory-memory mean {}m (lookup bypass saved nothing)",
+                    bypassed.1, lookup.1
+                ));
+            }
+            dir_compared += 1;
+        }
+    }
+    if dir_compared == 0 {
+        fail("no run had both directory-bypassed and directory-memory cells to compare");
+    }
     println!(
-        "trace_check: trace_summary.json ok ({} runs, {compared} Figure-6 comparisons)",
+        "trace_check: trace_summary.json ok ({} runs, {compared} Figure-6 + \
+         {dir_compared} directory-bypass comparisons)",
         runs.len()
     );
 }

@@ -117,6 +117,22 @@ impl LatencyModel {
         self.snoop.as_cpu_cycles() + self.transfer_cpu(dist)
     }
 
+    /// Snoop latency of the two-level hierarchical machine, in CPU
+    /// cycles. A cluster-local request arbitrates and snoops only its
+    /// own cluster bus (the flat snoop latency). A cluster-crossing
+    /// request additionally pays a remote request delivery to the other
+    /// clusters' buses and a remote response back — two
+    /// [`DistanceClass::Remote`] direct-request legs around the remote
+    /// snoop.
+    pub fn cluster_snoop(&self, crosses_clusters: bool) -> u64 {
+        let local = self.snoop.as_cpu_cycles();
+        if crosses_clusters {
+            local + 2 * self.direct_request(DistanceClass::Remote)
+        } else {
+            local
+        }
+    }
+
     /// Latency advantage of the direct path for memory at `dist`
     /// (positive = direct is faster).
     pub fn direct_advantage(&self, dist: DistanceClass) -> i64 {
@@ -210,6 +226,16 @@ mod tests {
         let m = LatencyModel::paper_default();
         assert_eq!(m.cache_to_cache(SameSwitch), 180);
         assert_eq!(m.cache_to_cache(Remote), 280);
+    }
+
+    #[test]
+    fn cluster_snoop_latencies() {
+        let m = LatencyModel::paper_default();
+        // Local = the flat 16-sc snoop; crossing adds two Remote
+        // request legs (6 sc each): 16 + 12 = 28 sc.
+        assert_eq!(m.cluster_snoop(false), 160);
+        assert_eq!(m.cluster_snoop(true), 160 + 2 * m.direct_request(Remote));
+        assert!(m.cluster_snoop(true) > m.cluster_snoop(false));
     }
 
     #[test]

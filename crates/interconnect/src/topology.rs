@@ -79,6 +79,58 @@ impl Topology {
         }
     }
 
+    /// The machine shape used by the 4→64-node scalability sweep:
+    /// chips and switches keep the paper's 2×2 arrangement and extra
+    /// cores become extra boards (= clusters in the hierarchical
+    /// machine). Supported shapes:
+    ///
+    /// | cores | chips/switch | switches/board | boards |
+    /// |-------|--------------|----------------|--------|
+    /// | 4     | 2            | 1              | 1      |
+    /// | 8     | 2            | 2              | 1      |
+    /// | 16+   | 2            | 2              | n/8    |
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cores` is not 4, 8, or a multiple of 16 — the sweep
+    /// only asks for powers of two and the mapping would otherwise be
+    /// ambiguous.
+    pub fn for_cores(cores: usize) -> Self {
+        match cores {
+            4 => Topology::paper_default(),
+            8 => Topology {
+                cores_per_chip: 2,
+                chips_per_switch: 2,
+                switches_per_board: 2,
+                boards: 1,
+            },
+            n if n >= 16 && n % 16 == 0 => Topology {
+                cores_per_chip: 2,
+                chips_per_switch: 2,
+                switches_per_board: 2,
+                boards: n / 8,
+            },
+            n => panic!("Topology::for_cores supports 4, 8, or multiples of 16 cores, not {n}"),
+        }
+    }
+
+    /// Number of clusters in the hierarchical machine. A cluster is a
+    /// board: boards are the outermost grouping, so cluster-crossing
+    /// traffic is exactly the [`DistanceClass::Remote`] traffic.
+    pub fn clusters(&self) -> usize {
+        self.boards
+    }
+
+    /// The cluster (board) containing `core`.
+    pub fn cluster_of(&self, core: CoreId) -> usize {
+        self.board_of_switch(self.switch_of_chip(self.chip_of(core)))
+    }
+
+    /// The cluster (board) containing memory controller `mc`.
+    pub fn cluster_of_mc(&self, mc: McId) -> usize {
+        self.board_of_switch(self.switch_of_chip(mc.0))
+    }
+
     /// Total number of cores.
     pub fn total_cores(&self) -> usize {
         self.cores_per_chip * self.total_chips()
@@ -212,6 +264,49 @@ mod tests {
         let mc = t.mc_of_region(region);
         for line in geom.lines_in_region(region) {
             assert_eq!(t.mc_of_line(line, geom), mc);
+        }
+    }
+
+    #[test]
+    fn for_cores_shapes() {
+        for (cores, boards) in [(4, 1), (8, 1), (16, 2), (32, 4), (64, 8)] {
+            let t = Topology::for_cores(cores);
+            assert_eq!(t.total_cores(), cores, "for_cores({cores})");
+            assert_eq!(t.boards, boards, "for_cores({cores}) boards");
+            // Region interleaving still covers every controller.
+            let mut seen = vec![false; t.total_chips()];
+            for r in 0..t.total_chips() as u64 {
+                seen[t.mc_of_region(RegionAddr(r)).0] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+        assert_eq!(Topology::for_cores(4), Topology::paper_default());
+    }
+
+    #[test]
+    #[should_panic(expected = "for_cores supports")]
+    fn for_cores_rejects_odd_counts() {
+        let _ = Topology::for_cores(12);
+    }
+
+    #[test]
+    fn clusters_are_boards() {
+        let t = Topology::two_boards();
+        assert_eq!(t.clusters(), 2);
+        // Cores 0..7 live on board 0, cores 8..15 on board 1.
+        for c in 0..8 {
+            assert_eq!(t.cluster_of(CoreId(c)), 0);
+            assert_eq!(t.cluster_of(CoreId(c + 8)), 1);
+        }
+        assert_eq!(t.cluster_of_mc(McId(0)), 0);
+        assert_eq!(t.cluster_of_mc(McId(4)), 1);
+        // Cross-cluster pairs are exactly the Remote pairs.
+        for a in 0..t.total_cores() {
+            for b in 0..t.total_cores() {
+                let cross = t.cluster_of(CoreId(a)) != t.cluster_of(CoreId(b));
+                let remote = t.core_distance(CoreId(a), CoreId(b)) == DistanceClass::Remote;
+                assert_eq!(cross, remote, "cores {a},{b}");
+            }
         }
     }
 

@@ -35,6 +35,30 @@ pub enum CoherenceMode {
     /// alternative system organization the paper compares against, with
     /// its three-hop cache-to-cache transfers.
     Directory,
+    /// The full-map directory augmented with per-node RCAs (§1.2 "much
+    /// of the benefit of a directory-based system"): region-granular
+    /// non-shared knowledge lets requests bypass the home-directory
+    /// lookup and go direct to memory, and a region-grain directory
+    /// cache at each memory controller short-circuits per-line DRAM
+    /// directory lookups for regions it knows are uncached elsewhere.
+    DirectoryCgct {
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// RCA sets (also sizes the per-controller region directory
+        /// cache).
+        sets: usize,
+    },
+    /// A two-level hierarchical machine: nodes snoop a cluster-local
+    /// bus, and an inter-cluster region-grain directory at the home
+    /// memory controller filters which *other* clusters a request must
+    /// visit (BedRock-style hierarchy). Clusters map to topology
+    /// boards.
+    Hierarchical {
+        /// Region size in bytes.
+        region_bytes: u64,
+        /// RCA sets per node.
+        sets: usize,
+    },
 }
 
 impl CoherenceMode {
@@ -45,8 +69,20 @@ impl CoherenceMode {
             CoherenceMode::Baseline | CoherenceMode::Directory => 64,
             CoherenceMode::Cgct { region_bytes, .. }
             | CoherenceMode::Scaled { region_bytes, .. }
-            | CoherenceMode::RegionScout { region_bytes } => region_bytes,
+            | CoherenceMode::RegionScout { region_bytes }
+            | CoherenceMode::DirectoryCgct { region_bytes, .. }
+            | CoherenceMode::Hierarchical { region_bytes, .. } => region_bytes,
         }
+    }
+
+    /// True for the modes whose line-grain bookkeeping lives in a
+    /// full-map [`crate::directory::DirectoryController`] (and therefore in a
+    /// `u64` sharer bit-vector).
+    pub fn uses_directory(&self) -> bool {
+        matches!(
+            self,
+            CoherenceMode::Directory | CoherenceMode::DirectoryCgct { .. }
+        )
     }
 
     /// Short label for reports.
@@ -65,6 +101,12 @@ impl CoherenceMode {
                 format!("regionscout-{region_bytes}B")
             }
             CoherenceMode::Directory => "directory".into(),
+            CoherenceMode::DirectoryCgct { region_bytes, .. } => {
+                format!("dir-cgct-{region_bytes}B")
+            }
+            CoherenceMode::Hierarchical { region_bytes, .. } => {
+                format!("hier-{region_bytes}B")
+            }
         }
     }
 }
@@ -186,6 +228,14 @@ impl SystemConfig {
                 region_bytes,
                 sets: 2048,
             },
+            CoherenceMode::DirectoryCgct { region_bytes, .. } => CoherenceMode::DirectoryCgct {
+                region_bytes,
+                sets: 2048,
+            },
+            CoherenceMode::Hierarchical { region_bytes, .. } => CoherenceMode::Hierarchical {
+                region_bytes,
+                sets: 2048,
+            },
             other => other,
         };
         let mut cfg = Self::paper_default(mode);
@@ -193,10 +243,14 @@ impl SystemConfig {
         cfg
     }
 
-    /// The RCA configuration for CGCT modes.
+    /// The RCA configuration for CGCT modes (including the
+    /// directory-backed and hierarchical machines, whose nodes carry
+    /// the same 7-state RCA).
     pub fn rca_config(&self) -> Option<RcaConfig> {
         match self.mode {
-            CoherenceMode::Cgct { region_bytes, sets } => Some(RcaConfig {
+            CoherenceMode::Cgct { region_bytes, sets }
+            | CoherenceMode::DirectoryCgct { region_bytes, sets }
+            | CoherenceMode::Hierarchical { region_bytes, sets } => Some(RcaConfig {
                 sets,
                 ways: 2,
                 geometry: Geometry::new(self.hierarchy.l2.line_bytes, region_bytes),
@@ -205,6 +259,32 @@ impl SystemConfig {
             }),
             _ => None,
         }
+    }
+
+    /// Checks the configuration for shapes the implementation cannot
+    /// represent. Called by `MemorySystem::new`, which panics with the
+    /// returned message; callers building configurations dynamically
+    /// (sweeps, CLIs) can check ahead of time and report cleanly.
+    ///
+    /// Today the one hard limit is the directory sharer vector:
+    /// `DirEntry::sharers` is a `u64` bit-vector, so any mode that
+    /// tracks per-node state in it (directory-backed modes, and the
+    /// hierarchical machine whose verification bridge reuses the same
+    /// node masks) supports at most 64 nodes.
+    pub fn validate(&self) -> Result<(), String> {
+        let cores = self.topology.total_cores();
+        let needs_node_mask =
+            self.mode.uses_directory() || matches!(self.mode, CoherenceMode::Hierarchical { .. });
+        if needs_node_mask && cores > 64 {
+            return Err(format!(
+                "mode '{}' tracks per-node state in a u64 bit-vector \
+                 (DirEntry::sharers) and supports at most 64 nodes, but the \
+                 topology has {cores} cores; shrink the topology or use a \
+                 snooping mode",
+                self.mode.label()
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -341,6 +421,58 @@ mod tests {
             CoherenceMode::RegionScout { region_bytes: 512 }.label(),
             "regionscout-512B"
         );
+    }
+
+    #[test]
+    fn scalable_mode_labels_and_rca() {
+        let dc = CoherenceMode::DirectoryCgct {
+            region_bytes: 512,
+            sets: 8192,
+        };
+        let hier = CoherenceMode::Hierarchical {
+            region_bytes: 512,
+            sets: 8192,
+        };
+        assert_eq!(dc.label(), "dir-cgct-512B");
+        assert_eq!(hier.label(), "hier-512B");
+        assert!(dc.uses_directory());
+        assert!(CoherenceMode::Directory.uses_directory());
+        assert!(!hier.uses_directory());
+        for mode in [dc, hier] {
+            let cfg = SystemConfig::paper_default(mode);
+            let rca = cfg.rca_config().expect("scalable modes carry RCAs");
+            assert_eq!(rca.geometry.region_bytes(), 512);
+            assert_eq!(cfg.geometry().region_bytes(), 512);
+        }
+    }
+
+    #[test]
+    fn validate_rejects_more_than_64_directory_nodes() {
+        use cgct_interconnect::Topology;
+        let mut cfg = SystemConfig::paper_default(CoherenceMode::Directory);
+        // 2 cores/chip x 2 chips/switch x 2 switches/board x 9 boards = 72.
+        cfg.topology = Topology {
+            cores_per_chip: 2,
+            chips_per_switch: 2,
+            switches_per_board: 2,
+            boards: 9,
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(
+            err.contains("72 cores"),
+            "message should name the count: {err}"
+        );
+        assert!(err.contains("64"), "message should name the limit: {err}");
+
+        // Exactly 64 nodes is representable.
+        cfg.topology.boards = 8;
+        assert_eq!(cfg.topology.total_cores(), 64);
+        assert!(cfg.validate().is_ok());
+
+        // Snooping modes have no sharer vector, so no limit applies.
+        cfg.topology.boards = 9;
+        cfg.mode = CoherenceMode::Baseline;
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! information may be stale after silent clean evictions, which only
 //! causes harmless extra invalidations (the standard full-map behaviour).
 
-use cgct_cache::LineAddr;
+use cgct_cache::{LineAddr, RegionAddr};
 use cgct_sim::hash::StableHashMap;
 
 /// One line's directory state at its home controller.
@@ -187,6 +187,35 @@ impl DirectoryController {
         }
     }
 
+    /// Node-presence mask over a set of lines: the union of owner and
+    /// sharer bits of every tracked entry among `lines`. This is the
+    /// value a region-grain directory cache summarizes — bit `n` set
+    /// means node `n` *may* hold some line of the region.
+    pub fn region_mask(&self, lines: impl Iterator<Item = LineAddr>) -> u64 {
+        let mut mask = 0u64;
+        for line in lines {
+            if let Some(e) = self.entries.get(&line.0) {
+                mask |= e.sharers;
+                if let Some(o) = e.owner {
+                    mask |= 1 << o;
+                }
+            }
+        }
+        mask
+    }
+
+    /// Installs `entry` verbatim (dropping it when empty). Bridge for
+    /// the model checker and tests, which reconstruct directory state
+    /// from an encoded global state; the simulator itself only mutates
+    /// entries through [`DirectoryController::handle`].
+    pub fn install_entry(&mut self, line: LineAddr, entry: DirEntry) {
+        if entry.is_cached() {
+            self.entries.insert(line.0, entry);
+        } else {
+            self.entries.remove(&line.0);
+        }
+    }
+
     /// Removes `cache` from `line`'s sharer set (explicit clean-eviction
     /// notification; our system evicts clean lines silently, so this is
     /// exercised only by tests and future protocols).
@@ -200,6 +229,258 @@ impl DirectoryController {
                 self.entries.remove(&line.0);
             }
         }
+    }
+}
+
+/// A region-grain cache of directory knowledge at a memory controller
+/// (the `DirectoryCgct` mode's home-side filter).
+///
+/// Each slot summarizes one region as a node-presence mask: the union
+/// of owner/sharer bits over the region's line entries. When the mask
+/// shows no node but the requester itself, the controller can skip the
+/// per-line DRAM directory lookup and start the data access
+/// immediately. The cache is maintained **exactly** (recomputed from
+/// the line entries after every directory update, see
+/// `MemorySystem`), so a hit is authoritative; a conflict eviction
+/// merely drops knowledge, forcing the conservative full lookup.
+#[derive(Debug, Clone)]
+pub struct RegionDirCache {
+    sets: usize,
+    slots: Vec<Option<(u64, u64)>>, // (region, node-presence mask)
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (slot empty or holding another region).
+    pub misses: u64,
+}
+
+impl RegionDirCache {
+    /// Creates an empty direct-mapped cache with `sets` slots.
+    pub fn new(sets: usize) -> Self {
+        let sets = sets.max(1);
+        RegionDirCache {
+            sets,
+            slots: vec![None; sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn slot_of(&self, region: RegionAddr) -> usize {
+        (region.0 as usize) % self.sets
+    }
+
+    /// The cached node-presence mask for `region`, if known.
+    pub fn lookup(&mut self, region: RegionAddr) -> Option<u64> {
+        match self.slots[self.slot_of(region)] {
+            Some((r, mask)) if r == region.0 => {
+                self.hits += 1;
+                Some(mask)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs or refreshes `region`'s mask (evicting any conflicting
+    /// region in the same slot).
+    pub fn update(&mut self, region: RegionAddr, mask: u64) {
+        let slot = self.slot_of(region);
+        self.slots[slot] = Some((region.0, mask));
+    }
+
+    /// The stored mask for `region` without touching hit/miss counters
+    /// (used by the sanitizer's exactness check).
+    pub fn peek(&self, region: RegionAddr) -> Option<u64> {
+        match self.slots[self.slot_of(region)] {
+            Some((r, mask)) if r == region.0 => Some(mask),
+            _ => None,
+        }
+    }
+
+    /// Every stored `(region, mask)` pair, in slot order (used by the
+    /// sanitizer's exactness check).
+    pub fn entries(&self) -> impl Iterator<Item = (RegionAddr, u64)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|s| s.map(|(r, mask)| (RegionAddr(r), mask)))
+    }
+}
+
+/// The inter-cluster region-grain directory of the `Hierarchical` mode.
+///
+/// Conceptually one per home memory controller; since regions are
+/// statically interleaved across controllers, a single region-indexed
+/// map is the union of all homes and byte-identical in behaviour. For
+/// each region it tracks how many L2 lines every cluster currently
+/// caches — maintained **exactly** from fill/evict/invalidate
+/// notifications — so a request need only visit clusters whose count is
+/// non-zero. Skipping a zero-count cluster is sound: a cluster with no
+/// cached line of the region can neither supply data nor need
+/// invalidation at the line grain (region-grain RCA notifications are
+/// still delivered machine-wide).
+#[derive(Debug, Clone)]
+pub struct ClusterDirectory {
+    clusters: usize,
+    counts: StableHashMap<u64, Vec<u32>>,
+}
+
+impl ClusterDirectory {
+    /// Creates an empty directory for `clusters` clusters.
+    pub fn new(clusters: usize) -> Self {
+        ClusterDirectory {
+            clusters: clusters.max(1),
+            counts: StableHashMap::default(),
+        }
+    }
+
+    /// Number of clusters tracked.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Records that a node in `cluster` filled a line of `region`.
+    pub fn line_cached(&mut self, region: RegionAddr, cluster: usize) {
+        self.counts
+            .entry(region.0)
+            .or_insert_with(|| vec![0; self.clusters])[cluster] += 1;
+    }
+
+    /// Records that a node in `cluster` dropped a line of `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stored count is already zero — that would mean the
+    /// exact bookkeeping was broken at the call site.
+    pub fn line_uncached(&mut self, region: RegionAddr, cluster: usize) {
+        let counts = self
+            .counts
+            .get_mut(&region.0)
+            .unwrap_or_else(|| panic!("line_uncached for untracked region {region}"));
+        assert!(
+            counts[cluster] > 0,
+            "cluster {cluster} count for {region} underflowed"
+        );
+        counts[cluster] -= 1;
+        if counts.iter().all(|&c| c == 0) {
+            self.counts.remove(&region.0);
+        }
+    }
+
+    /// Lines of `region` cached by `cluster`.
+    pub fn count(&self, region: RegionAddr, cluster: usize) -> u32 {
+        self.counts.get(&region.0).map_or(0, |c| c[cluster])
+    }
+
+    /// Bit mask of clusters caching at least one line of `region`.
+    pub fn present_mask(&self, region: RegionAddr) -> u64 {
+        self.counts.get(&region.0).map_or(0, |c| {
+            c.iter()
+                .enumerate()
+                .filter(|(_, &n)| n > 0)
+                .fold(0u64, |m, (i, _)| m | (1 << i))
+        })
+    }
+
+    /// Number of regions with at least one cached line.
+    pub fn tracked_regions(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl cgct_sim::Snap for RegionDirCache {
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        // Occupied slots only, ordered by slot index (deterministic by
+        // construction).
+        let slots: Vec<Json> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| {
+                s.map(|(r, m)| Json::Array(vec![Json::u64(i as u64), Json::u64(r), Json::u64(m)]))
+            })
+            .collect();
+        Json::obj([
+            ("sets", Json::u64(self.sets as u64)),
+            ("slots", Json::Array(slots)),
+            ("hits", Json::u64(self.hits)),
+            ("misses", Json::u64(self.misses)),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        let sets: u64 = unsnap_field(v, "sets")?;
+        let mut cache = RegionDirCache::new(sets as usize);
+        for slot in elements(field(v, "slots")?)? {
+            let parts = elements(slot)?;
+            if parts.len() != 3 {
+                return Err("region-dir-cache slot must be [index, region, mask]".to_string());
+            }
+            let idx = u64::unsnap(&parts[0])? as usize;
+            if idx >= cache.sets {
+                return Err(format!("region-dir-cache slot {idx} out of range"));
+            }
+            cache.slots[idx] = Some((u64::unsnap(&parts[1])?, u64::unsnap(&parts[2])?));
+        }
+        cache.hits = unsnap_field(v, "hits")?;
+        cache.misses = unsnap_field(v, "misses")?;
+        Ok(cache)
+    }
+}
+
+impl cgct_sim::Snap for ClusterDirectory {
+    /// Regions are serialized sorted so the snapshot is independent of
+    /// `HashMap` iteration order.
+    fn snap(&self) -> cgct_sim::Json {
+        use cgct_sim::Json;
+        let mut regions: Vec<(&u64, &Vec<u32>)> = self.counts.iter().collect();
+        regions.sort_by_key(|(k, _)| **k);
+        Json::obj([
+            ("clusters", Json::u64(self.clusters as u64)),
+            (
+                "counts",
+                Json::Array(
+                    regions
+                        .into_iter()
+                        .map(|(r, c)| {
+                            let mut row = vec![Json::u64(*r)];
+                            row.extend(c.iter().map(|&n| Json::u64(n as u64)));
+                            Json::Array(row)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+    fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
+        use cgct_sim::snap::{elements, field, unsnap_field};
+        let clusters: u64 = unsnap_field(v, "clusters")?;
+        let mut dir = ClusterDirectory::new(clusters as usize);
+        for row in elements(field(v, "counts")?)? {
+            let parts = elements(row)?;
+            if parts.len() != dir.clusters + 1 {
+                return Err("cluster-directory row must be [region, count × clusters]".to_string());
+            }
+            let region = u64::unsnap(&parts[0])?;
+            let counts: Result<Vec<u32>, String> = parts[1..]
+                .iter()
+                .map(|p| u64::unsnap(p).map(|n| n as u32))
+                .collect();
+            let counts = counts?;
+            if counts.iter().all(|&c| c == 0) {
+                return Err(format!(
+                    "cluster-directory row for region {region} is empty"
+                ));
+            }
+            if dir.counts.insert(region, counts).is_some() {
+                return Err(format!(
+                    "duplicate cluster-directory row for region {region}"
+                ));
+            }
+        }
+        Ok(dir)
     }
 }
 
@@ -369,6 +650,102 @@ mod tests {
         d.drop_sharer(L, 1);
         d.drop_sharer(L, 0);
         assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn region_mask_unions_owner_and_sharers() {
+        let mut d = DirectoryController::new();
+        d.handle(LineAddr(8), 0, DirRequest::Read); // 0 owns line 8
+        d.handle(LineAddr(9), 1, DirRequest::Read); // 1 owns line 9
+        d.handle(LineAddr(9), 2, DirRequest::Read); // forwarded; 1 -> O, 2 shares
+        let mask = d.region_mask((8..16).map(LineAddr));
+        assert_eq!(mask, 0b111);
+        assert_eq!(d.region_mask((16..24).map(LineAddr)), 0);
+    }
+
+    #[test]
+    fn install_entry_round_trips_and_collects_empties() {
+        let mut d = DirectoryController::new();
+        d.install_entry(
+            L,
+            DirEntry {
+                owner: Some(3),
+                sharers: 0b1010,
+            },
+        );
+        assert_eq!(d.entry(L).owner, Some(3));
+        d.install_entry(L, DirEntry::default());
+        assert_eq!(d.tracked_lines(), 0);
+    }
+
+    #[test]
+    fn region_dir_cache_hits_misses_and_conflicts() {
+        let mut c = RegionDirCache::new(4);
+        assert_eq!(c.lookup(RegionAddr(3)), None);
+        c.update(RegionAddr(3), 0b01);
+        assert_eq!(c.lookup(RegionAddr(3)), Some(0b01));
+        assert_eq!(c.peek(RegionAddr(3)), Some(0b01));
+        // Region 7 maps to the same slot (7 % 4 == 3): conflict evicts.
+        c.update(RegionAddr(7), 0b10);
+        assert_eq!(c.lookup(RegionAddr(3)), None);
+        assert_eq!(c.lookup(RegionAddr(7)), Some(0b10));
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn region_dir_cache_snapshot_round_trip() {
+        use cgct_sim::Snap;
+        let mut c = RegionDirCache::new(8);
+        c.update(RegionAddr(1), 0b11);
+        c.update(RegionAddr(6), 0);
+        let _ = c.lookup(RegionAddr(1));
+        let json = c.snap();
+        let back = RegionDirCache::unsnap(&json).unwrap();
+        assert_eq!(back.peek(RegionAddr(1)), Some(0b11));
+        assert_eq!(back.peek(RegionAddr(6)), Some(0));
+        assert_eq!(back.hits, 1);
+        assert_eq!(json.dump(), back.snap().dump());
+    }
+
+    #[test]
+    fn cluster_directory_counts_and_mask() {
+        let r = RegionAddr(5);
+        let mut d = ClusterDirectory::new(4);
+        d.line_cached(r, 0);
+        d.line_cached(r, 0);
+        d.line_cached(r, 2);
+        assert_eq!(d.count(r, 0), 2);
+        assert_eq!(d.count(r, 1), 0);
+        assert_eq!(d.present_mask(r), 0b101);
+        d.line_uncached(r, 0);
+        d.line_uncached(r, 0);
+        assert_eq!(d.present_mask(r), 0b100);
+        d.line_uncached(r, 2);
+        assert_eq!(d.tracked_regions(), 0, "empty rows are collected");
+        assert_eq!(d.present_mask(r), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn cluster_directory_underflow_panics() {
+        let mut d = ClusterDirectory::new(2);
+        d.line_cached(RegionAddr(1), 0);
+        d.line_uncached(RegionAddr(1), 1);
+    }
+
+    #[test]
+    fn cluster_directory_snapshot_round_trip() {
+        use cgct_sim::Snap;
+        let mut d = ClusterDirectory::new(3);
+        d.line_cached(RegionAddr(9), 1);
+        d.line_cached(RegionAddr(2), 0);
+        d.line_cached(RegionAddr(2), 2);
+        let json = d.snap();
+        let back = ClusterDirectory::unsnap(&json).unwrap();
+        assert_eq!(back.count(RegionAddr(9), 1), 1);
+        assert_eq!(back.present_mask(RegionAddr(2)), 0b101);
+        assert_eq!(json.dump(), back.snap().dump());
     }
 
     #[test]

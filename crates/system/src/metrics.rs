@@ -132,6 +132,25 @@ pub struct MemMetrics {
     /// Sampled lines per valid region (§5.2's 2.8–5 range), accumulated
     /// exactly in milli-lines.
     pub lines_per_region_samples: IntStats,
+    /// Directory modes: full home-directory DRAM lookups performed.
+    pub dir_lookups: u64,
+    /// Directory modes: home-directory lookups skipped because the
+    /// requester's RCA or the home's region-grain directory cache
+    /// proved the region non-shared.
+    pub dir_bypasses: u64,
+    /// Directory modes: owner-forwarded (three-hop) transfers.
+    pub three_hop_transfers: u64,
+    /// Hierarchical mode: broadcast-class requests resolved without
+    /// leaving the requester's cluster.
+    pub cluster_local_requests: u64,
+    /// Hierarchical mode: broadcast-class requests that visited at
+    /// least one other cluster.
+    pub cross_cluster_requests: u64,
+    /// Hierarchical mode: cross-cluster snoop deliveries avoided by the
+    /// inter-cluster region directory (one per cluster skipped per
+    /// request) — the "interconnect hops saved" of the scalability
+    /// figure.
+    pub cluster_snoops_filtered: u64,
 }
 
 impl MemMetrics {
@@ -159,6 +178,23 @@ impl MemMetrics {
             owner_prediction_hits: 0,
             owner_prediction_misses: 0,
             lines_per_region_samples: IntStats::new(),
+            dir_lookups: 0,
+            dir_bypasses: 0,
+            three_hop_transfers: 0,
+            cluster_local_requests: 0,
+            cross_cluster_requests: 0,
+            cluster_snoops_filtered: 0,
+        }
+    }
+
+    /// Fraction of home-directory consultations resolved without a DRAM
+    /// directory lookup (the scalability figure's "bypass rate").
+    pub fn dir_bypass_fraction(&self) -> f64 {
+        let total = self.dir_lookups + self.dir_bypasses;
+        if total == 0 {
+            0.0
+        } else {
+            self.dir_bypasses as f64 / total as f64
         }
     }
 
@@ -271,6 +307,21 @@ impl cgct_sim::Snap for MemMetrics {
                 "lines_per_region_samples",
                 self.lines_per_region_samples.snap(),
             ),
+            ("dir_lookups", Json::u64(self.dir_lookups)),
+            ("dir_bypasses", Json::u64(self.dir_bypasses)),
+            ("three_hop_transfers", Json::u64(self.three_hop_transfers)),
+            (
+                "cluster_local_requests",
+                Json::u64(self.cluster_local_requests),
+            ),
+            (
+                "cross_cluster_requests",
+                Json::u64(self.cross_cluster_requests),
+            ),
+            (
+                "cluster_snoops_filtered",
+                Json::u64(self.cluster_snoops_filtered),
+            ),
         ])
     }
     fn unsnap(v: &cgct_sim::Json) -> Result<Self, String> {
@@ -297,6 +348,12 @@ impl cgct_sim::Snap for MemMetrics {
             owner_prediction_hits: unsnap_field(v, "owner_prediction_hits")?,
             owner_prediction_misses: unsnap_field(v, "owner_prediction_misses")?,
             lines_per_region_samples: unsnap_field(v, "lines_per_region_samples")?,
+            dir_lookups: unsnap_field(v, "dir_lookups")?,
+            dir_bypasses: unsnap_field(v, "dir_bypasses")?,
+            three_hop_transfers: unsnap_field(v, "three_hop_transfers")?,
+            cluster_local_requests: unsnap_field(v, "cluster_local_requests")?,
+            cross_cluster_requests: unsnap_field(v, "cross_cluster_requests")?,
+            cluster_snoops_filtered: unsnap_field(v, "cluster_snoops_filtered")?,
         })
     }
 }

@@ -71,6 +71,64 @@ fn epoch_engine_is_byte_identical_at_any_worker_count() {
     }
 }
 
+/// The scale-out machines route requests through home directories and
+/// cluster buses instead of the single snoop bus; the epoch engine
+/// must stay byte-identical across its worker counts for them too.
+/// The hierarchical machine runs on a 16-core, two-cluster topology so
+/// cross-cluster traffic actually happens.
+#[test]
+fn directory_and_hierarchical_modes_are_byte_identical_across_workers() {
+    use cgct_interconnect::Topology;
+    let cases = [
+        (
+            CoherenceMode::DirectoryCgct {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            4usize,
+        ),
+        (
+            CoherenceMode::Hierarchical {
+                region_bytes: 512,
+                sets: 8192,
+            },
+            16,
+        ),
+    ];
+    let bench = all_benchmarks()[0].name;
+    for (mode, cores) in cases {
+        let label = format!("{}/{}c", mode.label(), cores);
+        let mut cfg = SystemConfig::paper_default(mode);
+        cfg.topology = Topology::for_cores(cores);
+        let spec = all_benchmarks()[0].clone();
+        let run = |workers: usize| {
+            let mut m = Machine::new(cfg.clone(), &spec, 7);
+            m.set_intra(Some(workers));
+            let r = m.run_warmed(500, 1500, 4_000_000);
+            (r, m)
+        };
+        let (serial, m) = run(1);
+        assert!(!serial.truncated, "{label}: truncated");
+        assert!(serial.mem_events > 0, "{label}: no events delivered");
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        for workers in [2usize, 4] {
+            let (parallel, m) = run(workers);
+            assert_eq!(
+                serial.mem_events, parallel.mem_events,
+                "{label}: delivered-event counts diverged at {workers} workers"
+            );
+            assert_eq!(
+                fingerprint(&serial),
+                fingerprint(&parallel),
+                "{label}: results diverged at {workers} workers ({bench})"
+            );
+            m.check_invariants()
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}
+
 /// Asking for more workers than there are nodes must degrade gracefully
 /// to one LP per worker, still byte-identical.
 #[test]

@@ -62,6 +62,31 @@ fn worker_count_never_changes_results() {
 }
 
 #[test]
+fn worker_count_never_changes_results_for_directory_modes() {
+    // The directory and hierarchical machines route work through the
+    // home controllers and cluster buses; their results must be just as
+    // independent of worker count as the bus modes'.
+    let plan = tiny_plan();
+    let modes = vec![
+        CoherenceMode::Directory,
+        CoherenceMode::DirectoryCgct {
+            region_bytes: 512,
+            sets: 8192,
+        },
+        CoherenceMode::Hierarchical {
+            region_bytes: 512,
+            sets: 8192,
+        },
+    ];
+    let serial = Suite::run_configured(plan, &modes, |c| c, 1, |_| {});
+    let four = Suite::run_configured(plan, &modes, |c| c, 4, |_| {});
+
+    let want = fingerprint(&serial);
+    assert!(!want.is_empty());
+    assert_eq!(fingerprint(&four), want, "4 workers diverged from serial");
+}
+
+#[test]
 fn timing_labels_stay_in_canonical_order() {
     // Whatever order items *complete* in, the timing rows come back in
     // build order: benchmark-major, then mode, then seed.

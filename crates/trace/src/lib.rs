@@ -152,11 +152,28 @@ pub enum PathTag {
     DirectoryMemory,
     /// Directory protocol; data forwarded by the owning cache (3-hop).
     DirectoryForwarded,
+    /// Directory protocol; no data moved to the requester (upgrades,
+    /// invalidate-only requests, directory write-backs). Kept apart
+    /// from [`PathTag::DirectoryMemory`] so bypassed-vs-full-lookup
+    /// latency comparisons see matched data-fill populations.
+    DirectoryControl,
+    /// Directory protocol; the home-directory lookup was skipped —
+    /// either the requester's RCA proved the region non-shared (direct
+    /// to memory, no lookup serialization) or the home's region-grain
+    /// directory cache proved it uncached elsewhere.
+    DirectoryBypassed,
+    /// Hierarchical machine; the request was satisfied without leaving
+    /// the requester's cluster (the inter-cluster region directory
+    /// filtered out every other cluster).
+    ClusterLocal,
+    /// Hierarchical machine; the request had to visit at least one
+    /// other cluster.
+    ClusterRemote,
 }
 
 impl PathTag {
     /// All paths, in reporting order.
-    pub const ALL: [PathTag; 8] = [
+    pub const ALL: [PathTag; 12] = [
         PathTag::Local,
         PathTag::Direct,
         PathTag::OwnerPredicted,
@@ -165,6 +182,10 @@ impl PathTag {
         PathTag::BroadcastControl,
         PathTag::DirectoryMemory,
         PathTag::DirectoryForwarded,
+        PathTag::DirectoryControl,
+        PathTag::DirectoryBypassed,
+        PathTag::ClusterLocal,
+        PathTag::ClusterRemote,
     ];
 
     /// Stable lower-case name for reports.
@@ -178,6 +199,10 @@ impl PathTag {
             PathTag::BroadcastControl => "broadcast-control",
             PathTag::DirectoryMemory => "directory-memory",
             PathTag::DirectoryForwarded => "directory-forwarded",
+            PathTag::DirectoryControl => "directory-control",
+            PathTag::DirectoryBypassed => "directory-bypassed",
+            PathTag::ClusterLocal => "cluster-local",
+            PathTag::ClusterRemote => "cluster-remote",
         }
     }
 }

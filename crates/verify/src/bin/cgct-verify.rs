@@ -6,11 +6,12 @@
 //! on a violation (or on bad arguments).
 //!
 //! ```text
-//! cgct-verify [--nodes N] [--lines L] [--mutate FAULT] [--no-self-invalidation]
+//! cgct-verify [--nodes N] [--lines L] [--protocol P] [--clusters C]
+//!             [--mutate FAULT] [--no-self-invalidation]
 //! ```
 
 use cgct_verify::checker::explore;
-use cgct_verify::model::{GlobalState, ModelConfig, Mutation};
+use cgct_verify::model::{GlobalState, ModelConfig, Mutation, Protocol};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: cgct-verify [options]
@@ -21,9 +22,15 @@ checks the coherence invariants at every state.
 options:
   --nodes N                processor nodes, 2-4 (default 3)
   --lines L                lines per region, 1/2/4/8 (default 2)
+  --protocol P             coherence machine: snoop (flat bus, default),
+                           dir-cgct (full-map home directory + RCAs),
+                           hierarchical (cluster buses + region filter)
+  --clusters C             clusters for --protocol hierarchical (default 1)
   --mutate FAULT           inject a protocol fault; FAULT is one of
                            keep-stale-sharers, skip-external-downgrade,
-                           leak-line-count, overclaim-exclusive, none
+                           leak-line-count, overclaim-exclusive,
+                           stale-region-dir-cache (dir-cgct),
+                           skip-cluster-invalidation (hierarchical), none
   --no-self-invalidation   disable region self-invalidation (ablation)
   -h, --help               print this help
 ";
@@ -41,6 +48,15 @@ fn parse(mut args: std::env::Args) -> Result<ModelConfig, String> {
                 let v = args.next().ok_or("--lines needs a value")?;
                 cfg.lines = v.parse().map_err(|_| format!("bad --lines {v:?}"))?;
             }
+            "--protocol" => {
+                let v = args.next().ok_or("--protocol needs a value")?;
+                cfg.protocol =
+                    Protocol::from_name(&v).ok_or_else(|| format!("unknown protocol {v:?}"))?;
+            }
+            "--clusters" => {
+                let v = args.next().ok_or("--clusters needs a value")?;
+                cfg.clusters = v.parse().map_err(|_| format!("bad --clusters {v:?}"))?;
+            }
             "--mutate" => {
                 let v = args.next().ok_or("--mutate needs a value")?;
                 cfg.mutation =
@@ -56,6 +72,34 @@ fn parse(mut args: std::env::Args) -> Result<ModelConfig, String> {
     }
     if !(cfg.lines.is_power_of_two() && (1..=8).contains(&cfg.lines)) {
         return Err(format!("--lines must be 1/2/4/8, got {}", cfg.lines));
+    }
+    if cfg.protocol == Protocol::Hierarchical {
+        // A cluster per node degenerates to pairwise point-to-point; more
+        // clusters than nodes is meaningless.
+        if !(1..=cfg.nodes).contains(&cfg.clusters) {
+            return Err(format!(
+                "--clusters must be 1-{} for {} nodes, got {}",
+                cfg.nodes, cfg.nodes, cfg.clusters
+            ));
+        }
+    } else if cfg.clusters != 1 {
+        return Err(format!(
+            "--clusters {} requires --protocol hierarchical",
+            cfg.clusters
+        ));
+    }
+    match cfg.mutation {
+        Mutation::StaleRegionDirCache if cfg.protocol != Protocol::DirectoryCgct => {
+            return Err("stale-region-dir-cache requires --protocol dir-cgct".into());
+        }
+        Mutation::SkipClusterInvalidation
+            if cfg.protocol != Protocol::Hierarchical || cfg.clusters < 2 =>
+        {
+            return Err(
+                "skip-cluster-invalidation requires --protocol hierarchical --clusters >= 2".into(),
+            );
+        }
+        _ => {}
     }
     Ok(cfg)
 }
@@ -74,8 +118,15 @@ fn main() -> ExitCode {
         }
     };
 
+    let clusters = if cfg.protocol == Protocol::Hierarchical {
+        format!(" x {} cluster(s)", cfg.clusters)
+    } else {
+        String::new()
+    };
     println!(
-        "cgct-verify: {} nodes x 1 region x {} line(s), self-invalidation {}, mutation {}",
+        "cgct-verify: {} {} nodes{clusters} x 1 region x {} line(s), \
+         self-invalidation {}, mutation {}",
+        cfg.protocol.name(),
         cfg.nodes,
         cfg.lines,
         if cfg.self_invalidation { "on" } else { "off" },

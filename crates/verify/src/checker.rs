@@ -172,6 +172,7 @@ mod tests {
             lines: 1,
             self_invalidation: true,
             mutation: Mutation::None,
+            ..ModelConfig::default_3x2()
         };
         let r = explore(&cfg);
         assert!(r.clean(), "{}", r.violation.unwrap().message);
@@ -186,6 +187,7 @@ mod tests {
             lines: 1,
             self_invalidation: true,
             mutation: Mutation::None,
+            ..ModelConfig::default_3x2()
         };
         let a = explore(&cfg);
         let b = explore(&cfg);
@@ -200,6 +202,7 @@ mod tests {
             lines: 1,
             self_invalidation: true,
             mutation: Mutation::KeepStaleSharers,
+            ..ModelConfig::default_3x2()
         };
         let r = explore(&cfg);
         let v = r.violation.expect("fault must be caught");

@@ -31,6 +31,7 @@ pub fn check(state: &GlobalState) -> Result<(), String> {
     inclusion_and_counts(state)?;
     snoop_response_consistency(state)?;
     permission_oracle_soundness(state)?;
+    directory_integrity(state)?;
     Ok(())
 }
 
@@ -225,10 +226,66 @@ pub fn permission_oracle_soundness(state: &GlobalState) -> Result<(), String> {
     Ok(())
 }
 
+/// I6 — Home-directory integrity (directory machine only; §1.2 and the
+/// full-map invariant the lookup bypass rests on). (a) Conservatism:
+/// every valid cached copy of a line is listed at the home, as owner or
+/// sharer — the dual of I2, at line grain. Stale *extra* bits from
+/// silent clean evictions are allowed (they cost only harmless
+/// invalidations); missing bits would let the directory skip a cache
+/// that holds data. (b) Ownership: an M/O/E holder must be the recorded
+/// owner. (c) Region-cache exactness: the region-grain directory cache,
+/// once installed, must equal the union of the per-line entries it
+/// summarizes — the bypass decision reads this mask, so any drift is a
+/// safety hole, not a performance bug.
+pub fn directory_integrity(state: &GlobalState) -> Result<(), String> {
+    let Some(home) = &state.home else {
+        return Ok(());
+    };
+    for (line, entry) in home.lines.iter().enumerate() {
+        for (n, node) in state.nodes.iter().enumerate() {
+            let s = node.lines[line];
+            if !s.is_valid() {
+                continue;
+            }
+            let listed = entry.owner == Some(n as u8) || entry.sharers & (1u8 << n) != 0;
+            if !listed {
+                return Err(format!(
+                    "I6: node {n} holds line {line} in {s} but the home entry \
+                     (owner {:?}, sharers {:#b}) does not list it",
+                    entry.owner, entry.sharers
+                ));
+            }
+            if (s.can_silently_modify() || s.is_dirty()) && entry.owner != Some(n as u8) {
+                return Err(format!(
+                    "I6: node {n} holds line {line} in {s} but the home \
+                     records owner {:?}",
+                    entry.owner
+                ));
+            }
+        }
+    }
+    if let Some(mask) = home.cache_mask {
+        let mut union: u8 = 0;
+        for entry in &home.lines {
+            union |= entry.sharers;
+            if let Some(o) = entry.owner {
+                union |= 1 << o;
+            }
+        }
+        if mask != union {
+            return Err(format!(
+                "I6: region directory cache mask {mask:#b} != union of \
+                 per-line entries {union:#b}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{GlobalState, ModelConfig, NodeState};
+    use crate::model::{GlobalState, HomeState, LineDir, ModelConfig, NodeState};
     use cgct::RegionState;
 
     fn node(lines: Vec<MoesiState>, region: RegionState, count: u32) -> NodeState {
@@ -253,6 +310,7 @@ mod tests {
                 node(vec![Modified, Invalid], RegionState::DirtyDirty, 1),
                 node(vec![Exclusive, Invalid], RegionState::DirtyDirty, 1),
             ],
+            home: None,
         };
         let err = check(&s).unwrap_err();
         assert!(err.starts_with("I1"), "{err}");
@@ -266,6 +324,7 @@ mod tests {
                 node(vec![Shared, Invalid], RegionState::CleanInvalid, 1),
                 node(vec![Shared, Invalid], RegionState::CleanDirty, 1),
             ],
+            home: None,
         };
         let err = check(&s).unwrap_err();
         assert!(err.starts_with("I2"), "{err}");
@@ -279,6 +338,7 @@ mod tests {
                 node(vec![Shared, Invalid], RegionState::CleanClean, 2),
                 node(vec![Shared, Invalid], RegionState::CleanClean, 1),
             ],
+            home: None,
         };
         let err = check(&s).unwrap_err();
         assert!(err.starts_with("I3"), "{err}");
@@ -294,6 +354,7 @@ mod tests {
                 node(vec![Shared, Invalid], RegionState::CleanClean, 1),
                 node(vec![Invalid, Exclusive], RegionState::DirtyClean, 1),
             ],
+            home: None,
         };
         let err = check(&s).unwrap_err();
         assert!(err.starts_with("I2"), "{err}");
@@ -310,6 +371,7 @@ mod tests {
                 node(vec![Owned, Invalid], RegionState::CleanDirty, 1),
                 node(vec![Shared, Invalid], RegionState::CleanDirty, 1),
             ],
+            home: None,
         };
         let err = check(&s).unwrap_err();
         assert!(err.starts_with("I2"), "{err}");
@@ -328,8 +390,123 @@ mod tests {
                 node(vec![Exclusive, Invalid], RegionState::DirtyInvalid, 1),
                 node(vec![Invalid, Shared], RegionState::CleanDirty, 1),
             ],
+            home: None,
         };
         let err = permission_oracle_soundness(&s).unwrap_err();
         assert!(err.starts_with("I5"), "{err}");
+    }
+
+    #[test]
+    fn directory_machine_initial_state_is_clean() {
+        let cfg = ModelConfig::directory_3x2();
+        check(&GlobalState::initial(&cfg)).unwrap();
+    }
+
+    #[test]
+    fn catches_unlisted_copy_at_the_home() {
+        use MoesiState::*;
+        // Node 1 caches line 0 but the home lists only node 0 — the
+        // directory would skip node 1's cache on the next conflicting
+        // request.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Shared, Invalid], RegionState::CleanClean, 1),
+                node(vec![Shared, Invalid], RegionState::CleanClean, 1),
+            ],
+            home: Some(HomeState {
+                lines: vec![
+                    LineDir {
+                        owner: Some(0),
+                        sharers: 0,
+                    },
+                    LineDir::default(),
+                ],
+                cache_mask: Some(0b01),
+            }),
+        };
+        let err = directory_integrity(&s).unwrap_err();
+        assert!(
+            err.starts_with("I6") && err.contains("does not list"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn catches_unrecorded_owner() {
+        use MoesiState::*;
+        // Node 1 holds the line Modified but the home thinks node 0 owns
+        // it.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Invalid, Invalid], RegionState::Invalid, 0),
+                node(vec![Modified, Invalid], RegionState::DirtyInvalid, 1),
+            ],
+            home: Some(HomeState {
+                lines: vec![
+                    LineDir {
+                        owner: Some(0),
+                        sharers: 0b10,
+                    },
+                    LineDir::default(),
+                ],
+                cache_mask: Some(0b11),
+            }),
+        };
+        let err = directory_integrity(&s).unwrap_err();
+        assert!(
+            err.starts_with("I6") && err.contains("records owner"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn catches_drifted_region_directory_cache() {
+        use MoesiState::*;
+        // The per-line entries say node 1 caches the region, but the
+        // region-grain cache mask was never refreshed — the next request
+        // from node 0 would bypass the lookup and skip node 1.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Invalid, Invalid], RegionState::Invalid, 0),
+                node(vec![Shared, Invalid], RegionState::CleanInvalid, 1),
+            ],
+            home: Some(HomeState {
+                lines: vec![
+                    LineDir {
+                        owner: Some(1),
+                        sharers: 0,
+                    },
+                    LineDir::default(),
+                ],
+                cache_mask: Some(0b01),
+            }),
+        };
+        let err = directory_integrity(&s).unwrap_err();
+        assert!(err.starts_with("I6") && err.contains("mask"), "{err}");
+    }
+
+    #[test]
+    fn stale_extra_sharers_are_tolerated() {
+        use MoesiState::*;
+        // A silent clean eviction leaves node 0 listed as a sharer while
+        // it caches nothing — the standard full-map conservatism; only
+        // missing bits are violations.
+        let s = GlobalState {
+            nodes: vec![
+                node(vec![Invalid, Invalid], RegionState::Invalid, 0),
+                node(vec![Shared, Invalid], RegionState::CleanInvalid, 1),
+            ],
+            home: Some(HomeState {
+                lines: vec![
+                    LineDir {
+                        owner: Some(1),
+                        sharers: 0b01,
+                    },
+                    LineDir::default(),
+                ],
+                cache_mask: Some(0b11),
+            }),
+        };
+        directory_integrity(&s).unwrap();
     }
 }

@@ -46,4 +46,4 @@ pub mod invariants;
 pub mod model;
 
 pub use checker::{explore, ExploreResult, Violation};
-pub use model::{GlobalState, ModelConfig, Mutation};
+pub use model::{GlobalState, ModelConfig, Mutation, Protocol};

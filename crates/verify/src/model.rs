@@ -28,12 +28,57 @@ use cgct::{
     RegionSnoopResponse, RegionState,
 };
 use cgct_cache::{
-    requester_next_state, snoop_line, Geometry, LineSnoopResponse, MoesiState, RegionAddr, ReqKind,
+    requester_next_state, snoop_line, Geometry, LineAddr, LineSnoopResponse, MoesiState,
+    RegionAddr, ReqKind,
 };
+use cgct_system::directory::{DirAction, DirEntry, DirRequest, DirectoryController};
 use std::fmt;
 
 /// The single region every model run revolves around.
 pub const REGION: RegionAddr = RegionAddr(0);
+
+/// Which coherence machine the model drives (mirrors the
+/// `cgct_system::CoherenceMode` families that are amenable to
+/// exhaustive checking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// Flat snooping bus with per-node RCAs (`Cgct` mode — the
+    /// original acceptance machine).
+    #[default]
+    Snoop,
+    /// Full-map home directory with per-node RCAs and a region-grain
+    /// directory cache at the home (`DirectoryCgct` mode). The global
+    /// state grows a [`HomeState`].
+    DirectoryCgct,
+    /// Cluster-snooping machine with an inter-cluster region directory
+    /// (`Hierarchical` mode). The cluster line counts are derived
+    /// exactly from the line states (as the live system maintains them),
+    /// so the state encoding is unchanged from [`Protocol::Snoop`] —
+    /// and a clean exploration proves the cluster filter never changes
+    /// the reachable space.
+    Hierarchical,
+}
+
+impl Protocol {
+    /// Parses a CLI name.
+    pub fn from_name(name: &str) -> Option<Protocol> {
+        Some(match name {
+            "snoop" => Protocol::Snoop,
+            "dir-cgct" => Protocol::DirectoryCgct,
+            "hierarchical" => Protocol::Hierarchical,
+            _ => return None,
+        })
+    }
+
+    /// The CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Snoop => "snoop",
+            Protocol::DirectoryCgct => "dir-cgct",
+            Protocol::Hierarchical => "hierarchical",
+        }
+    }
+}
 
 /// Checker configuration: the explored machine shape plus the optional
 /// fault injection.
@@ -48,17 +93,42 @@ pub struct ModelConfig {
     pub self_invalidation: bool,
     /// Deliberate protocol fault, for checker self-tests.
     pub mutation: Mutation,
+    /// The coherence machine under test.
+    pub protocol: Protocol,
+    /// Cluster count for [`Protocol::Hierarchical`] (nodes are split
+    /// into contiguous groups); must be 1 for the other protocols.
+    pub clusters: usize,
 }
 
 impl ModelConfig {
     /// The acceptance configuration: 3 nodes x 1 region x 2 lines, no
-    /// mutation.
+    /// mutation, flat snooping bus.
     pub fn default_3x2() -> Self {
         ModelConfig {
             nodes: 3,
             lines: 2,
             self_invalidation: true,
             mutation: Mutation::None,
+            protocol: Protocol::Snoop,
+            clusters: 1,
+        }
+    }
+
+    /// The acceptance shape on the directory machine.
+    pub fn directory_3x2() -> Self {
+        ModelConfig {
+            protocol: Protocol::DirectoryCgct,
+            ..ModelConfig::default_3x2()
+        }
+    }
+
+    /// The acceptance shape on the hierarchical machine, split into two
+    /// clusters ({0, 1} and {2}).
+    pub fn hierarchical_3x2() -> Self {
+        ModelConfig {
+            protocol: Protocol::Hierarchical,
+            clusters: 2,
+            ..ModelConfig::default_3x2()
         }
     }
 
@@ -66,7 +136,9 @@ impl ModelConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the node or line count is out of the supported range.
+    /// Panics if the node, line, or cluster count is out of the
+    /// supported range, or if the shape overflows the 128-bit state
+    /// encoding.
     pub fn validate(&self) {
         assert!(
             (2..=4).contains(&self.nodes),
@@ -78,6 +150,48 @@ impl ModelConfig {
             "model supports 1/2/4/8 lines per region, got {}",
             self.lines
         );
+        match self.protocol {
+            Protocol::Hierarchical => assert!(
+                (1..=self.nodes).contains(&self.clusters),
+                "hierarchical model needs 1..=nodes clusters, got {}",
+                self.clusters
+            ),
+            _ => assert_eq!(
+                self.clusters, 1,
+                "clusters only apply to the hierarchical protocol"
+            ),
+        }
+        let mut bits = self.nodes * (3 * self.lines + 3 + 4);
+        if self.protocol == Protocol::DirectoryCgct {
+            bits += self.lines * 7 + 5;
+        }
+        assert!(
+            bits <= 128,
+            "state encoding needs {bits} bits (> 128); shrink nodes or lines"
+        );
+    }
+
+    /// The cluster a node belongs to (contiguous split, mirroring the
+    /// board-based clustering of `cgct_interconnect::Topology`).
+    pub fn cluster_of(&self, node: usize) -> usize {
+        node * self.clusters / self.nodes
+    }
+
+    /// The mutations that must each produce a counterexample under this
+    /// configuration's protocol (faults wired into paths a protocol
+    /// never takes cannot be caught there).
+    pub fn applicable_faults(&self) -> Vec<Mutation> {
+        let mut faults = Mutation::ALL_FAULTS.to_vec();
+        match self.protocol {
+            Protocol::Snoop => {}
+            Protocol::DirectoryCgct => faults.push(Mutation::StaleRegionDirCache),
+            Protocol::Hierarchical => {
+                if self.clusters > 1 {
+                    faults.push(Mutation::SkipClusterInvalidation);
+                }
+            }
+        }
+        faults
     }
 
     /// The line/region geometry of the modeled configuration.
@@ -115,10 +229,23 @@ pub enum Mutation {
     /// The permission check treats externally-*clean* regions as
     /// exclusive, letting data reads go direct while sharers exist.
     OverclaimExclusive,
+    /// The home's region-grain directory cache is installed once and
+    /// never refreshed after directory updates: a stale mask can
+    /// wrongly prove the region unshared and authorize a lookup bypass
+    /// that skips a needed invalidation ([`Protocol::DirectoryCgct`]).
+    StaleRegionDirCache,
+    /// The inter-cluster region directory reports every remote cluster
+    /// empty: line-grain snoops never leave the requester's cluster, so
+    /// remote copies survive invalidating requests
+    /// ([`Protocol::Hierarchical`]).
+    SkipClusterInvalidation,
 }
 
 impl Mutation {
-    /// All mutations that must each produce a counterexample.
+    /// The protocol-independent mutations that must each produce a
+    /// counterexample under every protocol (see
+    /// [`ModelConfig::applicable_faults`] for the full per-protocol
+    /// list).
     pub const ALL_FAULTS: [Mutation; 4] = [
         Mutation::KeepStaleSharers,
         Mutation::SkipExternalDowngrade,
@@ -134,6 +261,8 @@ impl Mutation {
             "skip-external-downgrade" => Mutation::SkipExternalDowngrade,
             "leak-line-count" => Mutation::LeakLineCount,
             "overclaim-exclusive" => Mutation::OverclaimExclusive,
+            "stale-region-dir-cache" => Mutation::StaleRegionDirCache,
+            "skip-cluster-invalidation" => Mutation::SkipClusterInvalidation,
             _ => return None,
         })
     }
@@ -146,6 +275,8 @@ impl Mutation {
             Mutation::SkipExternalDowngrade => "skip-external-downgrade",
             Mutation::LeakLineCount => "leak-line-count",
             Mutation::OverclaimExclusive => "overclaim-exclusive",
+            Mutation::StaleRegionDirCache => "stale-region-dir-cache",
+            Mutation::SkipClusterInvalidation => "skip-cluster-invalidation",
         }
     }
 }
@@ -168,15 +299,42 @@ impl NodeState {
     }
 }
 
+/// One line's full-map entry at the home controller, in abstract form
+/// (the working machine reconstructs a real
+/// [`DirectoryController`] from these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct LineDir {
+    /// Cache recorded as holding the line in an ownership state.
+    pub owner: Option<u8>,
+    /// Sharer bit-vector (may over-approximate after silent clean
+    /// evictions — the standard full-map conservatism).
+    pub sharers: u8,
+}
+
+/// The home memory controller's state under
+/// [`Protocol::DirectoryCgct`]: the per-line full-map entries plus the
+/// region-grain directory cache's node-presence mask.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HomeState {
+    /// Per-line directory entries, indexed like the nodes' line vectors.
+    pub lines: Vec<LineDir>,
+    /// The region directory cache's mask (`None` = not cached yet).
+    pub cache_mask: Option<u8>,
+}
+
 /// One global state of the modeled machine.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GlobalState {
     /// Per-node states, indexed by node id.
     pub nodes: Vec<NodeState>,
+    /// The home controller's directory state
+    /// ([`Protocol::DirectoryCgct`] only).
+    pub home: Option<HomeState>,
 }
 
 impl GlobalState {
-    /// The initial state: nothing cached, no region entries.
+    /// The initial state: nothing cached, no region entries, an empty
+    /// home directory.
     pub fn initial(cfg: &ModelConfig) -> GlobalState {
         GlobalState {
             nodes: (0..cfg.nodes)
@@ -186,11 +344,18 @@ impl GlobalState {
                     line_count: 0,
                 })
                 .collect(),
+            home: (cfg.protocol == Protocol::DirectoryCgct).then(|| HomeState {
+                lines: vec![LineDir::default(); cfg.lines],
+                cache_mask: None,
+            }),
         }
     }
 
     /// Packs the state into an exact dedup key (3 bits per line state,
-    /// 3 bits region state, 4 bits line count per node).
+    /// 3 bits region state, 4 bits line count per node; directory
+    /// protocols append 7 bits per home line entry plus 5 for the
+    /// region cache mask — protocols without a home keep the original
+    /// layout bit-for-bit).
     pub fn encode(&self) -> u128 {
         let mut key: u128 = 0;
         for node in &self.nodes {
@@ -199,6 +364,16 @@ impl GlobalState {
             }
             key = (key << 3) | region_index(node.region) as u128;
             key = (key << 4) | node.line_count as u128;
+        }
+        if let Some(home) = &self.home {
+            for entry in &home.lines {
+                key = (key << 3) | entry.owner.map_or(0, |o| o as u128 + 1);
+                key = (key << 4) | entry.sharers as u128;
+            }
+            key = (key << 5)
+                | home
+                    .cache_mask
+                    .map_or(0, |m| 0b1_0000 | (m as u128 & 0b1111));
         }
         key
     }
@@ -215,6 +390,23 @@ impl fmt::Display for GlobalState {
                 write!(f, "{}", line.letter())?;
             }
             write!(f, "] {}({})", node.region.mnemonic(), node.line_count)?;
+        }
+        if let Some(home) = &self.home {
+            write!(f, "  dir:[")?;
+            for (l, entry) in home.lines.iter().enumerate() {
+                if l > 0 {
+                    write!(f, " ")?;
+                }
+                match entry.owner {
+                    Some(o) => write!(f, "o{o}")?,
+                    None => write!(f, "o-")?,
+                }
+                write!(f, "s{:x}", entry.sharers)?;
+            }
+            match home.cache_mask {
+                Some(m) => write!(f, "] cache:{m:x}")?,
+                None => write!(f, "] cache:-")?,
+            }
         }
         Ok(())
     }
@@ -333,11 +525,31 @@ pub fn enabled_events(cfg: &ModelConfig, state: &GlobalState) -> Vec<Event> {
 }
 
 /// Working form of one step: concrete line states plus a *real*
-/// [`RegionCoherenceArray`] per node, rebuilt from the abstract state so
+/// [`RegionCoherenceArray`] per node (and, on the directory machine, a
+/// real [`DirectoryController`]), rebuilt from the abstract state so
 /// the step runs the production transition code.
 struct Working {
     lines: Vec<Vec<MoesiState>>,
     rcas: Vec<RegionCoherenceArray>,
+    home: Option<HomeDir>,
+}
+
+/// The home controller's working state: the production directory plus
+/// the region-grain directory cache's mask for [`REGION`].
+struct HomeDir {
+    dir: DirectoryController,
+    cache_mask: Option<u64>,
+}
+
+/// Maps a processor request onto the directory request vocabulary, the
+/// same classification `MemorySystem::directory_request` performs.
+fn dir_request_of(req: ReqKind) -> DirRequest {
+    match req {
+        ReqKind::Read | ReqKind::ReadShared => DirRequest::Read,
+        ReqKind::ReadExclusive | ReqKind::Dcbz => DirRequest::ReadExclusive,
+        ReqKind::Upgrade => DirRequest::Upgrade,
+        ReqKind::Writeback => DirRequest::Writeback,
+    }
 }
 
 impl Working {
@@ -375,13 +587,43 @@ impl Working {
                 rca
             })
             .collect();
+        let home = state.home.as_ref().map(|h| {
+            let mut dir = DirectoryController::new();
+            for (l, entry) in h.lines.iter().enumerate() {
+                dir.install_entry(
+                    LineAddr(l as u64),
+                    DirEntry {
+                        owner: entry.owner,
+                        sharers: entry.sharers as u64,
+                    },
+                );
+            }
+            HomeDir {
+                dir,
+                cache_mask: h.cache_mask.map(u64::from),
+            }
+        });
         Working {
             lines: state.nodes.iter().map(|n| n.lines.clone()).collect(),
             rcas,
+            home,
         }
     }
 
     fn into_state(self) -> GlobalState {
+        let lines_per_node = self.lines[0].len();
+        let home = self.home.map(|h| HomeState {
+            lines: (0..lines_per_node)
+                .map(|l| {
+                    let e = h.dir.entry(LineAddr(l as u64));
+                    LineDir {
+                        owner: e.owner,
+                        sharers: e.sharers as u8,
+                    }
+                })
+                .collect(),
+            cache_mask: h.cache_mask.map(|m| m as u8),
+        });
         GlobalState {
             nodes: self
                 .lines
@@ -396,12 +638,101 @@ impl Working {
                     }
                 })
                 .collect(),
+            home,
         }
     }
 
+    /// Runs the home directory's real transition for `req` and
+    /// refreshes the region-grain directory cache. The faithful system
+    /// recomputes the mask after *every* directory update; the
+    /// stale-region-dir-cache mutation installs it once and never
+    /// refreshes.
+    fn home_handle(
+        &mut self,
+        cfg: &ModelConfig,
+        requester: usize,
+        line: usize,
+        req: ReqKind,
+    ) -> (DirAction, bool) {
+        let lines_per_node = self.lines[0].len();
+        let home = self.home.as_mut().expect("directory protocol");
+        let out = home
+            .dir
+            .handle(LineAddr(line as u64), requester as u8, dir_request_of(req));
+        if cfg.mutation != Mutation::StaleRegionDirCache || home.cache_mask.is_none() {
+            home.cache_mask = Some(
+                home.dir
+                    .region_mask((0..lines_per_node as u64).map(LineAddr)),
+            );
+        }
+        out
+    }
+
+    /// Which nodes see a line-grain snoop from `requester`: everyone on
+    /// the flat bus; on the hierarchical machine only the requester's
+    /// cluster plus clusters caching at least one line of the region.
+    /// The cluster counts are derived exactly from the line states —
+    /// the same truth the live system maintains incrementally and its
+    /// sanitizer checks.
+    fn snoop_visibility(&self, cfg: &ModelConfig, requester: usize) -> Vec<bool> {
+        if cfg.protocol != Protocol::Hierarchical || cfg.clusters <= 1 {
+            return vec![true; self.lines.len()];
+        }
+        let my_cluster = cfg.cluster_of(requester);
+        (0..self.lines.len())
+            .map(|other| {
+                let c = cfg.cluster_of(other);
+                if c == my_cluster {
+                    return true;
+                }
+                if cfg.mutation == Mutation::SkipClusterInvalidation {
+                    // FAULT: the inter-cluster directory reports every
+                    // remote cluster empty.
+                    return false;
+                }
+                (0..self.lines.len())
+                    .any(|n| cfg.cluster_of(n) == c && self.lines[n].iter().any(|s| s.is_valid()))
+            })
+            .collect()
+    }
+
+    /// Region snoop responses from every other node (step 3 of the bus
+    /// sequence; in the directory and hierarchical machines the same
+    /// notifications are relayed through the home's region directory
+    /// and reach every node).
+    fn region_external_all(
+        &mut self,
+        cfg: &ModelConfig,
+        requester: usize,
+        req: ReqKind,
+        fill_exclusive: bool,
+    ) -> RegionSnoopResponse {
+        let mut region_resp = RegionSnoopResponse::NONE;
+        for other in 0..self.lines.len() {
+            if other == requester {
+                continue;
+            }
+            if cfg.mutation == Mutation::SkipExternalDowngrade {
+                continue; // FAULT: regions never see external traffic
+            }
+            region_resp.merge(self.rcas[other].external_request(REGION, req, fill_exclusive));
+        }
+        region_resp
+    }
+
     /// Issues a coherence-point request, mirroring the permission arms
-    /// of `MemorySystem::coherent_request` (atomic-bus model).
+    /// of `MemorySystem::coherent_request` /
+    /// `MemorySystem::directory_cgct_request` /
+    /// `MemorySystem::hierarchical_request` (atomic-interconnect
+    /// model).
     fn request(&mut self, cfg: &ModelConfig, requester: usize, line: usize, req: ReqKind) {
+        if cfg.protocol == Protocol::DirectoryCgct && req == ReqKind::Writeback {
+            // Write-backs travel point-to-point to the home in every
+            // directory machine, before any permission check; the home
+            // drops the write-back issuer's ownership.
+            self.home_handle(cfg, requester, line, req);
+            return;
+        }
         let mut permission = self.rcas[requester].permission(REGION, req);
         if cfg.mutation == Mutation::OverclaimExclusive
             && permission == RegionPermission::Broadcast
@@ -416,6 +747,15 @@ impl Working {
         }
         match permission {
             RegionPermission::CompleteLocally => {
+                if cfg.protocol == Protocol::DirectoryCgct {
+                    // The per-line directory still learns of the
+                    // request (the off-critical-path update message of
+                    // `directory_cgct_request`); the region claim
+                    // guarantees the returned action names no live
+                    // copy, so no coherence message is modeled — the
+                    // invariants prove that guarantee at every state.
+                    self.home_handle(cfg, requester, line, req);
+                }
                 self.rcas[requester].local_fill(REGION, FillKind::Exclusive, None, 0);
                 if req == ReqKind::Dcbz {
                     self.fill(requester, line, MoesiState::Modified);
@@ -427,6 +767,36 @@ impl Working {
                 if req == ReqKind::Writeback {
                     return; // fire-and-forget to the recorded controller
                 }
+                if cfg.protocol == Protocol::DirectoryCgct {
+                    // The home still updates its entry, but the lookup
+                    // (and any directory-driven message) is bypassed;
+                    // the grant mirrors `directory_request`'s
+                    // exclusive flag — except that a shared read riding
+                    // an externally-clean claim must refuse an
+                    // exclusive grant (other nodes hold CC entries the
+                    // unannounced E copy would falsify; the checker
+                    // found exactly this trace).
+                    let (_, exclusive) = self.home_handle(cfg, requester, line, req);
+                    let fill_state = match req {
+                        ReqKind::ReadShared => MoesiState::Shared,
+                        ReqKind::Read => {
+                            if exclusive {
+                                MoesiState::Exclusive
+                            } else {
+                                MoesiState::Shared
+                            }
+                        }
+                        _ => MoesiState::Modified,
+                    };
+                    self.rcas[requester].local_fill(
+                        REGION,
+                        FillKind::from_moesi(fill_state),
+                        None,
+                        0,
+                    );
+                    self.fill(requester, line, fill_state);
+                    return;
+                }
                 let fill_state = match req {
                     ReqKind::Read => MoesiState::Exclusive,
                     ReqKind::ReadShared => MoesiState::Shared,
@@ -436,11 +806,17 @@ impl Working {
                 self.rcas[requester].local_fill(REGION, fill, None, 0);
                 self.fill(requester, line, fill_state);
             }
+            RegionPermission::Broadcast if cfg.protocol == Protocol::DirectoryCgct => {
+                self.directory_broadcast(cfg, requester, line, req);
+            }
             RegionPermission::Broadcast => {
-                // 1. Snoop every other node's line state.
+                // 1. Snoop every other visible node's line state (all of
+                //    them on the flat bus; cluster-filtered on the
+                //    hierarchical machine).
+                let visible = self.snoop_visibility(cfg, requester);
                 let mut line_resp = LineSnoopResponse::default();
-                for other in 0..self.lines.len() {
-                    if other == requester {
+                for (other, vis) in visible.iter().enumerate() {
+                    if other == requester || !vis {
                         continue;
                     }
                     let state = self.lines[other][line];
@@ -463,21 +839,9 @@ impl Working {
                 let fill_state = requester_next_state(req, line_resp);
                 let fill_exclusive = fill_state.is_some_and(|s| s.can_silently_modify());
                 // 3. Region snoop responses (after the line snoop, so a
-                //    now-empty region can self-invalidate).
-                let mut region_resp = RegionSnoopResponse::NONE;
-                for other in 0..self.lines.len() {
-                    if other == requester {
-                        continue;
-                    }
-                    if cfg.mutation == Mutation::SkipExternalDowngrade {
-                        continue; // FAULT: regions never see external traffic
-                    }
-                    region_resp.merge(self.rcas[other].external_request(
-                        REGION,
-                        req,
-                        fill_exclusive,
-                    ));
-                }
+                //    now-empty region can self-invalidate). These are
+                //    machine-wide even on the hierarchical machine.
+                let region_resp = self.region_external_all(cfg, requester, req, fill_exclusive);
                 // 4. Requester's region entry (write-backs leave none).
                 if req != ReqKind::Writeback {
                     let fill = fill_state.map_or(FillKind::Shared, FillKind::from_moesi);
@@ -489,6 +853,110 @@ impl Working {
                 }
             }
         }
+    }
+
+    /// The directory machine's no-claim path, mirroring
+    /// `directory_request` with `RegionUpkeep::FullExternal`: the home
+    /// consults (or, on a region-cache hit proving the region unshared,
+    /// skips) the per-line entry, drives the named caches, and relays
+    /// the region-grain outcome to every node.
+    fn directory_broadcast(
+        &mut self,
+        cfg: &ModelConfig,
+        requester: usize,
+        line: usize,
+        req: ReqKind,
+    ) {
+        // The lookup-bypass decision reads the region cache *before*
+        // this request's own update, exactly as the home does.
+        let skip = self
+            .home
+            .as_ref()
+            .expect("directory protocol")
+            .cache_mask
+            .is_some_and(|m| m & !(1u64 << requester) == 0);
+        let (action, exclusive) = self.home_handle(cfg, requester, line, req);
+        let (fwd_owner, invalidate) = match &action {
+            DirAction::ForwardToOwner { owner, invalidate } => {
+                (Some(*owner as usize), invalidate.clone())
+            }
+            DirAction::FromMemory { invalidate } | DirAction::InvalidateOnly { invalidate } => {
+                (None, invalidate.clone())
+            }
+        };
+        if !skip {
+            // Apply the directory's invalidations at the named caches —
+            // the directory machine's replacement for the bus snoop.
+            // Stale targets (silent clean evictions) hold nothing and
+            // are no-ops, as in the live system.
+            for target in invalidate {
+                let t = target as usize;
+                if t == requester || t >= self.lines.len() {
+                    continue;
+                }
+                if !self.lines[t][line].is_valid() {
+                    continue;
+                }
+                if cfg.mutation == Mutation::KeepStaleSharers && req.invalidates_others() {
+                    continue; // FAULT: the target ignores the invalidation
+                }
+                self.lines[t][line] = MoesiState::Invalid;
+                if cfg.mutation != Mutation::LeakLineCount {
+                    self.rcas[t].line_uncached(REGION);
+                }
+            }
+        }
+        // The requester's grant comes from the directory, not from
+        // merged snoop responses.
+        let fill_state = match req {
+            ReqKind::Read | ReqKind::ReadShared => {
+                if exclusive {
+                    MoesiState::Exclusive
+                } else {
+                    MoesiState::Shared
+                }
+            }
+            _ => MoesiState::Modified,
+        };
+        // Region upkeep runs at the home, *before* any three-hop
+        // forward reaches the owner (`directory_request` orders it the
+        // same way): an owner about to lose its only line still answers
+        // the region snoop as a holder, so its entry survives — stale
+        // but conservative — rather than self-invalidating.
+        let fill_exclusive = fill_state.can_silently_modify();
+        let region_resp = self.region_external_all(cfg, requester, req, fill_exclusive);
+        self.rcas[requester].local_fill(
+            REGION,
+            FillKind::from_moesi(fill_state),
+            Some(region_resp),
+            0,
+        );
+        if !skip {
+            if let Some(o) = fwd_owner {
+                if o != requester && o < self.lines.len() {
+                    let state = self.lines[o][line];
+                    if state.is_valid() {
+                        // Live owner: the forward applies the same
+                        // transition a bus snoop would.
+                        let out = snoop_line(state, req);
+                        if out.next != state
+                            && !(cfg.mutation == Mutation::KeepStaleSharers
+                                && req.invalidates_others())
+                        {
+                            self.lines[o][line] = out.next;
+                            if out.next == MoesiState::Invalid
+                                && cfg.mutation != Mutation::LeakLineCount
+                            {
+                                self.rcas[o].line_uncached(REGION);
+                            }
+                        }
+                    }
+                    // Stale owner: the home retries from memory —
+                    // no state change anywhere.
+                }
+            }
+        }
+        self.fill(requester, line, fill_state);
     }
 
     /// Fills `line` into `node`'s cache (inclusion bookkeeping on a new

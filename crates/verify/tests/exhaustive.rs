@@ -9,7 +9,9 @@ use cgct_sim::rng::Xoshiro256pp;
 use cgct_sim::Cycle;
 use cgct_system::{CoherenceMode, MemorySystem, SystemConfig};
 use cgct_verify::checker::explore;
-use cgct_verify::model::{apply, GlobalState, ModelConfig, Mutation, NodeState};
+use cgct_verify::model::{
+    apply, GlobalState, HomeState, LineDir, ModelConfig, Mutation, NodeState, Protocol,
+};
 
 /// Golden state/transition counts for the acceptance configuration
 /// (3 nodes x 1 region x 2 lines). A change here means the protocol's
@@ -17,6 +19,13 @@ use cgct_verify::model::{apply, GlobalState, ModelConfig, Mutation, NodeState};
 /// these, anything else is a regression.
 const GOLDEN_3X2_STATES: u64 = 4947;
 const GOLDEN_3X2_TRANSITIONS: u64 = 116_040;
+
+/// Golden counts for the directory machine at the same shape. The space
+/// is much larger: the home's per-line owner/sharer bits and the
+/// region-grain directory cache mask are part of the global state, and
+/// silent clean evictions leave reachable stale-bit patterns.
+const GOLDEN_DIR_3X2_STATES: u64 = 184_879;
+const GOLDEN_DIR_3X2_TRANSITIONS: u64 = 4_496_964;
 
 #[test]
 fn acceptance_config_explores_to_fixpoint_with_zero_violations() {
@@ -48,8 +57,7 @@ fn other_shapes_are_clean() {
         let cfg = ModelConfig {
             nodes,
             lines,
-            self_invalidation: true,
-            mutation: Mutation::None,
+            ..ModelConfig::default_3x2()
         };
         let r = explore(&cfg);
         assert!(
@@ -57,6 +65,42 @@ fn other_shapes_are_clean() {
             "{nodes}x{lines}: {}",
             r.violation.unwrap().render(&GlobalState::initial(&cfg))
         );
+    }
+}
+
+#[test]
+fn directory_acceptance_config_explores_to_fixpoint_with_zero_violations() {
+    let cfg = ModelConfig::directory_3x2();
+    let r = explore(&cfg);
+    assert!(
+        r.clean(),
+        "{}",
+        r.violation.unwrap().render(&GlobalState::initial(&cfg))
+    );
+    assert_eq!(r.states, GOLDEN_DIR_3X2_STATES);
+    assert_eq!(r.transitions, GOLDEN_DIR_3X2_TRANSITIONS);
+}
+
+#[test]
+fn hierarchical_reachable_space_equals_the_flat_bus() {
+    // The inter-cluster region filter only skips clusters that provably
+    // cache nothing of the region, so partitioning the machine must not
+    // change the reachable state space at all — for any cluster count.
+    let snoop = explore(&ModelConfig::default_3x2());
+    for clusters in [2, 3] {
+        let cfg = ModelConfig {
+            clusters,
+            ..ModelConfig::hierarchical_3x2()
+        };
+        let r = explore(&cfg);
+        assert!(
+            r.clean(),
+            "{clusters} clusters: {}",
+            r.violation.unwrap().render(&GlobalState::initial(&cfg))
+        );
+        assert_eq!(r.states, GOLDEN_3X2_STATES, "{clusters} clusters");
+        assert_eq!(r.transitions, GOLDEN_3X2_TRANSITIONS, "{clusters} clusters");
+        assert_eq!(r.reachable, snoop.reachable, "{clusters} clusters");
     }
 }
 
@@ -78,35 +122,57 @@ fn disabling_self_invalidation_is_still_safe() {
 
 #[test]
 fn every_fault_injection_yields_a_counterexample() {
-    for mutation in Mutation::ALL_FAULTS {
-        let cfg = ModelConfig {
-            mutation,
-            ..ModelConfig::default_3x2()
-        };
-        let r = explore(&cfg);
-        let v = r
-            .violation
-            .unwrap_or_else(|| panic!("{} must be caught", mutation.name()));
-        assert!(!v.trace.is_empty(), "{}: empty trace", mutation.name());
-        // The trace must replay: applying its events from the initial
-        // state reproduces exactly the recorded intermediate states.
-        let mut state = GlobalState::initial(&cfg);
-        for (i, step) in v.trace.iter().enumerate() {
-            state = apply(&cfg, &state, step.event);
-            assert_eq!(
-                state,
-                step.state,
-                "{}: trace step {i} does not replay",
-                mutation.name()
+    // Every fault applicable to a protocol must be caught under that
+    // protocol: the four line/region wirings under all three machines,
+    // plus the directory machine's stale-region-cache fault and the
+    // hierarchical machine's skipped cluster invalidation.
+    let bases = [
+        ModelConfig::default_3x2(),
+        ModelConfig::directory_3x2(),
+        ModelConfig::hierarchical_3x2(),
+    ];
+    for base in bases {
+        for mutation in base.applicable_faults() {
+            let cfg = ModelConfig { mutation, ..base };
+            let label = format!("{}/{}", cfg.protocol.name(), mutation.name());
+            let r = explore(&cfg);
+            let v = r
+                .violation
+                .unwrap_or_else(|| panic!("{label} must be caught"));
+            assert!(!v.trace.is_empty(), "{label}: empty trace");
+            // The trace must replay: applying its events from the initial
+            // state reproduces exactly the recorded intermediate states.
+            let mut state = GlobalState::initial(&cfg);
+            for (i, step) in v.trace.iter().enumerate() {
+                state = apply(&cfg, &state, step.event);
+                assert_eq!(state, step.state, "{label}: trace step {i} does not replay");
+            }
+            // And the replayed final state violates an invariant.
+            assert!(
+                cgct_verify::invariants::check(&state).is_err(),
+                "{label}: final trace state passes the invariants"
             );
         }
-        // And the replayed final state violates an invariant.
-        assert!(
-            cgct_verify::invariants::check(&state).is_err(),
-            "{}: final trace state passes the invariants",
-            mutation.name()
-        );
     }
+}
+
+#[test]
+fn protocol_specific_faults_reject_other_protocols_cleanly() {
+    // The new faults only have meaning on their machine; the base
+    // protocols must not silently "pass" them.
+    let snoop = ModelConfig::default_3x2();
+    assert!(!snoop
+        .applicable_faults()
+        .contains(&Mutation::StaleRegionDirCache));
+    assert!(!snoop
+        .applicable_faults()
+        .contains(&Mutation::SkipClusterInvalidation));
+    assert!(ModelConfig::directory_3x2()
+        .applicable_faults()
+        .contains(&Mutation::StaleRegionDirCache));
+    assert!(ModelConfig::hierarchical_3x2()
+        .applicable_faults()
+        .contains(&Mutation::SkipClusterInvalidation));
 }
 
 // ------------------------------------------------------------------
@@ -118,9 +184,17 @@ fn every_fault_injection_yields_a_counterexample() {
 /// abstract state: per node, the L2 MOESI state of each line of the
 /// region plus the RCA entry (state, line count).
 fn observed_state(m: &MemorySystem, nodes: usize, lines: usize) -> GlobalState {
+    observed_state_mapped(m, &(0..nodes).collect::<Vec<_>>(), lines)
+}
+
+/// Same projection with an explicit model-node -> live-core map, for
+/// live machines larger than the model (hierarchical cross-validation
+/// drives 4 active cores of a 16-core machine).
+fn observed_state_mapped(m: &MemorySystem, cores: &[usize], lines: usize) -> GlobalState {
     GlobalState {
-        nodes: (0..nodes)
-            .map(|c| {
+        nodes: cores
+            .iter()
+            .map(|&c| {
                 let core = CoreId(c);
                 let entry = m.rca(core).expect("cgct mode").entry(RegionAddr(0));
                 NodeState {
@@ -132,6 +206,34 @@ fn observed_state(m: &MemorySystem, nodes: usize, lines: usize) -> GlobalState {
                 }
             })
             .collect(),
+        home: None,
+    }
+}
+
+/// Projects the live home controller (directory entries for region 0's
+/// lines plus the region-grain directory cache mask) onto the model's
+/// [`HomeState`].
+fn observed_home(m: &MemorySystem, nodes: usize, lines: usize) -> HomeState {
+    let dir = m.directory(0);
+    HomeState {
+        lines: (0..lines)
+            .map(|l| {
+                let e = dir.entry(LineAddr(l as u64));
+                assert!(
+                    e.sharers < 1 << nodes,
+                    "live sharer bits outside the model's node range"
+                );
+                LineDir {
+                    owner: e.owner,
+                    sharers: e.sharers as u8,
+                }
+            })
+            .collect(),
+        cache_mask: m
+            .region_dir_cache(0)
+            .expect("dir-cgct mode")
+            .peek(RegionAddr(0))
+            .map(|mask| mask as u8),
     }
 }
 
@@ -142,8 +244,7 @@ fn cross_validate(nodes: usize, lines: usize, ops: usize, seed: u64) {
     let model = ModelConfig {
         nodes,
         lines,
-        self_invalidation: true,
-        mutation: Mutation::None,
+        ..ModelConfig::default_3x2()
     };
     let reachable = explore(&model);
     assert!(reachable.clean());
@@ -200,8 +301,7 @@ fn live_system_stays_within_the_model_reachable_set_2_nodes() {
     let model = ModelConfig {
         nodes,
         lines,
-        self_invalidation: true,
-        mutation: Mutation::None,
+        ..ModelConfig::default_3x2()
     };
     let reachable = explore(&model);
     assert!(reachable.clean());
@@ -234,5 +334,117 @@ fn live_system_stays_within_the_model_reachable_set_2_nodes() {
             reachable.reachable.contains(&state.encode()),
             "op {i}: live state {state} is not model-reachable"
         );
+    }
+}
+
+#[test]
+fn live_directory_system_stays_within_the_model_reachable_set() {
+    // The directory machine's cross-validation also projects the home:
+    // per-line owner/sharer bits and the region directory cache mask
+    // must match a model-reachable home state after every operation.
+    let nodes = 4;
+    let lines = 1;
+    let model = ModelConfig {
+        nodes,
+        lines,
+        protocol: Protocol::DirectoryCgct,
+        ..ModelConfig::default_3x2()
+    };
+    let reachable = explore(&model);
+    assert!(reachable.clean());
+
+    let mut cfg = SystemConfig::paper_default(CoherenceMode::DirectoryCgct {
+        region_bytes: 64 * lines as u64,
+        sets: 8192,
+    });
+    cfg.stream_prefetch = false;
+    cfg.exclusive_prefetch = false;
+    cfg.shared_read_bypass = false;
+    cfg.owner_prediction = false;
+    cfg.perturbation = 0;
+    let mut m = MemorySystem::new(cfg, 0xD1CE_2005);
+    m.set_sanitize(true);
+
+    let mut g = Xoshiro256pp::seed_from_u64(0xD1CE_2005);
+    let mut now = Cycle(0);
+    for i in 0..1500 {
+        let core = CoreId(g.gen_range(0..nodes));
+        let addr = Addr(64 * g.gen_range(0..lines as u64));
+        now = match g.gen_range(0u32..4) {
+            0 => m.load(core, now, addr, false),
+            1 => m.ifetch(core, now, addr),
+            2 => m.store(core, now, addr),
+            _ => m.dcbz(core, now, addr),
+        };
+        let mut state = observed_state(&m, nodes, lines);
+        state.home = Some(observed_home(&m, nodes, lines));
+        assert!(
+            reachable.reachable.contains(&state.encode()),
+            "op {i}: live state {state} is not model-reachable"
+        );
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("op {i}: {e}"));
+    }
+}
+
+#[test]
+fn live_hierarchical_system_stays_within_the_model_reachable_set() {
+    // Four active cores of a 16-core, 2-board machine — two per board,
+    // so cluster-filtered snoops are actually exercised. The model's
+    // 4-node/2-cluster reachable space equals the flat bus's, and the
+    // live machine must stay inside it; the other 12 cores stay empty.
+    use cgct_interconnect::topology::Topology;
+    let lines = 1;
+    let active = [0usize, 1, 8, 9];
+    let model = ModelConfig {
+        nodes: active.len(),
+        lines,
+        protocol: Protocol::Hierarchical,
+        clusters: 2,
+        ..ModelConfig::default_3x2()
+    };
+    let reachable = explore(&model);
+    assert!(reachable.clean());
+
+    let mut cfg = SystemConfig::paper_default(CoherenceMode::Hierarchical {
+        region_bytes: 64 * lines as u64,
+        sets: 8192,
+    });
+    cfg.topology = Topology::for_cores(16);
+    cfg.stream_prefetch = false;
+    cfg.exclusive_prefetch = false;
+    cfg.shared_read_bypass = false;
+    cfg.owner_prediction = false;
+    cfg.perturbation = 0;
+    let mut m = MemorySystem::new(cfg, 0x41E2);
+    m.set_sanitize(true);
+
+    let mut g = Xoshiro256pp::seed_from_u64(0x41E2);
+    let mut now = Cycle(0);
+    for i in 0..1500 {
+        let core = CoreId(active[g.gen_range(0..active.len() as u64) as usize]);
+        let addr = Addr(64 * g.gen_range(0..lines as u64));
+        now = match g.gen_range(0u32..4) {
+            0 => m.load(core, now, addr, false),
+            1 => m.ifetch(core, now, addr),
+            2 => m.store(core, now, addr),
+            _ => m.dcbz(core, now, addr),
+        };
+        for idle in 0..16 {
+            if !active.contains(&idle) {
+                assert_eq!(
+                    observed_state_mapped(&m, &[idle], lines).nodes[0].cached_lines(),
+                    0,
+                    "idle core {idle} cached something"
+                );
+            }
+        }
+        let state = observed_state_mapped(&m, &active, lines);
+        assert!(
+            reachable.reachable.contains(&state.encode()),
+            "op {i}: live state {state} is not model-reachable"
+        );
+        m.check_invariants()
+            .unwrap_or_else(|e| panic!("op {i}: {e}"));
     }
 }

@@ -65,6 +65,25 @@ echo "cgct-lint clean; self-test and injection smoke passed"
 echo "== exhaustive model checker (3 nodes x 1 region x 2 lines) =="
 cargo run --release -p cgct-verify --offline --bin cgct-verify -- --nodes 3 --lines 2
 
+echo "== exhaustive model checker: directory + hierarchical machines =="
+cargo run --release -p cgct-verify --offline --bin cgct-verify -- --protocol dir-cgct
+cargo run --release -p cgct-verify --offline --bin cgct-verify -- \
+    --protocol hierarchical --clusters 2
+# The new-mode fault injections must be *caught*: each seeded mutation
+# exits nonzero with a counterexample trace.
+if cargo run --release -p cgct-verify --offline --bin cgct-verify -- \
+    --protocol dir-cgct --mutate stale-region-dir-cache > /dev/null 2>&1; then
+    echo "stale-region-dir-cache fault was not caught"
+    exit 1
+fi
+if cargo run --release -p cgct-verify --offline --bin cgct-verify -- \
+    --protocol hierarchical --clusters 2 --mutate skip-cluster-invalidation \
+    > /dev/null 2>&1; then
+    echo "skip-cluster-invalidation fault was not caught"
+    exit 1
+fi
+echo "new-mode fixpoints clean; seeded faults caught"
+
 echo "== event-driven vs cycle-stepped equivalence =="
 cargo test -q --release -p cgct-system --offline --test event_skip_equivalence
 
